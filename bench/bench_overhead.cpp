@@ -1,0 +1,108 @@
+//===- bench/bench_overhead.cpp - Profiling overhead (Sec. 5) -------------===//
+///
+/// \file
+/// Quantifies the paper's Section 5 observation that algorithmic
+/// profiling is orders of magnitude slower than plain execution, and
+/// that snapshot strategy dominates the cost. Google-benchmark binary
+/// comparing identical executions of the running example under:
+///   - no listener (plain VM),
+///   - the traditional CCT profiler (per-instruction costing),
+///   - AlgoProf with Tracked sizing (incremental membership counts),
+///   - AlgoProf with Eager sizing (paper-faithful two snapshots per
+///     repetition invocation),
+///   - AlgoProf with the AllElements criterion (a snapshot per access —
+///     the unoptimized strawman the paper's remeasure trick avoids).
+///
+//===----------------------------------------------------------------------===//
+
+#include "cct/CctProfiler.h"
+#include "core/Session.h"
+#include "programs/Programs.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+namespace {
+
+std::unique_ptr<CompiledProgram> &compiled() {
+  static std::unique_ptr<CompiledProgram> CP = [] {
+    DiagnosticEngine Diags;
+    auto P = compileMiniJ(
+        programs::insertionSortProgram(/*MaxSize=*/81, /*Step=*/20,
+                                       /*Reps=*/2,
+                                       programs::InputOrder::Random),
+        Diags);
+    if (!P) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      std::exit(1);
+    }
+    return P;
+  }();
+  return CP;
+}
+
+void BM_PlainVm(benchmark::State &State) {
+  auto &CP = compiled();
+  for (auto _ : State) {
+    vm::IoChannels Io;
+    vm::RunResult R = runPlain(*CP, "Main", "main", &Io);
+    if (!R.ok())
+      State.SkipWithError(R.TrapMessage.c_str());
+    benchmark::DoNotOptimize(R.InstrCount);
+  }
+}
+BENCHMARK(BM_PlainVm);
+
+void BM_CctProfiler(benchmark::State &State) {
+  auto &CP = compiled();
+  for (auto _ : State) {
+    cct::CctProfiler Profiler(*CP->Mod);
+    vm::Interpreter Interp(CP->Prep);
+    vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*CP->Mod);
+    vm::IoChannels Io;
+    vm::RunResult R = Interp.run(CP->entryMethod("Main", "main"),
+                                 &Profiler, Plan, Io);
+    if (!R.ok())
+      State.SkipWithError(R.TrapMessage.c_str());
+    benchmark::DoNotOptimize(Profiler.root().inclusiveCost());
+  }
+}
+BENCHMARK(BM_CctProfiler);
+
+void runAlgoProf(benchmark::State &State, SessionOptions Opts) {
+  auto &CP = compiled();
+  for (auto _ : State) {
+    ProfileSession S(*CP, Opts);
+    vm::RunResult R = S.run("Main", "main");
+    if (!R.ok())
+      State.SkipWithError(R.TrapMessage.c_str());
+    benchmark::DoNotOptimize(S.tree().numRepetitions());
+  }
+}
+
+void BM_AlgoProfTracked(benchmark::State &State) {
+  SessionOptions Opts;
+  Opts.Profile.Snapshots = SnapshotMode::Tracked;
+  runAlgoProf(State, Opts);
+}
+BENCHMARK(BM_AlgoProfTracked);
+
+void BM_AlgoProfEager(benchmark::State &State) {
+  SessionOptions Opts;
+  Opts.Profile.Snapshots = SnapshotMode::Eager;
+  runAlgoProf(State, Opts);
+}
+BENCHMARK(BM_AlgoProfEager);
+
+void BM_AlgoProfSnapshotEveryAccess(benchmark::State &State) {
+  SessionOptions Opts;
+  Opts.Profile.Equivalence = EquivalenceStrategy::AllElements;
+  runAlgoProf(State, Opts);
+}
+BENCHMARK(BM_AlgoProfSnapshotEveryAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

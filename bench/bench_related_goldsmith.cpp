@@ -1,0 +1,108 @@
+//===- bench/bench_related_goldsmith.cpp - Related-work contrast ----------===//
+///
+/// \file
+/// Reproduces the paper's Related Work contrast with Goldsmith, Aiken &
+/// Wilkerson's "Measuring empirical computational complexity" (the
+/// paper's [4]): their system measures cost as *basic-block execution
+/// counts* and fits curves, but "the other aspects (e.g., algorithm
+/// identification and input size determination) had to be performed
+/// manually."
+///
+/// This bench plays both roles. For the running example it fits a cost
+/// function from basic-block counts using *manually supplied* input
+/// sizes (we, the humans, know the harness sweeps sizes 0..N — exactly
+/// the manual step Goldsmith's users perform), then lets AlgoProf do
+/// the same fully automatically. Both find the quadratic; only one of
+/// them was told what the input was.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cct/BlockCountProfiler.h"
+#include "core/Session.h"
+#include "programs/Programs.h"
+#include "report/TablePrinter.h"
+
+#include <cstdio>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+int main() {
+  std::printf("Related work [4] (Goldsmith et al., FSE'07): block-count "
+              "cost + manual input sizes vs AlgoProf\n\n");
+
+  // --- Goldsmith-style: one program run per size (the human wrote this
+  // harness and tells the fitter the size of each run).
+  std::vector<SeriesPoint> BlockSeries;
+  for (int Size = 20; Size <= 200; Size += 20) {
+    DiagnosticEngine Diags;
+    // A single-size run: the sweep harness degenerates to one point.
+    auto CP = compileMiniJ(
+        programs::insertionSortProgram(Size + 1, std::max(Size, 1), 1,
+                                       programs::InputOrder::Random),
+        Diags);
+    if (!CP) {
+      std::fprintf(stderr, "%s", Diags.str().c_str());
+      return 1;
+    }
+    cct::BlockCountProfiler Profiler(CP->Prep);
+    vm::Interpreter Interp(CP->Prep);
+    vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*CP->Mod);
+    vm::IoChannels Io;
+    vm::RunResult R = Interp.run(CP->entryMethod("Main", "main"),
+                                 &Profiler, Plan, Io);
+    if (!R.ok()) {
+      std::fprintf(stderr, "run failed: %s\n", R.TrapMessage.c_str());
+      return 1;
+    }
+    // MANUAL steps a Goldsmith user performs: we (humans) assert the
+    // input size is `Size` and the relevant cost is the block count of
+    // the sort method we located by reading the code.
+    int32_t SortId = CP->Mod->findMethodId("List", "sort");
+    BlockSeries.push_back(
+        {static_cast<double>(Size),
+         static_cast<double>(Profiler.blockCount(SortId))});
+  }
+  fit::FitResult BlockFit = fit::fitBest(BlockSeries);
+
+  // --- AlgoProf: one sweep run, everything automatic.
+  DiagnosticEngine Diags;
+  auto CP = compileMiniJ(
+      programs::insertionSortProgram(201, 20, 1,
+                                     programs::InputOrder::Random),
+      Diags);
+  if (!CP) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  ProfileSession S(*CP);
+  if (!S.run("Main", "main").ok())
+    return 1;
+  fit::FitResult AlgoFit;
+  std::string AlgoLabel;
+  for (const AlgorithmProfile &AP : S.buildProfiles())
+    if (AP.Algo.Root->Name == "List.sort loop#0") {
+      AlgoLabel = AP.Label;
+      if (const AlgorithmProfile::InputSeries *Ser = AP.primarySeries())
+        AlgoFit = Ser->Fit;
+    }
+
+  report::Table T({"system", "cost metric", "input size source",
+                   "algorithm located by", "fitted cost", "R^2"});
+  char R2a[16], R2b[16];
+  std::snprintf(R2a, sizeof(R2a), "%.4f", BlockFit.R2);
+  std::snprintf(R2b, sizeof(R2b), "%.4f", AlgoFit.R2);
+  T.addRow({"Goldsmith-style [4]", "basic-block counts",
+            "MANUAL (human-declared)", "MANUAL (human read the code)",
+            BlockFit.formula(), R2a});
+  T.addRow({"AlgoProf (this repo)", "algorithmic steps",
+            "automatic (structure traversal)",
+            "automatic (repetition-tree grouping)", AlgoFit.formula(),
+            R2b});
+  std::printf("%s\n", T.str().c_str());
+  std::printf("AlgoProf's automatic verdict: %s\n", AlgoLabel.c_str());
+  std::printf("\nboth fits agree on the quadratic shape; the difference "
+              "the paper stresses is *who* performed steps 1-4 "
+              "(locate, choose ops, choose input, size it).\n");
+  return 0;
+}

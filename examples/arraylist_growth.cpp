@@ -1,0 +1,65 @@
+//===- examples/arraylist_growth.cpp - Finding an algorithmic bug ---------===//
+///
+/// \file
+/// The paper's Section 4.2 scenario as a user workflow: a
+/// dynamically-growing array-backed list feels slow; the algorithmic
+/// profile shows *why* (the append algorithm is quadratic because grow()
+/// extends capacity by one) and confirms the one-line fix (doubling)
+/// makes it linear. A traditional profiler would only say "time is
+/// spent in grow".
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+#include "programs/Programs.h"
+#include "report/TreePrinter.h"
+
+#include <cstdio>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+static void analyze(const char *Title, bool Doubling) {
+  DiagnosticEngine Diags;
+  auto CP = compileMiniJ(
+      programs::arrayListProgram(Doubling, /*MaxSize=*/192, /*Step=*/16),
+      Diags);
+  if (!CP) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::exit(1);
+  }
+  ProfileSession S(*CP);
+  vm::RunResult R = S.run("Main", "main");
+  if (!R.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", R.TrapMessage.c_str());
+    std::exit(1);
+  }
+
+  std::printf("=== %s\n", Title);
+  for (const AlgorithmProfile &AP : S.buildProfiles()) {
+    if (AP.Algo.Root->Name != "Main.testForSize loop#0")
+      continue;
+    std::printf("  algorithm: append elements + grow when required "
+                "(%zu repetition nodes grouped)\n",
+                AP.Algo.Nodes.size());
+    std::printf("  classified as: %s\n", AP.Label.c_str());
+    if (const AlgorithmProfile::InputSeries *Ser = AP.primarySeries()) {
+      std::printf("  inferred cost function: steps = %s (R^2 = %.4f)\n",
+                  Ser->Fit.formula().c_str(), Ser->Fit.R2);
+      std::printf("  verdict: %s\n",
+                  Ser->Fit.growthExponent() > 1.5
+                      ? "QUADRATIC append — fix the growth policy!"
+                      : "linear append — amortized O(1) per element");
+    }
+  }
+  std::printf("\n");
+}
+
+int main() {
+  std::printf("Paper Sec. 4.2: uncovering an algorithmic inefficiency\n\n");
+  analyze("naive: grow() extends the array by one element", false);
+  analyze("ideal: grow() doubles the array", true);
+  std::printf("Same code shape, one changed line — the cost function "
+              "flips from ~0.5*n^2 to ~2*n.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+//===- examples/paradigm_agnostic.cpp - Same algorithm, any style ---------===//
+///
+/// \file
+/// The paper's Section 4.3 demonstration as an example: an imperative,
+/// iterative insertion sort over a mutable doubly linked list versus a
+/// purely functional, recursive one over an immutable list. The source
+/// looks entirely different; the algorithmic profiles agree — linear
+/// construction, quadratic sorting over a Node-based structure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Session.h"
+#include "programs/Programs.h"
+#include "report/TreePrinter.h"
+
+#include <cstdio>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+static void show(const char *Title, const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto CP = compileMiniJ(Src, Diags);
+  if (!CP) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    std::exit(1);
+  }
+  ProfileSession S(*CP);
+  vm::RunResult R = S.run("Main", "main");
+  if (!R.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", R.TrapMessage.c_str());
+    std::exit(1);
+  }
+  std::printf("=== %s\n%s\n", Title,
+              report::renderAnnotatedTree(S.tree(), S.buildProfiles())
+                  .c_str());
+}
+
+int main() {
+  std::printf("Paper Sec. 4.3: profiles are agnostic to programming "
+              "paradigm\n\n");
+  show("imperative / iterative / mutable",
+       programs::insertionSortProgram(120, 10, 3,
+                                      programs::InputOrder::Random));
+  show("functional / recursive / immutable",
+       programs::functionalSortProgram(120, 10, 3,
+                                       programs::InputOrder::Random));
+  std::printf("Both profiles contain a linear Construction and quadratic "
+              "sorting work over a Node-based recursive structure. The "
+              "visible (and honest) difference: the functional sort "
+              "*constructs* its result rather than modifying in place, "
+              "and splits across two recursion nodes — the paper calls "
+              "its own result \"almost identical\" for the same "
+              "reason.\n");
+  return 0;
+}

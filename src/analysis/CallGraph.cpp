@@ -1,0 +1,70 @@
+//===- analysis/CallGraph.cpp ---------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+#include "analysis/Scc.h"
+
+#include <algorithm>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+using namespace algoprof::bc;
+
+CallGraph algoprof::analysis::buildCallGraph(const Module &M) {
+  CallGraph CG;
+  size_t N = M.Methods.size();
+  CG.Callees.resize(N);
+
+  for (const MethodInfo &Caller : M.Methods) {
+    std::vector<int32_t> &Out = CG.Callees[static_cast<size_t>(Caller.Id)];
+    for (const Instr &I : Caller.Code) {
+      switch (I.Op) {
+      case Opcode::InvokeStatic:
+      case Opcode::InvokeCtor:
+        Out.push_back(I.A);
+        break;
+      case Opcode::InvokeVirtual:
+        // Conservative: any class whose vtable covers this slot.
+        for (const ClassInfo &C : M.Classes)
+          if (I.A < static_cast<int32_t>(C.Vtable.size()))
+            Out.push_back(C.Vtable[static_cast<size_t>(I.A)]);
+        break;
+      default:
+        break;
+      }
+    }
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+
+  int32_t NumSccs = 0;
+  CG.SccId = computeSccs(CG.Callees, NumSccs);
+  CG.IsRecursive.assign(N, 0);
+  CG.IsRecursionHeader.assign(N, 0);
+
+  // SCC sizes and self-loops decide recursiveness.
+  std::vector<int32_t> SccSize(static_cast<size_t>(NumSccs), 0);
+  for (size_t V = 0; V < N; ++V)
+    ++SccSize[static_cast<size_t>(CG.SccId[V])];
+  for (size_t V = 0; V < N; ++V) {
+    bool SelfLoop =
+        std::binary_search(CG.Callees[V].begin(), CG.Callees[V].end(),
+                           static_cast<int32_t>(V));
+    if (SccSize[static_cast<size_t>(CG.SccId[V])] > 1 || SelfLoop)
+      CG.IsRecursive[V] = 1;
+  }
+
+  // Header: smallest method id among the recursive members of each SCC.
+  std::vector<int32_t> HeaderOfScc(static_cast<size_t>(NumSccs), -1);
+  for (size_t V = 0; V < N; ++V) {
+    if (!CG.IsRecursive[V])
+      continue;
+    int32_t &H = HeaderOfScc[static_cast<size_t>(CG.SccId[V])];
+    if (H < 0 || static_cast<int32_t>(V) < H)
+      H = static_cast<int32_t>(V);
+  }
+  for (int32_t H : HeaderOfScc)
+    if (H >= 0)
+      CG.IsRecursionHeader[static_cast<size_t>(H)] = 1;
+  return CG;
+}

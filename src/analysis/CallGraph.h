@@ -1,0 +1,53 @@
+//===- analysis/CallGraph.h - Call graph and recursion headers --*- C++-*-===//
+///
+/// \file
+/// Conservative static call graph (virtual calls resolve to every
+/// override) plus recursion-cycle detection. A *recursion header* is the
+/// canonical method chosen per cyclic strongly connected component; the
+/// paper (citing ECOOP'11 [21]) uses headers to limit method-entry
+/// instrumentation to methods that can actually recurse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_ANALYSIS_CALLGRAPH_H
+#define ALGOPROF_ANALYSIS_CALLGRAPH_H
+
+#include "bytecode/Module.h"
+
+#include <vector>
+
+namespace algoprof {
+namespace analysis {
+
+/// Static call graph over method ids.
+class CallGraph {
+public:
+  /// Callees[M] lists the methods M may invoke (deduplicated, sorted).
+  std::vector<std::vector<int32_t>> Callees;
+
+  /// SccId[M] identifies the strongly connected component of M.
+  std::vector<int32_t> SccId;
+
+  /// True when M belongs to a recursive cycle (SCC of size > 1, or a
+  /// self-loop).
+  std::vector<char> IsRecursive;
+
+  /// True when M is the canonical header of its recursive cycle. Headers
+  /// are chosen deterministically (smallest method id in the SCC).
+  std::vector<char> IsRecursionHeader;
+
+  bool isRecursive(int32_t M) const {
+    return IsRecursive[static_cast<size_t>(M)] != 0;
+  }
+  bool isHeader(int32_t M) const {
+    return IsRecursionHeader[static_cast<size_t>(M)] != 0;
+  }
+};
+
+/// Builds the call graph of \p M and computes recursion headers.
+CallGraph buildCallGraph(const bc::Module &M);
+
+} // namespace analysis
+} // namespace algoprof
+
+#endif // ALGOPROF_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,53 @@
+//===- analysis/Cfg.h - Control-flow graph over bytecode --------*- C++-*-===//
+///
+/// \file
+/// Basic-block CFG recovered from a compiled method's bytecode. Loop
+/// structure is *not* trusted from the front end: like the paper's binary
+/// instrumentation, all loop information is recomputed from branches
+/// (see analysis/Loops.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_ANALYSIS_CFG_H
+#define ALGOPROF_ANALYSIS_CFG_H
+
+#include "bytecode/Module.h"
+
+#include <vector>
+
+namespace algoprof {
+namespace analysis {
+
+/// A basic block: the half-open pc range [Begin, End).
+struct BasicBlock {
+  int Id = -1;
+  int Begin = 0;
+  int End = 0;
+  std::vector<int> Succs;
+  std::vector<int> Preds;
+};
+
+/// The CFG of one method. Block 0 is the entry block (pc 0).
+class Cfg {
+public:
+  std::vector<BasicBlock> Blocks;
+
+  /// Maps every pc to its containing block id.
+  std::vector<int> BlockAtPc;
+
+  int entry() const { return 0; }
+  int numBlocks() const { return static_cast<int>(Blocks.size()); }
+  int blockAt(int Pc) const { return BlockAtPc[static_cast<size_t>(Pc)]; }
+
+  /// Blocks in reverse postorder from the entry; unreachable blocks are
+  /// absent.
+  std::vector<int> reversePostOrder() const;
+};
+
+/// Builds the CFG of \p Method.
+Cfg buildCfg(const bc::MethodInfo &Method);
+
+} // namespace analysis
+} // namespace algoprof
+
+#endif // ALGOPROF_ANALYSIS_CFG_H

@@ -1,0 +1,69 @@
+//===- analysis/Dominators.cpp --------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+
+bool DominatorTree::dominates(int A, int B) const {
+  if (!isReachable(A) || !isReachable(B))
+    return false;
+  int Cur = B;
+  for (;;) {
+    if (Cur == A)
+      return true;
+    int Next = Idom[static_cast<size_t>(Cur)];
+    if (Next == Cur)
+      return false; // Reached the entry without meeting A.
+    Cur = Next;
+  }
+}
+
+DominatorTree algoprof::analysis::computeDominators(const Cfg &G) {
+  DominatorTree DT;
+  size_t N = static_cast<size_t>(G.numBlocks());
+  DT.Idom.assign(N, -1);
+
+  std::vector<int> Rpo = G.reversePostOrder();
+  std::vector<int> RpoIndex(N, -1);
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[static_cast<size_t>(Rpo[I])] = static_cast<int>(I);
+
+  int Entry = G.entry();
+  DT.Idom[static_cast<size_t>(Entry)] = Entry;
+
+  auto Intersect = [&](int A, int B) {
+    while (A != B) {
+      while (RpoIndex[static_cast<size_t>(A)] >
+             RpoIndex[static_cast<size_t>(B)])
+        A = DT.Idom[static_cast<size_t>(A)];
+      while (RpoIndex[static_cast<size_t>(B)] >
+             RpoIndex[static_cast<size_t>(A)])
+        B = DT.Idom[static_cast<size_t>(B)];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B : Rpo) {
+      if (B == Entry)
+        continue;
+      int NewIdom = -1;
+      for (int P : G.Blocks[static_cast<size_t>(B)].Preds) {
+        if (DT.Idom[static_cast<size_t>(P)] < 0)
+          continue; // Unprocessed or unreachable predecessor.
+        NewIdom = NewIdom < 0 ? P : Intersect(NewIdom, P);
+      }
+      assert(NewIdom >= 0 && "reachable block without processed preds");
+      if (DT.Idom[static_cast<size_t>(B)] != NewIdom) {
+        DT.Idom[static_cast<size_t>(B)] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+  return DT;
+}

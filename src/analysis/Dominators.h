@@ -1,0 +1,38 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++-*-===//
+///
+/// \file
+/// Iterative dominator computation (Cooper–Harvey–Kennedy, "A Simple,
+/// Fast Dominance Algorithm") over the bytecode CFG. Natural-loop
+/// detection builds on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_ANALYSIS_DOMINATORS_H
+#define ALGOPROF_ANALYSIS_DOMINATORS_H
+
+#include "analysis/Cfg.h"
+
+namespace algoprof {
+namespace analysis {
+
+/// Immediate-dominator table for one CFG.
+class DominatorTree {
+public:
+  /// Idom[B] is the immediate dominator of block B; the entry block is its
+  /// own idom, and unreachable blocks have -1.
+  std::vector<int> Idom;
+
+  /// True when \p A dominates \p B (reflexive). Unreachable blocks
+  /// dominate nothing and are dominated by nothing.
+  bool dominates(int A, int B) const;
+
+  bool isReachable(int B) const { return Idom[static_cast<size_t>(B)] >= 0; }
+};
+
+/// Computes the dominator tree of \p G.
+DominatorTree computeDominators(const Cfg &G);
+
+} // namespace analysis
+} // namespace algoprof
+
+#endif // ALGOPROF_ANALYSIS_DOMINATORS_H

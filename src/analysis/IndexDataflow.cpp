@@ -1,0 +1,257 @@
+//===- analysis/IndexDataflow.cpp -----------------------------------------===//
+
+#include "analysis/IndexDataflow.h"
+
+#include <unordered_set>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+
+namespace {
+
+/// Per-method walker maintaining the active loop stack with the set of
+/// local slots each loop assigns directly (not inside nested loops).
+class MethodWalker {
+public:
+  MethodWalker(const std::string &QualifiedMethod, IndexDataflow &Out)
+      : QualifiedMethod(QualifiedMethod), Out(Out) {}
+
+  void walkStmt(const Stmt *S);
+  void walkExpr(const Expr *E);
+
+private:
+  struct ActiveLoop {
+    int AstLoopId;
+    std::unordered_set<int> AssignedSlots;
+  };
+
+  void noteAssignedSlot(int Slot) {
+    if (!LoopStack.empty())
+      LoopStack.back().AssignedSlots.insert(Slot);
+  }
+  void noteAssignTarget(const Expr *Target);
+  void collectIndexSlots(const Expr *E, std::unordered_set<int> &Slots);
+  void noteArrayAccess(const IndexExpr &E);
+  void enterLoop(int AstLoopId) { LoopStack.push_back({AstLoopId, {}}); }
+  void exitLoop() { LoopStack.pop_back(); }
+
+  const std::string &QualifiedMethod;
+  IndexDataflow &Out;
+  std::vector<ActiveLoop> LoopStack;
+};
+
+void MethodWalker::noteAssignTarget(const Expr *Target) {
+  if (!Target || Target->kind() != ExprKind::Name)
+    return;
+  const auto *N = static_cast<const NameExpr *>(Target);
+  if (N->Resolution == NameResolution::Local)
+    noteAssignedSlot(N->Slot);
+}
+
+void MethodWalker::collectIndexSlots(const Expr *E,
+                                     std::unordered_set<int> &Slots) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::Name: {
+    const auto *N = static_cast<const NameExpr *>(E);
+    if (N->Resolution == NameResolution::Local)
+      Slots.insert(N->Slot);
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto *B = static_cast<const BinaryExpr *>(E);
+    collectIndexSlots(B->Lhs.get(), Slots);
+    collectIndexSlots(B->Rhs.get(), Slots);
+    return;
+  }
+  case ExprKind::Unary:
+    collectIndexSlots(static_cast<const UnaryExpr *>(E)->Operand.get(),
+                      Slots);
+    return;
+  case ExprKind::IncDec: {
+    const auto *I = static_cast<const IncDecExpr *>(E);
+    collectIndexSlots(I->Target.get(), Slots);
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *I = static_cast<const IndexExpr *>(E);
+    collectIndexSlots(I->Index.get(), Slots);
+    return;
+  }
+  case ExprKind::FieldAccess:
+    collectIndexSlots(
+        static_cast<const FieldAccessExpr *>(E)->Base.get(), Slots);
+    return;
+  default:
+    return;
+  }
+}
+
+void MethodWalker::noteArrayAccess(const IndexExpr &E) {
+  if (LoopStack.size() < 2)
+    return; // Grouping needs an outer loop to link to.
+  std::unordered_set<int> Slots;
+  collectIndexSlots(E.Index.get(), Slots);
+  if (Slots.empty())
+    return;
+  // Link every outer loop that assigns one of the index slots down the
+  // nest, pairwise, so the grouped region is connected.
+  for (size_t J = 0; J + 1 < LoopStack.size(); ++J) {
+    bool Intersects = false;
+    for (int Slot : Slots)
+      if (LoopStack[J].AssignedSlots.count(Slot)) {
+        Intersects = true;
+        break;
+      }
+    if (!Intersects)
+      continue;
+    for (size_t K = J; K + 1 < LoopStack.size(); ++K)
+      Out.Links.insert({QualifiedMethod, LoopStack[K].AstLoopId,
+                        LoopStack[K + 1].AstLoopId});
+  }
+}
+
+void MethodWalker::walkExpr(const Expr *E) {
+  if (!E)
+    return;
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+  case ExprKind::BoolLit:
+  case ExprKind::NullLit:
+  case ExprKind::This:
+  case ExprKind::Name:
+    return;
+  case ExprKind::Binary: {
+    const auto *B = static_cast<const BinaryExpr *>(E);
+    walkExpr(B->Lhs.get());
+    walkExpr(B->Rhs.get());
+    return;
+  }
+  case ExprKind::Unary:
+    walkExpr(static_cast<const UnaryExpr *>(E)->Operand.get());
+    return;
+  case ExprKind::Assign: {
+    const auto *A = static_cast<const AssignExpr *>(E);
+    noteAssignTarget(A->Target.get());
+    walkExpr(A->Target.get());
+    walkExpr(A->Value.get());
+    return;
+  }
+  case ExprKind::IncDec: {
+    const auto *I = static_cast<const IncDecExpr *>(E);
+    noteAssignTarget(I->Target.get());
+    walkExpr(I->Target.get());
+    return;
+  }
+  case ExprKind::FieldAccess:
+    walkExpr(static_cast<const FieldAccessExpr *>(E)->Base.get());
+    return;
+  case ExprKind::Index: {
+    const auto *I = static_cast<const IndexExpr *>(E);
+    noteArrayAccess(*I);
+    walkExpr(I->Base.get());
+    walkExpr(I->Index.get());
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = static_cast<const CallExpr *>(E);
+    if (C->Receiver && C->Resolution == CallResolution::Virtual)
+      walkExpr(C->Receiver.get());
+    for (const ExprPtr &A : C->Args)
+      walkExpr(A.get());
+    return;
+  }
+  case ExprKind::NewObject: {
+    const auto *N = static_cast<const NewObjectExpr *>(E);
+    for (const ExprPtr &A : N->Args)
+      walkExpr(A.get());
+    return;
+  }
+  case ExprKind::NewArray: {
+    const auto *N = static_cast<const NewArrayExpr *>(E);
+    for (const ExprPtr &D : N->Dims)
+      walkExpr(D.get());
+    return;
+  }
+  }
+}
+
+void MethodWalker::walkStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    for (const StmtPtr &Child : static_cast<const BlockStmt *>(S)->Stmts)
+      walkStmt(Child.get());
+    return;
+  case StmtKind::VarDecl: {
+    const auto *D = static_cast<const VarDeclStmt *>(S);
+    if (D->Init) {
+      noteAssignedSlot(D->Slot);
+      walkExpr(D->Init.get());
+    }
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = static_cast<const IfStmt *>(S);
+    walkExpr(I->Cond.get());
+    walkStmt(I->Then.get());
+    walkStmt(I->Else.get());
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = static_cast<const WhileStmt *>(S);
+    enterLoop(W->LoopId);
+    walkExpr(W->Cond.get());
+    walkStmt(W->Body.get());
+    exitLoop();
+    return;
+  }
+  case StmtKind::For: {
+    const auto *F = static_cast<const ForStmt *>(S);
+    // The init runs before the loop; the update runs inside it. Index
+    // variables are almost always initialized just outside and stepped
+    // inside, so attribute the init's assignment to the loop as well —
+    // that is where the paper's "the outer loop increments variable i"
+    // intuition points.
+    enterLoop(F->LoopId);
+    walkStmt(F->Init.get());
+    if (F->Cond)
+      walkExpr(F->Cond.get());
+    if (F->Update)
+      walkExpr(F->Update.get());
+    walkStmt(F->Body.get());
+    exitLoop();
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = static_cast<const ReturnStmt *>(S);
+    walkExpr(R->Value.get());
+    return;
+  }
+  case StmtKind::ExprStmt:
+    walkExpr(static_cast<const ExprStmt *>(S)->E.get());
+    return;
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    return;
+  }
+}
+
+} // namespace
+
+IndexDataflow algoprof::analysis::computeIndexDataflow(const Program &P) {
+  IndexDataflow Result;
+  for (const auto &C : P.Classes) {
+    for (const auto &M : C->Methods) {
+      if (!M->Body)
+        continue;
+      std::string Qualified =
+          C->Name + "." + (M->IsCtor ? "<init>" : M->Name);
+      MethodWalker W(Qualified, Result);
+      W.walkStmt(M->Body.get());
+    }
+  }
+  return Result;
+}

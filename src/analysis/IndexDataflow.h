@@ -1,0 +1,57 @@
+//===- analysis/IndexDataflow.h - Array index dataflow ----------*- C++-*-===//
+///
+/// \file
+/// The Section 5 "future work" analysis of the paper: for loop nests like
+///
+///   for (int i=0; i<a.length; i++)
+///     for (int j=0; j<a[i].length; j++)
+///       a[i][j] = ...;
+///
+/// the outer loop performs no array access itself, so the common-input
+/// grouping strategy fails to merge the nest into one algorithm (the "-"
+/// and "*" rows of Table 1). This analysis links an outer loop to inner
+/// loops whose array accesses use index variables the outer loop assigns,
+/// giving the grouping pass the missing edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_ANALYSIS_INDEXDATAFLOW_H
+#define ALGOPROF_ANALYSIS_INDEXDATAFLOW_H
+
+#include "frontend/Ast.h"
+
+#include <set>
+#include <string>
+#include <tuple>
+
+namespace algoprof {
+namespace analysis {
+
+/// Loop-to-loop grouping edges derived from index dataflow. Loops are
+/// identified by (qualified method name, AST loop id), the ids shared
+/// with bc::LoopMeta and analysis::Loop::AstLoopId.
+class IndexDataflow {
+public:
+  /// (method, outer ast loop id, inner ast loop id) triples; inner is a
+  /// direct or transitive child — consecutive pairs along the nest are
+  /// all present, so grouping only needs parent/child queries.
+  std::set<std::tuple<std::string, int, int>> Links;
+
+  /// True when the outer loop should be grouped with the inner loop.
+  bool linked(const std::string &QualifiedMethod, int OuterAstLoopId,
+              int InnerAstLoopId) const {
+    return Links.count({QualifiedMethod, OuterAstLoopId, InnerAstLoopId}) >
+           0;
+  }
+
+  bool empty() const { return Links.empty(); }
+};
+
+/// Runs the analysis over all method bodies of \p P (which must have
+/// passed sema, so loop ids and local slots are assigned).
+IndexDataflow computeIndexDataflow(const Program &P);
+
+} // namespace analysis
+} // namespace algoprof
+
+#endif // ALGOPROF_ANALYSIS_INDEXDATAFLOW_H

@@ -1,0 +1,116 @@
+//===- analysis/Loops.cpp -------------------------------------------------===//
+
+#include "analysis/Loops.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+
+std::vector<int> LoopInfo::loopChainAt(int Block) const {
+  std::vector<int> Chain;
+  int L = innermostAt(Block);
+  while (L >= 0) {
+    Chain.push_back(L);
+    L = Loops[static_cast<size_t>(L)].Parent;
+  }
+  return Chain;
+}
+
+LoopInfo algoprof::analysis::computeLoops(const bc::MethodInfo &Method,
+                                          const Cfg &G,
+                                          const DominatorTree &DT) {
+  LoopInfo LI;
+  size_t N = static_cast<size_t>(G.numBlocks());
+
+  // Collect back edges grouped by header (loops with a shared header are
+  // one natural loop).
+  std::map<int, std::vector<int>> LatchesByHeader;
+  for (const BasicBlock &B : G.Blocks) {
+    if (!DT.isReachable(B.Id))
+      continue;
+    for (int S : B.Succs)
+      if (DT.dominates(S, B.Id))
+        LatchesByHeader[S].push_back(B.Id);
+  }
+
+  // Build each loop body: header plus all blocks that reach a latch
+  // without passing through the header.
+  for (auto &[Header, Latches] : LatchesByHeader) {
+    Loop L;
+    L.Id = LI.numLoops();
+    L.HeaderBlock = Header;
+    L.HeaderPc = G.Blocks[static_cast<size_t>(Header)].Begin;
+    L.InLoop.assign(N, 0);
+    L.InLoop[static_cast<size_t>(Header)] = 1;
+    std::vector<int> Work;
+    for (int Latch : Latches) {
+      if (!L.InLoop[static_cast<size_t>(Latch)]) {
+        L.InLoop[static_cast<size_t>(Latch)] = 1;
+        Work.push_back(Latch);
+      }
+    }
+    while (!Work.empty()) {
+      int B = Work.back();
+      Work.pop_back();
+      for (int P : G.Blocks[static_cast<size_t>(B)].Preds) {
+        if (!DT.isReachable(P) || L.InLoop[static_cast<size_t>(P)])
+          continue;
+        L.InLoop[static_cast<size_t>(P)] = 1;
+        Work.push_back(P);
+      }
+    }
+    LI.Loops.push_back(std::move(L));
+  }
+
+  // Nesting: parent is the smallest strictly-containing loop.
+  auto BlockCount = [](const Loop &L) {
+    return std::count(L.InLoop.begin(), L.InLoop.end(), 1);
+  };
+  for (Loop &L : LI.Loops) {
+    int Best = -1;
+    long BestSize = -1;
+    for (const Loop &Candidate : LI.Loops) {
+      if (Candidate.Id == L.Id || !Candidate.contains(L.HeaderBlock))
+        continue;
+      // A distinct loop containing our header contains the whole loop
+      // (natural loops are either disjoint or nested once headers merge).
+      long Size = BlockCount(Candidate);
+      if (Best < 0 || Size < BestSize) {
+        Best = Candidate.Id;
+        BestSize = Size;
+      }
+    }
+    L.Parent = Best;
+  }
+  for (Loop &L : LI.Loops) {
+    int Depth = 0;
+    for (int P = L.Parent; P >= 0; P = LI.Loops[static_cast<size_t>(P)].Parent)
+      ++Depth;
+    L.Depth = Depth;
+  }
+
+  // Innermost loop per block: the deepest loop containing it.
+  LI.InnermostAtBlock.assign(N, -1);
+  for (size_t B = 0; B < N; ++B) {
+    int Best = -1;
+    int BestDepth = -1;
+    for (const Loop &L : LI.Loops)
+      if (L.contains(static_cast<int>(B)) && L.Depth > BestDepth) {
+        Best = L.Id;
+        BestDepth = L.Depth;
+      }
+    LI.InnermostAtBlock[B] = Best;
+  }
+
+  // Match against the compiler's source-loop metadata.
+  for (Loop &L : LI.Loops)
+    for (const bc::LoopMeta &Meta : Method.Loops)
+      if (Meta.HeaderPc == L.HeaderPc) {
+        L.AstLoopId = Meta.AstLoopId;
+        break;
+      }
+  return LI;
+}

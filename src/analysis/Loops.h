@@ -1,0 +1,65 @@
+//===- analysis/Loops.h - Natural loop detection ----------------*- C++-*-===//
+///
+/// \file
+/// Natural loops recovered from back edges of the bytecode CFG, plus the
+/// loop nesting forest. This is the static half of the paper's loop
+/// instrumentation: the VM's LoopEventMap is derived from this structure
+/// and fires loop entry / back edge / exit events at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_ANALYSIS_LOOPS_H
+#define ALGOPROF_ANALYSIS_LOOPS_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Dominators.h"
+
+#include <vector>
+
+namespace algoprof {
+namespace analysis {
+
+/// One natural loop. Loops sharing a header block are merged, so headers
+/// identify loops uniquely within a method.
+struct Loop {
+  int Id = -1;
+  int HeaderBlock = -1;
+  int HeaderPc = -1;        ///< First pc of the header block.
+  int Parent = -1;          ///< Enclosing loop id, or -1.
+  int Depth = 0;            ///< Nesting depth; outermost loops have 0.
+  std::vector<char> InLoop; ///< Per-block membership bitmap.
+  int AstLoopId = -1;       ///< Source loop id (via bc::LoopMeta), or -1.
+
+  bool contains(int Block) const {
+    return InLoop[static_cast<size_t>(Block)] != 0;
+  }
+};
+
+/// All loops of one method.
+class LoopInfo {
+public:
+  std::vector<Loop> Loops;
+
+  /// Innermost loop id containing each block (-1 when outside all loops).
+  std::vector<int> InnermostAtBlock;
+
+  int numLoops() const { return static_cast<int>(Loops.size()); }
+
+  /// Innermost loop containing \p Block, or -1.
+  int innermostAt(int Block) const {
+    return InnermostAtBlock[static_cast<size_t>(Block)];
+  }
+
+  /// Loop ids containing \p Block, innermost first.
+  std::vector<int> loopChainAt(int Block) const;
+};
+
+/// Detects the natural loops of \p G and matches them against the
+/// compiler's source-loop metadata in \p Method (by header pc).
+LoopInfo computeLoops(const bc::MethodInfo &Method, const Cfg &G,
+                      const DominatorTree &DT);
+
+} // namespace analysis
+} // namespace algoprof
+
+#endif // ALGOPROF_ANALYSIS_LOOPS_H

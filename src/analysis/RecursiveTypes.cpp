@@ -1,0 +1,95 @@
+//===- analysis/RecursiveTypes.cpp ----------------------------------------===//
+
+#include "analysis/RecursiveTypes.h"
+
+#include "analysis/Scc.h"
+
+#include <algorithm>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+using namespace algoprof::bc;
+
+/// Strips array dimensions; returns the class id or -1 for scalar types.
+static int32_t strippedClassId(const Module &M, TypeId T) {
+  while (T >= 0 && M.Types[static_cast<size_t>(T)].Kind == RtTypeKind::Array)
+    T = M.Types[static_cast<size_t>(T)].Elem;
+  if (T < 0)
+    return -1;
+  const RuntimeType &RT = M.Types[static_cast<size_t>(T)];
+  return RT.Kind == RtTypeKind::Class ? RT.ClassId : -1;
+}
+
+RecursiveTypes
+algoprof::analysis::computeRecursiveTypes(const Module &M) {
+  size_t NumClasses = M.Classes.size();
+  int32_t ObjectId = M.findClassId("Object");
+
+  // Subclass closure per class (including self); Object expands to itself
+  // only (see the header comment).
+  std::vector<std::vector<int32_t>> SubsOrSelf(NumClasses);
+  for (size_t C = 0; C < NumClasses; ++C)
+    SubsOrSelf[C].push_back(static_cast<int32_t>(C));
+  for (const ClassInfo &C : M.Classes)
+    for (int32_t A = C.SuperId; A >= 0;
+         A = M.Classes[static_cast<size_t>(A)].SuperId)
+      if (A != ObjectId)
+        SubsOrSelf[static_cast<size_t>(A)].push_back(C.Id);
+
+  auto Expand = [&](int32_t ClassId) -> const std::vector<int32_t> & {
+    return SubsOrSelf[static_cast<size_t>(ClassId)];
+  };
+
+  // Type-reference graph with subtyping folded in.
+  std::vector<std::vector<int32_t>> Adj(NumClasses);
+  for (const FieldInfo &F : M.Fields) {
+    int32_t Target = strippedClassId(M, F.Type);
+    if (Target < 0)
+      continue;
+    for (int32_t Src : Expand(F.ClassId))
+      for (int32_t Dst : Expand(Target))
+        Adj[static_cast<size_t>(Src)].push_back(Dst);
+  }
+  for (auto &Out : Adj) {
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+  }
+
+  int32_t NumSccs = 0;
+  RecursiveTypes RT;
+  RT.ClassScc = computeSccs(Adj, NumSccs);
+
+  std::vector<int32_t> SccSize(static_cast<size_t>(NumSccs), 0);
+  for (size_t C = 0; C < NumClasses; ++C)
+    ++SccSize[static_cast<size_t>(RT.ClassScc[C])];
+
+  RT.ClassIsRecursive.assign(NumClasses, 0);
+  for (size_t C = 0; C < NumClasses; ++C) {
+    bool SelfLoop = std::binary_search(Adj[C].begin(), Adj[C].end(),
+                                       static_cast<int32_t>(C));
+    if (SccSize[static_cast<size_t>(RT.ClassScc[C])] > 1 || SelfLoop)
+      RT.ClassIsRecursive[C] = 1;
+  }
+
+  // A field is a recursive link when some (declaring-or-sub, target-or-sub)
+  // pair shares a cyclic SCC.
+  RT.FieldIsLink.assign(M.Fields.size(), 0);
+  for (const FieldInfo &F : M.Fields) {
+    int32_t Target = strippedClassId(M, F.Type);
+    if (Target < 0)
+      continue;
+    for (int32_t Src : Expand(F.ClassId)) {
+      if (RT.FieldIsLink[static_cast<size_t>(F.Id)])
+        break;
+      for (int32_t Dst : Expand(Target)) {
+        if (RT.ClassScc[static_cast<size_t>(Src)] ==
+                RT.ClassScc[static_cast<size_t>(Dst)] &&
+            RT.ClassIsRecursive[static_cast<size_t>(Src)]) {
+          RT.FieldIsLink[static_cast<size_t>(F.Id)] = 1;
+          break;
+        }
+      }
+    }
+  }
+  return RT;
+}

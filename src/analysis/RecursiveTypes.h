@@ -1,0 +1,59 @@
+//===- analysis/RecursiveTypes.h - Recursive data type detection *- C++-*-===//
+///
+/// \file
+/// Static detection of recursive data types (paper Sec. 3.1, citing the
+/// MODELS'11 structural-models analysis [22]). A class participates in a
+/// recursive type when it lies on a cycle of the type-reference graph;
+/// the fields realizing such cycles are the *recursive links* that the
+/// profiler instruments (Node.next, Node.prev — but not payload fields).
+///
+/// Subtyping is folded in: a field of declared type D may reference any
+/// subclass of D, and subclasses inherit their ancestors' fields. Fields
+/// of declared type Object are treated as pointing to Object only — this
+/// keeps erased-generic payload fields out of the link set, matching the
+/// intent of the Java original where payloads are type variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_ANALYSIS_RECURSIVETYPES_H
+#define ALGOPROF_ANALYSIS_RECURSIVETYPES_H
+
+#include "bytecode/Module.h"
+
+#include <vector>
+
+namespace algoprof {
+namespace analysis {
+
+/// Result of the recursive-type analysis over a module.
+class RecursiveTypes {
+public:
+  /// Per class id: the class is part of a recursive data type.
+  std::vector<char> ClassIsRecursive;
+
+  /// Per field id: the field is a recursive link (participates in a type
+  /// cycle). Only accesses to these fields are profiled as structure
+  /// operations.
+  std::vector<char> FieldIsLink;
+
+  /// Per class id: the type-graph SCC, usable as a coarse "structure
+  /// type" identity (the SameType snapshot-equivalence criterion keys on
+  /// this).
+  std::vector<int32_t> ClassScc;
+
+  bool isRecursiveClass(int32_t ClassId) const {
+    return ClassId >= 0 &&
+           ClassIsRecursive[static_cast<size_t>(ClassId)] != 0;
+  }
+  bool isLinkField(int32_t FieldId) const {
+    return FieldIsLink[static_cast<size_t>(FieldId)] != 0;
+  }
+};
+
+/// Runs the analysis over \p M.
+RecursiveTypes computeRecursiveTypes(const bc::Module &M);
+
+} // namespace analysis
+} // namespace algoprof
+
+#endif // ALGOPROF_ANALYSIS_RECURSIVETYPES_H

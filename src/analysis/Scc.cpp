@@ -1,0 +1,75 @@
+//===- analysis/Scc.cpp ---------------------------------------------------===//
+
+#include "analysis/Scc.h"
+
+#include <algorithm>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+
+std::vector<int32_t>
+algoprof::analysis::computeSccs(const std::vector<std::vector<int32_t>> &Adj,
+                                int32_t &NumSccs) {
+  size_t N = Adj.size();
+  std::vector<int32_t> Index(N, -1), LowLink(N, 0), SccOf(N, -1), Stack;
+  std::vector<char> OnStack(N, 0);
+  int32_t NextIndex = 0;
+  NumSccs = 0;
+
+  struct Frame {
+    int32_t V;
+    size_t NextEdge;
+  };
+
+  auto NewNode = [&](int32_t V) {
+    Index[static_cast<size_t>(V)] = NextIndex;
+    LowLink[static_cast<size_t>(V)] = NextIndex;
+    ++NextIndex;
+    Stack.push_back(V);
+    OnStack[static_cast<size_t>(V)] = 1;
+  };
+
+  for (size_t Root = 0; Root < N; ++Root) {
+    if (Index[Root] >= 0)
+      continue;
+    std::vector<Frame> CallStack;
+    CallStack.push_back({static_cast<int32_t>(Root), 0});
+    NewNode(static_cast<int32_t>(Root));
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      const auto &Edges = Adj[static_cast<size_t>(F.V)];
+      if (F.NextEdge < Edges.size()) {
+        int32_t W = Edges[F.NextEdge++];
+        if (Index[static_cast<size_t>(W)] < 0) {
+          NewNode(W);
+          CallStack.push_back({W, 0});
+        } else if (OnStack[static_cast<size_t>(W)]) {
+          LowLink[static_cast<size_t>(F.V)] =
+              std::min(LowLink[static_cast<size_t>(F.V)],
+                       Index[static_cast<size_t>(W)]);
+        }
+        continue;
+      }
+      int32_t V = F.V;
+      CallStack.pop_back();
+      if (!CallStack.empty()) {
+        int32_t Parent = CallStack.back().V;
+        LowLink[static_cast<size_t>(Parent)] =
+            std::min(LowLink[static_cast<size_t>(Parent)],
+                     LowLink[static_cast<size_t>(V)]);
+      }
+      if (LowLink[static_cast<size_t>(V)] == Index[static_cast<size_t>(V)]) {
+        for (;;) {
+          int32_t W = Stack.back();
+          Stack.pop_back();
+          OnStack[static_cast<size_t>(W)] = 0;
+          SccOf[static_cast<size_t>(W)] = NumSccs;
+          if (W == V)
+            break;
+        }
+        ++NumSccs;
+      }
+    }
+  }
+  return SccOf;
+}

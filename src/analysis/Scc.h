@@ -1,0 +1,28 @@
+//===- analysis/Scc.h - Strongly connected components -----------*- C++-*-===//
+///
+/// \file
+/// Iterative Tarjan SCC over adjacency lists, shared by the call-graph
+/// recursion analysis and the recursive-type analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_ANALYSIS_SCC_H
+#define ALGOPROF_ANALYSIS_SCC_H
+
+#include <cstdint>
+#include <vector>
+
+namespace algoprof {
+namespace analysis {
+
+/// Computes strongly connected components of the graph given by \p Adj.
+/// \param [out] NumSccs receives the component count.
+/// \returns the component id of each node (components are numbered in
+/// reverse topological completion order).
+std::vector<int32_t> computeSccs(const std::vector<std::vector<int32_t>> &Adj,
+                                 int32_t &NumSccs);
+
+} // namespace analysis
+} // namespace algoprof
+
+#endif // ALGOPROF_ANALYSIS_SCC_H

@@ -1,0 +1,821 @@
+//===- bytecode/Compiler.cpp ----------------------------------------------===//
+
+#include "bytecode/Compiler.h"
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+#include <unordered_map>
+
+using namespace algoprof;
+using namespace algoprof::bc;
+
+namespace {
+
+class Compiler {
+public:
+  Compiler(const Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  std::unique_ptr<Module> compile();
+
+private:
+  // Declaration phase.
+  void declareTypes();
+  void declareClass(const ClassDecl &C);
+  TypeId typeIdFor(const TypeFE &T);
+
+  // Body compilation.
+  void compileMethodBody(const MethodDecl &M);
+
+  // Emission helpers.
+  int emit(Opcode Op, int32_t A = 0, int32_t B = 0, int64_t Imm = 0);
+  int emitBranch(Opcode Op);
+  void patch(int BranchPc, int Target);
+  int here() const { return static_cast<int>(Code->size()); }
+  int allocTemp();
+
+  // Statements.
+  void compileStmt(const Stmt *S);
+  void compileBlock(const BlockStmt &B);
+
+  // Expressions.
+  void compileExpr(const Expr *E, bool NeedValue = true);
+  void compileName(const NameExpr &E);
+  void compileBinary(const BinaryExpr &E);
+  void compileAssign(const AssignExpr &E, bool NeedValue);
+  void compileIncDec(const IncDecExpr &E, bool NeedValue);
+  void compileCall(const CallExpr &E, bool NeedValue);
+  void compileNewObject(const NewObjectExpr &E, bool NeedValue);
+  void compileNewArray(const NewArrayExpr &E);
+  void compileDefaultValue(const TypeFE &T);
+
+  int32_t fieldIdFor(const ClassDecl *Owner, int LayoutSlot,
+                     const std::string &Name);
+  int32_t classIdFor(const ClassDecl *C) const;
+  int32_t methodIdFor(const MethodDecl *M) const;
+
+  const Program &P;
+  DiagnosticEngine &Diags;
+  std::unique_ptr<Module> Mod;
+
+  std::unordered_map<const ClassDecl *, int32_t> ClassIds;
+  std::unordered_map<const MethodDecl *, int32_t> MethodIds;
+  /// (class id, layout slot) -> global field id.
+  std::unordered_map<int64_t, int32_t> FieldIdBySlot;
+
+  // Per-method state.
+  MethodInfo *CurInfo = nullptr;
+  const MethodDecl *CurDecl = nullptr;
+  std::vector<Instr> *Code = nullptr;
+  int NextTemp = 0;
+
+  struct LoopCtx {
+    std::vector<int> BreakFixups;
+    std::vector<int> ContinueFixups;
+  };
+  std::vector<LoopCtx> LoopStack;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+TypeId Compiler::typeIdFor(const TypeFE &T) {
+  TypeId Base = -1;
+  switch (T.Kind) {
+  case TypeKindFE::Int:
+    Base = Mod->IntTypeId;
+    break;
+  case TypeKindFE::Boolean:
+    Base = Mod->BoolTypeId;
+    break;
+  case TypeKindFE::Class: {
+    const ClassDecl *C = P.findClass(T.ClassName);
+    assert(C && "sema admitted an unknown class");
+    Base = Mod->Classes[classIdFor(C)].Type;
+    break;
+  }
+  case TypeKindFE::Void:
+    return -1;
+  case TypeKindFE::Null:
+  case TypeKindFE::Error:
+    assert(false && "no runtime type for null/error");
+    return -1;
+  }
+  for (int I = 0; I < T.ArrayDims; ++I)
+    Base = Mod->internArrayType(Base);
+  return Base;
+}
+
+int32_t Compiler::classIdFor(const ClassDecl *C) const {
+  auto It = ClassIds.find(C);
+  assert(It != ClassIds.end() && "class was not declared");
+  return It->second;
+}
+
+int32_t Compiler::methodIdFor(const MethodDecl *M) const {
+  auto It = MethodIds.find(M);
+  assert(It != MethodIds.end() && "method was not declared");
+  return It->second;
+}
+
+int32_t Compiler::fieldIdFor(const ClassDecl *Owner, int LayoutSlot,
+                             const std::string &Name) {
+  (void)Name;
+  int64_t Key = (static_cast<int64_t>(classIdFor(Owner)) << 32) | LayoutSlot;
+  auto It = FieldIdBySlot.find(Key);
+  assert(It != FieldIdBySlot.end() && "field was not declared");
+  return It->second;
+}
+
+void Compiler::declareTypes() {
+  Mod->IntTypeId = 0;
+  Mod->Types.push_back({RtTypeKind::Int, -1, -1});
+  Mod->BoolTypeId = 1;
+  Mod->Types.push_back({RtTypeKind::Bool, -1, -1});
+
+  // Assign class ids in superclass-first order.
+  std::vector<const ClassDecl *> Order;
+  std::unordered_map<const ClassDecl *, bool> Visited;
+  // Recursive lambda via explicit stack-free helper.
+  struct Visitor {
+    std::vector<const ClassDecl *> &Order;
+    std::unordered_map<const ClassDecl *, bool> &Visited;
+    void visit(const ClassDecl *C) {
+      if (!C || Visited[C])
+        return;
+      Visited[C] = true;
+      visit(C->Super);
+      Order.push_back(C);
+    }
+  } V{Order, Visited};
+  for (const auto &C : P.Classes)
+    V.visit(C.get());
+
+  for (const ClassDecl *C : Order) {
+    int32_t Id = static_cast<int32_t>(Mod->Classes.size());
+    ClassIds[C] = Id;
+    ClassInfo Info;
+    Info.Id = Id;
+    Info.Name = C->Name;
+    Info.SuperId = C->Super ? classIdFor(C->Super) : -1;
+    Info.Type = static_cast<TypeId>(Mod->Types.size());
+    Mod->Types.push_back({RtTypeKind::Class, Id, -1});
+    Mod->Classes.push_back(std::move(Info));
+  }
+
+  // Fields and methods (types of members may reference any class, so this
+  // runs after all class ids exist).
+  for (const ClassDecl *C : Order)
+    declareClass(*C);
+}
+
+void Compiler::declareClass(const ClassDecl &C) {
+  int32_t Id = classIdFor(&C);
+  ClassInfo &Info = Mod->Classes[Id];
+
+  // Layout: inherited field ids first, then own fields.
+  if (C.Super)
+    Info.FieldIds = Mod->Classes[classIdFor(C.Super)].FieldIds;
+  for (const auto &F : C.Fields) {
+    FieldInfo FI;
+    FI.Id = static_cast<int32_t>(Mod->Fields.size());
+    FI.ClassId = Id;
+    FI.Name = F->Name;
+    FI.Type = typeIdFor(F->DeclaredType);
+    FI.Slot = fieldLayoutSlot(C, *F);
+    assert(FI.Slot == static_cast<int>(Info.FieldIds.size()) &&
+           "layout slots must be dense");
+    FieldIdBySlot[(static_cast<int64_t>(Id) << 32) | FI.Slot] = FI.Id;
+    Info.FieldIds.push_back(FI.Id);
+    Mod->Fields.push_back(std::move(FI));
+  }
+  // Inherited fields resolve through the declaring class's id.
+  if (C.Super) {
+    int SuperCount = classLayoutSize(*C.Super);
+    for (int Slot = 0; Slot < SuperCount; ++Slot) {
+      int32_t FieldId = Info.FieldIds[Slot];
+      FieldIdBySlot[(static_cast<int64_t>(Id) << 32) | Slot] = FieldId;
+    }
+  }
+
+  // Vtable: copy the superclass's, then override/append own methods.
+  if (C.Super)
+    Info.Vtable = Mod->Classes[classIdFor(C.Super)].Vtable;
+  for (const auto &M : C.Methods) {
+    MethodInfo MI;
+    MI.Id = static_cast<int32_t>(Mod->Methods.size());
+    MethodIds[M.get()] = MI.Id;
+    MI.ClassId = Id;
+    MI.Name = M->Name;
+    MI.IsStatic = M->IsStatic;
+    MI.IsCtor = M->IsCtor;
+    MI.NumArgs = static_cast<int32_t>(M->Params.size()) +
+                 (M->IsStatic ? 0 : 1);
+    MI.NumLocals = M->NumLocalSlots;
+    MI.ReturnType = typeIdFor(M->ReturnType);
+    MI.ReturnsValue = !M->ReturnType.isVoid() && !M->IsCtor;
+    MI.QualifiedName = C.Name + "." + (M->IsCtor ? "<init>" : M->Name);
+
+    if (M->IsCtor) {
+      Info.CtorMethodId = MI.Id;
+    } else if (!M->IsStatic) {
+      int32_t Slot = -1;
+      for (size_t I = 0; I < Info.Vtable.size(); ++I)
+        if (Mod->Methods[Info.Vtable[I]].Name == M->Name) {
+          Slot = static_cast<int32_t>(I);
+          break;
+        }
+      if (Slot < 0) {
+        Slot = static_cast<int32_t>(Info.Vtable.size());
+        Info.Vtable.push_back(MI.Id);
+      } else {
+        Info.Vtable[Slot] = MI.Id;
+      }
+      MI.VtableSlot = Slot;
+    }
+    Mod->Methods.push_back(std::move(MI));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Emission helpers
+//===----------------------------------------------------------------------===//
+
+int Compiler::emit(Opcode Op, int32_t A, int32_t B, int64_t Imm) {
+  Code->push_back({Op, A, B, Imm});
+  return static_cast<int>(Code->size()) - 1;
+}
+
+int Compiler::emitBranch(Opcode Op) {
+  assert(isBranch(Op) && "emitBranch needs a branch opcode");
+  return emit(Op, /*A=*/-1);
+}
+
+void Compiler::patch(int BranchPc, int Target) {
+  assert(isBranch((*Code)[BranchPc].Op) && "patching a non-branch");
+  (*Code)[BranchPc].A = Target;
+}
+
+int Compiler::allocTemp() { return NextTemp++; }
+
+//===----------------------------------------------------------------------===//
+// Method bodies
+//===----------------------------------------------------------------------===//
+
+void Compiler::compileMethodBody(const MethodDecl &M) {
+  MethodInfo &Info = Mod->Methods[methodIdFor(&M)];
+  CurInfo = &Info;
+  CurDecl = &M;
+  Code = &Info.Code;
+  NextTemp = M.NumLocalSlots;
+  LoopStack.clear();
+
+  compileBlock(*M.Body);
+
+  if (Info.ReturnsValue)
+    emit(Opcode::Trap); // Sema proved all paths return.
+  else
+    emit(Opcode::Ret);
+
+  Info.NumLocals = NextTemp;
+  CurInfo = nullptr;
+  CurDecl = nullptr;
+  Code = nullptr;
+}
+
+void Compiler::compileBlock(const BlockStmt &B) {
+  for (const StmtPtr &S : B.Stmts)
+    compileStmt(S.get());
+}
+
+void Compiler::compileDefaultValue(const TypeFE &T) {
+  if (T.isReference())
+    emit(Opcode::NullConst);
+  else
+    emit(Opcode::IConst, 0, 0, 0);
+}
+
+void Compiler::compileStmt(const Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    compileBlock(*static_cast<const BlockStmt *>(S));
+    return;
+  case StmtKind::VarDecl: {
+    const auto *D = static_cast<const VarDeclStmt *>(S);
+    if (D->Init)
+      compileExpr(D->Init.get());
+    else
+      compileDefaultValue(D->DeclaredType);
+    emit(Opcode::Store, D->Slot);
+    return;
+  }
+  case StmtKind::If: {
+    const auto *I = static_cast<const IfStmt *>(S);
+    compileExpr(I->Cond.get());
+    int ToElse = emitBranch(Opcode::IfFalse);
+    compileStmt(I->Then.get());
+    if (I->Else) {
+      int ToEnd = emitBranch(Opcode::Goto);
+      patch(ToElse, here());
+      compileStmt(I->Else.get());
+      patch(ToEnd, here());
+    } else {
+      patch(ToElse, here());
+    }
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = static_cast<const WhileStmt *>(S);
+    int Header = here();
+    CurInfo->Loops.push_back({W->LoopId, Header});
+    compileExpr(W->Cond.get());
+    int ToExit = emitBranch(Opcode::IfFalse);
+    LoopStack.emplace_back();
+    compileStmt(W->Body.get());
+    int BackEdge = emitBranch(Opcode::Goto);
+    patch(BackEdge, Header);
+    int Exit = here();
+    patch(ToExit, Exit);
+    for (int Fix : LoopStack.back().BreakFixups)
+      patch(Fix, Exit);
+    for (int Fix : LoopStack.back().ContinueFixups)
+      patch(Fix, Header);
+    LoopStack.pop_back();
+    return;
+  }
+  case StmtKind::For: {
+    const auto *F = static_cast<const ForStmt *>(S);
+    compileStmt(F->Init.get());
+    int Header = here();
+    CurInfo->Loops.push_back({F->LoopId, Header});
+    int ToExit = -1;
+    if (F->Cond) {
+      compileExpr(F->Cond.get());
+      ToExit = emitBranch(Opcode::IfFalse);
+    }
+    LoopStack.emplace_back();
+    compileStmt(F->Body.get());
+    int ContinuePc = here();
+    if (F->Update)
+      compileExpr(F->Update.get(), /*NeedValue=*/false);
+    int BackEdge = emitBranch(Opcode::Goto);
+    patch(BackEdge, Header);
+    int Exit = here();
+    if (ToExit >= 0)
+      patch(ToExit, Exit);
+    for (int Fix : LoopStack.back().BreakFixups)
+      patch(Fix, Exit);
+    for (int Fix : LoopStack.back().ContinueFixups)
+      patch(Fix, ContinuePc);
+    LoopStack.pop_back();
+    return;
+  }
+  case StmtKind::Return: {
+    const auto *R = static_cast<const ReturnStmt *>(S);
+    if (R->Value && !CurDecl->IsCtor) {
+      compileExpr(R->Value.get());
+      emit(Opcode::RetVal);
+    } else {
+      emit(Opcode::Ret);
+    }
+    return;
+  }
+  case StmtKind::ExprStmt:
+    compileExpr(static_cast<const ExprStmt *>(S)->E.get(),
+                /*NeedValue=*/false);
+    return;
+  case StmtKind::Break: {
+    assert(!LoopStack.empty() && "sema admitted a stray break");
+    int Fix = emitBranch(Opcode::Goto);
+    LoopStack.back().BreakFixups.push_back(Fix);
+    return;
+  }
+  case StmtKind::Continue: {
+    assert(!LoopStack.empty() && "sema admitted a stray continue");
+    int Fix = emitBranch(Opcode::Goto);
+    LoopStack.back().ContinueFixups.push_back(Fix);
+    return;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+void Compiler::compileExpr(const Expr *E, bool NeedValue) {
+  assert(E && "null expression reached the compiler");
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    emit(Opcode::IConst, 0, 0, static_cast<const IntLitExpr *>(E)->Value);
+    break;
+  case ExprKind::BoolLit:
+    emit(Opcode::IConst, 0, 0,
+         static_cast<const BoolLitExpr *>(E)->Value ? 1 : 0);
+    break;
+  case ExprKind::NullLit:
+    emit(Opcode::NullConst);
+    break;
+  case ExprKind::This:
+    emit(Opcode::Load, 0);
+    break;
+  case ExprKind::Name:
+    compileName(*static_cast<const NameExpr *>(E));
+    break;
+  case ExprKind::Binary:
+    compileBinary(*static_cast<const BinaryExpr *>(E));
+    break;
+  case ExprKind::Unary: {
+    const auto *U = static_cast<const UnaryExpr *>(E);
+    compileExpr(U->Operand.get());
+    emit(U->Op == UnaryOp::Neg ? Opcode::Neg : Opcode::Not);
+    break;
+  }
+  case ExprKind::Assign:
+    compileAssign(*static_cast<const AssignExpr *>(E), NeedValue);
+    return; // Handles NeedValue itself.
+  case ExprKind::IncDec:
+    compileIncDec(*static_cast<const IncDecExpr *>(E), NeedValue);
+    return; // Handles NeedValue itself.
+  case ExprKind::FieldAccess: {
+    const auto *F = static_cast<const FieldAccessExpr *>(E);
+    compileExpr(F->Base.get());
+    if (F->IsArrayLength)
+      emit(Opcode::ArrayLen);
+    else
+      emit(Opcode::GetField,
+           fieldIdFor(F->OwnerClass, F->FieldIndex, F->Name));
+    break;
+  }
+  case ExprKind::Index: {
+    const auto *I = static_cast<const IndexExpr *>(E);
+    compileExpr(I->Base.get());
+    compileExpr(I->Index.get());
+    emit(Opcode::ALoad);
+    break;
+  }
+  case ExprKind::Call:
+    compileCall(*static_cast<const CallExpr *>(E), NeedValue);
+    return; // Handles NeedValue itself.
+  case ExprKind::NewObject:
+    compileNewObject(*static_cast<const NewObjectExpr *>(E), NeedValue);
+    return; // Handles NeedValue itself.
+  case ExprKind::NewArray:
+    compileNewArray(*static_cast<const NewArrayExpr *>(E));
+    break;
+  }
+  if (!NeedValue)
+    emit(Opcode::Pop);
+}
+
+void Compiler::compileName(const NameExpr &E) {
+  switch (E.Resolution) {
+  case NameResolution::Local:
+    emit(Opcode::Load, E.Slot);
+    return;
+  case NameResolution::ImplicitField:
+    emit(Opcode::Load, 0);
+    emit(Opcode::GetField, fieldIdFor(E.OwnerClass, E.FieldIndex, E.Name));
+    return;
+  case NameResolution::ClassRef:
+  case NameResolution::Unresolved:
+    assert(false && "sema admitted an unresolved name as a value");
+    emit(Opcode::Trap);
+    return;
+  }
+}
+
+void Compiler::compileBinary(const BinaryExpr &E) {
+  if (E.Op == BinaryOp::LogicalAnd || E.Op == BinaryOp::LogicalOr) {
+    // Short-circuit: [l] dup; branch-out; pop; [r].
+    compileExpr(E.Lhs.get());
+    emit(Opcode::Dup);
+    int Out = emitBranch(E.Op == BinaryOp::LogicalAnd ? Opcode::IfFalse
+                                                      : Opcode::IfTrue);
+    emit(Opcode::Pop);
+    compileExpr(E.Rhs.get());
+    patch(Out, here());
+    return;
+  }
+
+  compileExpr(E.Lhs.get());
+  compileExpr(E.Rhs.get());
+  bool RefCmp = E.Lhs->Ty.isReference() || E.Rhs->Ty.isReference();
+  switch (E.Op) {
+  case BinaryOp::Add:
+    emit(Opcode::Add);
+    return;
+  case BinaryOp::Sub:
+    emit(Opcode::Sub);
+    return;
+  case BinaryOp::Mul:
+    emit(Opcode::Mul);
+    return;
+  case BinaryOp::Div:
+    emit(Opcode::Div);
+    return;
+  case BinaryOp::Rem:
+    emit(Opcode::Rem);
+    return;
+  case BinaryOp::Lt:
+    emit(Opcode::CmpLt);
+    return;
+  case BinaryOp::Le:
+    emit(Opcode::CmpLe);
+    return;
+  case BinaryOp::Gt:
+    emit(Opcode::CmpGt);
+    return;
+  case BinaryOp::Ge:
+    emit(Opcode::CmpGe);
+    return;
+  case BinaryOp::Eq:
+    emit(RefCmp ? Opcode::RefEq : Opcode::CmpEq);
+    return;
+  case BinaryOp::Ne:
+    emit(RefCmp ? Opcode::RefNe : Opcode::CmpNe);
+    return;
+  case BinaryOp::LogicalAnd:
+  case BinaryOp::LogicalOr:
+    break; // Handled above.
+  }
+}
+
+void Compiler::compileAssign(const AssignExpr &E, bool NeedValue) {
+  const Expr *Target = E.Target.get();
+  switch (Target->kind()) {
+  case ExprKind::Name: {
+    const auto *N = static_cast<const NameExpr *>(Target);
+    if (N->Resolution == NameResolution::Local) {
+      compileExpr(E.Value.get());
+      if (NeedValue)
+        emit(Opcode::Dup);
+      emit(Opcode::Store, N->Slot);
+      return;
+    }
+    assert(N->Resolution == NameResolution::ImplicitField &&
+           "assignment to a non-lvalue name");
+    emit(Opcode::Load, 0);
+    compileExpr(E.Value.get());
+    if (NeedValue) {
+      int Tmp = allocTemp();
+      emit(Opcode::Store, Tmp);
+      emit(Opcode::Load, Tmp);
+      emit(Opcode::PutField, fieldIdFor(N->OwnerClass, N->FieldIndex,
+                                        N->Name));
+      emit(Opcode::Load, Tmp);
+    } else {
+      emit(Opcode::PutField, fieldIdFor(N->OwnerClass, N->FieldIndex,
+                                        N->Name));
+    }
+    return;
+  }
+  case ExprKind::FieldAccess: {
+    const auto *F = static_cast<const FieldAccessExpr *>(Target);
+    assert(!F->IsArrayLength && "cannot assign to array length");
+    compileExpr(F->Base.get());
+    compileExpr(E.Value.get());
+    int32_t FieldId = fieldIdFor(F->OwnerClass, F->FieldIndex, F->Name);
+    if (NeedValue) {
+      int Tmp = allocTemp();
+      emit(Opcode::Store, Tmp);
+      emit(Opcode::Load, Tmp);
+      emit(Opcode::PutField, FieldId);
+      emit(Opcode::Load, Tmp);
+    } else {
+      emit(Opcode::PutField, FieldId);
+    }
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *I = static_cast<const IndexExpr *>(Target);
+    compileExpr(I->Base.get());
+    compileExpr(I->Index.get());
+    compileExpr(E.Value.get());
+    if (NeedValue) {
+      int Tmp = allocTemp();
+      emit(Opcode::Store, Tmp);
+      emit(Opcode::Load, Tmp);
+      emit(Opcode::AStore);
+      emit(Opcode::Load, Tmp);
+    } else {
+      emit(Opcode::AStore);
+    }
+    return;
+  }
+  default:
+    assert(false && "sema admitted a non-lvalue assignment target");
+    emit(Opcode::Trap);
+    return;
+  }
+}
+
+void Compiler::compileIncDec(const IncDecExpr &E, bool NeedValue) {
+  Opcode Delta = E.IsIncrement ? Opcode::Add : Opcode::Sub;
+  const Expr *Target = E.Target.get();
+
+  if (Target->kind() == ExprKind::Name) {
+    const auto *N = static_cast<const NameExpr *>(Target);
+    if (N->Resolution == NameResolution::Local) {
+      if (NeedValue && !E.IsPrefix)
+        emit(Opcode::Load, N->Slot); // Old value as the result.
+      emit(Opcode::Load, N->Slot);
+      emit(Opcode::IConst, 0, 0, 1);
+      emit(Delta);
+      if (NeedValue && E.IsPrefix)
+        emit(Opcode::Dup);
+      emit(Opcode::Store, N->Slot);
+      return;
+    }
+    assert(N->Resolution == NameResolution::ImplicitField);
+    // Rewrite as this.f inc/dec via temps.
+    int TmpOld = allocTemp();
+    int32_t FieldId = fieldIdFor(N->OwnerClass, N->FieldIndex, N->Name);
+    emit(Opcode::Load, 0);
+    emit(Opcode::GetField, FieldId);
+    emit(Opcode::Store, TmpOld);
+    emit(Opcode::Load, 0);
+    emit(Opcode::Load, TmpOld);
+    emit(Opcode::IConst, 0, 0, 1);
+    emit(Delta);
+    emit(Opcode::PutField, FieldId);
+    if (NeedValue) {
+      emit(Opcode::Load, TmpOld);
+      if (E.IsPrefix) {
+        emit(Opcode::IConst, 0, 0, 1);
+        emit(Delta);
+      }
+    }
+    return;
+  }
+
+  if (Target->kind() == ExprKind::FieldAccess) {
+    const auto *F = static_cast<const FieldAccessExpr *>(Target);
+    int TmpBase = allocTemp();
+    int TmpOld = allocTemp();
+    int32_t FieldId = fieldIdFor(F->OwnerClass, F->FieldIndex, F->Name);
+    compileExpr(F->Base.get());
+    emit(Opcode::Store, TmpBase);
+    emit(Opcode::Load, TmpBase);
+    emit(Opcode::GetField, FieldId);
+    emit(Opcode::Store, TmpOld);
+    emit(Opcode::Load, TmpBase);
+    emit(Opcode::Load, TmpOld);
+    emit(Opcode::IConst, 0, 0, 1);
+    emit(Delta);
+    emit(Opcode::PutField, FieldId);
+    if (NeedValue) {
+      emit(Opcode::Load, TmpOld);
+      if (E.IsPrefix) {
+        emit(Opcode::IConst, 0, 0, 1);
+        emit(Delta);
+      }
+    }
+    return;
+  }
+
+  assert(Target->kind() == ExprKind::Index && "bad inc/dec target");
+  const auto *I = static_cast<const IndexExpr *>(Target);
+  int TmpBase = allocTemp();
+  int TmpIdx = allocTemp();
+  int TmpOld = allocTemp();
+  compileExpr(I->Base.get());
+  emit(Opcode::Store, TmpBase);
+  compileExpr(I->Index.get());
+  emit(Opcode::Store, TmpIdx);
+  emit(Opcode::Load, TmpBase);
+  emit(Opcode::Load, TmpIdx);
+  emit(Opcode::ALoad);
+  emit(Opcode::Store, TmpOld);
+  emit(Opcode::Load, TmpBase);
+  emit(Opcode::Load, TmpIdx);
+  emit(Opcode::Load, TmpOld);
+  emit(Opcode::IConst, 0, 0, 1);
+  emit(Delta);
+  emit(Opcode::AStore);
+  if (NeedValue) {
+    emit(Opcode::Load, TmpOld);
+    if (E.IsPrefix) {
+      emit(Opcode::IConst, 0, 0, 1);
+      emit(Delta);
+    }
+  }
+}
+
+void Compiler::compileCall(const CallExpr &E, bool NeedValue) {
+  switch (E.Resolution) {
+  case CallResolution::Builtin:
+    switch (E.Builtin) {
+    case BuiltinFn::Print:
+      compileExpr(E.Args[0].get());
+      emit(Opcode::Print);
+      return;
+    case BuiltinFn::ReadInt:
+      emit(Opcode::ReadInt);
+      if (!NeedValue)
+        emit(Opcode::Pop);
+      return;
+    case BuiltinFn::HasInput:
+      emit(Opcode::HasInput);
+      if (!NeedValue)
+        emit(Opcode::Pop);
+      return;
+    case BuiltinFn::None:
+      break;
+    }
+    assert(false && "builtin call without a builtin kind");
+    return;
+  case CallResolution::Static: {
+    for (const ExprPtr &A : E.Args)
+      compileExpr(A.get());
+    emit(Opcode::InvokeStatic, methodIdFor(E.Callee));
+    if (Mod->Methods[methodIdFor(E.Callee)].ReturnsValue && !NeedValue)
+      emit(Opcode::Pop);
+    return;
+  }
+  case CallResolution::Virtual: {
+    if (E.ImplicitThis)
+      emit(Opcode::Load, 0);
+    else
+      compileExpr(E.Receiver.get());
+    for (const ExprPtr &A : E.Args)
+      compileExpr(A.get());
+    const MethodInfo &Callee = Mod->Methods[methodIdFor(E.Callee)];
+    assert(Callee.VtableSlot >= 0 && "virtual call to a slotless method");
+    // A = vtable slot for dispatch, B = statically resolved method id
+    // (arity and diagnostics).
+    emit(Opcode::InvokeVirtual, Callee.VtableSlot, Callee.Id);
+    if (Callee.ReturnsValue && !NeedValue)
+      emit(Opcode::Pop);
+    return;
+  }
+  case CallResolution::Unresolved:
+    assert(false && "sema admitted an unresolved call");
+    emit(Opcode::Trap);
+    return;
+  }
+}
+
+void Compiler::compileNewObject(const NewObjectExpr &E, bool NeedValue) {
+  int32_t ClassId = classIdFor(E.Class);
+  emit(Opcode::NewObject, ClassId);
+  if (E.Ctor) {
+    emit(Opcode::Dup);
+    for (const ExprPtr &A : E.Args)
+      compileExpr(A.get());
+    emit(Opcode::InvokeCtor, methodIdFor(E.Ctor));
+  }
+  if (!NeedValue)
+    emit(Opcode::Pop);
+}
+
+void Compiler::compileNewArray(const NewArrayExpr &E) {
+  // Element type including the trailing unsized dimensions.
+  TypeFE ElemWithExtras = E.ElemType;
+  ElemWithExtras.ArrayDims += E.ExtraDims;
+
+  if (E.Dims.size() == 1) {
+    compileExpr(E.Dims[0].get());
+    TypeId ArrTy = Mod->internArrayType(typeIdFor(ElemWithExtras));
+    emit(Opcode::NewArray, ArrTy);
+    return;
+  }
+  if (E.Dims.size() == 2) {
+    compileExpr(E.Dims[0].get());
+    compileExpr(E.Dims[1].get());
+    TypeId Inner = Mod->internArrayType(typeIdFor(ElemWithExtras));
+    TypeId Outer = Mod->internArrayType(Inner);
+    emit(Opcode::NewMulti, Outer);
+    return;
+  }
+  Diags.error(E.loc(), "arrays with more than two sized dimensions are not "
+                       "supported; allocate the inner arrays in a loop");
+  emit(Opcode::Trap);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Module> Compiler::compile() {
+  Mod = std::make_unique<Module>();
+  declareTypes();
+  for (const auto &C : P.Classes)
+    for (const auto &M : C->Methods)
+      if (M->Body)
+        compileMethodBody(*M);
+  if (Diags.hasErrors())
+    return nullptr;
+  return std::move(Mod);
+}
+
+std::unique_ptr<Module> algoprof::compileProgram(const Program &P,
+                                                 DiagnosticEngine &Diags) {
+  Compiler C(P, Diags);
+  return C.compile();
+}

@@ -1,0 +1,30 @@
+//===- bytecode/Compiler.h - AST to bytecode compiler -----------*- C++-*-===//
+///
+/// \file
+/// Compiles a sema-checked MiniJ Program into a bc::Module. Loops lower
+/// to plain branches; the compiler records only (ast-loop-id, header-pc)
+/// pairs so later analyses can cross-reference recovered natural loops
+/// with source loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_BYTECODE_COMPILER_H
+#define ALGOPROF_BYTECODE_COMPILER_H
+
+#include "bytecode/Module.h"
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace algoprof {
+
+/// Compiles \p P (which must have passed runSema) into a Module.
+/// \returns null and reports diagnostics when an unsupported construct is
+/// encountered (e.g. arrays with three or more sized 'new' dimensions).
+std::unique_ptr<bc::Module> compileProgram(const Program &P,
+                                           DiagnosticEngine &Diags);
+
+} // namespace algoprof
+
+#endif // ALGOPROF_BYTECODE_COMPILER_H

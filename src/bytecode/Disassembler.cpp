@@ -1,0 +1,62 @@
+//===- bytecode/Disassembler.cpp ------------------------------------------===//
+
+#include "bytecode/Disassembler.h"
+
+using namespace algoprof;
+using namespace algoprof::bc;
+
+std::string bc::disassemble(const Module &M, const MethodInfo &Method) {
+  std::string Out;
+  Out += Method.QualifiedName + " (args=" + std::to_string(Method.NumArgs) +
+         ", locals=" + std::to_string(Method.NumLocals) + ")\n";
+  for (size_t Pc = 0; Pc < Method.Code.size(); ++Pc) {
+    const Instr &I = Method.Code[Pc];
+    Out += "  " + std::to_string(Pc) + ": " + opcodeName(I.Op);
+    switch (I.Op) {
+    case Opcode::IConst:
+      Out += " " + std::to_string(I.Imm);
+      break;
+    case Opcode::Load:
+    case Opcode::Store:
+      Out += " $" + std::to_string(I.A);
+      break;
+    case Opcode::Goto:
+    case Opcode::IfTrue:
+    case Opcode::IfFalse:
+      Out += " @" + std::to_string(I.A);
+      break;
+    case Opcode::GetField:
+    case Opcode::PutField:
+      Out += " " + M.Classes[M.Fields[I.A].ClassId].Name + "." +
+             M.Fields[I.A].Name;
+      break;
+    case Opcode::NewObject:
+      Out += " " + M.Classes[I.A].Name;
+      break;
+    case Opcode::NewArray:
+    case Opcode::NewMulti:
+      Out += " " + M.typeName(I.A);
+      break;
+    case Opcode::InvokeStatic:
+    case Opcode::InvokeCtor:
+      Out += " " + M.Methods[I.A].QualifiedName;
+      break;
+    case Opcode::InvokeVirtual:
+      Out += " slot " + std::to_string(I.A);
+      break;
+    default:
+      break;
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string bc::disassemble(const Module &M) {
+  std::string Out;
+  for (const MethodInfo &Method : M.Methods) {
+    Out += disassemble(M, Method);
+    Out += '\n';
+  }
+  return Out;
+}

@@ -1,0 +1,28 @@
+//===- bytecode/Disassembler.h - Bytecode text dump -------------*- C++-*-===//
+///
+/// \file
+/// Renders compiled methods as text for tests and debugging.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_BYTECODE_DISASSEMBLER_H
+#define ALGOPROF_BYTECODE_DISASSEMBLER_H
+
+#include "bytecode/Module.h"
+
+#include <string>
+
+namespace algoprof {
+namespace bc {
+
+/// Disassembles one method, one "pc: mnemonic operands" line per
+/// instruction, with symbolic names for fields, classes, and methods.
+std::string disassemble(const Module &M, const MethodInfo &Method);
+
+/// Disassembles every method in the module.
+std::string disassemble(const Module &M);
+
+} // namespace bc
+} // namespace algoprof
+
+#endif // ALGOPROF_BYTECODE_DISASSEMBLER_H

@@ -1,0 +1,63 @@
+//===- bytecode/Module.cpp ------------------------------------------------===//
+
+#include "bytecode/Module.h"
+
+#include <cassert>
+
+using namespace algoprof;
+using namespace algoprof::bc;
+
+int32_t Module::findClassId(const std::string &Name) const {
+  for (const ClassInfo &C : Classes)
+    if (C.Name == Name)
+      return C.Id;
+  return -1;
+}
+
+int32_t Module::findMethodId(const std::string &ClassName,
+                             const std::string &MethodName) const {
+  int32_t ClassId = findClassId(ClassName);
+  while (ClassId >= 0) {
+    for (const MethodInfo &M : Methods)
+      if (M.ClassId == ClassId && M.Name == MethodName && !M.IsCtor)
+        return M.Id;
+    ClassId = Classes[ClassId].SuperId;
+  }
+  return -1;
+}
+
+TypeId Module::internArrayType(TypeId Elem) {
+  auto It = ArrayTypeCache.find(Elem);
+  if (It != ArrayTypeCache.end())
+    return It->second;
+  RuntimeType T;
+  T.Kind = RtTypeKind::Array;
+  T.Elem = Elem;
+  TypeId Id = static_cast<TypeId>(Types.size());
+  Types.push_back(T);
+  ArrayTypeCache.emplace(Elem, Id);
+  return Id;
+}
+
+bool Module::isSubclass(int32_t Sub, int32_t Super) const {
+  for (int32_t C = Sub; C >= 0; C = Classes[C].SuperId)
+    if (C == Super)
+      return true;
+  return false;
+}
+
+std::string Module::typeName(TypeId T) const {
+  assert(T >= 0 && T < static_cast<TypeId>(Types.size()) && "bad type id");
+  const RuntimeType &RT = Types[T];
+  switch (RT.Kind) {
+  case RtTypeKind::Int:
+    return "int";
+  case RtTypeKind::Bool:
+    return "boolean";
+  case RtTypeKind::Class:
+    return Classes[RT.ClassId].Name;
+  case RtTypeKind::Array:
+    return typeName(RT.Elem) + "[]";
+  }
+  return "<bad-type>";
+}

@@ -1,0 +1,122 @@
+//===- bytecode/Module.h - Compiled program representation ------*- C++-*-===//
+///
+/// \file
+/// The compiled form of a MiniJ program: runtime types, class layouts and
+/// vtables, a global field table, and per-method bytecode with loop
+/// source metadata. A Module is immutable after compilation; analyses and
+/// the VM share one instance by const reference.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_BYTECODE_MODULE_H
+#define ALGOPROF_BYTECODE_MODULE_H
+
+#include "bytecode/Bytecode.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace algoprof {
+namespace bc {
+
+/// Index into Module::Types.
+using TypeId = int32_t;
+
+/// Kind of a runtime type.
+enum class RtTypeKind { Int, Bool, Class, Array };
+
+/// A runtime type descriptor.
+struct RuntimeType {
+  RtTypeKind Kind = RtTypeKind::Int;
+  int32_t ClassId = -1; ///< For Class types.
+  TypeId Elem = -1;     ///< For Array types.
+};
+
+/// A field in the global field table. Inherited fields keep the id of
+/// their declaring class, so the field id is stable across subclasses.
+struct FieldInfo {
+  int32_t Id = -1;
+  int32_t ClassId = -1; ///< Declaring class.
+  std::string Name;
+  TypeId Type = -1;
+  int32_t Slot = -1; ///< Index into the object's field storage.
+};
+
+/// Source metadata for one loop of a method: ties the AST loop id used by
+/// the index-dataflow analysis to the bytecode header pc used by the
+/// natural-loop analysis.
+struct LoopMeta {
+  int32_t AstLoopId = -1;
+  int32_t HeaderPc = -1;
+};
+
+/// A compiled method.
+struct MethodInfo {
+  int32_t Id = -1;
+  int32_t ClassId = -1;
+  std::string Name;
+  bool IsStatic = false;
+  bool IsCtor = false;
+  int32_t NumArgs = 0;   ///< Including the receiver for instance methods.
+  int32_t NumLocals = 0; ///< Total local slots (args are a prefix).
+  TypeId ReturnType = -1;
+  bool ReturnsValue = false;
+  int32_t VtableSlot = -1; ///< -1 for statics and ctors.
+  std::vector<Instr> Code;
+  std::vector<LoopMeta> Loops;
+
+  /// "Class.name" for messages and reports.
+  std::string QualifiedName;
+};
+
+/// A compiled class.
+struct ClassInfo {
+  int32_t Id = -1;
+  std::string Name;
+  int32_t SuperId = -1;
+  TypeId Type = -1;
+  /// Field ids in layout order; inherited fields form the prefix.
+  std::vector<int32_t> FieldIds;
+  /// Method ids by vtable slot.
+  std::vector<int32_t> Vtable;
+  int32_t CtorMethodId = -1;
+};
+
+/// A compiled MiniJ program.
+class Module {
+public:
+  std::vector<RuntimeType> Types;
+  std::vector<ClassInfo> Classes;
+  std::vector<FieldInfo> Fields;
+  std::vector<MethodInfo> Methods;
+
+  TypeId IntTypeId = -1;
+  TypeId BoolTypeId = -1;
+
+  /// Returns the class id for \p Name, or -1.
+  int32_t findClassId(const std::string &Name) const;
+
+  /// Returns the method id of "ClassName.MethodName", or -1. Searches
+  /// superclasses like a virtual lookup (statics included).
+  int32_t findMethodId(const std::string &ClassName,
+                       const std::string &MethodName) const;
+
+  /// Interns (or finds) the array type with element type \p Elem. Used by
+  /// the compiler only; the Module is immutable afterwards.
+  TypeId internArrayType(TypeId Elem);
+
+  /// True when \p Sub is \p Super or inherits from it.
+  bool isSubclass(int32_t Sub, int32_t Super) const;
+
+  /// Human-readable name of a type ("int[]", "Node").
+  std::string typeName(TypeId T) const;
+
+private:
+  std::unordered_map<TypeId, TypeId> ArrayTypeCache;
+};
+
+} // namespace bc
+} // namespace algoprof
+
+#endif // ALGOPROF_BYTECODE_MODULE_H

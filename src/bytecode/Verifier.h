@@ -1,0 +1,35 @@
+//===- bytecode/Verifier.h - Bytecode well-formedness checks ----*- C++-*-===//
+///
+/// \file
+/// Structural verification of compiled modules, in the spirit of the
+/// JVM verifier: branch targets in range, operand ids valid, terminator
+/// discipline, and a dataflow check that the operand-stack depth is
+/// consistent along all paths and never underflows. The compiler's
+/// output is verified in tests; hand-assembled modules (tools, tests)
+/// should be verified before execution since the interpreter assumes
+/// well-formed code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_BYTECODE_VERIFIER_H
+#define ALGOPROF_BYTECODE_VERIFIER_H
+
+#include "bytecode/Module.h"
+
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace bc {
+
+/// Verifies one method; returns human-readable problems (empty = ok).
+std::vector<std::string> verifyMethod(const Module &M,
+                                      const MethodInfo &Method);
+
+/// Verifies every method of \p M.
+std::vector<std::string> verifyModule(const Module &M);
+
+} // namespace bc
+} // namespace algoprof
+
+#endif // ALGOPROF_BYTECODE_VERIFIER_H

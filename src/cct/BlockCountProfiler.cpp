@@ -1,0 +1,47 @@
+//===- cct/BlockCountProfiler.cpp -----------------------------------------===//
+
+#include "cct/BlockCountProfiler.h"
+
+using namespace algoprof;
+using namespace algoprof::cct;
+
+BlockCountProfiler::BlockCountProfiler(const vm::PreparedProgram &P)
+    : P(P) {
+  PerMethod.assign(P.M->Methods.size(), 0);
+  PerBlock.resize(P.M->Methods.size());
+  for (size_t M = 0; M < P.Methods.size(); ++M)
+    PerBlock[M].assign(
+        static_cast<size_t>(P.Methods[M].Graph.numBlocks()), 0);
+}
+
+BlockCountProfiler::~BlockCountProfiler() = default;
+
+int64_t BlockCountProfiler::totalBlocks() const {
+  int64_t Sum = 0;
+  for (int64_t N : PerMethod)
+    Sum += N;
+  return Sum;
+}
+
+void BlockCountProfiler::reset() {
+  for (int64_t &N : PerMethod)
+    N = 0;
+  for (auto &Blocks : PerBlock)
+    for (int64_t &N : Blocks)
+      N = 0;
+}
+
+void BlockCountProfiler::onMethodEnter(int32_t MethodId) {
+  (void)MethodId; // Block entries are recognized from pcs alone.
+}
+
+void BlockCountProfiler::onInstruction(int32_t MethodId, int32_t Pc) {
+  const analysis::Cfg &G =
+      P.Methods[static_cast<size_t>(MethodId)].Graph;
+  int Block = G.blockAt(Pc);
+  // A block executes when its leader instruction executes.
+  if (G.Blocks[static_cast<size_t>(Block)].Begin != Pc)
+    return;
+  ++PerMethod[static_cast<size_t>(MethodId)];
+  ++PerBlock[static_cast<size_t>(MethodId)][static_cast<size_t>(Block)];
+}

@@ -1,0 +1,64 @@
+//===- cct/BlockCountProfiler.h - Basic-block count profiler ----*- C++-*-===//
+///
+/// \file
+/// The related-work baseline of Goldsmith, Aiken & Wilkerson (FSE'07,
+/// "Measuring empirical computational complexity", the paper's [4]):
+/// cost measured as *basic-block execution counts*. Their approach fits
+/// cost functions too, but every other step — locating the algorithm,
+/// choosing its input, measuring the input's size — is manual. This
+/// profiler supplies the automatic half they had (block counts per
+/// method) so the bench can contrast the two systems: identical fitted
+/// shapes once a human supplies input sizes, zero input/size/grouping
+/// automation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CCT_BLOCKCOUNTPROFILER_H
+#define ALGOPROF_CCT_BLOCKCOUNTPROFILER_H
+
+#include "vm/Interpreter.h"
+
+#include <vector>
+
+namespace algoprof {
+namespace cct {
+
+/// Counts basic-block executions per method. Requires instruction
+/// events (wantsInstructionEvents) and the prepared program's CFGs.
+class BlockCountProfiler : public vm::ExecutionListener {
+public:
+  explicit BlockCountProfiler(const vm::PreparedProgram &P);
+  ~BlockCountProfiler() override;
+
+  /// Blocks executed in \p MethodId (all contexts).
+  int64_t blockCount(int32_t MethodId) const {
+    return PerMethod[static_cast<size_t>(MethodId)];
+  }
+
+  /// Total blocks executed.
+  int64_t totalBlocks() const;
+
+  /// Per-block execution counts of one method, indexed by block id.
+  const std::vector<int64_t> &blockCounts(int32_t MethodId) const {
+    return PerBlock[static_cast<size_t>(MethodId)];
+  }
+
+  /// Resets all counters (e.g. between runs of a sweep so each run
+  /// yields one data point, mirroring Goldsmith's per-run measurement).
+  void reset();
+
+  // ExecutionListener implementation.
+  void onInstruction(int32_t MethodId, int32_t Pc) override;
+  void onMethodEnter(int32_t MethodId) override;
+  bool wantsInstructionEvents() const override { return true; }
+
+private:
+  const vm::PreparedProgram &P;
+  std::vector<int64_t> PerMethod;
+  std::vector<std::vector<int64_t>> PerBlock;
+};
+
+} // namespace cct
+} // namespace algoprof
+
+#endif // ALGOPROF_CCT_BLOCKCOUNTPROFILER_H

@@ -1,0 +1,95 @@
+//===- cct/CctProfiler.cpp ------------------------------------------------===//
+
+#include "cct/CctProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+using namespace algoprof;
+using namespace algoprof::cct;
+
+int64_t CctNode::inclusiveCost() const {
+  int64_t Sum = ExclusiveCost;
+  for (const auto &C : Children)
+    Sum += C->inclusiveCost();
+  return Sum;
+}
+
+CctNode *CctNode::findChild(int32_t Method) {
+  for (const auto &C : Children)
+    if (C->MethodId == Method)
+      return C.get();
+  return nullptr;
+}
+
+CctProfiler::CctProfiler(const bc::Module &M)
+    : M(M), Root(std::make_unique<CctNode>()) {
+  Current = Root.get();
+}
+
+CctProfiler::~CctProfiler() = default;
+
+void CctProfiler::onProgramStart(const vm::ExecContext &Ctx) {
+  (void)Ctx;
+  Current = Root.get();
+}
+
+void CctProfiler::onMethodEnter(int32_t MethodId) {
+  CctNode *Child = Current->findChild(MethodId);
+  if (!Child) {
+    auto Node = std::make_unique<CctNode>();
+    Node->MethodId = MethodId;
+    Node->Parent = Current;
+    Current->Children.push_back(std::move(Node));
+    Child = Current->Children.back().get();
+  }
+  ++Child->Calls;
+  Current = Child;
+}
+
+void CctProfiler::onMethodExit(int32_t MethodId) {
+  assert(Current->MethodId == MethodId && "unbalanced CCT enter/exit");
+  (void)MethodId;
+  assert(Current->Parent && "exiting past the CCT root");
+  Current = Current->Parent;
+}
+
+void CctProfiler::onInstruction(int32_t MethodId, int32_t Pc) {
+  (void)MethodId;
+  (void)Pc;
+  ++Current->ExclusiveCost;
+}
+
+std::vector<CctProfiler::FlatRow> CctProfiler::flatProfile() const {
+  std::map<int32_t, FlatRow> ByMethod;
+
+  struct Walker {
+    std::map<int32_t, FlatRow> &ByMethod;
+    void walk(const CctNode &N) {
+      if (N.MethodId >= 0) {
+        FlatRow &Row = ByMethod[N.MethodId];
+        Row.MethodId = N.MethodId;
+        Row.Calls += N.Calls;
+        Row.Exclusive += N.ExclusiveCost;
+        Row.Inclusive += N.inclusiveCost();
+      }
+      for (const auto &C : N.Children)
+        walk(*C);
+    }
+  } W{ByMethod};
+  W.walk(*Root);
+
+  std::vector<FlatRow> Rows;
+  for (const auto &[Id, Row] : ByMethod) {
+    (void)Id;
+    Rows.push_back(Row);
+  }
+  std::sort(Rows.begin(), Rows.end(),
+            [](const FlatRow &A, const FlatRow &B) {
+              if (A.Exclusive != B.Exclusive)
+                return A.Exclusive > B.Exclusive;
+              return A.MethodId < B.MethodId;
+            });
+  return Rows;
+}

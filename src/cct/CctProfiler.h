@@ -1,0 +1,73 @@
+//===- cct/CctProfiler.h - Traditional CCT hotness profiler -----*- C++-*-===//
+///
+/// \file
+/// The baseline the paper contrasts against (Fig. 2): a calling-context
+///-tree profiler attributing call counts and inclusive/exclusive cost to
+/// method contexts. Cost is deterministic executed-bytecode-instruction
+/// counts instead of the wall-clock time the paper's hprof profile
+/// shows; the structural conclusions (most-called, hottest-exclusive)
+/// are the same.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CCT_CCTPROFILER_H
+#define ALGOPROF_CCT_CCTPROFILER_H
+
+#include "vm/Interpreter.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace cct {
+
+/// One calling context.
+struct CctNode {
+  int32_t MethodId = -1; ///< -1 for the synthetic root.
+  CctNode *Parent = nullptr;
+  std::vector<std::unique_ptr<CctNode>> Children;
+  int64_t Calls = 0;
+  int64_t ExclusiveCost = 0; ///< Instructions executed in this context.
+
+  int64_t inclusiveCost() const;
+  CctNode *findChild(int32_t Method);
+};
+
+/// Builds a CCT over profiled runs. Requires an all-methods
+/// InstrumentationPlan (vm::InstrumentationPlan::all).
+class CctProfiler : public vm::ExecutionListener {
+public:
+  explicit CctProfiler(const bc::Module &M);
+  ~CctProfiler() override;
+
+  const CctNode &root() const { return *Root; }
+  const bc::Module &module() const { return M; }
+
+  /// Methods sorted by descending total exclusive cost, as
+  /// (methodId, calls, exclusive, inclusive) rows.
+  struct FlatRow {
+    int32_t MethodId;
+    int64_t Calls;
+    int64_t Exclusive;
+    int64_t Inclusive;
+  };
+  std::vector<FlatRow> flatProfile() const;
+
+  // ExecutionListener implementation.
+  void onProgramStart(const vm::ExecContext &Ctx) override;
+  void onMethodEnter(int32_t MethodId) override;
+  void onMethodExit(int32_t MethodId) override;
+  void onInstruction(int32_t MethodId, int32_t Pc) override;
+  bool wantsInstructionEvents() const override { return true; }
+
+private:
+  const bc::Module &M;
+  std::unique_ptr<CctNode> Root;
+  CctNode *Current = nullptr;
+};
+
+} // namespace cct
+} // namespace algoprof
+
+#endif // ALGOPROF_CCT_CCTPROFILER_H

@@ -1,0 +1,349 @@
+//===- core/AlgoProfiler.cpp ----------------------------------------------===//
+
+#include "core/AlgoProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::vm;
+
+const char *algoprof::prof::snapshotModeName(SnapshotMode Mode) {
+  return Mode == SnapshotMode::Eager ? "Eager" : "Tracked";
+}
+
+AlgoProfiler::AlgoProfiler(const PreparedProgram &P, ProfileOptions Opts)
+    : P(P), Opts(Opts), Inputs(*P.M, P.RecTypes, Opts.Equivalence) {}
+
+AlgoProfiler::~AlgoProfiler() = default;
+
+//===----------------------------------------------------------------------===//
+// Activation management
+//===----------------------------------------------------------------------===//
+
+AlgoProfiler::Activation &AlgoProfiler::top() {
+  assert(!Stack.empty() && "no active repetition (program not started?)");
+  return *Stack.back().A;
+}
+
+AlgoProfiler::Activation &
+AlgoProfiler::pushOwnedActivation(RepetitionNode &Node) {
+  auto A = std::make_unique<Activation>();
+  A->Node = &Node;
+
+  // Invocation sampling (paper Sec. 3.3): past the dense prefix, the
+  // recording stride doubles for every further SampleThreshold records.
+  // The program root is never sampled out: it anchors the fold-up chain.
+  int64_t Total = Node.TotalInvocations++;
+  bool Record = true;
+  if (Opts.SampleThreshold > 0 && Node.Key.Kind != RepKind::Root) {
+    int64_t Recorded = static_cast<int64_t>(Node.History.size());
+    if (Recorded >= Opts.SampleThreshold) {
+      int64_t Shift =
+          std::min<int64_t>(62, Recorded / Opts.SampleThreshold);
+      int64_t Stride = static_cast<int64_t>(1) << Shift;
+      Record = Total % Stride == 0;
+    }
+  }
+
+  if (Record) {
+    // Pre-assign the history slot; nested same-node activations finalize
+    // in LIFO order, so the slot must be reserved at start.
+    A->InvocationIndex = static_cast<int32_t>(Node.History.size());
+    Node.History.emplace_back();
+    if (!Stack.empty()) {
+      Activation &Parent = top();
+      InvocationRecord &R =
+          Node.History[static_cast<size_t>(A->InvocationIndex)];
+      R.ParentNode = Parent.Node;
+      R.ParentInvocation = Parent.InvocationIndex;
+    }
+  } else {
+    A->InvocationIndex = -1;
+  }
+  Activation &Ref = *A;
+  OwnerPool.push_back(std::move(A));
+  Stack.push_back({&Ref, /*Owner=*/true});
+  return Ref;
+}
+
+void AlgoProfiler::finalizeTop() {
+  assert(!Stack.empty() && Stack.back().Owner &&
+         "finalize requires the owning stack entry on top");
+  Activation &A = *Stack.back().A;
+  if (A.InvocationIndex < 0) {
+    // Sampled-out invocation: fold its costs (own + inherited) and its
+    // input observations into the parent activation so combined costs
+    // of recorded ancestors stay exact; only the per-invocation data
+    // point is lost.
+    assert(Stack.size() >= 2 && "sampled activation without a parent");
+    Activation &Parent = *Stack[Stack.size() - 2].A;
+    Parent.FoldedCosts.merge(A.Costs);
+    Parent.FoldedCosts.merge(A.FoldedCosts);
+    for (auto &[Input, Live] : A.Inputs) {
+      auto It = Parent.Inputs.find(Input);
+      if (It == Parent.Inputs.end()) {
+        LiveUse Folded;
+        Folded.LastRef = vm::NullObj; // Remeasure via tracked counts.
+        Folded.Use = Live.Use;
+        Parent.Inputs.emplace(Input, std::move(Folded));
+      } else {
+        It->second.Use.mergeMax(Live.Use);
+      }
+    }
+    Stack.pop_back();
+    assert(!OwnerPool.empty() && OwnerPool.back().get() == &A &&
+           "owner pool out of sync with the shadow stack");
+    OwnerPool.pop_back();
+    return;
+  }
+  InvocationRecord &R =
+      A.Node->History[static_cast<size_t>(A.InvocationIndex)];
+
+  // remeasureInputs (paper Sec. 3.4): second snapshot from the last
+  // accessed reference of every touched input. Stream pseudo-inputs are
+  // sized at each read/write, not by traversal.
+  for (auto &[Input, Live] : A.Inputs) {
+    if (Inputs.info(Input).IsStream)
+      continue;
+    SizeMeasures Sizes = measureInput(Input, Live.LastRef);
+    Live.Use.observe(Sizes.primary(Inputs.info(Input).IsArray,
+                                   Opts.ArrayMeasure),
+                     Sizes.Capacity, Sizes.UniqueElems, Sizes.RefCount);
+  }
+
+  // Collapse inputs that were merged during the invocation.
+  R.Costs = std::move(A.Costs);
+  R.Costs.canonicalizeInputs(
+      [this](int32_t Id) { return Inputs.canonical(Id); });
+  R.FoldedCosts = std::move(A.FoldedCosts);
+  R.FoldedCosts.canonicalizeInputs(
+      [this](int32_t Id) { return Inputs.canonical(Id); });
+  for (auto &[Input, Live] : A.Inputs) {
+    int32_t Canon = Inputs.canonical(Input);
+    auto It = R.Inputs.find(Canon);
+    if (It == R.Inputs.end())
+      R.Inputs.emplace(Canon, Live.Use);
+    else
+      It->second.mergeMax(Live.Use);
+  }
+  R.Finalized = true;
+
+  Stack.pop_back();
+  assert(!OwnerPool.empty() && OwnerPool.back().get() == &A &&
+         "owner pool out of sync with the shadow stack");
+  OwnerPool.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// Input measuring
+//===----------------------------------------------------------------------===//
+
+SizeMeasures AlgoProfiler::measureInput(int32_t Input, ObjId Ref) {
+  if (Opts.Snapshots == SnapshotMode::Tracked || Ref == NullObj)
+    return Inputs.trackedMeasures(Input);
+  return Inputs.measureFrom(Ref, Input);
+}
+
+void AlgoProfiler::touchInput(Activation &A, int32_t Input, ObjId Ref) {
+  auto It = A.Inputs.find(Input);
+  if (It == A.Inputs.end()) {
+    // First access of this input in this invocation: first snapshot.
+    LiveUse Live;
+    Live.LastRef = Ref;
+    SizeMeasures Sizes = measureInput(Input, Ref);
+    Live.Use.observe(Sizes.primary(Inputs.info(Input).IsArray,
+                                   Opts.ArrayMeasure),
+                     Sizes.Capacity, Sizes.UniqueElems, Sizes.RefCount);
+    A.Inputs.emplace(Input, std::move(Live));
+    return;
+  }
+  It->second.LastRef = Ref;
+}
+
+//===----------------------------------------------------------------------===//
+// Program lifecycle
+//===----------------------------------------------------------------------===//
+
+void AlgoProfiler::onProgramStart(const ExecContext &Ctx) {
+  Inputs.setHeap(Ctx.TheHeap);
+  Io = Ctx.Io;
+  pushOwnedActivation(Tree.root());
+}
+
+void AlgoProfiler::onProgramEnd() {
+  assert(Stack.size() == 1 && "unbalanced repetition events");
+  finalizeTop();
+}
+
+//===----------------------------------------------------------------------===//
+// Loops
+//===----------------------------------------------------------------------===//
+
+std::string AlgoProfiler::loopName(int32_t MethodId, int32_t LoopId) const {
+  const bc::MethodInfo &M = P.M->Methods[static_cast<size_t>(MethodId)];
+  return M.QualifiedName + " loop#" + std::to_string(LoopId);
+}
+
+void AlgoProfiler::onLoopEnter(int32_t MethodId, int32_t LoopId) {
+  RepKey Key{RepKind::Loop, MethodId, LoopId};
+  RepetitionNode &Node =
+      Tree.getOrCreateChild(*top().Node, Key, loopName(MethodId, LoopId));
+  pushOwnedActivation(Node);
+}
+
+void AlgoProfiler::onLoopBackEdge(int32_t MethodId, int32_t LoopId) {
+  Activation &A = top();
+  assert((A.Node->Key ==
+          RepKey{RepKind::Loop, MethodId, LoopId}) &&
+         "back edge fired while another repetition is on top");
+  (void)MethodId;
+  (void)LoopId;
+  A.Costs.add({CostKind::Step, -1, -1});
+}
+
+void AlgoProfiler::onLoopExit(int32_t MethodId, int32_t LoopId) {
+  assert((top().Node->Key == RepKey{RepKind::Loop, MethodId, LoopId}) &&
+         "loop exit fired while another repetition is on top");
+  (void)MethodId;
+  (void)LoopId;
+  finalizeTop();
+}
+
+//===----------------------------------------------------------------------===//
+// Recursions
+//===----------------------------------------------------------------------===//
+
+void AlgoProfiler::onMethodEnter(int32_t MethodId) {
+  // findOnPathToRoot: fold a re-entry of an active recursion onto its
+  // existing node (paper Sec. 3.2, Method entry).
+  RepetitionNode *Found = nullptr;
+  for (RepetitionNode *N = top().Node; N && N->Key.Kind != RepKind::Root;
+       N = N->Parent) {
+    if (N->Key.Kind == RepKind::Recursion && N->Key.MethodId == MethodId) {
+      Found = N;
+      break;
+    }
+  }
+  if (Found) {
+    // Locate the live activation of the folded node (nearest below top).
+    Activation *A = nullptr;
+    for (auto It = Stack.rbegin(); It != Stack.rend(); ++It)
+      if (It->A->Node == Found) {
+        A = It->A;
+        break;
+      }
+    assert(A && "folded node has no live activation");
+    A->Costs.add({CostKind::Step, -1, -1});
+    ++A->RecursionDepth;
+    Stack.push_back({A, /*Owner=*/false});
+    return;
+  }
+
+  RepKey Key{RepKind::Recursion, MethodId, -1};
+  const bc::MethodInfo &M = P.M->Methods[static_cast<size_t>(MethodId)];
+  RepetitionNode &Node = Tree.getOrCreateChild(
+      *top().Node, Key, M.QualifiedName + " (recursion)");
+  Activation &A = pushOwnedActivation(Node);
+  A.RecursionDepth = 1;
+}
+
+void AlgoProfiler::onMethodExit(int32_t MethodId) {
+  assert(!Stack.empty() && "method exit without entry");
+  StackEntry Entry = Stack.back();
+  assert(Entry.A->Node->Key.Kind == RepKind::Recursion &&
+         Entry.A->Node->Key.MethodId == MethodId &&
+         "method exit fired while another repetition is on top");
+  (void)MethodId;
+  --Entry.A->RecursionDepth;
+  if (Entry.Owner) {
+    assert(Entry.A->RecursionDepth == 0 &&
+           "owner entry popped before folded re-entries");
+    finalizeTop();
+    return;
+  }
+  Stack.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// Structure, array, allocation, and I/O events
+//===----------------------------------------------------------------------===//
+
+void AlgoProfiler::recordStructureAccess(ObjId Obj, Value Other,
+                                         CostKind Kind) {
+  int32_t Input = Inputs.onStructureAccess(Obj, Other);
+  Activation &A = top();
+  A.Costs.add({Kind, Input, -1});
+  // Per-element-type refinement (paper: cost{input, type, GET/PUT}).
+  A.Costs.add({Kind, Input, Inputs.heap()->get(Obj).ClassId});
+  touchInput(A, Input, Obj);
+}
+
+void AlgoProfiler::onGetField(ObjId Obj, int32_t FieldId, Value V) {
+  (void)FieldId;
+  recordStructureAccess(Obj, V, CostKind::StructGet);
+}
+
+void AlgoProfiler::onPutField(ObjId Obj, int32_t FieldId, Value New) {
+  (void)FieldId;
+  recordStructureAccess(Obj, New, CostKind::StructPut);
+}
+
+void AlgoProfiler::recordArrayAccess(ObjId Arr, CostKind Kind,
+                                     Value Elem) {
+  int32_t Input = Inputs.onArrayAccess(Arr);
+  Inputs.onArrayStoreValue(Input, Arr, Elem);
+  Activation &A = top();
+  A.Costs.add({Kind, Input, -1});
+  touchInput(A, Input, Arr);
+}
+
+void AlgoProfiler::onArrayLoad(ObjId Arr, int64_t Index, Value V) {
+  (void)Index;
+  recordArrayAccess(Arr, CostKind::ArrayLoad, V);
+}
+
+void AlgoProfiler::onArrayStore(ObjId Arr, int64_t Index, Value New) {
+  (void)Index;
+  recordArrayAccess(Arr, CostKind::ArrayStore, New);
+}
+
+void AlgoProfiler::onNewObject(ObjId Obj, int32_t ClassId) {
+  (void)Obj;
+  top().Costs.add({CostKind::New, -1, ClassId});
+}
+
+void AlgoProfiler::onNewArray(ObjId Arr, bc::TypeId ArrayType, int64_t Len) {
+  (void)Arr;
+  (void)Len;
+  top().Costs.add({CostKind::ArrayNew, -1, ArrayType});
+}
+
+void AlgoProfiler::touchStream(Activation &A, int32_t Input,
+                               int64_t Size) {
+  LiveUse &Live = A.Inputs[Input];
+  Live.LastRef = vm::NullObj;
+  Live.Use.observe(Size, /*Capacity=*/0, /*Unique=*/0, /*Refs=*/0);
+}
+
+void AlgoProfiler::onInputRead() {
+  Activation &A = top();
+  // The external stream is an input too (paper Sec. 2.3); the cost is
+  // keyed by it, like structure accesses, and its size is the total
+  // data available on the channel ("the size of the file").
+  int32_t Stream = Inputs.externalStreamInput(/*IsInputStream=*/true);
+  A.Costs.add({CostKind::InputRead, Stream, -1});
+  touchStream(A, Stream,
+              Io ? static_cast<int64_t>(Io->Input.size()) : 0);
+}
+
+void AlgoProfiler::onOutputWrite() {
+  Activation &A = top();
+  int32_t Stream = Inputs.externalStreamInput(/*IsInputStream=*/false);
+  A.Costs.add({CostKind::OutputWrite, Stream, -1});
+  // The output's size is what has been produced so far; the max rule
+  // turns this into the run's final output size.
+  touchStream(A, Stream,
+              Io ? static_cast<int64_t>(Io->Output.size()) : 0);
+}

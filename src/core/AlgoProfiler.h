@@ -1,0 +1,142 @@
+//===- core/AlgoProfiler.h - The algorithmic profiler -----------*- C++-*-===//
+///
+/// \file
+/// The ExecutionListener implementing the paper's dynamic analysis
+/// (Sec. 3.2): it maintains the shadow stack and the repetition tree,
+/// folds recursive call chains onto their header node
+/// (findOnPathToRoot), counts algorithmic steps on loop back edges and
+/// recursive calls, attributes structure/array access costs to inputs,
+/// and snapshots input sizes at first access and at repetition exit
+/// (remeasureInputs / finalizeRepetition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CORE_ALGOPROFILER_H
+#define ALGOPROF_CORE_ALGOPROFILER_H
+
+#include "core/InputTable.h"
+#include "core/RepetitionTree.h"
+#include "vm/Interpreter.h"
+
+#include <memory>
+
+namespace algoprof {
+namespace prof {
+
+/// When input sizes are measured.
+enum class SnapshotMode {
+  /// Paper-faithful: traverse the structure at the repetition's first
+  /// access and again at its exit (Sec. 3.4). Cost: O(|structure|) per
+  /// repetition invocation.
+  Eager,
+  /// Fast approximation: read the incrementally tracked membership
+  /// counts instead of traversing. Exact for grow-only structures (the
+  /// tracked count *is* the paper's max-size rule); may overestimate for
+  /// structures that shrink and regrow. Used for large sweeps and as an
+  /// overhead ablation.
+  Tracked,
+};
+
+const char *snapshotModeName(SnapshotMode Mode);
+
+/// Profiler configuration.
+struct ProfileOptions {
+  EquivalenceStrategy Equivalence = EquivalenceStrategy::SomeElements;
+  SnapshotMode Snapshots = SnapshotMode::Eager;
+  ArraySizeMeasure ArrayMeasure = ArraySizeMeasure::UniqueElements;
+
+  /// Invocation sampling for frequently invoked repetitions — the
+  /// memory optimization the paper sketches in Sec. 3.3 ("sample a
+  /// subset of invocations for frequently invoked repetitions"). 0
+  /// records every invocation. A value T records the first T
+  /// invocations of each repetition densely, then decimates: the
+  /// recording stride doubles each time another T records accumulate,
+  /// so a node with N invocations stores O(T * log(N/T)) records.
+  /// Unrecorded invocations still count steps into TotalInvocations and
+  /// their children's records are kept but not attributable (their
+  /// ParentInvocation is -1, so cost combination skips them).
+  int64_t SampleThreshold = 0;
+};
+
+/// The algorithmic profiler. Attach to an Interpreter run via the
+/// ExecutionListener interface; repeated runs accumulate into the same
+/// repetition tree (the paper profiles *sets* of executions).
+class AlgoProfiler : public vm::ExecutionListener {
+public:
+  AlgoProfiler(const vm::PreparedProgram &P, ProfileOptions Opts);
+  ~AlgoProfiler() override;
+
+  RepetitionTree &tree() { return Tree; }
+  const RepetitionTree &tree() const { return Tree; }
+  InputTable &inputs() { return Inputs; }
+  const InputTable &inputs() const { return Inputs; }
+  const ProfileOptions &options() const { return Opts; }
+
+  // ExecutionListener implementation.
+  void onProgramStart(const vm::ExecContext &Ctx) override;
+  void onProgramEnd() override;
+  void onMethodEnter(int32_t MethodId) override;
+  void onMethodExit(int32_t MethodId) override;
+  void onLoopEnter(int32_t MethodId, int32_t LoopId) override;
+  void onLoopBackEdge(int32_t MethodId, int32_t LoopId) override;
+  void onLoopExit(int32_t MethodId, int32_t LoopId) override;
+  void onGetField(vm::ObjId Obj, int32_t FieldId, vm::Value V) override;
+  void onPutField(vm::ObjId Obj, int32_t FieldId, vm::Value New) override;
+  void onArrayLoad(vm::ObjId Arr, int64_t Index, vm::Value V) override;
+  void onArrayStore(vm::ObjId Arr, int64_t Index, vm::Value New) override;
+  void onNewObject(vm::ObjId Obj, int32_t ClassId) override;
+  void onNewArray(vm::ObjId Arr, bc::TypeId ArrayType,
+                  int64_t Len) override;
+  void onInputRead() override;
+  void onOutputWrite() override;
+
+private:
+  struct LiveUse {
+    vm::ObjId LastRef = vm::NullObj;
+    InputUse Use;
+  };
+
+  /// One live invocation of a repetition. Folded recursive re-entries
+  /// share the activation of the recursion header.
+  struct Activation {
+    RepetitionNode *Node = nullptr;
+    int32_t InvocationIndex = -1; ///< -1 when sampled out.
+    CostMap Costs;
+    /// Costs inherited from sampled-out child invocations.
+    CostMap FoldedCosts;
+    std::map<int32_t, LiveUse> Inputs;
+    int RecursionDepth = 0;
+  };
+
+  struct StackEntry {
+    Activation *A = nullptr;
+    bool Owner = false;
+  };
+
+  Activation &top();
+  Activation &pushOwnedActivation(RepetitionNode &Node);
+  void finalizeTop();
+  void touchInput(Activation &A, int32_t Input, vm::ObjId Ref);
+  /// Touch for stream pseudo-inputs: size comes from the I/O channels,
+  /// not from heap traversal.
+  void touchStream(Activation &A, int32_t Input, int64_t Size);
+  SizeMeasures measureInput(int32_t Input, vm::ObjId Ref);
+  void recordStructureAccess(vm::ObjId Obj, vm::Value Other,
+                             CostKind Kind);
+  void recordArrayAccess(vm::ObjId Arr, CostKind Kind, vm::Value Elem);
+  std::string loopName(int32_t MethodId, int32_t LoopId) const;
+
+  const vm::PreparedProgram &P;
+  ProfileOptions Opts;
+  RepetitionTree Tree;
+  InputTable Inputs;
+  const vm::IoChannels *Io = nullptr;
+
+  std::vector<StackEntry> Stack;
+  std::vector<std::unique_ptr<Activation>> OwnerPool;
+};
+
+} // namespace prof
+} // namespace algoprof
+
+#endif // ALGOPROF_CORE_ALGOPROFILER_H

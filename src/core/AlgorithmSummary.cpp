@@ -1,0 +1,146 @@
+//===- core/AlgorithmSummary.cpp ------------------------------------------===//
+
+#include "core/AlgorithmSummary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+std::vector<CombinedInvocation>
+algoprof::prof::combineInvocations(const Algorithm &A, const InputTable &T) {
+  // Working copy of every member node's records, canonicalized.
+  std::unordered_map<const RepetitionNode *, std::vector<CombinedInvocation>>
+      Acc;
+  for (const RepetitionNode *N : A.Nodes) {
+    std::vector<CombinedInvocation> &Rows = Acc[N];
+    Rows.resize(N->History.size());
+    for (size_t I = 0; I < N->History.size(); ++I) {
+      const InvocationRecord &R = N->History[I];
+      Rows[I].Finalized = R.Finalized;
+      Rows[I].Costs = R.Costs;
+      // Costs folded up from sampled-out children belong to the
+      // combined invocation cost.
+      Rows[I].Costs.merge(R.FoldedCosts);
+      Rows[I].Costs.canonicalizeInputs(
+          [&T](int32_t Id) { return T.canonical(Id); });
+      for (const auto &[Id, Use] : R.Inputs) {
+        int32_t Canon = T.canonical(Id);
+        auto It = Rows[I].Inputs.find(Canon);
+        if (It == Rows[I].Inputs.end())
+          Rows[I].Inputs.emplace(Canon, Use);
+        else
+          It->second.mergeMax(Use);
+      }
+    }
+  }
+
+  // Deepest-first: fold each record into its parent's record when the
+  // parent node belongs to the same algorithm.
+  std::vector<const RepetitionNode *> Order = A.Nodes;
+  std::sort(Order.begin(), Order.end(),
+            [](const RepetitionNode *X, const RepetitionNode *Y) {
+              return X->depth() > Y->depth();
+            });
+  for (const RepetitionNode *N : Order) {
+    if (N == A.Root)
+      continue;
+    std::vector<CombinedInvocation> &Rows = Acc[N];
+    for (size_t I = 0; I < N->History.size(); ++I) {
+      const InvocationRecord &R = N->History[I];
+      if (!R.Finalized || !R.ParentNode || !A.contains(R.ParentNode))
+        continue;
+      // Sampled-out parent invocation: the child record has nowhere to
+      // fold into (paper Sec. 3.3 sampling trades completeness for
+      // memory).
+      if (R.ParentInvocation < 0)
+        continue;
+      auto ParentIt = Acc.find(R.ParentNode);
+      if (ParentIt == Acc.end())
+        continue;
+      assert(R.ParentInvocation >= 0 &&
+             R.ParentInvocation <
+                 static_cast<int32_t>(ParentIt->second.size()) &&
+             "parent invocation index out of range");
+      CombinedInvocation &Parent =
+          ParentIt->second[static_cast<size_t>(R.ParentInvocation)];
+      CombinedInvocation &Child = Rows[I];
+      Parent.Costs.merge(Child.Costs);
+      for (const auto &[Id, Use] : Child.Inputs) {
+        auto It = Parent.Inputs.find(Id);
+        if (It == Parent.Inputs.end())
+          Parent.Inputs.emplace(Id, Use);
+        else
+          It->second.mergeMax(Use);
+      }
+    }
+  }
+
+  std::vector<CombinedInvocation> Result;
+  for (CombinedInvocation &Row : Acc[A.Root])
+    if (Row.Finalized)
+      Result.push_back(std::move(Row));
+  return Result;
+}
+
+std::vector<SeriesPoint>
+algoprof::prof::extractSeries(
+    const std::vector<CombinedInvocation> &Invocations, int32_t InputId,
+    CostKind K) {
+  std::vector<SeriesPoint> Series;
+  for (const CombinedInvocation &Inv : Invocations) {
+    auto It = Inv.Inputs.find(InputId);
+    if (It == Inv.Inputs.end())
+      continue;
+    SeriesPoint Pt;
+    Pt.X = static_cast<double>(It->second.MaxSize);
+    Pt.Y = static_cast<double>(K == CostKind::Step
+                                   ? Inv.Costs.steps()
+                                   : Inv.Costs.total(K, InputId));
+    Series.push_back(Pt);
+  }
+  return Series;
+}
+
+std::vector<SeriesPoint> algoprof::prof::extractPooledSeries(
+    const std::vector<CombinedInvocation> &Invocations,
+    const std::vector<int32_t> &InputIds, CostKind K) {
+  std::vector<SeriesPoint> Series;
+  for (const CombinedInvocation &Inv : Invocations) {
+    int64_t BestSize = -1;
+    int64_t Cost = 0;
+    for (int32_t Id : InputIds) {
+      auto It = Inv.Inputs.find(Id);
+      if (It == Inv.Inputs.end())
+        continue;
+      BestSize = std::max(BestSize, It->second.MaxSize);
+      if (K != CostKind::Step)
+        Cost += Inv.Costs.total(K, Id);
+    }
+    if (BestSize < 0)
+      continue;
+    SeriesPoint Pt;
+    Pt.X = static_cast<double>(BestSize);
+    Pt.Y = static_cast<double>(K == CostKind::Step ? Inv.Costs.steps()
+                                                   : Cost);
+    Series.push_back(Pt);
+  }
+  return Series;
+}
+
+bool algoprof::prof::isInterestingSeries(
+    const std::vector<SeriesPoint> &Series) {
+  if (Series.size() < 3)
+    return false;
+  double MinX = Series.front().X, MaxX = Series.front().X;
+  double MinY = Series.front().Y, MaxY = Series.front().Y;
+  for (const SeriesPoint &Pt : Series) {
+    MinX = std::min(MinX, Pt.X);
+    MaxX = std::max(MaxX, Pt.X);
+    MinY = std::min(MinY, Pt.Y);
+    MaxY = std::max(MaxY, Pt.Y);
+  }
+  return MaxX > MinX && MaxY > MinY;
+}

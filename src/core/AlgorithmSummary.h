@@ -1,0 +1,64 @@
+//===- core/AlgorithmSummary.h - Combined costs and series ------*- C++-*-===//
+///
+/// \file
+/// Cost combination (paper Sec. 2.6: a parent invocation's overall cost
+/// is its own plus the summed costs of grouped child invocations inside
+/// it) and the extraction of <input size, cost> series that cost
+/// functions are fitted to (Sec. 2.7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CORE_ALGORITHMSUMMARY_H
+#define ALGOPROF_CORE_ALGORITHMSUMMARY_H
+
+#include "core/Grouping.h"
+
+#include <vector>
+
+namespace algoprof {
+namespace prof {
+
+/// One root-level invocation of an algorithm with the group-internal
+/// child costs folded in.
+struct CombinedInvocation {
+  CostMap Costs;
+  std::map<int32_t, InputUse> Inputs;
+  bool Finalized = false;
+};
+
+/// Combines the invocation histories of \p A's nodes bottom-up into its
+/// root's invocations.
+std::vector<CombinedInvocation>
+combineInvocations(const Algorithm &A, const InputTable &T);
+
+/// One data point of a cost function plot.
+struct SeriesPoint {
+  double X = 0; ///< Input size.
+  double Y = 0; ///< Cost.
+};
+
+/// Extracts the <size of input \p InputId, cost of kind \p K> series,
+/// one point per finalized root invocation. For CostKind::Step, Y is the
+/// invocation's total algorithmic steps; for access kinds, Y counts only
+/// operations on \p InputId.
+std::vector<SeriesPoint>
+extractSeries(const std::vector<CombinedInvocation> &Invocations,
+              int32_t InputId, CostKind K = CostKind::Step);
+
+/// Like extractSeries, but pools a set of same-kind inputs: each
+/// invocation contributes one point whose X is the largest size among
+/// the pooled inputs it touched (one run usually touches exactly one).
+std::vector<SeriesPoint>
+extractPooledSeries(const std::vector<CombinedInvocation> &Invocations,
+                    const std::vector<int32_t> &InputIds,
+                    CostKind K = CostKind::Step);
+
+/// The paper's report heuristic (Sec. 3.5): an input is interesting when
+/// its size actually varies across invocations and the step cost varies
+/// with it (constant-cost inputs are excluded).
+bool isInterestingSeries(const std::vector<SeriesPoint> &Series);
+
+} // namespace prof
+} // namespace algoprof
+
+#endif // ALGOPROF_CORE_ALGORITHMSUMMARY_H

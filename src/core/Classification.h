@@ -1,0 +1,59 @@
+//===- core/Classification.h - Algorithm classification ---------*- C++-*-===//
+///
+/// \file
+/// The paper's algorithm taxonomy (Sec. 2.8): per accessed input an
+/// algorithm is a Construction, Modification, or Traversal (mutually
+/// exclusive, in that precedence order); independently it may be an
+/// Input and/or Output algorithm; with no inputs at all it is
+/// data-structure-less.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CORE_CLASSIFICATION_H
+#define ALGOPROF_CORE_CLASSIFICATION_H
+
+#include "core/AlgorithmSummary.h"
+
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace prof {
+
+/// Per-input classification outcomes.
+enum class AlgorithmClass {
+  Construction,
+  Modification,
+  Traversal,
+  Untouched, ///< Input known but no operation counted (degenerate).
+};
+
+const char *algorithmClassName(AlgorithmClass C);
+
+/// Classification of one algorithm.
+struct Classification {
+  struct PerInput {
+    int32_t InputId = -1;
+    AlgorithmClass Class = AlgorithmClass::Untouched;
+  };
+  std::vector<PerInput> Inputs;
+  bool DoesInput = false;
+  bool DoesOutput = false;
+
+  bool dataStructureless() const { return Inputs.empty(); }
+
+  /// "Modification of a Node-based recursive structure" /
+  /// "Data-structure-less algorithm" / ... (labels need the input table
+  /// for input type names).
+  std::string label(const InputTable &T) const;
+};
+
+/// Classifies an algorithm from its combined invocations.
+Classification classifyAlgorithm(
+    const Algorithm &A, const std::vector<CombinedInvocation> &Invocations,
+    const InputTable &T, const bc::Module &M);
+
+} // namespace prof
+} // namespace algoprof
+
+#endif // ALGOPROF_CORE_CLASSIFICATION_H

@@ -1,0 +1,72 @@
+//===- core/CostMap.cpp ---------------------------------------------------===//
+
+#include "core/CostMap.h"
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+const char *algoprof::prof::costKindLabel(CostKind K) {
+  switch (K) {
+  case CostKind::Step:
+    return "STEP";
+  case CostKind::StructGet:
+    return "GET";
+  case CostKind::StructPut:
+    return "PUT";
+  case CostKind::ArrayLoad:
+    return "LOAD";
+  case CostKind::ArrayStore:
+    return "STORE";
+  case CostKind::New:
+    return "NEW";
+  case CostKind::ArrayNew:
+    return "NEWARRAY";
+  case CostKind::InputRead:
+    return "READ";
+  case CostKind::OutputWrite:
+    return "WRITE";
+  }
+  return "<bad-kind>";
+}
+
+int64_t CostMap::total(CostKind K, int32_t InputId) const {
+  int64_t Sum = 0;
+  for (const auto &[Key, N] : Counts) {
+    if (Key.Kind != K || Key.TypeId != -1)
+      continue;
+    if (InputId >= 0 && Key.InputId != InputId)
+      continue;
+    Sum += N;
+  }
+  return Sum;
+}
+
+void CostMap::merge(const CostMap &Other) {
+  for (const auto &[Key, N] : Other.Counts)
+    Counts[Key] += N;
+}
+
+std::string CostMap::str() const {
+  std::string Out;
+  for (const auto &[Key, N] : Counts) {
+    if (!Out.empty())
+      Out += ", ";
+    Out += "cost{";
+    bool First = true;
+    if (Key.InputId >= 0) {
+      Out += "input#" + std::to_string(Key.InputId);
+      First = false;
+    }
+    if (Key.TypeId >= 0) {
+      if (!First)
+        Out += ", ";
+      Out += "type#" + std::to_string(Key.TypeId);
+      First = false;
+    }
+    if (!First)
+      Out += ", ";
+    Out += costKindLabel(Key.Kind);
+    Out += "} -> " + std::to_string(N);
+  }
+  return Out;
+}

@@ -1,0 +1,106 @@
+//===- core/CostMap.h - Algorithmic cost accounting -------------*- C++-*-===//
+///
+/// \file
+/// The paper's cost model (Sec. 2.2 / 3.3): a map from primitive
+/// operations — algorithmic steps, structure reads/writes (per input and
+/// per input+type), element creations (per type), input reads, output
+/// writes — to execution counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CORE_COSTMAP_H
+#define ALGOPROF_CORE_COSTMAP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace algoprof {
+namespace prof {
+
+/// Primitive operation kinds of the cost model.
+enum class CostKind : uint8_t {
+  Step,        ///< One loop iteration or recursive call.
+  StructGet,   ///< Read of a recursive link field.
+  StructPut,   ///< Write of a recursive link field.
+  ArrayLoad,   ///< Array element read.
+  ArrayStore,  ///< Array element write.
+  New,         ///< Allocation of a recursive-type instance.
+  ArrayNew,    ///< Allocation of an array.
+  InputRead,   ///< External input consumed.
+  OutputWrite, ///< External output produced.
+};
+
+/// Returns a short label for \p K ("STEP", "GET", ...), matching the
+/// paper's notation.
+const char *costKindLabel(CostKind K);
+
+/// One cost-map key: a primitive operation, optionally specialized to an
+/// input id (structure accesses) and/or a type id (per-element-type
+/// counts and allocations). -1 means "not specialized".
+struct CostKey {
+  CostKind Kind = CostKind::Step;
+  int32_t InputId = -1;
+  int32_t TypeId = -1;
+
+  bool operator<(const CostKey &O) const {
+    if (Kind != O.Kind)
+      return Kind < O.Kind;
+    if (InputId != O.InputId)
+      return InputId < O.InputId;
+    return TypeId < O.TypeId;
+  }
+  bool operator==(const CostKey &O) const {
+    return Kind == O.Kind && InputId == O.InputId && TypeId == O.TypeId;
+  }
+};
+
+/// Counts of primitive operations. Deliberately an ordered map: reports
+/// iterate it deterministically.
+class CostMap {
+public:
+  void add(CostKey Key, int64_t N = 1) { Counts[Key] += N; }
+
+  int64_t get(CostKey Key) const {
+    auto It = Counts.find(Key);
+    return It == Counts.end() ? 0 : It->second;
+  }
+
+  /// Sum over all keys with kind \p K and (when \p InputId >= 0) that
+  /// input, counting only the input-level entries (TypeId == -1) so the
+  /// per-type refinements are not double counted.
+  int64_t total(CostKind K, int32_t InputId = -1) const;
+
+  /// Algorithmic steps.
+  int64_t steps() const { return get({CostKind::Step, -1, -1}); }
+
+  /// Adds every count of \p Other into this map (cost combination,
+  /// paper Sec. 2.6).
+  void merge(const CostMap &Other);
+
+  /// Rewrites input ids through \p Canonical (union-find collapse after
+  /// inputs were merged).
+  template <typename Fn> void canonicalizeInputs(Fn Canonical) {
+    std::map<CostKey, int64_t> NewCounts;
+    for (const auto &[Key, N] : Counts) {
+      CostKey K = Key;
+      if (K.InputId >= 0)
+        K.InputId = Canonical(K.InputId);
+      NewCounts[K] += N;
+    }
+    Counts = std::move(NewCounts);
+  }
+
+  bool empty() const { return Counts.empty(); }
+  const std::map<CostKey, int64_t> &entries() const { return Counts; }
+
+  std::string str() const;
+
+private:
+  std::map<CostKey, int64_t> Counts;
+};
+
+} // namespace prof
+} // namespace algoprof
+
+#endif // ALGOPROF_CORE_COSTMAP_H

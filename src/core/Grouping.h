@@ -1,0 +1,61 @@
+//===- core/Grouping.h - Grouping repetitions into algorithms ---*- C++-*-===//
+///
+/// \file
+/// Partitions the repetition tree into *algorithms* (paper Sec. 2.5):
+/// connected subtrees whose nodes access at least one common input.
+/// Alternative strategies: SameMethod (the paper's "one could envision"
+/// remark) and CommonInput+IndexDataflow (the Sec. 5 extension that
+/// repairs array loop nests, see analysis/IndexDataflow.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CORE_GROUPING_H
+#define ALGOPROF_CORE_GROUPING_H
+
+#include "analysis/IndexDataflow.h"
+#include "core/InputTable.h"
+#include "core/RepetitionTree.h"
+#include "vm/Interpreter.h"
+
+#include <vector>
+
+namespace algoprof {
+namespace prof {
+
+/// Strategy for deciding whether a child repetition belongs to its
+/// parent's algorithm.
+enum class GroupingStrategy {
+  CommonInput,              ///< Paper default: share >= 1 input.
+  SameMethod,               ///< Both are loops of the same method.
+  CommonInputPlusDataflow,  ///< CommonInput, plus index-dataflow links.
+};
+
+const char *groupingStrategyName(GroupingStrategy S);
+
+/// One algorithm: a connected subgraph of the repetition tree.
+struct Algorithm {
+  int32_t Id = -1;
+  const RepetitionNode *Root = nullptr;
+  std::vector<const RepetitionNode *> Nodes; ///< Pre-order, Root first.
+  std::vector<int32_t> InputIds;             ///< Canonical, ascending.
+
+  bool contains(const RepetitionNode *N) const {
+    for (const RepetitionNode *Member : Nodes)
+      if (Member == N)
+        return true;
+    return false;
+  }
+};
+
+/// Groups the repetition tree into algorithms. \p Dataflow is consulted
+/// only for CommonInputPlusDataflow and may be null otherwise. The tree
+/// root is excluded; every top-level repetition starts a group.
+std::vector<Algorithm>
+groupAlgorithms(const RepetitionTree &Tree, const InputTable &Inputs,
+                const vm::PreparedProgram &P, GroupingStrategy Strategy,
+                const analysis::IndexDataflow *Dataflow = nullptr);
+
+} // namespace prof
+} // namespace algoprof
+
+#endif // ALGOPROF_CORE_GROUPING_H

@@ -1,0 +1,526 @@
+//===- core/InputTable.cpp ------------------------------------------------===//
+
+#include "core/InputTable.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::bc;
+using namespace algoprof::vm;
+
+const char *algoprof::prof::equivalenceStrategyName(EquivalenceStrategy S) {
+  switch (S) {
+  case EquivalenceStrategy::SomeElements:
+    return "SomeElements";
+  case EquivalenceStrategy::AllElements:
+    return "AllElements";
+  case EquivalenceStrategy::SameArray:
+    return "SameArray";
+  case EquivalenceStrategy::SameType:
+    return "SameType";
+  }
+  return "<bad-strategy>";
+}
+
+//===----------------------------------------------------------------------===//
+// Bookkeeping primitives
+//===----------------------------------------------------------------------===//
+
+int32_t InputTable::canonical(int32_t Id) const {
+  assert(Id >= 0 && Id < static_cast<int32_t>(Parent.size()));
+  while (Parent[static_cast<size_t>(Id)] != Id)
+    Id = Parent[static_cast<size_t>(Id)];
+  return Id;
+}
+
+int32_t InputTable::inputOf(ObjId Obj) const {
+  auto It = ObjToInput.find(Obj);
+  return It == ObjToInput.end() ? -1 : canonical(It->second);
+}
+
+int32_t InputTable::newInput(bool IsArray, int32_t TypeKey,
+                             std::string Label) {
+  InputInfo Info;
+  Info.Id = static_cast<int32_t>(Inputs.size());
+  Info.IsArray = IsArray;
+  Info.TypeKey = TypeKey;
+  Info.Label = std::move(Label);
+  Inputs.push_back(std::move(Info));
+  Parent.push_back(Inputs.back().Id);
+  return Inputs.back().Id;
+}
+
+int32_t InputTable::merge(int32_t A, int32_t B) {
+  A = canonical(A);
+  B = canonical(B);
+  if (A == B)
+    return A;
+  // Keep the older id as the survivor: series and reports stay stable.
+  if (B < A)
+    std::swap(A, B);
+  InputInfo &Winner = Inputs[static_cast<size_t>(A)];
+  InputInfo &Loser = Inputs[static_cast<size_t>(B)];
+  for (int64_t Obj : Loser.Members)
+    Winner.Members.insert(Obj);
+  for (int64_t V : Loser.ValueSet)
+    Winner.ValueSet.insert(V);
+  for (const auto &[ClassId, N] : Loser.MemberClassCounts)
+    Winner.MemberClassCounts[ClassId] += N;
+  Winner.MaxCapacitySeen =
+      std::max(Winner.MaxCapacitySeen, Loser.MaxCapacitySeen);
+  Loser.Alive = false;
+  Loser.Members.clear();
+  Loser.ValueSet.clear();
+  Parent[static_cast<size_t>(B)] = A;
+  return A;
+}
+
+void InputTable::assign(ObjId Obj, int32_t Input, int32_t ClassId) {
+  Input = canonical(Input);
+  auto It = ObjToInput.find(Obj);
+  if (It != ObjToInput.end()) {
+    int32_t Cur = canonical(It->second);
+    if (Cur == Input)
+      return;
+    // Under overlap-style identity, conflicting attribution means the
+    // structures are the same input. Under AllElements/SameType the
+    // membership map is only a cache: re-point it without merging.
+    if (Strategy == EquivalenceStrategy::SomeElements ||
+        Strategy == EquivalenceStrategy::SameArray)
+      merge(Cur, Input);
+    else
+      It->second = Input;
+    return;
+  }
+  ObjToInput.emplace(Obj, Input);
+  InputInfo &Info = Inputs[static_cast<size_t>(canonical(Input))];
+  Info.Members.insert(Obj);
+  if (ClassId >= 0)
+    ++Info.MemberClassCounts[ClassId];
+}
+
+std::vector<int32_t> InputTable::liveInputs() const {
+  std::vector<int32_t> Ids;
+  for (const InputInfo &Info : Inputs)
+    if (Info.Alive)
+      Ids.push_back(Info.Id);
+  return Ids;
+}
+
+std::vector<int32_t> InputTable::liveHeapInputs() const {
+  std::vector<int32_t> Ids;
+  for (const InputInfo &Info : Inputs)
+    if (Info.Alive && !Info.IsStream)
+      Ids.push_back(Info.Id);
+  return Ids;
+}
+
+//===----------------------------------------------------------------------===//
+// Traversal
+//===----------------------------------------------------------------------===//
+
+SizeMeasures InputTable::traverseStructure(
+    ObjId Start, std::vector<std::pair<ObjId, int32_t>> &Visited) const {
+  assert(H && "heap not attached");
+  ++Snapshots;
+  SizeMeasures Sizes;
+  std::unordered_set<int64_t> Seen;
+  std::deque<ObjId> Work;
+  Work.push_back(Start);
+  Seen.insert(Start);
+
+  while (!Work.empty()) {
+    ObjId Cur = Work.front();
+    Work.pop_front();
+    const HeapObject &Obj = H->get(Cur);
+
+    if (Obj.IsArray) {
+      Visited.emplace_back(Cur, -1);
+      for (const Value &Elem : Obj.Slots) {
+        if (!Elem.IsRef || Elem.isNullRef())
+          continue;
+        ++Sizes.RefCount;
+        if (Seen.insert(Elem.ref()).second)
+          Work.push_back(Elem.ref());
+      }
+      continue;
+    }
+
+    ++Sizes.ObjectCount;
+    ++Sizes.PerClass[Obj.ClassId];
+    Visited.emplace_back(Cur, Obj.ClassId);
+
+    const ClassInfo &C = M.Classes[static_cast<size_t>(Obj.ClassId)];
+    for (size_t Slot = 0; Slot < C.FieldIds.size(); ++Slot) {
+      int32_t FieldId = C.FieldIds[Slot];
+      if (!RT.isLinkField(FieldId))
+        continue;
+      const Value &V = Obj.Slots[Slot];
+      if (!V.IsRef || V.isNullRef())
+        continue;
+      if (Seen.insert(V.ref()).second)
+        Work.push_back(V.ref());
+    }
+  }
+  return Sizes;
+}
+
+SizeMeasures InputTable::measureArrayObject(ObjId Arr) const {
+  assert(H && "heap not attached");
+  ++Snapshots;
+  SizeMeasures Sizes;
+  // Multi-dimensional arrays count all levels (paper Sec. 3.4: the
+  // triangular int[][] example has size 3 + (0+1+2)). Sub-arrays are
+  // visited once; a visited set guards against reference cycles.
+  std::unordered_set<int64_t> VisitedArrays;
+  std::deque<ObjId> Work;
+  Work.push_back(Arr);
+  VisitedArrays.insert(Arr);
+  while (!Work.empty()) {
+    ObjId Cur = Work.front();
+    Work.pop_front();
+    const HeapObject &Obj = H->get(Cur);
+    Sizes.Capacity += static_cast<int64_t>(Obj.Slots.size());
+    std::unordered_set<int64_t> Unique;
+    for (const Value &V : Obj.Slots) {
+      if (V.IsRef) {
+        if (V.isNullRef())
+          continue;
+        if (H->get(V.ref()).IsArray) {
+          if (VisitedArrays.insert(V.ref()).second)
+            Work.push_back(V.ref());
+          Unique.insert(V.Bits);
+        } else {
+          Unique.insert(V.Bits);
+        }
+      } else {
+        Unique.insert(V.Bits);
+      }
+    }
+    Sizes.UniqueElems += static_cast<int64_t>(Unique.size());
+  }
+  return Sizes;
+}
+
+//===----------------------------------------------------------------------===//
+// Identification
+//===----------------------------------------------------------------------===//
+
+static std::string structureLabel(const Module &M, int32_t ClassId) {
+  return M.Classes[static_cast<size_t>(ClassId)].Name +
+         "-based recursive structure";
+}
+
+static std::string arrayLabel(const Module &M, TypeId ElemType) {
+  return M.typeName(ElemType) + "[] array";
+}
+
+int32_t InputTable::identifyStructureSnapshot(ObjId Start) {
+  std::vector<std::pair<ObjId, int32_t>> Visited;
+  SizeMeasures Sizes = traverseStructure(Start, Visited);
+  int32_t StartClass = H->get(Start).ClassId;
+  int32_t TypeKey = RT.ClassScc[static_cast<size_t>(StartClass)];
+
+  int32_t Target = -1;
+  switch (Strategy) {
+  case EquivalenceStrategy::SomeElements:
+  case EquivalenceStrategy::SameArray: { // SameArray degrades to overlap
+    // Any previously attributed member decides the input.
+    for (const auto &[Obj, ClassId] : Visited) {
+      (void)ClassId;
+      auto It = ObjToInput.find(Obj);
+      if (It == ObjToInput.end())
+        continue;
+      int32_t Found = canonical(It->second);
+      Target = Target < 0 ? Found : merge(Target, Found);
+    }
+    break;
+  }
+  case EquivalenceStrategy::AllElements: {
+    // Exact set equality against each live structure input.
+    for (const InputInfo &Info : Inputs) {
+      if (!Info.Alive || Info.IsArray)
+        continue;
+      if (Info.Members.size() != Visited.size())
+        continue;
+      bool Equal = true;
+      for (const auto &[Obj, ClassId] : Visited) {
+        (void)ClassId;
+        if (!Info.Members.count(Obj)) {
+          Equal = false;
+          break;
+        }
+      }
+      if (Equal) {
+        Target = Info.Id;
+        break;
+      }
+    }
+    break;
+  }
+  case EquivalenceStrategy::SameType: {
+    for (const InputInfo &Info : Inputs)
+      if (Info.Alive && !Info.IsArray && Info.TypeKey == TypeKey) {
+        Target = Info.Id;
+        break;
+      }
+    break;
+  }
+  }
+
+  if (Target < 0)
+    Target = newInput(/*IsArray=*/false, TypeKey,
+                      structureLabel(M, StartClass));
+  for (const auto &[Obj, ClassId] : Visited)
+    assign(Obj, Target, ClassId);
+  (void)Sizes;
+  return canonical(Target);
+}
+
+int32_t InputTable::identifyArraySnapshot(ObjId Arr) {
+  const HeapObject &Obj = H->get(Arr);
+  TypeId ElemType = M.Types[static_cast<size_t>(Obj.Type)].Elem;
+  bool RefElems =
+      M.Types[static_cast<size_t>(ElemType)].Kind == RtTypeKind::Class ||
+      M.Types[static_cast<size_t>(ElemType)].Kind == RtTypeKind::Array;
+
+  int32_t Target = -1;
+  switch (Strategy) {
+  case EquivalenceStrategy::SameArray:
+    // Identity of the array object itself; reallocation breaks it (the
+    // paper's argument for SomeElements).
+    break;
+  case EquivalenceStrategy::SomeElements: {
+    if (RefElems) {
+      for (const Value &V : Obj.Slots) {
+        if (!V.IsRef || V.isNullRef())
+          continue;
+        auto It = ObjToInput.find(V.Bits);
+        if (It == ObjToInput.end())
+          continue;
+        int32_t Found = canonical(It->second);
+        Target = Target < 0 ? Found : merge(Target, Found);
+      }
+    } else {
+      // Overlap on non-default element values.
+      for (const InputInfo &Info : Inputs) {
+        if (!Info.Alive || !Info.IsArray || Info.TypeKey != ElemType)
+          continue;
+        for (const Value &V : Obj.Slots) {
+          if (V.Bits != 0 && Info.ValueSet.count(V.Bits)) {
+            Target = Target < 0 ? Info.Id : merge(Target, Info.Id);
+            break;
+          }
+        }
+      }
+    }
+    break;
+  }
+  case EquivalenceStrategy::AllElements: {
+    SizeMeasures Mine = measureArrayObject(Arr);
+    for (const InputInfo &Info : Inputs) {
+      if (!Info.Alive || !Info.IsArray || Info.TypeKey != ElemType)
+        continue;
+      if (RefElems) {
+        // Member set equality (elements only; the array object itself is
+        // also a member, so compare via contained elements).
+        bool Equal = true;
+        int64_t NonNull = 0;
+        for (const Value &V : Obj.Slots) {
+          if (!V.IsRef || V.isNullRef())
+            continue;
+          ++NonNull;
+          if (!Info.Members.count(V.Bits)) {
+            Equal = false;
+            break;
+          }
+        }
+        // Members also contains backing array ids; require the element
+        // count to match the non-array member count.
+        if (Equal &&
+            NonNull == static_cast<int64_t>(Info.Members.size()) -
+                           countArrayMembers(Info))
+          Target = Info.Id;
+      } else {
+        std::unordered_set<int64_t> Mine2;
+        for (const Value &V : Obj.Slots)
+          if (V.Bits != 0)
+            Mine2.insert(V.Bits);
+        if (Mine2 == Info.ValueSet)
+          Target = Info.Id;
+      }
+      if (Target >= 0)
+        break;
+    }
+    (void)Mine;
+    break;
+  }
+  case EquivalenceStrategy::SameType: {
+    for (const InputInfo &Info : Inputs)
+      if (Info.Alive && Info.IsArray && Info.TypeKey == ElemType) {
+        Target = Info.Id;
+        break;
+      }
+    break;
+  }
+  }
+
+  if (Target < 0)
+    Target = newInput(/*IsArray=*/true, ElemType, arrayLabel(M, ElemType));
+
+  InputInfo &Info = infoMut(Target);
+  Info.MaxCapacitySeen =
+      std::max(Info.MaxCapacitySeen, static_cast<int64_t>(Obj.Slots.size()));
+  assign(Arr, Target, /*ClassId=*/-1);
+  // Register current contents for identity tracking.
+  for (const Value &V : Obj.Slots) {
+    if (V.IsRef) {
+      if (!V.isNullRef())
+        assign(V.Bits, Target, H->get(V.Bits).IsArray
+                                   ? -1
+                                   : H->get(V.Bits).ClassId);
+    } else if (V.Bits != 0) {
+      infoMut(Target).ValueSet.insert(V.Bits);
+    }
+  }
+  return canonical(Target);
+}
+
+int32_t InputTable::onStructureAccess(ObjId Obj, Value Other) {
+  bool OtherValid = Other.IsRef && !Other.isNullRef();
+  if (Strategy == EquivalenceStrategy::SomeElements ||
+      Strategy == EquivalenceStrategy::SameArray) {
+    int32_t I1 = inputOf(Obj);
+    int32_t I2 = OtherValid ? inputOf(Other.ref()) : -1;
+    int32_t Result = -1;
+    if (I1 >= 0 && I2 >= 0) {
+      Result = I1 == I2 ? I1 : merge(I1, I2);
+    } else if (I1 >= 0) {
+      if (OtherValid)
+        assign(Other.ref(), I1, H->get(Other.ref()).IsArray
+                                    ? -1
+                                    : H->get(Other.ref()).ClassId);
+      Result = I1;
+    } else if (I2 >= 0) {
+      assign(Obj, I2, H->get(Obj).ClassId);
+      Result = I2;
+    } else {
+      Result = identifyStructureSnapshot(Obj);
+    }
+    // An input first discovered as an array (e.g. the Vertex[] registry
+    // of a linked graph) upgrades to structure semantics once its
+    // members are accessed through recursive links.
+    InputInfo &Info = infoMut(Result);
+    if (Info.IsArray) {
+      int32_t StartClass = H->get(Obj).ClassId;
+      Info.IsArray = false;
+      Info.TypeKey = RT.ClassScc[static_cast<size_t>(StartClass)];
+      Info.Label = structureLabel(M, StartClass);
+    }
+    return Result;
+  }
+  if (Strategy == EquivalenceStrategy::SameType) {
+    int32_t StartClass = H->get(Obj).ClassId;
+    int32_t TypeKey = RT.ClassScc[static_cast<size_t>(StartClass)];
+    for (const InputInfo &Info : Inputs)
+      if (Info.Alive && !Info.IsArray && Info.TypeKey == TypeKey)
+        return Info.Id;
+    return newInput(/*IsArray=*/false, TypeKey,
+                    structureLabel(M, StartClass));
+  }
+  // AllElements: a fresh snapshot on every access.
+  return identifyStructureSnapshot(Obj);
+}
+
+int32_t InputTable::externalStreamInput(bool IsInputStream) {
+  int32_t &Cache = IsInputStream ? InputStreamId : OutputStreamId;
+  if (Cache >= 0)
+    return canonical(Cache);
+  Cache = newInput(/*IsArray=*/false, /*TypeKey=*/-1,
+                   IsInputStream ? "external input stream"
+                                 : "external output stream");
+  infoMut(Cache).IsStream = true;
+  return Cache;
+}
+
+int32_t InputTable::onArrayAccess(ObjId Arr) {
+  // Fast path: the array already belongs to an input (its own id is a
+  // member — covers both naked arrays and arrays inside structures).
+  if (Strategy != EquivalenceStrategy::AllElements) {
+    int32_t Known = inputOf(Arr);
+    if (Known >= 0)
+      return Known;
+  }
+  return identifyArraySnapshot(Arr);
+}
+
+void InputTable::onArrayStoreValue(int32_t Input, ObjId Arr, Value V) {
+  (void)Arr;
+  Input = canonical(Input);
+  if (V.IsRef) {
+    if (!V.isNullRef())
+      assign(V.ref(), Input,
+             H->get(V.ref()).IsArray ? -1 : H->get(V.ref()).ClassId);
+    return;
+  }
+  if (V.Bits != 0)
+    infoMut(Input).ValueSet.insert(V.Bits);
+}
+
+//===----------------------------------------------------------------------===//
+// Measurement
+//===----------------------------------------------------------------------===//
+
+SizeMeasures InputTable::measureFrom(ObjId Ref, int32_t Input) {
+  Input = canonical(Input);
+  const InputInfo &Info = Inputs[static_cast<size_t>(Input)];
+  if (Info.IsArray && H->get(Ref).IsArray) {
+    SizeMeasures Sizes = measureArrayObject(Ref);
+    InputInfo &Mut = infoMut(Input);
+    Mut.MaxCapacitySeen = std::max(Mut.MaxCapacitySeen, Sizes.Capacity);
+    return Sizes;
+  }
+  // Structure snapshot; refresh membership under overlap-style
+  // strategies so later accesses take the fast path.
+  std::vector<std::pair<ObjId, int32_t>> Visited;
+  SizeMeasures Sizes = traverseStructure(Ref, Visited);
+  if (Strategy == EquivalenceStrategy::SomeElements ||
+      Strategy == EquivalenceStrategy::SameArray)
+    for (const auto &[Obj, ClassId] : Visited)
+      assign(Obj, Input, ClassId);
+  return Sizes;
+}
+
+SizeMeasures InputTable::trackedMeasures(int32_t Input) const {
+  const InputInfo &Info = Inputs[static_cast<size_t>(canonical(Input))];
+  SizeMeasures Sizes;
+  if (Info.IsArray) {
+    Sizes.Capacity = Info.MaxCapacitySeen;
+    Sizes.UniqueElems = static_cast<int64_t>(
+        Info.ValueSet.empty() ? Info.Members.size() > 1
+                                    ? Info.Members.size() - 1
+                                    : 0
+                              : Info.ValueSet.size());
+    return Sizes;
+  }
+  for (const auto &[ClassId, N] : Info.MemberClassCounts) {
+    (void)ClassId;
+    Sizes.ObjectCount += N;
+  }
+  Sizes.PerClass = Info.MemberClassCounts;
+  return Sizes;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+int64_t InputTable::countArrayMembers(const InputInfo &Info) const {
+  int64_t N = 0;
+  for (int64_t Obj : Info.Members)
+    if (H->get(Obj).IsArray)
+      ++N;
+  return N;
+}

@@ -1,0 +1,195 @@
+//===- core/InputTable.h - Input identification and sizing ------*- C++-*-===//
+///
+/// \file
+/// Implements the paper's input machinery (Sec. 2.3–2.4, 3.4): discovery
+/// of the recursive structures and arrays an algorithm accesses, snapshot
+/// traversal, the four snapshot-equivalence criteria, and the size
+/// measures (object count per type, traversed array references, array
+/// capacity, unique element count).
+///
+/// Identity of evolving structures is kept with a union-find over input
+/// ids plus an object->input membership map. Under the default
+/// SomeElements criterion the membership map allows an O(1) fast path on
+/// most accesses: a full snapshot traversal is only needed when an access
+/// touches objects not yet attributed to any input — exactly the paper's
+/// first-access / exit-remeasure optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CORE_INPUTTABLE_H
+#define ALGOPROF_CORE_INPUTTABLE_H
+
+#include "analysis/RecursiveTypes.h"
+#include "bytecode/Module.h"
+#include "vm/Heap.h"
+#include "vm/Value.h"
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace algoprof {
+namespace prof {
+
+/// The paper's snapshot-equivalence criteria (Sec. 2.4).
+enum class EquivalenceStrategy {
+  SomeElements, ///< S1 ∩ S2 ≠ ∅ (AlgoProf's default).
+  AllElements,  ///< S1 ≡ S2.
+  SameArray,    ///< Identical array object (arrays only).
+  SameType,     ///< Same structure/element type.
+};
+
+const char *equivalenceStrategyName(EquivalenceStrategy S);
+
+/// Which array size measure is the primary one (Sec. 3.4).
+enum class ArraySizeMeasure { UniqueElements, Capacity };
+
+/// All size measures taken by one snapshot.
+struct SizeMeasures {
+  int64_t ObjectCount = 0; ///< Structure objects reached.
+  int64_t RefCount = 0;    ///< Non-null refs traversed through arrays.
+  int64_t Capacity = 0;    ///< Array capacity.
+  int64_t UniqueElems = 0; ///< Array unique-element count.
+  std::map<int32_t, int64_t> PerClass; ///< Objects per class id.
+
+  /// The input's headline size. Structure snapshots report their object
+  /// count; array snapshots the configured array measure. Inputs that
+  /// merged arrays with the structures they hold (e.g. a Vertex[]
+  /// registry of a linked graph) may be measured from either side — the
+  /// object count wins whenever objects were reached.
+  int64_t primary(bool IsArray, ArraySizeMeasure M) const {
+    (void)IsArray;
+    if (ObjectCount > 0)
+      return ObjectCount;
+    return M == ArraySizeMeasure::Capacity ? Capacity : UniqueElems;
+  }
+};
+
+/// One identified input (a recursive structure, an array, or an
+/// external stream).
+struct InputInfo {
+  int32_t Id = -1;
+  bool IsArray = false;
+  /// An external input/output stream (paper Sec. 2.3 "Program
+  /// Inputs/Outputs"); sized by the profiler from the I/O channels, not
+  /// by heap traversal.
+  bool IsStream = false;
+  /// Structures: the type-graph SCC of the structure's classes.
+  /// Arrays: the element TypeId.
+  int32_t TypeKey = -1;
+  std::string Label;
+  bool Alive = true; ///< False once merged into another input.
+
+  /// Object ids attributed to this input (structures and ref arrays).
+  std::unordered_set<int64_t> Members;
+  /// Distinct non-default element values (primitive arrays; identity).
+  std::unordered_set<int64_t> ValueSet;
+  /// Member objects per class id (classification + tracked sizing).
+  std::map<int32_t, int64_t> MemberClassCounts;
+  /// Largest capacity seen across the input's backing arrays.
+  int64_t MaxCapacitySeen = 0;
+};
+
+/// Registry of all inputs discovered during profiled execution.
+class InputTable {
+public:
+  InputTable(const bc::Module &M, const analysis::RecursiveTypes &RT,
+             EquivalenceStrategy Strategy)
+      : M(M), RT(RT), Strategy(Strategy) {}
+
+  void setHeap(vm::Heap *Heap) { H = Heap; }
+  vm::Heap *heap() const { return H; }
+  EquivalenceStrategy strategy() const { return Strategy; }
+
+  /// Canonical id after merges.
+  int32_t canonical(int32_t Id) const;
+
+  /// Canonical input of \p Obj, or -1 when unattributed.
+  int32_t inputOf(vm::ObjId Obj) const;
+
+  /// Identification at a recursive-link field access on \p Obj whose
+  /// other end (read or written value) is \p Other. Returns the canonical
+  /// input id. May traverse (first access of an unknown structure).
+  int32_t onStructureAccess(vm::ObjId Obj, vm::Value Other);
+
+  /// Identification at an array access.
+  int32_t onArrayAccess(vm::ObjId Arr);
+
+  /// The lazily created pseudo-input for the external input or output
+  /// stream (paper Sec. 2.3: streams and file handles are inputs too).
+  int32_t externalStreamInput(bool IsInputStream);
+
+  /// Records the stored value for array-identity tracking and membership
+  /// (ref elements join the array's input).
+  void onArrayStoreValue(int32_t Input, vm::ObjId Arr, vm::Value V);
+
+  /// Full snapshot from \p Ref attributed to input \p Input; refreshes
+  /// membership (SomeElements) and returns the measures. \p Ref may be
+  /// any object previously attributed to the input.
+  SizeMeasures measureFrom(vm::ObjId Ref, int32_t Input);
+
+  /// O(1) approximate size from tracked membership (no traversal); used
+  /// by SnapshotMode::Tracked.
+  SizeMeasures trackedMeasures(int32_t Input) const;
+
+  const InputInfo &info(int32_t Id) const {
+    return Inputs[static_cast<size_t>(canonical(Id))];
+  }
+
+  /// Ids of all live (unmerged) inputs, ascending.
+  std::vector<int32_t> liveInputs() const;
+
+  /// Like liveInputs, but only heap inputs (structures and arrays),
+  /// excluding the external-stream pseudo-inputs.
+  std::vector<int32_t> liveHeapInputs() const;
+
+  int numInputsEverCreated() const {
+    return static_cast<int>(Inputs.size());
+  }
+
+  /// Number of traversal snapshots taken (overhead accounting).
+  int64_t snapshotsTaken() const { return Snapshots; }
+
+private:
+  int32_t newInput(bool IsArray, int32_t TypeKey, std::string Label);
+  int32_t merge(int32_t A, int32_t B);
+  void assign(vm::ObjId Obj, int32_t Input, int32_t ClassId);
+  InputInfo &infoMut(int32_t Id) {
+    return Inputs[static_cast<size_t>(canonical(Id))];
+  }
+
+  /// BFS over recursive links and arrays from \p Start (a class
+  /// instance); fills \p Visited with (objId, classId-or-minus-1 for
+  /// arrays).
+  SizeMeasures traverseStructure(
+      vm::ObjId Start,
+      std::vector<std::pair<vm::ObjId, int32_t>> &Visited) const;
+
+  SizeMeasures measureArrayObject(vm::ObjId Arr) const;
+
+  /// How many of an input's members are arrays (backing storage rather
+  /// than structure elements).
+  int64_t countArrayMembers(const InputInfo &Info) const;
+
+  int32_t identifyStructureSnapshot(vm::ObjId Start);
+  int32_t identifyArraySnapshot(vm::ObjId Arr);
+
+  const bc::Module &M;
+  const analysis::RecursiveTypes &RT;
+  EquivalenceStrategy Strategy;
+  vm::Heap *H = nullptr;
+
+  std::vector<InputInfo> Inputs;
+  std::vector<int32_t> Parent; ///< Union-find over input ids.
+  int32_t InputStreamId = -1;
+  int32_t OutputStreamId = -1;
+  std::unordered_map<int64_t, int32_t> ObjToInput;
+  mutable int64_t Snapshots = 0;
+};
+
+} // namespace prof
+} // namespace algoprof
+
+#endif // ALGOPROF_CORE_INPUTTABLE_H

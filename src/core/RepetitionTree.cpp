@@ -1,0 +1,55 @@
+//===- core/RepetitionTree.cpp --------------------------------------------===//
+
+#include "core/RepetitionTree.h"
+
+#include <set>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+RepetitionNode *RepetitionNode::findChild(const RepKey &K) {
+  for (const auto &C : Children)
+    if (C->Key == K)
+      return C.get();
+  return nullptr;
+}
+
+int64_t RepetitionNode::totalSteps() const {
+  int64_t Sum = 0;
+  for (const InvocationRecord &R : History)
+    if (R.Finalized)
+      Sum += R.Costs.steps();
+  return Sum;
+}
+
+std::vector<int32_t> RepetitionNode::touchedInputs() const {
+  std::set<int32_t> Ids;
+  for (const InvocationRecord &R : History)
+    for (const auto &[Id, Use] : R.Inputs)
+      Ids.insert(Id);
+  return {Ids.begin(), Ids.end()};
+}
+
+RepetitionTree::RepetitionTree() : Root(std::make_unique<RepetitionNode>()) {
+  Root->Key = RepKey{RepKind::Root, -1, -1};
+  Root->Name = "Program";
+}
+
+RepetitionNode &RepetitionTree::getOrCreateChild(RepetitionNode &Parent,
+                                                 const RepKey &K,
+                                                 const std::string &Name) {
+  if (RepetitionNode *Existing = Parent.findChild(K))
+    return *Existing;
+  auto Node = std::make_unique<RepetitionNode>();
+  Node->Key = K;
+  Node->Name = Name;
+  Node->Parent = &Parent;
+  Parent.Children.push_back(std::move(Node));
+  return *Parent.Children.back();
+}
+
+int RepetitionTree::numRepetitions() const {
+  int N = -1; // Exclude the root.
+  forEach([&N](const RepetitionNode &) { ++N; });
+  return N;
+}

@@ -1,0 +1,165 @@
+//===- core/Session.cpp ---------------------------------------------------===//
+
+#include "core/Session.h"
+
+#include "bytecode/Compiler.h"
+#include "bytecode/Verifier.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+//===----------------------------------------------------------------------===//
+// Compilation
+//===----------------------------------------------------------------------===//
+
+int32_t CompiledProgram::entryMethod(const std::string &Cls,
+                                     const std::string &Method) const {
+  int32_t Id = Mod->findMethodId(Cls, Method);
+  if (Id < 0)
+    return -1;
+  const bc::MethodInfo &M = Mod->Methods[static_cast<size_t>(Id)];
+  if (!M.IsStatic || M.NumArgs != 0)
+    return -1;
+  return Id;
+}
+
+std::unique_ptr<CompiledProgram>
+algoprof::prof::compileMiniJ(const std::string &Source,
+                             DiagnosticEngine &Diags) {
+  auto CP = std::make_unique<CompiledProgram>();
+  CP->Ast = parseMiniJ(Source, Diags);
+  if (Diags.hasErrors())
+    return nullptr;
+  if (!runSema(*CP->Ast, Diags))
+    return nullptr;
+  CP->Mod = compileProgram(*CP->Ast, Diags);
+  if (!CP->Mod)
+    return nullptr;
+  // Defense in depth: the interpreter assumes well-formed code; a
+  // verifier failure here is a compiler bug, reported as a diagnostic
+  // rather than as undefined behavior at run time.
+  std::vector<std::string> Problems = bc::verifyModule(*CP->Mod);
+  if (!Problems.empty()) {
+    for (const std::string &P : Problems)
+      Diags.error({}, "internal: bytecode verification failed: " + P);
+    return nullptr;
+  }
+  CP->Prep = vm::PreparedProgram::prepare(*CP->Mod);
+  CP->Dataflow = analysis::computeIndexDataflow(*CP->Ast);
+  return CP;
+}
+
+vm::RunResult algoprof::prof::runPlain(const CompiledProgram &CP,
+                                       const std::string &Cls,
+                                       const std::string &Method,
+                                       vm::IoChannels *Io,
+                                       const vm::RunOptions &Opts) {
+  int32_t Entry = CP.entryMethod(Cls, Method);
+  if (Entry < 0) {
+    vm::RunResult R;
+    R.Status = vm::RunStatus::Trapped;
+    R.TrapMessage = "no static no-arg method " + Cls + "." + Method;
+    return R;
+  }
+  vm::Interpreter Interp(CP.Prep);
+  vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*CP.Mod);
+  vm::IoChannels LocalIo;
+  return Interp.run(Entry, /*Listener=*/nullptr, Plan, Io ? *Io : LocalIo,
+                    Opts);
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileSession
+//===----------------------------------------------------------------------===//
+
+static vm::InstrumentationPlan makePlan(const CompiledProgram &CP,
+                                        bool AllMethods) {
+  if (AllMethods)
+    return vm::InstrumentationPlan::forAlgoProfAllMethods(
+        *CP.Mod, CP.Prep.RecTypes);
+  return vm::InstrumentationPlan::forAlgoProf(*CP.Mod, CP.Prep.RecTypes,
+                                              CP.Prep.Calls);
+}
+
+ProfileSession::ProfileSession(const CompiledProgram &CP,
+                               SessionOptions Opts)
+    : CP(CP), Opts(Opts), Plan(makePlan(CP, Opts.AllMethodsPlan)),
+      Interp(CP.Prep), Prof(CP.Prep, Opts.Profile) {}
+
+vm::RunResult ProfileSession::run(const std::string &Cls,
+                                  const std::string &Method) {
+  vm::IoChannels Io;
+  return run(Cls, Method, Io);
+}
+
+vm::RunResult ProfileSession::run(const std::string &Cls,
+                                  const std::string &Method,
+                                  vm::IoChannels &Io) {
+  int32_t Entry = CP.entryMethod(Cls, Method);
+  if (Entry < 0) {
+    vm::RunResult R;
+    R.Status = vm::RunStatus::Trapped;
+    R.TrapMessage = "no static no-arg method " + Cls + "." + Method;
+    return R;
+  }
+  return Interp.run(Entry, &Prof, Plan, Io, Opts.Run);
+}
+
+std::vector<Algorithm>
+ProfileSession::algorithms(GroupingStrategy Strategy) const {
+  return groupAlgorithms(Prof.tree(), Prof.inputs(), CP.Prep, Strategy,
+                         &CP.Dataflow);
+}
+
+const AlgorithmProfile::InputSeries *
+AlgorithmProfile::primarySeries() const {
+  for (const InputSeries &S : Series)
+    if (S.Interesting)
+      return &S;
+  return nullptr;
+}
+
+std::vector<AlgorithmProfile>
+ProfileSession::buildProfiles(GroupingStrategy Strategy) const {
+  std::vector<AlgorithmProfile> Profiles;
+  for (Algorithm &A : algorithms(Strategy)) {
+    AlgorithmProfile AP;
+    AP.Algo = std::move(A);
+    AP.Invocations = combineInvocations(AP.Algo, Prof.inputs());
+    AP.Class = classifyAlgorithm(AP.Algo, AP.Invocations, Prof.inputs(),
+                                 *CP.Mod);
+    AP.Label = AP.Class.label(Prof.inputs());
+    // Pool the algorithm's inputs by kind and extract one series per
+    // kind across all root invocations.
+    std::map<std::string, std::vector<int32_t>> Kinds;
+    for (int32_t InputId : AP.Algo.InputIds)
+      Kinds[Prof.inputs().info(InputId).Label].push_back(InputId);
+    for (auto &[Kind, Ids] : Kinds) {
+      AlgorithmProfile::InputSeries S;
+      S.Kind = Kind;
+      S.InputIds = Ids;
+      S.Series = extractPooledSeries(AP.Invocations, Ids, CostKind::Step);
+      S.Interesting = isInterestingSeries(S.Series);
+      if (S.Interesting)
+        S.Fit = fit::fitBest(S.Series);
+      // Per-measure plots (paper Sec. 3.5); constant or absent measures
+      // are excluded by the isInterestingSeries heuristic.
+      for (CostKind Measure :
+           {CostKind::StructGet, CostKind::StructPut, CostKind::ArrayLoad,
+            CostKind::ArrayStore}) {
+        auto MeasureSeries =
+            extractPooledSeries(AP.Invocations, Ids, Measure);
+        if (!isInterestingSeries(MeasureSeries))
+          continue;
+        fit::FitResult F = fit::fitBest(MeasureSeries);
+        if (F.Valid)
+          S.MeasureFits.emplace(Measure, F);
+      }
+      AP.Series.push_back(std::move(S));
+    }
+    Profiles.push_back(std::move(AP));
+  }
+  return Profiles;
+}

@@ -1,0 +1,137 @@
+//===- core/Session.h - High-level AlgoProf API -----------------*- C++-*-===//
+///
+/// \file
+/// The library's front door: compile MiniJ source, run it (plain or
+/// profiled, repeatedly, over representative inputs — the paper's "set
+/// of program runs"), and extract algorithm profiles: the repetition
+/// tree, the grouped algorithms, their classifications, their
+/// <size, cost> series, and fitted cost functions.
+///
+/// \code
+///   DiagnosticEngine Diags;
+///   auto CP = compileMiniJ(Source, Diags);
+///   ProfileSession S(*CP);
+///   S.run("Main", "main");
+///   for (const AlgorithmProfile &AP : S.buildProfiles())
+///     ... AP.Label, AP.Series[i].Fit.formula() ...
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CORE_SESSION_H
+#define ALGOPROF_CORE_SESSION_H
+
+#include "analysis/IndexDataflow.h"
+#include "core/AlgoProfiler.h"
+#include "core/Classification.h"
+#include "core/Grouping.h"
+#include "fitting/CurveFit.h"
+#include "frontend/Ast.h"
+
+#include <memory>
+#include <string>
+
+namespace algoprof {
+namespace prof {
+
+/// A fully compiled and analyzed MiniJ program.
+struct CompiledProgram {
+  std::unique_ptr<Program> Ast;
+  std::unique_ptr<bc::Module> Mod;
+  vm::PreparedProgram Prep; ///< Points into *Mod.
+  analysis::IndexDataflow Dataflow;
+
+  /// Method id of static no-arg "Cls.Method", or -1.
+  int32_t entryMethod(const std::string &Cls,
+                      const std::string &Method) const;
+};
+
+/// Lex + parse + sema + compile + static analyses. Returns null and
+/// reports via \p Diags on any front-end error.
+std::unique_ptr<CompiledProgram> compileMiniJ(const std::string &Source,
+                                              DiagnosticEngine &Diags);
+
+/// Runs \p CP unprofiled (no listener). \p Io may be null.
+vm::RunResult runPlain(const CompiledProgram &CP, const std::string &Cls,
+                       const std::string &Method,
+                       vm::IoChannels *Io = nullptr,
+                       const vm::RunOptions &Opts = vm::RunOptions());
+
+/// Everything known about one algorithm after profiling.
+struct AlgorithmProfile {
+  Algorithm Algo;
+  std::vector<CombinedInvocation> Invocations;
+  Classification Class;
+  std::string Label;
+
+  /// A <size, steps> series pooled over all inputs of one kind. A sweep
+  /// harness creates one structure instance per run (each its own input
+  /// id); the paper's Figure 1 plots pool them: every root invocation
+  /// contributes one point <size of its instance, its cost>.
+  struct InputSeries {
+    std::string Kind;              ///< Input label ("Node-based ...").
+    std::vector<int32_t> InputIds; ///< Canonical ids pooled here.
+    std::vector<SeriesPoint> Series;
+    fit::FitResult Fit;
+    bool Interesting = false;
+
+    /// The paper's "multiple plots ... based on the combinations of
+    /// their inputs and cost measures" (Sec. 3.5): fits for the
+    /// non-step cost measures on this input, present only when the
+    /// measure's series is itself interesting (the paper's heuristic
+    /// excludes constant-cost measures).
+    std::map<CostKind, fit::FitResult> MeasureFits;
+  };
+  std::vector<InputSeries> Series;
+
+  /// The first interesting series, or null.
+  const InputSeries *primarySeries() const;
+};
+
+/// Session options.
+struct SessionOptions {
+  ProfileOptions Profile;
+  /// Use the all-methods plan (dynamic recursion folding without the
+  /// static header analysis); creates a recursion node for every method.
+  bool AllMethodsPlan = false;
+  vm::RunOptions Run;
+};
+
+/// A profiling session: one interpreter + one AlgoProfiler accumulating
+/// any number of runs into one repetition tree.
+class ProfileSession {
+public:
+  explicit ProfileSession(const CompiledProgram &CP,
+                          SessionOptions Opts = SessionOptions());
+
+  /// Runs static no-arg "Cls.Method" under the profiler.
+  vm::RunResult run(const std::string &Cls, const std::string &Method);
+  vm::RunResult run(const std::string &Cls, const std::string &Method,
+                    vm::IoChannels &Io);
+
+  AlgoProfiler &profiler() { return Prof; }
+  const RepetitionTree &tree() const { return Prof.tree(); }
+  InputTable &inputs() { return Prof.inputs(); }
+  const CompiledProgram &compiled() const { return CP; }
+
+  /// Groups the accumulated tree into algorithms.
+  std::vector<Algorithm>
+  algorithms(GroupingStrategy Strategy = GroupingStrategy::CommonInput)
+      const;
+
+  /// Full pipeline: group, combine, classify, extract series, fit.
+  std::vector<AlgorithmProfile> buildProfiles(
+      GroupingStrategy Strategy = GroupingStrategy::CommonInput) const;
+
+private:
+  const CompiledProgram &CP;
+  SessionOptions Opts;
+  vm::InstrumentationPlan Plan;
+  vm::Interpreter Interp;
+  AlgoProfiler Prof;
+};
+
+} // namespace prof
+} // namespace algoprof
+
+#endif // ALGOPROF_CORE_SESSION_H

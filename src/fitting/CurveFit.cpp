@@ -1,0 +1,217 @@
+//===- fitting/CurveFit.cpp -----------------------------------------------===//
+
+#include "fitting/CurveFit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace algoprof;
+using namespace algoprof::fit;
+using namespace algoprof::prof;
+
+const char *algoprof::fit::modelKindName(ModelKind K) {
+  switch (K) {
+  case ModelKind::Constant:
+    return "constant";
+  case ModelKind::Logarithmic:
+    return "logarithmic";
+  case ModelKind::Linear:
+    return "linear";
+  case ModelKind::NLogN:
+    return "n*log(n)";
+  case ModelKind::Quadratic:
+    return "quadratic";
+  case ModelKind::Cubic:
+    return "cubic";
+  case ModelKind::PowerLaw:
+    return "power-law";
+  }
+  return "<bad-model>";
+}
+
+double FitResult::growthExponent() const {
+  switch (Kind) {
+  case ModelKind::Constant:
+    return 0;
+  case ModelKind::Logarithmic:
+    return 0.2; // Conventional placement between constant and linear.
+  case ModelKind::Linear:
+    return 1;
+  case ModelKind::NLogN:
+    return 1.15; // Conventional placement between linear and quadratic.
+  case ModelKind::Quadratic:
+    return 2;
+  case ModelKind::Cubic:
+    return 3;
+  case ModelKind::PowerLaw:
+    return Exponent;
+  }
+  return 0;
+}
+
+static std::string fmtCoeff(double A) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.3g", A);
+  return Buf;
+}
+
+std::string FitResult::formula() const {
+  if (!Valid)
+    return "<no fit>";
+  switch (Kind) {
+  case ModelKind::Constant:
+    return fmtCoeff(Coefficient);
+  case ModelKind::Logarithmic:
+    return fmtCoeff(Coefficient) + "*log2(n)";
+  case ModelKind::Linear:
+    return fmtCoeff(Coefficient) + "*n";
+  case ModelKind::NLogN:
+    return fmtCoeff(Coefficient) + "*n*log2(n)";
+  case ModelKind::Quadratic:
+    return fmtCoeff(Coefficient) + "*n^2";
+  case ModelKind::Cubic:
+    return fmtCoeff(Coefficient) + "*n^3";
+  case ModelKind::PowerLaw:
+    return fmtCoeff(Coefficient) + "*n^" + fmtCoeff(Exponent);
+  }
+  return "<bad-model>";
+}
+
+namespace {
+
+double basis(ModelKind K, double N) {
+  switch (K) {
+  case ModelKind::Constant:
+    return 1;
+  case ModelKind::Logarithmic:
+    return N <= 1 ? 0 : std::log2(N);
+  case ModelKind::Linear:
+    return N;
+  case ModelKind::NLogN:
+    return N <= 1 ? 0 : N * std::log2(N);
+  case ModelKind::Quadratic:
+    return N * N;
+  case ModelKind::Cubic:
+    return N * N * N;
+  case ModelKind::PowerLaw:
+    return 0; // Handled separately.
+  }
+  return 0;
+}
+
+/// Sum of squared deviations of y around its mean.
+double totalSumOfSquares(const std::vector<SeriesPoint> &Series) {
+  double MeanY = 0;
+  for (const SeriesPoint &Pt : Series)
+    MeanY += Pt.Y;
+  MeanY /= static_cast<double>(Series.size());
+  double Tss = 0;
+  for (const SeriesPoint &Pt : Series)
+    Tss += (Pt.Y - MeanY) * (Pt.Y - MeanY);
+  return Tss;
+}
+
+FitResult finishFit(const std::vector<SeriesPoint> &Series, FitResult R,
+                    double Rss, int NumParams) {
+  double M = static_cast<double>(Series.size());
+  double Tss = totalSumOfSquares(Series);
+  R.R2 = Tss > 0 ? 1.0 - Rss / Tss : (Rss <= 1e-9 ? 1.0 : 0.0);
+  // Guard the log for perfect fits.
+  double MeanRss = std::max(Rss / M, 1e-12);
+  R.Bic = M * std::log(MeanRss) + NumParams * std::log(M);
+  R.Valid = true;
+  return R;
+}
+
+FitResult fitPowerLaw(const std::vector<SeriesPoint> &Series) {
+  FitResult R;
+  R.Kind = ModelKind::PowerLaw;
+  // Log-log linear regression over strictly positive points.
+  double Sx = 0, Sy = 0, Sxx = 0, Sxy = 0;
+  int N = 0;
+  for (const SeriesPoint &Pt : Series) {
+    if (Pt.X <= 0 || Pt.Y <= 0)
+      continue;
+    double Lx = std::log(Pt.X), Ly = std::log(Pt.Y);
+    Sx += Lx;
+    Sy += Ly;
+    Sxx += Lx * Lx;
+    Sxy += Lx * Ly;
+    ++N;
+  }
+  if (N < 3)
+    return R; // Invalid.
+  double Denom = N * Sxx - Sx * Sx;
+  if (std::abs(Denom) < 1e-12)
+    return R;
+  R.Exponent = (N * Sxy - Sx * Sy) / Denom;
+  R.Coefficient = std::exp((Sy - R.Exponent * Sx) / N);
+
+  // Residuals in the original space over the *full* series.
+  double Rss = 0;
+  for (const SeriesPoint &Pt : Series) {
+    double Pred =
+        Pt.X <= 0 ? 0 : R.Coefficient * std::pow(Pt.X, R.Exponent);
+    Rss += (Pt.Y - Pred) * (Pt.Y - Pred);
+  }
+  return finishFit(Series, R, Rss, /*NumParams=*/2);
+}
+
+} // namespace
+
+FitResult algoprof::fit::fitModel(const std::vector<SeriesPoint> &Series,
+                                  ModelKind K) {
+  FitResult R;
+  R.Kind = K;
+  if (Series.size() < 3)
+    return R;
+  if (K == ModelKind::PowerLaw)
+    return fitPowerLaw(Series);
+
+  // Closed-form least squares for y = a*f(n): a = sum(y*f) / sum(f^2).
+  double Sff = 0, Syf = 0;
+  for (const SeriesPoint &Pt : Series) {
+    double F = basis(K, Pt.X);
+    Sff += F * F;
+    Syf += Pt.Y * F;
+  }
+  if (Sff < 1e-12) {
+    // Degenerate basis (all sizes zero); only Constant can survive.
+    if (K != ModelKind::Constant)
+      return R;
+  }
+  R.Coefficient = Sff > 0 ? Syf / Sff : 0;
+
+  double Rss = 0;
+  for (const SeriesPoint &Pt : Series) {
+    double Pred = R.Coefficient * basis(K, Pt.X);
+    Rss += (Pt.Y - Pred) * (Pt.Y - Pred);
+  }
+  return finishFit(Series, R, Rss, /*NumParams=*/1);
+}
+
+std::vector<FitResult>
+algoprof::fit::fitAllModels(const std::vector<SeriesPoint> &Series) {
+  std::vector<FitResult> Fits;
+  for (ModelKind K :
+       {ModelKind::Constant, ModelKind::Logarithmic, ModelKind::Linear,
+        ModelKind::NLogN, ModelKind::Quadratic, ModelKind::Cubic,
+        ModelKind::PowerLaw}) {
+    FitResult R = fitModel(Series, K);
+    if (R.Valid)
+      Fits.push_back(R);
+  }
+  std::sort(Fits.begin(), Fits.end(),
+            [](const FitResult &A, const FitResult &B) {
+              return A.Bic < B.Bic;
+            });
+  return Fits;
+}
+
+FitResult algoprof::fit::fitBest(const std::vector<SeriesPoint> &Series) {
+  std::vector<FitResult> Fits = fitAllModels(Series);
+  if (Fits.empty())
+    return FitResult();
+  return Fits.front();
+}

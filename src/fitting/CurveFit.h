@@ -1,0 +1,73 @@
+//===- fitting/CurveFit.h - Empirical cost-function fitting -----*- C++-*-===//
+///
+/// \file
+/// Least-squares fitting of cost functions over <input size, cost>
+/// series. The paper fits its cost functions by hand with a statistics
+/// package (Sec. 2.7/3.5), deferring automation to empirical
+/// algorithmics [8,9,14]; this module implements the standard approach
+/// those works describe: a family of single-coefficient basis models
+/// (a, a·n, a·n·log2 n, a·n², a·n³) with closed-form least squares, a
+/// two-parameter power law a·n^b via log-log regression, and BIC model
+/// selection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_FITTING_CURVEFIT_H
+#define ALGOPROF_FITTING_CURVEFIT_H
+
+#include "core/AlgorithmSummary.h"
+
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace fit {
+
+/// The candidate model family.
+enum class ModelKind {
+  Constant,    ///< y = a
+  Logarithmic, ///< y = a*log2(n)
+  Linear,      ///< y = a*n
+  NLogN,       ///< y = a*n*log2(n)
+  Quadratic,   ///< y = a*n^2
+  Cubic,       ///< y = a*n^3
+  PowerLaw,    ///< y = a*n^b
+};
+
+const char *modelKindName(ModelKind K);
+
+/// One fitted model.
+struct FitResult {
+  ModelKind Kind = ModelKind::Constant;
+  double Coefficient = 0; ///< a.
+  double Exponent = 0;    ///< b (PowerLaw only).
+  double R2 = 0;          ///< Coefficient of determination.
+  double Bic = 0;         ///< Bayesian information criterion (lower wins).
+  bool Valid = false;
+
+  /// Asymptotic growth exponent: 0 constant, ~0.2 logarithmic,
+  /// 1 linear, ~1.15 n·log n, 2 quadratic, 3 cubic, b for power laws.
+  /// The cross-implementation invariant tests assert on this.
+  double growthExponent() const;
+
+  /// Human-readable formula like "0.25*n^2" (paper Fig. 3 notation).
+  std::string formula() const;
+};
+
+/// Fits one model of kind \p K to \p Series.
+FitResult fitModel(const std::vector<prof::SeriesPoint> &Series,
+                   ModelKind K);
+
+/// Fits every model and returns them sorted by ascending BIC (best
+/// first). Invalid fits (degenerate series) are omitted.
+std::vector<FitResult>
+fitAllModels(const std::vector<prof::SeriesPoint> &Series);
+
+/// The best model by BIC; FitResult::Valid is false for degenerate
+/// series (fewer than 3 points, or no size variation).
+FitResult fitBest(const std::vector<prof::SeriesPoint> &Series);
+
+} // namespace fit
+} // namespace algoprof
+
+#endif // ALGOPROF_FITTING_CURVEFIT_H

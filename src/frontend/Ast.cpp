@@ -1,0 +1,37 @@
+//===- frontend/Ast.cpp ---------------------------------------------------===//
+
+#include "frontend/Ast.h"
+
+using namespace algoprof;
+
+Expr::~Expr() = default;
+Stmt::~Stmt() = default;
+
+const FieldDecl *ClassDecl::findOwnField(const std::string &FieldName) const {
+  for (const auto &F : Fields)
+    if (F->Name == FieldName)
+      return F.get();
+  return nullptr;
+}
+
+const MethodDecl *
+ClassDecl::findOwnMethod(const std::string &MethodName) const {
+  for (const auto &M : Methods)
+    if (!M->IsCtor && M->Name == MethodName)
+      return M.get();
+  return nullptr;
+}
+
+const MethodDecl *ClassDecl::findCtor() const {
+  for (const auto &M : Methods)
+    if (M->IsCtor)
+      return M.get();
+  return nullptr;
+}
+
+const ClassDecl *Program::findClass(const std::string &Name) const {
+  for (const auto &C : Classes)
+    if (C->Name == Name)
+      return C.get();
+  return nullptr;
+}

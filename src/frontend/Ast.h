@@ -1,0 +1,485 @@
+//===- frontend/Ast.h - MiniJ abstract syntax tree --------------*- C++-*-===//
+///
+/// \file
+/// AST for MiniJ. Nodes carry hand-rolled LLVM-style kind tags for
+/// dispatch (no RTTI). Semantic analysis annotates nodes in place:
+/// expressions get a resolved TypeFE, name/call nodes get resolved symbol
+/// references, and loops get per-method loop ids that later phases
+/// (bytecode loop metadata, the index-dataflow grouping analysis) share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_FRONTEND_AST_H
+#define ALGOPROF_FRONTEND_AST_H
+
+#include "frontend/Types.h"
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+
+class ClassDecl;
+class MethodDecl;
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Kind tag for Expr subclasses.
+enum class ExprKind {
+  IntLit,
+  BoolLit,
+  NullLit,
+  This,
+  Name,
+  Binary,
+  Unary,
+  Assign,
+  IncDec,
+  FieldAccess,
+  Index,
+  Call,
+  NewObject,
+  NewArray,
+};
+
+/// Base class of all MiniJ expressions.
+class Expr {
+public:
+  explicit Expr(ExprKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  virtual ~Expr();
+
+  ExprKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+  /// Resolved type; set by Sema.
+  TypeFE Ty = TypeFE::errorTy();
+
+private:
+  ExprKind Kind;
+  SourceLoc Loc;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// An integer literal.
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, SourceLoc Loc)
+      : Expr(ExprKind::IntLit, Loc), Value(Value) {}
+  int64_t Value;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+};
+
+/// 'true' or 'false'.
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, SourceLoc Loc)
+      : Expr(ExprKind::BoolLit, Loc), Value(Value) {}
+  bool Value;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::BoolLit; }
+};
+
+/// 'null'.
+class NullLitExpr : public Expr {
+public:
+  explicit NullLitExpr(SourceLoc Loc) : Expr(ExprKind::NullLit, Loc) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::NullLit; }
+};
+
+/// 'this'.
+class ThisExpr : public Expr {
+public:
+  explicit ThisExpr(SourceLoc Loc) : Expr(ExprKind::This, Loc) {}
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::This; }
+};
+
+/// How Sema resolved a bare identifier expression.
+enum class NameResolution {
+  Unresolved,
+  Local,        ///< A local variable or parameter; Slot is set.
+  ImplicitField,///< A field of 'this'; OwnerClass/FieldIndex are set.
+  ClassRef,     ///< A class name (only legal as a static-call base).
+};
+
+/// A bare identifier: local variable, implicit-this field, or class name.
+class NameExpr : public Expr {
+public:
+  NameExpr(std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::Name, Loc), Name(std::move(Name)) {}
+  std::string Name;
+
+  NameResolution Resolution = NameResolution::Unresolved;
+  int Slot = -1;                   ///< Local slot (Local).
+  const ClassDecl *OwnerClass = nullptr; ///< Declaring class (ImplicitField
+                                         ///  or ClassRef).
+  int FieldIndex = -1;             ///< Index in OwnerClass field layout.
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Name; }
+};
+
+/// Binary operator kinds (logical && / || lower to short-circuit control
+/// flow in the compiler but are a single node here).
+enum class BinaryOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  LogicalAnd,
+  LogicalOr,
+};
+
+/// A binary expression.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOp Op, ExprPtr Lhs, ExprPtr Rhs, SourceLoc Loc)
+      : Expr(ExprKind::Binary, Loc), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+  BinaryOp Op;
+  ExprPtr Lhs, Rhs;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+};
+
+/// Unary operator kinds.
+enum class UnaryOp { Neg, Not };
+
+/// A unary expression.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOp Op, ExprPtr Operand, SourceLoc Loc)
+      : Expr(ExprKind::Unary, Loc), Op(Op), Operand(std::move(Operand)) {}
+  UnaryOp Op;
+  ExprPtr Operand;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+};
+
+/// An assignment 'target = value'. Target must be a Name, FieldAccess, or
+/// Index expression (checked by Sema).
+class AssignExpr : public Expr {
+public:
+  AssignExpr(ExprPtr Target, ExprPtr Value, SourceLoc Loc)
+      : Expr(ExprKind::Assign, Loc), Target(std::move(Target)),
+        Value(std::move(Value)) {}
+  ExprPtr Target, Value;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Assign; }
+};
+
+/// Postfix/prefix '++'/'--' on an int lvalue.
+class IncDecExpr : public Expr {
+public:
+  IncDecExpr(ExprPtr Target, bool IsIncrement, bool IsPrefix, SourceLoc Loc)
+      : Expr(ExprKind::IncDec, Loc), Target(std::move(Target)),
+        IsIncrement(IsIncrement), IsPrefix(IsPrefix) {}
+  ExprPtr Target;
+  bool IsIncrement;
+  bool IsPrefix;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IncDec; }
+};
+
+/// 'base.name' — a field read, or '.length' on an array.
+class FieldAccessExpr : public Expr {
+public:
+  FieldAccessExpr(ExprPtr Base, std::string Name, SourceLoc Loc)
+      : Expr(ExprKind::FieldAccess, Loc), Base(std::move(Base)),
+        Name(std::move(Name)) {}
+  ExprPtr Base;
+  std::string Name;
+
+  bool IsArrayLength = false;            ///< Set by Sema for arr.length.
+  const ClassDecl *OwnerClass = nullptr; ///< Declaring class of the field.
+  int FieldIndex = -1;
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::FieldAccess;
+  }
+};
+
+/// 'base[index]'.
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, ExprPtr Index, SourceLoc Loc)
+      : Expr(ExprKind::Index, Loc), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+  ExprPtr Base, Index;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Index; }
+};
+
+/// Built-in native functions (VM intrinsics).
+enum class BuiltinFn { None, Print, ReadInt, HasInput };
+
+/// How Sema resolved a call.
+enum class CallResolution {
+  Unresolved,
+  Static,       ///< Static method; Callee set, no receiver on stack.
+  Virtual,      ///< Instance method via vtable; receiver required.
+  Builtin,      ///< VM intrinsic (print/readInt/hasInput).
+};
+
+/// A call: 'f(a)' (implicit this / same-class static / builtin),
+/// 'expr.m(a)' (instance), or 'ClassName.m(a)' (static).
+class CallExpr : public Expr {
+public:
+  CallExpr(ExprPtr Receiver, std::string Name, std::vector<ExprPtr> Args,
+           SourceLoc Loc)
+      : Expr(ExprKind::Call, Loc), Receiver(std::move(Receiver)),
+        Name(std::move(Name)), Args(std::move(Args)) {}
+
+  /// Receiver expression; null for bare calls. For static calls through a
+  /// class name the receiver is a NameExpr resolved to ClassRef and is not
+  /// evaluated.
+  ExprPtr Receiver;
+  std::string Name;
+  std::vector<ExprPtr> Args;
+
+  CallResolution Resolution = CallResolution::Unresolved;
+  BuiltinFn Builtin = BuiltinFn::None;
+  const MethodDecl *Callee = nullptr;
+  /// True when a bare call to an instance method needs 'this' pushed.
+  bool ImplicitThis = false;
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+};
+
+/// 'new C(args)' (type arguments, if any, were erased by the parser).
+class NewObjectExpr : public Expr {
+public:
+  NewObjectExpr(std::string ClassName, std::vector<ExprPtr> Args,
+                SourceLoc Loc)
+      : Expr(ExprKind::NewObject, Loc), ClassName(std::move(ClassName)),
+        Args(std::move(Args)) {}
+  std::string ClassName;
+  std::vector<ExprPtr> Args;
+
+  const ClassDecl *Class = nullptr;  ///< Resolved by Sema.
+  const MethodDecl *Ctor = nullptr;  ///< Null when using the default ctor.
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::NewObject;
+  }
+};
+
+/// 'new T[e0][e1]..[]..' — ElemType is the scalar/class base type, Dims are
+/// the sized dimensions, ExtraDims counts trailing unsized '[]' pairs.
+class NewArrayExpr : public Expr {
+public:
+  NewArrayExpr(TypeFE ElemType, std::vector<ExprPtr> Dims, int ExtraDims,
+               SourceLoc Loc)
+      : Expr(ExprKind::NewArray, Loc), ElemType(std::move(ElemType)),
+        Dims(std::move(Dims)), ExtraDims(ExtraDims) {}
+  TypeFE ElemType;
+  std::vector<ExprPtr> Dims;
+  int ExtraDims;
+  static bool classof(const Expr *E) {
+    return E->kind() == ExprKind::NewArray;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+/// Kind tag for Stmt subclasses.
+enum class StmtKind {
+  Block,
+  VarDecl,
+  If,
+  While,
+  For,
+  Return,
+  ExprStmt,
+  Break,
+  Continue,
+};
+
+/// Base class of all MiniJ statements.
+class Stmt {
+public:
+  explicit Stmt(StmtKind Kind, SourceLoc Loc) : Kind(Kind), Loc(Loc) {}
+  virtual ~Stmt();
+  StmtKind kind() const { return Kind; }
+  SourceLoc loc() const { return Loc; }
+
+private:
+  StmtKind Kind;
+  SourceLoc Loc;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// '{ ... }'.
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, SourceLoc Loc)
+      : Stmt(StmtKind::Block, Loc), Stmts(std::move(Stmts)) {}
+  std::vector<StmtPtr> Stmts;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Block; }
+};
+
+/// 'T x;' or 'T x = init;'.
+class VarDeclStmt : public Stmt {
+public:
+  VarDeclStmt(TypeFE DeclaredType, std::string Name, ExprPtr Init,
+              SourceLoc Loc)
+      : Stmt(StmtKind::VarDecl, Loc), DeclaredType(std::move(DeclaredType)),
+        Name(std::move(Name)), Init(std::move(Init)) {}
+  TypeFE DeclaredType;
+  std::string Name;
+  ExprPtr Init; ///< May be null.
+
+  int Slot = -1; ///< Local slot assigned by Sema.
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::VarDecl; }
+};
+
+/// 'if (c) then else?'.
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, SourceLoc Loc)
+      : Stmt(StmtKind::If, Loc), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+  ExprPtr Cond;
+  StmtPtr Then;
+  StmtPtr Else; ///< May be null.
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+};
+
+/// 'while (c) body'. LoopId is a dense per-method id assigned by Sema in
+/// source order; the compiler and the index-dataflow analysis share it.
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, SourceLoc Loc)
+      : Stmt(StmtKind::While, Loc), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+  ExprPtr Cond;
+  StmtPtr Body;
+  int LoopId = -1;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::While; }
+};
+
+/// 'for (init; cond; update) body'.
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, ExprPtr Update, StmtPtr Body,
+          SourceLoc Loc)
+      : Stmt(StmtKind::For, Loc), Init(std::move(Init)), Cond(std::move(Cond)),
+        Update(std::move(Update)), Body(std::move(Body)) {}
+  StmtPtr Init;   ///< VarDecl or ExprStmt; may be null.
+  ExprPtr Cond;   ///< May be null (treated as true).
+  ExprPtr Update; ///< May be null.
+  StmtPtr Body;
+  int LoopId = -1;
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+};
+
+/// 'return;' or 'return e;'.
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, SourceLoc Loc)
+      : Stmt(StmtKind::Return, Loc), Value(std::move(Value)) {}
+  ExprPtr Value; ///< May be null.
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Return; }
+};
+
+/// An expression used as a statement (call, assignment, inc/dec).
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, SourceLoc Loc)
+      : Stmt(StmtKind::ExprStmt, Loc), E(std::move(E)) {}
+  ExprPtr E;
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::ExprStmt;
+  }
+};
+
+/// 'break;'.
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(SourceLoc Loc) : Stmt(StmtKind::Break, Loc) {}
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Break; }
+};
+
+/// 'continue;'.
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(SourceLoc Loc) : Stmt(StmtKind::Continue, Loc) {}
+  static bool classof(const Stmt *S) {
+    return S->kind() == StmtKind::Continue;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+/// A formal parameter.
+struct ParamDecl {
+  TypeFE DeclaredType;
+  std::string Name;
+  SourceLoc Loc;
+  int Slot = -1; ///< Assigned by Sema.
+};
+
+/// A field declaration. FieldIndex is the index into the class's own field
+/// list; the full object layout prepends inherited fields.
+class FieldDecl {
+public:
+  TypeFE DeclaredType;
+  std::string Name;
+  SourceLoc Loc;
+  int FieldIndex = -1;
+};
+
+/// A method or constructor. Constructors have IsCtor set, a void return
+/// type, and the class's name.
+class MethodDecl {
+public:
+  bool IsStatic = false;
+  bool IsCtor = false;
+  TypeFE ReturnType;
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+  SourceLoc Loc;
+
+  const ClassDecl *Owner = nullptr; ///< Set by Sema.
+  int NumLocalSlots = 0;            ///< Including 'this' for instance methods.
+  int NumLoops = 0;                 ///< Loop ids assigned are [0, NumLoops).
+};
+
+/// A class declaration. Type parameters are recorded for erasure only.
+class ClassDecl {
+public:
+  std::string Name;
+  std::vector<std::string> TypeParams;
+  std::string SuperName; ///< Empty means the implicit root "Object".
+  std::vector<std::unique_ptr<FieldDecl>> Fields;
+  std::vector<std::unique_ptr<MethodDecl>> Methods;
+  SourceLoc Loc;
+
+  const ClassDecl *Super = nullptr; ///< Resolved by Sema (null for Object).
+
+  /// Finds a field declared in this class only; null when absent.
+  const FieldDecl *findOwnField(const std::string &FieldName) const;
+  /// Finds a method declared in this class only (excluding ctors).
+  const MethodDecl *findOwnMethod(const std::string &MethodName) const;
+  /// Finds the constructor (at most one is allowed); null when absent.
+  const MethodDecl *findCtor() const;
+};
+
+/// A whole MiniJ translation unit.
+class Program {
+public:
+  std::vector<std::unique_ptr<ClassDecl>> Classes;
+
+  const ClassDecl *findClass(const std::string &Name) const;
+};
+
+} // namespace algoprof
+
+#endif // ALGOPROF_FRONTEND_AST_H

@@ -1,0 +1,304 @@
+//===- frontend/Lexer.cpp -------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cassert>
+#include <cctype>
+#include <unordered_map>
+
+using namespace algoprof;
+
+const char *algoprof::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::EndOfFile:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::KW_Class:
+    return "'class'";
+  case TokenKind::KW_Extends:
+    return "'extends'";
+  case TokenKind::KW_Static:
+    return "'static'";
+  case TokenKind::KW_Int:
+    return "'int'";
+  case TokenKind::KW_Boolean:
+    return "'boolean'";
+  case TokenKind::KW_Void:
+    return "'void'";
+  case TokenKind::KW_If:
+    return "'if'";
+  case TokenKind::KW_Else:
+    return "'else'";
+  case TokenKind::KW_While:
+    return "'while'";
+  case TokenKind::KW_For:
+    return "'for'";
+  case TokenKind::KW_Return:
+    return "'return'";
+  case TokenKind::KW_New:
+    return "'new'";
+  case TokenKind::KW_This:
+    return "'this'";
+  case TokenKind::KW_Null:
+    return "'null'";
+  case TokenKind::KW_True:
+    return "'true'";
+  case TokenKind::KW_False:
+    return "'false'";
+  case TokenKind::KW_Break:
+    return "'break'";
+  case TokenKind::KW_Continue:
+    return "'continue'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semi:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Dot:
+    return "'.'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::Plus:
+    return "'+'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::Star:
+    return "'*'";
+  case TokenKind::Slash:
+    return "'/'";
+  case TokenKind::Percent:
+    return "'%'";
+  case TokenKind::Bang:
+    return "'!'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::LessEqual:
+    return "'<='";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::GreaterEqual:
+    return "'>='";
+  case TokenKind::EqualEqual:
+    return "'=='";
+  case TokenKind::BangEqual:
+    return "'!='";
+  case TokenKind::AmpAmp:
+    return "'&&'";
+  case TokenKind::PipePipe:
+    return "'||'";
+  case TokenKind::PlusPlus:
+    return "'++'";
+  case TokenKind::MinusMinus:
+    return "'--'";
+  }
+  return "<invalid>";
+}
+
+static TokenKind keywordKind(const std::string &Text, bool &IsKeyword) {
+  static const std::unordered_map<std::string, TokenKind> Keywords = {
+      {"class", TokenKind::KW_Class},     {"extends", TokenKind::KW_Extends},
+      {"static", TokenKind::KW_Static},   {"int", TokenKind::KW_Int},
+      {"boolean", TokenKind::KW_Boolean}, {"void", TokenKind::KW_Void},
+      {"if", TokenKind::KW_If},           {"else", TokenKind::KW_Else},
+      {"while", TokenKind::KW_While},     {"for", TokenKind::KW_For},
+      {"return", TokenKind::KW_Return},   {"new", TokenKind::KW_New},
+      {"this", TokenKind::KW_This},       {"null", TokenKind::KW_Null},
+      {"true", TokenKind::KW_True},       {"false", TokenKind::KW_False},
+      {"break", TokenKind::KW_Break},     {"continue", TokenKind::KW_Continue},
+  };
+  auto It = Keywords.find(Text);
+  IsKeyword = It != Keywords.end();
+  return IsKeyword ? It->second : TokenKind::Identifier;
+}
+
+Lexer::Lexer(std::string Source, DiagnosticEngine &Diags)
+    : Source(std::move(Source)), Diags(Diags) {}
+
+char Lexer::peek(int Ahead) const {
+  size_t Index = Pos + static_cast<size_t>(Ahead);
+  return Index < Source.size() ? Source[Index] : '\0';
+}
+
+char Lexer::advance() {
+  assert(Pos < Source.size() && "advance past end of buffer");
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = currentLoc();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind) {
+  Token T;
+  T.Kind = Kind;
+  T.Loc = TokenStart;
+  return T;
+}
+
+Token Lexer::lexToken() {
+  skipWhitespaceAndComments();
+  TokenStart = currentLoc();
+  if (Pos >= Source.size())
+    return makeToken(TokenKind::EndOfFile);
+
+  char C = advance();
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Text(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Text.push_back(advance());
+    bool IsKeyword = false;
+    TokenKind Kind = keywordKind(Text, IsKeyword);
+    Token T = makeToken(Kind);
+    if (!IsKeyword)
+      T.Text = std::move(Text);
+    return T;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    int64_t Value = C - '0';
+    bool Overflow = false;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      char D = advance();
+      if (Value > (INT64_MAX - (D - '0')) / 10)
+        Overflow = true;
+      else
+        Value = Value * 10 + (D - '0');
+    }
+    if (Overflow)
+      Diags.error(TokenStart, "integer literal too large");
+    Token T = makeToken(TokenKind::IntLiteral);
+    T.IntValue = Value;
+    return T;
+  }
+
+  switch (C) {
+  case '{':
+    return makeToken(TokenKind::LBrace);
+  case '}':
+    return makeToken(TokenKind::RBrace);
+  case '(':
+    return makeToken(TokenKind::LParen);
+  case ')':
+    return makeToken(TokenKind::RParen);
+  case '[':
+    return makeToken(TokenKind::LBracket);
+  case ']':
+    return makeToken(TokenKind::RBracket);
+  case ';':
+    return makeToken(TokenKind::Semi);
+  case ',':
+    return makeToken(TokenKind::Comma);
+  case '.':
+    return makeToken(TokenKind::Dot);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus);
+    return makeToken(TokenKind::Plus);
+  case '-':
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus);
+    return makeToken(TokenKind::Minus);
+  case '*':
+    return makeToken(TokenKind::Star);
+  case '/':
+    return makeToken(TokenKind::Slash);
+  case '%':
+    return makeToken(TokenKind::Percent);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual);
+    return makeToken(TokenKind::Assign);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::BangEqual);
+    return makeToken(TokenKind::Bang);
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEqual);
+    return makeToken(TokenKind::Less);
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual);
+    return makeToken(TokenKind::Greater);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp);
+    break;
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe);
+    break;
+  default:
+    break;
+  }
+
+  Diags.error(TokenStart, std::string("unexpected character '") + C + "'");
+  // Resynchronize by skipping the character and lexing the next token.
+  return lexToken();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    Token T = lexToken();
+    bool Done = T.is(TokenKind::EndOfFile);
+    Tokens.push_back(std::move(T));
+    if (Done)
+      return Tokens;
+  }
+}

@@ -1,0 +1,122 @@
+//===- frontend/Lexer.h - MiniJ lexical analysis ----------------*- C++-*-===//
+///
+/// \file
+/// Tokenizer for MiniJ, the Java-subset language executed by the AlgoProf
+/// VM substrate. MiniJ covers exactly the constructs exercised by the
+/// PLDI'12 "Algorithmic Profiling" example programs: classes with single
+/// inheritance and (erased) generics, int/boolean scalars, arrays, loops,
+/// recursion, and built-in integer I/O.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_FRONTEND_LEXER_H
+#define ALGOPROF_FRONTEND_LEXER_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+
+/// MiniJ token kinds. Keyword enumerators follow the KW_ prefix scheme.
+enum class TokenKind {
+  EndOfFile,
+  Identifier,
+  IntLiteral,
+
+  // Keywords.
+  KW_Class,
+  KW_Extends,
+  KW_Static,
+  KW_Int,
+  KW_Boolean,
+  KW_Void,
+  KW_If,
+  KW_Else,
+  KW_While,
+  KW_For,
+  KW_Return,
+  KW_New,
+  KW_This,
+  KW_Null,
+  KW_True,
+  KW_False,
+  KW_Break,
+  KW_Continue,
+
+  // Punctuation and operators.
+  LBrace,
+  RBrace,
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Assign,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Bang,
+  Less,
+  LessEqual,
+  Greater,
+  GreaterEqual,
+  EqualEqual,
+  BangEqual,
+  AmpAmp,
+  PipePipe,
+  PlusPlus,
+  MinusMinus,
+};
+
+/// Returns a stable printable name for a token kind ("'{'", "identifier").
+const char *tokenKindName(TokenKind Kind);
+
+/// One MiniJ token. Identifier text and literal values are stored inline.
+struct Token {
+  TokenKind Kind = TokenKind::EndOfFile;
+  SourceLoc Loc;
+  std::string Text;    ///< Identifier spelling (empty otherwise).
+  int64_t IntValue = 0; ///< Value for IntLiteral tokens.
+
+  bool is(TokenKind K) const { return Kind == K; }
+};
+
+/// Converts a MiniJ source buffer into a token stream.
+///
+/// The lexer is a standalone phase: it never fails fatally, reporting
+/// malformed input through the DiagnosticEngine and continuing so the
+/// parser can produce further diagnostics.
+class Lexer {
+public:
+  Lexer(std::string Source, DiagnosticEngine &Diags);
+
+  /// Tokenizes the entire buffer. The result always ends with EndOfFile.
+  std::vector<Token> lexAll();
+
+private:
+  Token lexToken();
+  void skipWhitespaceAndComments();
+  Token makeToken(TokenKind Kind);
+  char peek(int Ahead = 0) const;
+  char advance();
+  bool match(char Expected);
+  SourceLoc currentLoc() const { return {Line, Col}; }
+
+  std::string Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  int Line = 1;
+  int Col = 1;
+  SourceLoc TokenStart;
+};
+
+} // namespace algoprof
+
+#endif // ALGOPROF_FRONTEND_LEXER_H

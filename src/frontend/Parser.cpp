@@ -1,0 +1,698 @@
+//===- frontend/Parser.cpp ------------------------------------------------===//
+
+#include "frontend/Parser.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace algoprof;
+
+Parser::Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+    : Tokens(std::move(Tokens)), Diags(Diags) {
+  assert(!this->Tokens.empty() && "token stream must end with EOF");
+}
+
+const Token &Parser::peek(int Ahead) const {
+  size_t Index = Pos + static_cast<size_t>(Ahead);
+  if (Index >= Tokens.size())
+    return Tokens.back();
+  return Tokens[Index];
+}
+
+Token Parser::consume() {
+  Token T = current();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokenKind Kind) {
+  if (!check(Kind))
+    return false;
+  consume();
+  return true;
+}
+
+bool Parser::expect(TokenKind Kind, const char *Context) {
+  if (accept(Kind))
+    return true;
+  Diags.error(current().Loc, std::string("expected ") + tokenKindName(Kind) +
+                                 " " + Context + ", found " +
+                                 tokenKindName(current().Kind));
+  return false;
+}
+
+void Parser::synchronizeToStmtBoundary() {
+  while (!check(TokenKind::EndOfFile)) {
+    if (accept(TokenKind::Semi))
+      return;
+    if (check(TokenKind::RBrace))
+      return;
+    consume();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+bool Parser::startsType() const {
+  return check(TokenKind::KW_Int) || check(TokenKind::KW_Boolean) ||
+         check(TokenKind::KW_Void) || check(TokenKind::Identifier);
+}
+
+/// Decides whether the statement at the cursor is a variable declaration.
+/// Primitive-type starts are declarations; an identifier start needs
+/// lookahead to separate 'Node x;' / 'Node[] x;' / 'Node<T> x;' from
+/// expressions like 'n = ...', 'a[i] = ...', or 'n < m'.
+bool Parser::looksLikeVarDecl() const {
+  if (check(TokenKind::KW_Int) || check(TokenKind::KW_Boolean))
+    return true;
+  if (!check(TokenKind::Identifier))
+    return false;
+  int I = 1;
+  // Optional generic argument list: skip balanced angle brackets.
+  if (peek(I).is(TokenKind::Less)) {
+    int Depth = 0;
+    for (;;) {
+      const Token &T = peek(I);
+      if (T.is(TokenKind::Less)) {
+        ++Depth;
+      } else if (T.is(TokenKind::Greater)) {
+        --Depth;
+        if (Depth == 0) {
+          ++I;
+          break;
+        }
+      } else if (T.is(TokenKind::Identifier) || T.is(TokenKind::Comma) ||
+                 T.is(TokenKind::LBracket) || T.is(TokenKind::RBracket) ||
+                 T.is(TokenKind::KW_Int) || T.is(TokenKind::KW_Boolean)) {
+        // Plausible inside a type-argument list.
+      } else {
+        return false; // Not a generic type; must be a comparison.
+      }
+      ++I;
+    }
+  }
+  // Optional array suffix: '[' must be immediately closed to be a type.
+  while (peek(I).is(TokenKind::LBracket)) {
+    if (!peek(I + 1).is(TokenKind::RBracket))
+      return false;
+    I += 2;
+  }
+  return peek(I).is(TokenKind::Identifier);
+}
+
+void Parser::skipTypeArgs() {
+  // Caller verified current() is '<'. Consume a balanced angle group.
+  int Depth = 0;
+  do {
+    const Token &T = current();
+    if (T.is(TokenKind::Less))
+      ++Depth;
+    else if (T.is(TokenKind::Greater))
+      --Depth;
+    else if (T.is(TokenKind::EndOfFile)) {
+      Diags.error(T.Loc, "unterminated type argument list");
+      return;
+    }
+    consume();
+  } while (Depth > 0);
+}
+
+TypeFE Parser::parseBaseType() {
+  if (accept(TokenKind::KW_Int))
+    return TypeFE::intTy();
+  if (accept(TokenKind::KW_Boolean))
+    return TypeFE::boolTy();
+  if (accept(TokenKind::KW_Void))
+    return TypeFE::voidTy();
+  if (check(TokenKind::Identifier)) {
+    std::string Name = consume().Text;
+    if (check(TokenKind::Less))
+      skipTypeArgs(); // Erasure: drop type arguments.
+    // Erase type parameters of the enclosing class to Object.
+    if (std::find(CurrentTypeParams.begin(), CurrentTypeParams.end(), Name) !=
+        CurrentTypeParams.end())
+      return TypeFE::classTy("Object");
+    return TypeFE::classTy(std::move(Name));
+  }
+  Diags.error(current().Loc, std::string("expected a type, found ") +
+                                 tokenKindName(current().Kind));
+  return TypeFE::errorTy();
+}
+
+TypeFE Parser::parseType() {
+  TypeFE T = parseBaseType();
+  while (check(TokenKind::LBracket) && peek(1).is(TokenKind::RBracket)) {
+    consume();
+    consume();
+    T = TypeFE::arrayOf(std::move(T));
+  }
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> Parser::parseProgram() {
+  auto P = std::make_unique<Program>();
+  while (!check(TokenKind::EndOfFile)) {
+    if (!check(TokenKind::KW_Class)) {
+      Diags.error(current().Loc, "expected 'class' at top level");
+      consume();
+      continue;
+    }
+    if (auto C = parseClassDecl())
+      P->Classes.push_back(std::move(C));
+  }
+  return P;
+}
+
+std::unique_ptr<ClassDecl> Parser::parseClassDecl() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::KW_Class, "to begin a class declaration");
+  auto C = std::make_unique<ClassDecl>();
+  C->Loc = Loc;
+  if (check(TokenKind::Identifier))
+    C->Name = consume().Text;
+  else
+    expect(TokenKind::Identifier, "as the class name");
+
+  if (accept(TokenKind::Less)) {
+    do {
+      if (check(TokenKind::Identifier))
+        C->TypeParams.push_back(consume().Text);
+      else
+        expect(TokenKind::Identifier, "as a type parameter");
+    } while (accept(TokenKind::Comma));
+    expect(TokenKind::Greater, "after type parameters");
+  }
+  CurrentTypeParams = C->TypeParams;
+
+  if (accept(TokenKind::KW_Extends)) {
+    if (check(TokenKind::Identifier)) {
+      C->SuperName = consume().Text;
+      if (check(TokenKind::Less))
+        skipTypeArgs();
+    } else {
+      expect(TokenKind::Identifier, "as the superclass name");
+    }
+  }
+
+  expect(TokenKind::LBrace, "to begin the class body");
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile))
+    parseMember(*C);
+  expect(TokenKind::RBrace, "to end the class body");
+  CurrentTypeParams.clear();
+  return C;
+}
+
+void Parser::parseMember(ClassDecl &Class) {
+  SourceLoc Loc = current().Loc;
+  bool IsStatic = accept(TokenKind::KW_Static);
+
+  // Constructor: 'ClassName ( ...'.
+  if (!IsStatic && check(TokenKind::Identifier) &&
+      current().Text == Class.Name && peek(1).is(TokenKind::LParen)) {
+    auto M = std::make_unique<MethodDecl>();
+    M->IsCtor = true;
+    M->ReturnType = TypeFE::voidTy();
+    M->Name = consume().Text;
+    M->Loc = Loc;
+    expect(TokenKind::LParen, "after the constructor name");
+    M->Params = parseParams();
+    StmtPtr Body = parseBlock();
+    M->Body.reset(static_cast<BlockStmt *>(Body.release()));
+    Class.Methods.push_back(std::move(M));
+    return;
+  }
+
+  TypeFE Ty = parseType();
+  if (!check(TokenKind::Identifier)) {
+    Diags.error(current().Loc, "expected a member name");
+    synchronizeToStmtBoundary();
+    return;
+  }
+  std::string Name = consume().Text;
+
+  if (check(TokenKind::LParen)) {
+    auto M = std::make_unique<MethodDecl>();
+    M->IsStatic = IsStatic;
+    M->ReturnType = std::move(Ty);
+    M->Name = std::move(Name);
+    M->Loc = Loc;
+    consume(); // '('
+    M->Params = parseParams();
+    StmtPtr Body = parseBlock();
+    M->Body.reset(static_cast<BlockStmt *>(Body.release()));
+    Class.Methods.push_back(std::move(M));
+    return;
+  }
+
+  if (IsStatic)
+    Diags.error(Loc, "static fields are not supported in MiniJ");
+  auto F = std::make_unique<FieldDecl>();
+  F->DeclaredType = std::move(Ty);
+  F->Name = std::move(Name);
+  F->Loc = Loc;
+  expect(TokenKind::Semi, "after the field declaration");
+  Class.Fields.push_back(std::move(F));
+}
+
+std::vector<ParamDecl> Parser::parseParams() {
+  std::vector<ParamDecl> Params;
+  if (accept(TokenKind::RParen))
+    return Params;
+  do {
+    ParamDecl P;
+    P.Loc = current().Loc;
+    P.DeclaredType = parseType();
+    if (check(TokenKind::Identifier))
+      P.Name = consume().Text;
+    else
+      expect(TokenKind::Identifier, "as a parameter name");
+    Params.push_back(std::move(P));
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::RParen, "after the parameter list");
+  return Params;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  SourceLoc Loc = current().Loc;
+  expect(TokenKind::LBrace, "to begin a block");
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokenKind::RBrace) && !check(TokenKind::EndOfFile)) {
+    if (StmtPtr S = parseStmt())
+      Stmts.push_back(std::move(S));
+  }
+  expect(TokenKind::RBrace, "to end the block");
+  return std::make_unique<BlockStmt>(std::move(Stmts), Loc);
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (current().Kind) {
+  case TokenKind::LBrace:
+    return parseBlock();
+  case TokenKind::KW_If:
+    return parseIf();
+  case TokenKind::KW_While:
+    return parseWhile();
+  case TokenKind::KW_For:
+    return parseFor();
+  case TokenKind::KW_Return:
+    return parseReturn();
+  case TokenKind::KW_Break: {
+    SourceLoc Loc = consume().Loc;
+    expect(TokenKind::Semi, "after 'break'");
+    return std::make_unique<BreakStmt>(Loc);
+  }
+  case TokenKind::KW_Continue: {
+    SourceLoc Loc = consume().Loc;
+    expect(TokenKind::Semi, "after 'continue'");
+    return std::make_unique<ContinueStmt>(Loc);
+  }
+  case TokenKind::Semi:
+    consume();
+    return nullptr;
+  default:
+    break;
+  }
+
+  if (looksLikeVarDecl())
+    return parseVarDecl();
+
+  SourceLoc Loc = current().Loc;
+  ExprPtr E = parseExpr();
+  if (!E) {
+    synchronizeToStmtBoundary();
+    return nullptr;
+  }
+  expect(TokenKind::Semi, "after the expression statement");
+  return std::make_unique<ExprStmt>(std::move(E), Loc);
+}
+
+StmtPtr Parser::parseVarDecl() {
+  SourceLoc Loc = current().Loc;
+  TypeFE Ty = parseType();
+  std::string Name;
+  if (check(TokenKind::Identifier))
+    Name = consume().Text;
+  else
+    expect(TokenKind::Identifier, "as the variable name");
+  ExprPtr Init;
+  if (accept(TokenKind::Assign))
+    Init = parseExpr();
+  expect(TokenKind::Semi, "after the variable declaration");
+  return std::make_unique<VarDeclStmt>(std::move(Ty), std::move(Name),
+                                       std::move(Init), Loc);
+}
+
+StmtPtr Parser::parseIf() {
+  SourceLoc Loc = consume().Loc; // 'if'
+  expect(TokenKind::LParen, "after 'if'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after the if condition");
+  StmtPtr Then = parseStmt();
+  StmtPtr Else;
+  if (accept(TokenKind::KW_Else))
+    Else = parseStmt();
+  return std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                  std::move(Else), Loc);
+}
+
+StmtPtr Parser::parseWhile() {
+  SourceLoc Loc = consume().Loc; // 'while'
+  expect(TokenKind::LParen, "after 'while'");
+  ExprPtr Cond = parseExpr();
+  expect(TokenKind::RParen, "after the while condition");
+  StmtPtr Body = parseStmt();
+  return std::make_unique<WhileStmt>(std::move(Cond), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseFor() {
+  SourceLoc Loc = consume().Loc; // 'for'
+  expect(TokenKind::LParen, "after 'for'");
+
+  StmtPtr Init;
+  if (!accept(TokenKind::Semi)) {
+    if (looksLikeVarDecl()) {
+      Init = parseVarDecl(); // Consumes the ';'.
+    } else {
+      SourceLoc InitLoc = current().Loc;
+      ExprPtr E = parseExpr();
+      if (E)
+        Init = std::make_unique<ExprStmt>(std::move(E), InitLoc);
+      expect(TokenKind::Semi, "after the for-loop initializer");
+    }
+  }
+
+  ExprPtr Cond;
+  if (!check(TokenKind::Semi))
+    Cond = parseExpr();
+  expect(TokenKind::Semi, "after the for-loop condition");
+
+  ExprPtr Update;
+  if (!check(TokenKind::RParen))
+    Update = parseExpr();
+  expect(TokenKind::RParen, "after the for-loop update");
+
+  StmtPtr Body = parseStmt();
+  return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                   std::move(Update), std::move(Body), Loc);
+}
+
+StmtPtr Parser::parseReturn() {
+  SourceLoc Loc = consume().Loc; // 'return'
+  ExprPtr Value;
+  if (!check(TokenKind::Semi))
+    Value = parseExpr();
+  expect(TokenKind::Semi, "after the return statement");
+  return std::make_unique<ReturnStmt>(std::move(Value), Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+ExprPtr Parser::parseExpr() { return parseAssignment(); }
+
+static bool isLValueExpr(const Expr *E) {
+  return E && (E->kind() == ExprKind::Name ||
+               E->kind() == ExprKind::FieldAccess ||
+               E->kind() == ExprKind::Index);
+}
+
+ExprPtr Parser::parseAssignment() {
+  ExprPtr Lhs = parseOr();
+  if (!check(TokenKind::Assign))
+    return Lhs;
+  SourceLoc Loc = consume().Loc;
+  if (!isLValueExpr(Lhs.get())) {
+    Diags.error(Loc, "left-hand side of '=' is not assignable");
+  }
+  ExprPtr Rhs = parseAssignment();
+  return std::make_unique<AssignExpr>(std::move(Lhs), std::move(Rhs), Loc);
+}
+
+ExprPtr Parser::parseOr() {
+  ExprPtr E = parseAnd();
+  while (check(TokenKind::PipePipe)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Rhs = parseAnd();
+    E = std::make_unique<BinaryExpr>(BinaryOp::LogicalOr, std::move(E),
+                                     std::move(Rhs), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseAnd() {
+  ExprPtr E = parseEquality();
+  while (check(TokenKind::AmpAmp)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Rhs = parseEquality();
+    E = std::make_unique<BinaryExpr>(BinaryOp::LogicalAnd, std::move(E),
+                                     std::move(Rhs), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr E = parseRelational();
+  while (check(TokenKind::EqualEqual) || check(TokenKind::BangEqual)) {
+    BinaryOp Op =
+        check(TokenKind::EqualEqual) ? BinaryOp::Eq : BinaryOp::Ne;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Rhs = parseRelational();
+    E = std::make_unique<BinaryExpr>(Op, std::move(E), std::move(Rhs), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr E = parseAdditive();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Less))
+      Op = BinaryOp::Lt;
+    else if (check(TokenKind::LessEqual))
+      Op = BinaryOp::Le;
+    else if (check(TokenKind::Greater))
+      Op = BinaryOp::Gt;
+    else if (check(TokenKind::GreaterEqual))
+      Op = BinaryOp::Ge;
+    else
+      return E;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Rhs = parseAdditive();
+    E = std::make_unique<BinaryExpr>(Op, std::move(E), std::move(Rhs), Loc);
+  }
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr E = parseMultiplicative();
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    BinaryOp Op = check(TokenKind::Plus) ? BinaryOp::Add : BinaryOp::Sub;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Rhs = parseMultiplicative();
+    E = std::make_unique<BinaryExpr>(Op, std::move(E), std::move(Rhs), Loc);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr E = parseUnary();
+  for (;;) {
+    BinaryOp Op;
+    if (check(TokenKind::Star))
+      Op = BinaryOp::Mul;
+    else if (check(TokenKind::Slash))
+      Op = BinaryOp::Div;
+    else if (check(TokenKind::Percent))
+      Op = BinaryOp::Rem;
+    else
+      return E;
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Rhs = parseUnary();
+    E = std::make_unique<BinaryExpr>(Op, std::move(E), std::move(Rhs), Loc);
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  if (check(TokenKind::Bang)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr E = parseUnary();
+    return std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(E), Loc);
+  }
+  if (check(TokenKind::Minus)) {
+    SourceLoc Loc = consume().Loc;
+    ExprPtr E = parseUnary();
+    return std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(E), Loc);
+  }
+  if (check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) {
+    bool IsInc = check(TokenKind::PlusPlus);
+    SourceLoc Loc = consume().Loc;
+    ExprPtr Target = parseUnary();
+    if (!isLValueExpr(Target.get()))
+      Diags.error(Loc, "operand of prefix increment/decrement is not "
+                       "assignable");
+    return std::make_unique<IncDecExpr>(std::move(Target), IsInc,
+                                        /*IsPrefix=*/true, Loc);
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  for (;;) {
+    if (check(TokenKind::Dot)) {
+      SourceLoc Loc = consume().Loc;
+      if (!check(TokenKind::Identifier)) {
+        expect(TokenKind::Identifier, "after '.'");
+        return E;
+      }
+      std::string Name = consume().Text;
+      if (check(TokenKind::LParen)) {
+        consume();
+        std::vector<ExprPtr> Args = parseArgs();
+        E = std::make_unique<CallExpr>(std::move(E), std::move(Name),
+                                       std::move(Args), Loc);
+      } else {
+        E = std::make_unique<FieldAccessExpr>(std::move(E), std::move(Name),
+                                              Loc);
+      }
+      continue;
+    }
+    if (check(TokenKind::LBracket)) {
+      SourceLoc Loc = consume().Loc;
+      ExprPtr Index = parseExpr();
+      expect(TokenKind::RBracket, "after the array index");
+      E = std::make_unique<IndexExpr>(std::move(E), std::move(Index), Loc);
+      continue;
+    }
+    if (check(TokenKind::PlusPlus) || check(TokenKind::MinusMinus)) {
+      bool IsInc = check(TokenKind::PlusPlus);
+      SourceLoc Loc = consume().Loc;
+      if (!isLValueExpr(E.get()))
+        Diags.error(Loc, "operand of postfix increment/decrement is not "
+                         "assignable");
+      E = std::make_unique<IncDecExpr>(std::move(E), IsInc,
+                                       /*IsPrefix=*/false, Loc);
+      continue;
+    }
+    return E;
+  }
+}
+
+std::vector<ExprPtr> Parser::parseArgs() {
+  std::vector<ExprPtr> Args;
+  if (accept(TokenKind::RParen))
+    return Args;
+  do {
+    if (ExprPtr A = parseExpr())
+      Args.push_back(std::move(A));
+  } while (accept(TokenKind::Comma));
+  expect(TokenKind::RParen, "after the argument list");
+  return Args;
+}
+
+ExprPtr Parser::parsePrimary() {
+  const Token &T = current();
+  switch (T.Kind) {
+  case TokenKind::IntLiteral: {
+    Token Lit = consume();
+    return std::make_unique<IntLitExpr>(Lit.IntValue, Lit.Loc);
+  }
+  case TokenKind::KW_True:
+    return std::make_unique<BoolLitExpr>(true, consume().Loc);
+  case TokenKind::KW_False:
+    return std::make_unique<BoolLitExpr>(false, consume().Loc);
+  case TokenKind::KW_Null:
+    return std::make_unique<NullLitExpr>(consume().Loc);
+  case TokenKind::KW_This:
+    return std::make_unique<ThisExpr>(consume().Loc);
+  case TokenKind::KW_New:
+    return parseNew();
+  case TokenKind::LParen: {
+    consume();
+    ExprPtr E = parseExpr();
+    expect(TokenKind::RParen, "to close the parenthesized expression");
+    return E;
+  }
+  case TokenKind::Identifier: {
+    Token Id = consume();
+    if (check(TokenKind::LParen)) {
+      consume();
+      std::vector<ExprPtr> Args = parseArgs();
+      return std::make_unique<CallExpr>(nullptr, Id.Text, std::move(Args),
+                                        Id.Loc);
+    }
+    return std::make_unique<NameExpr>(Id.Text, Id.Loc);
+  }
+  default:
+    break;
+  }
+  Diags.error(T.Loc, std::string("expected an expression, found ") +
+                         tokenKindName(T.Kind));
+  if (!check(TokenKind::EndOfFile) && !check(TokenKind::Semi) &&
+      !check(TokenKind::RBrace))
+    consume();
+  return nullptr;
+}
+
+ExprPtr Parser::parseNew() {
+  SourceLoc Loc = consume().Loc; // 'new'
+  TypeFE Base = parseBaseType();
+
+  // 'new C(args)': object construction.
+  if (check(TokenKind::LParen)) {
+    if (Base.Kind != TypeKindFE::Class) {
+      Diags.error(Loc, "cannot construct a non-class type with 'new'");
+      Base = TypeFE::classTy("Object");
+    }
+    consume();
+    std::vector<ExprPtr> Args = parseArgs();
+    return std::make_unique<NewObjectExpr>(Base.ClassName, std::move(Args),
+                                           Loc);
+  }
+
+  // 'new T[e0][e1]..[]..': array construction.
+  std::vector<ExprPtr> Dims;
+  int ExtraDims = 0;
+  while (check(TokenKind::LBracket)) {
+    consume();
+    if (check(TokenKind::RBracket)) {
+      consume();
+      ++ExtraDims;
+      continue;
+    }
+    if (ExtraDims > 0) {
+      Diags.error(current().Loc,
+                  "sized array dimension after an unsized dimension");
+    }
+    Dims.push_back(parseExpr());
+    expect(TokenKind::RBracket, "after the array dimension");
+  }
+  if (Dims.empty()) {
+    Diags.error(Loc, "array creation needs at least one sized dimension");
+    Dims.push_back(std::make_unique<IntLitExpr>(0, Loc));
+  }
+  return std::make_unique<NewArrayExpr>(std::move(Base), std::move(Dims),
+                                        ExtraDims, Loc);
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Program> algoprof::parseMiniJ(const std::string &Source,
+                                              DiagnosticEngine &Diags) {
+  Lexer Lex(Source, Diags);
+  Parser P(Lex.lexAll(), Diags);
+  return P.parseProgram();
+}

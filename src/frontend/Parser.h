@@ -1,0 +1,91 @@
+//===- frontend/Parser.h - MiniJ recursive-descent parser -------*- C++-*-===//
+///
+/// \file
+/// Recursive-descent parser producing a MiniJ AST. Generic type arguments
+/// are parsed and erased on the spot (recorded only as type-parameter
+/// names on class declarations so Sema can map them to Object).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_FRONTEND_PARSER_H
+#define ALGOPROF_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Lexer.h"
+
+#include <memory>
+
+namespace algoprof {
+
+/// Parses a token stream into a Program.
+///
+/// On syntax errors the parser reports through the DiagnosticEngine,
+/// attempts statement-level recovery, and still returns a (partial)
+/// Program; callers must check DiagnosticEngine::hasErrors().
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags);
+
+  std::unique_ptr<Program> parseProgram();
+
+private:
+  // Token stream helpers.
+  const Token &peek(int Ahead = 0) const;
+  const Token &current() const { return peek(0); }
+  Token consume();
+  bool check(TokenKind Kind) const { return current().is(Kind); }
+  bool accept(TokenKind Kind);
+  bool expect(TokenKind Kind, const char *Context);
+  void synchronizeToStmtBoundary();
+
+  // Declarations.
+  std::unique_ptr<ClassDecl> parseClassDecl();
+  void parseMember(ClassDecl &Class);
+  std::vector<ParamDecl> parseParams();
+
+  // Types.
+  bool startsType() const;
+  bool looksLikeVarDecl() const;
+  TypeFE parseType();
+  TypeFE parseBaseType();
+  void skipTypeArgs();
+
+  // Statements.
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseVarDecl();
+  StmtPtr parseIf();
+  StmtPtr parseWhile();
+  StmtPtr parseFor();
+  StmtPtr parseReturn();
+
+  // Expressions (precedence climbing via nested productions).
+  ExprPtr parseExpr();
+  ExprPtr parseAssignment();
+  ExprPtr parseOr();
+  ExprPtr parseAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+  ExprPtr parseNew();
+  std::vector<ExprPtr> parseArgs();
+
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  /// Names of the type parameters of the class being parsed; identifiers
+  /// matching one of these are erased to Object when used as a type.
+  std::vector<std::string> CurrentTypeParams;
+};
+
+/// Convenience: lexes and parses \p Source in one step.
+std::unique_ptr<Program> parseMiniJ(const std::string &Source,
+                                    DiagnosticEngine &Diags);
+
+} // namespace algoprof
+
+#endif // ALGOPROF_FRONTEND_PARSER_H

@@ -1,0 +1,881 @@
+//===- frontend/Sema.cpp --------------------------------------------------===//
+
+#include "frontend/Sema.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace algoprof;
+
+//===----------------------------------------------------------------------===//
+// Layout helpers
+//===----------------------------------------------------------------------===//
+
+int algoprof::classLayoutSize(const ClassDecl &Class) {
+  int N = static_cast<int>(Class.Fields.size());
+  if (Class.Super)
+    N += classLayoutSize(*Class.Super);
+  return N;
+}
+
+int algoprof::fieldLayoutSlot(const ClassDecl &Owner, const FieldDecl &Field) {
+  int Start = Owner.Super ? classLayoutSize(*Owner.Super) : 0;
+  return Start + Field.FieldIndex;
+}
+
+bool algoprof::isSubclassOf(const ClassDecl *Sub, const ClassDecl *Super) {
+  for (const ClassDecl *C = Sub; C; C = C->Super)
+    if (C == Super)
+      return true;
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Sema implementation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Sema {
+public:
+  Sema(Program &P, DiagnosticEngine &Diags) : P(P), Diags(Diags) {}
+
+  bool run();
+
+private:
+  // Phase 1: declarations.
+  bool declareClasses();
+  bool resolveHierarchy();
+  bool checkMembers();
+
+  // Phase 2: bodies.
+  void checkMethodBody(ClassDecl &Class, MethodDecl &Method);
+
+  // Statements.
+  void checkStmt(Stmt *S);
+  void checkBlock(BlockStmt &B);
+  void checkVarDecl(VarDeclStmt &S);
+
+  // Expressions. Each returns the expression's type and annotates it.
+  TypeFE checkExpr(Expr *E);
+  TypeFE checkName(NameExpr &E);
+  TypeFE checkBinary(BinaryExpr &E);
+  TypeFE checkUnary(UnaryExpr &E);
+  TypeFE checkAssign(AssignExpr &E);
+  TypeFE checkIncDec(IncDecExpr &E);
+  TypeFE checkFieldAccess(FieldAccessExpr &E);
+  TypeFE checkIndex(IndexExpr &E);
+  TypeFE checkCall(CallExpr &E);
+  TypeFE checkNewObject(NewObjectExpr &E);
+  TypeFE checkNewArray(NewArrayExpr &E);
+
+  // Utilities.
+  ClassDecl *findClass(const std::string &Name);
+  bool validateType(const TypeFE &T, SourceLoc Loc);
+  bool isAssignable(const TypeFE &Dst, const TypeFE &Src);
+  void requireAssignable(const TypeFE &Dst, const TypeFE &Src, SourceLoc Loc,
+                         const char *Context);
+  const FieldDecl *lookupField(const ClassDecl *Class, const std::string &Name,
+                               const ClassDecl *&Owner);
+  const MethodDecl *lookupMethod(const ClassDecl *Class,
+                                 const std::string &Name);
+  bool stmtAlwaysReturns(const Stmt *S);
+  void checkCallArgs(const MethodDecl &Callee, std::vector<ExprPtr> &Args,
+                     SourceLoc Loc, const char *What);
+
+  // Scope management.
+  struct LocalVar {
+    std::string Name;
+    TypeFE Ty;
+    int Slot;
+    int ScopeDepth;
+  };
+  void pushScope() { ++ScopeDepth; }
+  void popScope();
+  int declareLocal(const std::string &Name, TypeFE Ty, SourceLoc Loc);
+  const LocalVar *findLocal(const std::string &Name) const;
+
+  Program &P;
+  DiagnosticEngine &Diags;
+  std::unordered_map<std::string, ClassDecl *> ClassesByName;
+
+  // Per-method state.
+  ClassDecl *CurClass = nullptr;
+  MethodDecl *CurMethod = nullptr;
+  std::vector<LocalVar> Locals;
+  int ScopeDepth = 0;
+  int NextSlot = 0;
+  int NextLoopId = 0;
+  int LoopNesting = 0;
+};
+
+} // namespace
+
+bool Sema::run() {
+  if (!declareClasses())
+    return false;
+  if (!resolveHierarchy())
+    return false;
+  if (!checkMembers())
+    return false;
+  for (auto &C : P.Classes)
+    for (auto &M : C->Methods)
+      if (M->Body)
+        checkMethodBody(*C, *M);
+  return !Diags.hasErrors();
+}
+
+bool Sema::declareClasses() {
+  // Inject the implicit root class unless the program defines it.
+  if (!P.findClass("Object")) {
+    auto Root = std::make_unique<ClassDecl>();
+    Root->Name = "Object";
+    P.Classes.insert(P.Classes.begin(), std::move(Root));
+  }
+  for (auto &C : P.Classes) {
+    if (!ClassesByName.emplace(C->Name, C.get()).second)
+      Diags.error(C->Loc, "duplicate class '" + C->Name + "'");
+  }
+  return !Diags.hasErrors();
+}
+
+bool Sema::resolveHierarchy() {
+  for (auto &C : P.Classes) {
+    if (C->Name == "Object") {
+      if (!C->SuperName.empty())
+        Diags.error(C->Loc, "class 'Object' cannot have a superclass");
+      continue;
+    }
+    std::string SuperName = C->SuperName.empty() ? "Object" : C->SuperName;
+    ClassDecl *Super = findClass(SuperName);
+    if (!Super) {
+      Diags.error(C->Loc, "unknown superclass '" + SuperName + "'");
+      continue;
+    }
+    C->Super = Super;
+  }
+  if (Diags.hasErrors())
+    return false;
+
+  // Detect inheritance cycles.
+  for (auto &C : P.Classes) {
+    const ClassDecl *Slow = C.get();
+    const ClassDecl *Fast = C->Super;
+    while (Fast && Fast->Super) {
+      if (Slow == Fast) {
+        Diags.error(C->Loc, "inheritance cycle involving class '" + C->Name +
+                                "'");
+        return false;
+      }
+      Slow = Slow->Super;
+      Fast = Fast->Super->Super;
+    }
+  }
+  return true;
+}
+
+bool Sema::checkMembers() {
+  for (auto &C : P.Classes) {
+    std::unordered_set<std::string> FieldNames;
+    int Index = 0;
+    for (auto &F : C->Fields) {
+      if (!FieldNames.insert(F->Name).second)
+        Diags.error(F->Loc, "duplicate field '" + F->Name + "' in class '" +
+                                C->Name + "'");
+      validateType(F->DeclaredType, F->Loc);
+      if (F->DeclaredType.isVoid())
+        Diags.error(F->Loc, "field '" + F->Name + "' cannot have type void");
+      // Shadowing an inherited field would make layout slots ambiguous.
+      const ClassDecl *Owner = nullptr;
+      if (C->Super && lookupField(C->Super, F->Name, Owner))
+        Diags.error(F->Loc, "field '" + F->Name + "' shadows an inherited "
+                                                  "field");
+      F->FieldIndex = Index++;
+    }
+
+    std::unordered_set<std::string> MethodNames;
+    int CtorCount = 0;
+    for (auto &M : C->Methods) {
+      M->Owner = C.get();
+      if (M->IsCtor) {
+        if (++CtorCount > 1)
+          Diags.error(M->Loc, "class '" + C->Name +
+                                  "' has more than one constructor");
+        continue;
+      }
+      if (!MethodNames.insert(M->Name).second)
+        Diags.error(M->Loc, "duplicate method '" + M->Name + "' in class '" +
+                                C->Name + "' (MiniJ has no overloading)");
+      validateType(M->ReturnType, M->Loc);
+      // Override compatibility: same arity, same return type, same staticness.
+      if (C->Super) {
+        if (const MethodDecl *Base = lookupMethod(C->Super, M->Name)) {
+          if (Base->IsStatic != M->IsStatic)
+            Diags.error(M->Loc, "method '" + M->Name +
+                                    "' changes staticness of the inherited "
+                                    "method");
+          if (Base->Params.size() != M->Params.size())
+            Diags.error(M->Loc, "override of '" + M->Name +
+                                    "' changes the parameter count");
+          if (Base->ReturnType != M->ReturnType)
+            Diags.error(M->Loc, "override of '" + M->Name +
+                                    "' changes the return type");
+        }
+      }
+    }
+    for (auto &M : C->Methods)
+      for (ParamDecl &Param : M->Params) {
+        validateType(Param.DeclaredType, Param.Loc);
+        if (Param.DeclaredType.isVoid())
+          Diags.error(Param.Loc, "parameter '" + Param.Name +
+                                     "' cannot have type void");
+      }
+  }
+  return !Diags.hasErrors();
+}
+
+void Sema::checkMethodBody(ClassDecl &Class, MethodDecl &Method) {
+  CurClass = &Class;
+  CurMethod = &Method;
+  Locals.clear();
+  ScopeDepth = 0;
+  NextSlot = Method.IsStatic ? 0 : 1; // Slot 0 is 'this'.
+  NextLoopId = 0;
+  LoopNesting = 0;
+
+  pushScope();
+  for (ParamDecl &Param : Method.Params)
+    Param.Slot = declareLocal(Param.Name, Param.DeclaredType, Param.Loc);
+  checkBlock(*Method.Body);
+  popScope();
+
+  Method.NumLocalSlots = NextSlot;
+  Method.NumLoops = NextLoopId;
+
+  if (!Method.IsCtor && !Method.ReturnType.isVoid() &&
+      !stmtAlwaysReturns(Method.Body.get()))
+    Diags.error(Method.Loc, "method '" + Method.Name +
+                                "' may fall off the end without returning a "
+                                "value");
+  CurClass = nullptr;
+  CurMethod = nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+void Sema::popScope() {
+  while (!Locals.empty() && Locals.back().ScopeDepth == ScopeDepth)
+    Locals.pop_back();
+  --ScopeDepth;
+}
+
+int Sema::declareLocal(const std::string &Name, TypeFE Ty, SourceLoc Loc) {
+  for (auto It = Locals.rbegin(); It != Locals.rend(); ++It) {
+    if (It->ScopeDepth != ScopeDepth)
+      break;
+    if (It->Name == Name) {
+      Diags.error(Loc, "redeclaration of '" + Name + "' in the same scope");
+      return It->Slot;
+    }
+  }
+  int Slot = NextSlot++;
+  Locals.push_back({Name, std::move(Ty), Slot, ScopeDepth});
+  return Slot;
+}
+
+const Sema::LocalVar *Sema::findLocal(const std::string &Name) const {
+  for (auto It = Locals.rbegin(); It != Locals.rend(); ++It)
+    if (It->Name == Name)
+      return &*It;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Utilities
+//===----------------------------------------------------------------------===//
+
+ClassDecl *Sema::findClass(const std::string &Name) {
+  auto It = ClassesByName.find(Name);
+  return It == ClassesByName.end() ? nullptr : It->second;
+}
+
+bool Sema::validateType(const TypeFE &T, SourceLoc Loc) {
+  if (T.Kind != TypeKindFE::Class)
+    return true;
+  if (findClass(T.ClassName))
+    return true;
+  Diags.error(Loc, "unknown type '" + T.ClassName + "'");
+  return false;
+}
+
+/// MiniJ assignability. Erasure makes reference checking intentionally
+/// loose: Object converts implicitly to and from any class reference (the
+/// Table 1 "G" programs read erased payloads without cast syntax).
+bool Sema::isAssignable(const TypeFE &Dst, const TypeFE &Src) {
+  if (Dst.isError() || Src.isError())
+    return true;
+  if (Dst == Src)
+    return true;
+  if (Src.isNull())
+    return Dst.isReference();
+  if (Dst.isClass() && Src.isClass()) {
+    const ClassDecl *DstC = findClass(Dst.ClassName);
+    const ClassDecl *SrcC = findClass(Src.ClassName);
+    if (!DstC || !SrcC)
+      return false;
+    if (isSubclassOf(SrcC, DstC))
+      return true;
+    // Erased-generics escape hatch, both directions via Object.
+    return Dst.ClassName == "Object" || Src.ClassName == "Object";
+  }
+  // Any reference converts to Object (e.g. storing an array payload).
+  if (Dst.isClass() && Dst.ClassName == "Object" && Src.isReference())
+    return true;
+  if (Src.isClass() && Src.ClassName == "Object" && Dst.isReference())
+    return true;
+  return false;
+}
+
+void Sema::requireAssignable(const TypeFE &Dst, const TypeFE &Src,
+                             SourceLoc Loc, const char *Context) {
+  if (isAssignable(Dst, Src))
+    return;
+  Diags.error(Loc, std::string("cannot convert '") + Src.str() + "' to '" +
+                       Dst.str() + "' " + Context);
+}
+
+const FieldDecl *Sema::lookupField(const ClassDecl *Class,
+                                   const std::string &Name,
+                                   const ClassDecl *&Owner) {
+  for (const ClassDecl *C = Class; C; C = C->Super) {
+    if (const FieldDecl *F = C->findOwnField(Name)) {
+      Owner = C;
+      return F;
+    }
+  }
+  Owner = nullptr;
+  return nullptr;
+}
+
+const MethodDecl *Sema::lookupMethod(const ClassDecl *Class,
+                                     const std::string &Name) {
+  for (const ClassDecl *C = Class; C; C = C->Super)
+    if (const MethodDecl *M = C->findOwnMethod(Name))
+      return M;
+  return nullptr;
+}
+
+bool Sema::stmtAlwaysReturns(const Stmt *S) {
+  if (!S)
+    return false;
+  switch (S->kind()) {
+  case StmtKind::Return:
+    return true;
+  case StmtKind::Block: {
+    const auto *B = static_cast<const BlockStmt *>(S);
+    for (const StmtPtr &Child : B->Stmts)
+      if (stmtAlwaysReturns(Child.get()))
+        return true;
+    return false;
+  }
+  case StmtKind::If: {
+    const auto *I = static_cast<const IfStmt *>(S);
+    return I->Else && stmtAlwaysReturns(I->Then.get()) &&
+           stmtAlwaysReturns(I->Else.get());
+  }
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Sema::checkBlock(BlockStmt &B) {
+  pushScope();
+  for (StmtPtr &S : B.Stmts)
+    checkStmt(S.get());
+  popScope();
+}
+
+void Sema::checkVarDecl(VarDeclStmt &S) {
+  validateType(S.DeclaredType, S.loc());
+  if (S.DeclaredType.isVoid()) {
+    Diags.error(S.loc(), "variable '" + S.Name + "' cannot have type void");
+    S.DeclaredType = TypeFE::errorTy();
+  }
+  if (S.Init) {
+    TypeFE InitTy = checkExpr(S.Init.get());
+    requireAssignable(S.DeclaredType, InitTy, S.loc(), "in initialization");
+  }
+  S.Slot = declareLocal(S.Name, S.DeclaredType, S.loc());
+}
+
+void Sema::checkStmt(Stmt *S) {
+  if (!S)
+    return;
+  switch (S->kind()) {
+  case StmtKind::Block:
+    checkBlock(*static_cast<BlockStmt *>(S));
+    return;
+  case StmtKind::VarDecl:
+    checkVarDecl(*static_cast<VarDeclStmt *>(S));
+    return;
+  case StmtKind::If: {
+    auto *I = static_cast<IfStmt *>(S);
+    TypeFE CondTy = checkExpr(I->Cond.get());
+    if (!CondTy.isBool() && !CondTy.isError())
+      Diags.error(I->loc(), "if condition must be boolean, got '" +
+                                CondTy.str() + "'");
+    checkStmt(I->Then.get());
+    checkStmt(I->Else.get());
+    return;
+  }
+  case StmtKind::While: {
+    auto *W = static_cast<WhileStmt *>(S);
+    W->LoopId = NextLoopId++;
+    TypeFE CondTy = checkExpr(W->Cond.get());
+    if (!CondTy.isBool() && !CondTy.isError())
+      Diags.error(W->loc(), "while condition must be boolean, got '" +
+                                CondTy.str() + "'");
+    ++LoopNesting;
+    checkStmt(W->Body.get());
+    --LoopNesting;
+    return;
+  }
+  case StmtKind::For: {
+    auto *F = static_cast<ForStmt *>(S);
+    F->LoopId = NextLoopId++;
+    pushScope(); // The init declaration scopes over the whole loop.
+    checkStmt(F->Init.get());
+    if (F->Cond) {
+      TypeFE CondTy = checkExpr(F->Cond.get());
+      if (!CondTy.isBool() && !CondTy.isError())
+        Diags.error(F->loc(), "for condition must be boolean, got '" +
+                                  CondTy.str() + "'");
+    }
+    if (F->Update)
+      checkExpr(F->Update.get());
+    ++LoopNesting;
+    checkStmt(F->Body.get());
+    --LoopNesting;
+    popScope();
+    return;
+  }
+  case StmtKind::Return: {
+    auto *R = static_cast<ReturnStmt *>(S);
+    assert(CurMethod && "return outside a method");
+    TypeFE Expected =
+        CurMethod->IsCtor ? TypeFE::voidTy() : CurMethod->ReturnType;
+    if (R->Value) {
+      TypeFE Got = checkExpr(R->Value.get());
+      if (Expected.isVoid())
+        Diags.error(R->loc(), "returning a value from a void method");
+      else
+        requireAssignable(Expected, Got, R->loc(), "in return");
+    } else if (!Expected.isVoid()) {
+      Diags.error(R->loc(), "non-void method must return a value");
+    }
+    return;
+  }
+  case StmtKind::ExprStmt: {
+    auto *E = static_cast<ExprStmt *>(S);
+    checkExpr(E->E.get());
+    ExprKind K = E->E->kind();
+    if (K != ExprKind::Assign && K != ExprKind::IncDec &&
+        K != ExprKind::Call && K != ExprKind::NewObject)
+      Diags.error(E->loc(), "expression statement has no effect");
+    return;
+  }
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    if (LoopNesting == 0)
+      Diags.error(S->loc(), S->kind() == StmtKind::Break
+                                ? "'break' outside a loop"
+                                : "'continue' outside a loop");
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+TypeFE Sema::checkExpr(Expr *E) {
+  if (!E)
+    return TypeFE::errorTy();
+  TypeFE Ty = TypeFE::errorTy();
+  switch (E->kind()) {
+  case ExprKind::IntLit:
+    Ty = TypeFE::intTy();
+    break;
+  case ExprKind::BoolLit:
+    Ty = TypeFE::boolTy();
+    break;
+  case ExprKind::NullLit:
+    Ty = TypeFE::nullTy();
+    break;
+  case ExprKind::This:
+    if (!CurMethod || CurMethod->IsStatic) {
+      Diags.error(E->loc(), "'this' used in a static context");
+    } else {
+      Ty = TypeFE::classTy(CurClass->Name);
+    }
+    break;
+  case ExprKind::Name:
+    Ty = checkName(*static_cast<NameExpr *>(E));
+    break;
+  case ExprKind::Binary:
+    Ty = checkBinary(*static_cast<BinaryExpr *>(E));
+    break;
+  case ExprKind::Unary:
+    Ty = checkUnary(*static_cast<UnaryExpr *>(E));
+    break;
+  case ExprKind::Assign:
+    Ty = checkAssign(*static_cast<AssignExpr *>(E));
+    break;
+  case ExprKind::IncDec:
+    Ty = checkIncDec(*static_cast<IncDecExpr *>(E));
+    break;
+  case ExprKind::FieldAccess:
+    Ty = checkFieldAccess(*static_cast<FieldAccessExpr *>(E));
+    break;
+  case ExprKind::Index:
+    Ty = checkIndex(*static_cast<IndexExpr *>(E));
+    break;
+  case ExprKind::Call:
+    Ty = checkCall(*static_cast<CallExpr *>(E));
+    break;
+  case ExprKind::NewObject:
+    Ty = checkNewObject(*static_cast<NewObjectExpr *>(E));
+    break;
+  case ExprKind::NewArray:
+    Ty = checkNewArray(*static_cast<NewArrayExpr *>(E));
+    break;
+  }
+  E->Ty = Ty;
+  return Ty;
+}
+
+TypeFE Sema::checkName(NameExpr &E) {
+  if (const LocalVar *L = findLocal(E.Name)) {
+    E.Resolution = NameResolution::Local;
+    E.Slot = L->Slot;
+    return L->Ty;
+  }
+  const ClassDecl *Owner = nullptr;
+  if (const FieldDecl *F = lookupField(CurClass, E.Name, Owner)) {
+    if (CurMethod->IsStatic) {
+      Diags.error(E.loc(), "instance field '" + E.Name +
+                               "' used in a static method");
+      return TypeFE::errorTy();
+    }
+    E.Resolution = NameResolution::ImplicitField;
+    E.OwnerClass = Owner;
+    E.FieldIndex = fieldLayoutSlot(*Owner, *F);
+    return F->DeclaredType;
+  }
+  if (const ClassDecl *C = findClass(E.Name)) {
+    E.Resolution = NameResolution::ClassRef;
+    E.OwnerClass = C;
+    // A class reference is not a value; only checkCall may consume it.
+    return TypeFE::errorTy();
+  }
+  Diags.error(E.loc(), "unknown name '" + E.Name + "'");
+  return TypeFE::errorTy();
+}
+
+TypeFE Sema::checkBinary(BinaryExpr &E) {
+  TypeFE L = checkExpr(E.Lhs.get());
+  TypeFE R = checkExpr(E.Rhs.get());
+  if (L.isError() || R.isError())
+    return TypeFE::errorTy();
+
+  switch (E.Op) {
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+  case BinaryOp::Rem:
+    if (!L.isInt() || !R.isInt()) {
+      Diags.error(E.loc(), "arithmetic requires int operands, got '" +
+                               L.str() + "' and '" + R.str() + "'");
+      return TypeFE::errorTy();
+    }
+    return TypeFE::intTy();
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+    if (!L.isInt() || !R.isInt()) {
+      Diags.error(E.loc(), "comparison requires int operands, got '" +
+                               L.str() + "' and '" + R.str() + "'");
+      return TypeFE::errorTy();
+    }
+    return TypeFE::boolTy();
+  case BinaryOp::Eq:
+  case BinaryOp::Ne: {
+    bool Ok = (L.isInt() && R.isInt()) || (L.isBool() && R.isBool()) ||
+              (L.isReference() && R.isReference());
+    if (!Ok) {
+      Diags.error(E.loc(), "cannot compare '" + L.str() + "' with '" +
+                               R.str() + "'");
+      return TypeFE::errorTy();
+    }
+    return TypeFE::boolTy();
+  }
+  case BinaryOp::LogicalAnd:
+  case BinaryOp::LogicalOr:
+    if (!L.isBool() || !R.isBool()) {
+      Diags.error(E.loc(), "logical operator requires boolean operands, "
+                           "got '" +
+                               L.str() + "' and '" + R.str() + "'");
+      return TypeFE::errorTy();
+    }
+    return TypeFE::boolTy();
+  }
+  return TypeFE::errorTy();
+}
+
+TypeFE Sema::checkUnary(UnaryExpr &E) {
+  TypeFE T = checkExpr(E.Operand.get());
+  if (T.isError())
+    return T;
+  if (E.Op == UnaryOp::Neg) {
+    if (!T.isInt()) {
+      Diags.error(E.loc(), "unary '-' requires an int operand");
+      return TypeFE::errorTy();
+    }
+    return TypeFE::intTy();
+  }
+  if (!T.isBool()) {
+    Diags.error(E.loc(), "'!' requires a boolean operand");
+    return TypeFE::errorTy();
+  }
+  return TypeFE::boolTy();
+}
+
+TypeFE Sema::checkAssign(AssignExpr &E) {
+  TypeFE TargetTy = checkExpr(E.Target.get());
+  TypeFE ValueTy = checkExpr(E.Value.get());
+  requireAssignable(TargetTy, ValueTy, E.loc(), "in assignment");
+  return TargetTy;
+}
+
+TypeFE Sema::checkIncDec(IncDecExpr &E) {
+  TypeFE T = checkExpr(E.Target.get());
+  if (!T.isInt() && !T.isError())
+    Diags.error(E.loc(), "increment/decrement requires an int lvalue");
+  return TypeFE::intTy();
+}
+
+TypeFE Sema::checkFieldAccess(FieldAccessExpr &E) {
+  TypeFE BaseTy = checkExpr(E.Base.get());
+  if (BaseTy.isError())
+    return BaseTy;
+  if (BaseTy.isArray() && E.Name == "length") {
+    E.IsArrayLength = true;
+    return TypeFE::intTy();
+  }
+  if (!BaseTy.isClass()) {
+    Diags.error(E.loc(), "field access on non-object type '" + BaseTy.str() +
+                             "'");
+    return TypeFE::errorTy();
+  }
+  const ClassDecl *Class = findClass(BaseTy.ClassName);
+  const ClassDecl *Owner = nullptr;
+  const FieldDecl *F = Class ? lookupField(Class, E.Name, Owner) : nullptr;
+  if (!F) {
+    Diags.error(E.loc(), "class '" + BaseTy.ClassName + "' has no field '" +
+                             E.Name + "'");
+    return TypeFE::errorTy();
+  }
+  E.OwnerClass = Owner;
+  E.FieldIndex = fieldLayoutSlot(*Owner, *F);
+  return F->DeclaredType;
+}
+
+TypeFE Sema::checkIndex(IndexExpr &E) {
+  TypeFE BaseTy = checkExpr(E.Base.get());
+  TypeFE IndexTy = checkExpr(E.Index.get());
+  if (!IndexTy.isInt() && !IndexTy.isError())
+    Diags.error(E.loc(), "array index must be int, got '" + IndexTy.str() +
+                             "'");
+  if (BaseTy.isError())
+    return BaseTy;
+  if (!BaseTy.isArray()) {
+    Diags.error(E.loc(), "indexing a non-array type '" + BaseTy.str() + "'");
+    return TypeFE::errorTy();
+  }
+  return BaseTy.elementType();
+}
+
+void Sema::checkCallArgs(const MethodDecl &Callee, std::vector<ExprPtr> &Args,
+                         SourceLoc Loc, const char *What) {
+  if (Args.size() != Callee.Params.size()) {
+    Diags.error(Loc, std::string(What) + " '" + Callee.Name + "' expects " +
+                         std::to_string(Callee.Params.size()) +
+                         " argument(s), got " + std::to_string(Args.size()));
+    // Still type check the arguments we have.
+    for (ExprPtr &A : Args)
+      checkExpr(A.get());
+    return;
+  }
+  for (size_t I = 0; I < Args.size(); ++I) {
+    TypeFE ArgTy = checkExpr(Args[I].get());
+    requireAssignable(Callee.Params[I].DeclaredType, ArgTy,
+                      Args[I]->loc(), "in argument");
+  }
+}
+
+TypeFE Sema::checkCall(CallExpr &E) {
+  // Built-ins and bare calls.
+  if (!E.Receiver) {
+    if (E.Name == "print" || E.Name == "readInt" || E.Name == "hasInput") {
+      // Built-ins can be shadowed by a method of the current class.
+      if (!lookupMethod(CurClass, E.Name)) {
+        E.Resolution = CallResolution::Builtin;
+        if (E.Name == "print") {
+          E.Builtin = BuiltinFn::Print;
+          if (E.Args.size() != 1)
+            Diags.error(E.loc(), "'print' expects exactly one argument");
+          for (ExprPtr &A : E.Args) {
+            TypeFE T = checkExpr(A.get());
+            if (!T.isInt() && !T.isBool() && !T.isError())
+              Diags.error(A->loc(), "'print' expects an int or boolean");
+          }
+          return TypeFE::voidTy();
+        }
+        if (E.Args.size() != 0)
+          Diags.error(E.loc(), "'" + E.Name + "' expects no arguments");
+        E.Builtin =
+            E.Name == "readInt" ? BuiltinFn::ReadInt : BuiltinFn::HasInput;
+        return E.Name == "readInt" ? TypeFE::intTy() : TypeFE::boolTy();
+      }
+    }
+    const MethodDecl *M = lookupMethod(CurClass, E.Name);
+    if (!M) {
+      Diags.error(E.loc(), "unknown method '" + E.Name + "'");
+      for (ExprPtr &A : E.Args)
+        checkExpr(A.get());
+      return TypeFE::errorTy();
+    }
+    if (!M->IsStatic && CurMethod->IsStatic) {
+      Diags.error(E.loc(), "instance method '" + E.Name +
+                               "' called from a static method");
+    }
+    E.Callee = M;
+    E.Resolution =
+        M->IsStatic ? CallResolution::Static : CallResolution::Virtual;
+    E.ImplicitThis = !M->IsStatic;
+    checkCallArgs(*M, E.Args, E.loc(), "method");
+    return M->ReturnType;
+  }
+
+  // Receiver present: 'ClassName.m(...)' or 'expr.m(...)'.
+  if (E.Receiver->kind() == ExprKind::Name) {
+    auto *N = static_cast<NameExpr *>(E.Receiver.get());
+    // A name that is not a local/field but is a class resolves statically.
+    if (!findLocal(N->Name)) {
+      const ClassDecl *OwnerTmp = nullptr;
+      bool IsField = lookupField(CurClass, N->Name, OwnerTmp) != nullptr;
+      if (!IsField) {
+        if (const ClassDecl *C = findClass(N->Name)) {
+          N->Resolution = NameResolution::ClassRef;
+          N->OwnerClass = C;
+          const MethodDecl *M = lookupMethod(C, E.Name);
+          if (!M) {
+            Diags.error(E.loc(), "class '" + C->Name + "' has no method '" +
+                                     E.Name + "'");
+            for (ExprPtr &A : E.Args)
+              checkExpr(A.get());
+            return TypeFE::errorTy();
+          }
+          if (!M->IsStatic)
+            Diags.error(E.loc(), "instance method '" + E.Name +
+                                     "' called through a class name");
+          E.Callee = M;
+          E.Resolution = CallResolution::Static;
+          checkCallArgs(*M, E.Args, E.loc(), "method");
+          return M->ReturnType;
+        }
+      }
+    }
+  }
+
+  TypeFE RecvTy = checkExpr(E.Receiver.get());
+  if (RecvTy.isError())
+    return RecvTy;
+  if (!RecvTy.isClass()) {
+    Diags.error(E.loc(), "method call on non-object type '" + RecvTy.str() +
+                             "'");
+    for (ExprPtr &A : E.Args)
+      checkExpr(A.get());
+    return TypeFE::errorTy();
+  }
+  const ClassDecl *Class = findClass(RecvTy.ClassName);
+  const MethodDecl *M = Class ? lookupMethod(Class, E.Name) : nullptr;
+  if (!M) {
+    Diags.error(E.loc(), "class '" + RecvTy.ClassName + "' has no method '" +
+                             E.Name + "'");
+    for (ExprPtr &A : E.Args)
+      checkExpr(A.get());
+    return TypeFE::errorTy();
+  }
+  if (M->IsStatic)
+    Diags.error(E.loc(), "static method '" + E.Name +
+                             "' called through an instance");
+  E.Callee = M;
+  E.Resolution = CallResolution::Virtual;
+  checkCallArgs(*M, E.Args, E.loc(), "method");
+  return M->ReturnType;
+}
+
+TypeFE Sema::checkNewObject(NewObjectExpr &E) {
+  const ClassDecl *C = findClass(E.ClassName);
+  if (!C) {
+    Diags.error(E.loc(), "unknown class '" + E.ClassName + "'");
+    for (ExprPtr &A : E.Args)
+      checkExpr(A.get());
+    return TypeFE::errorTy();
+  }
+  E.Class = C;
+  const MethodDecl *Ctor = C->findCtor();
+  E.Ctor = Ctor;
+  if (Ctor) {
+    checkCallArgs(*Ctor, E.Args, E.loc(), "constructor of");
+  } else if (!E.Args.empty()) {
+    Diags.error(E.loc(), "class '" + E.ClassName +
+                             "' has no constructor taking arguments");
+    for (ExprPtr &A : E.Args)
+      checkExpr(A.get());
+  }
+  return TypeFE::classTy(E.ClassName);
+}
+
+TypeFE Sema::checkNewArray(NewArrayExpr &E) {
+  validateType(E.ElemType, E.loc());
+  if (E.ElemType.isVoid())
+    Diags.error(E.loc(), "cannot create an array of void");
+  for (ExprPtr &D : E.Dims) {
+    TypeFE T = checkExpr(D.get());
+    if (!T.isInt() && !T.isError())
+      Diags.error(D->loc(), "array dimension must be int");
+  }
+  TypeFE T = E.ElemType;
+  T.ArrayDims += static_cast<int>(E.Dims.size()) + E.ExtraDims;
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+bool algoprof::runSema(Program &P, DiagnosticEngine &Diags) {
+  Sema S(P, Diags);
+  return S.run();
+}

@@ -1,0 +1,38 @@
+//===- frontend/Sema.h - MiniJ semantic analysis ----------------*- C++-*-===//
+///
+/// \file
+/// Name resolution and type checking for MiniJ. Sema annotates the AST in
+/// place (resolved symbols, expression types, local slots, loop ids) and
+/// injects the implicit root class Object. The bytecode compiler consumes
+/// only sema-checked programs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_FRONTEND_SEMA_H
+#define ALGOPROF_FRONTEND_SEMA_H
+
+#include "frontend/Ast.h"
+#include "support/Diagnostics.h"
+
+namespace algoprof {
+
+/// Runs semantic analysis over \p P.
+///
+/// \returns true when the program is well-formed. Errors are reported via
+/// \p Diags; on failure the AST annotations are unspecified.
+bool runSema(Program &P, DiagnosticEngine &Diags);
+
+/// Absolute field slot of \p Field within objects of its owner class
+/// hierarchy (inherited fields occupy a prefix of the layout). Valid only
+/// after runSema succeeded.
+int fieldLayoutSlot(const ClassDecl &Owner, const FieldDecl &Field);
+
+/// Total number of field slots in instances of \p Class (own + inherited).
+int classLayoutSize(const ClassDecl &Class);
+
+/// True when \p Sub equals \p Super or inherits from it (transitively).
+bool isSubclassOf(const ClassDecl *Sub, const ClassDecl *Super);
+
+} // namespace algoprof
+
+#endif // ALGOPROF_FRONTEND_SEMA_H

@@ -1,0 +1,41 @@
+//===- frontend/Types.cpp -------------------------------------------------===//
+
+#include "frontend/Types.h"
+
+#include <cassert>
+
+using namespace algoprof;
+
+TypeFE TypeFE::elementType() const {
+  assert(ArrayDims > 0 && "elementType of non-array");
+  TypeFE T = *this;
+  --T.ArrayDims;
+  return T;
+}
+
+std::string TypeFE::str() const {
+  std::string Base;
+  switch (Kind) {
+  case TypeKindFE::Int:
+    Base = "int";
+    break;
+  case TypeKindFE::Boolean:
+    Base = "boolean";
+    break;
+  case TypeKindFE::Void:
+    Base = "void";
+    break;
+  case TypeKindFE::Null:
+    Base = "null";
+    break;
+  case TypeKindFE::Class:
+    Base = ClassName;
+    break;
+  case TypeKindFE::Error:
+    Base = "<error>";
+    break;
+  }
+  for (int I = 0; I < ArrayDims; ++I)
+    Base += "[]";
+  return Base;
+}

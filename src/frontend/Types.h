@@ -1,0 +1,82 @@
+//===- frontend/Types.h - MiniJ source-level types --------------*- C++-*-===//
+///
+/// \file
+/// Value representation of MiniJ source types. Generics are fully erased
+/// before this representation: a type parameter T and any applied type
+/// arguments map to the implicit root class Object, mirroring Java's
+/// erasure (the PLDI'12 Table 1 "G" programs rely only on erased storage
+/// of payloads, never on parametric dispatch).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_FRONTEND_TYPES_H
+#define ALGOPROF_FRONTEND_TYPES_H
+
+#include <string>
+
+namespace algoprof {
+
+/// Discriminates the scalar/base kind of a MiniJ type.
+enum class TypeKindFE {
+  Int,
+  Boolean,
+  Void,
+  Null,  ///< The type of the 'null' literal; assignable to any reference.
+  Class, ///< A (possibly erased-generic) class reference.
+  Error, ///< Produced after a diagnostic; silences follow-on errors.
+};
+
+/// A MiniJ type: a base kind plus an array dimension count.
+///
+/// 'int[][]' is {Int, dims=2}; 'Node' is {Class "Node", dims=0}. Using a
+/// dimension counter instead of a recursive node keeps types freely
+/// copyable value objects.
+struct TypeFE {
+  TypeKindFE Kind = TypeKindFE::Error;
+  std::string ClassName; ///< Set when Kind == Class.
+  int ArrayDims = 0;
+
+  static TypeFE intTy() { return {TypeKindFE::Int, "", 0}; }
+  static TypeFE boolTy() { return {TypeKindFE::Boolean, "", 0}; }
+  static TypeFE voidTy() { return {TypeKindFE::Void, "", 0}; }
+  static TypeFE nullTy() { return {TypeKindFE::Null, "", 0}; }
+  static TypeFE errorTy() { return {TypeKindFE::Error, "", 0}; }
+  static TypeFE classTy(std::string Name) {
+    return {TypeKindFE::Class, std::move(Name), 0};
+  }
+  static TypeFE arrayOf(TypeFE Elem) {
+    TypeFE T = std::move(Elem);
+    ++T.ArrayDims;
+    return T;
+  }
+
+  bool isError() const { return Kind == TypeKindFE::Error; }
+  bool isVoid() const { return Kind == TypeKindFE::Void && ArrayDims == 0; }
+  bool isInt() const { return Kind == TypeKindFE::Int && ArrayDims == 0; }
+  bool isBool() const {
+    return Kind == TypeKindFE::Boolean && ArrayDims == 0;
+  }
+  bool isNull() const { return Kind == TypeKindFE::Null; }
+  bool isArray() const { return ArrayDims > 0; }
+  bool isClass() const { return Kind == TypeKindFE::Class && ArrayDims == 0; }
+  /// True for any value that is a heap reference (class, array, or null).
+  bool isReference() const {
+    return isNull() || isArray() || Kind == TypeKindFE::Class;
+  }
+
+  /// Element type of an array type; asserts on non-arrays.
+  TypeFE elementType() const;
+
+  bool operator==(const TypeFE &Other) const {
+    return Kind == Other.Kind && ArrayDims == Other.ArrayDims &&
+           ClassName == Other.ClassName;
+  }
+  bool operator!=(const TypeFE &Other) const { return !(*this == Other); }
+
+  /// Renders the type in source syntax, e.g. "Node[][]".
+  std::string str() const;
+};
+
+} // namespace algoprof
+
+#endif // ALGOPROF_FRONTEND_TYPES_H

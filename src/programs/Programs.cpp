@@ -1,0 +1,572 @@
+//===- programs/Programs.cpp ----------------------------------------------===//
+
+#include "programs/Programs.h"
+
+using namespace algoprof;
+using namespace algoprof::programs;
+
+const char *algoprof::programs::inputOrderName(InputOrder Order) {
+  switch (Order) {
+  case InputOrder::Random:
+    return "random";
+  case InputOrder::Sorted:
+    return "sorted";
+  case InputOrder::Reversed:
+    return "reversed";
+  }
+  return "<bad-order>";
+}
+
+static std::string num(int64_t V) { return std::to_string(V); }
+
+/// The value appended at position i for a given input regime.
+static std::string valueExpr(InputOrder Order) {
+  switch (Order) {
+  case InputOrder::Random:
+    return "r.next(size + 1)";
+  case InputOrder::Sorted:
+    return "i";
+  case InputOrder::Reversed:
+    return "size - i";
+  }
+  return "0";
+}
+
+/// Deterministic in-language LCG shared by the sort programs.
+static const char *const RandClass = R"MJ(
+class Rand {
+  int seed;
+  Rand(int seed) {
+    this.seed = seed * 2 + 1;
+  }
+  int next(int bound) {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    if (seed < 0) {
+      seed = -seed;
+    }
+    if (bound <= 0) {
+      return 0;
+    }
+    return seed % bound;
+  }
+}
+)MJ";
+
+//===----------------------------------------------------------------------===//
+// Listings 1 + 2: imperative insertion sort on a doubly linked list
+//===----------------------------------------------------------------------===//
+
+std::string algoprof::programs::insertionSortProgram(int MaxSize, int Step,
+                                                     int Reps,
+                                                     InputOrder Order) {
+  std::string Src = R"MJ(
+class Node {
+  Node prev;
+  Node next;
+  int value;
+  Node(int value) {
+    this.value = value;
+  }
+}
+class List {
+  Node head;
+  Node tail;
+  void sort() {
+    if (head == null || head.next == null) {
+      return;
+    }
+    Node firstUnsorted = head.next;
+    while (firstUnsorted != null) {
+      Node target = firstUnsorted;
+      Node nextUnsorted = firstUnsorted.next;
+      while (target.prev != null && target.prev.value > target.value) {
+        Node candidate = target.prev;
+        Node pred = candidate.prev;
+        Node succ = target.next;
+        if (pred != null) {
+          pred.next = target;
+        } else {
+          head = target;
+        }
+        target.prev = pred;
+        if (succ != null) {
+          succ.prev = candidate;
+        } else {
+          tail = candidate;
+        }
+        candidate.next = succ;
+        target.next = candidate;
+        candidate.prev = target;
+      }
+      firstUnsorted = nextUnsorted;
+    }
+  }
+  void append(int value) {
+    Node node = new Node(value);
+    if (tail == null) {
+      tail = node;
+      head = tail;
+    } else {
+      tail.next = node;
+      node.prev = tail;
+      tail = tail.next;
+    }
+  }
+}
+)MJ";
+  Src += RandClass;
+  Src += R"MJ(
+class Main {
+  static void main() {
+    measure();
+  }
+  static void measure() {
+    for (int size = 0; size < )MJ" +
+         num(MaxSize) + R"MJ(; size = size + )MJ" + num(Step) + R"MJ() {
+      for (int i = 0; i < )MJ" +
+         num(Reps) + R"MJ(; i++) {
+        List list = new List();
+        constructRandom(list, size, i);
+        sort(list);
+      }
+    }
+  }
+  static void constructRandom(List list, int size, int rep) {
+    Rand r = new Rand(size * 31 + rep);
+    for (int i = 0; i < size; i++) {
+      list.append()MJ" +
+         valueExpr(Order) + R"MJ();
+    }
+  }
+  static void sort(List list) {
+    list.sort();
+  }
+}
+)MJ";
+  return Src;
+}
+
+//===----------------------------------------------------------------------===//
+// Sec. 4.3: purely functional recursive insertion sort
+//===----------------------------------------------------------------------===//
+
+std::string algoprof::programs::functionalSortProgram(int MaxSize, int Step,
+                                                      int Reps,
+                                                      InputOrder Order) {
+  std::string Src = R"MJ(
+class FNode {
+  int value;
+  FNode next;
+  FNode(int value, FNode next) {
+    this.value = value;
+    this.next = next;
+  }
+}
+class FSort {
+  static FNode sort(FNode list) {
+    if (list == null) {
+      return null;
+    }
+    return insert(list.value, FSort.sort(list.next));
+  }
+  static FNode insert(int value, FNode sorted) {
+    if (sorted == null || sorted.value >= value) {
+      return new FNode(value, sorted);
+    }
+    return new FNode(sorted.value, FSort.insert(value, sorted.next));
+  }
+}
+)MJ";
+  Src += RandClass;
+  Src += R"MJ(
+class Main {
+  static void main() {
+    for (int size = 0; size < )MJ" +
+         num(MaxSize) + R"MJ(; size = size + )MJ" + num(Step) + R"MJ() {
+      for (int i = 0; i < )MJ" +
+         num(Reps) + R"MJ(; i++) {
+        FNode list = construct(size, i);
+        FNode sorted = FSort.sort(list);
+        sorted = null;
+      }
+    }
+  }
+  static FNode construct(int size, int rep) {
+    Rand r = new Rand(size * 31 + rep);
+    FNode list = null;
+    for (int i = 0; i < size; i++) {
+      list = new FNode()MJ" +
+         valueExpr(Order) + R"MJ(, list);
+    }
+    return list;
+  }
+}
+)MJ";
+  return Src;
+}
+
+//===----------------------------------------------------------------------===//
+// Listing 6 / Fig. 4+5: growing array-backed list
+//===----------------------------------------------------------------------===//
+
+std::string algoprof::programs::arrayListProgram(bool Doubling, int MaxSize,
+                                                 int Step) {
+  std::string GrowExpr =
+      Doubling ? "array.length * 2" : "array.length + 1";
+  return R"MJ(
+class ArrayList {
+  int[] array;
+  int size;
+  ArrayList() {
+    array = new int[1];
+    size = 0;
+  }
+  void append(int value) {
+    growIfFull();
+    array[size++] = value;
+  }
+  void growIfFull() {
+    if (size == array.length) {
+      int[] newArray = new int[)MJ" +
+         GrowExpr + R"MJ(];
+      for (int i = 0; i < array.length; i++) {
+        newArray[i] = array[i];
+      }
+      array = newArray;
+    }
+  }
+}
+class Main {
+  static void main() {
+    for (int size = )MJ" +
+         num(Step) + R"MJ(; size <= )MJ" + num(MaxSize) +
+         R"MJ(; size = size + )MJ" + num(Step) + R"MJ() {
+      testForSize(size);
+    }
+  }
+  static void testForSize(int size) {
+    ArrayList list = new ArrayList();
+    for (int i = 0; i < size; i++) {
+      list.append(i + 1);
+    }
+  }
+}
+)MJ";
+}
+
+//===----------------------------------------------------------------------===//
+// Listing 4: constructions whose first access sees a partial structure
+//===----------------------------------------------------------------------===//
+
+std::string algoprof::programs::listing4Program(int Size) {
+  return R"MJ(
+class Node4 {
+  Node4 next;
+}
+class Main {
+  static void main() {
+    Node4 a = constructListWithLoop()MJ" +
+         num(Size) + R"MJ();
+    Node4 b = constructListWithRecursion()MJ" +
+         num(Size) + R"MJ();
+    constructPartiallyUsedArray();
+    touch(a);
+    touch(b);
+  }
+  static Node4 constructListWithLoop(int size) {
+    Node4 list = null;
+    for (int i = 0; i < size; i++) {
+      Node4 head = new Node4();
+      head.next = list;
+      list = head;
+    }
+    return list;
+  }
+  static Node4 constructListWithRecursion(int size) {
+    if (size == 0) {
+      return null;
+    }
+    Node4 list = constructListWithRecursion(size - 1);
+    Node4 head = new Node4();
+    head.next = list;
+    return head;
+  }
+  static void constructPartiallyUsedArray() {
+    int[] values = new int[1000];
+    for (int i = 0; i < 10; i++) {
+      values[i] = i * 2;
+    }
+  }
+  static void touch(Node4 n) {
+    if (n != null) {
+      touch(n.next);
+    }
+  }
+}
+)MJ";
+}
+
+//===----------------------------------------------------------------------===//
+// Listing 5: 2-d loop nest whose outer loop has no array access
+//===----------------------------------------------------------------------===//
+
+std::string algoprof::programs::listing5Program(int Rows, int Cols) {
+  return R"MJ(
+class Main {
+  static void main() {
+    fill()MJ" +
+         num(Rows) + ", " + num(Cols) + R"MJ();
+  }
+  static void fill(int rows, int cols) {
+    int[][] array = new int[rows][cols];
+    for (int i = 0; i < array.length; i++) {
+      for (int j = 0; j < array[i].length; j++) {
+        array[i][j] = i * 1000 + j + 1;
+      }
+    }
+  }
+}
+)MJ";
+}
+
+//===----------------------------------------------------------------------===//
+// Merge sort (linked list, top-down): the n*log n contrast
+//===----------------------------------------------------------------------===//
+
+std::string algoprof::programs::mergeSortProgram(int MaxSize, int Step,
+                                                 int Reps,
+                                                 InputOrder Order) {
+  std::string Src = R"MJ(
+class MNode {
+  int value;
+  MNode next;
+  MNode(int value) {
+    this.value = value;
+  }
+}
+class MergeSort {
+  static MNode sortList(MNode list) {
+    if (list == null || list.next == null) {
+      return list;
+    }
+    MNode slow = list;
+    MNode fast = list.next;
+    while (fast != null && fast.next != null) {
+      slow = slow.next;
+      fast = fast.next.next;
+    }
+    MNode second = slow.next;
+    slow.next = null;
+    return merge(MergeSort.sortList(list), MergeSort.sortList(second));
+  }
+  static MNode merge(MNode a, MNode b) {
+    MNode head = null;
+    MNode tail = null;
+    while (a != null || b != null) {
+      MNode take;
+      if (b == null) {
+        take = a;
+        a = a.next;
+      } else {
+        if (a == null) {
+          take = b;
+          b = b.next;
+        } else {
+          if (a.value <= b.value) {
+            take = a;
+            a = a.next;
+          } else {
+            take = b;
+            b = b.next;
+          }
+        }
+      }
+      take.next = null;
+      if (tail == null) {
+        head = take;
+        tail = take;
+      } else {
+        tail.next = take;
+        tail = take;
+      }
+    }
+    return head;
+  }
+}
+)MJ";
+  Src += RandClass;
+  Src += R"MJ(
+class Main {
+  static void main() {
+    for (int size = 0; size < )MJ" +
+         num(MaxSize) + R"MJ(; size = size + )MJ" + num(Step) + R"MJ() {
+      for (int i = 0; i < )MJ" +
+         num(Reps) + R"MJ(; i++) {
+        MNode list = construct(size, i);
+        MNode sorted = MergeSort.sortList(list);
+        sorted = null;
+      }
+    }
+  }
+  static MNode construct(int size, int rep) {
+    Rand r = new Rand(size * 17 + rep);
+    MNode list = null;
+    for (int i = 0; i < size; i++) {
+      MNode node = new MNode()MJ" +
+         valueExpr(Order) + R"MJ();
+      node.next = list;
+      list = node;
+    }
+    return list;
+  }
+}
+)MJ";
+  return Src;
+}
+
+//===----------------------------------------------------------------------===//
+// External input/output
+//===----------------------------------------------------------------------===//
+
+std::string algoprof::programs::ioSumProgram() {
+  return R"MJ(
+class Main {
+  static void main() {
+    int sum = 0;
+    while (hasInput()) {
+      int v = readInt();
+      print(v);
+      sum = sum + v;
+    }
+    print(sum);
+  }
+}
+)MJ";
+}
+
+//===----------------------------------------------------------------------===//
+// Binary search: a logarithmic cost function
+//===----------------------------------------------------------------------===//
+
+std::string algoprof::programs::binarySearchProgram(int MaxN, int StepN) {
+  return R"MJ(
+class Main {
+  static void main() {
+    for (int n = )MJ" +
+         num(StepN) + R"MJ(; n <= )MJ" + num(MaxN) +
+         R"MJ(; n = n + )MJ" + num(StepN) + R"MJ() {
+      runOnce(n);
+    }
+  }
+  static void runOnce(int n) {
+    int[] a = build(n);
+    int hits = 0;
+    // A fixed number of queries per size keeps the series comparable:
+    // every search-loop invocation contributes one <n, ~log2 n> point.
+    for (int q = 0; q < 8; q++) {
+      int key = (q * n) / 8 + 1;
+      if (search(a, key) >= 0) {
+        hits++;
+      }
+    }
+    print(hits);
+  }
+  static int[] build(int n) {
+    int[] a = new int[n];
+    for (int i = 0; i < n; i++) {
+      a[i] = i + 1;
+    }
+    return a;
+  }
+  static int search(int[] a, int key) {
+    int lo = 0;
+    int hi = a.length - 1;
+    while (lo <= hi) {
+      int mid = (lo + hi) / 2;
+      if (a[mid] == key) {
+        return mid;
+      }
+      if (a[mid] < key) {
+        lo = mid + 1;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    return -1;
+  }
+}
+)MJ";
+}
+
+//===----------------------------------------------------------------------===//
+// Binary search tree: n*log n construction
+//===----------------------------------------------------------------------===//
+
+std::string algoprof::programs::bstProgram(int MaxN, int StepN) {
+  std::string Src = R"MJ(
+class BstNode {
+  int key;
+  BstNode left;
+  BstNode right;
+  BstNode(int key) {
+    this.key = key;
+  }
+}
+class Bst {
+  BstNode root;
+  void insert(int key) {
+    BstNode node = new BstNode(key);
+    if (root == null) {
+      root = node;
+      return;
+    }
+    BstNode cur = root;
+    while (true) {
+      if (key < cur.key) {
+        if (cur.left == null) {
+          cur.left = node;
+          return;
+        }
+        cur = cur.left;
+      } else {
+        if (cur.right == null) {
+          cur.right = node;
+          return;
+        }
+        cur = cur.right;
+      }
+    }
+  }
+  int sum(BstNode node) {
+    if (node == null) {
+      return 0;
+    }
+    return node.key + sum(node.left) + sum(node.right);
+  }
+}
+)MJ";
+  Src += RandClass;
+  Src += R"MJ(
+class Main {
+  static void main() {
+    for (int n = )MJ" +
+         num(StepN) + R"MJ(; n <= )MJ" + num(MaxN) +
+         R"MJ(; n = n + )MJ" + num(StepN) + R"MJ() {
+      runOnce(n);
+    }
+  }
+  static void runOnce(int n) {
+    Bst tree = new Bst();
+    fill(tree, n);
+    print(tree.sum(tree.root));
+  }
+  static void fill(Bst tree, int n) {
+    Rand r = new Rand(n * 13 + 7);
+    for (int i = 0; i < n; i++) {
+      tree.insert(r.next(1000000));
+    }
+  }
+}
+)MJ";
+  return Src;
+}

@@ -1,0 +1,111 @@
+//===- programs/Programs.h - The paper's example programs -------*- C++-*-===//
+///
+/// \file
+/// MiniJ translations of every program the paper evaluates: the running
+/// example (Listings 1+2, Fig. 1/2/3), the functional/recursive
+/// insertion sort (Sec. 4.3), the growing array-backed list (Listing 6,
+/// Fig. 4/5), the Listing 4 construction patterns, the Listing 5 array
+/// loop nest, the 18 Table 1 data-structure programs, and auxiliary
+/// programs (merge sort, external I/O) used by examples and tests.
+///
+/// Programs are source generators parameterized by sweep sizes so tests
+/// can run small and benches can run the full figures. All randomness is
+/// a deterministic in-language LCG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_PROGRAMS_PROGRAMS_H
+#define ALGOPROF_PROGRAMS_PROGRAMS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace programs {
+
+/// Input regimes of Figure 1.
+enum class InputOrder { Random, Sorted, Reversed };
+
+const char *inputOrderName(InputOrder Order);
+
+/// Listings 1+2: linked-list insertion sort under a sweep harness.
+/// Sorts lists of length 0, Step, 2*Step, ... (< MaxSize), Reps runs
+/// each. Entry: Main.main.
+std::string insertionSortProgram(int MaxSize, int Step, int Reps,
+                                 InputOrder Order);
+
+/// Sec. 4.3: the purely functional, recursive insertion sort over an
+/// immutable list, same harness shape. Entry: Main.main.
+std::string functionalSortProgram(int MaxSize, int Step, int Reps,
+                                  InputOrder Order);
+
+/// Listing 6 / Fig. 4+5: array-backed list growing by one (naive) or by
+/// doubling (ideal). Appends 1..n for n = Step, 2*Step, ... <= MaxSize.
+/// Entry: Main.main.
+std::string arrayListProgram(bool Doubling, int MaxSize, int Step);
+
+/// Listing 4: the three construction patterns whose first access cannot
+/// see the whole structure (loop-built list, recursion-built list,
+/// partially used array). Entry: Main.main.
+std::string listing4Program(int Size);
+
+/// Listing 5: the 2-d array loop nest whose outer loop performs no
+/// array access. Entry: Main.main.
+std::string listing5Program(int Rows, int Cols);
+
+/// Linked-list bottom-up merge sort under the same sweep harness
+/// (used by the sort-comparison example; expected n*log n).
+std::string mergeSortProgram(int MaxSize, int Step, int Reps,
+                             InputOrder Order);
+
+/// Reads all external input, echoes each value, prints the sum.
+/// Classifies as an Input+Output algorithm. Entry: Main.main.
+std::string ioSumProgram();
+
+/// Binary search over a sorted array: per-query cost ~ log2(n). Each
+/// runOnce builds a sorted int[n] and performs a fixed number of
+/// searches, so the search loop's series is logarithmic in the array
+/// size. Entry: Main.main.
+std::string binarySearchProgram(int MaxN, int StepN);
+
+/// Binary search tree built by repeated insertion of LCG-shuffled keys,
+/// then recursively summed. The build algorithm (insert-descent loop
+/// grouped under the fill loop) costs ~ n*log n total. Entry:
+/// Main.main.
+std::string bstProgram(int MaxN, int StepN);
+
+/// One of the paper's Table 1 data-structure programs.
+struct Table1Program {
+  std::string Name;
+  // The paper's descriptive columns.
+  std::string StructKind; ///< array / list / tree / graph.
+  std::string Impl;       ///< array / linked.
+  std::string Linkage;    ///< NA / directed / bidi / undirected.
+  std::string PayloadT;   ///< B / I / G.
+  std::string Remark;     ///< 1d / 2d / double / grow by 1 / binary / ...
+
+  std::string Source;
+
+  /// The (class, method) pairs whose loops and recursions together make
+  /// up "the algorithm" of this program; the G column is 'x' when all of
+  /// their repetition nodes land in one algorithm group.
+  std::vector<std::pair<std::string, std::string>> GroupMethods;
+
+  char PaperG = 'x';      ///< Paper's G column: 'x', '*', or '-'.
+  bool ArrayInput = false;///< Primary input is an array (vs structure).
+
+  int MaxN = 20;
+  int StepN = 4;
+
+  /// Expected primary-input size when built with parameter n.
+  int64_t (*ExpectedSize)(int64_t N) = nullptr;
+};
+
+/// The 18 programs of Table 1, in the paper's row order.
+const std::vector<Table1Program> &table1Programs();
+
+} // namespace programs
+} // namespace algoprof
+
+#endif // ALGOPROF_PROGRAMS_PROGRAMS_H

@@ -1,0 +1,846 @@
+//===- programs/Table1.cpp - The paper's 18 data-structure programs -------===//
+///
+/// \file
+/// MiniJ sources for every row of Table 1. Each program builds a
+/// structure of n elements for n in a small sweep and traverses it
+/// (iteratively and/or recursively), mirroring the paper's description:
+/// "Each example focuses on one kind of data structure but implements
+/// several algorithms (building, traversing iteratively, traversing
+/// recursively)". Element values/payloads are distinct per structure so
+/// the SomeElements identity criterion behaves as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "programs/Programs.h"
+
+using namespace algoprof;
+using namespace algoprof::programs;
+
+namespace {
+
+std::string num(int64_t V) { return std::to_string(V); }
+
+/// Wraps a runOnce body + helpers into the standard sweep harness.
+std::string harness(const std::string &Helpers, int MaxN, int StepN) {
+  return R"MJ(
+class Main {
+  static void main() {
+    for (int n = )MJ" +
+         num(StepN) + R"MJ(; n <= )MJ" + num(MaxN) +
+         R"MJ(; n = n + )MJ" + num(StepN) + R"MJ() {
+      runOnce(n);
+    }
+  }
+)MJ" + Helpers +
+         "}\n";
+}
+
+int64_t sizeN(int64_t N) { return N; }
+int64_t sizeTwoD(int64_t N) { return N + N * N; }
+int64_t sizeDoubling(int64_t N) {
+  int64_t Cap = 1;
+  while (Cap < N)
+    Cap *= 2;
+  return N + (Cap > N ? 1 : 0); // Unused slots contribute one 0 value.
+}
+
+Table1Program make(std::string Name, std::string StructKind,
+                   std::string Impl, std::string Linkage,
+                   std::string PayloadT, std::string Remark,
+                   std::string Source,
+                   std::vector<std::pair<std::string, std::string>> Group,
+                   char PaperG, bool ArrayInput,
+                   int64_t (*ExpectedSize)(int64_t)) {
+  Table1Program P;
+  P.Name = std::move(Name);
+  P.StructKind = std::move(StructKind);
+  P.Impl = std::move(Impl);
+  P.Linkage = std::move(Linkage);
+  P.PayloadT = std::move(PayloadT);
+  P.Remark = std::move(Remark);
+  P.Source = std::move(Source);
+  P.GroupMethods = std::move(Group);
+  P.PaperG = PaperG;
+  P.ArrayInput = ArrayInput;
+  P.ExpectedSize = ExpectedSize;
+  return P;
+}
+
+/// Array-backed list shared skeleton; Grow is the realloc size
+/// expression, Elem the element type, MakeElem the appended value.
+std::string arrayListSource(const std::string &Prelude,
+                            const std::string &Elem,
+                            const std::string &Grow,
+                            const std::string &MakeElem, int MaxN,
+                            int StepN) {
+  std::string Src = Prelude + R"MJ(
+class AList {
+  )MJ" + Elem + R"MJ([] array;
+  int size;
+  AList() {
+    array = new )MJ" +
+                    Elem + R"MJ([1];
+    size = 0;
+  }
+  void append()MJ" + Elem +
+                    R"MJ( value) {
+    growIfFull();
+    array[size++] = value;
+  }
+  void growIfFull() {
+    if (size == array.length) {
+      )MJ" + Elem +
+                    R"MJ([] newArray = new )MJ" + Elem + R"MJ([)MJ" + Grow +
+                    R"MJ(];
+      for (int i = 0; i < array.length; i++) {
+        newArray[i] = array[i];
+      }
+      array = newArray;
+    }
+  }
+}
+)MJ";
+  Src += harness(R"MJ(
+  static void runOnce(int n) {
+    AList list = new AList();
+    fill(list, n);
+  }
+  static void fill(AList list, int n) {
+    for (int i = 0; i < n; i++) {
+      list.append()MJ" + MakeElem +
+                     R"MJ();
+    }
+  }
+)MJ",
+                 MaxN, StepN);
+  return Src;
+}
+
+} // namespace
+
+const std::vector<Table1Program> &algoprof::programs::table1Programs() {
+  static const std::vector<Table1Program> Programs = [] {
+    std::vector<Table1Program> Ps;
+    const int MaxN = 20, StepN = 4;
+
+    // Row 1: array / array / NA / B / 1d — '*'.
+    Ps.push_back(make(
+        "array-1d", "array", "array", "NA", "B", "1d",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    int[] a = build(n);
+    int s = sumIter(a);
+    s = s + sumRec(a, 0);
+  }
+  static int[] build(int n) {
+    int[] a = new int[n];
+    for (int i = 0; i < n; i++) {
+      a[i] = i + 1;
+    }
+    return a;
+  }
+  static int sumIter(int[] a) {
+    int s = 0;
+    for (int i = 0; i < a.length; i++) {
+      s = s + a[i];
+    }
+    return s;
+  }
+  static int sumRec(int[] a, int i) {
+    if (i >= a.length) {
+      return 0;
+    }
+    return a[i] + sumRec(a, i + 1);
+  }
+)MJ",
+                MaxN, StepN),
+        {{"Main", "sumIter"}}, '*', true, sizeN));
+
+    // Row 2: array / array / NA / B / 2d — '-'.
+    Ps.push_back(make(
+        "array-2d", "array", "array", "NA", "B", "2d",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    int[][] m = build2(n);
+    int s = sumNest(m);
+  }
+  static int[][] build2(int n) {
+    int[][] m = new int[n][n];
+    for (int i = 0; i < m.length; i++) {
+      for (int j = 0; j < m[i].length; j++) {
+        m[i][j] = i * n + j + 1;
+      }
+    }
+    return m;
+  }
+  static int sumNest(int[][] m) {
+    int s = 0;
+    for (int i = 0; i < m.length; i++) {
+      for (int j = 0; j < m[i].length; j++) {
+        s = s + m[i][j];
+      }
+    }
+    return s;
+  }
+)MJ",
+                MaxN, StepN),
+        {{"Main", "sumNest"}}, '-', true, sizeTwoD));
+
+    // Row 3: list / array / NA / B / double — '*'.
+    Ps.push_back(make("list-array-double", "list", "array", "NA", "B",
+                      "double",
+                      arrayListSource("", "int", "array.length * 2",
+                                      "i + 1", MaxN, StepN),
+                      {{"Main", "fill"}, {"AList", "growIfFull"}}, '*',
+                      true, sizeDoubling));
+
+    // Row 4: list / array / NA / B / grow by 1 — '*'.
+    Ps.push_back(make("list-array-grow1", "list", "array", "NA", "B",
+                      "grow by 1",
+                      arrayListSource("", "int", "array.length + 1",
+                                      "i + 1", MaxN, StepN),
+                      {{"Main", "fill"}, {"AList", "growIfFull"}}, '*',
+                      true, sizeN));
+
+    // Row 5: list / array / NA / G / grow by 1 — '*'.
+    // Erased generics: the backing T[] is an Object[].
+    {
+      std::string Prelude = R"MJ(
+class Box {
+  int v;
+  Box(int v) {
+    this.v = v;
+  }
+}
+)MJ";
+      std::string Src = Prelude + R"MJ(
+class AList<T> {
+  T[] array;
+  int size;
+  AList() {
+    array = new T[1];
+    size = 0;
+  }
+  void append(T value) {
+    growIfFull();
+    array[size++] = value;
+  }
+  void growIfFull() {
+    if (size == array.length) {
+      T[] newArray = new T[array.length + 1];
+      for (int i = 0; i < array.length; i++) {
+        newArray[i] = array[i];
+      }
+      array = newArray;
+    }
+  }
+}
+)MJ" + harness(R"MJ(
+  static void runOnce(int n) {
+    AList<Box> list = new AList<Box>();
+    fill(list, n);
+  }
+  static void fill(AList<Box> list, int n) {
+    for (int i = 0; i < n; i++) {
+      list.append(new Box(i + 1));
+    }
+  }
+)MJ",
+                     MaxN, StepN);
+      Ps.push_back(make("list-array-grow1-generic", "list", "array", "NA",
+                        "G", "grow by 1", Src,
+                        {{"Main", "fill"}, {"AList", "growIfFull"}}, '*',
+                        true, sizeN));
+    }
+
+    // Row 6: list / array / NA / I / grow by 1 — '*'.
+    {
+      std::string Prelude = R"MJ(
+class Item {
+  int tag;
+}
+class IntItem extends Item {
+  int v;
+  IntItem(int v) {
+    this.v = v;
+  }
+}
+)MJ";
+      Ps.push_back(make(
+          "list-array-grow1-inherit", "list", "array", "NA", "I",
+          "grow by 1",
+          arrayListSource(Prelude, "Item", "array.length + 1",
+                          "new IntItem(i + 1)", MaxN, StepN),
+          {{"Main", "fill"}, {"AList", "growIfFull"}}, '*', true, sizeN));
+    }
+
+    // Row 7: list / linked / directed / B — 'x'.
+    Ps.push_back(make(
+        "list-linked", "list", "linked", "directed", "B", "",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    LNode list = build(n);
+    int s = sumPairs(list);
+    s = s + countRec(list);
+  }
+  static LNode build(int n) {
+    LNode list = null;
+    for (int i = 0; i < n; i++) {
+      LNode node = new LNode(i + 1);
+      node.next = list;
+      list = node;
+    }
+    return list;
+  }
+  static int sumPairs(LNode list) {
+    int s = 0;
+    LNode a = list;
+    while (a != null) {
+      LNode b = a.next;
+      while (b != null) {
+        s = s + b.value;
+        b = b.next;
+      }
+      a = a.next;
+    }
+    return s;
+  }
+  static int countRec(LNode node) {
+    if (node == null) {
+      return 0;
+    }
+    return 1 + countRec(node.next);
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class LNode {
+  int value;
+  LNode next;
+  LNode(int value) {
+    this.value = value;
+  }
+}
+)MJ",
+        {{"Main", "sumPairs"}}, 'x', false, sizeN));
+
+    // Row 8: list / linked / directed / G — 'x'.
+    Ps.push_back(make(
+        "list-linked-generic", "list", "linked", "directed", "G", "",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    GNode<Box> list = build(n);
+    int c = countIter(list);
+    c = c + countRec(list);
+  }
+  static GNode<Box> build(int n) {
+    GNode<Box> list = null;
+    for (int i = 0; i < n; i++) {
+      list = new GNode<Box>(new Box(i + 1), list);
+    }
+    return list;
+  }
+  static int countIter(GNode<Box> list) {
+    int c = 0;
+    GNode<Box> cur = list;
+    while (cur != null) {
+      c++;
+      cur = cur.next;
+    }
+    return c;
+  }
+  static int countRec(GNode<Box> node) {
+    if (node == null) {
+      return 0;
+    }
+    return 1 + countRec(node.next);
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class Box {
+  int v;
+  Box(int v) {
+    this.v = v;
+  }
+}
+class GNode<T> {
+  T value;
+  GNode<T> next;
+  GNode(T value, GNode<T> next) {
+    this.value = value;
+    this.next = next;
+  }
+}
+)MJ",
+        {{"Main", "countIter"}}, 'x', false, sizeN));
+
+    // Row 9: list / linked / directed / I — 'x'.
+    Ps.push_back(make(
+        "list-linked-inherit", "list", "linked", "directed", "I", "",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    PNode list = build(n);
+    int c = countIter(list);
+    c = c + countRec(list);
+  }
+  static PNode build(int n) {
+    PNode list = null;
+    for (int i = 0; i < n; i++) {
+      IntPNode node = new IntPNode(i + 1);
+      node.next = list;
+      list = node;
+    }
+    return list;
+  }
+  static int countIter(PNode list) {
+    int c = 0;
+    PNode cur = list;
+    while (cur != null) {
+      c++;
+      cur = cur.next;
+    }
+    return c;
+  }
+  static int countRec(PNode node) {
+    if (node == null) {
+      return 0;
+    }
+    return 1 + countRec(node.next);
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class PNode {
+  PNode next;
+}
+class IntPNode extends PNode {
+  int value;
+  IntPNode(int value) {
+    this.value = value;
+  }
+}
+)MJ",
+        {{"Main", "countIter"}}, 'x', false, sizeN));
+
+    // Row 10: tree / array / NA / B / binary — '*'.
+    Ps.push_back(make(
+        "tree-array-binary", "tree", "array", "NA", "B", "binary",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    int[] heap = build(n);
+    int s = sumHeap(heap, 0);
+  }
+  static int[] build(int n) {
+    int[] a = new int[n];
+    for (int i = 0; i < n; i++) {
+      a[i] = i + 1;
+    }
+    return a;
+  }
+  static int sumHeap(int[] a, int idx) {
+    if (idx >= a.length) {
+      return 0;
+    }
+    return a[idx] + sumHeap(a, 2 * idx + 1) + sumHeap(a, 2 * idx + 2);
+  }
+)MJ",
+                MaxN, StepN),
+        {{"Main", "sumHeap"}}, '*', true, sizeN));
+
+    // Row 11: tree / linked / directed / B / binary — 'x'.
+    Ps.push_back(make(
+        "tree-linked-binary", "tree", "linked", "directed", "B", "binary",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    TNode root = build(1, n);
+    int s = sum(root);
+  }
+  static TNode build(int lo, int hi) {
+    if (lo > hi) {
+      return null;
+    }
+    int mid = (lo + hi) / 2;
+    TNode node = new TNode(mid);
+    node.left = build(lo, mid - 1);
+    node.right = build(mid + 1, hi);
+    return node;
+  }
+  static int sum(TNode node) {
+    if (node == null) {
+      return 0;
+    }
+    return node.value + sum(node.left) + sum(node.right);
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class TNode {
+  TNode left;
+  TNode right;
+  int value;
+  TNode(int value) {
+    this.value = value;
+  }
+}
+)MJ",
+        {{"Main", "sum"}}, 'x', false, sizeN));
+
+    // Row 12: tree / linked / bidi / B / binary — 'x'.
+    Ps.push_back(make(
+        "tree-linked-bidi-binary", "tree", "linked", "bidi", "B",
+        "binary",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    TPNode root = build(1, n, null);
+    int s = sumIter(root);
+    s = s + sumRec(root);
+  }
+  static TPNode build(int lo, int hi, TPNode parent) {
+    if (lo > hi) {
+      return null;
+    }
+    int mid = (lo + hi) / 2;
+    TPNode node = new TPNode(mid);
+    node.parent = parent;
+    node.left = build(lo, mid - 1, node);
+    node.right = build(mid + 1, hi, node);
+    return node;
+  }
+  static int sumIter(TPNode root) {
+    int s = 0;
+    TPNode cur = root;
+    TPNode from = null;
+    while (cur != null) {
+      TPNode next;
+      if (from == cur.parent) {
+        s = s + cur.value;
+        if (cur.left != null) {
+          next = cur.left;
+        } else {
+          if (cur.right != null) {
+            next = cur.right;
+          } else {
+            next = cur.parent;
+          }
+        }
+      } else {
+        if (from == cur.left && cur.right != null) {
+          next = cur.right;
+        } else {
+          next = cur.parent;
+        }
+      }
+      from = cur;
+      cur = next;
+    }
+    return s;
+  }
+  static int sumRec(TPNode node) {
+    if (node == null) {
+      return 0;
+    }
+    return node.value + sumRec(node.left) + sumRec(node.right);
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class TPNode {
+  TPNode left;
+  TPNode right;
+  TPNode parent;
+  int value;
+  TPNode(int value) {
+    this.value = value;
+  }
+}
+)MJ",
+        {{"Main", "sumIter"}}, 'x', false, sizeN));
+
+    // Row 13: tree / linked / directed / B / n-ary — 'x'.
+    Ps.push_back(make(
+        "tree-linked-nary", "tree", "linked", "directed", "B", "n-ary",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    KNode root = build(n);
+    int s = sum(root);
+  }
+  static KNode build(int count) {
+    if (count <= 0) {
+      return null;
+    }
+    KNode node = new KNode(count);
+    node.kids = new KNode[3];
+    int remaining = count - 1;
+    for (int i = 0; i < 3; i++) {
+      int share = remaining / (3 - i);
+      node.kids[i] = build(share);
+      remaining = remaining - share;
+    }
+    return node;
+  }
+  static int sum(KNode node) {
+    if (node == null) {
+      return 0;
+    }
+    int s = node.value;
+    KNode[] ks = node.kids;
+    for (int i = 0; i < ks.length; i++) {
+      s = s + sum(ks[i]);
+    }
+    return s;
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class KNode {
+  int value;
+  KNode[] kids;
+  KNode(int value) {
+    this.value = value;
+  }
+}
+)MJ",
+        {{"Main", "sum"}}, 'x', false, sizeN));
+
+    // Row 14: tree / linked / bidi / B / n-ary — 'x'.
+    Ps.push_back(make(
+        "tree-linked-bidi-nary", "tree", "linked", "bidi", "B", "n-ary",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    KPNode root = buildP(n, null);
+    int s = sum(root);
+  }
+  static KPNode buildP(int count, KPNode parent) {
+    if (count <= 0) {
+      return null;
+    }
+    KPNode node = new KPNode(count);
+    node.parent = parent;
+    node.kids = new KPNode[3];
+    int remaining = count - 1;
+    for (int i = 0; i < 3; i++) {
+      int share = remaining / (3 - i);
+      node.kids[i] = buildP(share, node);
+      remaining = remaining - share;
+    }
+    return node;
+  }
+  static int sum(KPNode node) {
+    if (node == null) {
+      return 0;
+    }
+    int s = node.value;
+    KPNode[] ks = node.kids;
+    for (int i = 0; i < ks.length; i++) {
+      s = s + sum(ks[i]);
+    }
+    return s;
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class KPNode {
+  int value;
+  KPNode[] kids;
+  KPNode parent;
+  KPNode(int value) {
+    this.value = value;
+  }
+}
+)MJ",
+        {{"Main", "sum"}}, 'x', false, sizeN));
+
+    // Row 15: graph / array / directed / B / 2d — '-'.
+    Ps.push_back(make(
+        "graph-array-2d", "graph", "array", "directed", "B", "2d",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    int[][] adj = build(n);
+    int s = sumEdges(adj);
+  }
+  static int[][] build(int n) {
+    int[][] m = new int[n][n];
+    for (int i = 0; i < m.length; i++) {
+      for (int j = 0; j < m[i].length; j++) {
+        m[i][j] = i * n + j + 1;
+      }
+    }
+    return m;
+  }
+  static int sumEdges(int[][] m) {
+    int s = 0;
+    for (int i = 0; i < m.length; i++) {
+      for (int j = 0; j < m[i].length; j++) {
+        s = s + m[i][j];
+      }
+    }
+    return s;
+  }
+)MJ",
+                MaxN, StepN),
+        {{"Main", "sumEdges"}}, '-', true, sizeTwoD));
+
+    // Row 16: graph / linked / directed / B — 'x'.
+    Ps.push_back(make(
+        "graph-linked", "graph", "linked", "directed", "B", "",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    Vertex[] vs = build(n);
+    int s = dfs(vs[0]);
+  }
+  static Vertex[] build(int n) {
+    Vertex[] vs = new Vertex[n];
+    for (int i = 0; i < n; i++) {
+      vs[i] = new Vertex(i + 1);
+    }
+    for (int i = 0; i < n; i++) {
+      Vertex v = vs[i];
+      v.out = new Vertex[3];
+      v.out[0] = vs[(i + 1) % n];
+      v.out[1] = vs[(i + 2) % n];
+      v.out[2] = vs[(i + n / 2) % n];
+    }
+    return vs;
+  }
+  static int dfs(Vertex v) {
+    if (v.visited) {
+      return 0;
+    }
+    v.visited = true;
+    int s = v.id;
+    Vertex[] edges = v.out;
+    for (int i = 0; i < edges.length; i++) {
+      s = s + dfs(edges[i]);
+    }
+    return s;
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class Vertex {
+  int id;
+  boolean visited;
+  Vertex[] out;
+  Vertex(int id) {
+    this.id = id;
+  }
+}
+)MJ",
+        {{"Main", "dfs"}}, 'x', false, sizeN));
+
+    // Row 17: graph / linked / bidi / B — 'x'.
+    Ps.push_back(make(
+        "graph-linked-bidi", "graph", "linked", "bidi", "B", "",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    BVertex[] vs = build(n);
+    int s = dfs(vs[0]);
+  }
+  static BVertex[] build(int n) {
+    BVertex[] vs = new BVertex[n];
+    for (int i = 0; i < n; i++) {
+      vs[i] = new BVertex(i + 1);
+    }
+    for (int i = 0; i < n; i++) {
+      vs[i].out = new BVertex[3];
+      vs[i].in = new BVertex[3];
+    }
+    for (int i = 0; i < n; i++) {
+      BVertex v = vs[i];
+      BVertex ring = vs[(i + 1) % n];
+      BVertex hop = vs[(i + 2) % n];
+      BVertex skip = vs[(i + n / 2) % n];
+      v.out[0] = ring;
+      ring.in[0] = v;
+      v.out[1] = hop;
+      hop.in[1] = v;
+      v.out[2] = skip;
+      skip.in[2] = v;
+    }
+    return vs;
+  }
+  static int dfs(BVertex v) {
+    if (v.visited) {
+      return 0;
+    }
+    v.visited = true;
+    int s = v.id;
+    BVertex[] edges = v.out;
+    for (int i = 0; i < edges.length; i++) {
+      s = s + dfs(edges[i]);
+    }
+    return s;
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class BVertex {
+  int id;
+  boolean visited;
+  BVertex[] out;
+  BVertex[] in;
+  BVertex(int id) {
+    this.id = id;
+  }
+}
+)MJ",
+        {{"Main", "dfs"}}, 'x', false, sizeN));
+
+    // Row 18: graph / linked / undirected / B — 'x'.
+    Ps.push_back(make(
+        "graph-linked-undirected", "graph", "linked", "unidirected", "B",
+        "",
+        harness(R"MJ(
+  static void runOnce(int n) {
+    UVertex[] vs = build(n);
+    int s = dfs(vs[0]);
+  }
+  static UVertex[] build(int n) {
+    UVertex[] vs = new UVertex[n];
+    for (int i = 0; i < n; i++) {
+      vs[i] = new UVertex(i + 1);
+    }
+    for (int i = 0; i < n; i++) {
+      vs[i].adj = new UVertex[3];
+    }
+    for (int i = 0; i < n; i++) {
+      UVertex v = vs[i];
+      UVertex next = vs[(i + 1) % n];
+      UVertex chord = vs[(i + n / 2) % n];
+      v.adj[0] = next;
+      next.adj[1] = v;
+      v.adj[2] = chord;
+    }
+    return vs;
+  }
+  static int dfs(UVertex v) {
+    if (v.visited) {
+      return 0;
+    }
+    v.visited = true;
+    int s = v.id;
+    UVertex[] edges = v.adj;
+    for (int i = 0; i < edges.length; i++) {
+      s = s + dfs(edges[i]);
+    }
+    return s;
+  }
+)MJ",
+                MaxN, StepN) +
+            R"MJ(
+class UVertex {
+  int id;
+  boolean visited;
+  UVertex[] adj;
+  UVertex(int id) {
+    this.id = id;
+  }
+}
+)MJ",
+        {{"Main", "dfs"}}, 'x', false, sizeN));
+
+    return Ps;
+  }();
+  return Programs;
+}

@@ -1,0 +1,80 @@
+//===- report/AsciiPlot.cpp -----------------------------------------------===//
+
+#include "report/AsciiPlot.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace algoprof;
+using namespace algoprof::report;
+using namespace algoprof::prof;
+
+std::string report::renderScatter(const std::vector<PlotSeries> &Series,
+                                  const std::string &Title, int Width,
+                                  int Height) {
+  double MinX = 0, MaxX = 1, MinY = 0, MaxY = 1;
+  bool Any = false;
+  for (const PlotSeries &S : Series)
+    for (const SeriesPoint &Pt : S.Points) {
+      if (!Any) {
+        MinX = MaxX = Pt.X;
+        MinY = MaxY = Pt.Y;
+        Any = true;
+      } else {
+        MinX = std::min(MinX, Pt.X);
+        MaxX = std::max(MaxX, Pt.X);
+        MinY = std::min(MinY, Pt.Y);
+        MaxY = std::max(MaxY, Pt.Y);
+      }
+    }
+  if (MaxX <= MinX)
+    MaxX = MinX + 1;
+  if (MaxY <= MinY)
+    MaxY = MinY + 1;
+
+  std::vector<std::string> Grid(static_cast<size_t>(Height),
+                                std::string(static_cast<size_t>(Width),
+                                            ' '));
+  for (const PlotSeries &S : Series)
+    for (const SeriesPoint &Pt : S.Points) {
+      int Col = static_cast<int>((Pt.X - MinX) / (MaxX - MinX) *
+                                 (Width - 1));
+      int Row = static_cast<int>((Pt.Y - MinY) / (MaxY - MinY) *
+                                 (Height - 1));
+      Row = Height - 1 - Row; // Y grows upward.
+      Grid[static_cast<size_t>(Row)][static_cast<size_t>(Col)] = S.Glyph;
+    }
+
+  char Buf[64];
+  std::string Out = Title + "\n";
+  std::snprintf(Buf, sizeof(Buf), "%.0f", MaxY);
+  std::string TopLabel = Buf;
+  std::snprintf(Buf, sizeof(Buf), "%.0f", MinY);
+  std::string BottomLabel = Buf;
+  size_t LabelWidth = std::max(TopLabel.size(), BottomLabel.size());
+
+  for (int Row = 0; Row < Height; ++Row) {
+    std::string Label;
+    if (Row == 0)
+      Label = TopLabel;
+    else if (Row == Height - 1)
+      Label = BottomLabel;
+    Label.insert(Label.begin(), LabelWidth - Label.size(), ' ');
+    Out += Label + " |" + Grid[static_cast<size_t>(Row)] + "\n";
+  }
+  Out += std::string(LabelWidth + 1, ' ') + '+' +
+         std::string(static_cast<size_t>(Width), '-') + "\n";
+  std::snprintf(Buf, sizeof(Buf), "%.0f", MinX);
+  std::string XLine = std::string(LabelWidth + 2, ' ') + Buf;
+  std::snprintf(Buf, sizeof(Buf), "%.0f", MaxX);
+  std::string MaxXLabel = Buf;
+  size_t Pad = LabelWidth + 2 + static_cast<size_t>(Width);
+  if (XLine.size() + MaxXLabel.size() < Pad)
+    XLine += std::string(Pad - XLine.size() - MaxXLabel.size(), ' ');
+  XLine += MaxXLabel;
+  Out += XLine + "\n";
+  for (const PlotSeries &S : Series)
+    Out += std::string(LabelWidth + 2, ' ') + S.Glyph + " = " + S.Name +
+           "\n";
+  return Out;
+}

@@ -1,0 +1,36 @@
+//===- report/AsciiPlot.h - Terminal scatter plots --------------*- C++-*-===//
+///
+/// \file
+/// ASCII scatter plots of <input size, cost> series, so the benchmark
+/// binaries can regenerate the paper's figures directly in a terminal.
+/// Multiple series overlay with distinct glyphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_REPORT_ASCIIPLOT_H
+#define ALGOPROF_REPORT_ASCIIPLOT_H
+
+#include "core/AlgorithmSummary.h"
+
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace report {
+
+/// One plotted series.
+struct PlotSeries {
+  std::string Name;
+  char Glyph = '*';
+  std::vector<prof::SeriesPoint> Points;
+};
+
+/// Renders a WidthxHeight character scatter plot with axis labels.
+std::string renderScatter(const std::vector<PlotSeries> &Series,
+                          const std::string &Title, int Width = 72,
+                          int Height = 20);
+
+} // namespace report
+} // namespace algoprof
+
+#endif // ALGOPROF_REPORT_ASCIIPLOT_H

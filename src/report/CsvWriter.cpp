@@ -1,0 +1,32 @@
+//===- report/CsvWriter.cpp -----------------------------------------------===//
+
+#include "report/CsvWriter.h"
+
+#include <cstdio>
+
+using namespace algoprof;
+using namespace algoprof::report;
+
+std::string report::seriesToCsv(
+    const std::vector<std::pair<std::string,
+                                std::vector<prof::SeriesPoint>>> &Series) {
+  std::string Out = "series,size,cost\n";
+  char Buf[96];
+  for (const auto &[Name, Points] : Series)
+    for (const prof::SeriesPoint &Pt : Points) {
+      std::snprintf(Buf, sizeof(Buf), "%s,%.0f,%.0f\n", Name.c_str(), Pt.X,
+                    Pt.Y);
+      Out += Buf;
+    }
+  return Out;
+}
+
+bool report::writeFile(const std::string &Path,
+                       const std::string &Content) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Content.data(), 1, Content.size(), F);
+  std::fclose(F);
+  return Written == Content.size();
+}

@@ -1,0 +1,31 @@
+//===- report/CsvWriter.h - CSV series export -------------------*- C++-*-===//
+///
+/// \file
+/// CSV export of <size, cost> series so external plotting tools can
+/// regenerate the figures from benchmark output files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_REPORT_CSVWRITER_H
+#define ALGOPROF_REPORT_CSVWRITER_H
+
+#include "core/AlgorithmSummary.h"
+
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace report {
+
+/// Renders labeled series as "label,x,y" CSV lines with a header.
+std::string seriesToCsv(
+    const std::vector<std::pair<std::string,
+                                std::vector<prof::SeriesPoint>>> &Series);
+
+/// Writes \p Content to \p Path; returns false on I/O failure.
+bool writeFile(const std::string &Path, const std::string &Content);
+
+} // namespace report
+} // namespace algoprof
+
+#endif // ALGOPROF_REPORT_CSVWRITER_H

@@ -1,0 +1,117 @@
+//===- report/DotExporter.cpp ---------------------------------------------===//
+
+#include "report/DotExporter.h"
+
+#include <map>
+#include <unordered_map>
+
+using namespace algoprof;
+using namespace algoprof::report;
+using namespace algoprof::prof;
+
+namespace {
+
+/// Escapes a string for a DOT double-quoted label.
+std::string escape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out.push_back('\\');
+    Out.push_back(C);
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string report::repetitionTreeToDot(
+    const RepetitionTree &Tree,
+    const std::vector<AlgorithmProfile> &Profiles) {
+  // Stable node ids in pre-order.
+  std::unordered_map<const RepetitionNode *, int> Ids;
+  int Next = 0;
+  Tree.forEach([&](const RepetitionNode &N) { Ids[&N] = Next++; });
+
+  auto AlgorithmOf = [&](const RepetitionNode *N) -> int32_t {
+    for (const AlgorithmProfile &AP : Profiles)
+      if (AP.Algo.contains(N))
+        return AP.Algo.Id;
+    return -1;
+  };
+
+  std::string Out = "digraph repetition_tree {\n"
+                    "  rankdir=TB;\n"
+                    "  node [shape=box, fontname=\"monospace\"];\n";
+
+  // One cluster per algorithm (the paper's gray boxes).
+  std::map<int32_t, std::vector<const RepetitionNode *>> ByAlgo;
+  Tree.forEach([&](const RepetitionNode &N) {
+    ByAlgo[AlgorithmOf(&N)].push_back(&N);
+  });
+  auto ProfileOfAlgo = [&](int32_t Id) -> const AlgorithmProfile * {
+    for (const AlgorithmProfile &AP : Profiles)
+      if (AP.Algo.Id == Id)
+        return &AP;
+    return nullptr;
+  };
+  for (const auto &[Algo, Nodes] : ByAlgo) {
+    const AlgorithmProfile *AP = Algo >= 0 ? ProfileOfAlgo(Algo) : nullptr;
+    if (AP) {
+      Out += "  subgraph cluster_" + std::to_string(Algo) + " {\n";
+      std::string Label = AP->Label;
+      if (const AlgorithmProfile::InputSeries *S = AP->primarySeries())
+        Label += "\\nsteps = " + S->Fit.formula();
+      Out += "    label=\"" + escape(Label) + "\";\n";
+      Out += "    style=filled; color=lightgrey;\n";
+    }
+    for (const RepetitionNode *N : Nodes) {
+      Out += (AP ? "    n" : "  n") + std::to_string(Ids[N]) +
+             " [label=\"" + escape(N->Name) + "\\ninv=" +
+             std::to_string(N->TotalInvocations) + " steps=" +
+             std::to_string(N->totalSteps()) + "\"];\n";
+    }
+    if (AP)
+      Out += "  }\n";
+  }
+
+  // Tree edges.
+  Tree.forEach([&](const RepetitionNode &N) {
+    for (const auto &C : N.Children)
+      Out += "  n" + std::to_string(Ids[&N]) + " -> n" +
+             std::to_string(Ids[C.get()]) + ";\n";
+  });
+  Out += "}\n";
+  return Out;
+}
+
+std::string report::cctToDot(const cct::CctProfiler &Profiler) {
+  std::string Out = "digraph cct {\n"
+                    "  rankdir=TB;\n"
+                    "  node [shape=box, fontname=\"monospace\"];\n";
+  int Next = 0;
+
+  struct Walker {
+    const bc::Module &M;
+    std::string &Out;
+    int &Next;
+    int visit(const cct::CctNode &N) {
+      int Id = Next++;
+      std::string Label =
+          N.MethodId >= 0
+              ? M.Methods[static_cast<size_t>(N.MethodId)].QualifiedName
+              : std::string("<root>");
+      Out += "  n" + std::to_string(Id) + " [label=\"" + escape(Label) +
+             "\\ncalls=" + std::to_string(N.Calls) +
+             " excl=" + std::to_string(N.ExclusiveCost) + "\"];\n";
+      for (const auto &C : N.Children) {
+        int ChildId = visit(*C);
+        Out += "  n" + std::to_string(Id) + " -> n" +
+               std::to_string(ChildId) + ";\n";
+      }
+      return Id;
+    }
+  } W{Profiler.module(), Out, Next};
+  W.visit(Profiler.root());
+  Out += "}\n";
+  return Out;
+}

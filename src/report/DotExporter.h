@@ -1,0 +1,38 @@
+//===- report/DotExporter.h - Graphviz export -------------------*- C++-*-===//
+///
+/// \file
+/// Graphviz (DOT) exporters for the repetition tree and the CCT. The
+/// paper envisions "an interactive visualization tool for the
+/// repetition tree" through which developers could regroup algorithms
+/// by intuition (Sec. 2.5); DOT output is the offline stand-in: one
+/// cluster per algorithm, nodes annotated with invocation counts,
+/// steps, and the algorithm's classification and fitted cost function.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_REPORT_DOTEXPORTER_H
+#define ALGOPROF_REPORT_DOTEXPORTER_H
+
+#include "cct/CctProfiler.h"
+#include "core/Session.h"
+
+#include <string>
+
+namespace algoprof {
+namespace report {
+
+/// Renders the repetition tree as a DOT digraph; nodes belonging to the
+/// same algorithm share a filled cluster, whose label carries the
+/// classification and the fitted cost function (the paper's gray
+/// boxes).
+std::string
+repetitionTreeToDot(const prof::RepetitionTree &Tree,
+                    const std::vector<prof::AlgorithmProfile> &Profiles);
+
+/// Renders a CCT as a DOT digraph with call counts and exclusive costs.
+std::string cctToDot(const cct::CctProfiler &Profiler);
+
+} // namespace report
+} // namespace algoprof
+
+#endif // ALGOPROF_REPORT_DOTEXPORTER_H

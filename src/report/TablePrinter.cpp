@@ -1,0 +1,43 @@
+//===- report/TablePrinter.cpp --------------------------------------------===//
+
+#include "report/TablePrinter.h"
+
+using namespace algoprof;
+using namespace algoprof::report;
+
+std::string Table::str() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  auto Widen = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  auto Render = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Row.size() ? Row[I] : "";
+      Cell.resize(Widths[I], ' ');
+      Line += Cell;
+      if (I + 1 < Widths.size())
+        Line += "  ";
+    }
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line + "\n";
+  };
+
+  std::string Out = Render(Header);
+  std::string Rule;
+  for (size_t I = 0; I < Widths.size(); ++I) {
+    Rule += std::string(Widths[I], '-');
+    if (I + 1 < Widths.size())
+      Rule += "  ";
+  }
+  Out += Rule + "\n";
+  for (const auto &Row : Rows)
+    Out += Render(Row);
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- report/TablePrinter.h - Aligned text tables --------------*- C++-*-===//
+///
+/// \file
+/// Minimal column-aligned table rendering for the benchmark binaries
+/// (Table 1, the figure data tables, EXPERIMENTS.md blocks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_REPORT_TABLEPRINTER_H
+#define ALGOPROF_REPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace report {
+
+/// A text table with a header row.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  void addRow(std::vector<std::string> Row) {
+    Rows.push_back(std::move(Row));
+  }
+
+  /// Renders with columns padded to their widest cell.
+  std::string str() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace report
+} // namespace algoprof
+
+#endif // ALGOPROF_REPORT_TABLEPRINTER_H

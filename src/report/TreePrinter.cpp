@@ -1,0 +1,87 @@
+//===- report/TreePrinter.cpp ---------------------------------------------===//
+
+#include "report/TreePrinter.h"
+
+using namespace algoprof;
+using namespace algoprof::report;
+using namespace algoprof::prof;
+
+static void renderNode(const RepetitionNode &N, const std::string &Indent,
+                       std::string &Out) {
+  Out += Indent + N.Name + "  [invocations=" +
+         std::to_string(N.History.size()) +
+         ", steps=" + std::to_string(N.totalSteps()) + "]\n";
+  for (const auto &C : N.Children)
+    renderNode(*C, Indent + "  ", Out);
+}
+
+std::string report::renderRepetitionTree(const RepetitionTree &Tree) {
+  std::string Out;
+  renderNode(Tree.root(), "", Out);
+  return Out;
+}
+
+static int32_t algorithmOf(const RepetitionNode *N,
+                           const std::vector<AlgorithmProfile> &Profiles) {
+  for (const AlgorithmProfile &AP : Profiles)
+    if (AP.Algo.contains(N))
+      return AP.Algo.Id;
+  return -1;
+}
+
+static void renderAnnotatedNode(
+    const RepetitionNode &N, const std::string &Indent,
+    const std::vector<AlgorithmProfile> &Profiles, std::string &Out) {
+  int32_t Algo = algorithmOf(&N, Profiles);
+  Out += Indent + N.Name;
+  if (Algo >= 0)
+    Out += "  <algorithm#" + std::to_string(Algo) + ">";
+  Out += "  [invocations=" + std::to_string(N.History.size()) +
+         ", steps=" + std::to_string(N.totalSteps()) + "]\n";
+  for (const auto &C : N.Children)
+    renderAnnotatedNode(*C, Indent + "  ", Profiles, Out);
+}
+
+std::string
+report::renderAnnotatedTree(const RepetitionTree &Tree,
+                            const std::vector<AlgorithmProfile> &Profiles) {
+  std::string Out;
+  renderAnnotatedNode(Tree.root(), "", Profiles, Out);
+  Out += "\nAlgorithms:\n";
+  for (const AlgorithmProfile &AP : Profiles) {
+    Out += "  algorithm#" + std::to_string(AP.Algo.Id) + " (root: " +
+           AP.Algo.Root->Name + ", nodes: " +
+           std::to_string(AP.Algo.Nodes.size()) + ")\n";
+    Out += "    " + AP.Label + "\n";
+    if (const AlgorithmProfile::InputSeries *S = AP.primarySeries()) {
+      Out += "    steps = " + S->Fit.formula() + "  (R^2 = " +
+             std::to_string(S->Fit.R2).substr(0, 5) + ", " +
+             std::to_string(S->Series.size()) + " runs)\n";
+      for (const auto &[Measure, Fit] : S->MeasureFits)
+        Out += std::string("    ") + costKindLabel(Measure) + "s = " +
+               Fit.formula() + "\n";
+    }
+  }
+  return Out;
+}
+
+static void renderCctNode(const cct::CctNode &N, const bc::Module &M,
+                          const std::string &Indent, std::string &Out) {
+  if (N.MethodId >= 0) {
+    Out += Indent +
+           M.Methods[static_cast<size_t>(N.MethodId)].QualifiedName +
+           "  [calls=" + std::to_string(N.Calls) +
+           ", incl=" + std::to_string(N.inclusiveCost()) +
+           ", excl=" + std::to_string(N.ExclusiveCost) + "]\n";
+  } else {
+    Out += Indent + "<root>\n";
+  }
+  for (const auto &C : N.Children)
+    renderCctNode(*C, M, Indent + "  ", Out);
+}
+
+std::string report::renderCct(const cct::CctProfiler &Profiler) {
+  std::string Out;
+  renderCctNode(Profiler.root(), Profiler.module(), "", Out);
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- report/TreePrinter.h - Render repetition trees and CCTs --*- C++-*-===//
+///
+/// \file
+/// Text renderers for the two profile structures the paper contrasts:
+/// the repetition tree with algorithm annotations (Fig. 3/4) and the
+/// traditional calling-context tree (Fig. 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_REPORT_TREEPRINTER_H
+#define ALGOPROF_REPORT_TREEPRINTER_H
+
+#include "cct/CctProfiler.h"
+#include "core/Session.h"
+
+#include <string>
+
+namespace algoprof {
+namespace report {
+
+/// Renders the repetition tree: one line per repetition with invocation
+/// counts and total steps.
+std::string renderRepetitionTree(const prof::RepetitionTree &Tree);
+
+/// Renders the repetition tree annotated with the algorithm grouping:
+/// every node line carries its algorithm id; each algorithm is then
+/// summarized with its classification label and fitted cost function
+/// (the Fig. 3 gray boxes).
+std::string
+renderAnnotatedTree(const prof::RepetitionTree &Tree,
+                    const std::vector<prof::AlgorithmProfile> &Profiles);
+
+/// Renders a calling-context tree with call counts and inclusive /
+/// exclusive instruction costs (Fig. 2).
+std::string renderCct(const cct::CctProfiler &Profiler);
+
+} // namespace report
+} // namespace algoprof
+
+#endif // ALGOPROF_REPORT_TREEPRINTER_H

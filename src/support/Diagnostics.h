@@ -1,0 +1,60 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++-*-===//
+///
+/// \file
+/// Source locations and a diagnostic sink shared by the MiniJ front end and
+/// the bytecode compiler. The library does not use exceptions; fallible
+/// phases report through a DiagnosticEngine and return null/false.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_SUPPORT_DIAGNOSTICS_H
+#define ALGOPROF_SUPPORT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace algoprof {
+
+/// A 1-based line/column position in a MiniJ source buffer.
+struct SourceLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool isValid() const { return Line > 0; }
+  std::string str() const;
+};
+
+/// Severity of a reported diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagKind Kind = DiagKind::Error;
+  SourceLoc Loc;
+  std::string Message;
+
+  std::string str() const;
+};
+
+/// Collects diagnostics produced by the front end and compiler.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message);
+  void warning(SourceLoc Loc, std::string Message);
+  void note(SourceLoc Loc, std::string Message);
+
+  bool hasErrors() const { return NumErrors > 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Renders all diagnostics, one per line, for test assertions and tools.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace algoprof
+
+#endif // ALGOPROF_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,42 @@
+//===- vm/Heap.cpp --------------------------------------------------------===//
+
+#include "vm/Heap.h"
+
+#include <cassert>
+
+using namespace algoprof;
+using namespace algoprof::vm;
+using namespace algoprof::bc;
+
+Value Heap::defaultValueFor(TypeId T) const {
+  const RuntimeType &RT = M.Types[static_cast<size_t>(T)];
+  if (RT.Kind == RtTypeKind::Class || RT.Kind == RtTypeKind::Array)
+    return Value::makeNull();
+  return Value::makeInt(0);
+}
+
+ObjId Heap::allocObject(int32_t ClassId) {
+  const ClassInfo &C = M.Classes[static_cast<size_t>(ClassId)];
+  HeapObject Obj;
+  Obj.Type = C.Type;
+  Obj.ClassId = ClassId;
+  Obj.IsArray = false;
+  Obj.Slots.reserve(C.FieldIds.size());
+  for (int32_t FieldId : C.FieldIds)
+    Obj.Slots.push_back(
+        defaultValueFor(M.Fields[static_cast<size_t>(FieldId)].Type));
+  Objects.push_back(std::move(Obj));
+  return static_cast<ObjId>(Objects.size()) - 1;
+}
+
+ObjId Heap::allocArray(TypeId ArrayType, int64_t Len) {
+  assert(Len >= 0 && "negative array length must trap before allocation");
+  const RuntimeType &RT = M.Types[static_cast<size_t>(ArrayType)];
+  assert(RT.Kind == RtTypeKind::Array && "allocArray needs an array type");
+  HeapObject Obj;
+  Obj.Type = ArrayType;
+  Obj.IsArray = true;
+  Obj.Slots.assign(static_cast<size_t>(Len), defaultValueFor(RT.Elem));
+  Objects.push_back(std::move(Obj));
+  return static_cast<ObjId>(Objects.size()) - 1;
+}

@@ -1,0 +1,67 @@
+//===- vm/Heap.h - Object heap ----------------------------------*- C++-*-===//
+///
+/// \file
+/// A non-moving, non-collected heap. Objects live for the duration of a
+/// program run, so allocation ids double as stable identities for the
+/// profiler's structure snapshots (the paper's id(object)). Profilers
+/// traverse the heap through this interface when measuring input sizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_VM_HEAP_H
+#define ALGOPROF_VM_HEAP_H
+
+#include "bytecode/Module.h"
+#include "vm/Value.h"
+
+#include <vector>
+
+namespace algoprof {
+namespace vm {
+
+/// One heap cell: a class instance or an array.
+struct HeapObject {
+  bc::TypeId Type = -1;   ///< Class type or array type.
+  int32_t ClassId = -1;   ///< Valid for class instances.
+  bool IsArray = false;
+  std::vector<Value> Slots; ///< Field values or array elements.
+};
+
+/// The VM heap.
+class Heap {
+public:
+  explicit Heap(const bc::Module &M) : M(M) {}
+
+  /// Allocates an instance of \p ClassId with default-initialized fields.
+  ObjId allocObject(int32_t ClassId);
+
+  /// Allocates an array of \p ArrayType with \p Len default elements.
+  ObjId allocArray(bc::TypeId ArrayType, int64_t Len);
+
+  HeapObject &get(ObjId Id) { return Objects[static_cast<size_t>(Id)]; }
+  const HeapObject &get(ObjId Id) const {
+    return Objects[static_cast<size_t>(Id)];
+  }
+
+  bool isValid(ObjId Id) const {
+    return Id >= 0 && Id < static_cast<ObjId>(Objects.size());
+  }
+
+  int64_t numObjects() const { return static_cast<int64_t>(Objects.size()); }
+
+  const bc::Module &module() const { return M; }
+
+  /// Releases all objects (between independent runs of one session).
+  void reset() { Objects.clear(); }
+
+private:
+  Value defaultValueFor(bc::TypeId T) const;
+
+  const bc::Module &M;
+  std::vector<HeapObject> Objects;
+};
+
+} // namespace vm
+} // namespace algoprof
+
+#endif // ALGOPROF_VM_HEAP_H

@@ -1,0 +1,154 @@
+//===- vm/Hooks.h - Instrumentation hook interface --------------*- C++-*-===//
+///
+/// \file
+/// The VM-side instrumentation surface. The events mirror exactly what
+/// the paper's AlgoProf instruments in Java bytecode (Sec. 3.1): loop
+/// entry/exit/back edge, method entry/exit, reference field accesses,
+/// array accesses, allocations of recursive types, and external I/O. The
+/// InstrumentationPlan plays the role of the paper's static analyses
+/// that *limit* instrumentation to recursion headers / recursive links.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_VM_HOOKS_H
+#define ALGOPROF_VM_HOOKS_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/RecursiveTypes.h"
+#include "bytecode/Module.h"
+#include "vm/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace vm {
+
+class Heap;
+struct IoChannels;
+
+/// What the VM passes to listeners at program start.
+struct ExecContext {
+  const bc::Module *Module = nullptr;
+  Heap *TheHeap = nullptr;
+  /// The run's external channels; lets profilers measure stream sizes
+  /// (the paper's "measure the size of the external file", Sec. 2.4).
+  const IoChannels *Io = nullptr;
+};
+
+/// Receiver of instrumentation events. All callbacks default to no-ops so
+/// listeners override only what they need. Event order contracts:
+///  - loop exits fire innermost-first; loop entries outermost-first;
+///  - a method's loop exits fire before its onMethodExit, including when
+///    unwinding after a trap (the paper's exceptional control flow rule);
+///  - onPutField/onArrayStore fire *after* the store took effect, so the
+///    listener observes the post-state when it traverses the heap.
+class ExecutionListener {
+public:
+  virtual ~ExecutionListener();
+
+  virtual void onProgramStart(const ExecContext &Ctx) { (void)Ctx; }
+  virtual void onProgramEnd() {}
+
+  virtual void onMethodEnter(int32_t MethodId) { (void)MethodId; }
+  virtual void onMethodExit(int32_t MethodId) { (void)MethodId; }
+
+  virtual void onLoopEnter(int32_t MethodId, int32_t LoopId) {
+    (void)MethodId;
+    (void)LoopId;
+  }
+  virtual void onLoopBackEdge(int32_t MethodId, int32_t LoopId) {
+    (void)MethodId;
+    (void)LoopId;
+  }
+  virtual void onLoopExit(int32_t MethodId, int32_t LoopId) {
+    (void)MethodId;
+    (void)LoopId;
+  }
+
+  virtual void onGetField(ObjId Obj, int32_t FieldId, Value V) {
+    (void)Obj;
+    (void)FieldId;
+    (void)V;
+  }
+  virtual void onPutField(ObjId Obj, int32_t FieldId, Value New) {
+    (void)Obj;
+    (void)FieldId;
+    (void)New;
+  }
+  virtual void onArrayLoad(ObjId Arr, int64_t Index, Value V) {
+    (void)Arr;
+    (void)Index;
+    (void)V;
+  }
+  virtual void onArrayStore(ObjId Arr, int64_t Index, Value New) {
+    (void)Arr;
+    (void)Index;
+    (void)New;
+  }
+
+  virtual void onNewObject(ObjId Obj, int32_t ClassId) {
+    (void)Obj;
+    (void)ClassId;
+  }
+  virtual void onNewArray(ObjId Arr, bc::TypeId ArrayType, int64_t Len) {
+    (void)Arr;
+    (void)ArrayType;
+    (void)Len;
+  }
+
+  virtual void onInputRead() {}
+  virtual void onOutputWrite() {}
+
+  /// Per-instruction callback with the executing pc; only delivered
+  /// when wantsInstructionEvents() returns true (CCT hotness costing,
+  /// basic-block counting).
+  virtual void onInstruction(int32_t MethodId, int32_t Pc) {
+    (void)MethodId;
+    (void)Pc;
+  }
+  virtual bool wantsInstructionEvents() const { return false; }
+};
+
+/// Which events the VM delivers. Mirrors the paper's use of static
+/// analysis to restrict instrumentation (Sec. 3.1).
+struct InstrumentationPlan {
+  std::vector<char> FieldHook;  ///< Per field id.
+  std::vector<char> MethodHook; ///< Per method id.
+  std::vector<char> AllocHook;  ///< Per class id (NewObject).
+  bool ArrayHooks = true;       ///< Array load/store/alloc events.
+  bool IoHooks = true;
+
+  bool fieldHook(int32_t FieldId) const {
+    return FieldHook[static_cast<size_t>(FieldId)] != 0;
+  }
+  bool methodHook(int32_t MethodId) const {
+    return MethodHook[static_cast<size_t>(MethodId)] != 0;
+  }
+  bool allocHook(int32_t ClassId) const {
+    return AllocHook[static_cast<size_t>(ClassId)] != 0;
+  }
+
+  /// Everything on: all methods, all reference fields, all allocations.
+  /// Used by the CCT profiler and by the overhead ablation.
+  static InstrumentationPlan all(const bc::Module &M);
+
+  /// The paper's default: method events only for recursion headers, field
+  /// events only for recursive links, allocation events only for classes
+  /// that are part of a recursive type.
+  static InstrumentationPlan
+  forAlgoProf(const bc::Module &M, const analysis::RecursiveTypes &RT,
+              const analysis::CallGraph &CG);
+
+  /// Like forAlgoProf but with method events for *all* methods — the
+  /// fully-dynamic fallback when no static recursion analysis is
+  /// available (the profiler then folds recursions itself).
+  static InstrumentationPlan
+  forAlgoProfAllMethods(const bc::Module &M,
+                        const analysis::RecursiveTypes &RT);
+};
+
+} // namespace vm
+} // namespace algoprof
+
+#endif // ALGOPROF_VM_HOOKS_H

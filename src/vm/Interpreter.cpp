@@ -1,0 +1,548 @@
+//===- vm/Interpreter.cpp -------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace algoprof;
+using namespace algoprof::vm;
+using namespace algoprof::bc;
+
+ExecutionListener::~ExecutionListener() = default;
+
+//===----------------------------------------------------------------------===//
+// InstrumentationPlan factories
+//===----------------------------------------------------------------------===//
+
+InstrumentationPlan InstrumentationPlan::all(const Module &M) {
+  InstrumentationPlan Plan;
+  Plan.FieldHook.assign(M.Fields.size(), 1);
+  Plan.MethodHook.assign(M.Methods.size(), 1);
+  Plan.AllocHook.assign(M.Classes.size(), 1);
+  return Plan;
+}
+
+InstrumentationPlan
+InstrumentationPlan::forAlgoProf(const Module &M,
+                                 const analysis::RecursiveTypes &RT,
+                                 const analysis::CallGraph &CG) {
+  InstrumentationPlan Plan;
+  Plan.FieldHook.assign(M.Fields.size(), 0);
+  for (size_t F = 0; F < M.Fields.size(); ++F)
+    Plan.FieldHook[F] = RT.FieldIsLink[F];
+  Plan.MethodHook.assign(M.Methods.size(), 0);
+  for (size_t Mi = 0; Mi < M.Methods.size(); ++Mi)
+    Plan.MethodHook[Mi] = CG.IsRecursionHeader[Mi];
+  Plan.AllocHook.assign(M.Classes.size(), 0);
+  for (size_t C = 0; C < M.Classes.size(); ++C)
+    Plan.AllocHook[C] = RT.ClassIsRecursive[C];
+  return Plan;
+}
+
+InstrumentationPlan InstrumentationPlan::forAlgoProfAllMethods(
+    const Module &M, const analysis::RecursiveTypes &RT) {
+  InstrumentationPlan Plan;
+  Plan.FieldHook.assign(M.Fields.size(), 0);
+  for (size_t F = 0; F < M.Fields.size(); ++F)
+    Plan.FieldHook[F] = RT.FieldIsLink[F];
+  Plan.MethodHook.assign(M.Methods.size(), 1);
+  Plan.AllocHook.assign(M.Classes.size(), 0);
+  for (size_t C = 0; C < M.Classes.size(); ++C)
+    Plan.AllocHook[C] = RT.ClassIsRecursive[C];
+  return Plan;
+}
+
+//===----------------------------------------------------------------------===//
+// PreparedProgram
+//===----------------------------------------------------------------------===//
+
+PreparedProgram PreparedProgram::prepare(const Module &M) {
+  PreparedProgram P;
+  P.M = &M;
+  P.Methods.resize(M.Methods.size());
+  for (size_t I = 0; I < M.Methods.size(); ++I) {
+    PreparedMethod &PM = P.Methods[I];
+    PM.Graph = analysis::buildCfg(M.Methods[I]);
+    analysis::DominatorTree DT = analysis::computeDominators(PM.Graph);
+    PM.Loops = analysis::computeLoops(M.Methods[I], PM.Graph, DT);
+    PM.Events = buildLoopEventMap(M.Methods[I], PM.Graph, PM.Loops);
+  }
+  P.Calls = analysis::buildCallGraph(M);
+  P.RecTypes = analysis::computeRecursiveTypes(M);
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Interpreter
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Frame {
+  const MethodInfo *Method = nullptr;
+  const PreparedMethod *Prepared = nullptr;
+  int Pc = 0;
+  std::vector<Value> Locals;
+  std::vector<Value> Stack;
+
+  Value pop() {
+    assert(!Stack.empty() && "operand stack underflow");
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V;
+  }
+  void push(Value V) { Stack.push_back(V); }
+};
+
+/// The whole interpreter state for one run, so helpers share it without
+/// long parameter lists.
+class Machine {
+public:
+  Machine(const PreparedProgram &P, Heap &H, ExecutionListener *L,
+          const InstrumentationPlan &Plan, IoChannels &Io,
+          const RunOptions &Opts)
+      : P(P), M(*P.M), H(H), L(L), Plan(Plan), Io(Io), Opts(Opts) {}
+
+  RunResult run(int32_t EntryMethodId);
+
+private:
+  void enterMethod(int32_t MethodId, std::vector<Value> Args);
+  /// Fires loop exits at the current pc and the method-exit event of the
+  /// top frame, then pops it.
+  void leaveTopFrame();
+  void fireTransition(const Frame &F, int FromPc, int ToPc);
+
+  bool trap(const std::string &Message) {
+    TrapMessage = Message;
+    Trapped = true;
+    return false;
+  }
+
+  /// Executes one instruction; returns false on trap or normal program
+  /// completion (Frames empty).
+  bool step();
+
+  const PreparedProgram &P;
+  const Module &M;
+  Heap &H;
+  ExecutionListener *L;
+  const InstrumentationPlan &Plan;
+  IoChannels &Io;
+  RunOptions Opts;
+
+  std::vector<Frame> Frames;
+  uint64_t Executed = 0;
+  bool Trapped = false;
+  std::string TrapMessage;
+  Value ReturnValue;
+  bool HaveReturnValue = false;
+  bool WantsInstr = false;
+};
+
+} // namespace
+
+void Machine::enterMethod(int32_t MethodId, std::vector<Value> Args) {
+  const MethodInfo &Callee = M.Methods[static_cast<size_t>(MethodId)];
+  Frame F;
+  F.Method = &Callee;
+  F.Prepared = &P.Methods[static_cast<size_t>(MethodId)];
+  F.Pc = 0;
+  F.Locals.assign(static_cast<size_t>(Callee.NumLocals), Value::makeInt(0));
+  assert(static_cast<int32_t>(Args.size()) == Callee.NumArgs &&
+         "argument count mismatch");
+  for (size_t I = 0; I < Args.size(); ++I)
+    F.Locals[I] = Args[I];
+  Frames.push_back(std::move(F));
+
+  if (L && Plan.methodHook(MethodId))
+    L->onMethodEnter(MethodId);
+  // A method whose entry pc sits inside a loop (e.g. a body that starts
+  // with 'while') logically enters those loops now.
+  if (L && !Callee.Code.empty()) {
+    const auto &Chain = Frames.back().Prepared->Events.LoopChainAtPc[0];
+    for (auto It = Chain.rbegin(); It != Chain.rend(); ++It)
+      L->onLoopEnter(MethodId, *It);
+  }
+}
+
+void Machine::leaveTopFrame() {
+  Frame &F = Frames.back();
+  int32_t MethodId = F.Method->Id;
+  if (L) {
+    const auto &Chain =
+        F.Prepared->Events.LoopChainAtPc[static_cast<size_t>(F.Pc)];
+    for (int32_t Loop : Chain)
+      L->onLoopExit(MethodId, Loop);
+    if (Plan.methodHook(MethodId))
+      L->onMethodExit(MethodId);
+  }
+  Frames.pop_back();
+}
+
+void Machine::fireTransition(const Frame &F, int FromPc, int ToPc) {
+  const LoopTransition *T = F.Prepared->Events.lookup(FromPc, ToPc);
+  if (!T)
+    return;
+  int32_t MethodId = F.Method->Id;
+  for (int32_t Loop : T->Exits)
+    L->onLoopExit(MethodId, Loop);
+  if (T->BackEdge >= 0)
+    L->onLoopBackEdge(MethodId, T->BackEdge);
+  for (int32_t Loop : T->Entries)
+    L->onLoopEnter(MethodId, Loop);
+}
+
+bool Machine::step() {
+  Frame &F = Frames.back();
+  const Instr &I = F.Method->Code[static_cast<size_t>(F.Pc)];
+  ++Executed;
+  if (WantsInstr)
+    L->onInstruction(F.Method->Id, F.Pc);
+
+  int NextPc = F.Pc + 1;
+
+  switch (I.Op) {
+  case Opcode::Nop:
+    break;
+  case Opcode::IConst:
+    F.push(Value::makeInt(I.Imm));
+    break;
+  case Opcode::NullConst:
+    F.push(Value::makeNull());
+    break;
+  case Opcode::Load:
+    F.push(F.Locals[static_cast<size_t>(I.A)]);
+    break;
+  case Opcode::Store:
+    F.Locals[static_cast<size_t>(I.A)] = F.pop();
+    break;
+  case Opcode::Dup:
+    F.push(F.Stack.back());
+    break;
+  case Opcode::Pop:
+    F.pop();
+    break;
+
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem: {
+    int64_t B = F.pop().Bits;
+    int64_t A = F.pop().Bits;
+    int64_t R = 0;
+    if (I.Op == Opcode::Add)
+      R = A + B;
+    else if (I.Op == Opcode::Sub)
+      R = A - B;
+    else if (I.Op == Opcode::Mul)
+      R = A * B;
+    else {
+      if (B == 0)
+        return trap("division by zero in " + F.Method->QualifiedName);
+      R = I.Op == Opcode::Div ? A / B : A % B;
+    }
+    F.push(Value::makeInt(R));
+    break;
+  }
+  case Opcode::Neg:
+    F.push(Value::makeInt(-F.pop().Bits));
+    break;
+  case Opcode::Not:
+    F.push(Value::makeBool(F.pop().Bits == 0));
+    break;
+
+  case Opcode::CmpLt:
+  case Opcode::CmpLe:
+  case Opcode::CmpGt:
+  case Opcode::CmpGe:
+  case Opcode::CmpEq:
+  case Opcode::CmpNe: {
+    int64_t B = F.pop().Bits;
+    int64_t A = F.pop().Bits;
+    bool R = false;
+    switch (I.Op) {
+    case Opcode::CmpLt:
+      R = A < B;
+      break;
+    case Opcode::CmpLe:
+      R = A <= B;
+      break;
+    case Opcode::CmpGt:
+      R = A > B;
+      break;
+    case Opcode::CmpGe:
+      R = A >= B;
+      break;
+    case Opcode::CmpEq:
+      R = A == B;
+      break;
+    default:
+      R = A != B;
+      break;
+    }
+    F.push(Value::makeBool(R));
+    break;
+  }
+  case Opcode::RefEq:
+  case Opcode::RefNe: {
+    Value B = F.pop();
+    Value A = F.pop();
+    bool Eq = A.Bits == B.Bits && A.IsRef == B.IsRef;
+    F.push(Value::makeBool(I.Op == Opcode::RefEq ? Eq : !Eq));
+    break;
+  }
+
+  case Opcode::Goto:
+    NextPc = I.A;
+    break;
+  case Opcode::IfTrue:
+    if (F.pop().Bits != 0)
+      NextPc = I.A;
+    break;
+  case Opcode::IfFalse:
+    if (F.pop().Bits == 0)
+      NextPc = I.A;
+    break;
+
+  case Opcode::GetField: {
+    Value Obj = F.pop();
+    if (Obj.isNullRef())
+      return trap("null dereference reading field " +
+                  M.Fields[static_cast<size_t>(I.A)].Name + " in " +
+                  F.Method->QualifiedName);
+    const FieldInfo &Field = M.Fields[static_cast<size_t>(I.A)];
+    Value V = H.get(Obj.ref()).Slots[static_cast<size_t>(Field.Slot)];
+    F.push(V);
+    if (L && Plan.fieldHook(I.A))
+      L->onGetField(Obj.ref(), I.A, V);
+    break;
+  }
+  case Opcode::PutField: {
+    Value V = F.pop();
+    Value Obj = F.pop();
+    if (Obj.isNullRef())
+      return trap("null dereference writing field " +
+                  M.Fields[static_cast<size_t>(I.A)].Name + " in " +
+                  F.Method->QualifiedName);
+    const FieldInfo &Field = M.Fields[static_cast<size_t>(I.A)];
+    H.get(Obj.ref()).Slots[static_cast<size_t>(Field.Slot)] = V;
+    if (L && Plan.fieldHook(I.A))
+      L->onPutField(Obj.ref(), I.A, V);
+    break;
+  }
+  case Opcode::ALoad: {
+    Value Idx = F.pop();
+    Value Arr = F.pop();
+    if (Arr.isNullRef())
+      return trap("null array load in " + F.Method->QualifiedName);
+    HeapObject &A = H.get(Arr.ref());
+    if (Idx.Bits < 0 || Idx.Bits >= static_cast<int64_t>(A.Slots.size()))
+      return trap("array index " + std::to_string(Idx.Bits) +
+                  " out of bounds (length " +
+                  std::to_string(A.Slots.size()) + ") in " +
+                  F.Method->QualifiedName);
+    Value V = A.Slots[static_cast<size_t>(Idx.Bits)];
+    F.push(V);
+    if (L && Plan.ArrayHooks)
+      L->onArrayLoad(Arr.ref(), Idx.Bits, V);
+    break;
+  }
+  case Opcode::AStore: {
+    Value V = F.pop();
+    Value Idx = F.pop();
+    Value Arr = F.pop();
+    if (Arr.isNullRef())
+      return trap("null array store in " + F.Method->QualifiedName);
+    HeapObject &A = H.get(Arr.ref());
+    if (Idx.Bits < 0 || Idx.Bits >= static_cast<int64_t>(A.Slots.size()))
+      return trap("array index " + std::to_string(Idx.Bits) +
+                  " out of bounds (length " +
+                  std::to_string(A.Slots.size()) + ") in " +
+                  F.Method->QualifiedName);
+    A.Slots[static_cast<size_t>(Idx.Bits)] = V;
+    if (L && Plan.ArrayHooks)
+      L->onArrayStore(Arr.ref(), Idx.Bits, V);
+    break;
+  }
+  case Opcode::ArrayLen: {
+    Value Arr = F.pop();
+    if (Arr.isNullRef())
+      return trap("null array length in " + F.Method->QualifiedName);
+    F.push(Value::makeInt(
+        static_cast<int64_t>(H.get(Arr.ref()).Slots.size())));
+    break;
+  }
+
+  case Opcode::NewObject: {
+    ObjId Obj = H.allocObject(I.A);
+    F.push(Value::makeRef(Obj));
+    if (L && Plan.allocHook(I.A))
+      L->onNewObject(Obj, I.A);
+    break;
+  }
+  case Opcode::NewArray: {
+    Value Len = F.pop();
+    if (Len.Bits < 0)
+      return trap("negative array length " + std::to_string(Len.Bits) +
+                  " in " + F.Method->QualifiedName);
+    ObjId Arr = H.allocArray(I.A, Len.Bits);
+    F.push(Value::makeRef(Arr));
+    if (L && Plan.ArrayHooks)
+      L->onNewArray(Arr, I.A, Len.Bits);
+    break;
+  }
+  case Opcode::NewMulti: {
+    Value Inner = F.pop();
+    Value Outer = F.pop();
+    if (Outer.Bits < 0 || Inner.Bits < 0)
+      return trap("negative array length in " + F.Method->QualifiedName);
+    TypeId OuterTy = I.A;
+    TypeId InnerTy = M.Types[static_cast<size_t>(OuterTy)].Elem;
+    ObjId Arr = H.allocArray(OuterTy, Outer.Bits);
+    if (L && Plan.ArrayHooks)
+      L->onNewArray(Arr, OuterTy, Outer.Bits);
+    for (int64_t Row = 0; Row < Outer.Bits; ++Row) {
+      ObjId RowArr = H.allocArray(InnerTy, Inner.Bits);
+      H.get(Arr).Slots[static_cast<size_t>(Row)] = Value::makeRef(RowArr);
+      if (L && Plan.ArrayHooks)
+        L->onNewArray(RowArr, InnerTy, Inner.Bits);
+    }
+    F.push(Value::makeRef(Arr));
+    break;
+  }
+
+  case Opcode::InvokeStatic:
+  case Opcode::InvokeCtor:
+  case Opcode::InvokeVirtual: {
+    int32_t MethodId = I.A;
+    if (I.Op == Opcode::InvokeVirtual) {
+      // Resolve through the receiver's vtable. The receiver sits below
+      // the arguments; the statically resolved target (operand B) gives
+      // the arity, and overrides share it (checked by sema).
+      int32_t Slot = I.A;
+      int32_t Arity =
+          M.Methods[static_cast<size_t>(I.B)].NumArgs;
+      assert(Arity > 0 && "virtual call without a receiver slot");
+      Value Recv = F.Stack[F.Stack.size() - static_cast<size_t>(Arity)];
+      if (Recv.isNullRef())
+        return trap("null receiver in call from " +
+                    F.Method->QualifiedName);
+      int32_t RecvClass = H.get(Recv.ref()).ClassId;
+      const ClassInfo &C = M.Classes[static_cast<size_t>(RecvClass)];
+      assert(Slot < static_cast<int32_t>(C.Vtable.size()) &&
+             "receiver class lacks the virtual slot");
+      MethodId = C.Vtable[static_cast<size_t>(Slot)];
+    }
+    const MethodInfo &Callee = M.Methods[static_cast<size_t>(MethodId)];
+    if (static_cast<int>(Frames.size()) >= Opts.MaxFrames)
+      return trap("call stack overflow calling " + Callee.QualifiedName);
+    std::vector<Value> Args(static_cast<size_t>(Callee.NumArgs));
+    for (int32_t A = Callee.NumArgs - 1; A >= 0; --A)
+      Args[static_cast<size_t>(A)] = F.pop();
+    // Record where to resume; enterMethod may reallocate Frames.
+    F.Pc = NextPc - 1; // Resume handling happens on return.
+    enterMethod(MethodId, std::move(Args));
+    return true;
+  }
+
+  case Opcode::Ret:
+  case Opcode::RetVal: {
+    HaveReturnValue = I.Op == Opcode::RetVal;
+    if (HaveReturnValue)
+      ReturnValue = F.pop();
+    leaveTopFrame();
+    if (Frames.empty())
+      return false; // Normal program completion.
+    Frame &Caller = Frames.back();
+    int CallPc = Caller.Pc;
+    if (HaveReturnValue)
+      Caller.push(ReturnValue);
+    Caller.Pc = CallPc + 1;
+    if (L)
+      fireTransition(Caller, CallPc, Caller.Pc);
+    return true;
+  }
+
+  case Opcode::Print: {
+    Value V = F.pop();
+    Io.Output.push_back(V.Bits);
+    if (L && Plan.IoHooks)
+      L->onOutputWrite();
+    break;
+  }
+  case Opcode::ReadInt: {
+    if (!Io.hasInput())
+      return trap("input exhausted in " + F.Method->QualifiedName);
+    F.push(Value::makeInt(Io.Input[Io.InputPos++]));
+    if (L && Plan.IoHooks)
+      L->onInputRead();
+    break;
+  }
+  case Opcode::HasInput:
+    F.push(Value::makeBool(Io.hasInput()));
+    break;
+
+  case Opcode::Trap:
+    return trap("explicit trap in " + F.Method->QualifiedName);
+  }
+
+  // Ordinary pc advance (branches included): fire loop events and move.
+  if (L)
+    fireTransition(F, F.Pc, NextPc);
+  F.Pc = NextPc;
+  return true;
+}
+
+RunResult Machine::run(int32_t EntryMethodId) {
+  const MethodInfo &Entry = M.Methods[static_cast<size_t>(EntryMethodId)];
+  assert(Entry.IsStatic && Entry.NumArgs == 0 &&
+         "entry must be a static no-arg method");
+  (void)Entry;
+
+  WantsInstr = L && L->wantsInstructionEvents();
+  if (L) {
+    ExecContext Ctx;
+    Ctx.Module = &M;
+    Ctx.TheHeap = &H;
+    Ctx.Io = &Io;
+    L->onProgramStart(Ctx);
+  }
+  enterMethod(EntryMethodId, {});
+
+  RunResult R;
+  while (!Frames.empty()) {
+    if (Executed >= Opts.Fuel) {
+      R.Status = RunStatus::FuelExhausted;
+      R.TrapMessage = "fuel exhausted after " + std::to_string(Executed) +
+                      " instructions";
+      break;
+    }
+    if (!step()) {
+      if (Trapped) {
+        R.Status = RunStatus::Trapped;
+        R.TrapMessage = TrapMessage;
+      }
+      break;
+    }
+  }
+
+  // Unwind remaining frames (trap / fuel), firing exit events so profiler
+  // shadow stacks stay balanced — the paper's exceptional-exit handling.
+  while (!Frames.empty())
+    leaveTopFrame();
+
+  if (L)
+    L->onProgramEnd();
+  R.InstrCount = Executed;
+  return R;
+}
+
+RunResult Interpreter::run(int32_t EntryMethodId, ExecutionListener *Listener,
+                           const InstrumentationPlan &Plan, IoChannels &Io,
+                           const RunOptions &Opts) {
+  Machine Mach(P, TheHeap, Listener, Plan, Io, Opts);
+  return Mach.run(EntryMethodId);
+}

@@ -1,0 +1,104 @@
+//===- vm/Interpreter.h - Bytecode interpreter ------------------*- C++-*-===//
+///
+/// \file
+/// The AlgoProf VM: a stack-machine interpreter over bc::Module with an
+/// instrumentation-event surface (vm/Hooks.h). PreparedProgram bundles
+/// the per-method static artifacts (CFG, natural loops, loop-event maps)
+/// and the module-level analyses the profilers need.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_VM_INTERPRETER_H
+#define ALGOPROF_VM_INTERPRETER_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/Cfg.h"
+#include "analysis/Loops.h"
+#include "analysis/RecursiveTypes.h"
+#include "bytecode/Module.h"
+#include "vm/Heap.h"
+#include "vm/Hooks.h"
+#include "vm/LoopEventMap.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace vm {
+
+/// External input/output channels (the paper's Input Reads / Output
+/// Writes cost sources).
+struct IoChannels {
+  std::vector<int64_t> Input;
+  size_t InputPos = 0;
+  std::vector<int64_t> Output;
+
+  bool hasInput() const { return InputPos < Input.size(); }
+};
+
+/// Per-method static artifacts used at run time.
+struct PreparedMethod {
+  analysis::Cfg Graph;
+  analysis::LoopInfo Loops;
+  LoopEventMap Events;
+};
+
+/// A module plus everything the VM and profilers need to run it.
+struct PreparedProgram {
+  const bc::Module *M = nullptr;
+  std::vector<PreparedMethod> Methods;
+  analysis::CallGraph Calls;
+  analysis::RecursiveTypes RecTypes;
+
+  /// Runs all static analyses over \p M. The module must outlive the
+  /// result.
+  static PreparedProgram prepare(const bc::Module &M);
+};
+
+/// How a run ended.
+enum class RunStatus { Ok, Trapped, FuelExhausted };
+
+/// Result of one program run.
+struct RunResult {
+  RunStatus Status = RunStatus::Ok;
+  std::string TrapMessage;
+  uint64_t InstrCount = 0;
+
+  bool ok() const { return Status == RunStatus::Ok; }
+};
+
+/// Interpreter options.
+struct RunOptions {
+  uint64_t Fuel = 500'000'000; ///< Max executed instructions.
+  int MaxFrames = 4096;        ///< Call-depth limit.
+};
+
+/// Executes prepared programs. One Interpreter owns one heap; distinct
+/// runs in one Interpreter share the heap id space (reset() clears it).
+class Interpreter {
+public:
+  explicit Interpreter(const PreparedProgram &P)
+      : P(P), TheHeap(*P.M) {}
+
+  /// Runs static method \p EntryMethodId (which must take no arguments).
+  /// \p Listener may be null. \p Plan selects which events fire.
+  RunResult run(int32_t EntryMethodId, ExecutionListener *Listener,
+                const InstrumentationPlan &Plan, IoChannels &Io,
+                const RunOptions &Opts = RunOptions());
+
+  Heap &heap() { return TheHeap; }
+  const PreparedProgram &program() const { return P; }
+
+  /// Clears the heap between independent runs.
+  void reset() { TheHeap.reset(); }
+
+private:
+  const PreparedProgram &P;
+  Heap TheHeap;
+};
+
+} // namespace vm
+} // namespace algoprof
+
+#endif // ALGOPROF_VM_INTERPRETER_H

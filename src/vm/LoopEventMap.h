@@ -1,0 +1,63 @@
+//===- vm/LoopEventMap.h - Control-transfer loop events ---------*- C++-*-===//
+///
+/// \file
+/// Precomputed loop events per control transfer. The interpreter fires
+/// loop enter / back edge / exit callbacks by consulting this map on
+/// every pc advance whose target is marked interesting — the dynamic
+/// equivalent of the paper's loop-entry/exit/back-edge bytecode
+/// instrumentation, derived from the recovered natural loops rather than
+/// from front-end structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_VM_LOOPEVENTMAP_H
+#define ALGOPROF_VM_LOOPEVENTMAP_H
+
+#include "analysis/Cfg.h"
+#include "analysis/Loops.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace algoprof {
+namespace vm {
+
+/// Events attached to one (from-pc, to-pc) control transfer. Loop ids are
+/// indices into the method's analysis::LoopInfo.
+struct LoopTransition {
+  std::vector<int32_t> Exits;   ///< Innermost-first.
+  int32_t BackEdge = -1;        ///< Loop whose back edge this is, or -1.
+  std::vector<int32_t> Entries; ///< Outermost-first.
+};
+
+/// Loop-event tables for one method.
+class LoopEventMap {
+public:
+  /// Per pc: some transfer *into* this pc carries events.
+  std::vector<char> InterestingTarget;
+
+  /// Keyed by (FromPc << 32) | ToPc.
+  std::unordered_map<int64_t, LoopTransition> Transitions;
+
+  /// Per pc: loops containing the pc, innermost first. Used on method
+  /// entry (pc 0), on returns, and when unwinding a trap.
+  std::vector<std::vector<int32_t>> LoopChainAtPc;
+
+  /// Returns the transition for from->to, or null when it has no events.
+  const LoopTransition *lookup(int FromPc, int ToPc) const {
+    if (!InterestingTarget[static_cast<size_t>(ToPc)])
+      return nullptr;
+    auto It = Transitions.find((static_cast<int64_t>(FromPc) << 32) | ToPc);
+    return It == Transitions.end() ? nullptr : &It->second;
+  }
+};
+
+/// Builds the loop-event tables of one method.
+LoopEventMap buildLoopEventMap(const bc::MethodInfo &Method,
+                               const analysis::Cfg &G,
+                               const analysis::LoopInfo &LI);
+
+} // namespace vm
+} // namespace algoprof
+
+#endif // ALGOPROF_VM_LOOPEVENTMAP_H

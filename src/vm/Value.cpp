@@ -1,0 +1,14 @@
+//===- vm/Value.cpp -------------------------------------------------------===//
+
+#include "vm/Value.h"
+
+using namespace algoprof;
+using namespace algoprof::vm;
+
+std::string Value::str() const {
+  if (!IsRef)
+    return std::to_string(Bits);
+  if (isNullRef())
+    return "null";
+  return "@" + std::to_string(Bits);
+}

@@ -1,0 +1,45 @@
+//===- vm/Value.h - Runtime values ------------------------------*- C++-*-===//
+///
+/// \file
+/// Tagged runtime values: 64-bit integers (booleans are 0/1) and heap
+/// references. References carry the object's allocation id, which is the
+/// stable identity that structure snapshots key on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_VM_VALUE_H
+#define ALGOPROF_VM_VALUE_H
+
+#include <cstdint>
+#include <string>
+
+namespace algoprof {
+namespace vm {
+
+/// Heap object identity: the allocation index. Stable for the lifetime of
+/// a program run (the VM never compacts).
+using ObjId = int64_t;
+
+/// The null reference.
+constexpr ObjId NullObj = -1;
+
+/// One runtime value.
+struct Value {
+  bool IsRef = false;
+  int64_t Bits = 0; ///< Integer payload, or ObjId for references.
+
+  static Value makeInt(int64_t V) { return {false, V}; }
+  static Value makeBool(bool B) { return {false, B ? 1 : 0}; }
+  static Value makeNull() { return {true, NullObj}; }
+  static Value makeRef(ObjId Id) { return {true, Id}; }
+
+  bool isNullRef() const { return IsRef && Bits == NullObj; }
+  ObjId ref() const { return Bits; }
+
+  std::string str() const;
+};
+
+} // namespace vm
+} // namespace algoprof
+
+#endif // ALGOPROF_VM_VALUE_H

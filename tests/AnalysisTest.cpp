@@ -1,0 +1,326 @@
+//===- tests/AnalysisTest.cpp - CFG, dominators, natural loops ------------===//
+
+#include "TestUtil.h"
+#include "analysis/Cfg.h"
+#include "analysis/Dominators.h"
+#include "analysis/Loops.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+using namespace algoprof::testutil;
+
+namespace {
+
+const bc::MethodInfo &methodOf(const prof::CompiledProgram &CP,
+                               const std::string &Cls,
+                               const std::string &Name) {
+  int32_t Id = CP.Mod->findMethodId(Cls, Name);
+  EXPECT_GE(Id, 0) << Cls << "." << Name << " not found";
+  return CP.Mod->Methods[static_cast<size_t>(Id)];
+}
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  auto CP = compile(R"(
+    class Main {
+      static int m(int a, int b) { return a + b; }
+      static void main() { print(m(1, 2)); }
+    }
+  )");
+  Cfg G = buildCfg(methodOf(*CP, "Main", "m"));
+  // Block 0 is the whole body; the compiler's unreachable-return guard
+  // may add one trailing block.
+  EXPECT_LE(G.numBlocks(), 2);
+  EXPECT_TRUE(G.Blocks[0].Succs.empty());
+}
+
+TEST(Cfg, IfElseDiamond) {
+  auto CP = compile(R"(
+    class Main {
+      static int m(boolean c) {
+        int x = 0;
+        if (c) { x = 1; } else { x = 2; }
+        return x;
+      }
+      static void main() { print(m(true)); }
+    }
+  )");
+  Cfg G = buildCfg(methodOf(*CP, "Main", "m"));
+  // entry, then, else, join (the compiler appends an unreachable
+  // terminator block after 'return', which may add one more).
+  EXPECT_GE(G.numBlocks(), 4);
+  EXPECT_EQ(G.Blocks[0].Succs.size(), 2u);
+}
+
+TEST(Cfg, EveryPcHasABlock) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 5; i++) {
+          if (i % 2 == 0) { s = s + i; }
+        }
+        print(s);
+      }
+    }
+  )");
+  const bc::MethodInfo &M = methodOf(*CP, "Main", "main");
+  Cfg G = buildCfg(M);
+  for (size_t Pc = 0; Pc < M.Code.size(); ++Pc) {
+    int B = G.blockAt(static_cast<int>(Pc));
+    ASSERT_GE(B, 0);
+    EXPECT_GE(static_cast<int>(Pc), G.Blocks[static_cast<size_t>(B)].Begin);
+    EXPECT_LT(static_cast<int>(Pc), G.Blocks[static_cast<size_t>(B)].End);
+  }
+}
+
+TEST(Cfg, PredsMatchSuccs) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int i = 0;
+        while (i < 10) {
+          i++;
+          if (i == 5) { break; }
+        }
+        print(i);
+      }
+    }
+  )");
+  Cfg G = buildCfg(methodOf(*CP, "Main", "main"));
+  for (const BasicBlock &B : G.Blocks)
+    for (int S : B.Succs) {
+      const auto &Preds = G.Blocks[static_cast<size_t>(S)].Preds;
+      EXPECT_NE(std::find(Preds.begin(), Preds.end(), B.Id), Preds.end());
+    }
+}
+
+TEST(Dominators, EntryDominatesAll) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 5; i++) { s = s + i; }
+        print(s);
+      }
+    }
+  )");
+  Cfg G = buildCfg(methodOf(*CP, "Main", "main"));
+  DominatorTree DT = computeDominators(G);
+  for (const BasicBlock &B : G.Blocks)
+    if (DT.isReachable(B.Id))
+      EXPECT_TRUE(DT.dominates(G.entry(), B.Id));
+}
+
+TEST(Dominators, DominanceIsReflexiveAndAntisymmetric) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int x = 0;
+        if (x == 0) { x = 1; } else { x = 2; }
+        while (x < 10) { x = x + 3; }
+        print(x);
+      }
+    }
+  )");
+  Cfg G = buildCfg(methodOf(*CP, "Main", "main"));
+  DominatorTree DT = computeDominators(G);
+  for (const BasicBlock &A : G.Blocks) {
+    if (!DT.isReachable(A.Id))
+      continue;
+    EXPECT_TRUE(DT.dominates(A.Id, A.Id));
+    for (const BasicBlock &B : G.Blocks) {
+      if (!DT.isReachable(B.Id) || A.Id == B.Id)
+        continue;
+      EXPECT_FALSE(DT.dominates(A.Id, B.Id) && DT.dominates(B.Id, A.Id));
+    }
+  }
+}
+
+TEST(Dominators, BranchSidesDoNotDominateJoin) {
+  auto CP = compile(R"(
+    class Main {
+      static int m(boolean c) {
+        int x = 0;
+        if (c) { x = 1; } else { x = 2; }
+        return x;
+      }
+      static void main() { print(m(false)); }
+    }
+  )");
+  Cfg G = buildCfg(methodOf(*CP, "Main", "m"));
+  DominatorTree DT = computeDominators(G);
+  // Blocks 1 and 2 are the branch sides; the join is reached by both.
+  const BasicBlock &Then = G.Blocks[1];
+  ASSERT_FALSE(Then.Succs.empty());
+  int Join = Then.Succs[0];
+  EXPECT_FALSE(DT.dominates(1, Join) && DT.dominates(2, Join));
+}
+
+TEST(Loops, SingleWhileLoop) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int i = 0;
+        while (i < 3) { i++; }
+        print(i);
+      }
+    }
+  )");
+  const bc::MethodInfo &M = methodOf(*CP, "Main", "main");
+  Cfg G = buildCfg(M);
+  LoopInfo LI = computeLoops(M, G, computeDominators(G));
+  ASSERT_EQ(LI.numLoops(), 1);
+  EXPECT_EQ(LI.Loops[0].Depth, 0);
+  EXPECT_EQ(LI.Loops[0].Parent, -1);
+  EXPECT_EQ(LI.Loops[0].AstLoopId, 0);
+}
+
+TEST(Loops, NestedLoopsHaveCorrectNesting) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 3; i++) {
+          for (int j = 0; j < i; j++) {
+            s = s + 1;
+          }
+        }
+        print(s);
+      }
+    }
+  )");
+  const bc::MethodInfo &M = methodOf(*CP, "Main", "main");
+  Cfg G = buildCfg(M);
+  LoopInfo LI = computeLoops(M, G, computeDominators(G));
+  ASSERT_EQ(LI.numLoops(), 2);
+  const Loop *Outer = nullptr, *Inner = nullptr;
+  for (const Loop &L : LI.Loops)
+    (L.Depth == 0 ? Outer : Inner) = &L;
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Inner->Parent, Outer->Id);
+  EXPECT_EQ(Inner->Depth, 1);
+  EXPECT_EQ(Outer->AstLoopId, 0); // Source order: outer declared first.
+  EXPECT_EQ(Inner->AstLoopId, 1);
+  // The inner loop's blocks are a subset of the outer loop's.
+  for (size_t B = 0; B < Inner->InLoop.size(); ++B)
+    if (Inner->InLoop[B])
+      EXPECT_TRUE(Outer->InLoop[B]);
+}
+
+TEST(Loops, SequentialLoopsAreSiblings) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 3; i++) { s = s + i; }
+        for (int j = 0; j < 3; j++) { s = s + j; }
+        print(s);
+      }
+    }
+  )");
+  const bc::MethodInfo &M = methodOf(*CP, "Main", "main");
+  Cfg G = buildCfg(M);
+  LoopInfo LI = computeLoops(M, G, computeDominators(G));
+  ASSERT_EQ(LI.numLoops(), 2);
+  EXPECT_EQ(LI.Loops[0].Parent, -1);
+  EXPECT_EQ(LI.Loops[1].Parent, -1);
+}
+
+TEST(Loops, ContinueProducesExtraBackEdgeNotExtraLoop) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        int i = 0;
+        while (i < 10) {
+          i++;
+          if (i % 2 == 0) { continue; }
+          s = s + i;
+        }
+        print(s);
+      }
+    }
+  )");
+  const bc::MethodInfo &M = methodOf(*CP, "Main", "main");
+  Cfg G = buildCfg(M);
+  LoopInfo LI = computeLoops(M, G, computeDominators(G));
+  EXPECT_EQ(LI.numLoops(), 1);
+}
+
+TEST(Loops, BreakLeavesLoopBodyIntact) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int i = 0;
+        while (true) {
+          i++;
+          if (i == 5) { break; }
+        }
+        print(i);
+      }
+    }
+  )");
+  const bc::MethodInfo &M = methodOf(*CP, "Main", "main");
+  Cfg G = buildCfg(M);
+  LoopInfo LI = computeLoops(M, G, computeDominators(G));
+  ASSERT_EQ(LI.numLoops(), 1);
+}
+
+TEST(Loops, WhileTrueInfiniteShapeDetected) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int i = 0;
+        for (;;) {
+          i++;
+          if (i > 3) { break; }
+        }
+        print(i);
+      }
+    }
+  )");
+  const bc::MethodInfo &M = methodOf(*CP, "Main", "main");
+  Cfg G = buildCfg(M);
+  LoopInfo LI = computeLoops(M, G, computeDominators(G));
+  ASSERT_EQ(LI.numLoops(), 1);
+  EXPECT_EQ(LI.Loops[0].AstLoopId, 0);
+}
+
+TEST(Loops, LoopChainAtInnerBlock) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 2; i++) {
+          for (int j = 0; j < 2; j++) {
+            for (int k = 0; k < 2; k++) {
+              s = s + 1;
+            }
+          }
+        }
+        print(s);
+      }
+    }
+  )");
+  const bc::MethodInfo &M = methodOf(*CP, "Main", "main");
+  Cfg G = buildCfg(M);
+  LoopInfo LI = computeLoops(M, G, computeDominators(G));
+  ASSERT_EQ(LI.numLoops(), 3);
+  // The deepest block's chain has three loops, innermost first.
+  int DeepBlock = -1;
+  for (const BasicBlock &B : G.Blocks)
+    if (LI.innermostAt(B.Id) >= 0 &&
+        LI.Loops[static_cast<size_t>(LI.innermostAt(B.Id))].Depth == 2)
+      DeepBlock = B.Id;
+  ASSERT_GE(DeepBlock, 0);
+  std::vector<int> Chain = LI.loopChainAt(DeepBlock);
+  ASSERT_EQ(Chain.size(), 3u);
+  EXPECT_EQ(LI.Loops[static_cast<size_t>(Chain[0])].Depth, 2);
+  EXPECT_EQ(LI.Loops[static_cast<size_t>(Chain[1])].Depth, 1);
+  EXPECT_EQ(LI.Loops[static_cast<size_t>(Chain[2])].Depth, 0);
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+//===- tests/BlockCountTest.cpp - Block-count baseline profiler -----------===//
+
+#include "TestUtil.h"
+#include "cct/BlockCountProfiler.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::cct;
+using namespace algoprof::testutil;
+
+namespace {
+
+struct BlockRun {
+  std::unique_ptr<prof::CompiledProgram> CP;
+  std::unique_ptr<BlockCountProfiler> Profiler;
+  vm::RunResult Result;
+};
+
+BlockRun runBlocks(const std::string &Src) {
+  BlockRun R;
+  R.CP = compile(Src);
+  if (!R.CP)
+    return R;
+  R.Profiler = std::make_unique<BlockCountProfiler>(R.CP->Prep);
+  vm::Interpreter Interp(R.CP->Prep);
+  vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*R.CP->Mod);
+  vm::IoChannels Io;
+  R.Result = Interp.run(R.CP->entryMethod("Main", "main"),
+                        R.Profiler.get(), Plan, Io);
+  return R;
+}
+
+TEST(BlockCount, StraightLineMethodCountsOncePerCall) {
+  BlockRun R = runBlocks(R"(
+    class Main {
+      static int f(int x) { return x + 1; }
+      static void main() {
+        int s = 0;
+        s = s + f(1);
+        s = s + f(2);
+        s = s + f(3);
+        print(s);
+      }
+    }
+  )");
+  ASSERT_TRUE(R.Result.ok());
+  int32_t F = R.CP->Mod->findMethodId("Main", "f");
+  // f is one basic block, called three times.
+  EXPECT_EQ(R.Profiler->blockCount(F), 3);
+}
+
+TEST(BlockCount, LoopIterationsScaleBlockCounts) {
+  BlockRun R = runBlocks(R"(
+    class Main {
+      static int work(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) { s = s + i; }
+        return s;
+      }
+      static void main() { print(work(50)); }
+    }
+  )");
+  ASSERT_TRUE(R.Result.ok());
+  int32_t Work = R.CP->Mod->findMethodId("Main", "work");
+  // Header runs 51 times, body 50, plus entry/exit blocks: > 100.
+  EXPECT_GT(R.Profiler->blockCount(Work), 100);
+  EXPECT_LT(R.Profiler->blockCount(Work), 260);
+}
+
+TEST(BlockCount, PerBlockCountsSumToMethodCount) {
+  BlockRun R = runBlocks(programs::insertionSortProgram(
+      40, 10, 2, programs::InputOrder::Random));
+  ASSERT_TRUE(R.Result.ok());
+  for (const bc::MethodInfo &M : R.CP->Mod->Methods) {
+    int64_t Sum = 0;
+    for (int64_t N : R.Profiler->blockCounts(M.Id))
+      Sum += N;
+    EXPECT_EQ(Sum, R.Profiler->blockCount(M.Id)) << M.QualifiedName;
+  }
+}
+
+TEST(BlockCount, ResetZeroesEverything) {
+  BlockRun R = runBlocks(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 9; i++) { s = s + i; }
+        print(s);
+      }
+    }
+  )");
+  ASSERT_TRUE(R.Result.ok());
+  EXPECT_GT(R.Profiler->totalBlocks(), 0);
+  R.Profiler->reset();
+  EXPECT_EQ(R.Profiler->totalBlocks(), 0);
+}
+
+TEST(BlockCount, SortBlockCountsAreQuadraticLikeSteps) {
+  // The Goldsmith-style metric tracks the same asymptotics as
+  // algorithmic steps on the running example.
+  std::vector<prof::SeriesPoint> Series;
+  for (int Size = 20; Size <= 120; Size += 20) {
+    BlockRun R = runBlocks(programs::insertionSortProgram(
+        Size + 1, std::max(Size, 1), 1, programs::InputOrder::Reversed));
+    ASSERT_TRUE(R.Result.ok());
+    int32_t Sort = R.CP->Mod->findMethodId("List", "sort");
+    Series.push_back(
+        {static_cast<double>(Size),
+         static_cast<double>(R.Profiler->blockCount(Sort))});
+  }
+  fit::FitResult F = fit::fitBest(Series);
+  ASSERT_TRUE(F.Valid);
+  EXPECT_NEAR(F.growthExponent(), 2.0, 0.2) << F.formula();
+}
+
+} // namespace

@@ -1,0 +1,125 @@
+//===- tests/CallGraphTest.cpp - Call graph and recursion headers ---------===//
+
+#include "TestUtil.h"
+#include "analysis/CallGraph.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+using namespace algoprof::testutil;
+
+namespace {
+
+int32_t methodId(const prof::CompiledProgram &CP, const std::string &Cls,
+                 const std::string &Name) {
+  int32_t Id = CP.Mod->findMethodId(Cls, Name);
+  EXPECT_GE(Id, 0);
+  return Id;
+}
+
+TEST(CallGraph, DirectRecursionIsHeader) {
+  auto CP = compile(R"(
+    class Main {
+      static int fact(int n) {
+        if (n <= 1) { return 1; }
+        return n * fact(n - 1);
+      }
+      static void main() { print(fact(5)); }
+    }
+  )");
+  const CallGraph &CG = CP->Prep.Calls;
+  int32_t Fact = methodId(*CP, "Main", "fact");
+  int32_t MainM = methodId(*CP, "Main", "main");
+  EXPECT_TRUE(CG.isRecursive(Fact));
+  EXPECT_TRUE(CG.isHeader(Fact));
+  EXPECT_FALSE(CG.isRecursive(MainM));
+  EXPECT_FALSE(CG.isHeader(MainM));
+}
+
+TEST(CallGraph, MutualRecursionOneHeader) {
+  auto CP = compile(R"(
+    class Main {
+      static boolean isEven(int n) {
+        if (n == 0) { return true; }
+        return isOdd(n - 1);
+      }
+      static boolean isOdd(int n) {
+        if (n == 0) { return false; }
+        return isEven(n - 1);
+      }
+      static void main() { print(isEven(10)); }
+    }
+  )");
+  const CallGraph &CG = CP->Prep.Calls;
+  int32_t Even = methodId(*CP, "Main", "isEven");
+  int32_t Odd = methodId(*CP, "Main", "isOdd");
+  EXPECT_TRUE(CG.isRecursive(Even));
+  EXPECT_TRUE(CG.isRecursive(Odd));
+  EXPECT_EQ(CG.SccId[static_cast<size_t>(Even)],
+            CG.SccId[static_cast<size_t>(Odd)]);
+  // Exactly one of the cycle's members is the header.
+  EXPECT_EQ(static_cast<int>(CG.isHeader(Even)) +
+                static_cast<int>(CG.isHeader(Odd)),
+            1);
+}
+
+TEST(CallGraph, VirtualCallsResolveConservatively) {
+  // A virtual call that can reach an override which recurses back makes
+  // the cycle visible only under conservative resolution.
+  auto CP = compile(R"(
+    class Base { int step(int n) { return 0; } }
+    class Rec extends Base {
+      int step(int n) {
+        if (n == 0) { return 0; }
+        return drive(this, n - 1);
+      }
+      static int drive(Base b, int n) { return b.step(n); }
+    }
+    class Main {
+      static void main() { print(Rec.drive(new Rec(), 3)); }
+    }
+  )");
+  const CallGraph &CG = CP->Prep.Calls;
+  int32_t Drive = methodId(*CP, "Rec", "drive");
+  int32_t RecStep = methodId(*CP, "Rec", "step");
+  EXPECT_TRUE(CG.isRecursive(Drive));
+  EXPECT_TRUE(CG.isRecursive(RecStep));
+  EXPECT_EQ(CG.SccId[static_cast<size_t>(Drive)],
+            CG.SccId[static_cast<size_t>(RecStep)]);
+}
+
+TEST(CallGraph, NonRecursiveChainHasNoHeaders) {
+  auto CP = compile(R"(
+    class Main {
+      static int a(int x) { return b(x) + 1; }
+      static int b(int x) { return c(x) + 1; }
+      static int c(int x) { return x; }
+      static void main() { print(a(1)); }
+    }
+  )");
+  const CallGraph &CG = CP->Prep.Calls;
+  for (const bc::MethodInfo &M : CP->Mod->Methods) {
+    EXPECT_FALSE(CG.isRecursive(M.Id)) << M.QualifiedName;
+    EXPECT_FALSE(CG.isHeader(M.Id)) << M.QualifiedName;
+  }
+}
+
+TEST(CallGraph, TwoIndependentCyclesTwoHeaders) {
+  auto CP = compile(R"(
+    class Main {
+      static int f(int n) { if (n == 0) { return 0; } return f(n - 1); }
+      static int g(int n) { if (n == 0) { return 0; } return g(n - 1); }
+      static void main() { print(f(2) + g(2)); }
+    }
+  )");
+  const CallGraph &CG = CP->Prep.Calls;
+  int32_t F = methodId(*CP, "Main", "f");
+  int32_t G = methodId(*CP, "Main", "g");
+  EXPECT_TRUE(CG.isHeader(F));
+  EXPECT_TRUE(CG.isHeader(G));
+  EXPECT_NE(CG.SccId[static_cast<size_t>(F)],
+            CG.SccId[static_cast<size_t>(G)]);
+}
+
+} // namespace

@@ -1,0 +1,172 @@
+//===- tests/CctTest.cpp - Traditional CCT profiler -----------------------===//
+
+#include "TestUtil.h"
+#include "cct/CctProfiler.h"
+#include "programs/Programs.h"
+#include "report/TreePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::cct;
+using namespace algoprof::testutil;
+
+namespace {
+
+struct CctRun {
+  std::unique_ptr<prof::CompiledProgram> CP;
+  std::unique_ptr<CctProfiler> Profiler;
+  vm::RunResult Result;
+};
+
+CctRun runCct(const std::string &Src) {
+  CctRun R;
+  R.CP = compile(Src);
+  if (!R.CP)
+    return R;
+  R.Profiler = std::make_unique<CctProfiler>(*R.CP->Mod);
+  vm::Interpreter Interp(R.CP->Prep);
+  vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*R.CP->Mod);
+  vm::IoChannels Io;
+  R.Result = Interp.run(R.CP->entryMethod("Main", "main"),
+                        R.Profiler.get(), Plan, Io);
+  return R;
+}
+
+int64_t callsOf(const CctRun &R, const std::string &Cls,
+                const std::string &Method) {
+  int32_t Id = R.CP->Mod->findMethodId(Cls, Method);
+  for (const auto &Row : R.Profiler->flatProfile())
+    if (Row.MethodId == Id)
+      return Row.Calls;
+  return 0;
+}
+
+TEST(Cct, CallCountsByContext) {
+  CctRun R = runCct(R"(
+    class Main {
+      static void leaf() { }
+      static void mid() { leaf(); leaf(); }
+      static void main() {
+        mid();
+        mid();
+        mid();
+        leaf();
+      }
+    }
+  )");
+  ASSERT_TRUE(R.Result.ok());
+  EXPECT_EQ(callsOf(R, "Main", "mid"), 3);
+  EXPECT_EQ(callsOf(R, "Main", "leaf"), 7);
+
+  // Context separation: leaf appears under both main and mid.
+  const CctNode &Root = R.Profiler->root();
+  ASSERT_EQ(Root.Children.size(), 1u); // main.
+  const CctNode &MainNode = *Root.Children[0];
+  int32_t LeafId = R.CP->Mod->findMethodId("Main", "leaf");
+  int32_t MidId = R.CP->Mod->findMethodId("Main", "mid");
+  const CctNode *MidCtx = nullptr, *LeafUnderMain = nullptr;
+  for (const auto &C : MainNode.Children) {
+    if (C->MethodId == MidId)
+      MidCtx = C.get();
+    if (C->MethodId == LeafId)
+      LeafUnderMain = C.get();
+  }
+  ASSERT_NE(MidCtx, nullptr);
+  ASSERT_NE(LeafUnderMain, nullptr);
+  EXPECT_EQ(LeafUnderMain->Calls, 1);
+  ASSERT_EQ(MidCtx->Children.size(), 1u);
+  EXPECT_EQ(MidCtx->Children[0]->Calls, 6);
+}
+
+TEST(Cct, InclusiveContainsExclusive) {
+  CctRun R = runCct(R"(
+    class Main {
+      static int work(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) { s = s + i; }
+        return s;
+      }
+      static void main() { print(work(50)); }
+    }
+  )");
+  ASSERT_TRUE(R.Result.ok());
+  for (const auto &Row : R.Profiler->flatProfile()) {
+    EXPECT_GE(Row.Inclusive, Row.Exclusive);
+    EXPECT_GE(Row.Exclusive, 0);
+  }
+}
+
+TEST(Cct, RootInclusiveEqualsTotalInstructions) {
+  CctRun R = runCct(R"(
+    class Main {
+      static int f(int x) { return x * 2; }
+      static void main() { print(f(3) + f(4)); }
+    }
+  )");
+  ASSERT_TRUE(R.Result.ok());
+  EXPECT_EQ(R.Profiler->root().inclusiveCost(),
+            static_cast<int64_t>(R.Result.InstrCount));
+}
+
+TEST(Cct, RunningExampleHotness) {
+  // Paper Fig. 2: List.append and Node.<init> are the most frequently
+  // called; List.sort is the hottest by exclusive cost.
+  CctRun R = runCct(programs::insertionSortProgram(
+      100, 10, 3, programs::InputOrder::Random));
+  ASSERT_TRUE(R.Result.ok());
+
+  auto Rows = R.Profiler->flatProfile();
+  ASSERT_FALSE(Rows.empty());
+  // Hottest exclusive = List.sort.
+  int32_t SortId = R.CP->Mod->findMethodId("List", "sort");
+  EXPECT_EQ(Rows[0].MethodId, SortId);
+
+  // Most-called methods: List.append and the Node constructor.
+  int64_t MaxCalls = 0;
+  for (const auto &Row : Rows)
+    MaxCalls = std::max(MaxCalls, Row.Calls);
+  int64_t AppendCalls = callsOf(R, "List", "append");
+  EXPECT_EQ(AppendCalls, MaxCalls);
+  // The Node ctor is called exactly as often as append.
+  int64_t CtorCalls = 0;
+  for (const auto &Row : Rows) {
+    const bc::MethodInfo &M =
+        R.CP->Mod->Methods[static_cast<size_t>(Row.MethodId)];
+    if (M.QualifiedName == "Node.<init>")
+      CtorCalls = Row.Calls;
+  }
+  EXPECT_EQ(CtorCalls, AppendCalls);
+
+  // Rendering works and mentions the hot methods.
+  std::string Text = report::renderCct(*R.Profiler);
+  EXPECT_NE(Text.find("List.sort"), std::string::npos);
+  EXPECT_NE(Text.find("List.append"), std::string::npos);
+}
+
+TEST(Cct, RecursionBuildsChain) {
+  // A CCT does not fold recursion (that is the repetition tree's job);
+  // it is depth-limited only by the actual recursion.
+  CctRun R = runCct(R"(
+    class Main {
+      static int down(int n) {
+        if (n == 0) { return 0; }
+        return down(n - 1);
+      }
+      static void main() { print(down(5)); }
+    }
+  )");
+  ASSERT_TRUE(R.Result.ok());
+  // Chain of 6 'down' contexts.
+  const CctNode *Cur = &R.Profiler->root();
+  int Depth = 0;
+  int32_t DownId = R.CP->Mod->findMethodId("Main", "down");
+  while (!Cur->Children.empty()) {
+    Cur = Cur->Children[0].get();
+    if (Cur->MethodId == DownId)
+      ++Depth;
+  }
+  EXPECT_EQ(Depth, 6);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+//===- tests/ClassificationTest.cpp - Algorithm classification ------------===//
+
+#include "TestUtil.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::testutil;
+
+namespace {
+
+struct Profiled {
+  std::unique_ptr<CompiledProgram> CP;
+  std::unique_ptr<ProfileSession> Session;
+  std::vector<AlgorithmProfile> Profiles;
+};
+
+Profiled profile(const std::string &Src,
+                 std::vector<int64_t> Input = {}) {
+  Profiled P;
+  P.CP = compile(Src);
+  if (!P.CP)
+    return P;
+  P.Session = std::make_unique<ProfileSession>(*P.CP);
+  vm::IoChannels Io;
+  Io.Input = std::move(Input);
+  vm::RunResult R = P.Session->run("Main", "main", Io);
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  P.Profiles = P.Session->buildProfiles();
+  return P;
+}
+
+const AlgorithmProfile *profileOf(const Profiled &P,
+                                  const std::string &RootName) {
+  for (const AlgorithmProfile &AP : P.Profiles)
+    if (AP.Algo.Root->Name == RootName)
+      return &AP;
+  return nullptr;
+}
+
+TEST(Classification, TraversalReadOnly) {
+  Profiled P = profile(R"(
+    class Node { Node next; int v; }
+    class Main {
+      static void main() {
+        Node list = null;
+        for (int i = 0; i < 8; i++) {
+          Node n = new Node();
+          n.next = list;
+          list = n;
+        }
+        int c = 0;
+        Node cur = list;
+        while (cur != null) { c++; cur = cur.next; }
+        print(c);
+      }
+    }
+  )");
+  const AlgorithmProfile *Walk = profileOf(P, "Main.main loop#1");
+  ASSERT_NE(Walk, nullptr);
+  ASSERT_EQ(Walk->Class.Inputs.size(), 1u);
+  EXPECT_EQ(Walk->Class.Inputs[0].Class, AlgorithmClass::Traversal);
+  EXPECT_NE(Walk->Label.find("Traversal of a Node-based recursive "
+                             "structure"),
+            std::string::npos);
+}
+
+TEST(Classification, ModificationWritesNoAllocation) {
+  // In-place list reversal: writes links, allocates nothing.
+  Profiled P = profile(R"(
+    class Node { Node next; }
+    class Main {
+      static void main() {
+        Node list = null;
+        for (int i = 0; i < 8; i++) {
+          Node n = new Node();
+          n.next = list;
+          list = n;
+        }
+        Node prev = null;
+        while (list != null) {
+          Node nx = list.next;
+          list.next = prev;
+          prev = list;
+          list = nx;
+        }
+        print(prev != null);
+      }
+    }
+  )");
+  const AlgorithmProfile *Rev = profileOf(P, "Main.main loop#1");
+  ASSERT_NE(Rev, nullptr);
+  ASSERT_EQ(Rev->Class.Inputs.size(), 1u);
+  EXPECT_EQ(Rev->Class.Inputs[0].Class, AlgorithmClass::Modification);
+}
+
+TEST(Classification, ConstructionAllocates) {
+  Profiled P = profile(R"(
+    class Node { Node next; }
+    class Main {
+      static void main() {
+        Node list = null;
+        for (int i = 0; i < 8; i++) {
+          Node n = new Node();
+          n.next = list;
+          list = n;
+        }
+        list = null;
+      }
+    }
+  )");
+  const AlgorithmProfile *Build = profileOf(P, "Main.main loop#0");
+  ASSERT_NE(Build, nullptr);
+  ASSERT_EQ(Build->Class.Inputs.size(), 1u);
+  EXPECT_EQ(Build->Class.Inputs[0].Class, AlgorithmClass::Construction);
+}
+
+TEST(Classification, ConstructionBeatsModification) {
+  // An algorithm that both allocates and rewrites links classifies as
+  // Construction (mutual exclusion precedence, paper Sec. 2.8).
+  Profiled P = profile(R"(
+    class Node { Node next; }
+    class Main {
+      static void main() {
+        Node list = null;
+        for (int i = 0; i < 6; i++) {
+          Node n = new Node();
+          n.next = list;
+          if (list != null) { list.next = list.next; }
+          list = n;
+        }
+        list = null;
+      }
+    }
+  )");
+  const AlgorithmProfile *Build = profileOf(P, "Main.main loop#0");
+  ASSERT_NE(Build, nullptr);
+  EXPECT_EQ(Build->Class.Inputs[0].Class, AlgorithmClass::Construction);
+}
+
+TEST(Classification, InputOutputAlgorithm) {
+  Profiled P = profile(programs::ioSumProgram(), {5, 6, 7});
+  const AlgorithmProfile *Loop = profileOf(P, "Main.main loop#0");
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_TRUE(Loop->Class.DoesInput);
+  EXPECT_TRUE(Loop->Class.DoesOutput);
+  EXPECT_TRUE(Loop->Class.dataStructureless());
+  EXPECT_NE(Loop->Label.find("Input algorithm"), std::string::npos);
+  EXPECT_NE(Loop->Label.find("Output algorithm"), std::string::npos);
+}
+
+TEST(Classification, DataStructurelessLabel) {
+  Profiled P = profile(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 10; i++) { s = s + i * i; }
+        print(s);
+      }
+    }
+  )");
+  const AlgorithmProfile *Loop = profileOf(P, "Main.main loop#0");
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(Loop->Label, "Data-structure-less algorithm");
+}
+
+TEST(Classification, MutualExclusionPerStructure) {
+  // One algorithm traverses structure A while constructing structure B:
+  // classified per input (paper: exclusion is per data structure).
+  Profiled P = profile(R"(
+    class ANode { ANode next; int v; }
+    class BNode { BNode next; int v; }
+    class Main {
+      static void main() {
+        ANode a = null;
+        for (int i = 0; i < 6; i++) {
+          ANode n = new ANode();
+          n.v = i;
+          n.next = a;
+          a = n;
+        }
+        BNode b = null;
+        ANode cur = a;
+        while (cur != null) {
+          BNode m = new BNode();
+          m.v = cur.v * 2;
+          m.next = b;
+          b = m;
+          cur = cur.next;
+        }
+        print(b != null);
+      }
+    }
+  )");
+  const AlgorithmProfile *Translate = profileOf(P, "Main.main loop#1");
+  ASSERT_NE(Translate, nullptr);
+  ASSERT_EQ(Translate->Class.Inputs.size(), 2u);
+  std::map<std::string, AlgorithmClass> ByLabel;
+  for (const auto &PI : Translate->Class.Inputs)
+    ByLabel[P.Session->inputs().info(PI.InputId).Label] = PI.Class;
+  EXPECT_EQ(ByLabel["ANode-based recursive structure"],
+            AlgorithmClass::Traversal);
+  EXPECT_EQ(ByLabel["BNode-based recursive structure"],
+            AlgorithmClass::Construction);
+}
+
+TEST(Classification, ArrayModificationVsConstruction) {
+  // Filling a preallocated array inside the loop: Modification (the
+  // allocation happened outside the repetition). The array-list append
+  // algorithm allocates its backing arrays inside: Construction.
+  Profiled P = profile(R"(
+    class Main {
+      static void main() {
+        int[] a = new int[16];
+        for (int i = 0; i < 16; i++) { a[i] = i + 1; }
+        print(a[15]);
+      }
+    }
+  )");
+  const AlgorithmProfile *Fill = profileOf(P, "Main.main loop#0");
+  ASSERT_NE(Fill, nullptr);
+  ASSERT_EQ(Fill->Class.Inputs.size(), 1u);
+  EXPECT_EQ(Fill->Class.Inputs[0].Class, AlgorithmClass::Modification);
+}
+
+TEST(Classification, ArrayListIsConstruction) {
+  Profiled P;
+  P.CP = compile(programs::arrayListProgram(false, 40, 8));
+  ASSERT_TRUE(P.CP);
+  P.Session = std::make_unique<ProfileSession>(*P.CP);
+  ASSERT_TRUE(P.Session->run("Main", "main").ok());
+  P.Profiles = P.Session->buildProfiles();
+  const AlgorithmProfile *Append = profileOf(P, "Main.testForSize loop#0");
+  ASSERT_NE(Append, nullptr);
+  ASSERT_FALSE(Append->Class.Inputs.empty());
+  EXPECT_EQ(Append->Class.Inputs[0].Class, AlgorithmClass::Construction);
+}
+
+} // namespace

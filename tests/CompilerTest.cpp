@@ -1,0 +1,231 @@
+//===- tests/CompilerTest.cpp - Bytecode compiler unit tests --------------===//
+
+#include "TestUtil.h"
+#include "bytecode/Compiler.h"
+#include "bytecode/Disassembler.h"
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::bc;
+using namespace algoprof::testutil;
+
+namespace {
+
+const MethodInfo &methodOf(const prof::CompiledProgram &CP,
+                           const std::string &Cls,
+                           const std::string &Name) {
+  int32_t Id = CP.Mod->findMethodId(Cls, Name);
+  EXPECT_GE(Id, 0) << Cls << "." << Name;
+  return CP.Mod->Methods[static_cast<size_t>(Id)];
+}
+
+int countOp(const MethodInfo &M, Opcode Op) {
+  int N = 0;
+  for (const Instr &I : M.Code)
+    if (I.Op == Op)
+      ++N;
+  return N;
+}
+
+TEST(Compiler, BranchTargetsInRange) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 10; i++) {
+          if (i % 3 == 0) { continue; }
+          if (i == 8) { break; }
+          s = s + i;
+        }
+        print(s);
+      }
+    }
+  )");
+  for (const MethodInfo &M : CP->Mod->Methods)
+    for (const Instr &I : M.Code)
+      if (isBranch(I.Op)) {
+        EXPECT_GE(I.A, 0) << disassemble(*CP->Mod, M);
+        EXPECT_LT(I.A, static_cast<int32_t>(M.Code.size()));
+      }
+}
+
+TEST(Compiler, MethodsEndWithTerminator) {
+  auto CP = compile(R"(
+    class A {
+      int f;
+      int get() { return f; }
+      void set(int v) { f = v; }
+    }
+    class Main { static void main() { } }
+  )");
+  for (const MethodInfo &M : CP->Mod->Methods) {
+    ASSERT_FALSE(M.Code.empty());
+    EXPECT_TRUE(isTerminator(M.Code.back().Op));
+  }
+}
+
+TEST(Compiler, LoopMetadataMatchesSourceLoops) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        for (int i = 0; i < 2; i++) {
+          while (i > 5) { i--; }
+        }
+      }
+    }
+  )");
+  const MethodInfo &M = methodOf(*CP, "Main", "main");
+  ASSERT_EQ(M.Loops.size(), 2u);
+  EXPECT_EQ(M.Loops[0].AstLoopId, 0);
+  EXPECT_EQ(M.Loops[1].AstLoopId, 1);
+  for (const LoopMeta &Meta : M.Loops) {
+    EXPECT_GE(Meta.HeaderPc, 0);
+    EXPECT_LT(Meta.HeaderPc, static_cast<int32_t>(M.Code.size()));
+  }
+}
+
+TEST(Compiler, VtableOverrides) {
+  auto CP = compile(R"(
+    class A {
+      int f() { return 1; }
+      int g() { return 2; }
+    }
+    class B extends A {
+      int g() { return 20; }
+      int h() { return 30; }
+    }
+    class Main { static void main() { } }
+  )");
+  const ClassInfo &A = CP->Mod->Classes[static_cast<size_t>(
+      CP->Mod->findClassId("A"))];
+  const ClassInfo &B = CP->Mod->Classes[static_cast<size_t>(
+      CP->Mod->findClassId("B"))];
+  EXPECT_EQ(A.Vtable.size(), 2u);
+  EXPECT_EQ(B.Vtable.size(), 3u);
+  // Shared slots: f unchanged, g overridden.
+  EXPECT_EQ(B.Vtable[0], A.Vtable[0]);
+  EXPECT_NE(B.Vtable[1], A.Vtable[1]);
+  // Slot assignments agree with MethodInfo.
+  const MethodInfo &Bg = methodOf(*CP, "B", "g");
+  EXPECT_EQ(B.Vtable[static_cast<size_t>(Bg.VtableSlot)], Bg.Id);
+}
+
+TEST(Compiler, FieldIdsStableAcrossSubclasses) {
+  auto CP = compile(R"(
+    class A { int x; }
+    class B extends A { int y; }
+    class Main {
+      static int m(A a, B b) { return a.x + b.x + b.y; }
+      static void main() { }
+    }
+  )");
+  const MethodInfo &M = methodOf(*CP, "Main", "m");
+  // Both x accesses use the same field id (declared in A).
+  std::vector<int32_t> GetFieldIds;
+  for (const Instr &I : M.Code)
+    if (I.Op == Opcode::GetField)
+      GetFieldIds.push_back(I.A);
+  ASSERT_EQ(GetFieldIds.size(), 3u);
+  EXPECT_EQ(GetFieldIds[0], GetFieldIds[1]);
+  EXPECT_NE(GetFieldIds[0], GetFieldIds[2]);
+}
+
+TEST(Compiler, ShortCircuitEmitsBranches) {
+  auto CP = compile(R"(
+    class Main {
+      static boolean m(boolean a, boolean b) { return a && b; }
+      static void main() { }
+    }
+  )");
+  const MethodInfo &M = methodOf(*CP, "Main", "m");
+  EXPECT_GE(countOp(M, Opcode::IfFalse), 1);
+  EXPECT_GE(countOp(M, Opcode::Dup), 1);
+}
+
+TEST(Compiler, StatementExpressionsLeaveStackBalanced) {
+  // A call whose result is discarded must emit a Pop.
+  auto CP = compile(R"(
+    class Main {
+      static int f() { return 7; }
+      static void main() {
+        f();
+        print(f());
+      }
+    }
+  )");
+  const MethodInfo &M = methodOf(*CP, "Main", "main");
+  EXPECT_GE(countOp(M, Opcode::Pop), 1);
+}
+
+TEST(Compiler, DisassemblerCoversAllMethods) {
+  auto CP = compile(R"(
+    class Node { Node next; Node(int v) { } }
+    class Main {
+      static void main() {
+        Node n = new Node(1);
+        n.next = null;
+      }
+    }
+  )");
+  std::string Text = disassemble(*CP->Mod);
+  EXPECT_NE(Text.find("Main.main"), std::string::npos);
+  EXPECT_NE(Text.find("Node.<init>"), std::string::npos);
+  EXPECT_NE(Text.find("newobject Node"), std::string::npos);
+  EXPECT_NE(Text.find("putfield Node.next"), std::string::npos);
+}
+
+TEST(Compiler, RefComparisonUsesRefOps) {
+  auto CP = compile(R"(
+    class P { }
+    class Main {
+      static boolean m(P a, P b) { return a == b; }
+      static boolean n(int a, int b) { return a == b; }
+      static void main() { }
+    }
+  )");
+  EXPECT_EQ(countOp(methodOf(*CP, "Main", "m"), Opcode::RefEq), 1);
+  EXPECT_EQ(countOp(methodOf(*CP, "Main", "n"), Opcode::CmpEq), 1);
+}
+
+TEST(Compiler, RejectsThreeSizedDimensions) {
+  DiagnosticEngine Diags;
+  auto P = parseMiniJ(R"(
+    class Main {
+      static void main() {
+        int[][][] a = new int[2][2][2];
+      }
+    }
+  )",
+                      Diags);
+  ASSERT_FALSE(Diags.hasErrors());
+  ASSERT_TRUE(runSema(*P, Diags));
+  auto Mod = compileProgram(*P, Diags);
+  EXPECT_EQ(Mod, nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Compiler, NumLocalsCoversTemps) {
+  // Compound assignments through temps must grow NumLocals.
+  auto CP = compile(R"(
+    class P { int f; }
+    class Main {
+      static void main() {
+        P p = new P();
+        int v = (p.f = 3);
+        p.f++;
+        int[] a = new int[2];
+        a[0]++;
+        print(v + p.f + a[0]);
+      }
+    }
+  )");
+  const MethodInfo &M = methodOf(*CP, "Main", "main");
+  for (const Instr &I : M.Code)
+    if (I.Op == Opcode::Load || I.Op == Opcode::Store)
+      EXPECT_LT(I.A, M.NumLocals);
+}
+
+} // namespace

@@ -1,0 +1,318 @@
+//===- tests/ConformanceTest.cpp - MiniJ semantics conformance ------------===//
+//
+// Pins the observable semantics of MiniJ: evaluation order, operator
+// precedence and associativity, dispatch through inheritance (the
+// Table 1 "I" pattern), erased generics (the "G" pattern), and
+// parameter passing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::testutil;
+
+namespace {
+
+TEST(Conformance, PrecedenceAndAssociativity) {
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        print(2 + 3 * 4 - 10 / 2);    // 2+12-5 = 9
+        print(100 - 10 - 5);          // left assoc: 85
+        print(100 / 10 / 5);          // left assoc: 2
+        print(7 % 4 % 2);             // (7%4)%2 = 1
+        print(-2 * 3);                // -6
+        print(1 + 2 < 4 == true);     // (3<4)==true -> 1
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{9, 85, 2, 1, -6, 1}));
+}
+
+TEST(Conformance, EvaluationOrderLeftToRight) {
+  auto Out = runOk(R"(
+    class Main {
+      static int tick(int id) {
+        print(id);
+        return id;
+      }
+      static void main() {
+        int s = tick(1) + tick(2) * tick(3);
+        print(s);
+        int[] a = new int[4];
+        a[tick(0)] = tick(7);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{1, 2, 3, 7, 0, 7}));
+}
+
+TEST(Conformance, ArgumentEvaluationOrder) {
+  auto Out = runOk(R"(
+    class Main {
+      static int tick(int id) { print(id); return id; }
+      static int sum3(int a, int b, int c) { return a + b + c; }
+      static void main() {
+        print(sum3(tick(10), tick(20), tick(30)));
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{10, 20, 30, 60}));
+}
+
+TEST(Conformance, ReceiverEvaluatedBeforeArguments) {
+  auto Out = runOk(R"(
+    class Box {
+      int v;
+      int add(int x) { return v + x; }
+    }
+    class Main {
+      static Box make(int v) {
+        print(v);
+        Box b = new Box();
+        b.v = v;
+        return b;
+      }
+      static int tick(int id) { print(id); return id; }
+      static void main() {
+        print(make(5).add(tick(6)));
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{5, 6, 11}));
+}
+
+TEST(Conformance, InheritancePayloadPattern) {
+  // The Table 1 "I" shape: links in the base class, payload in the
+  // subclass, traversal through base-typed references.
+  auto Out = runOk(R"(
+    class PNode {
+      PNode next;
+      int weight() { return 1; }
+    }
+    class HeavyNode extends PNode {
+      int weight() { return 10; }
+    }
+    class Main {
+      static void main() {
+        PNode list = null;
+        for (int i = 0; i < 4; i++) {
+          PNode n;
+          if (i % 2 == 0) {
+            n = new HeavyNode();
+          } else {
+            n = new PNode();
+          }
+          n.next = list;
+          list = n;
+        }
+        int total = 0;
+        while (list != null) {
+          total = total + list.weight(); // Virtual through the base.
+          list = list.next;
+        }
+        print(total);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{22})); // 10+1+10+1.
+}
+
+TEST(Conformance, ErasedGenericsRoundTrip) {
+  auto Out = runOk(R"(
+    class Box { int v; Box(int v) { this.v = v; } }
+    class Pair<A, B> {
+      A first;
+      B second;
+      Pair(A first, B second) {
+        this.first = first;
+        this.second = second;
+      }
+    }
+    class Main {
+      static void main() {
+        Pair<Box, Box> p = new Pair<Box, Box>(new Box(3), new Box(4));
+        Box f = p.first;   // Erased Object -> Box conversion.
+        Box s = p.second;
+        print(f.v * 10 + s.v);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{34}));
+}
+
+TEST(Conformance, ParametersAreCopies) {
+  auto Out = runOk(R"(
+    class Box { int v; }
+    class Main {
+      static void mutate(int x, Box b) {
+        x = 99;       // Copy: caller unaffected.
+        b.v = 99;     // Reference: caller sees the field write.
+      }
+      static void main() {
+        int x = 1;
+        Box b = new Box();
+        b.v = 1;
+        mutate(x, b);
+        print(x);
+        print(b.v);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{1, 99}));
+}
+
+TEST(Conformance, AssignmentIsAnExpression) {
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        int a;
+        int b;
+        a = (b = 5) + 1;
+        print(a);
+        print(b);
+        int c = 0;
+        int i = 0;
+        while ((c = c + 1) < 4) { i++; }
+        print(c);
+        print(i);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{6, 5, 4, 3}));
+}
+
+TEST(Conformance, IntegerDivisionTruncatesTowardZero) {
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        print(7 / 2);
+        print(-7 / 2);
+        print(7 % 2);
+        print(-7 % 2);
+        print(7 / -2);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{3, -3, 1, -1, -3}));
+}
+
+TEST(Conformance, SixtyFourBitArithmetic) {
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        int big = 1000000000;
+        print(big * 4);          // > 2^31: stays exact in 64-bit.
+        print(big * big / big);  // 10^18 fits in int64.
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{4000000000LL, 1000000000LL}));
+}
+
+TEST(Conformance, FieldInitializationOrderInCtor) {
+  auto Out = runOk(R"(
+    class P {
+      int a;
+      int b;
+      P(int x) {
+        a = x;
+        b = a * 2; // Sees the just-written a.
+      }
+    }
+    class Main {
+      static void main() {
+        P p = new P(21);
+        print(p.a + p.b);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{63}));
+}
+
+TEST(Conformance, ForInitCanBeAnExpression) {
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        int i;
+        int s = 0;
+        for (i = 3; i > 0; i--) {
+          s = s + i;
+        }
+        print(s);
+        print(i);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{6, 0}));
+}
+
+TEST(Conformance, EmptyForClausesSpin) {
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        int i = 0;
+        for (;;) {
+          i++;
+          if (i == 5) { break; }
+        }
+        print(i);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{5}));
+}
+
+TEST(Conformance, JaggedArrayAssignmentAndNullRows) {
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        int[][] rows = new int[3][];
+        rows[1] = new int[2];
+        rows[1][1] = 9;
+        print(rows[0] == null);
+        print(rows[1][1]);
+        rows[0] = rows[1]; // Aliased rows.
+        rows[0][0] = 4;
+        print(rows[1][0]);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{1, 9, 4}));
+}
+
+TEST(Conformance, WhileFalseBodyNeverRuns) {
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        int z = 0;
+        while (false) {
+          print(1 / z); // Would trap if executed.
+        }
+        print(z);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{0}));
+}
+
+TEST(Conformance, MethodsOnExpressionResults) {
+  auto Out = runOk(R"(
+    class Counter {
+      int c;
+      Counter bump() { c++; return this; }
+      int get() { return c; }
+    }
+    class Main {
+      static void main() {
+        print(new Counter().bump().bump().bump().get());
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{3}));
+}
+
+} // namespace

@@ -1,0 +1,84 @@
+//===- tests/CostMapTest.cpp - Cost map unit tests ------------------------===//
+
+#include "core/CostMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+namespace {
+
+TEST(CostMap, AddAndGet) {
+  CostMap C;
+  C.add({CostKind::Step, -1, -1});
+  C.add({CostKind::Step, -1, -1}, 4);
+  EXPECT_EQ(C.steps(), 5);
+  EXPECT_EQ(C.get({CostKind::StructGet, 0, -1}), 0);
+}
+
+TEST(CostMap, KeysAreIndependent) {
+  CostMap C;
+  C.add({CostKind::StructGet, 1, -1}, 10);
+  C.add({CostKind::StructGet, 2, -1}, 20);
+  C.add({CostKind::StructPut, 1, -1}, 30);
+  C.add({CostKind::StructGet, 1, 7}, 10); // Per-type refinement.
+  EXPECT_EQ(C.get({CostKind::StructGet, 1, -1}), 10);
+  EXPECT_EQ(C.get({CostKind::StructGet, 2, -1}), 20);
+  EXPECT_EQ(C.get({CostKind::StructPut, 1, -1}), 30);
+  EXPECT_EQ(C.get({CostKind::StructGet, 1, 7}), 10);
+}
+
+TEST(CostMap, TotalSkipsPerTypeEntries) {
+  CostMap C;
+  C.add({CostKind::StructGet, 1, -1}, 10);
+  C.add({CostKind::StructGet, 1, 7}, 10); // Refinement of the same ops.
+  C.add({CostKind::StructGet, 2, -1}, 5);
+  EXPECT_EQ(C.total(CostKind::StructGet), 15);
+  EXPECT_EQ(C.total(CostKind::StructGet, 1), 10);
+  EXPECT_EQ(C.total(CostKind::StructGet, 2), 5);
+}
+
+TEST(CostMap, Merge) {
+  CostMap A, B;
+  A.add({CostKind::Step, -1, -1}, 3);
+  A.add({CostKind::StructGet, 1, -1}, 1);
+  B.add({CostKind::Step, -1, -1}, 4);
+  B.add({CostKind::StructPut, 1, -1}, 2);
+  A.merge(B);
+  EXPECT_EQ(A.steps(), 7);
+  EXPECT_EQ(A.get({CostKind::StructGet, 1, -1}), 1);
+  EXPECT_EQ(A.get({CostKind::StructPut, 1, -1}), 2);
+}
+
+TEST(CostMap, CanonicalizeInputsMergesCollidingKeys) {
+  CostMap C;
+  C.add({CostKind::StructGet, 3, -1}, 10);
+  C.add({CostKind::StructGet, 5, -1}, 7);
+  // 5 was merged into 3 by the input table.
+  C.canonicalizeInputs([](int32_t Id) { return Id == 5 ? 3 : Id; });
+  EXPECT_EQ(C.get({CostKind::StructGet, 3, -1}), 17);
+  EXPECT_EQ(C.get({CostKind::StructGet, 5, -1}), 0);
+}
+
+TEST(CostMap, StrRendersPaperNotation) {
+  CostMap C;
+  C.add({CostKind::Step, -1, -1}, 15);
+  std::string S = C.str();
+  EXPECT_NE(S.find("cost{STEP} -> 15"), std::string::npos);
+  C.add({CostKind::StructPut, 3, -1}, 99);
+  S = C.str();
+  EXPECT_NE(S.find("cost{input#3, PUT} -> 99"), std::string::npos);
+}
+
+TEST(CostMap, KeyOrderingIsStrictWeak) {
+  CostKey A{CostKind::Step, -1, -1};
+  CostKey B{CostKind::StructGet, 0, -1};
+  CostKey C{CostKind::StructGet, 0, 5};
+  EXPECT_TRUE(A < B);
+  EXPECT_TRUE(B < C);
+  EXPECT_FALSE(B < A);
+  EXPECT_FALSE(A < A);
+}
+
+} // namespace

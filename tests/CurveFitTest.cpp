@@ -1,0 +1,136 @@
+//===- tests/CurveFitTest.cpp - Cost function fitting ---------------------===//
+
+#include "fitting/CurveFit.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace algoprof;
+using namespace algoprof::fit;
+using namespace algoprof::prof;
+
+namespace {
+
+std::vector<SeriesPoint> synth(double (*F)(double), int MaxN = 200,
+                               int Step = 10) {
+  std::vector<SeriesPoint> S;
+  for (int N = Step; N <= MaxN; N += Step)
+    S.push_back({static_cast<double>(N), F(static_cast<double>(N))});
+  return S;
+}
+
+TEST(CurveFit, ExactLinear) {
+  FitResult R = fitBest(synth([](double N) { return 3 * N; }));
+  ASSERT_TRUE(R.Valid);
+  EXPECT_NEAR(R.growthExponent(), 1.0, 0.15);
+  EXPECT_NEAR(R.Coefficient, 3.0, 0.2);
+  EXPECT_NEAR(R.R2, 1.0, 1e-6);
+}
+
+TEST(CurveFit, ExactQuadratic) {
+  FitResult R = fitBest(synth([](double N) { return 0.25 * N * N; }));
+  ASSERT_TRUE(R.Valid);
+  EXPECT_NEAR(R.growthExponent(), 2.0, 0.1);
+  EXPECT_NEAR(R.Coefficient, 0.25, 0.05);
+}
+
+TEST(CurveFit, ExactCubic) {
+  FitResult R = fitBest(synth([](double N) { return 2 * N * N * N; }));
+  ASSERT_TRUE(R.Valid);
+  EXPECT_NEAR(R.growthExponent(), 3.0, 0.1);
+}
+
+TEST(CurveFit, ExactNLogN) {
+  FitResult R =
+      fitBest(synth([](double N) { return 5 * N * std::log2(N); }));
+  ASSERT_TRUE(R.Valid);
+  // n*log n sits between linear and quadratic.
+  EXPECT_GT(R.growthExponent(), 1.0);
+  EXPECT_LT(R.growthExponent(), 1.5);
+}
+
+TEST(CurveFit, ExactConstant) {
+  FitResult R = fitBest(synth([](double N) {
+    (void)N;
+    return 42.0;
+  }));
+  ASSERT_TRUE(R.Valid);
+  EXPECT_NEAR(R.growthExponent(), 0.0, 0.1);
+  EXPECT_NEAR(R.Coefficient, 42.0, 0.5);
+}
+
+TEST(CurveFit, NoisyQuadraticStillQuadratic) {
+  // Deterministic pseudo-noise around 0.5*n^2.
+  std::vector<SeriesPoint> S;
+  for (int N = 10; N <= 300; N += 10) {
+    double Noise = 1.0 + 0.08 * std::sin(N * 12.9898);
+    S.push_back({static_cast<double>(N), 0.5 * N * N * Noise});
+  }
+  FitResult R = fitBest(S);
+  ASSERT_TRUE(R.Valid);
+  EXPECT_NEAR(R.growthExponent(), 2.0, 0.15);
+  EXPECT_NEAR(R.Coefficient, 0.5, 0.1);
+  EXPECT_GT(R.R2, 0.98);
+}
+
+TEST(CurveFit, PowerLawFractionalExponent) {
+  // n^1.5 is not in the single-coefficient family; the power law must
+  // win.
+  FitResult R =
+      fitBest(synth([](double N) { return 2 * std::pow(N, 1.5); }));
+  ASSERT_TRUE(R.Valid);
+  EXPECT_EQ(R.Kind, ModelKind::PowerLaw);
+  EXPECT_NEAR(R.Exponent, 1.5, 0.05);
+  EXPECT_NEAR(R.Coefficient, 2.0, 0.2);
+}
+
+TEST(CurveFit, DegenerateSeriesInvalid) {
+  EXPECT_FALSE(fitBest({}).Valid);
+  EXPECT_FALSE(fitBest({{1, 1}}).Valid);
+  EXPECT_FALSE(fitBest({{1, 1}, {2, 2}}).Valid);
+}
+
+TEST(CurveFit, AllZeroSizesOnlyConstantSurvives) {
+  std::vector<SeriesPoint> S = {{0, 5}, {0, 5}, {0, 5}, {0, 5}};
+  FitResult R = fitBest(S);
+  ASSERT_TRUE(R.Valid);
+  EXPECT_EQ(R.Kind, ModelKind::Constant);
+  EXPECT_NEAR(R.Coefficient, 5.0, 1e-9);
+}
+
+TEST(CurveFit, FitAllModelsSortedByBic) {
+  std::vector<FitResult> Fits =
+      fitAllModels(synth([](double N) { return N * N; }));
+  ASSERT_GE(Fits.size(), 2u);
+  for (size_t I = 1; I < Fits.size(); ++I)
+    EXPECT_LE(Fits[I - 1].Bic, Fits[I].Bic);
+}
+
+TEST(CurveFit, FormulaRendering) {
+  FitResult R = fitBest(synth([](double N) { return 0.25 * N * N; }));
+  ASSERT_TRUE(R.Valid);
+  // "0.25*n^2" modulo formatting of the coefficient.
+  EXPECT_NE(R.formula().find("n^2"), std::string::npos);
+  FitResult Invalid;
+  EXPECT_EQ(Invalid.formula(), "<no fit>");
+}
+
+TEST(CurveFit, ZeroSizePointsHandledByPowerLaw) {
+  // A series with x=0 points must not break the log-log fit.
+  std::vector<SeriesPoint> S = synth([](double N) { return 2 * N; });
+  S.insert(S.begin(), {0, 0});
+  FitResult R = fitModel(S, ModelKind::PowerLaw);
+  ASSERT_TRUE(R.Valid);
+  EXPECT_NEAR(R.Exponent, 1.0, 0.05);
+}
+
+TEST(CurveFit, LinearPreferredOverPowerLawOnLinearData) {
+  // BIC penalizes the extra parameter; on exactly linear data the
+  // one-parameter model should win or at worst tie in exponent.
+  FitResult R = fitBest(synth([](double N) { return 7 * N; }));
+  ASSERT_TRUE(R.Valid);
+  EXPECT_NEAR(R.growthExponent(), 1.0, 0.1);
+}
+
+} // namespace

@@ -1,0 +1,73 @@
+//===- tests/DotExporterTest.cpp - Graphviz export ------------------------===//
+
+#include "TestUtil.h"
+#include "cct/CctProfiler.h"
+#include "programs/Programs.h"
+#include "report/DotExporter.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::testutil;
+
+namespace {
+
+TEST(DotExporter, RepetitionTreeStructure) {
+  auto CP = compile(programs::insertionSortProgram(
+      60, 10, 2, programs::InputOrder::Random));
+  ASSERT_TRUE(CP);
+  ProfileSession S(*CP);
+  ASSERT_TRUE(S.run("Main", "main").ok());
+  std::vector<AlgorithmProfile> Profiles = S.buildProfiles();
+
+  std::string Dot = report::repetitionTreeToDot(S.tree(), Profiles);
+  EXPECT_NE(Dot.find("digraph repetition_tree"), std::string::npos);
+  // One cluster per algorithm.
+  EXPECT_NE(Dot.find("subgraph cluster_"), std::string::npos);
+  EXPECT_NE(Dot.find("List.sort loop#0"), std::string::npos);
+  EXPECT_NE(Dot.find("Modification of a Node-based recursive structure"),
+            std::string::npos);
+  EXPECT_NE(Dot.find("steps = "), std::string::npos);
+  // Balanced braces (well-formed DOT).
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+  // Edge count == nodes - 1 (it is a tree, root included).
+  int Nodes = S.tree().numRepetitions() + 1;
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '>'),
+            Nodes - 1); // "->" once per edge.
+}
+
+TEST(DotExporter, CctStructure) {
+  auto CP = compile(R"(
+    class Main {
+      static void leaf() { }
+      static void main() { leaf(); leaf(); }
+    }
+  )");
+  ASSERT_TRUE(CP);
+  cct::CctProfiler Profiler(*CP->Mod);
+  vm::Interpreter Interp(CP->Prep);
+  vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*CP->Mod);
+  vm::IoChannels Io;
+  ASSERT_TRUE(
+      Interp.run(CP->entryMethod("Main", "main"), &Profiler, Plan, Io)
+          .ok());
+
+  std::string Dot = report::cctToDot(Profiler);
+  EXPECT_NE(Dot.find("digraph cct"), std::string::npos);
+  EXPECT_NE(Dot.find("Main.main"), std::string::npos);
+  EXPECT_NE(Dot.find("Main.leaf"), std::string::npos);
+  EXPECT_NE(Dot.find("calls=2"), std::string::npos);
+  EXPECT_EQ(std::count(Dot.begin(), Dot.end(), '{'),
+            std::count(Dot.begin(), Dot.end(), '}'));
+}
+
+TEST(DotExporter, EscapesQuotes) {
+  // No MiniJ name contains quotes today, but the escaper must be safe.
+  prof::RepetitionTree Tree;
+  std::string Dot = report::repetitionTreeToDot(Tree, {});
+  EXPECT_NE(Dot.find("digraph"), std::string::npos);
+}
+
+} // namespace

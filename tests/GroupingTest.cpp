@@ -1,0 +1,171 @@
+//===- tests/GroupingTest.cpp - Algorithm grouping strategies -------------===//
+
+#include "TestUtil.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::testutil;
+
+namespace {
+
+struct Profiled {
+  std::unique_ptr<CompiledProgram> CP;
+  std::unique_ptr<ProfileSession> Session;
+};
+
+Profiled profile(const std::string &Src) {
+  Profiled P;
+  P.CP = compile(Src);
+  if (!P.CP)
+    return P;
+  P.Session = std::make_unique<ProfileSession>(*P.CP);
+  vm::RunResult R = P.Session->run("Main", "main");
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  return P;
+}
+
+const Algorithm *algorithmOf(const std::vector<Algorithm> &Algos,
+                             const std::string &NodeName) {
+  for (const Algorithm &A : Algos)
+    for (const RepetitionNode *N : A.Nodes)
+      if (N->Name == NodeName)
+        return &A;
+  return nullptr;
+}
+
+TEST(Grouping, SortNestFormsOneAlgorithm) {
+  Profiled P = profile(programs::insertionSortProgram(
+      40, 10, 2, programs::InputOrder::Random));
+  std::vector<Algorithm> Algos = P.Session->algorithms();
+  const Algorithm *Outer = algorithmOf(Algos, "List.sort loop#0");
+  const Algorithm *Inner = algorithmOf(Algos, "List.sort loop#1");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Outer->Id, Inner->Id);
+  EXPECT_EQ(Outer->Root->Name, "List.sort loop#0");
+}
+
+TEST(Grouping, HarnessLoopsStayDataStructureless) {
+  Profiled P = profile(programs::insertionSortProgram(
+      40, 10, 2, programs::InputOrder::Random));
+  std::vector<Algorithm> Algos = P.Session->algorithms();
+  const Algorithm *Sweep = algorithmOf(Algos, "Main.measure loop#0");
+  const Algorithm *Reps = algorithmOf(Algos, "Main.measure loop#1");
+  ASSERT_NE(Sweep, nullptr);
+  ASSERT_NE(Reps, nullptr);
+  EXPECT_NE(Sweep->Id, Reps->Id);
+  EXPECT_TRUE(Sweep->InputIds.empty());
+  EXPECT_TRUE(Reps->InputIds.empty());
+  EXPECT_EQ(Sweep->Nodes.size(), 1u);
+  EXPECT_EQ(Reps->Nodes.size(), 1u);
+}
+
+TEST(Grouping, SiblingsNeverGroup) {
+  // constructRandom and sort share the input but are siblings.
+  Profiled P = profile(programs::insertionSortProgram(
+      40, 10, 2, programs::InputOrder::Random));
+  std::vector<Algorithm> Algos = P.Session->algorithms();
+  const Algorithm *Build = algorithmOf(Algos,
+                                       "Main.constructRandom loop#0");
+  const Algorithm *Sort = algorithmOf(Algos, "List.sort loop#0");
+  ASSERT_NE(Build, nullptr);
+  ASSERT_NE(Sort, nullptr);
+  EXPECT_NE(Build->Id, Sort->Id);
+}
+
+TEST(Grouping, ArrayListAppendAndGrowGroup) {
+  // Paper Fig. 4: the append loop and the grow loop form one algorithm.
+  Profiled P = profile(programs::arrayListProgram(false, 48, 8));
+  std::vector<Algorithm> Algos = P.Session->algorithms();
+  const Algorithm *Append = algorithmOf(Algos,
+                                        "Main.testForSize loop#0");
+  const Algorithm *Grow = algorithmOf(Algos,
+                                      "ArrayList.growIfFull loop#0");
+  ASSERT_NE(Append, nullptr);
+  ASSERT_NE(Grow, nullptr);
+  EXPECT_EQ(Append->Id, Grow->Id);
+  // The harness loop stays out.
+  const Algorithm *Harness = algorithmOf(Algos, "Main.main loop#0");
+  ASSERT_NE(Harness, nullptr);
+  EXPECT_NE(Harness->Id, Append->Id);
+}
+
+TEST(Grouping, Listing5OuterLoopNotGroupedByDefault) {
+  Profiled P = profile(programs::listing5Program(6, 6));
+  std::vector<Algorithm> Algos =
+      P.Session->algorithms(GroupingStrategy::CommonInput);
+  const Algorithm *Outer = algorithmOf(Algos, "Main.fill loop#0");
+  const Algorithm *Inner = algorithmOf(Algos, "Main.fill loop#1");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_NE(Outer->Id, Inner->Id);
+  EXPECT_TRUE(Outer->InputIds.empty()); // Data-structure-less.
+}
+
+TEST(Grouping, Listing5DataflowExtensionGroups) {
+  // The Sec. 5 future-work analysis repairs the nest.
+  Profiled P = profile(programs::listing5Program(6, 6));
+  std::vector<Algorithm> Algos =
+      P.Session->algorithms(GroupingStrategy::CommonInputPlusDataflow);
+  const Algorithm *Outer = algorithmOf(Algos, "Main.fill loop#0");
+  const Algorithm *Inner = algorithmOf(Algos, "Main.fill loop#1");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Outer->Id, Inner->Id);
+}
+
+TEST(Grouping, SameMethodStrategyGroupsLexically) {
+  Profiled P = profile(programs::listing5Program(6, 6));
+  std::vector<Algorithm> Algos =
+      P.Session->algorithms(GroupingStrategy::SameMethod);
+  const Algorithm *Outer = algorithmOf(Algos, "Main.fill loop#0");
+  const Algorithm *Inner = algorithmOf(Algos, "Main.fill loop#1");
+  ASSERT_NE(Outer, nullptr);
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_EQ(Outer->Id, Inner->Id);
+}
+
+TEST(Grouping, EveryNodeInExactlyOneAlgorithm) {
+  Profiled P = profile(programs::mergeSortProgram(
+      40, 10, 2, programs::InputOrder::Random));
+  std::vector<Algorithm> Algos = P.Session->algorithms();
+  std::map<const RepetitionNode *, int> Seen;
+  for (const Algorithm &A : Algos)
+    for (const RepetitionNode *N : A.Nodes)
+      ++Seen[N];
+  int TreeNodes = P.Session->tree().numRepetitions();
+  EXPECT_EQ(static_cast<int>(Seen.size()), TreeNodes);
+  for (const auto &[N, Count] : Seen) {
+    (void)N;
+    EXPECT_EQ(Count, 1);
+  }
+}
+
+TEST(Grouping, AlgorithmRootIsShallowestNode) {
+  Profiled P = profile(programs::mergeSortProgram(
+      40, 10, 2, programs::InputOrder::Random));
+  for (const Algorithm &A : P.Session->algorithms()) {
+    for (const RepetitionNode *N : A.Nodes)
+      EXPECT_GE(N->depth(), A.Root->depth());
+  }
+}
+
+TEST(Grouping, MergeSortRecursionAndLoopsGroup) {
+  Profiled P = profile(programs::mergeSortProgram(
+      60, 10, 2, programs::InputOrder::Random));
+  std::vector<Algorithm> Algos = P.Session->algorithms();
+  const Algorithm *Rec = algorithmOf(Algos,
+                                     "MergeSort.sortList (recursion)");
+  const Algorithm *Split = algorithmOf(Algos, "MergeSort.sortList loop#0");
+  const Algorithm *Merge = algorithmOf(Algos, "MergeSort.merge loop#0");
+  ASSERT_NE(Rec, nullptr);
+  ASSERT_NE(Split, nullptr);
+  ASSERT_NE(Merge, nullptr);
+  EXPECT_EQ(Rec->Id, Split->Id);
+  EXPECT_EQ(Rec->Id, Merge->Id);
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/HeapTest.cpp - Heap and value unit tests ---------------------===//
+
+#include "TestUtil.h"
+#include "vm/Heap.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::vm;
+using namespace algoprof::testutil;
+
+namespace {
+
+TEST(Value, Constructors) {
+  EXPECT_EQ(Value::makeInt(42).Bits, 42);
+  EXPECT_FALSE(Value::makeInt(42).IsRef);
+  EXPECT_EQ(Value::makeBool(true).Bits, 1);
+  EXPECT_EQ(Value::makeBool(false).Bits, 0);
+  EXPECT_TRUE(Value::makeNull().isNullRef());
+  Value R = Value::makeRef(7);
+  EXPECT_TRUE(R.IsRef);
+  EXPECT_FALSE(R.isNullRef());
+  EXPECT_EQ(R.ref(), 7);
+}
+
+TEST(Value, Rendering) {
+  EXPECT_EQ(Value::makeInt(-3).str(), "-3");
+  EXPECT_EQ(Value::makeNull().str(), "null");
+  EXPECT_EQ(Value::makeRef(12).str(), "@12");
+}
+
+TEST(Heap, ObjectDefaultsFollowFieldTypes) {
+  auto CP = compile(R"(
+    class P { int x; boolean b; P next; int[] data; }
+    class Main { static void main() { } }
+  )");
+  ASSERT_TRUE(CP);
+  Heap H(*CP->Mod);
+  ObjId Obj = H.allocObject(CP->Mod->findClassId("P"));
+  const HeapObject &O = H.get(Obj);
+  EXPECT_FALSE(O.IsArray);
+  ASSERT_EQ(O.Slots.size(), 4u);
+  EXPECT_EQ(O.Slots[0].Bits, 0);
+  EXPECT_FALSE(O.Slots[0].IsRef);
+  EXPECT_TRUE(O.Slots[2].isNullRef());
+  EXPECT_TRUE(O.Slots[3].isNullRef());
+}
+
+TEST(Heap, AllocationIdsAreDenseAndStable) {
+  auto CP = compile(R"(
+    class P { }
+    class Main { static void main() { } }
+  )");
+  ASSERT_TRUE(CP);
+  Heap H(*CP->Mod);
+  int32_t ClassId = CP->Mod->findClassId("P");
+  ObjId A = H.allocObject(ClassId);
+  ObjId B = H.allocObject(ClassId);
+  ObjId C = H.allocObject(ClassId);
+  EXPECT_EQ(B, A + 1);
+  EXPECT_EQ(C, B + 1);
+  EXPECT_EQ(H.numObjects(), 3);
+  EXPECT_TRUE(H.isValid(A));
+  EXPECT_FALSE(H.isValid(C + 1));
+  EXPECT_FALSE(H.isValid(NullObj));
+}
+
+TEST(Heap, ArraysDefaultToElementType) {
+  auto CP = compile(R"(
+    class P { }
+    class Main {
+      static void main() {
+        int[] a = new int[1];
+        P[] b = new P[1];
+      }
+    }
+  )");
+  ASSERT_TRUE(CP);
+  Heap H(*CP->Mod);
+  bc::TypeId PType =
+      CP->Mod->Classes[static_cast<size_t>(CP->Mod->findClassId("P"))]
+          .Type;
+  // Find the interned array types in the compiled module.
+  bc::TypeId IntArr = -1, PArr = -1;
+  for (size_t T = 0; T < CP->Mod->Types.size(); ++T) {
+    const bc::RuntimeType &RT = CP->Mod->Types[T];
+    if (RT.Kind != bc::RtTypeKind::Array)
+      continue;
+    if (RT.Elem == CP->Mod->IntTypeId)
+      IntArr = static_cast<bc::TypeId>(T);
+    if (RT.Elem == PType)
+      PArr = static_cast<bc::TypeId>(T);
+  }
+  ASSERT_GE(IntArr, 0);
+  ASSERT_GE(PArr, 0);
+
+  ObjId IA = H.allocArray(IntArr, 3);
+  EXPECT_TRUE(H.get(IA).IsArray);
+  ASSERT_EQ(H.get(IA).Slots.size(), 3u);
+  EXPECT_FALSE(H.get(IA).Slots[0].IsRef);
+
+  ObjId PA = H.allocArray(PArr, 2);
+  ASSERT_EQ(H.get(PA).Slots.size(), 2u);
+  EXPECT_TRUE(H.get(PA).Slots[0].isNullRef());
+}
+
+TEST(Heap, ResetClears) {
+  auto CP = compile(R"(
+    class P { }
+    class Main { static void main() { } }
+  )");
+  ASSERT_TRUE(CP);
+  Heap H(*CP->Mod);
+  H.allocObject(CP->Mod->findClassId("P"));
+  EXPECT_EQ(H.numObjects(), 1);
+  H.reset();
+  EXPECT_EQ(H.numObjects(), 0);
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+//===- tests/IndexDataflowTest.cpp - Index dataflow analysis --------------===//
+
+#include "TestUtil.h"
+#include "analysis/IndexDataflow.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+using namespace algoprof::testutil;
+
+namespace {
+
+TEST(IndexDataflow, Listing5NestIsLinked) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int[][] array = new int[4][4];
+        for (int i = 0; i < array.length; i++) {
+          for (int j = 0; j < array[i].length; j++) {
+            array[i][j] = 1;
+          }
+        }
+      }
+    }
+  )");
+  // Loop ids in source order: outer = 0, inner = 1.
+  EXPECT_TRUE(CP->Dataflow.linked("Main.main", 0, 1));
+  EXPECT_FALSE(CP->Dataflow.linked("Main.main", 1, 0));
+}
+
+TEST(IndexDataflow, UnrelatedOuterLoopNotLinked) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int[] a = new int[4];
+        int t = 0;
+        for (int r = 0; r < 3; r++) {
+          for (int j = 0; j < a.length; j++) {
+            t = t + a[j];
+          }
+        }
+        print(t);
+      }
+    }
+  )");
+  // The outer loop's variable r is never used as an index.
+  EXPECT_FALSE(CP->Dataflow.linked("Main.main", 0, 1));
+}
+
+TEST(IndexDataflow, WhileLoopIncrementLinked) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int[][] m = new int[3][3];
+        int i = 0;
+        while (i < m.length) {
+          int j = 0;
+          while (j < m[i].length) {
+            m[i][j] = i + j;
+            j++;
+          }
+          i++;
+        }
+      }
+    }
+  )");
+  EXPECT_TRUE(CP->Dataflow.linked("Main.main", 0, 1));
+}
+
+TEST(IndexDataflow, ThreeDeepNestLinksConsecutivePairs) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int[] a = new int[64];
+        for (int i = 0; i < 4; i++) {
+          for (int j = 0; j < 4; j++) {
+            for (int k = 0; k < 4; k++) {
+              a[i * 16 + j * 4 + k] = 1;
+            }
+          }
+        }
+      }
+    }
+  )");
+  EXPECT_TRUE(CP->Dataflow.linked("Main.main", 0, 1));
+  EXPECT_TRUE(CP->Dataflow.linked("Main.main", 1, 2));
+}
+
+TEST(IndexDataflow, IndexComputedThroughArithmetic) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int[] a = new int[16];
+        for (int i = 0; i < 4; i++) {
+          for (int j = 0; j < 4; j++) {
+            a[4 * i + j] = i;
+          }
+        }
+      }
+    }
+  )");
+  EXPECT_TRUE(CP->Dataflow.linked("Main.main", 0, 1));
+}
+
+TEST(IndexDataflow, PerMethodIsolation) {
+  auto CP = compile(R"(
+    class Main {
+      static void a() {
+        int[][] m = new int[2][2];
+        for (int i = 0; i < 2; i++) {
+          for (int j = 0; j < 2; j++) { m[i][j] = 1; }
+        }
+      }
+      static void b() {
+        for (int i = 0; i < 2; i++) {
+          for (int j = 0; j < 2; j++) { }
+        }
+      }
+      static void main() { a(); b(); }
+    }
+  )");
+  EXPECT_TRUE(CP->Dataflow.linked("Main.a", 0, 1));
+  EXPECT_FALSE(CP->Dataflow.linked("Main.b", 0, 1));
+}
+
+TEST(IndexDataflow, NoArraysNoLinks) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 10; i++) {
+          for (int j = 0; j < i; j++) {
+            s = s + j;
+          }
+        }
+        print(s);
+      }
+    }
+  )");
+  EXPECT_TRUE(CP->Dataflow.empty());
+}
+
+} // namespace

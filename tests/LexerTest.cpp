@@ -1,0 +1,123 @@
+//===- tests/LexerTest.cpp - Lexer unit tests -----------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+
+namespace {
+
+std::vector<Token> lex(const std::string &Src, DiagnosticEngine &Diags) {
+  Lexer L(Src, Diags);
+  return L.lexAll();
+}
+
+std::vector<TokenKind> kinds(const std::string &Src) {
+  DiagnosticEngine Diags;
+  std::vector<TokenKind> Ks;
+  for (const Token &T : lex(Src, Diags))
+    Ks.push_back(T.Kind);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  return Ks;
+}
+
+TEST(Lexer, EmptyInput) {
+  EXPECT_EQ(kinds(""), std::vector<TokenKind>{TokenKind::EndOfFile});
+}
+
+TEST(Lexer, Keywords) {
+  auto Ks = kinds("class extends static int boolean void if else while "
+                  "for return new this null true false break continue");
+  std::vector<TokenKind> Expected = {
+      TokenKind::KW_Class,   TokenKind::KW_Extends, TokenKind::KW_Static,
+      TokenKind::KW_Int,     TokenKind::KW_Boolean, TokenKind::KW_Void,
+      TokenKind::KW_If,      TokenKind::KW_Else,    TokenKind::KW_While,
+      TokenKind::KW_For,     TokenKind::KW_Return,  TokenKind::KW_New,
+      TokenKind::KW_This,    TokenKind::KW_Null,    TokenKind::KW_True,
+      TokenKind::KW_False,   TokenKind::KW_Break,   TokenKind::KW_Continue,
+      TokenKind::EndOfFile};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, IdentifiersAndLiterals) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("foo _bar x1 42 0", Diags);
+  ASSERT_EQ(Toks.size(), 6u);
+  EXPECT_EQ(Toks[0].Text, "foo");
+  EXPECT_EQ(Toks[1].Text, "_bar");
+  EXPECT_EQ(Toks[2].Text, "x1");
+  EXPECT_EQ(Toks[3].IntValue, 42);
+  EXPECT_EQ(Toks[4].IntValue, 0);
+}
+
+TEST(Lexer, Operators) {
+  auto Ks = kinds("+ - * / % ! < <= > >= == != && || ++ -- = . , ;");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Plus,       TokenKind::Minus,      TokenKind::Star,
+      TokenKind::Slash,      TokenKind::Percent,    TokenKind::Bang,
+      TokenKind::Less,       TokenKind::LessEqual,  TokenKind::Greater,
+      TokenKind::GreaterEqual, TokenKind::EqualEqual, TokenKind::BangEqual,
+      TokenKind::AmpAmp,     TokenKind::PipePipe,   TokenKind::PlusPlus,
+      TokenKind::MinusMinus, TokenKind::Assign,     TokenKind::Dot,
+      TokenKind::Comma,      TokenKind::Semi,       TokenKind::EndOfFile};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, PlusPlusGreedy) {
+  // "+++" lexes as "++" "+".
+  auto Ks = kinds("+++");
+  std::vector<TokenKind> Expected = {TokenKind::PlusPlus, TokenKind::Plus,
+                                     TokenKind::EndOfFile};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, Comments) {
+  auto Ks = kinds("a // line comment\n b /* block \n comment */ c");
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Identifier, TokenKind::Identifier,
+      TokenKind::EndOfFile};
+  EXPECT_EQ(Ks, Expected);
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  DiagnosticEngine Diags;
+  lex("a /* never closed", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("a\n  bb\n    c", Diags);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1);
+  EXPECT_EQ(Toks[0].Loc.Col, 1);
+  EXPECT_EQ(Toks[1].Loc.Line, 2);
+  EXPECT_EQ(Toks[1].Loc.Col, 3);
+  EXPECT_EQ(Toks[2].Loc.Line, 3);
+  EXPECT_EQ(Toks[2].Loc.Col, 5);
+}
+
+TEST(Lexer, UnexpectedCharacterRecovers) {
+  DiagnosticEngine Diags;
+  auto Toks = lex("a # b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  // Both identifiers still lex.
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Text, "a");
+  EXPECT_EQ(Toks[1].Text, "b");
+}
+
+TEST(Lexer, IntLiteralOverflow) {
+  DiagnosticEngine Diags;
+  lex("99999999999999999999999999", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Lexer, SingleAmpIsError) {
+  DiagnosticEngine Diags;
+  lex("a & b", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+} // namespace

@@ -1,0 +1,171 @@
+//===- tests/LoopEventMapTest.cpp - Loop-event table construction ---------===//
+//
+// Direct unit tests of the control-transfer tables the interpreter
+// consults (vm/LoopEventMap.h), independent of event delivery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "vm/LoopEventMap.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::vm;
+using namespace algoprof::testutil;
+
+namespace {
+
+struct Tables {
+  std::unique_ptr<prof::CompiledProgram> CP;
+  const PreparedMethod *PM = nullptr;
+  const bc::MethodInfo *M = nullptr;
+};
+
+Tables tablesOf(const std::string &Src, const std::string &Method) {
+  Tables T;
+  T.CP = compile(Src);
+  if (!T.CP)
+    return T;
+  int32_t Id = T.CP->Mod->findMethodId("Main", Method);
+  EXPECT_GE(Id, 0);
+  T.PM = &T.CP->Prep.Methods[static_cast<size_t>(Id)];
+  T.M = &T.CP->Mod->Methods[static_cast<size_t>(Id)];
+  return T;
+}
+
+TEST(LoopEventMap, SingleLoopHasEntryBackEdgeAndExit) {
+  Tables T = tablesOf(R"(
+    class Main {
+      static int m(int n) {
+        int s = 0;
+        while (n > 0) { s = s + n; n--; }
+        return s;
+      }
+      static void main() { print(m(3)); }
+    }
+  )",
+                      "m");
+  ASSERT_NE(T.PM, nullptr);
+  const LoopEventMap &LEM = T.PM->Events;
+
+  int Entries = 0, BackEdges = 0, Exits = 0;
+  for (const auto &[Key, Tr] : LEM.Transitions) {
+    (void)Key;
+    Entries += static_cast<int>(Tr.Entries.size());
+    BackEdges += Tr.BackEdge >= 0 ? 1 : 0;
+    Exits += static_cast<int>(Tr.Exits.size());
+  }
+  EXPECT_EQ(Entries, 1);   // One edge enters the loop.
+  EXPECT_EQ(BackEdges, 1); // One latch.
+  EXPECT_EQ(Exits, 1);     // One exit edge (the IfFalse).
+}
+
+TEST(LoopEventMap, InterestingTargetsCoverAllTransitionTargets) {
+  Tables T = tablesOf(R"(
+    class Main {
+      static int m(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) {
+          for (int j = 0; j < i; j++) {
+            s = s + 1;
+          }
+        }
+        return s;
+      }
+      static void main() { print(m(4)); }
+    }
+  )",
+                      "m");
+  ASSERT_NE(T.PM, nullptr);
+  const LoopEventMap &LEM = T.PM->Events;
+  for (const auto &[Key, Tr] : LEM.Transitions) {
+    (void)Tr;
+    int ToPc = static_cast<int>(Key & 0xffffffff);
+    EXPECT_TRUE(LEM.InterestingTarget[static_cast<size_t>(ToPc)]);
+  }
+  // lookup() agrees with the raw map.
+  for (const auto &[Key, Tr] : LEM.Transitions) {
+    int FromPc = static_cast<int>(Key >> 32);
+    int ToPc = static_cast<int>(Key & 0xffffffff);
+    const LoopTransition *Found = LEM.lookup(FromPc, ToPc);
+    ASSERT_NE(Found, nullptr);
+    EXPECT_EQ(Found->Exits.size(), Tr.Exits.size());
+    EXPECT_EQ(Found->BackEdge, Tr.BackEdge);
+    EXPECT_EQ(Found->Entries.size(), Tr.Entries.size());
+  }
+}
+
+TEST(LoopEventMap, BreakFromNestedLoopsExitsBothOnOneEdge) {
+  Tables T = tablesOf(R"(
+    class Main {
+      static int m(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) {
+          for (int j = 0; j < n; j++) {
+            if (i * j == 6) {
+              return s; // Leaves both loops via the return path.
+            }
+            s = s + 1;
+          }
+        }
+        return s;
+      }
+      static void main() { print(m(5)); }
+    }
+  )",
+                      "m");
+  ASSERT_NE(T.PM, nullptr);
+  const LoopEventMap &LEM = T.PM->Events;
+  // The return pc sits inside both loops: its chain has two entries,
+  // innermost first (greater depth first).
+  bool SawDepthTwoChain = false;
+  for (const auto &Chain : LEM.LoopChainAtPc)
+    if (Chain.size() == 2)
+      SawDepthTwoChain = true;
+  EXPECT_TRUE(SawDepthTwoChain);
+}
+
+TEST(LoopEventMap, ChainsOrderedInnermostFirst) {
+  Tables T = tablesOf(R"(
+    class Main {
+      static int m(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i++) {
+          for (int j = 0; j < n; j++) {
+            for (int k = 0; k < n; k++) {
+              s = s + 1;
+            }
+          }
+        }
+        return s;
+      }
+      static void main() { print(m(2)); }
+    }
+  )",
+                      "m");
+  ASSERT_NE(T.PM, nullptr);
+  const analysis::LoopInfo &LI = T.PM->Loops;
+  for (const auto &Chain : T.PM->Events.LoopChainAtPc) {
+    for (size_t I = 1; I < Chain.size(); ++I) {
+      EXPECT_GT(LI.Loops[static_cast<size_t>(Chain[I - 1])].Depth,
+                LI.Loops[static_cast<size_t>(Chain[I])].Depth);
+    }
+  }
+}
+
+TEST(LoopEventMap, StraightLineMethodHasNoTransitions) {
+  Tables T = tablesOf(R"(
+    class Main {
+      static int m(int a, int b) { return a * b + 1; }
+      static void main() { print(m(2, 3)); }
+    }
+  )",
+                      "m");
+  ASSERT_NE(T.PM, nullptr);
+  EXPECT_TRUE(T.PM->Events.Transitions.empty());
+  for (const auto &Chain : T.PM->Events.LoopChainAtPc)
+    EXPECT_TRUE(Chain.empty());
+}
+
+} // namespace

@@ -1,0 +1,305 @@
+//===- tests/LoopEventsTest.cpp - Loop event delivery ---------------------===//
+//
+// Verifies the VM's loop instrumentation contract: enters, back edges,
+// and exits balance exactly — including break, continue, early return,
+// and trap unwinding (the paper's exceptional control flow rule).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace algoprof;
+using namespace algoprof::testutil;
+
+namespace {
+
+struct EventCounts {
+  int64_t Enters = 0;
+  int64_t BackEdges = 0;
+  int64_t Exits = 0;
+};
+
+class RecordingListener : public vm::ExecutionListener {
+public:
+  std::map<std::pair<int32_t, int32_t>, EventCounts> Loops;
+  std::map<int32_t, int64_t> MethodEnters, MethodExits;
+  std::vector<std::string> Trace;
+
+  void onLoopEnter(int32_t M, int32_t L) override {
+    ++Loops[{M, L}].Enters;
+    Trace.push_back("enter " + std::to_string(M) + ":" + std::to_string(L));
+  }
+  void onLoopBackEdge(int32_t M, int32_t L) override {
+    ++Loops[{M, L}].BackEdges;
+  }
+  void onLoopExit(int32_t M, int32_t L) override {
+    ++Loops[{M, L}].Exits;
+    Trace.push_back("exit " + std::to_string(M) + ":" + std::to_string(L));
+  }
+  void onMethodEnter(int32_t M) override { ++MethodEnters[M]; }
+  void onMethodExit(int32_t M) override { ++MethodExits[M]; }
+};
+
+struct Profiled {
+  RecordingListener Listener;
+  vm::RunResult Result;
+};
+
+Profiled runWithListener(const std::string &Src) {
+  Profiled P;
+  auto CP = compile(Src);
+  if (!CP)
+    return P;
+  vm::Interpreter Interp(CP->Prep);
+  vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*CP->Mod);
+  vm::IoChannels Io;
+  int32_t Entry = CP->entryMethod("Main", "main");
+  EXPECT_GE(Entry, 0);
+  P.Result = Interp.run(Entry, &P.Listener, Plan, Io);
+  return P;
+}
+
+EventCounts totals(const Profiled &P) {
+  EventCounts Sum;
+  for (const auto &[Key, C] : P.Listener.Loops) {
+    (void)Key;
+    Sum.Enters += C.Enters;
+    Sum.BackEdges += C.BackEdges;
+    Sum.Exits += C.Exits;
+  }
+  return Sum;
+}
+
+TEST(LoopEvents, SimpleForLoop) {
+  Profiled P = runWithListener(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 7; i++) { s = s + i; }
+        print(s);
+      }
+    }
+  )");
+  ASSERT_TRUE(P.Result.ok()) << P.Result.TrapMessage;
+  EventCounts T = totals(P);
+  EXPECT_EQ(T.Enters, 1);
+  EXPECT_EQ(T.BackEdges, 7); // One per completed iteration.
+  EXPECT_EQ(T.Exits, 1);
+}
+
+TEST(LoopEvents, ZeroIterationLoop) {
+  Profiled P = runWithListener(R"(
+    class Main {
+      static void main() {
+        int n = 0;
+        while (n > 0) { n--; }
+        print(n);
+      }
+    }
+  )");
+  ASSERT_TRUE(P.Result.ok());
+  EventCounts T = totals(P);
+  EXPECT_EQ(T.Enters, 1);
+  EXPECT_EQ(T.BackEdges, 0);
+  EXPECT_EQ(T.Exits, 1);
+}
+
+TEST(LoopEvents, NestedLoopListing3) {
+  // Paper Listing 3: outer 3 iterations + inner 0+1+2 = 6 total steps.
+  Profiled P = runWithListener(R"(
+    class Main {
+      static void main() {
+        for (int o = 0; o < 3; o++) {
+          for (int i = 0; i < o; i++) {
+          }
+        }
+      }
+    }
+  )");
+  ASSERT_TRUE(P.Result.ok());
+  EventCounts T = totals(P);
+  EXPECT_EQ(T.BackEdges, 3 + 0 + 1 + 2);
+  // Inner loop entered once per outer iteration.
+  EXPECT_EQ(T.Enters, 1 + 3);
+  EXPECT_EQ(T.Exits, 1 + 3);
+}
+
+TEST(LoopEvents, BreakFiresExit) {
+  Profiled P = runWithListener(R"(
+    class Main {
+      static void main() {
+        int i = 0;
+        while (true) {
+          i++;
+          if (i == 4) { break; }
+        }
+        print(i);
+      }
+    }
+  )");
+  ASSERT_TRUE(P.Result.ok());
+  EventCounts T = totals(P);
+  EXPECT_EQ(T.Enters, 1);
+  EXPECT_EQ(T.Exits, 1);
+  EXPECT_EQ(T.BackEdges, 3); // Three completed iterations before break.
+}
+
+TEST(LoopEvents, ContinueCountsAsBackEdge) {
+  Profiled P = runWithListener(R"(
+    class Main {
+      static void main() {
+        int s = 0;
+        for (int i = 0; i < 6; i++) {
+          if (i % 2 == 0) { continue; }
+          s = s + i;
+        }
+        print(s);
+      }
+    }
+  )");
+  ASSERT_TRUE(P.Result.ok());
+  EventCounts T = totals(P);
+  EXPECT_EQ(T.BackEdges, 6);
+  EXPECT_EQ(T.Enters, 1);
+  EXPECT_EQ(T.Exits, 1);
+}
+
+TEST(LoopEvents, BreakOutOfNestedLoopsExitsBoth) {
+  Profiled P = runWithListener(R"(
+    class Main {
+      static void main() {
+        int found = 0;
+        for (int i = 0; i < 3 && found == 0; i++) {
+          for (int j = 0; j < 3; j++) {
+            if (i * 3 + j == 4) {
+              found = 1;
+              break;
+            }
+          }
+        }
+        print(found);
+      }
+    }
+  )");
+  ASSERT_TRUE(P.Result.ok());
+  EventCounts T = totals(P);
+  EXPECT_EQ(T.Enters, T.Exits); // Fully balanced.
+}
+
+TEST(LoopEvents, ReturnInsideLoopFiresExits) {
+  Profiled P = runWithListener(R"(
+    class Main {
+      static int find() {
+        for (int i = 0; i < 10; i++) {
+          for (int j = 0; j < 10; j++) {
+            if (i + j == 5) { return i * 10 + j; }
+          }
+        }
+        return -1;
+      }
+      static void main() { print(find()); }
+    }
+  )");
+  ASSERT_TRUE(P.Result.ok());
+  EventCounts T = totals(P);
+  EXPECT_EQ(T.Enters, T.Exits);
+}
+
+TEST(LoopEvents, TrapUnwindingBalancesEvents) {
+  Profiled P = runWithListener(R"(
+    class Main {
+      static void boom() {
+        int[] a = new int[2];
+        for (int i = 0; i < 5; i++) {
+          a[i] = i; // Out of bounds at i == 2.
+        }
+      }
+      static void main() {
+        for (int r = 0; r < 3; r++) {
+          boom();
+        }
+      }
+    }
+  )");
+  EXPECT_EQ(P.Result.Status, vm::RunStatus::Trapped);
+  EventCounts T = totals(P);
+  EXPECT_EQ(T.Enters, T.Exits); // Unwinding closed every open loop.
+}
+
+TEST(LoopEvents, MethodEntersBalanceExitsOnTrap) {
+  Profiled P = runWithListener(R"(
+    class Main {
+      static void depth(int n) {
+        if (n == 0) {
+          int z = 0;
+          print(1 / z);
+        }
+        depth(n - 1);
+      }
+      static void main() { depth(3); }
+    }
+  )");
+  EXPECT_EQ(P.Result.Status, vm::RunStatus::Trapped);
+  int64_t Enters = 0, Exits = 0;
+  for (const auto &[M, C] : P.Listener.MethodEnters) {
+    (void)M;
+    Enters += C;
+  }
+  for (const auto &[M, C] : P.Listener.MethodExits) {
+    (void)M;
+    Exits += C;
+  }
+  EXPECT_EQ(Enters, Exits);
+}
+
+TEST(LoopEvents, LoopAtMethodEntry) {
+  // A method whose body starts with a while loop: the loop header is
+  // pc 0, so entry events fire on method entry.
+  Profiled P = runWithListener(R"(
+    class Main {
+      static int count(int n) {
+        while (n > 0) { n--; }
+        return n;
+      }
+      static void main() { print(count(5)); }
+    }
+  )");
+  ASSERT_TRUE(P.Result.ok());
+  EventCounts T = totals(P);
+  EXPECT_EQ(T.Enters, 1);
+  EXPECT_EQ(T.BackEdges, 5);
+  EXPECT_EQ(T.Exits, 1);
+}
+
+TEST(LoopEvents, EnterExitProperlyNested) {
+  Profiled P = runWithListener(R"(
+    class Main {
+      static void main() {
+        for (int i = 0; i < 2; i++) {
+          for (int j = 0; j < 2; j++) {
+            print(i * 2 + j);
+          }
+        }
+      }
+    }
+  )");
+  ASSERT_TRUE(P.Result.ok());
+  // The trace must be balanced like parentheses.
+  std::vector<std::string> Stack;
+  for (const std::string &Ev : P.Listener.Trace) {
+    if (Ev.rfind("enter ", 0) == 0) {
+      Stack.push_back(Ev.substr(6));
+    } else {
+      ASSERT_FALSE(Stack.empty()) << "exit without enter: " << Ev;
+      EXPECT_EQ(Stack.back(), Ev.substr(5));
+      Stack.pop_back();
+    }
+  }
+  EXPECT_TRUE(Stack.empty());
+}
+
+} // namespace

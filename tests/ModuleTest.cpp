@@ -1,0 +1,115 @@
+//===- tests/ModuleTest.cpp - Compiled module model tests -----------------===//
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::bc;
+using namespace algoprof::testutil;
+
+namespace {
+
+TEST(Module, FindClassAndMethod) {
+  auto CP = compile(R"(
+    class A { int m() { return 1; } }
+    class B extends A { int n() { return 2; } }
+    class Main { static void main() { } }
+  )");
+  const Module &M = *CP->Mod;
+  EXPECT_GE(M.findClassId("A"), 0);
+  EXPECT_GE(M.findClassId("Object"), 0);
+  EXPECT_EQ(M.findClassId("Nope"), -1);
+  // Inherited lookup: B.m resolves to A's declaration.
+  int32_t Am = M.findMethodId("A", "m");
+  EXPECT_EQ(M.findMethodId("B", "m"), Am);
+  EXPECT_GE(M.findMethodId("B", "n"), 0);
+  EXPECT_EQ(M.findMethodId("A", "n"), -1);
+  EXPECT_EQ(M.findMethodId("Nope", "m"), -1);
+}
+
+TEST(Module, SubclassRelation) {
+  auto CP = compile(R"(
+    class A { }
+    class B extends A { }
+    class C { }
+    class Main { static void main() { } }
+  )");
+  const Module &M = *CP->Mod;
+  int32_t A = M.findClassId("A"), B = M.findClassId("B"),
+          C = M.findClassId("C"), Obj = M.findClassId("Object");
+  EXPECT_TRUE(M.isSubclass(B, A));
+  EXPECT_TRUE(M.isSubclass(B, Obj));
+  EXPECT_TRUE(M.isSubclass(A, A));
+  EXPECT_FALSE(M.isSubclass(A, B));
+  EXPECT_FALSE(M.isSubclass(C, A));
+}
+
+TEST(Module, TypeNames) {
+  auto CP = compile(R"(
+    class Node { Node next; }
+    class Main {
+      static void main() {
+        int[][] m = new int[2][2];
+        Node[] ns = new Node[1];
+      }
+    }
+  )");
+  const Module &M = *CP->Mod;
+  EXPECT_EQ(M.typeName(M.IntTypeId), "int");
+  EXPECT_EQ(M.typeName(M.BoolTypeId), "boolean");
+  bool SawIntArrArr = false, SawNodeArr = false;
+  for (size_t T = 0; T < M.Types.size(); ++T) {
+    std::string Name = M.typeName(static_cast<TypeId>(T));
+    if (Name == "int[][]")
+      SawIntArrArr = true;
+    if (Name == "Node[]")
+      SawNodeArr = true;
+  }
+  EXPECT_TRUE(SawIntArrArr);
+  EXPECT_TRUE(SawNodeArr);
+}
+
+TEST(Module, FieldTableConsistent) {
+  auto CP = compile(R"(
+    class A { int a; A link; }
+    class B extends A { int b; }
+    class Main { static void main() { } }
+  )");
+  const Module &M = *CP->Mod;
+  const ClassInfo &B =
+      M.Classes[static_cast<size_t>(M.findClassId("B"))];
+  ASSERT_EQ(B.FieldIds.size(), 3u);
+  // Layout slots are dense and match the table.
+  for (size_t Slot = 0; Slot < B.FieldIds.size(); ++Slot)
+    EXPECT_EQ(M.Fields[static_cast<size_t>(B.FieldIds[Slot])].Slot,
+              static_cast<int32_t>(Slot));
+  // Inherited field ids point at the declaring class.
+  EXPECT_EQ(M.Fields[static_cast<size_t>(B.FieldIds[0])].ClassId,
+            M.findClassId("A"));
+  EXPECT_EQ(M.Fields[static_cast<size_t>(B.FieldIds[2])].ClassId,
+            M.findClassId("B"));
+}
+
+TEST(Module, QualifiedNames) {
+  auto CP = compile(R"(
+    class A {
+      A() { }
+      void m() { }
+    }
+    class Main { static void main() { } }
+  )");
+  bool SawCtor = false, SawMethod = false;
+  for (const MethodInfo &M : CP->Mod->Methods) {
+    if (M.QualifiedName == "A.<init>") {
+      SawCtor = true;
+      EXPECT_TRUE(M.IsCtor);
+    }
+    if (M.QualifiedName == "A.m")
+      SawMethod = true;
+  }
+  EXPECT_TRUE(SawCtor);
+  EXPECT_TRUE(SawMethod);
+}
+
+} // namespace

@@ -1,0 +1,148 @@
+//===- tests/RecursiveTypesTest.cpp - Recursive-type analysis -------------===//
+
+#include "TestUtil.h"
+#include "analysis/RecursiveTypes.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::analysis;
+using namespace algoprof::testutil;
+
+namespace {
+
+int32_t classId(const prof::CompiledProgram &CP, const std::string &Name) {
+  int32_t Id = CP.Mod->findClassId(Name);
+  EXPECT_GE(Id, 0) << Name;
+  return Id;
+}
+
+int32_t fieldId(const prof::CompiledProgram &CP, const std::string &Cls,
+                const std::string &Field) {
+  for (const bc::FieldInfo &F : CP.Mod->Fields)
+    if (F.Name == Field &&
+        CP.Mod->Classes[static_cast<size_t>(F.ClassId)].Name == Cls)
+      return F.Id;
+  ADD_FAILURE() << Cls << "." << Field << " not found";
+  return -1;
+}
+
+TEST(RecursiveTypes, LinkedListNodeIsRecursive) {
+  auto CP = compile(R"(
+    class Node {
+      Node prev;
+      Node next;
+      int value;
+    }
+    class List { Node head; Node tail; }
+    class Main { static void main() { } }
+  )");
+  const RecursiveTypes &RT = CP->Prep.RecTypes;
+  EXPECT_TRUE(RT.isRecursiveClass(classId(*CP, "Node")));
+  EXPECT_FALSE(RT.isRecursiveClass(classId(*CP, "List")));
+  EXPECT_TRUE(RT.isLinkField(fieldId(*CP, "Node", "prev")));
+  EXPECT_TRUE(RT.isLinkField(fieldId(*CP, "Node", "next")));
+  EXPECT_FALSE(RT.isLinkField(fieldId(*CP, "Node", "value")));
+  // List.head points into the structure but List is not on the cycle.
+  EXPECT_FALSE(RT.isLinkField(fieldId(*CP, "List", "head")));
+}
+
+TEST(RecursiveTypes, PayloadFieldIsNotALink) {
+  auto CP = compile(R"(
+    class Box { int v; }
+    class Node {
+      Node next;
+      Box payload;
+    }
+    class Main { static void main() { } }
+  )");
+  const RecursiveTypes &RT = CP->Prep.RecTypes;
+  EXPECT_TRUE(RT.isLinkField(fieldId(*CP, "Node", "next")));
+  EXPECT_FALSE(RT.isLinkField(fieldId(*CP, "Node", "payload")));
+  EXPECT_FALSE(RT.isRecursiveClass(classId(*CP, "Box")));
+}
+
+TEST(RecursiveTypes, ErasedGenericPayloadIsNotALink) {
+  // Object-typed fields never expand to subclasses, so the erased
+  // payload of Node<T> does not create spurious cycles.
+  auto CP = compile(R"(
+    class Node<T> {
+      T value;
+      Node<T> next;
+    }
+    class Main { static void main() { } }
+  )");
+  const RecursiveTypes &RT = CP->Prep.RecTypes;
+  EXPECT_TRUE(RT.isLinkField(fieldId(*CP, "Node", "next")));
+  EXPECT_FALSE(RT.isLinkField(fieldId(*CP, "Node", "value")));
+  EXPECT_FALSE(RT.isRecursiveClass(classId(*CP, "Object")));
+}
+
+TEST(RecursiveTypes, ArrayLinkedTree) {
+  auto CP = compile(R"(
+    class TreeNode {
+      TreeNode[] children;
+      int value;
+    }
+    class Main { static void main() { } }
+  )");
+  const RecursiveTypes &RT = CP->Prep.RecTypes;
+  EXPECT_TRUE(RT.isRecursiveClass(classId(*CP, "TreeNode")));
+  EXPECT_TRUE(RT.isLinkField(fieldId(*CP, "TreeNode", "children")));
+}
+
+TEST(RecursiveTypes, MultiClassCycle) {
+  // Graph modeled as Vertex and Edge classes: both are on the cycle.
+  auto CP = compile(R"(
+    class Vertex { Edge[] out; int id; }
+    class Edge { Vertex from; Vertex to; }
+    class Main { static void main() { } }
+  )");
+  const RecursiveTypes &RT = CP->Prep.RecTypes;
+  EXPECT_TRUE(RT.isRecursiveClass(classId(*CP, "Vertex")));
+  EXPECT_TRUE(RT.isRecursiveClass(classId(*CP, "Edge")));
+  EXPECT_EQ(RT.ClassScc[static_cast<size_t>(classId(*CP, "Vertex"))],
+            RT.ClassScc[static_cast<size_t>(classId(*CP, "Edge"))]);
+  EXPECT_TRUE(RT.isLinkField(fieldId(*CP, "Vertex", "out")));
+  EXPECT_TRUE(RT.isLinkField(fieldId(*CP, "Edge", "from")));
+  EXPECT_TRUE(RT.isLinkField(fieldId(*CP, "Edge", "to")));
+}
+
+TEST(RecursiveTypes, InheritanceMakesSubclassRecursive) {
+  // The I-variant pattern: the link lives in the base class; subclasses
+  // carry payload. Both are part of the recursive type.
+  auto CP = compile(R"(
+    class PNode { PNode next; }
+    class IntPNode extends PNode { int value; }
+    class Main { static void main() { } }
+  )");
+  const RecursiveTypes &RT = CP->Prep.RecTypes;
+  EXPECT_TRUE(RT.isRecursiveClass(classId(*CP, "PNode")));
+  EXPECT_TRUE(RT.isRecursiveClass(classId(*CP, "IntPNode")));
+  EXPECT_TRUE(RT.isLinkField(fieldId(*CP, "PNode", "next")));
+  EXPECT_FALSE(RT.isLinkField(fieldId(*CP, "IntPNode", "value")));
+}
+
+TEST(RecursiveTypes, PlainHierarchyIsNotRecursive) {
+  auto CP = compile(R"(
+    class A { int x; }
+    class B extends A { int y; }
+    class Main { static void main() { } }
+  )");
+  const RecursiveTypes &RT = CP->Prep.RecTypes;
+  EXPECT_FALSE(RT.isRecursiveClass(classId(*CP, "A")));
+  EXPECT_FALSE(RT.isRecursiveClass(classId(*CP, "B")));
+}
+
+TEST(RecursiveTypes, DistinctStructuresDistinctSccs) {
+  auto CP = compile(R"(
+    class LNode { LNode next; }
+    class TNode { TNode left; TNode right; }
+    class Main { static void main() { } }
+  )");
+  const RecursiveTypes &RT = CP->Prep.RecTypes;
+  EXPECT_NE(RT.ClassScc[static_cast<size_t>(classId(*CP, "LNode"))],
+            RT.ClassScc[static_cast<size_t>(classId(*CP, "TNode"))]);
+}
+
+} // namespace

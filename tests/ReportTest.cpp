@@ -1,0 +1,86 @@
+//===- tests/ReportTest.cpp - Report rendering ----------------------------===//
+
+#include "TestUtil.h"
+#include "programs/Programs.h"
+#include "report/AsciiPlot.h"
+#include "report/CsvWriter.h"
+#include "report/TablePrinter.h"
+#include "report/TreePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::testutil;
+
+namespace {
+
+TEST(Report, TablePrinterAligns) {
+  report::Table T({"name", "value"});
+  T.addRow({"a", "1"});
+  T.addRow({"longer-name", "22"});
+  std::string S = T.str();
+  EXPECT_NE(S.find("name"), std::string::npos);
+  EXPECT_NE(S.find("longer-name"), std::string::npos);
+  EXPECT_NE(S.find("---"), std::string::npos);
+  // Four lines: header, rule, two rows.
+  EXPECT_EQ(std::count(S.begin(), S.end(), '\n'), 4);
+}
+
+TEST(Report, CsvWriterFormat) {
+  std::vector<std::pair<std::string, std::vector<SeriesPoint>>> Series = {
+      {"a", {{1, 2}, {3, 4}}},
+      {"b", {{5, 6}}},
+  };
+  std::string Csv = report::seriesToCsv(Series);
+  EXPECT_EQ(Csv, "series,size,cost\na,1,2\na,3,4\nb,5,6\n");
+}
+
+TEST(Report, AsciiPlotContainsGlyphsAndLegend) {
+  report::PlotSeries S;
+  S.Name = "steps";
+  S.Glyph = '*';
+  for (int I = 1; I <= 10; ++I)
+    S.Points.push_back({static_cast<double>(I),
+                        static_cast<double>(I * I)});
+  std::string Plot = report::renderScatter({S}, "test plot");
+  EXPECT_NE(Plot.find("test plot"), std::string::npos);
+  EXPECT_NE(Plot.find('*'), std::string::npos);
+  EXPECT_NE(Plot.find("* = steps"), std::string::npos);
+}
+
+TEST(Report, AsciiPlotEmptySeriesDoesNotCrash) {
+  std::string Plot = report::renderScatter({}, "empty");
+  EXPECT_NE(Plot.find("empty"), std::string::npos);
+}
+
+TEST(Report, AnnotatedTreeShowsFigure3Content) {
+  auto CP = compile(programs::insertionSortProgram(
+      60, 10, 2, programs::InputOrder::Random));
+  ASSERT_TRUE(CP);
+  ProfileSession S(*CP);
+  ASSERT_TRUE(S.run("Main", "main").ok());
+  std::vector<AlgorithmProfile> Profiles = S.buildProfiles();
+  std::string Text = report::renderAnnotatedTree(S.tree(), Profiles);
+  EXPECT_NE(Text.find("List.sort loop#0"), std::string::npos);
+  EXPECT_NE(Text.find("Modification of a Node-based recursive structure"),
+            std::string::npos);
+  EXPECT_NE(Text.find("Construction of a Node-based recursive structure"),
+            std::string::npos);
+  EXPECT_NE(Text.find("Data-structure-less algorithm"), std::string::npos);
+  EXPECT_NE(Text.find("steps = "), std::string::npos);
+}
+
+TEST(Report, WriteFileRoundTrip) {
+  std::string Path = ::testing::TempDir() + "/algoprof_report_test.csv";
+  ASSERT_TRUE(report::writeFile(Path, "hello\n"));
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[16] = {};
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  EXPECT_EQ(std::string(Buf, N), "hello\n");
+  std::remove(Path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,326 @@
+//===- tests/SemaTest.cpp - Semantic analysis unit tests ------------------===//
+
+#include "frontend/Parser.h"
+#include "frontend/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+
+namespace {
+
+std::unique_ptr<Program> semaOk(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = parseMiniJ(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+  EXPECT_TRUE(runSema(*P, Diags)) << Diags.str();
+  return P;
+}
+
+std::string semaErr(const std::string &Src) {
+  DiagnosticEngine Diags;
+  auto P = parseMiniJ(Src, Diags);
+  EXPECT_FALSE(Diags.hasErrors()) << "parse must succeed: " << Diags.str();
+  EXPECT_FALSE(runSema(*P, Diags)) << "expected a sema error";
+  return Diags.str();
+}
+
+TEST(Sema, InjectsObjectRoot) {
+  auto P = semaOk("class A { }");
+  const ClassDecl *Obj = P->findClass("Object");
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(P->findClass("A")->Super, Obj);
+}
+
+TEST(Sema, FieldLayoutWithInheritance) {
+  auto P = semaOk(R"(
+    class A { int a1; int a2; }
+    class B extends A { int b1; }
+  )");
+  const ClassDecl *A = P->findClass("A");
+  const ClassDecl *B = P->findClass("B");
+  EXPECT_EQ(classLayoutSize(*A), 2);
+  EXPECT_EQ(classLayoutSize(*B), 3);
+  EXPECT_EQ(fieldLayoutSlot(*A, *A->findOwnField("a1")), 0);
+  EXPECT_EQ(fieldLayoutSlot(*A, *A->findOwnField("a2")), 1);
+  EXPECT_EQ(fieldLayoutSlot(*B, *B->findOwnField("b1")), 2);
+}
+
+TEST(Sema, SubclassRelation) {
+  auto P = semaOk("class A { } class B extends A { } class C { }");
+  EXPECT_TRUE(isSubclassOf(P->findClass("B"), P->findClass("A")));
+  EXPECT_FALSE(isSubclassOf(P->findClass("A"), P->findClass("B")));
+  EXPECT_FALSE(isSubclassOf(P->findClass("C"), P->findClass("A")));
+}
+
+TEST(Sema, LocalSlotsAndLoopIds) {
+  auto P = semaOk(R"(
+    class A {
+      int f;
+      void m(int p) {
+        int x = p;
+        while (x > 0) {
+          int y = x;
+          x = y - 1;
+        }
+        for (int i = 0; i < 3; i++) {
+          x = x + i;
+        }
+      }
+    }
+  )");
+  const MethodDecl *M = P->findClass("A")->findOwnMethod("m");
+  ASSERT_NE(M, nullptr);
+  EXPECT_EQ(M->NumLoops, 2);
+  // this + p + x + y + i at minimum.
+  EXPECT_GE(M->NumLocalSlots, 5);
+}
+
+TEST(Sema, NameResolutionPrecedence) {
+  // A local shadows a field of the same name.
+  auto P = semaOk(R"(
+    class A {
+      int v;
+      int m(int v) { return v; }
+      int n() { return v; }
+    }
+  )");
+  (void)P;
+}
+
+TEST(Sema, ErrorUnknownType) {
+  EXPECT_NE(semaErr("class A { Zorp z; }").find("unknown type"),
+            std::string::npos);
+}
+
+TEST(Sema, ErrorUnknownSuper) {
+  semaErr("class A extends Zorp { }");
+}
+
+TEST(Sema, ErrorInheritanceCycle) {
+  semaErr("class A extends B { } class B extends A { }");
+}
+
+TEST(Sema, ErrorDuplicateClass) { semaErr("class A { } class A { }"); }
+
+TEST(Sema, ErrorDuplicateField) { semaErr("class A { int x; int x; }"); }
+
+TEST(Sema, ErrorShadowedInheritedField) {
+  semaErr("class A { int x; } class B extends A { int x; }");
+}
+
+TEST(Sema, ErrorOverloading) {
+  semaErr("class A { void m() { } void m(int x) { } }");
+}
+
+TEST(Sema, ErrorOverrideChangesArity) {
+  semaErr(R"(
+    class A { void m(int x) { } }
+    class B extends A { void m() { } }
+  )");
+}
+
+TEST(Sema, ErrorOverrideChangesReturnType) {
+  semaErr(R"(
+    class A { int m() { return 0; } }
+    class B extends A { boolean m() { return true; } }
+  )");
+}
+
+TEST(Sema, OverrideCompatibleOk) {
+  semaOk(R"(
+    class A { int m(int x) { return x; } }
+    class B extends A { int m(int x) { return x + 1; } }
+  )");
+}
+
+TEST(Sema, ErrorTypeMismatchAssignment) {
+  semaErr("class A { static void m() { int x = true; } }");
+}
+
+TEST(Sema, ErrorConditionNotBoolean) {
+  semaErr("class A { static void m() { if (1) { } } }");
+}
+
+TEST(Sema, ErrorArithmeticOnBool) {
+  semaErr("class A { static void m() { int x = true + 1; } }");
+}
+
+TEST(Sema, ErrorCompareIntWithRef) {
+  semaErr("class A { static void m(A a) { boolean b = a == 1; } }");
+}
+
+TEST(Sema, RefEqualityOk) {
+  semaOk("class A { static boolean m(A a, A b) { return a == b; } }");
+}
+
+TEST(Sema, NullAssignableToRefsOnly) {
+  semaOk("class A { static void m() { A a = null; int[] b = null; } }");
+  semaErr("class A { static void m() { int x = null; } }");
+}
+
+TEST(Sema, ErasureAllowsObjectConversions) {
+  semaOk(R"(
+    class Box { }
+    class A {
+      static void m(Object o, Box b) {
+        Object o2 = b;
+        Box b2 = o;
+      }
+    }
+  )");
+}
+
+TEST(Sema, SubtypeAssignmentOk) {
+  semaOk(R"(
+    class A { }
+    class B extends A { }
+    class C { static void m(B b) { A a = b; } }
+  )");
+}
+
+TEST(Sema, ErrorSupertypeAssignment) {
+  semaErr(R"(
+    class A { }
+    class B extends A { }
+    class C { static void m(A a) { B b = a; } }
+  )");
+}
+
+TEST(Sema, ErrorMissingReturn) {
+  semaErr("class A { static int m(boolean c) { if (c) { return 1; } } }");
+}
+
+TEST(Sema, ReturnOnBothBranchesOk) {
+  semaOk(R"(
+    class A {
+      static int m(boolean c) {
+        if (c) { return 1; } else { return 2; }
+      }
+    }
+  )");
+}
+
+TEST(Sema, ErrorReturnValueFromVoid) {
+  semaErr("class A { static void m() { return 1; } }");
+}
+
+TEST(Sema, ErrorBreakOutsideLoop) {
+  semaErr("class A { static void m() { break; } }");
+}
+
+TEST(Sema, ErrorThisInStatic) {
+  semaErr("class A { int x; static int m() { return this.x; } }");
+}
+
+TEST(Sema, ErrorInstanceFieldFromStatic) {
+  semaErr("class A { int x; static int m() { return x; } }");
+}
+
+TEST(Sema, ErrorInstanceMethodThroughClassName) {
+  semaErr(R"(
+    class A { void m() { } }
+    class B { static void n() { A.m(); } }
+  )");
+}
+
+TEST(Sema, ErrorStaticThroughInstance) {
+  semaErr(R"(
+    class A { static void m() { } }
+    class B { static void n(A a) { a.m(); } }
+  )");
+}
+
+TEST(Sema, BuiltinsTypecheck) {
+  semaOk(R"(
+    class A {
+      static void m() {
+        while (hasInput()) {
+          print(readInt());
+        }
+        print(true);
+      }
+    }
+  )");
+  semaErr("class A { static void m() { print(); } }");
+  semaErr("class A { static void m() { int x = readInt(1); } }");
+  semaErr("class A { static void m(A a) { print(a); } }");
+}
+
+TEST(Sema, BuiltinShadowedByMethod) {
+  // A user method named 'print' takes precedence for bare calls.
+  semaOk(R"(
+    class A {
+      int print(int x) { return x; }
+      int m() { return print(3); }
+    }
+  )");
+}
+
+TEST(Sema, ErrorCtorArgMismatch) {
+  semaErr(R"(
+    class B { B(int x) { } }
+    class A { static void m() { B b = new B(); } }
+  )");
+}
+
+TEST(Sema, ErrorTwoCtors) {
+  semaErr("class A { A() { } A(int x) { } }");
+}
+
+TEST(Sema, ErrorArrayIndexNotInt) {
+  semaErr("class A { static void m(int[] a) { int x = a[true]; } }");
+}
+
+TEST(Sema, ErrorIndexNonArray) {
+  semaErr("class A { static void m(int x) { int y = x[0]; } }");
+}
+
+TEST(Sema, ArrayLengthIsInt) {
+  semaOk("class A { static int m(int[] a) { return a.length; } }");
+}
+
+TEST(Sema, ErrorUnknownField) {
+  semaErr("class A { static int m(A a) { return a.nope; } }");
+}
+
+TEST(Sema, ErrorExprStmtNoEffect) {
+  semaErr("class A { static void m(int x) { x + 1; } }");
+}
+
+TEST(Sema, ErrorIncDecOnBool) {
+  semaErr("class A { static void m(boolean b) { b++; } }");
+}
+
+TEST(Sema, ErrorRedeclarationSameScope) {
+  semaErr("class A { static void m() { int x = 0; int x = 1; } }");
+}
+
+TEST(Sema, ShadowingInnerScopeOk) {
+  semaOk(R"(
+    class A {
+      static void m() {
+        int x = 0;
+        while (x < 1) {
+          int y = 2;
+          x = x + y;
+        }
+        int y = 3;
+        x = x + y;
+      }
+    }
+  )");
+}
+
+TEST(Sema, ForInitScopesOverLoopOnly) {
+  semaOk(R"(
+    class A {
+      static void m() {
+        for (int i = 0; i < 3; i++) { }
+        for (int i = 0; i < 3; i++) { }
+      }
+    }
+  )");
+}
+
+} // namespace

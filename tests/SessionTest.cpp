@@ -1,0 +1,145 @@
+//===- tests/SessionTest.cpp - Session API and error paths ----------------===//
+
+#include "TestUtil.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::testutil;
+
+namespace {
+
+TEST(Session, CompileErrorReturnsNull) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(compileMiniJ("class A { int }", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Session, SemaErrorReturnsNull) {
+  DiagnosticEngine Diags;
+  EXPECT_EQ(compileMiniJ("class A { Zorp z; }", Diags), nullptr);
+  EXPECT_TRUE(Diags.hasErrors());
+}
+
+TEST(Session, DiagnosticsCarryLocations) {
+  DiagnosticEngine Diags;
+  compileMiniJ("class A {\n  Zorp z;\n}", Diags);
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.diagnostics()[0].Loc.Line, 2);
+  EXPECT_NE(Diags.str().find("unknown type 'Zorp'"), std::string::npos);
+}
+
+TEST(Session, UnknownEntryReported) {
+  auto CP = compile("class Main { static void main() { } }");
+  ASSERT_TRUE(CP);
+  EXPECT_EQ(CP->entryMethod("Main", "nope"), -1);
+  EXPECT_EQ(CP->entryMethod("Nope", "main"), -1);
+  ProfileSession S(*CP);
+  vm::RunResult R = S.run("Main", "nope");
+  EXPECT_EQ(R.Status, vm::RunStatus::Trapped);
+  EXPECT_NE(R.TrapMessage.find("no static no-arg method"),
+            std::string::npos);
+}
+
+TEST(Session, EntryMustBeStaticNoArg) {
+  auto CP = compile(R"(
+    class Main {
+      void instanceMethod() { }
+      static void withArg(int x) { }
+      static void main() { }
+    }
+  )");
+  ASSERT_TRUE(CP);
+  EXPECT_EQ(CP->entryMethod("Main", "instanceMethod"), -1);
+  EXPECT_EQ(CP->entryMethod("Main", "withArg"), -1);
+  EXPECT_GE(CP->entryMethod("Main", "main"), 0);
+}
+
+TEST(Session, AnyStaticNoArgMethodWorksAsEntry) {
+  auto CP = compile(R"(
+    class Tools {
+      static void selfTest() {
+        print(123);
+      }
+    }
+    class Main { static void main() { } }
+  )");
+  ASSERT_TRUE(CP);
+  vm::IoChannels Io;
+  vm::RunResult R = runPlain(*CP, "Tools", "selfTest", &Io);
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(Io.Output, (std::vector<int64_t>{123}));
+}
+
+TEST(Session, RunPlainIsolatesHeapPerCall) {
+  auto CP = compile(R"(
+    class P { }
+    class Main {
+      static void main() {
+        P p = new P();
+        p = null;
+      }
+    }
+  )");
+  ASSERT_TRUE(CP);
+  // Two plain runs behave identically (fresh interpreter per call).
+  vm::RunResult A = runPlain(*CP, "Main", "main");
+  vm::RunResult B = runPlain(*CP, "Main", "main");
+  ASSERT_TRUE(A.ok());
+  EXPECT_EQ(A.InstrCount, B.InstrCount);
+}
+
+TEST(Session, ProfilesAreRepeatableFromOneTree) {
+  auto CP = compile(programs::insertionSortProgram(
+      40, 10, 2, programs::InputOrder::Random));
+  ASSERT_TRUE(CP);
+  ProfileSession S(*CP);
+  ASSERT_TRUE(S.run("Main", "main").ok());
+  auto P1 = S.buildProfiles();
+  auto P2 = S.buildProfiles(); // Pure analysis; no state mutation.
+  ASSERT_EQ(P1.size(), P2.size());
+  for (size_t I = 0; I < P1.size(); ++I) {
+    EXPECT_EQ(P1[I].Label, P2[I].Label);
+    EXPECT_EQ(P1[I].Algo.Nodes.size(), P2[I].Algo.Nodes.size());
+    EXPECT_EQ(P1[I].Invocations.size(), P2[I].Invocations.size());
+  }
+}
+
+TEST(Session, GroupingStrategiesProduceCompletePartitions) {
+  auto CP = compile(programs::listing5Program(6, 6));
+  ASSERT_TRUE(CP);
+  ProfileSession S(*CP);
+  ASSERT_TRUE(S.run("Main", "main").ok());
+  for (GroupingStrategy Strategy :
+       {GroupingStrategy::CommonInput, GroupingStrategy::SameMethod,
+        GroupingStrategy::CommonInputPlusDataflow}) {
+    int Covered = 0;
+    for (const Algorithm &A : S.algorithms(Strategy))
+      Covered += static_cast<int>(A.Nodes.size());
+    EXPECT_EQ(Covered, S.tree().numRepetitions())
+        << groupingStrategyName(Strategy);
+  }
+}
+
+TEST(Session, TrapDuringProfiledRunReportsMessage) {
+  auto CP = compile(R"(
+    class Main {
+      static void main() {
+        int z = 0;
+        print(1 / z);
+      }
+    }
+  )");
+  ASSERT_TRUE(CP);
+  ProfileSession S(*CP);
+  vm::RunResult R = S.run("Main", "main");
+  EXPECT_EQ(R.Status, vm::RunStatus::Trapped);
+  EXPECT_NE(R.TrapMessage.find("division by zero"), std::string::npos);
+  // The session survives and can keep profiling.
+  EXPECT_EQ(S.run("Main", "main").Status, vm::RunStatus::Trapped);
+  EXPECT_EQ(S.tree().root().History.size(), 2u);
+}
+
+} // namespace

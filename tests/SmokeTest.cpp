@@ -1,0 +1,25 @@
+//===- tests/SmokeTest.cpp - End-to-end smoke test ------------------------===//
+
+#include "core/Session.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+TEST(Smoke, InsertionSortProfiles) {
+  DiagnosticEngine Diags;
+  auto CP = compileMiniJ(
+      programs::insertionSortProgram(40, 8, 2, programs::InputOrder::Random),
+      Diags);
+  ASSERT_TRUE(CP) << Diags.str();
+
+  ProfileSession S(*CP);
+  vm::RunResult R = S.run("Main", "main");
+  ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_GT(S.tree().numRepetitions(), 0);
+
+  std::vector<AlgorithmProfile> Profiles = S.buildProfiles();
+  EXPECT_FALSE(Profiles.empty());
+}

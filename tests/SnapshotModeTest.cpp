@@ -1,0 +1,86 @@
+//===- tests/SnapshotModeTest.cpp - Eager vs tracked sizing ---------------===//
+
+#include "TestUtil.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::testutil;
+
+namespace {
+
+std::map<std::string, int64_t>
+maxSizesByNode(const std::string &Src, SnapshotMode Mode) {
+  auto CP = compile(Src);
+  EXPECT_TRUE(CP);
+  SessionOptions Opts;
+  Opts.Profile.Snapshots = Mode;
+  ProfileSession S(*CP, Opts);
+  EXPECT_TRUE(S.run("Main", "main").ok());
+  std::map<std::string, int64_t> Sizes;
+  S.tree().forEach([&](const RepetitionNode &N) {
+    for (const InvocationRecord &R : N.History)
+      for (const auto &[Id, Use] : R.Inputs) {
+        (void)Id;
+        Sizes[N.Name] = std::max(Sizes[N.Name], Use.MaxSize);
+      }
+  });
+  return Sizes;
+}
+
+TEST(SnapshotMode, TrackedMatchesEagerOnGrowOnlyWorkload) {
+  // For grow-only structures the tracked membership count equals the
+  // paper's max-size rule exactly.
+  std::string Src = programs::insertionSortProgram(
+      40, 10, 2, programs::InputOrder::Random);
+  auto Eager = maxSizesByNode(Src, SnapshotMode::Eager);
+  auto Tracked = maxSizesByNode(Src, SnapshotMode::Tracked);
+  ASSERT_FALSE(Eager.empty());
+  for (const auto &[Node, Size] : Eager)
+    EXPECT_EQ(Tracked[Node], Size) << Node;
+}
+
+TEST(SnapshotMode, TrackedTakesFewerSnapshots) {
+  std::string Src = programs::insertionSortProgram(
+      60, 10, 2, programs::InputOrder::Random);
+  auto CP = compile(Src);
+  ASSERT_TRUE(CP);
+
+  SessionOptions EagerOpts;
+  ProfileSession EagerS(*CP, EagerOpts);
+  ASSERT_TRUE(EagerS.run("Main", "main").ok());
+
+  SessionOptions TrackedOpts;
+  TrackedOpts.Profile.Snapshots = SnapshotMode::Tracked;
+  ProfileSession TrackedS(*CP, TrackedOpts);
+  ASSERT_TRUE(TrackedS.run("Main", "main").ok());
+
+  EXPECT_LT(TrackedS.inputs().snapshotsTaken(),
+            EagerS.inputs().snapshotsTaken() / 4);
+}
+
+TEST(SnapshotMode, FitsAgreeAcrossModes) {
+  std::string Src = programs::insertionSortProgram(
+      80, 10, 3, programs::InputOrder::Random);
+  for (SnapshotMode Mode :
+       {SnapshotMode::Eager, SnapshotMode::Tracked}) {
+    auto CP = compile(Src);
+    ASSERT_TRUE(CP);
+    SessionOptions Opts;
+    Opts.Profile.Snapshots = Mode;
+    ProfileSession S(*CP, Opts);
+    ASSERT_TRUE(S.run("Main", "main").ok());
+    for (const AlgorithmProfile &AP : S.buildProfiles()) {
+      if (AP.Algo.Root->Name != "List.sort loop#0")
+        continue;
+      const auto *Ser = AP.primarySeries();
+      ASSERT_NE(Ser, nullptr) << snapshotModeName(Mode);
+      EXPECT_NEAR(Ser->Fit.growthExponent(), 2.0, 0.3)
+          << snapshotModeName(Mode);
+    }
+  }
+}
+
+} // namespace

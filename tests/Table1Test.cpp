@@ -1,0 +1,52 @@
+//===- tests/Table1Test.cpp - The paper's Table 1, parameterized ----------===//
+
+#include "programs/Table1Check.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::programs;
+using namespace algoprof::prof;
+
+namespace {
+
+class Table1Test : public ::testing::TestWithParam<Table1Program> {};
+
+TEST_P(Table1Test, InputsSizesAndGroupingMatchPaper) {
+  const Table1Program &P = GetParam();
+  Table1Outcome Out =
+      evaluateTable1Program(P, GroupingStrategy::CommonInput);
+  ASSERT_TRUE(Out.CompiledAndRan) << Out.Detail;
+  // Column I: inputs detected for every row ("x" throughout Table 1).
+  EXPECT_TRUE(Out.InputsDetected) << Out.Detail;
+  // Column S: sizes measured correctly for every row.
+  EXPECT_TRUE(Out.SizesCorrect) << Out.Detail;
+  // Column G: '-' rows stay ungrouped; 'x' and '*' rows group (the
+  // paper's '*' means "grouped, but fragile").
+  char Expected = P.PaperG == '*' ? 'x' : P.PaperG;
+  EXPECT_EQ(Out.GColumn, Expected) << Out.Detail;
+}
+
+TEST_P(Table1Test, DataflowExtensionRepairsArrayNests) {
+  const Table1Program &P = GetParam();
+  Table1Outcome Out = evaluateTable1Program(
+      P, GroupingStrategy::CommonInputPlusDataflow);
+  ASSERT_TRUE(Out.CompiledAndRan) << Out.Detail;
+  // With the Sec. 5 index-dataflow extension, every designated nest
+  // groups — including the rows the paper reports as '-'.
+  EXPECT_EQ(Out.GColumn, 'x') << Out.Detail;
+}
+
+std::string table1Name(const ::testing::TestParamInfo<Table1Program> &I) {
+  std::string Name = I.param.Name;
+  for (char &C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRows, Table1Test,
+                         ::testing::ValuesIn(table1Programs()),
+                         table1Name);
+
+} // namespace

@@ -1,0 +1,150 @@
+//===- tests/VerifierTest.cpp - Bytecode verifier tests -------------------===//
+
+#include "TestUtil.h"
+#include "bytecode/Verifier.h"
+#include "programs/Programs.h"
+#include "programs/Table1Check.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::bc;
+using namespace algoprof::testutil;
+
+namespace {
+
+/// A minimal module holding one static method "T.f" for negative tests.
+Module tiny(std::vector<Instr> Code, int NumLocals = 2) {
+  Module M;
+  M.IntTypeId = 0;
+  M.Types.push_back({RtTypeKind::Int, -1, -1});
+  M.BoolTypeId = 1;
+  M.Types.push_back({RtTypeKind::Bool, -1, -1});
+  ClassInfo C;
+  C.Id = 0;
+  C.Name = "T";
+  C.Type = 2;
+  M.Types.push_back({RtTypeKind::Class, 0, -1});
+  M.Classes.push_back(C);
+  MethodInfo F;
+  F.Id = 0;
+  F.ClassId = 0;
+  F.Name = "f";
+  F.IsStatic = true;
+  F.NumArgs = 0;
+  F.NumLocals = NumLocals;
+  F.ReturnsValue = false;
+  F.QualifiedName = "T.f";
+  F.Code = std::move(Code);
+  M.Methods.push_back(std::move(F));
+  return M;
+}
+
+bool hasProblem(const std::vector<std::string> &Problems,
+                const std::string &Needle) {
+  for (const std::string &P : Problems)
+    if (P.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(Verifier, CompilerOutputVerifies) {
+  for (const std::string &Src : {
+           programs::insertionSortProgram(30, 10, 1,
+                                          programs::InputOrder::Random),
+           programs::functionalSortProgram(30, 10, 1,
+                                           programs::InputOrder::Random),
+           programs::mergeSortProgram(30, 10, 1,
+                                      programs::InputOrder::Random),
+           programs::arrayListProgram(false, 16, 8),
+           programs::bstProgram(32, 16),
+           programs::binarySearchProgram(32, 16),
+           programs::listing4Program(8),
+           programs::listing5Program(4, 4),
+           programs::ioSumProgram(),
+       }) {
+    auto CP = compile(Src);
+    ASSERT_TRUE(CP);
+    std::vector<std::string> Problems = verifyModule(*CP->Mod);
+    EXPECT_TRUE(Problems.empty())
+        << Problems.front() << " (+" << Problems.size() - 1 << " more)";
+  }
+}
+
+TEST(Verifier, AllTable1ProgramsVerify) {
+  for (const programs::Table1Program &P : programs::table1Programs()) {
+    auto CP = compile(P.Source);
+    ASSERT_TRUE(CP) << P.Name;
+    EXPECT_TRUE(verifyModule(*CP->Mod).empty()) << P.Name;
+  }
+}
+
+TEST(Verifier, DetectsMissingTerminator) {
+  Module M = tiny({{Opcode::IConst, 0, 0, 1}, {Opcode::Pop, 0, 0, 0}});
+  EXPECT_TRUE(hasProblem(verifyMethod(M, M.Methods[0]),
+                         "does not end in a terminator"));
+}
+
+TEST(Verifier, DetectsBranchOutOfRange) {
+  Module M = tiny({{Opcode::Goto, 99, 0, 0}, {Opcode::Ret, 0, 0, 0}});
+  EXPECT_TRUE(hasProblem(verifyMethod(M, M.Methods[0]),
+                         "branch target 99 out of range"));
+}
+
+TEST(Verifier, DetectsStackUnderflow) {
+  Module M = tiny({{Opcode::Pop, 0, 0, 0}, {Opcode::Ret, 0, 0, 0}});
+  EXPECT_TRUE(hasProblem(verifyMethod(M, M.Methods[0]),
+                         "operand stack underflow"));
+}
+
+TEST(Verifier, DetectsInconsistentJoinDepth) {
+  // One path pushes a value before the join, the other does not.
+  Module M = tiny({
+      /*0*/ {Opcode::IConst, 0, 0, 1},
+      /*1*/ {Opcode::IfTrue, 4, 0, 0},
+      /*2*/ {Opcode::IConst, 0, 0, 7}, // Depth 1 at the join...
+      /*3*/ {Opcode::Goto, 4, 0, 0},
+      /*4*/ {Opcode::Ret, 0, 0, 0},    // ...but 0 via the branch.
+  });
+  EXPECT_TRUE(hasProblem(verifyMethod(M, M.Methods[0]),
+                         "inconsistent stack depth"));
+}
+
+TEST(Verifier, DetectsBadLocalSlot) {
+  Module M = tiny({{Opcode::Load, 5, 0, 0}, {Opcode::Ret, 0, 0, 0}},
+                  /*NumLocals=*/2);
+  EXPECT_TRUE(
+      hasProblem(verifyMethod(M, M.Methods[0]), "out of range"));
+}
+
+TEST(Verifier, DetectsBadFieldAndClassIds) {
+  Module M = tiny({
+      {Opcode::NewObject, 7, 0, 0},
+      {Opcode::GetField, 3, 0, 0},
+      {Opcode::Pop, 0, 0, 0},
+      {Opcode::Ret, 0, 0, 0},
+  });
+  auto Problems = verifyMethod(M, M.Methods[0]);
+  EXPECT_TRUE(hasProblem(Problems, "invalid class id 7"));
+  EXPECT_TRUE(hasProblem(Problems, "invalid field id 3"));
+}
+
+TEST(Verifier, DetectsNonArrayNewArrayType) {
+  Module M = tiny({
+      {Opcode::IConst, 0, 0, 3},
+      {Opcode::NewArray, /*IntTypeId=*/0, 0, 0},
+      {Opcode::Pop, 0, 0, 0},
+      {Opcode::Ret, 0, 0, 0},
+  });
+  EXPECT_TRUE(hasProblem(verifyMethod(M, M.Methods[0]),
+                         "invalid array type"));
+}
+
+TEST(Verifier, DetectsUnbalancedReturnPath) {
+  // RetVal with nothing on the stack underflows.
+  Module M = tiny({{Opcode::RetVal, 0, 0, 0}});
+  EXPECT_TRUE(hasProblem(verifyMethod(M, M.Methods[0]),
+                         "operand stack underflow"));
+}
+
+} // namespace

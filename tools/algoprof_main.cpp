@@ -1,0 +1,268 @@
+//===- tools/algoprof_main.cpp - The algoprof command-line tool -----------===//
+///
+/// \file
+/// Profiles a MiniJ source file and prints its algorithmic profile:
+///
+///   algoprof program.mj [options]
+///     --entry Class.method       entry point (default: Main.main)
+///     --grouping MODE            common-input | same-method | dataflow
+///     --equivalence CRIT         some | all | same-array | same-type
+///     --snapshots MODE           eager | tracked
+///     --sample N                 invocation-sampling threshold (0 = off)
+///     --runs N                   run the entry N times (default 1)
+///     --input v1,v2,...          values for the external input channel
+///     --cct                      also print the traditional CCT profile
+///     --dot FILE                 write the repetition tree as Graphviz
+///     --csv FILE                 write all interesting series as CSV
+///
+//===----------------------------------------------------------------------===//
+
+#include "cct/CctProfiler.h"
+#include "core/Session.h"
+#include "report/CsvWriter.h"
+#include "report/DotExporter.h"
+#include "report/TreePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+namespace {
+
+struct CliOptions {
+  std::string File;
+  std::string EntryClass = "Main";
+  std::string EntryMethod = "main";
+  GroupingStrategy Grouping = GroupingStrategy::CommonInput;
+  SessionOptions Session;
+  int Runs = 1;
+  std::vector<int64_t> Input;
+  bool WithCct = false;
+  std::string DotFile;
+  std::string CsvFile;
+};
+
+void usageAndExit(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s <file.mj> [--entry Class.method] "
+               "[--grouping common-input|same-method|dataflow] "
+               "[--equivalence some|all|same-array|same-type] "
+               "[--snapshots eager|tracked] [--sample N] [--runs N] "
+               "[--input v1,v2,...] [--cct] [--dot FILE] [--csv FILE]\n",
+               Argv0);
+  std::exit(2);
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  auto Need = [&](int &I) -> const char * {
+    if (I + 1 >= Argc)
+      return nullptr;
+    return Argv[++I];
+  };
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--entry") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      std::string S = V;
+      size_t Dot = S.find('.');
+      if (Dot == std::string::npos)
+        return false;
+      Opts.EntryClass = S.substr(0, Dot);
+      Opts.EntryMethod = S.substr(Dot + 1);
+    } else if (Arg == "--grouping") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      std::string S = V;
+      if (S == "common-input")
+        Opts.Grouping = GroupingStrategy::CommonInput;
+      else if (S == "same-method")
+        Opts.Grouping = GroupingStrategy::SameMethod;
+      else if (S == "dataflow")
+        Opts.Grouping = GroupingStrategy::CommonInputPlusDataflow;
+      else
+        return false;
+    } else if (Arg == "--equivalence") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      std::string S = V;
+      if (S == "some")
+        Opts.Session.Profile.Equivalence =
+            EquivalenceStrategy::SomeElements;
+      else if (S == "all")
+        Opts.Session.Profile.Equivalence =
+            EquivalenceStrategy::AllElements;
+      else if (S == "same-array")
+        Opts.Session.Profile.Equivalence = EquivalenceStrategy::SameArray;
+      else if (S == "same-type")
+        Opts.Session.Profile.Equivalence = EquivalenceStrategy::SameType;
+      else
+        return false;
+    } else if (Arg == "--snapshots") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      std::string S = V;
+      if (S == "eager")
+        Opts.Session.Profile.Snapshots = SnapshotMode::Eager;
+      else if (S == "tracked")
+        Opts.Session.Profile.Snapshots = SnapshotMode::Tracked;
+      else
+        return false;
+    } else if (Arg == "--sample") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      Opts.Session.Profile.SampleThreshold = std::atoll(V);
+    } else if (Arg == "--runs") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      Opts.Runs = std::atoi(V);
+      if (Opts.Runs < 1)
+        return false;
+    } else if (Arg == "--input") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      const char *P = V;
+      while (*P) {
+        Opts.Input.push_back(std::strtoll(P, const_cast<char **>(&P), 10));
+        if (*P == ',')
+          ++P;
+        else if (*P)
+          return false;
+      }
+    } else if (Arg == "--cct") {
+      Opts.WithCct = true;
+    } else if (Arg == "--dot") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      Opts.DotFile = V;
+    } else if (Arg == "--csv") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      Opts.CsvFile = V;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      return false;
+    } else if (Opts.File.empty()) {
+      Opts.File = Arg;
+    } else {
+      return false;
+    }
+  }
+  return !Opts.File.empty();
+}
+
+std::string readFileOrDie(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    std::exit(1);
+  }
+  std::string Content;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Content.append(Buf, N);
+  std::fclose(F);
+  return Content;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts))
+    usageAndExit(Argv[0]);
+
+  DiagnosticEngine Diags;
+  auto CP = compileMiniJ(readFileOrDie(Opts.File), Diags);
+  if (!CP) {
+    std::fprintf(stderr, "%s", Diags.str().c_str());
+    return 1;
+  }
+  if (CP->entryMethod(Opts.EntryClass, Opts.EntryMethod) < 0) {
+    std::fprintf(stderr,
+                 "error: no static no-arg method %s.%s in '%s'\n",
+                 Opts.EntryClass.c_str(), Opts.EntryMethod.c_str(),
+                 Opts.File.c_str());
+    return 1;
+  }
+
+  ProfileSession S(*CP, Opts.Session);
+  uint64_t Instructions = 0;
+  for (int Run = 0; Run < Opts.Runs; ++Run) {
+    vm::IoChannels Io;
+    Io.Input = Opts.Input;
+    vm::RunResult R =
+        S.run(Opts.EntryClass, Opts.EntryMethod, Io);
+    Instructions += R.InstrCount;
+    if (!R.ok()) {
+      std::fprintf(stderr, "run %d failed: %s\n", Run + 1,
+                   R.TrapMessage.c_str());
+      return 1;
+    }
+  }
+  std::printf("%d run(s), %llu bytecode instructions, %d repetitions, "
+              "%d input(s), %lld structure snapshots\n\n",
+              Opts.Runs, static_cast<unsigned long long>(Instructions),
+              S.tree().numRepetitions(),
+              static_cast<int>(S.inputs().liveInputs().size()),
+              static_cast<long long>(S.inputs().snapshotsTaken()));
+
+  std::vector<AlgorithmProfile> Profiles = S.buildProfiles(Opts.Grouping);
+  std::printf("%s",
+              report::renderAnnotatedTree(S.tree(), Profiles).c_str());
+
+  if (Opts.WithCct) {
+    // A second, CCT-profiled execution over the same program.
+    cct::CctProfiler Profiler(*CP->Mod);
+    vm::Interpreter Interp(CP->Prep);
+    vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*CP->Mod);
+    for (int Run = 0; Run < Opts.Runs; ++Run) {
+      vm::IoChannels Io;
+      Io.Input = Opts.Input;
+      Interp.run(CP->entryMethod(Opts.EntryClass, Opts.EntryMethod),
+                 &Profiler, Plan, Io);
+    }
+    std::printf("\nTraditional CCT profile:\n%s",
+                report::renderCct(Profiler).c_str());
+  }
+
+  if (!Opts.DotFile.empty()) {
+    if (report::writeFile(Opts.DotFile,
+                          report::repetitionTreeToDot(S.tree(),
+                                                      Profiles)))
+      std::printf("\nwrote %s\n", Opts.DotFile.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.DotFile.c_str());
+  }
+
+  if (!Opts.CsvFile.empty()) {
+    std::vector<std::pair<std::string, std::vector<SeriesPoint>>> All;
+    for (const AlgorithmProfile &AP : Profiles)
+      for (const AlgorithmProfile::InputSeries &Ser : AP.Series)
+        if (Ser.Interesting)
+          All.emplace_back("algo" + std::to_string(AP.Algo.Id) + ":" +
+                               Ser.Kind,
+                           Ser.Series);
+    if (report::writeFile(Opts.CsvFile, report::seriesToCsv(All)))
+      std::printf("wrote %s\n", Opts.CsvFile.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.CsvFile.c_str());
+  }
+  return 0;
+}
