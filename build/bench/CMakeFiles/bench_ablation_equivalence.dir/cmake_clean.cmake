@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_equivalence.dir/bench_ablation_equivalence.cpp.o"
+  "CMakeFiles/bench_ablation_equivalence.dir/bench_ablation_equivalence.cpp.o.d"
+  "bench_ablation_equivalence"
+  "bench_ablation_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

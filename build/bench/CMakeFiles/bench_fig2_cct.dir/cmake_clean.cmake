@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_cct.dir/bench_fig2_cct.cpp.o"
+  "CMakeFiles/bench_fig2_cct.dir/bench_fig2_cct.cpp.o.d"
+  "bench_fig2_cct"
+  "bench_fig2_cct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_cct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_repetition_tree.dir/bench_fig3_repetition_tree.cpp.o"
+  "CMakeFiles/bench_fig3_repetition_tree.dir/bench_fig3_repetition_tree.cpp.o.d"
+  "bench_fig3_repetition_tree"
+  "bench_fig3_repetition_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_repetition_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

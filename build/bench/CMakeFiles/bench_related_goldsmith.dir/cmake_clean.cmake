@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_related_goldsmith.dir/bench_related_goldsmith.cpp.o"
+  "CMakeFiles/bench_related_goldsmith.dir/bench_related_goldsmith.cpp.o.d"
+  "bench_related_goldsmith"
+  "bench_related_goldsmith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_goldsmith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

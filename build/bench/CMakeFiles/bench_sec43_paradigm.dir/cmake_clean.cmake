@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_paradigm.dir/bench_sec43_paradigm.cpp.o"
+  "CMakeFiles/bench_sec43_paradigm.dir/bench_sec43_paradigm.cpp.o.d"
+  "bench_sec43_paradigm"
+  "bench_sec43_paradigm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_paradigm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

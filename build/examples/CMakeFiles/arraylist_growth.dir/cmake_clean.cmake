@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arraylist_growth.dir/arraylist_growth.cpp.o"
+  "CMakeFiles/arraylist_growth.dir/arraylist_growth.cpp.o.d"
+  "arraylist_growth"
+  "arraylist_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arraylist_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_profile.dir/io_profile.cpp.o"
+  "CMakeFiles/io_profile.dir/io_profile.cpp.o.d"
+  "io_profile"
+  "io_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_agnostic.dir/paradigm_agnostic.cpp.o"
+  "CMakeFiles/paradigm_agnostic.dir/paradigm_agnostic.cpp.o.d"
+  "paradigm_agnostic"
+  "paradigm_agnostic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_agnostic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sort_comparison.dir/sort_comparison.cpp.o"
+  "CMakeFiles/sort_comparison.dir/sort_comparison.cpp.o.d"
+  "sort_comparison"
+  "sort_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sort_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CallGraph.cpp" "src/CMakeFiles/algoprof.dir/analysis/CallGraph.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/analysis/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/Cfg.cpp" "src/CMakeFiles/algoprof.dir/analysis/Cfg.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/analysis/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/algoprof.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/IndexDataflow.cpp" "src/CMakeFiles/algoprof.dir/analysis/IndexDataflow.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/analysis/IndexDataflow.cpp.o.d"
+  "/root/repo/src/analysis/Loops.cpp" "src/CMakeFiles/algoprof.dir/analysis/Loops.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/analysis/Loops.cpp.o.d"
+  "/root/repo/src/analysis/RecursiveTypes.cpp" "src/CMakeFiles/algoprof.dir/analysis/RecursiveTypes.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/analysis/RecursiveTypes.cpp.o.d"
+  "/root/repo/src/analysis/Scc.cpp" "src/CMakeFiles/algoprof.dir/analysis/Scc.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/analysis/Scc.cpp.o.d"
+  "/root/repo/src/bytecode/Bytecode.cpp" "src/CMakeFiles/algoprof.dir/bytecode/Bytecode.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/bytecode/Bytecode.cpp.o.d"
+  "/root/repo/src/bytecode/Compiler.cpp" "src/CMakeFiles/algoprof.dir/bytecode/Compiler.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/bytecode/Compiler.cpp.o.d"
+  "/root/repo/src/bytecode/Disassembler.cpp" "src/CMakeFiles/algoprof.dir/bytecode/Disassembler.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/bytecode/Disassembler.cpp.o.d"
+  "/root/repo/src/bytecode/Module.cpp" "src/CMakeFiles/algoprof.dir/bytecode/Module.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/bytecode/Module.cpp.o.d"
+  "/root/repo/src/bytecode/Verifier.cpp" "src/CMakeFiles/algoprof.dir/bytecode/Verifier.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/bytecode/Verifier.cpp.o.d"
+  "/root/repo/src/cct/BlockCountProfiler.cpp" "src/CMakeFiles/algoprof.dir/cct/BlockCountProfiler.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/cct/BlockCountProfiler.cpp.o.d"
+  "/root/repo/src/cct/CctProfiler.cpp" "src/CMakeFiles/algoprof.dir/cct/CctProfiler.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/cct/CctProfiler.cpp.o.d"
+  "/root/repo/src/core/AlgoProfiler.cpp" "src/CMakeFiles/algoprof.dir/core/AlgoProfiler.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/core/AlgoProfiler.cpp.o.d"
+  "/root/repo/src/core/AlgorithmSummary.cpp" "src/CMakeFiles/algoprof.dir/core/AlgorithmSummary.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/core/AlgorithmSummary.cpp.o.d"
+  "/root/repo/src/core/Classification.cpp" "src/CMakeFiles/algoprof.dir/core/Classification.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/core/Classification.cpp.o.d"
+  "/root/repo/src/core/CostMap.cpp" "src/CMakeFiles/algoprof.dir/core/CostMap.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/core/CostMap.cpp.o.d"
+  "/root/repo/src/core/Grouping.cpp" "src/CMakeFiles/algoprof.dir/core/Grouping.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/core/Grouping.cpp.o.d"
+  "/root/repo/src/core/InputTable.cpp" "src/CMakeFiles/algoprof.dir/core/InputTable.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/core/InputTable.cpp.o.d"
+  "/root/repo/src/core/RepetitionTree.cpp" "src/CMakeFiles/algoprof.dir/core/RepetitionTree.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/core/RepetitionTree.cpp.o.d"
+  "/root/repo/src/core/Session.cpp" "src/CMakeFiles/algoprof.dir/core/Session.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/core/Session.cpp.o.d"
+  "/root/repo/src/fitting/CurveFit.cpp" "src/CMakeFiles/algoprof.dir/fitting/CurveFit.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/fitting/CurveFit.cpp.o.d"
+  "/root/repo/src/frontend/Ast.cpp" "src/CMakeFiles/algoprof.dir/frontend/Ast.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/frontend/Ast.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/algoprof.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/algoprof.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/frontend/Sema.cpp" "src/CMakeFiles/algoprof.dir/frontend/Sema.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/frontend/Sema.cpp.o.d"
+  "/root/repo/src/frontend/Types.cpp" "src/CMakeFiles/algoprof.dir/frontend/Types.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/frontend/Types.cpp.o.d"
+  "/root/repo/src/programs/Programs.cpp" "src/CMakeFiles/algoprof.dir/programs/Programs.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/programs/Programs.cpp.o.d"
+  "/root/repo/src/programs/Table1.cpp" "src/CMakeFiles/algoprof.dir/programs/Table1.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/programs/Table1.cpp.o.d"
+  "/root/repo/src/programs/Table1Check.cpp" "src/CMakeFiles/algoprof.dir/programs/Table1Check.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/programs/Table1Check.cpp.o.d"
+  "/root/repo/src/report/AsciiPlot.cpp" "src/CMakeFiles/algoprof.dir/report/AsciiPlot.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/report/AsciiPlot.cpp.o.d"
+  "/root/repo/src/report/CsvWriter.cpp" "src/CMakeFiles/algoprof.dir/report/CsvWriter.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/report/CsvWriter.cpp.o.d"
+  "/root/repo/src/report/DotExporter.cpp" "src/CMakeFiles/algoprof.dir/report/DotExporter.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/report/DotExporter.cpp.o.d"
+  "/root/repo/src/report/TablePrinter.cpp" "src/CMakeFiles/algoprof.dir/report/TablePrinter.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/report/TablePrinter.cpp.o.d"
+  "/root/repo/src/report/TreePrinter.cpp" "src/CMakeFiles/algoprof.dir/report/TreePrinter.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/report/TreePrinter.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "src/CMakeFiles/algoprof.dir/support/Diagnostics.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/vm/Heap.cpp" "src/CMakeFiles/algoprof.dir/vm/Heap.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/vm/Heap.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/CMakeFiles/algoprof.dir/vm/Interpreter.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/vm/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/LoopEventMap.cpp" "src/CMakeFiles/algoprof.dir/vm/LoopEventMap.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/vm/LoopEventMap.cpp.o.d"
+  "/root/repo/src/vm/Value.cpp" "src/CMakeFiles/algoprof.dir/vm/Value.cpp.o" "gcc" "src/CMakeFiles/algoprof.dir/vm/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

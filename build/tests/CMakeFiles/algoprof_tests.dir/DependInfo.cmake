@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AlgoProfilerTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/AlgoProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/AlgoProfilerTest.cpp.o.d"
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/BlockCountTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/BlockCountTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/BlockCountTest.cpp.o.d"
+  "/root/repo/tests/BytecodeLevelTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/BytecodeLevelTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/BytecodeLevelTest.cpp.o.d"
+  "/root/repo/tests/CallGraphTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/CallGraphTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/CallGraphTest.cpp.o.d"
+  "/root/repo/tests/CctTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/CctTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/CctTest.cpp.o.d"
+  "/root/repo/tests/ClassificationTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/ClassificationTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/ClassificationTest.cpp.o.d"
+  "/root/repo/tests/CompilerTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/CompilerTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/CompilerTest.cpp.o.d"
+  "/root/repo/tests/ComplexityZooTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/ComplexityZooTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/ComplexityZooTest.cpp.o.d"
+  "/root/repo/tests/ConformanceTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/ConformanceTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/ConformanceTest.cpp.o.d"
+  "/root/repo/tests/CostMapTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/CostMapTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/CostMapTest.cpp.o.d"
+  "/root/repo/tests/CurveFitTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/CurveFitTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/CurveFitTest.cpp.o.d"
+  "/root/repo/tests/DotExporterTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/DotExporterTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/DotExporterTest.cpp.o.d"
+  "/root/repo/tests/EndToEndTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/GroupingTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/GroupingTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/GroupingTest.cpp.o.d"
+  "/root/repo/tests/HeapTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/HeapTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/HeapTest.cpp.o.d"
+  "/root/repo/tests/IndexDataflowTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/IndexDataflowTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/IndexDataflowTest.cpp.o.d"
+  "/root/repo/tests/InputTableTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/InputTableTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/InputTableTest.cpp.o.d"
+  "/root/repo/tests/LexerTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/LexerTest.cpp.o.d"
+  "/root/repo/tests/LoopEventMapTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/LoopEventMapTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/LoopEventMapTest.cpp.o.d"
+  "/root/repo/tests/LoopEventsTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/LoopEventsTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/LoopEventsTest.cpp.o.d"
+  "/root/repo/tests/ModuleTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/ModuleTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/ModuleTest.cpp.o.d"
+  "/root/repo/tests/MultiMeasureTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/MultiMeasureTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/MultiMeasureTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/RecursiveTypesTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/RecursiveTypesTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/RecursiveTypesTest.cpp.o.d"
+  "/root/repo/tests/ReportTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/ReportTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/ReportTest.cpp.o.d"
+  "/root/repo/tests/RobustnessTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/RobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/RobustnessTest.cpp.o.d"
+  "/root/repo/tests/SamplingTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/SamplingTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/SamplingTest.cpp.o.d"
+  "/root/repo/tests/SemaTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/SemaTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/SemaTest.cpp.o.d"
+  "/root/repo/tests/SessionTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/SessionTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/SessionTest.cpp.o.d"
+  "/root/repo/tests/SmokeTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/SmokeTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/SmokeTest.cpp.o.d"
+  "/root/repo/tests/SnapshotModeTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/SnapshotModeTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/SnapshotModeTest.cpp.o.d"
+  "/root/repo/tests/StreamInputTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/StreamInputTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/StreamInputTest.cpp.o.d"
+  "/root/repo/tests/Table1Test.cpp" "tests/CMakeFiles/algoprof_tests.dir/Table1Test.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/Table1Test.cpp.o.d"
+  "/root/repo/tests/VerifierTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/VerifierTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/VerifierTest.cpp.o.d"
+  "/root/repo/tests/VmTest.cpp" "tests/CMakeFiles/algoprof_tests.dir/VmTest.cpp.o" "gcc" "tests/CMakeFiles/algoprof_tests.dir/VmTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/algoprof.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

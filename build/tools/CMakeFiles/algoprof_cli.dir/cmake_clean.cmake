@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algoprof_cli.dir/algoprof_main.cpp.o"
+  "CMakeFiles/algoprof_cli.dir/algoprof_main.cpp.o.d"
+  "algoprof"
+  "algoprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algoprof_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
