@@ -66,6 +66,8 @@ int32_t InputTable::merge(int32_t A, int32_t B) {
     Winner.Members.insert(Obj);
   for (int64_t V : Loser.ValueSet)
     Winner.ValueSet.insert(V);
+  for (int64_t V : Loser.SeedValues)
+    Winner.SeedValues.insert(V);
   for (const auto &[ClassId, N] : Loser.MemberClassCounts)
     Winner.MemberClassCounts[ClassId] += N;
   Winner.MaxCapacitySeen =
@@ -73,6 +75,7 @@ int32_t InputTable::merge(int32_t A, int32_t B) {
   Loser.Alive = false;
   Loser.Members.clear();
   Loser.ValueSet.clear();
+  Loser.SeedValues.clear();
   Parent[static_cast<size_t>(B)] = A;
   return A;
 }
@@ -374,7 +377,10 @@ int32_t InputTable::identifyArraySnapshot(ObjId Arr) {
   Info.MaxCapacitySeen =
       std::max(Info.MaxCapacitySeen, static_cast<int64_t>(Obj.Slots.size()));
   assign(Arr, Target, /*ClassId=*/-1);
-  // Register current contents for identity tracking.
+  // Register current contents for identity tracking. Values present at
+  // this identification also feed SeedValues: they are exactly what the
+  // overlap test above compared against other inputs, which a sweep
+  // merge must replay against earlier runs (see InputTable::merge).
   for (const Value &V : Obj.Slots) {
     if (V.IsRef) {
       if (!V.isNullRef())
@@ -382,7 +388,9 @@ int32_t InputTable::identifyArraySnapshot(ObjId Arr) {
                                    ? -1
                                    : H->get(V.Bits).ClassId);
     } else if (V.Bits != 0) {
-      infoMut(Target).ValueSet.insert(V.Bits);
+      InputInfo &Reg = infoMut(Target);
+      Reg.ValueSet.insert(V.Bits);
+      Reg.SeedValues.insert(V.Bits);
     }
   }
   return canonical(Target);
@@ -470,6 +478,102 @@ void InputTable::onArrayStoreValue(int32_t Input, ObjId Arr, Value V) {
 }
 
 //===----------------------------------------------------------------------===//
+// Sweep merge
+//===----------------------------------------------------------------------===//
+
+std::vector<int32_t> InputTable::merge(const InputTable &Other,
+                                       int64_t ObjIdOffset) {
+  // Freeze the value sets that existed before this merge. A serial
+  // session identifying Other's arrays would have compared against
+  // exactly these: earlier runs are complete by the time a later run
+  // identifies, so their value sets no longer change, and comparisons
+  // against same-run inputs already happened inside the shard itself.
+  struct FrozenArray {
+    int32_t Id;
+    int32_t TypeKey;
+    std::unordered_set<int64_t> Values;
+  };
+  std::vector<FrozenArray> Frozen;
+  if (Strategy == EquivalenceStrategy::SomeElements)
+    for (const InputInfo &Info : Inputs)
+      if (Info.Alive && Info.IsArray && !Info.IsStream)
+        Frozen.push_back({Info.Id, Info.TypeKey, Info.ValueSet});
+
+  std::vector<int32_t> Remap(Other.Inputs.size(), -1);
+  for (size_t I = 0; I < Other.Inputs.size(); ++I) {
+    int32_t SrcId = static_cast<int32_t>(I);
+    int32_t SrcCanon = Other.canonical(SrcId);
+    if (SrcCanon != SrcId) {
+      // Merged-away ids resolve through their survivor, which is always
+      // the older id and therefore already remapped.
+      assert(SrcCanon < SrcId && "survivor must be the older id");
+      Remap[I] = Remap[static_cast<size_t>(SrcCanon)];
+      continue;
+    }
+    const InputInfo &Src = Other.Inputs[I];
+    int32_t Target = -1;
+    if (Src.IsStream) {
+      // Stream pseudo-inputs unify by role, as in a serial session.
+      bool IsIn = Other.InputStreamId >= 0 &&
+                  Other.canonical(Other.InputStreamId) == SrcId;
+      Target = externalStreamInput(IsIn);
+    } else if (Strategy == EquivalenceStrategy::SameType) {
+      for (const InputInfo &Info : Inputs)
+        if (Info.Alive && !Info.IsStream && Info.IsArray == Src.IsArray &&
+            Info.TypeKey == Src.TypeKey) {
+          Target = Info.Id;
+          break;
+        }
+    } else if (Strategy == EquivalenceStrategy::SomeElements &&
+               Src.IsArray && !Src.SeedValues.empty()) {
+      // Replay the overlap tests the shard's identifications would have
+      // run against the pre-merge inputs: SeedValues holds the exact
+      // element values each identification snapshot saw. Candidates are
+      // scanned in id order and chained through merge(), mirroring the
+      // serial identification loop.
+      for (const FrozenArray &Cand : Frozen) {
+        if (Cand.TypeKey != Src.TypeKey)
+          continue;
+        bool Overlaps = false;
+        for (int64_t V : Src.SeedValues)
+          if (Cand.Values.count(V)) {
+            Overlaps = true;
+            break;
+          }
+        if (Overlaps) {
+          int32_t CandId = canonical(Cand.Id);
+          Target = Target < 0 ? CandId : merge(Target, CandId);
+        }
+      }
+    }
+    // SameArray and AllElements never unify across runs: heap object ids
+    // are disjoint between runs. (AllElements additionally re-identifies
+    // on every access, which a post-hoc merge cannot replay; see
+    // docs/parallel_sweeps.md.)
+    if (Target < 0)
+      Target = newInput(Src.IsArray, Src.TypeKey, Src.Label);
+    Target = canonical(Target);
+    InputInfo &Dst = infoMut(Target);
+    Dst.IsStream |= Src.IsStream;
+    for (int64_t Obj : Src.Members) {
+      int64_t NewObj = Obj + ObjIdOffset;
+      Dst.Members.insert(NewObj);
+      ObjToInput.emplace(NewObj, Target);
+    }
+    for (int64_t V : Src.ValueSet)
+      Dst.ValueSet.insert(V);
+    for (int64_t V : Src.SeedValues)
+      Dst.SeedValues.insert(V);
+    for (const auto &[ClassId, N] : Src.MemberClassCounts)
+      Dst.MemberClassCounts[ClassId] += N;
+    Dst.MaxCapacitySeen = std::max(Dst.MaxCapacitySeen, Src.MaxCapacitySeen);
+    Remap[I] = Target;
+  }
+  Snapshots += Other.Snapshots;
+  return Remap;
+}
+
+//===----------------------------------------------------------------------===//
 // Measurement
 //===----------------------------------------------------------------------===//
 
@@ -518,9 +622,14 @@ SizeMeasures InputTable::trackedMeasures(int32_t Input) const {
 //===----------------------------------------------------------------------===//
 
 int64_t InputTable::countArrayMembers(const InputInfo &Info) const {
-  int64_t N = 0;
-  for (int64_t Obj : Info.Members)
-    if (H->get(Obj).IsArray)
-      ++N;
-  return N;
+  // Every class-instance member increments MemberClassCounts at assign
+  // time and arrays never do, so the array count falls out of the
+  // membership bookkeeping. Deliberately heap-free: members from
+  // earlier runs of a sweep may already be recycled (vm::Heap::recycle).
+  int64_t Classes = 0;
+  for (const auto &[ClassId, N] : Info.MemberClassCounts) {
+    (void)ClassId;
+    Classes += N;
+  }
+  return static_cast<int64_t>(Info.Members.size()) - Classes;
 }

@@ -86,6 +86,13 @@ struct InputInfo {
   std::unordered_set<int64_t> Members;
   /// Distinct non-default element values (primitive arrays; identity).
   std::unordered_set<int64_t> ValueSet;
+  /// Non-default values observed at *identification time* — the array
+  /// contents the SomeElements overlap test actually saw when an
+  /// unattributed array was snapshotted. A later sweep merge replays
+  /// exactly those comparisons against earlier runs' final value sets,
+  /// which is what a serial multi-run session would have compared
+  /// against (earlier runs are complete when a later run identifies).
+  std::unordered_set<int64_t> SeedValues;
   /// Member objects per class id (classification + tracked sizing).
   std::map<int32_t, int64_t> MemberClassCounts;
   /// Largest capacity seen across the input's backing arrays.
@@ -133,6 +140,24 @@ public:
   /// O(1) approximate size from tracked membership (no traversal); used
   /// by SnapshotMode::Tracked.
   SizeMeasures trackedMeasures(int32_t Input) const;
+
+  /// Folds a completed shard table \p Other into this one, replaying the
+  /// identification decisions a serial multi-run session would have made
+  /// when \p Other's run executed after everything already merged here:
+  ///  - stream pseudo-inputs unify with this table's stream inputs;
+  ///  - under SameType, inputs unify with the first live input of the
+  ///    same kind and type key;
+  ///  - under SomeElements, primitive arrays unify with pre-existing
+  ///    inputs whose (frozen) value sets overlap the shard input's
+  ///    identification-time values (InputInfo::SeedValues);
+  ///  - everything else stays a distinct input, preserving the shard's
+  ///    creation order, so input ids match the serial session's.
+  /// \p ObjIdOffset translates the shard's heap ids into this table's id
+  /// space (pass the total object count of all previously merged runs).
+  /// Returns the remap from every \p Other input id (dead ones included)
+  /// to its canonical id in this table. Exactness caveat: AllElements
+  /// cross-run equivalence is not replayed (see docs/parallel_sweeps.md).
+  std::vector<int32_t> merge(const InputTable &Other, int64_t ObjIdOffset);
 
   const InputInfo &info(int32_t Id) const {
     return Inputs[static_cast<size_t>(canonical(Id))];

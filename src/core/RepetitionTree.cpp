@@ -2,6 +2,7 @@
 
 #include "core/RepetitionTree.h"
 
+#include <cassert>
 #include <set>
 
 using namespace algoprof;
@@ -46,6 +47,47 @@ RepetitionNode &RepetitionTree::getOrCreateChild(RepetitionNode &Parent,
   Node->Parent = &Parent;
   Parent.Children.push_back(std::move(Node));
   return *Parent.Children.back();
+}
+
+void RepetitionTree::mergeSubtree(RepetitionNode &Dst,
+                                  const RepetitionNode &Src,
+                                  size_t ParentOffset,
+                                  const std::vector<int32_t> &Remap) {
+  auto RemapId = [&Remap](int32_t Id) {
+    assert(Id >= 0 && static_cast<size_t>(Id) < Remap.size() &&
+           "input id missing from remap");
+    return Remap[static_cast<size_t>(Id)];
+  };
+  size_t MyOffset = Dst.History.size();
+  Dst.TotalInvocations += Src.TotalInvocations;
+  Dst.History.reserve(MyOffset + Src.History.size());
+  for (const InvocationRecord &R : Src.History) {
+    InvocationRecord N;
+    N.Costs = R.Costs;
+    N.Costs.canonicalizeInputs(RemapId);
+    N.FoldedCosts = R.FoldedCosts;
+    N.FoldedCosts.canonicalizeInputs(RemapId);
+    for (const auto &[Id, Use] : R.Inputs) {
+      auto [It, Inserted] = N.Inputs.emplace(RemapId(Id), Use);
+      if (!Inserted)
+        It->second.mergeMax(Use);
+    }
+    N.ParentNode = Dst.Parent;
+    N.ParentInvocation =
+        R.ParentInvocation >= 0
+            ? R.ParentInvocation + static_cast<int32_t>(ParentOffset)
+            : -1;
+    N.Finalized = R.Finalized;
+    Dst.History.push_back(std::move(N));
+  }
+  for (const auto &C : Src.Children)
+    mergeSubtree(getOrCreateChild(Dst, C->Key, C->Name), *C, MyOffset,
+                 Remap);
+}
+
+void RepetitionTree::merge(const RepetitionTree &Other,
+                           const std::vector<int32_t> &InputRemap) {
+  mergeSubtree(*Root, Other.root(), /*ParentOffset=*/0, InputRemap);
 }
 
 int RepetitionTree::numRepetitions() const {

@@ -147,6 +147,17 @@ public:
   RepetitionNode &getOrCreateChild(RepetitionNode &Parent, const RepKey &K,
                                    const std::string &Name);
 
+  /// Folds the completed shard tree \p Other into this one. Nodes align
+  /// by RepKey (static method/loop ids); \p Other's invocation records
+  /// are appended after this tree's, with cost-map and input-use ids
+  /// rewritten through \p InputRemap (from InputTable::merge) and
+  /// ParentInvocation indices shifted by the destination parent's
+  /// pre-merge history length. Merging shards in run-index order
+  /// reproduces a serial accumulating session's tree exactly, byte for
+  /// byte, independent of which threads executed which runs.
+  void merge(const RepetitionTree &Other,
+             const std::vector<int32_t> &InputRemap);
+
   /// Pre-order traversal.
   template <typename Fn> void forEach(Fn F) const {
     forEachImpl(*Root, F);
@@ -156,6 +167,10 @@ public:
   int numRepetitions() const;
 
 private:
+  void mergeSubtree(RepetitionNode &Dst, const RepetitionNode &Src,
+                    size_t ParentOffset,
+                    const std::vector<int32_t> &Remap);
+
   template <typename Fn>
   static void forEachImpl(const RepetitionNode &N, Fn &F) {
     F(N);

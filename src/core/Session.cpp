@@ -74,7 +74,8 @@ vm::RunResult algoprof::prof::runPlain(const CompiledProgram &CP,
 // ProfileSession
 //===----------------------------------------------------------------------===//
 
-static vm::InstrumentationPlan makePlan(const CompiledProgram &CP,
+vm::InstrumentationPlan
+algoprof::prof::makeInstrumentationPlan(const CompiledProgram &CP,
                                         bool AllMethods) {
   if (AllMethods)
     return vm::InstrumentationPlan::forAlgoProfAllMethods(
@@ -85,7 +86,8 @@ static vm::InstrumentationPlan makePlan(const CompiledProgram &CP,
 
 ProfileSession::ProfileSession(const CompiledProgram &CP,
                                SessionOptions Opts)
-    : CP(CP), Opts(Opts), Plan(makePlan(CP, Opts.AllMethodsPlan)),
+    : CP(CP), Opts(Opts),
+      Plan(makeInstrumentationPlan(CP, Opts.AllMethodsPlan)),
       Interp(CP.Prep), Prof(CP.Prep, Opts.Profile) {}
 
 vm::RunResult ProfileSession::run(const std::string &Cls,
@@ -104,7 +106,13 @@ vm::RunResult ProfileSession::run(const std::string &Cls,
     R.TrapMessage = "no static no-arg method " + Cls + "." + Method;
     return R;
   }
-  return Interp.run(Entry, &Prof, Plan, Io, Opts.Run);
+  vm::RunResult R = Interp.run(Entry, &Prof, Plan, Io, Opts.Run);
+  // Reclaim run-scoped heap memory. recycle() keeps the id space
+  // advancing, so ids recorded by this run's profiling stay unique
+  // forever — a reset() here would alias the next run's objects into
+  // the profiler's input membership maps.
+  Interp.heap().recycle();
+  return R;
 }
 
 std::vector<Algorithm>
@@ -123,19 +131,28 @@ AlgorithmProfile::primarySeries() const {
 
 std::vector<AlgorithmProfile>
 ProfileSession::buildProfiles(GroupingStrategy Strategy) const {
+  return buildProfilesFrom(Prof.tree(), Prof.inputs(), CP, Strategy);
+}
+
+std::vector<AlgorithmProfile>
+algoprof::prof::buildProfilesFrom(const RepetitionTree &Tree,
+                                  const InputTable &Inputs,
+                                  const CompiledProgram &CP,
+                                  GroupingStrategy Strategy) {
   std::vector<AlgorithmProfile> Profiles;
-  for (Algorithm &A : algorithms(Strategy)) {
+  for (Algorithm &A :
+       groupAlgorithms(Tree, Inputs, CP.Prep, Strategy, &CP.Dataflow)) {
     AlgorithmProfile AP;
     AP.Algo = std::move(A);
-    AP.Invocations = combineInvocations(AP.Algo, Prof.inputs());
-    AP.Class = classifyAlgorithm(AP.Algo, AP.Invocations, Prof.inputs(),
+    AP.Invocations = combineInvocations(AP.Algo, Inputs);
+    AP.Class = classifyAlgorithm(AP.Algo, AP.Invocations, Inputs,
                                  *CP.Mod);
-    AP.Label = AP.Class.label(Prof.inputs());
+    AP.Label = AP.Class.label(Inputs);
     // Pool the algorithm's inputs by kind and extract one series per
     // kind across all root invocations.
     std::map<std::string, std::vector<int32_t>> Kinds;
     for (int32_t InputId : AP.Algo.InputIds)
-      Kinds[Prof.inputs().info(InputId).Label].push_back(InputId);
+      Kinds[Inputs.info(InputId).Label].push_back(InputId);
     for (auto &[Kind, Ids] : Kinds) {
       AlgorithmProfile::InputSeries S;
       S.Kind = Kind;

@@ -57,6 +57,12 @@ vm::RunResult runPlain(const CompiledProgram &CP, const std::string &Cls,
                        vm::IoChannels *Io = nullptr,
                        const vm::RunOptions &Opts = vm::RunOptions());
 
+/// The instrumentation plan a profiling session uses for \p CP (shared
+/// by ProfileSession and parallel::SweepEngine workers; plans are
+/// immutable during runs and therefore safe to share across threads).
+vm::InstrumentationPlan makeInstrumentationPlan(const CompiledProgram &CP,
+                                                bool AllMethods);
+
 /// Everything known about one algorithm after profiling.
 struct AlgorithmProfile {
   Algorithm Algo;
@@ -97,8 +103,36 @@ struct SessionOptions {
   vm::RunOptions Run;
 };
 
+/// Options for a multi-run profiling sweep (see parallel::SweepEngine).
+struct SweepOptions {
+  /// Worker threads. 0 picks std::thread::hardware_concurrency(); 1
+  /// still goes through the shard-and-merge path (useful for
+  /// differential testing against ProfileSession).
+  int Threads = 1;
+  /// One profiled run per seed, merged in this order. Each run's input
+  /// channel is pre-loaded with its seed value, so MiniJ programs size
+  /// their workload with In.read(). An empty list means one unseeded
+  /// run.
+  std::vector<int64_t> Seeds;
+};
+
+/// Groups \p Tree into algorithms and runs the full profile pipeline
+/// (combine, classify, extract series, fit) against \p Inputs. This is
+/// the common back half of ProfileSession::buildProfiles and
+/// parallel::SweepEngine: both produce a (tree, inputs) pair — one by
+/// accumulation, one by merging shards — and the profiles come out of
+/// this single code path, which is what makes the differential tests
+/// meaningful.
+std::vector<AlgorithmProfile>
+buildProfilesFrom(const RepetitionTree &Tree, const InputTable &Inputs,
+                  const CompiledProgram &CP,
+                  GroupingStrategy Strategy = GroupingStrategy::CommonInput);
+
 /// A profiling session: one interpreter + one AlgoProfiler accumulating
-/// any number of runs into one repetition tree.
+/// any number of runs into one repetition tree. Between runs the heap's
+/// memory is recycled (vm::Heap::recycle) without reusing object ids, so
+/// run-scoped heap state cannot leak into — or alias inside — the
+/// profiler's id-keyed input maps.
 class ProfileSession {
 public:
   explicit ProfileSession(const CompiledProgram &CP,
@@ -110,6 +144,7 @@ public:
                     vm::IoChannels &Io);
 
   AlgoProfiler &profiler() { return Prof; }
+  vm::Interpreter &interpreter() { return Interp; }
   const RepetitionTree &tree() const { return Prof.tree(); }
   InputTable &inputs() { return Prof.inputs(); }
   const CompiledProgram &compiled() const { return CP; }

@@ -1,0 +1,116 @@
+//===- parallel/SweepEngine.cpp -------------------------------------------===//
+
+#include "parallel/SweepEngine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+using namespace algoprof;
+using namespace algoprof::parallel;
+using namespace algoprof::prof;
+
+SweepEngine::SweepEngine(const CompiledProgram &CP, SessionOptions Opts)
+    : CP(CP), Opts(Opts),
+      Plan(makeInstrumentationPlan(CP, Opts.AllMethodsPlan)),
+      Acc(std::make_unique<AlgoProfiler>(CP.Prep, Opts.Profile)) {}
+
+SweepEngine::~SweepEngine() = default;
+
+const RepetitionTree &SweepEngine::tree() const { return Acc->tree(); }
+const InputTable &SweepEngine::inputs() const { return Acc->inputs(); }
+
+std::vector<AlgorithmProfile>
+SweepEngine::buildProfiles(GroupingStrategy Strategy) const {
+  return buildProfilesFrom(Acc->tree(), Acc->inputs(), CP, Strategy);
+}
+
+namespace {
+/// Everything one run leaves behind for the reducer.
+struct Shard {
+  std::unique_ptr<AlgoProfiler> Prof;
+  vm::RunResult Result;
+  int64_t NumObjects = 0;
+};
+} // namespace
+
+SweepResult SweepEngine::sweep(const std::string &Cls,
+                               const std::string &Method,
+                               const SweepOptions &SO) {
+  std::vector<vm::IoChannels> RunInputs(
+      SO.Seeds.empty() ? 1 : SO.Seeds.size());
+  for (size_t I = 0; I < SO.Seeds.size(); ++I)
+    RunInputs[I].Input.push_back(SO.Seeds[I]);
+  return sweepWithInputs(Cls, Method, SO.Threads, RunInputs);
+}
+
+SweepResult
+SweepEngine::sweepWithInputs(const std::string &Cls,
+                             const std::string &Method, int Threads,
+                             const std::vector<vm::IoChannels> &RunInputs) {
+  size_t NumRuns = RunInputs.size();
+  SweepResult Out;
+  if (NumRuns == 0)
+    return Out;
+  Out.Runs.resize(NumRuns);
+
+  int32_t Entry = CP.entryMethod(Cls, Method);
+  if (Entry < 0) {
+    for (vm::RunResult &R : Out.Runs) {
+      R.Status = vm::RunStatus::Trapped;
+      R.TrapMessage = "no static no-arg method " + Cls + "." + Method;
+    }
+    return Out;
+  }
+
+  unsigned Workers =
+      Threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                   : static_cast<unsigned>(std::max(1, Threads));
+  Workers = std::min<unsigned>(Workers, static_cast<unsigned>(NumRuns));
+
+  // Map phase: workers claim run indices from a shared counter. Every
+  // run is fully private — interpreter, heap, profiler, I/O channels —
+  // so scheduling cannot influence any shard's contents.
+  std::vector<Shard> Shards(NumRuns);
+  std::atomic<size_t> Next{0};
+  auto Worker = [&]() {
+    for (;;) {
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= NumRuns)
+        break;
+      Shard &S = Shards[I];
+      vm::Interpreter Interp(CP.Prep);
+      S.Prof = std::make_unique<AlgoProfiler>(CP.Prep, Opts.Profile);
+      vm::IoChannels Io = RunInputs[I];
+      S.Result = Interp.run(Entry, S.Prof.get(), Plan, Io, Opts.Run);
+      S.NumObjects = Interp.heap().numObjects();
+      // The interpreter (and its heap) dies here; the profiler's
+      // id-keyed state stays valid because nothing dereferences heap
+      // objects after a run ends.
+    }
+  };
+  if (Workers <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Workers);
+    for (unsigned T = 0; T < Workers; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Reduce phase: strictly in run-index order. Input ids remap through
+  // the serial-replay merge, heap ids shift by the object count of all
+  // previously merged runs — exactly the ids a serial session's shared
+  // heap would have handed out.
+  for (size_t I = 0; I < NumRuns; ++I) {
+    Out.Runs[I] = Shards[I].Result;
+    std::vector<int32_t> Remap =
+        Acc->inputs().merge(Shards[I].Prof->inputs(), ObjIdOffset);
+    Acc->tree().merge(Shards[I].Prof->tree(), Remap);
+    ObjIdOffset += Shards[I].NumObjects;
+    Shards[I].Prof.reset();
+  }
+  return Out;
+}

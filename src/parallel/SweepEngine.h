@@ -1,0 +1,96 @@
+//===- parallel/SweepEngine.h - Sharded profiling sweeps --------*- C++-*-===//
+///
+/// \file
+/// Runs the paper's "set of program runs" (Sec. 3.5) as a sharded sweep:
+/// each run executes on a worker thread with a private vm::Interpreter +
+/// AlgoProfiler over the shared immutable CompiledProgram, and a
+/// deterministic reducer folds the per-run shards — RepetitionTrees,
+/// CostMaps, InputTables — strictly in run-index order, never in thread
+/// arrival order. Tree nodes align by static RepKey (method/loop ids),
+/// input ids remap through InputTable::merge's replay of the serial
+/// identification decisions, and heap-object ids translate by cumulative
+/// per-run object counts. The observable result — buildProfilesFrom
+/// output: labels, classifications, series points, fitted formulas — is
+/// identical to a serial ProfileSession over the same seed order,
+/// regardless of thread count or scheduling. See docs/parallel_sweeps.md
+/// for the determinism argument and the AllElements/sampling caveats.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_PARALLEL_SWEEPENGINE_H
+#define ALGOPROF_PARALLEL_SWEEPENGINE_H
+
+#include "core/Session.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace parallel {
+
+/// Per-run results of one sweep, in seed (run-index) order.
+struct SweepResult {
+  std::vector<vm::RunResult> Runs;
+
+  bool allOk() const {
+    for (const vm::RunResult &R : Runs)
+      if (!R.ok())
+        return false;
+    return !Runs.empty();
+  }
+};
+
+/// A sharded, deterministic multi-run profiling engine. Each sweep()
+/// shards its runs over prof::SweepOptions::Threads workers; every run
+/// gets a fresh interpreter, profiler, and private IoChannels (no I/O
+/// state is shared between threads). Successive sweep() calls keep
+/// accumulating into the same merged tree/inputs, mirroring repeated
+/// ProfileSession::run calls.
+class SweepEngine {
+public:
+  explicit SweepEngine(const prof::CompiledProgram &CP,
+                       prof::SessionOptions Opts = prof::SessionOptions());
+  ~SweepEngine();
+
+  /// Runs static no-arg "Cls.Method" once per SO.Seeds entry (once,
+  /// unseeded, when empty). Each run's input channel is pre-loaded with
+  /// its seed. Workers execute runs in arbitrary order; the reduction is
+  /// performed after all workers join, in run-index order.
+  SweepResult sweep(const std::string &Cls, const std::string &Method,
+                    const prof::SweepOptions &SO);
+
+  /// Generalized sweep: one run per \p RunInputs entry, each run handed
+  /// a private copy of its channels (arbitrary multi-value inputs, where
+  /// seeds are single-value).
+  SweepResult sweepWithInputs(const std::string &Cls,
+                              const std::string &Method, int Threads,
+                              const std::vector<vm::IoChannels> &RunInputs);
+
+  /// The merged repetition tree / input table accumulated so far.
+  const prof::RepetitionTree &tree() const;
+  const prof::InputTable &inputs() const;
+
+  /// Full profile pipeline over the merged state (same code path as
+  /// ProfileSession::buildProfiles).
+  std::vector<prof::AlgorithmProfile>
+  buildProfiles(prof::GroupingStrategy Strategy =
+                    prof::GroupingStrategy::CommonInput) const;
+
+private:
+  const prof::CompiledProgram &CP;
+  prof::SessionOptions Opts;
+  vm::InstrumentationPlan Plan;
+  /// The merge target. Never attached to an interpreter: its tree and
+  /// inputs are populated exclusively by the reducer.
+  std::unique_ptr<prof::AlgoProfiler> Acc;
+  /// Heap-id translation base: total objects allocated by all runs
+  /// merged so far (what a serial session's ever-growing heap would
+  /// report as numObjects()).
+  int64_t ObjIdOffset = 0;
+};
+
+} // namespace parallel
+} // namespace algoprof
+
+#endif // ALGOPROF_PARALLEL_SWEEPENGINE_H

@@ -56,10 +56,9 @@ class Rand {
 // Listings 1 + 2: imperative insertion sort on a doubly linked list
 //===----------------------------------------------------------------------===//
 
-std::string algoprof::programs::insertionSortProgram(int MaxSize, int Step,
-                                                     int Reps,
-                                                     InputOrder Order) {
-  std::string Src = R"MJ(
+/// The Listings 1+2 doubly-linked list, shared by the in-program sweep
+/// and the seeded one-run-per-size variant.
+static const char *const InsertionSortClasses = R"MJ(
 class Node {
   Node prev;
   Node next;
@@ -114,6 +113,11 @@ class List {
   }
 }
 )MJ";
+
+std::string algoprof::programs::insertionSortProgram(int MaxSize, int Step,
+                                                     int Reps,
+                                                     InputOrder Order) {
+  std::string Src = InsertionSortClasses;
   Src += RandClass;
   Src += R"MJ(
 class Main {
@@ -133,6 +137,36 @@ class Main {
   }
   static void constructRandom(List list, int size, int rep) {
     Rand r = new Rand(size * 31 + rep);
+    for (int i = 0; i < size; i++) {
+      list.append()MJ" +
+         valueExpr(Order) + R"MJ();
+    }
+  }
+  static void sort(List list) {
+    list.sort();
+  }
+}
+)MJ";
+  return Src;
+}
+
+std::string
+algoprof::programs::seededInsertionSortProgram(InputOrder Order) {
+  std::string Src = InsertionSortClasses;
+  Src += RandClass;
+  Src += R"MJ(
+class Main {
+  static void main() {
+    int size = 0;
+    if (hasInput()) {
+      size = readInt();
+    }
+    List list = new List();
+    constructRandom(list, size);
+    sort(list);
+  }
+  static void constructRandom(List list, int size) {
+    Rand r = new Rand(size * 31);
     for (int i = 0; i < size; i++) {
       list.append()MJ" +
          valueExpr(Order) + R"MJ();

@@ -35,6 +35,13 @@ const char *inputOrderName(InputOrder Order);
 std::string insertionSortProgram(int MaxSize, int Step, int Reps,
                                  InputOrder Order);
 
+/// Listings 1+2 insertion sort where one run sorts ONE list whose
+/// length is read from the external input channel (readInt()): the
+/// sweep over sizes moves out of the program and into the harness, one
+/// profiled run per seed — the shape parallel::SweepEngine shards.
+/// Entry: Main.main.
+std::string seededInsertionSortProgram(InputOrder Order);
+
 /// Sec. 4.3: the purely functional, recursive insertion sort over an
 /// immutable list, same harness shape. Entry: Main.main.
 std::string functionalSortProgram(int MaxSize, int Step, int Reps,

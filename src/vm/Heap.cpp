@@ -26,7 +26,7 @@ ObjId Heap::allocObject(int32_t ClassId) {
     Obj.Slots.push_back(
         defaultValueFor(M.Fields[static_cast<size_t>(FieldId)].Type));
   Objects.push_back(std::move(Obj));
-  return static_cast<ObjId>(Objects.size()) - 1;
+  return Base + static_cast<ObjId>(Objects.size()) - 1;
 }
 
 ObjId Heap::allocArray(TypeId ArrayType, int64_t Len) {
@@ -38,5 +38,5 @@ ObjId Heap::allocArray(TypeId ArrayType, int64_t Len) {
   Obj.IsArray = true;
   Obj.Slots.assign(static_cast<size_t>(Len), defaultValueFor(RT.Elem));
   Objects.push_back(std::move(Obj));
-  return static_cast<ObjId>(Objects.size()) - 1;
+  return Base + static_cast<ObjId>(Objects.size()) - 1;
 }

@@ -38,27 +38,52 @@ public:
   /// Allocates an array of \p ArrayType with \p Len default elements.
   ObjId allocArray(bc::TypeId ArrayType, int64_t Len);
 
-  HeapObject &get(ObjId Id) { return Objects[static_cast<size_t>(Id)]; }
+  HeapObject &get(ObjId Id) { return Objects[static_cast<size_t>(Id - Base)]; }
   const HeapObject &get(ObjId Id) const {
-    return Objects[static_cast<size_t>(Id)];
+    return Objects[static_cast<size_t>(Id - Base)];
   }
 
   bool isValid(ObjId Id) const {
-    return Id >= 0 && Id < static_cast<ObjId>(Objects.size());
+    return Id >= Base && Id < Base + static_cast<ObjId>(Objects.size());
   }
 
-  int64_t numObjects() const { return static_cast<int64_t>(Objects.size()); }
+  /// Total objects ever allocated; equals the next ObjId to be handed
+  /// out. Ids recycled away (see recycle()) still count.
+  int64_t numObjects() const {
+    return Base + static_cast<int64_t>(Objects.size());
+  }
+
+  /// Objects currently held in memory (excludes recycled ids).
+  int64_t numLiveObjects() const {
+    return static_cast<int64_t>(Objects.size());
+  }
 
   const bc::Module &module() const { return M; }
 
-  /// Releases all objects (between independent runs of one session).
-  void reset() { Objects.clear(); }
+  /// Releases all objects and restarts the id space from zero (between
+  /// fully independent runs; stale ids silently alias new objects, so
+  /// callers that keep id-keyed maps across runs must use recycle()).
+  void reset() {
+    Objects.clear();
+    Base = 0;
+  }
+
+  /// Releases all objects but *retains the id space*: future allocations
+  /// continue from the next unused id. This is what a profiled session
+  /// wants between runs of one sweep — run-scoped memory is reclaimed
+  /// while id-keyed profiler state (input membership maps) from earlier
+  /// runs can never alias a new object.
+  void recycle() {
+    Base += static_cast<ObjId>(Objects.size());
+    Objects.clear();
+  }
 
 private:
   Value defaultValueFor(bc::TypeId T) const;
 
   const bc::Module &M;
   std::vector<HeapObject> Objects;
+  ObjId Base = 0;
 };
 
 } // namespace vm

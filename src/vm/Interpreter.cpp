@@ -543,6 +543,11 @@ RunResult Machine::run(int32_t EntryMethodId) {
 RunResult Interpreter::run(int32_t EntryMethodId, ExecutionListener *Listener,
                            const InstrumentationPlan &Plan, IoChannels &Io,
                            const RunOptions &Opts) {
+  assert(!InRun && "Interpreter::run is not reentrant; use one "
+                   "Interpreter per concurrent run");
+  InRun = true;
   Machine Mach(P, TheHeap, Listener, Plan, Io, Opts);
-  return Mach.run(EntryMethodId);
+  RunResult R = Mach.run(EntryMethodId);
+  InRun = false;
+  return R;
 }

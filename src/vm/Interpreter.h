@@ -75,7 +75,16 @@ struct RunOptions {
 };
 
 /// Executes prepared programs. One Interpreter owns one heap; distinct
-/// runs in one Interpreter share the heap id space (reset() clears it).
+/// runs in one Interpreter share the heap id space (reset() clears it,
+/// Heap::recycle() reclaims memory while keeping ids fresh).
+///
+/// Thread-safety / re-entrancy: an Interpreter holds no state besides a
+/// reference to the immutable PreparedProgram and its private heap — all
+/// per-run machinery (frames, operand stacks, pc) lives on run()'s
+/// stack. A single Interpreter must not run twice concurrently (one
+/// heap), but any number of Interpreter instances may run in parallel
+/// over one shared PreparedProgram, each with its own IoChannels and
+/// listener. This is what parallel::SweepEngine relies on.
 class Interpreter {
 public:
   explicit Interpreter(const PreparedProgram &P)
@@ -83,6 +92,7 @@ public:
 
   /// Runs static method \p EntryMethodId (which must take no arguments).
   /// \p Listener may be null. \p Plan selects which events fire.
+  /// Non-reentrant per instance (asserted in debug builds).
   RunResult run(int32_t EntryMethodId, ExecutionListener *Listener,
                 const InstrumentationPlan &Plan, IoChannels &Io,
                 const RunOptions &Opts = RunOptions());
@@ -96,6 +106,7 @@ public:
 private:
   const PreparedProgram &P;
   Heap TheHeap;
+  bool InRun = false; ///< Debug re-entrancy guard.
 };
 
 } // namespace vm

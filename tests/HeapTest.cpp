@@ -117,4 +117,37 @@ TEST(Heap, ResetClears) {
   EXPECT_EQ(H.numObjects(), 0);
 }
 
+TEST(Heap, RecycleFreesMemoryButNeverReusesIds) {
+  auto CP = compile(R"(
+    class P { }
+    class Main { static void main() { } }
+  )");
+  ASSERT_TRUE(CP);
+  Heap H(*CP->Mod);
+  int32_t ClassId = CP->Mod->findClassId("P");
+  ObjId A = H.allocObject(ClassId);
+  ObjId B = H.allocObject(ClassId);
+  EXPECT_EQ(H.numLiveObjects(), 2);
+
+  H.recycle();
+  // Memory is gone, the id space is not: old ids are invalid (they can
+  // never alias), new allocations continue where the last run stopped.
+  EXPECT_EQ(H.numLiveObjects(), 0);
+  EXPECT_EQ(H.numObjects(), 2);
+  EXPECT_FALSE(H.isValid(A));
+  EXPECT_FALSE(H.isValid(B));
+
+  ObjId C = H.allocObject(ClassId);
+  EXPECT_EQ(C, B + 1);
+  EXPECT_TRUE(H.isValid(C));
+  EXPECT_EQ(H.numObjects(), 3);
+  EXPECT_EQ(H.numLiveObjects(), 1);
+
+  // Recycle composes; reset() really does restart the id space.
+  H.recycle();
+  EXPECT_EQ(H.allocObject(ClassId), C + 1);
+  H.reset();
+  EXPECT_EQ(H.allocObject(ClassId), 0);
+}
+
 } // namespace

@@ -1,0 +1,296 @@
+//===- tests/MergeTest.cpp - Properties of the shard merges ---------------===//
+///
+/// \file
+/// Property tests for InputTable::merge + RepetitionTree::merge, the
+/// reduction SweepEngine is built on. Shards are produced by running
+/// real profiled executions by hand (tests/SweepTestUtil.h) and merged
+/// in controlled orders:
+///
+///  - identity: merging into an empty accumulator reproduces the shard;
+///    merging an empty shard changes nothing;
+///  - associativity: (A + B) + C == A + (B + C), including absolute
+///    member object ids (the heap-id offsets compose);
+///  - permutation invariance for value-disjoint runs: when no cross-run
+///    unification can trigger, any merge order yields the same profiles
+///    up to series-point order.
+///
+/// Merge is deliberately NOT commutative in general — SomeElements
+/// unification compares a later run's identification-time values
+/// against earlier runs' final value sets, mirroring the serial
+/// session's own run-order sensitivity — so no test asserts it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "SweepTestUtil.h"
+#include "TestUtil.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::programs;
+using testutil::ShardRun;
+
+namespace {
+
+/// An accumulator mirroring SweepEngine's reduce phase, for merging
+/// hand-run shards in arbitrary orders.
+struct Accumulator {
+  std::unique_ptr<AlgoProfiler> Acc;
+  const CompiledProgram &CP;
+  int64_t ObjIdOffset = 0;
+
+  explicit Accumulator(const CompiledProgram &CP, const SessionOptions &SO)
+      : Acc(std::make_unique<AlgoProfiler>(CP.Prep, SO.Profile)), CP(CP) {}
+
+  void add(const AlgoProfiler &Shard, int64_t NumObjects) {
+    std::vector<int32_t> Remap =
+        Acc->inputs().merge(Shard.inputs(), ObjIdOffset);
+    Acc->tree().merge(Shard.tree(), Remap);
+    ObjIdOffset += NumObjects;
+  }
+  void add(const ShardRun &S) { add(*S.Prof, S.NumObjects); }
+
+  std::string profileSig(bool SortPoints = false) const {
+    return testutil::profileSignature(
+        buildProfilesFrom(Acc->tree(), Acc->inputs(), CP), Acc->inputs(),
+        SortPoints);
+  }
+  std::string treeSig() const { return testutil::treeSignature(Acc->tree()); }
+  std::string inputsSig() const {
+    return testutil::inputsSignature(Acc->inputs());
+  }
+};
+
+/// Values seed*1000+i: runs with different seeds share no array values,
+/// so no SomeElements overlap is possible and merge order cannot matter.
+const char *DisjointValuesProgram = R"MJ(
+class Main {
+  static void main() {
+    int seed = 0;
+    if (hasInput()) {
+      seed = readInt();
+    }
+    int[] a = new int[8];
+    for (int i = 0; i < 8; i++) {
+      a[i] = seed * 1000 + i + 1;
+    }
+    int sum = 0;
+    for (int i = 0; i < 8; i++) {
+      sum = sum + a[i];
+    }
+    print(sum);
+  }
+}
+)MJ";
+
+TEST(MergeTest, MergingOneShardIntoEmptyReproducesIt) {
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  SessionOptions SO;
+  ShardRun S = testutil::runShard(*CP, SO, {12});
+  ASSERT_TRUE(S.Result.ok()) << S.Result.TrapMessage;
+
+  Accumulator A(*CP, SO);
+  A.add(S);
+  // Offset 0 + empty destination: the merged state must equal the
+  // shard's own, member ids included.
+  EXPECT_EQ(A.treeSig(), testutil::treeSignature(S.Prof->tree()));
+  EXPECT_EQ(A.inputsSig(), testutil::inputsSignature(S.Prof->inputs()));
+  EXPECT_EQ(A.profileSig(),
+            testutil::profileSignature(
+                buildProfilesFrom(S.Prof->tree(), S.Prof->inputs(), *CP),
+                S.Prof->inputs()));
+}
+
+TEST(MergeTest, MergingAnEmptyShardIsIdentity) {
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  SessionOptions SO;
+  Accumulator A(*CP, SO);
+  A.add(testutil::runShard(*CP, SO, {8}));
+  std::string Tree = A.treeSig(), Inputs = A.inputsSig(),
+              Profiles = A.profileSig();
+
+  // A never-run profiler: empty tree, empty table, zero objects.
+  AlgoProfiler Empty(CP->Prep, SO.Profile);
+  A.add(Empty, 0);
+  EXPECT_EQ(A.treeSig(), Tree);
+  EXPECT_EQ(A.inputsSig(), Inputs);
+  EXPECT_EQ(A.profileSig(), Profiles);
+}
+
+TEST(MergeTest, MergeIsAssociative) {
+  // (A + B) + C vs A + (B + C): the right side first reduces B and C
+  // into an intermediate accumulator, then folds that accumulated state
+  // in — offsets compose, so even absolute member ids must agree.
+  for (const std::string &Src :
+       {seededInsertionSortProgram(InputOrder::Random),
+        std::string(DisjointValuesProgram), ioSumProgram()}) {
+    auto CP = testutil::compile(Src);
+    ASSERT_TRUE(CP);
+    SessionOptions SO;
+    ShardRun A = testutil::runShard(*CP, SO, {4});
+    ShardRun B = testutil::runShard(*CP, SO, {8});
+    ShardRun C = testutil::runShard(*CP, SO, {12});
+    ASSERT_TRUE(A.Result.ok() && B.Result.ok() && C.Result.ok());
+
+    Accumulator Left(*CP, SO);
+    Left.add(A);
+    Left.add(B);
+    Left.add(C);
+
+    Accumulator BC(*CP, SO);
+    BC.add(B);
+    BC.add(C);
+    Accumulator Right(*CP, SO);
+    Right.add(A);
+    Right.add(*BC.Acc, BC.ObjIdOffset);
+
+    EXPECT_EQ(Left.treeSig(), Right.treeSig());
+    EXPECT_EQ(Left.inputsSig(), Right.inputsSig());
+    EXPECT_EQ(Left.profileSig(), Right.profileSig());
+  }
+}
+
+TEST(MergeTest, ValueDisjointRunsAreOrderInvariant) {
+  // With pairwise-disjoint value sets nothing can unify cross-run, so
+  // every merge order must produce the same profiles up to the order of
+  // pooled series points (which legitimately follows run order).
+  auto CP = testutil::compile(DisjointValuesProgram);
+  ASSERT_TRUE(CP);
+  SessionOptions SO;
+  std::vector<ShardRun> Shards;
+  for (int64_t Seed : {1, 2, 3, 4, 5}) {
+    Shards.push_back(testutil::runShard(*CP, SO, {Seed}));
+    ASSERT_TRUE(Shards.back().Result.ok());
+  }
+
+  auto SigOf = [&](const std::vector<size_t> &Order) {
+    Accumulator A(*CP, SO);
+    for (size_t I : Order)
+      A.add(Shards[I]);
+    return A.profileSig(/*SortPoints=*/true);
+  };
+
+  std::vector<size_t> Order(Shards.size());
+  std::iota(Order.begin(), Order.end(), 0u);
+  std::string Baseline = SigOf(Order);
+  EXPECT_NE(Baseline.find("algo"), std::string::npos);
+
+  std::mt19937 Rng(42);
+  for (int Shuffle = 0; Shuffle < 6; ++Shuffle) {
+    std::shuffle(Order.begin(), Order.end(), Rng);
+    EXPECT_EQ(Baseline, SigOf(Order)) << "shuffle=" << Shuffle;
+  }
+}
+
+TEST(MergeTest, TreeMergeAlignsByKeyAndOffsetsParents) {
+  // Direct unit test of RepetitionTree::merge on hand-built trees:
+  // children align by RepKey, source records append after destination
+  // records, and ParentInvocation indices shift by the destination
+  // parent's pre-merge history length.
+  RepKey KeyX{RepKind::Loop, 1, 0};
+  RepKey KeyY{RepKind::Loop, 1, 1};
+  auto StepRecord = [](RepetitionNode *Parent, int64_t Steps,
+                       int32_t ParentInv) {
+    InvocationRecord R;
+    R.Costs.add({CostKind::Step, -1, -1}, Steps);
+    R.ParentNode = Parent;
+    R.ParentInvocation = ParentInv;
+    R.Finalized = true;
+    return R;
+  };
+
+  RepetitionTree Dst;
+  Dst.root().History.push_back(StepRecord(nullptr, 100, -1));
+  Dst.root().TotalInvocations = 1;
+  RepetitionNode &DstX = Dst.getOrCreateChild(Dst.root(), KeyX, "X");
+  DstX.History.push_back(StepRecord(&Dst.root(), 5, 0));
+  DstX.History.push_back(StepRecord(&Dst.root(), 7, 0));
+  DstX.TotalInvocations = 2;
+
+  RepetitionTree Src;
+  Src.root().History.push_back(StepRecord(nullptr, 200, -1));
+  Src.root().History.push_back(StepRecord(nullptr, 300, -1));
+  Src.root().TotalInvocations = 2;
+  RepetitionNode &SrcX = Src.getOrCreateChild(Src.root(), KeyX, "X");
+  SrcX.History.push_back(StepRecord(&Src.root(), 9, 1));
+  SrcX.TotalInvocations = 1;
+  RepetitionNode &SrcY = Src.getOrCreateChild(Src.root(), KeyY, "Y");
+  SrcY.History.push_back(StepRecord(&Src.root(), 11, 0));
+  SrcY.TotalInvocations = 1;
+
+  Dst.merge(Src, {});
+
+  EXPECT_EQ(Dst.numRepetitions(), 2);
+  ASSERT_EQ(Dst.root().History.size(), 3u);
+  EXPECT_EQ(Dst.root().TotalInvocations, 3);
+  EXPECT_EQ(Dst.root().History[1].Costs.steps(), 200);
+
+  RepetitionNode *X = Dst.root().findChild(KeyX);
+  ASSERT_NE(X, nullptr);
+  ASSERT_EQ(X->History.size(), 3u);
+  EXPECT_EQ(X->TotalInvocations, 3);
+  EXPECT_EQ(X->History[2].Costs.steps(), 9);
+  // Src record pointed at src-root invocation 1; dst root had 1 record
+  // before the merge, so it now points at dst-root invocation 2.
+  EXPECT_EQ(X->History[2].ParentInvocation, 2);
+  EXPECT_EQ(X->History[2].ParentNode, &Dst.root());
+  EXPECT_EQ(X->History[0].ParentInvocation, 0);
+
+  RepetitionNode *Y = Dst.root().findChild(KeyY);
+  ASSERT_NE(Y, nullptr);
+  ASSERT_EQ(Y->History.size(), 1u);
+  EXPECT_EQ(Y->History[0].Costs.steps(), 11);
+  EXPECT_EQ(Y->History[0].ParentInvocation, 1);
+  EXPECT_EQ(Y->History[0].ParentNode, &Dst.root());
+}
+
+TEST(MergeTest, InputTableMergeRemapsAndTranslatesMemberIds) {
+  // Two runs of the binary-search program build value-identical int
+  // arrays, so the second shard's array inputs must unify with the
+  // first run's — exactly as a serial session unifies them — with
+  // member object ids translated by the first run's object count.
+  // (Structure inputs, by contrast, never unify cross-run: each run's
+  // objects are distinct, in the sweep just as in a serial session.)
+  auto CP = testutil::compile(binarySearchProgram(8, 4));
+  ASSERT_TRUE(CP);
+  SessionOptions SO;
+  ShardRun A = testutil::runShard(*CP, SO);
+  ShardRun B = testutil::runShard(*CP, SO);
+  ASSERT_TRUE(A.Result.ok() && B.Result.ok());
+
+  Accumulator Acc(*CP, SO);
+  Acc.add(A);
+  size_t LiveAfterA = Acc.Acc->inputs().liveInputs().size();
+  Acc.add(B);
+  // Identical runs: every one of B's array inputs lands on an existing
+  // one, so the live count does not grow...
+  EXPECT_EQ(Acc.Acc->inputs().liveInputs().size(), LiveAfterA);
+
+  // ...and matches a serial session over the same two runs.
+  ProfileSession Serial(*CP, SO);
+  ASSERT_TRUE(Serial.run("Main", "main").ok());
+  ASSERT_TRUE(Serial.run("Main", "main").ok());
+  EXPECT_EQ(Acc.Acc->inputs().liveInputs().size(),
+            Serial.inputs().liveInputs().size());
+
+  // Member ids from shard B appear shifted by A's object count, and the
+  // merged membership resolves them to the unified inputs.
+  const InputTable &BT = B.Prof->inputs();
+  for (int32_t Id : BT.liveInputs()) {
+    for (int64_t Obj : BT.info(Id).Members) {
+      int32_t Mapped = Acc.Acc->inputs().inputOf(
+          static_cast<vm::ObjId>(Obj + A.NumObjects));
+      EXPECT_GE(Mapped, 0);
+    }
+  }
+}
+
+} // namespace

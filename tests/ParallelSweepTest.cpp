@@ -1,0 +1,229 @@
+//===- tests/ParallelSweepTest.cpp - Serial vs sharded sweeps -------------===//
+///
+/// \file
+/// Differential tests for parallel::SweepEngine: a sharded sweep at any
+/// thread count must produce the same algorithm profiles — labels,
+/// per-input classifications, series points, fitted formulas — as a
+/// serial ProfileSession executing the same runs in the same order, and
+/// the same repetition-tree structure and live-input contents. The
+/// comparisons are string signatures (tests/SweepTestUtil.h) so a
+/// mismatch prints both sides.
+///
+//===----------------------------------------------------------------------===//
+
+#include "SweepTestUtil.h"
+#include "TestUtil.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::programs;
+
+namespace {
+
+struct Sigs {
+  std::string Profiles;
+  std::string Tree;
+  std::string Inputs;
+
+  bool operator==(const Sigs &O) const {
+    return Profiles == O.Profiles && Tree == O.Tree && Inputs == O.Inputs;
+  }
+};
+
+/// Drives a serial accumulating session over \p Runs (one I/O input
+/// vector per run) and renders its signatures.
+Sigs serialSigs(const CompiledProgram &CP, const SessionOptions &SO,
+                const std::vector<std::vector<int64_t>> &Runs,
+                GroupingStrategy G = GroupingStrategy::CommonInput) {
+  ProfileSession S(CP, SO);
+  for (const std::vector<int64_t> &In : Runs) {
+    vm::IoChannels Io;
+    Io.Input = In;
+    vm::RunResult R = S.run("Main", "main", Io);
+    EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  }
+  return {testutil::profileSignature(S.buildProfiles(G), S.inputs()),
+          testutil::treeSignature(S.tree()),
+          testutil::inputsSignature(S.inputs())};
+}
+
+/// Runs the same runs through the sweep engine at \p Threads workers.
+Sigs sweepSigs(const CompiledProgram &CP, const SessionOptions &SO,
+               int Threads, const std::vector<std::vector<int64_t>> &Runs,
+               GroupingStrategy G = GroupingStrategy::CommonInput) {
+  parallel::SweepEngine E(CP, SO);
+  std::vector<vm::IoChannels> Ios(Runs.size());
+  for (size_t I = 0; I < Runs.size(); ++I)
+    Ios[I].Input = Runs[I];
+  parallel::SweepResult SR = E.sweepWithInputs("Main", "main", Threads, Ios);
+  EXPECT_TRUE(SR.allOk());
+  return {testutil::profileSignature(E.buildProfiles(G), E.inputs()),
+          testutil::treeSignature(E.tree()),
+          testutil::inputsSignature(E.inputs())};
+}
+
+void expectSweepMatchesSerial(
+    const std::string &Src, const std::vector<std::vector<int64_t>> &Runs,
+    const SessionOptions &SO = SessionOptions(),
+    GroupingStrategy G = GroupingStrategy::CommonInput) {
+  auto CP = testutil::compile(Src);
+  ASSERT_TRUE(CP);
+  Sigs Serial = serialSigs(*CP, SO, Runs, G);
+  ASSERT_FALSE(Serial.Tree.empty());
+  for (int Threads : {1, 2, 8}) {
+    Sigs Sweep = sweepSigs(*CP, SO, Threads, Runs, G);
+    EXPECT_EQ(Serial.Profiles, Sweep.Profiles) << "threads=" << Threads;
+    EXPECT_EQ(Serial.Tree, Sweep.Tree) << "threads=" << Threads;
+    EXPECT_EQ(Serial.Inputs, Sweep.Inputs) << "threads=" << Threads;
+  }
+}
+
+std::vector<std::vector<int64_t>> seedRuns(std::vector<int64_t> Seeds) {
+  std::vector<std::vector<int64_t>> Runs;
+  for (int64_t S : Seeds)
+    Runs.push_back({S});
+  return Runs;
+}
+
+TEST(ParallelSweepTest, SeededInsertionSortMatchesSerial) {
+  // The Fig. 1 shape SweepEngine exists for: one list sorted per run,
+  // list length delivered through the input channel.
+  for (InputOrder Order :
+       {InputOrder::Random, InputOrder::Sorted, InputOrder::Reversed})
+    expectSweepMatchesSerial(seededInsertionSortProgram(Order),
+                             seedRuns({0, 4, 8, 12, 16}));
+}
+
+TEST(ParallelSweepTest, RepeatedIdenticalRunsMatchSerial) {
+  // Identical unseeded runs produce identical structures and identical
+  // array values, so every run's inputs unify with earlier runs' —
+  // maximum stress for the cross-run SomeElements replay.
+  expectSweepMatchesSerial(insertionSortProgram(12, 4, 1, InputOrder::Random),
+                           {{}, {}, {}});
+}
+
+TEST(ParallelSweepTest, CorpusMatchesSerial) {
+  const std::vector<std::pair<const char *, std::string>> Corpus = {
+      {"functionalSort", functionalSortProgram(12, 4, 1, InputOrder::Random)},
+      {"mergeSort", mergeSortProgram(12, 4, 1, InputOrder::Random)},
+      {"arrayListNaive", arrayListProgram(false, 12, 4)},
+      {"arrayListDoubling", arrayListProgram(true, 16, 4)},
+      {"binarySearch", binarySearchProgram(16, 4)},
+      {"bst", bstProgram(16, 4)},
+      {"listing4", listing4Program(8)},
+      {"listing5", listing5Program(4, 5)},
+  };
+  for (const auto &[Name, Src] : Corpus) {
+    SCOPED_TRACE(Name);
+    expectSweepMatchesSerial(Src, {{}, {}});
+  }
+}
+
+TEST(ParallelSweepTest, StreamProgramMatchesSerial) {
+  // Stream pseudo-inputs must unify across shards by role, and the
+  // pooled stream series must keep run order.
+  expectSweepMatchesSerial(ioSumProgram(), {{1, 2, 3}, {4, 5}, {6}, {}});
+}
+
+TEST(ParallelSweepTest, EquivalenceStrategiesMatchSerial) {
+  // SameType and SameArray have their own cross-run unification rules
+  // (first live same-typed input; never unify). AllElements is exercised
+  // on a structure-only program: disjoint heap snapshots can never be
+  // element-equal across runs, which the merge reproduces by never
+  // unifying heap inputs cross-run — the documented scope of its replay.
+  for (EquivalenceStrategy Strategy :
+       {EquivalenceStrategy::SameType, EquivalenceStrategy::SameArray,
+        EquivalenceStrategy::AllElements}) {
+    SCOPED_TRACE(equivalenceStrategyName(Strategy));
+    SessionOptions SO;
+    SO.Profile.Equivalence = Strategy;
+    expectSweepMatchesSerial(seededInsertionSortProgram(InputOrder::Random),
+                             seedRuns({3, 6, 9}), SO);
+  }
+}
+
+TEST(ParallelSweepTest, TrackedSnapshotsMatchSerial) {
+  SessionOptions SO;
+  SO.Profile.Snapshots = SnapshotMode::Tracked;
+  expectSweepMatchesSerial(seededInsertionSortProgram(InputOrder::Random),
+                           seedRuns({4, 8, 12}), SO);
+}
+
+TEST(ParallelSweepTest, GroupingStrategiesMatchSerial) {
+  for (GroupingStrategy G :
+       {GroupingStrategy::SameMethod,
+        GroupingStrategy::CommonInputPlusDataflow}) {
+    expectSweepMatchesSerial(seededInsertionSortProgram(InputOrder::Random),
+                             seedRuns({4, 8, 12}), SessionOptions(), G);
+  }
+}
+
+TEST(ParallelSweepTest, RepeatedSweepsAreByteIdentical) {
+  // Determinism across schedules: the same sweep at 8 threads, twice,
+  // must be byte-identical (reduction happens after all workers join,
+  // strictly in run-index order — scheduling cannot show through).
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  SessionOptions SO;
+  std::vector<std::vector<int64_t>> Runs = seedRuns({0, 4, 8, 12, 16, 20});
+  Sigs First = sweepSigs(*CP, SO, 8, Runs);
+  for (int Rep = 0; Rep < 3; ++Rep)
+    EXPECT_EQ(First, sweepSigs(*CP, SO, 8, Runs)) << "rep=" << Rep;
+  EXPECT_EQ(First, sweepSigs(*CP, SO, 1, Runs));
+}
+
+TEST(ParallelSweepTest, SeedsApiMatchesExplicitChannels) {
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  parallel::SweepEngine E(*CP, SessionOptions());
+  SweepOptions SO;
+  SO.Threads = 2;
+  SO.Seeds = {4, 8, 12};
+  parallel::SweepResult SR = E.sweep("Main", "main", SO);
+  EXPECT_TRUE(SR.allOk());
+  EXPECT_EQ(SR.Runs.size(), 3u);
+  Sigs ViaSeeds = {
+      testutil::profileSignature(E.buildProfiles(), E.inputs()),
+      testutil::treeSignature(E.tree()), testutil::inputsSignature(E.inputs())};
+  EXPECT_EQ(ViaSeeds,
+            sweepSigs(*CP, SessionOptions(), 2, seedRuns({4, 8, 12})));
+}
+
+TEST(ParallelSweepTest, SuccessiveSweepsAccumulateLikeSerial) {
+  // Two sweep() batches on one engine must equal one serial session
+  // over the concatenated runs: the engine's heap-id offset persists
+  // across batches exactly like a serial session's ever-growing heap.
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  parallel::SweepEngine E(*CP, SessionOptions());
+  for (std::vector<int64_t> Batch : {std::vector<int64_t>{4, 8},
+                                     std::vector<int64_t>{12, 16}}) {
+    SweepOptions SO;
+    SO.Threads = 2;
+    SO.Seeds = Batch;
+    EXPECT_TRUE(E.sweep("Main", "main", SO).allOk());
+  }
+  Sigs Batched = {
+      testutil::profileSignature(E.buildProfiles(), E.inputs()),
+      testutil::treeSignature(E.tree()), testutil::inputsSignature(E.inputs())};
+  EXPECT_EQ(Batched, serialSigs(*CP, SessionOptions(),
+                                seedRuns({4, 8, 12, 16})));
+}
+
+TEST(ParallelSweepTest, UnknownEntryTrapsEveryRun) {
+  auto CP = testutil::compile(ioSumProgram());
+  ASSERT_TRUE(CP);
+  parallel::SweepEngine E(*CP, SessionOptions());
+  parallel::SweepResult SR =
+      E.sweepWithInputs("Main", "nope", 2, std::vector<vm::IoChannels>(3));
+  EXPECT_FALSE(SR.allOk());
+  ASSERT_EQ(SR.Runs.size(), 3u);
+  for (const vm::RunResult &R : SR.Runs)
+    EXPECT_NE(R.TrapMessage.find("no static no-arg method"),
+              std::string::npos);
+}
+
+} // namespace

@@ -123,6 +123,52 @@ TEST(Session, GroupingStrategiesProduceCompletePartitions) {
   }
 }
 
+TEST(Session, HeapIsRecycledBetweenRuns) {
+  // Regression test for run-state leaks: a session used to keep every
+  // run's objects alive in its interpreter's heap forever. Now each run
+  // ends with Heap::recycle() — memory is released, but object ids are
+  // never reused, so the profiler's id-keyed input maps stay sound.
+  auto CP = compile(programs::insertionSortProgram(
+      8, 4, 1, programs::InputOrder::Random));
+  ASSERT_TRUE(CP);
+  ProfileSession S(*CP);
+
+  ASSERT_TRUE(S.run("Main", "main").ok());
+  int64_t AfterFirst = S.interpreter().heap().numObjects();
+  EXPECT_GT(AfterFirst, 0);
+  EXPECT_EQ(S.interpreter().heap().numLiveObjects(), 0);
+
+  ASSERT_TRUE(S.run("Main", "main").ok());
+  // The id space keeps growing run over run (no aliasing is possible)
+  // while the live set is emptied again.
+  EXPECT_EQ(S.interpreter().heap().numObjects(), 2 * AfterFirst);
+  EXPECT_EQ(S.interpreter().heap().numLiveObjects(), 0);
+
+  // Identical runs unify their value-identical inputs, and both runs'
+  // root invocations are present — nothing about profiling regressed.
+  EXPECT_EQ(S.tree().root().History.size(), 2u);
+  auto Profiles = S.buildProfiles();
+  EXPECT_FALSE(Profiles.empty());
+}
+
+TEST(Session, IoCursorsDoNotLeakAcrossRuns) {
+  // Each run() gets its own channels; a second run with a fresh input
+  // vector must read from position zero, not where run one stopped.
+  auto CP = compile(programs::ioSumProgram());
+  ASSERT_TRUE(CP);
+  ProfileSession S(*CP);
+
+  vm::IoChannels First;
+  First.Input = {1, 2, 3};
+  ASSERT_TRUE(S.run("Main", "main", First).ok());
+  EXPECT_EQ(First.Output, (std::vector<int64_t>{1, 2, 3, 6}));
+
+  vm::IoChannels Second;
+  Second.Input = {10};
+  ASSERT_TRUE(S.run("Main", "main", Second).ok());
+  EXPECT_EQ(Second.Output, (std::vector<int64_t>{10, 10}));
+}
+
 TEST(Session, TrapDuringProfiledRunReportsMessage) {
   auto CP = compile(R"(
     class Main {

@@ -1,0 +1,144 @@
+//===- tests/SweepTestUtil.h - Helpers for sweep/merge tests ----*- C++-*-===//
+///
+/// \file
+/// Shared machinery for the parallel-sweep differential tests and the
+/// merge property tests: run single profiled shards by hand, and render
+/// profile pipelines into id-free signature strings that must match
+/// byte-for-byte between a serial session and any sharded sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_TESTS_SWEEPTESTUTIL_H
+#define ALGOPROF_TESTS_SWEEPTESTUTIL_H
+
+#include "core/Session.h"
+#include "parallel/SweepEngine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace testutil {
+
+/// One hand-run profiled shard, as SweepEngine's workers produce them.
+struct ShardRun {
+  std::unique_ptr<prof::AlgoProfiler> Prof;
+  vm::RunResult Result;
+  int64_t NumObjects = 0;
+};
+
+inline ShardRun runShard(const prof::CompiledProgram &CP,
+                         const prof::SessionOptions &Opts,
+                         std::vector<int64_t> Input = {}) {
+  ShardRun S;
+  vm::Interpreter Interp(CP.Prep);
+  S.Prof = std::make_unique<prof::AlgoProfiler>(CP.Prep, Opts.Profile);
+  vm::InstrumentationPlan Plan =
+      prof::makeInstrumentationPlan(CP, Opts.AllMethodsPlan);
+  vm::IoChannels Io;
+  Io.Input = std::move(Input);
+  S.Result = Interp.run(CP.entryMethod("Main", "main"), S.Prof.get(),
+                        Plan, Io, Opts.Run);
+  S.NumObjects = Interp.heap().numObjects();
+  return S;
+}
+
+inline std::string fmtDouble(double V) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+/// Renders everything the differential tests must see unchanged: labels,
+/// per-input classifications, series points, fitted formulas, and the
+/// per-measure fits. Input ids are deliberately absent — a sweep merge
+/// may skip id numbers a serial session burned on short-lived inputs;
+/// every observable fact about an input appears through its label.
+/// \p SortPoints sorts each series (for run-order permutation tests,
+/// where point order legitimately follows run order).
+inline std::string
+profileSignature(const std::vector<prof::AlgorithmProfile> &Profiles,
+                 const prof::InputTable &T, bool SortPoints = false) {
+  std::string Sig;
+  for (const prof::AlgorithmProfile &AP : Profiles) {
+    Sig += "algo: " + AP.Label + "\n";
+    for (const prof::Classification::PerInput &PI : AP.Class.Inputs)
+      Sig += "  class: " +
+             std::string(prof::algorithmClassName(PI.Class)) + " of " +
+             T.info(PI.InputId).Label + "\n";
+    Sig += AP.Class.DoesInput ? "  does-input\n" : "";
+    Sig += AP.Class.DoesOutput ? "  does-output\n" : "";
+    for (const prof::AlgorithmProfile::InputSeries &S : AP.Series) {
+      Sig += "  series " + S.Kind +
+             (S.Interesting ? " interesting" : "") + "\n";
+      std::vector<prof::SeriesPoint> Pts = S.Series;
+      if (SortPoints)
+        std::sort(Pts.begin(), Pts.end(),
+                  [](const prof::SeriesPoint &A,
+                     const prof::SeriesPoint &B) {
+                    return A.X != B.X ? A.X < B.X : A.Y < B.Y;
+                  });
+      for (const prof::SeriesPoint &P : Pts)
+        Sig += "    <" + fmtDouble(P.X) + ", " + fmtDouble(P.Y) + ">\n";
+      if (S.Fit.Valid)
+        Sig += "    fit " + S.Fit.formula() + "\n";
+      for (const auto &[Kind, Fit] : S.MeasureFits)
+        Sig += "    measure " + std::string(prof::costKindLabel(Kind)) +
+               " " + Fit.formula() + "\n";
+    }
+  }
+  return Sig;
+}
+
+/// Structural tree signature, id-free: node names in pre-order with
+/// invocation counts, per-record steps, finalization flags, and parent
+/// attribution indices. Serial vs sweep must agree exactly.
+inline std::string treeSignature(const prof::RepetitionTree &T) {
+  std::string Sig;
+  T.forEach([&Sig](const prof::RepetitionNode &N) {
+    Sig += N.Name + " depth=" + std::to_string(N.depth()) +
+           " total=" + std::to_string(N.TotalInvocations) +
+           " records=" + std::to_string(N.History.size()) + "\n";
+    for (const prof::InvocationRecord &R : N.History)
+      Sig += "  steps=" + std::to_string(R.Costs.steps()) +
+             " folded=" + std::to_string(R.FoldedCosts.steps()) +
+             " inputs=" + std::to_string(R.Inputs.size()) +
+             " parent=" + std::to_string(R.ParentInvocation) +
+             (R.Finalized ? " fin" : "") + "\n";
+  });
+  return Sig;
+}
+
+/// Live-input signature: label, member object ids, value sets, class
+/// counts. Member ids are absolute (serial heap numbering), so this also
+/// checks the sweep's ObjIdOffset translation.
+inline std::string inputsSignature(const prof::InputTable &T) {
+  std::string Sig;
+  for (int32_t Id : T.liveInputs()) {
+    const prof::InputInfo &Info = T.info(Id);
+    Sig += Info.Label + (Info.IsArray ? " array" : "") +
+           (Info.IsStream ? " stream" : "") + ":";
+    std::vector<int64_t> Members(Info.Members.begin(),
+                                 Info.Members.end());
+    std::sort(Members.begin(), Members.end());
+    for (int64_t M : Members)
+      Sig += " m" + std::to_string(M);
+    std::vector<int64_t> Values(Info.ValueSet.begin(),
+                                Info.ValueSet.end());
+    std::sort(Values.begin(), Values.end());
+    for (int64_t V : Values)
+      Sig += " v" + std::to_string(V);
+    for (const auto &[ClassId, N] : Info.MemberClassCounts)
+      Sig += " c" + std::to_string(ClassId) + "x" + std::to_string(N);
+    Sig += " cap" + std::to_string(Info.MaxCapacitySeen) + "\n";
+  }
+  return Sig;
+}
+
+} // namespace testutil
+} // namespace algoprof
+
+#endif // ALGOPROF_TESTS_SWEEPTESTUTIL_H

@@ -10,6 +10,9 @@
 ///     --snapshots MODE           eager | tracked
 ///     --sample N                 invocation-sampling threshold (0 = off)
 ///     --runs N                   run the entry N times (default 1)
+///     --jobs J                   shard the runs over J worker threads
+///                                (0 = hardware concurrency; output is
+///                                identical for every J)
 ///     --input v1,v2,...          values for the external input channel
 ///     --cct                      also print the traditional CCT profile
 ///     --dot FILE                 write the repetition tree as Graphviz
@@ -19,6 +22,7 @@
 
 #include "cct/CctProfiler.h"
 #include "core/Session.h"
+#include "parallel/SweepEngine.h"
 #include "report/CsvWriter.h"
 #include "report/DotExporter.h"
 #include "report/TreePrinter.h"
@@ -26,6 +30,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +46,7 @@ struct CliOptions {
   GroupingStrategy Grouping = GroupingStrategy::CommonInput;
   SessionOptions Session;
   int Runs = 1;
+  int Jobs = 1;
   std::vector<int64_t> Input;
   bool WithCct = false;
   std::string DotFile;
@@ -53,7 +59,8 @@ void usageAndExit(const char *Argv0) {
                "[--grouping common-input|same-method|dataflow] "
                "[--equivalence some|all|same-array|same-type] "
                "[--snapshots eager|tracked] [--sample N] [--runs N] "
-               "[--input v1,v2,...] [--cct] [--dot FILE] [--csv FILE]\n",
+               "[--jobs J] [--input v1,v2,...] [--cct] [--dot FILE] "
+               "[--csv FILE]\n",
                Argv0);
   std::exit(2);
 }
@@ -129,6 +136,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Runs = std::atoi(V);
       if (Opts.Runs < 1)
         return false;
+    } else if (Arg == "--jobs") {
+      const char *V = Need(I);
+      if (!V)
+        return false;
+      Opts.Jobs = std::atoi(V);
+      if (Opts.Jobs < 0)
+        return false;
     } else if (Arg == "--input") {
       const char *V = Need(I);
       if (!V)
@@ -200,30 +214,64 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  ProfileSession S(*CP, Opts.Session);
+  // --jobs 1 keeps the classic serial accumulating session; any other
+  // value shards the runs over the sweep engine. Output is identical
+  // either way (that equivalence is what tests/ParallelSweepTest.cpp
+  // locks down).
+  std::unique_ptr<ProfileSession> Serial;
+  std::unique_ptr<parallel::SweepEngine> Engine;
+  const RepetitionTree *Tree = nullptr;
+  const InputTable *Inputs = nullptr;
+  std::vector<AlgorithmProfile> Profiles;
   uint64_t Instructions = 0;
-  for (int Run = 0; Run < Opts.Runs; ++Run) {
-    vm::IoChannels Io;
-    Io.Input = Opts.Input;
-    vm::RunResult R =
-        S.run(Opts.EntryClass, Opts.EntryMethod, Io);
-    Instructions += R.InstrCount;
-    if (!R.ok()) {
-      std::fprintf(stderr, "run %d failed: %s\n", Run + 1,
-                   R.TrapMessage.c_str());
-      return 1;
+
+  if (Opts.Jobs == 1) {
+    Serial = std::make_unique<ProfileSession>(*CP, Opts.Session);
+    for (int Run = 0; Run < Opts.Runs; ++Run) {
+      vm::IoChannels Io;
+      Io.Input = Opts.Input;
+      vm::RunResult R =
+          Serial->run(Opts.EntryClass, Opts.EntryMethod, Io);
+      Instructions += R.InstrCount;
+      if (!R.ok()) {
+        std::fprintf(stderr, "run %d failed: %s\n", Run + 1,
+                     R.TrapMessage.c_str());
+        return 1;
+      }
     }
+    Tree = &Serial->tree();
+    Inputs = &Serial->inputs();
+    Profiles = Serial->buildProfiles(Opts.Grouping);
+  } else {
+    Engine = std::make_unique<parallel::SweepEngine>(*CP, Opts.Session);
+    std::vector<vm::IoChannels> RunInputs(
+        static_cast<size_t>(Opts.Runs));
+    for (vm::IoChannels &Io : RunInputs)
+      Io.Input = Opts.Input;
+    parallel::SweepResult SR = Engine->sweepWithInputs(
+        Opts.EntryClass, Opts.EntryMethod, Opts.Jobs, RunInputs);
+    for (size_t Run = 0; Run < SR.Runs.size(); ++Run) {
+      Instructions += SR.Runs[Run].InstrCount;
+      if (!SR.Runs[Run].ok()) {
+        std::fprintf(stderr, "run %zu failed: %s\n", Run + 1,
+                     SR.Runs[Run].TrapMessage.c_str());
+        return 1;
+      }
+    }
+    Tree = &Engine->tree();
+    Inputs = &Engine->inputs();
+    Profiles = Engine->buildProfiles(Opts.Grouping);
   }
+
   std::printf("%d run(s), %llu bytecode instructions, %d repetitions, "
               "%d input(s), %lld structure snapshots\n\n",
               Opts.Runs, static_cast<unsigned long long>(Instructions),
-              S.tree().numRepetitions(),
-              static_cast<int>(S.inputs().liveInputs().size()),
-              static_cast<long long>(S.inputs().snapshotsTaken()));
+              Tree->numRepetitions(),
+              static_cast<int>(Inputs->liveInputs().size()),
+              static_cast<long long>(Inputs->snapshotsTaken()));
 
-  std::vector<AlgorithmProfile> Profiles = S.buildProfiles(Opts.Grouping);
   std::printf("%s",
-              report::renderAnnotatedTree(S.tree(), Profiles).c_str());
+              report::renderAnnotatedTree(*Tree, Profiles).c_str());
 
   if (Opts.WithCct) {
     // A second, CCT-profiled execution over the same program.
@@ -242,7 +290,7 @@ int main(int Argc, char **Argv) {
 
   if (!Opts.DotFile.empty()) {
     if (report::writeFile(Opts.DotFile,
-                          report::repetitionTreeToDot(S.tree(),
+                          report::repetitionTreeToDot(*Tree,
                                                       Profiles)))
       std::printf("\nwrote %s\n", Opts.DotFile.c_str());
     else
