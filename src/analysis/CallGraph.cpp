@@ -21,10 +21,15 @@ CallGraph algoprof::analysis::buildCallGraph(const Module &M) {
       switch (I.Op) {
       case Opcode::InvokeStatic:
       case Opcode::InvokeCtor:
-        Out.push_back(I.A);
+        // Operand validity is only verified for *reachable* code; an
+        // invalid callee in dead code must not poison the graph.
+        if (I.A >= 0 && I.A < static_cast<int32_t>(N))
+          Out.push_back(I.A);
         break;
       case Opcode::InvokeVirtual:
         // Conservative: any class whose vtable covers this slot.
+        if (I.A < 0)
+          break;
         for (const ClassInfo &C : M.Classes)
           if (I.A < static_cast<int32_t>(C.Vtable.size()))
             Out.push_back(C.Vtable[static_cast<size_t>(I.A)]);

@@ -29,12 +29,13 @@ enum class Opcode : uint8_t {
   Dup,       ///< duplicate top of stack
   Pop,       ///< discard top of stack
 
-  // Integer arithmetic (booleans are 0/1 ints).
+  // Integer arithmetic (booleans are 0/1 ints). Add/Sub/Mul/Neg wrap
+  // around on overflow (Java two's-complement semantics).
   Add,
   Sub,
   Mul,
-  Div, ///< traps on division by zero
-  Rem, ///< traps on division by zero
+  Div, ///< traps on division by zero; INT64_MIN / -1 == INT64_MIN
+  Rem, ///< traps on division by zero; INT64_MIN % -1 == 0
   Neg,
   Not, ///< logical not on a 0/1 int
 

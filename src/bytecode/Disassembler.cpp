@@ -5,6 +5,22 @@
 using namespace algoprof;
 using namespace algoprof::bc;
 
+namespace {
+
+/// True when \p Id indexes into a table of \p Size entries. The
+/// disassembler renders arbitrary modules — including corrupted ones the
+/// fuzzer's mutator produces — so every operand-derived index is checked
+/// and malformed operands print as "<invalid ...>" instead of faulting.
+bool inBounds(int32_t Id, size_t Size) {
+  return Id >= 0 && static_cast<size_t>(Id) < Size;
+}
+
+std::string invalid(const char *What, int32_t Id) {
+  return std::string("<invalid ") + What + " " + std::to_string(Id) + ">";
+}
+
+} // namespace
+
 std::string bc::disassemble(const Module &M, const MethodInfo &Method) {
   std::string Out;
   Out += Method.QualifiedName + " (args=" + std::to_string(Method.NumArgs) +
@@ -27,19 +43,32 @@ std::string bc::disassemble(const Module &M, const MethodInfo &Method) {
       break;
     case Opcode::GetField:
     case Opcode::PutField:
-      Out += " " + M.Classes[M.Fields[I.A].ClassId].Name + "." +
-             M.Fields[I.A].Name;
+      if (inBounds(I.A, M.Fields.size()) &&
+          inBounds(M.Fields[I.A].ClassId, M.Classes.size()))
+        Out += " " + M.Classes[M.Fields[I.A].ClassId].Name + "." +
+               M.Fields[I.A].Name;
+      else
+        Out += " " + invalid("field", I.A);
       break;
     case Opcode::NewObject:
-      Out += " " + M.Classes[I.A].Name;
+      if (inBounds(I.A, M.Classes.size()))
+        Out += " " + M.Classes[I.A].Name;
+      else
+        Out += " " + invalid("class", I.A);
       break;
     case Opcode::NewArray:
     case Opcode::NewMulti:
-      Out += " " + M.typeName(I.A);
+      if (inBounds(I.A, M.Types.size()))
+        Out += " " + M.typeName(I.A);
+      else
+        Out += " " + invalid("type", I.A);
       break;
     case Opcode::InvokeStatic:
     case Opcode::InvokeCtor:
-      Out += " " + M.Methods[I.A].QualifiedName;
+      if (inBounds(I.A, M.Methods.size()))
+        Out += " " + M.Methods[I.A].QualifiedName;
+      else
+        Out += " " + invalid("method", I.A);
       break;
     case Opcode::InvokeVirtual:
       Out += " slot " + std::to_string(I.A);

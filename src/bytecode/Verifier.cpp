@@ -162,8 +162,15 @@ Effect MethodVerifier::effectAt(size_t Pc) {
     return {Callee.NumArgs, Callee.ReturnsValue ? 1 : 0};
   }
   case Opcode::Ret:
+    // A bare Ret in a value-returning method would leave the caller's
+    // stack one short of what its verification assumed — the caller
+    // pushes only when the callee actually executed RetVal.
+    if (Method.ReturnsValue)
+      error(Pc, "ret in value-returning method");
     return {0, 0};
   case Opcode::RetVal:
+    if (!Method.ReturnsValue)
+      error(Pc, "retval in void method");
     return {1, 0};
   case Opcode::Print:
     return {1, 0};

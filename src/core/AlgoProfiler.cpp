@@ -169,6 +169,9 @@ void AlgoProfiler::touchInput(Activation &A, int32_t Input, ObjId Ref) {
 void AlgoProfiler::onProgramStart(const ExecContext &Ctx) {
   Inputs.setHeap(Ctx.TheHeap);
   Io = Ctx.Io;
+  // Each run sizes its own heap: tracked measurement counters reset
+  // here, while identification state keeps accumulating across runs.
+  Inputs.beginRun();
   pushOwnedActivation(Tree.root());
 }
 

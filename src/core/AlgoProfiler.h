@@ -32,8 +32,10 @@ enum class SnapshotMode {
   /// Fast approximation: read the incrementally tracked membership
   /// counts instead of traversing. Exact for grow-only structures (the
   /// tracked count *is* the paper's max-size rule); may overestimate for
-  /// structures that shrink and regrow. Used for large sweeps and as an
-  /// overhead ablation.
+  /// structures that shrink and regrow. The counts are run-scoped: they
+  /// reset at every program start, so an input shared across runs (e.g.
+  /// under SameType) is still sized from the current run's heap. Used
+  /// for large sweeps and as an overhead ablation.
   Tracked,
 };
 

@@ -72,10 +72,19 @@ int32_t InputTable::merge(int32_t A, int32_t B) {
     Winner.MemberClassCounts[ClassId] += N;
   Winner.MaxCapacitySeen =
       std::max(Winner.MaxCapacitySeen, Loser.MaxCapacitySeen);
+  Winner.RunMemberCount += Loser.RunMemberCount;
+  for (int64_t V : Loser.RunValueSet)
+    Winner.RunValueSet.insert(V);
+  for (const auto &[ClassId, N] : Loser.RunMemberClassCounts)
+    Winner.RunMemberClassCounts[ClassId] += N;
+  Winner.RunMaxCapacitySeen =
+      std::max(Winner.RunMaxCapacitySeen, Loser.RunMaxCapacitySeen);
   Loser.Alive = false;
   Loser.Members.clear();
   Loser.ValueSet.clear();
   Loser.SeedValues.clear();
+  Loser.RunValueSet.clear();
+  Loser.RunMemberClassCounts.clear();
   Parent[static_cast<size_t>(B)] = A;
   return A;
 }
@@ -100,8 +109,11 @@ void InputTable::assign(ObjId Obj, int32_t Input, int32_t ClassId) {
   ObjToInput.emplace(Obj, Input);
   InputInfo &Info = Inputs[static_cast<size_t>(canonical(Input))];
   Info.Members.insert(Obj);
-  if (ClassId >= 0)
+  ++Info.RunMemberCount;
+  if (ClassId >= 0) {
     ++Info.MemberClassCounts[ClassId];
+    ++Info.RunMemberClassCounts[ClassId];
+  }
 }
 
 std::vector<int32_t> InputTable::liveInputs() const {
@@ -376,6 +388,8 @@ int32_t InputTable::identifyArraySnapshot(ObjId Arr) {
   InputInfo &Info = infoMut(Target);
   Info.MaxCapacitySeen =
       std::max(Info.MaxCapacitySeen, static_cast<int64_t>(Obj.Slots.size()));
+  Info.RunMaxCapacitySeen = std::max(Info.RunMaxCapacitySeen,
+                                     static_cast<int64_t>(Obj.Slots.size()));
   assign(Arr, Target, /*ClassId=*/-1);
   // Register current contents for identity tracking. Values present at
   // this identification also feed SeedValues: they are exactly what the
@@ -391,6 +405,7 @@ int32_t InputTable::identifyArraySnapshot(ObjId Arr) {
       InputInfo &Reg = infoMut(Target);
       Reg.ValueSet.insert(V.Bits);
       Reg.SeedValues.insert(V.Bits);
+      Reg.RunValueSet.insert(V.Bits);
     }
   }
   return canonical(Target);
@@ -473,8 +488,11 @@ void InputTable::onArrayStoreValue(int32_t Input, ObjId Arr, Value V) {
              H->get(V.ref()).IsArray ? -1 : H->get(V.ref()).ClassId);
     return;
   }
-  if (V.Bits != 0)
-    infoMut(Input).ValueSet.insert(V.Bits);
+  if (V.Bits != 0) {
+    InputInfo &Info = infoMut(Input);
+    Info.ValueSet.insert(V.Bits);
+    Info.RunValueSet.insert(V.Bits);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -498,6 +516,11 @@ std::vector<int32_t> InputTable::merge(const InputTable &Other,
     for (const InputInfo &Info : Inputs)
       if (Info.Alive && Info.IsArray && !Info.IsStream)
         Frozen.push_back({Info.Id, Info.TypeKey, Info.ValueSet});
+
+  // The shard ran *after* every run already merged here; a serial
+  // session would have reset the run-scoped measurement counters at
+  // that run's start, so the merged table carries the shard's.
+  beginRun();
 
   std::vector<int32_t> Remap(Other.Inputs.size(), -1);
   for (size_t I = 0; I < Other.Inputs.size(); ++I) {
@@ -567,6 +590,13 @@ std::vector<int32_t> InputTable::merge(const InputTable &Other,
     for (const auto &[ClassId, N] : Src.MemberClassCounts)
       Dst.MemberClassCounts[ClassId] += N;
     Dst.MaxCapacitySeen = std::max(Dst.MaxCapacitySeen, Src.MaxCapacitySeen);
+    Dst.RunMemberCount += Src.RunMemberCount;
+    for (int64_t V : Src.RunValueSet)
+      Dst.RunValueSet.insert(V);
+    for (const auto &[ClassId, N] : Src.RunMemberClassCounts)
+      Dst.RunMemberClassCounts[ClassId] += N;
+    Dst.RunMaxCapacitySeen =
+        std::max(Dst.RunMaxCapacitySeen, Src.RunMaxCapacitySeen);
     Remap[I] = Target;
   }
   Snapshots += Other.Snapshots;
@@ -584,6 +614,8 @@ SizeMeasures InputTable::measureFrom(ObjId Ref, int32_t Input) {
     SizeMeasures Sizes = measureArrayObject(Ref);
     InputInfo &Mut = infoMut(Input);
     Mut.MaxCapacitySeen = std::max(Mut.MaxCapacitySeen, Sizes.Capacity);
+    Mut.RunMaxCapacitySeen =
+        std::max(Mut.RunMaxCapacitySeen, Sizes.Capacity);
     return Sizes;
   }
   // Structure snapshot; refresh membership under overlap-style
@@ -598,23 +630,34 @@ SizeMeasures InputTable::measureFrom(ObjId Ref, int32_t Input) {
 }
 
 SizeMeasures InputTable::trackedMeasures(int32_t Input) const {
+  // Run-scoped counters only: an input that persists across runs (e.g.
+  // SameType unification) must still be sized from the current run's
+  // heap, exactly as a fresh single-run profiler would size it.
   const InputInfo &Info = Inputs[static_cast<size_t>(canonical(Input))];
   SizeMeasures Sizes;
   if (Info.IsArray) {
-    Sizes.Capacity = Info.MaxCapacitySeen;
+    Sizes.Capacity = Info.RunMaxCapacitySeen;
     Sizes.UniqueElems = static_cast<int64_t>(
-        Info.ValueSet.empty() ? Info.Members.size() > 1
-                                    ? Info.Members.size() - 1
-                                    : 0
-                              : Info.ValueSet.size());
+        Info.RunValueSet.empty()
+            ? Info.RunMemberCount > 1 ? Info.RunMemberCount - 1 : 0
+            : Info.RunValueSet.size());
     return Sizes;
   }
-  for (const auto &[ClassId, N] : Info.MemberClassCounts) {
+  for (const auto &[ClassId, N] : Info.RunMemberClassCounts) {
     (void)ClassId;
     Sizes.ObjectCount += N;
   }
-  Sizes.PerClass = Info.MemberClassCounts;
+  Sizes.PerClass = Info.RunMemberClassCounts;
   return Sizes;
+}
+
+void InputTable::beginRun() {
+  for (InputInfo &Info : Inputs) {
+    Info.RunMemberCount = 0;
+    Info.RunValueSet.clear();
+    Info.RunMemberClassCounts.clear();
+    Info.RunMaxCapacitySeen = 0;
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -97,6 +97,18 @@ struct InputInfo {
   std::map<int32_t, int64_t> MemberClassCounts;
   /// Largest capacity seen across the input's backing arrays.
   int64_t MaxCapacitySeen = 0;
+
+  /// Per-run measurement state (SnapshotMode::Tracked). Identification
+  /// state above is cumulative across a session's runs — later runs
+  /// must compare against everything earlier runs saw — but sizing is
+  /// not: every run processes its own heap, so tracked sizes read these
+  /// run-scoped counters, which InputTable::beginRun resets. Without
+  /// the split, an input unified across runs (e.g. under SameType)
+  /// would report earlier runs' sizes for later runs' repetitions.
+  int64_t RunMemberCount = 0;
+  std::unordered_set<int64_t> RunValueSet;
+  std::map<int32_t, int64_t> RunMemberClassCounts;
+  int64_t RunMaxCapacitySeen = 0;
 };
 
 /// Registry of all inputs discovered during profiled execution.
@@ -138,8 +150,15 @@ public:
   SizeMeasures measureFrom(vm::ObjId Ref, int32_t Input);
 
   /// O(1) approximate size from tracked membership (no traversal); used
-  /// by SnapshotMode::Tracked.
+  /// by SnapshotMode::Tracked. Reads the run-scoped counters, so sizes
+  /// describe the current run's heap even when the input is shared
+  /// across runs.
   SizeMeasures trackedMeasures(int32_t Input) const;
+
+  /// Marks a run boundary: resets every input's run-scoped measurement
+  /// counters (InputInfo::Run*). Identification state is untouched.
+  /// Called by the profiler at program start.
+  void beginRun();
 
   /// Folds a completed shard table \p Other into this one, replaying the
   /// identification decisions a serial multi-run session would have made

@@ -117,9 +117,20 @@ FitResult finishFit(const std::vector<SeriesPoint> &Series, FitResult R,
   double M = static_cast<double>(Series.size());
   double Tss = totalSumOfSquares(Series);
   R.R2 = Tss > 0 ? 1.0 - Rss / Tss : (Rss <= 1e-9 ? 1.0 : 0.0);
-  // Guard the log for perfect fits.
-  double MeanRss = std::max(Rss / M, 1e-12);
+  // Clamp the residual at a noise floor *relative to the data's scale*
+  // (mean squared y): an exact fit would otherwise send the log to
+  // -inf — or, worse, two exact models would rank by float noise in
+  // their ~1e-30-relative residuals. Everything below accumulated
+  // double rounding noise counts as the same perfect fit; ties are then
+  // broken deterministically in fitAllModels.
+  double MeanYY = 0;
+  for (const SeriesPoint &Pt : Series)
+    MeanYY += Pt.Y * Pt.Y;
+  MeanYY /= M;
+  double Floor = std::max(MeanYY, 1.0) * 1e-30;
+  double MeanRss = std::max(Rss / M, Floor);
   R.Bic = M * std::log(MeanRss) + NumParams * std::log(M);
+  R.NumParams = NumParams;
   R.Valid = true;
   return R;
 }
@@ -202,9 +213,16 @@ algoprof::fit::fitAllModels(const std::vector<SeriesPoint> &Series) {
     if (R.Valid)
       Fits.push_back(R);
   }
+  // Ascending BIC; exact ties (clamped perfect fits produce *equal*
+  // BICs) prefer fewer parameters, then the simpler model family (the
+  // ModelKind enum is ordered by growth).
   std::sort(Fits.begin(), Fits.end(),
             [](const FitResult &A, const FitResult &B) {
-              return A.Bic < B.Bic;
+              if (A.Bic != B.Bic)
+                return A.Bic < B.Bic;
+              if (A.NumParams != B.NumParams)
+                return A.NumParams < B.NumParams;
+              return static_cast<int>(A.Kind) < static_cast<int>(B.Kind);
             });
   return Fits;
 }

@@ -43,6 +43,7 @@ struct FitResult {
   double Exponent = 0;    ///< b (PowerLaw only).
   double R2 = 0;          ///< Coefficient of determination.
   double Bic = 0;         ///< Bayesian information criterion (lower wins).
+  int NumParams = 1;      ///< Free parameters (2 for PowerLaw).
   bool Valid = false;
 
   /// Asymptotic growth exponent: 0 constant, ~0.2 logarithmic,
@@ -59,7 +60,11 @@ FitResult fitModel(const std::vector<prof::SeriesPoint> &Series,
                    ModelKind K);
 
 /// Fits every model and returns them sorted by ascending BIC (best
-/// first). Invalid fits (degenerate series) are omitted.
+/// first). Invalid fits (degenerate series) are omitted. Exact fits
+/// share one BIC floor (the residual is clamped at a relative noise
+/// epsilon, so a perfect model never reaches log(0)); exact ties break
+/// deterministically toward fewer parameters, then the simpler model
+/// family — never toward whatever order the sort visited them in.
 std::vector<FitResult>
 fitAllModels(const std::vector<prof::SeriesPoint> &Series);
 

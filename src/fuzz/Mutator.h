@@ -1,0 +1,37 @@
+//===- fuzz/Mutator.h - Seeded bytecode mutation ----------------*- C++-*-===//
+///
+/// \file
+/// Structural mutation of compiled modules for verifier/VM robustness
+/// fuzzing. A mutant lands in one of two buckets, and both are oracle
+/// checks for the fuzz driver:
+///
+///   - the verifier rejects it: fine — malformed code must die with a
+///     diagnostic, never reach the interpreter;
+///   - the verifier accepts it: the module must then *execute* to a
+///     defined outcome (completion, trap, or fuel exhaustion) with no
+///     assertion failure, sanitizer report, or crash, even though the
+///     depth-only verifier admits type-confused code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_FUZZ_MUTATOR_H
+#define ALGOPROF_FUZZ_MUTATOR_H
+
+#include "bytecode/Module.h"
+#include "fuzz/ProgramGen.h"
+
+namespace algoprof {
+namespace fuzz {
+
+/// Returns a copy of \p M with \p NumMutations random code mutations
+/// applied (opcode swaps, operand/immediate tweaks, instruction
+/// insertion/deletion/duplication/reorder, branch retargeting).
+/// Only method code streams are mutated; class layouts, vtables, and
+/// method headers stay intact, mirroring a corrupted-but-structurally-
+/// plausible module.
+bc::Module mutateModule(const bc::Module &M, Rng &R, int NumMutations);
+
+} // namespace fuzz
+} // namespace algoprof
+
+#endif // ALGOPROF_FUZZ_MUTATOR_H

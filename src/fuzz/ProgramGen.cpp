@@ -1,0 +1,861 @@
+//===- fuzz/ProgramGen.cpp ------------------------------------------------===//
+
+#include "fuzz/ProgramGen.h"
+
+#include <cassert>
+#include <limits>
+#include <vector>
+
+using namespace algoprof;
+using namespace algoprof::fuzz;
+
+int64_t Rng::anyInt() {
+  switch (below(16)) {
+  case 0:
+    return 0;
+  case 1:
+    return -1;
+  case 2:
+    return std::numeric_limits<int64_t>::max();
+  case 3:
+    return std::numeric_limits<int64_t>::min();
+  case 4:
+    return std::numeric_limits<int64_t>::min() + 1;
+  case 5:
+    return static_cast<int64_t>(below(1ULL << 40));
+  case 6:
+    return -static_cast<int64_t>(below(1ULL << 40));
+  default:
+    return range(-100, 100);
+  }
+}
+
+uint64_t fuzz::deriveSeed(uint64_t BaseSeed, uint64_t CaseIndex) {
+  Rng Mix(BaseSeed ^ (CaseIndex * 0x9e3779b97f4a7c15ULL) ^
+          0xa1907f5u);
+  (void)Mix.next();
+  return Mix.next();
+}
+
+//===----------------------------------------------------------------------===//
+// Program model
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+enum class Ty { Int, Bool, IntArray, Ref };
+
+struct TypeG {
+  Ty K = Ty::Int;
+  int Cls = -1; ///< For Ref.
+
+  bool operator==(const TypeG &O) const { return K == O.K && Cls == O.Cls; }
+};
+
+struct FieldG {
+  std::string Name;
+  TypeG T;
+};
+
+struct ClassG {
+  std::string Name;
+  int Super = -1;
+  std::vector<FieldG> Fields; ///< Own fields; inherited come via Super.
+  int CtorArity = 0;          ///< 0 (implicit) or 1 (int argument).
+};
+
+struct VarG {
+  std::string Name;
+  TypeG T;
+  /// For IntArray vars: a statically known lower bound on the length
+  /// (literal `new int[K]`), so safe-mode stores can index in bounds.
+  /// 0 when unknown.
+  int MinLen = 0;
+};
+
+class Gen {
+public:
+  Gen(Rng &R, const GenOptions &O) : R(R), O(O) {}
+
+  std::string run();
+
+private:
+  Rng &R;
+  const GenOptions &O;
+
+  std::vector<ClassG> Classes;
+  int NumHelpers = 0;
+  int FieldCounter = 0;
+
+  std::string Out;
+  int Indent = 0;
+
+  // Per-method state.
+  std::vector<VarG> Vars;
+  std::vector<size_t> ScopeMarks;
+  int NextVar = 0;
+  int LoopDepth = 0;
+  int CurHelper = -1; ///< Helper index being generated, for self-calls.
+
+  bool hostile() { return R.chance(O.HostilePercent); }
+
+  // Emission helpers.
+  void line(const std::string &S) {
+    Out.append(static_cast<size_t>(Indent) * 2, ' ');
+    Out += S;
+    Out += '\n';
+  }
+  void open(const std::string &S) {
+    line(S + " {");
+    ++Indent;
+  }
+  void close() {
+    --Indent;
+    line("}");
+  }
+
+  std::string freshVar() { return "v" + std::to_string(NextVar++); }
+  void pushScope() { ScopeMarks.push_back(Vars.size()); }
+  void popScope() {
+    Vars.resize(ScopeMarks.back());
+    ScopeMarks.pop_back();
+  }
+
+  // Model construction.
+  void buildClasses();
+  bool classHasIntField(int C) const;
+  /// All fields of \p C including inherited ones.
+  std::vector<FieldG> allFields(int C) const;
+  /// Classes equal to or derived from \p C.
+  std::vector<int> subclassesOf(int C) const;
+  /// A field of \p C (incl. inherited) whose type is Ref — the link
+  /// fields recursive-structure programs hang their lists on.
+  const FieldG *linkField(int C) const;
+  std::string typeName(const TypeG &T) const;
+
+  // Variable lookup.
+  const VarG *pickVar(const TypeG &T);
+  const VarG *pickVarKind(Ty K);
+
+  // Expressions.
+  std::string intLit();
+  std::string intExpr(int D);
+  std::string boolExpr(int D);
+  std::string arrExpr(int D, int &MinLenOut);
+  std::string refExpr(int C, int D);
+  std::string newExpr(int C);
+
+  // Statements.
+  void stmt(int D);
+  void block(int D);
+  void emitBoundedLoop(int D);
+  void emitBuilderTraversal(int D);
+  void emitClass(int C);
+  void emitHelper(int H);
+  void emitMain();
+};
+
+//===----------------------------------------------------------------------===//
+// Model construction
+//===----------------------------------------------------------------------===//
+
+void Gen::buildClasses() {
+  int N = R.range(1, O.MaxClasses);
+  Classes.resize(static_cast<size_t>(N));
+  for (int C = 0; C < N; ++C) {
+    ClassG &Cls = Classes[static_cast<size_t>(C)];
+    Cls.Name = "C" + std::to_string(C);
+    if (C > 0 && R.chance(30))
+      Cls.Super = static_cast<int>(R.below(static_cast<uint64_t>(C)));
+    // Class 0 always carries a self link so the linked-structure
+    // patterns (the paper's bread and butter) are always available.
+    if (C == 0)
+      Cls.Fields.push_back(
+          {"f" + std::to_string(FieldCounter++), {Ty::Ref, 0}});
+    int NumFields = R.range(1, O.MaxFieldsPerClass);
+    for (int F = 0; F < NumFields; ++F) {
+      TypeG T;
+      switch (R.below(5)) {
+      case 0:
+        T = {Ty::Bool, -1};
+        break;
+      case 1:
+        T = {Ty::IntArray, -1};
+        break;
+      case 2:
+        T = {Ty::Ref, static_cast<int>(R.below(static_cast<uint64_t>(N)))};
+        break;
+      default:
+        T = {Ty::Int, -1};
+        break;
+      }
+      Cls.Fields.push_back({"f" + std::to_string(FieldCounter++), T});
+    }
+    if (R.chance(40) && classHasIntField(C))
+      Cls.CtorArity = 1;
+  }
+}
+
+bool Gen::classHasIntField(int C) const {
+  for (const FieldG &F : Classes[static_cast<size_t>(C)].Fields)
+    if (F.T.K == Ty::Int)
+      return true;
+  return false;
+}
+
+std::vector<FieldG> Gen::allFields(int C) const {
+  std::vector<FieldG> All;
+  for (int Cur = C; Cur >= 0; Cur = Classes[static_cast<size_t>(Cur)].Super)
+    All.insert(All.end(), Classes[static_cast<size_t>(Cur)].Fields.begin(),
+               Classes[static_cast<size_t>(Cur)].Fields.end());
+  return All;
+}
+
+std::vector<int> Gen::subclassesOf(int C) const {
+  std::vector<int> Subs;
+  for (int D = 0; D < static_cast<int>(Classes.size()); ++D) {
+    for (int Cur = D; Cur >= 0;
+         Cur = Classes[static_cast<size_t>(Cur)].Super)
+      if (Cur == C) {
+        Subs.push_back(D);
+        break;
+      }
+  }
+  return Subs;
+}
+
+const FieldG *Gen::linkField(int C) const {
+  // Stored per call to keep the model simple; programs are tiny.
+  static thread_local std::vector<FieldG> Scratch;
+  Scratch = allFields(C);
+  for (const FieldG &F : Scratch)
+    if (F.T.K == Ty::Ref && F.T.Cls == C)
+      return &F;
+  return nullptr;
+}
+
+std::string Gen::typeName(const TypeG &T) const {
+  switch (T.K) {
+  case Ty::Int:
+    return "int";
+  case Ty::Bool:
+    return "boolean";
+  case Ty::IntArray:
+    return "int[]";
+  case Ty::Ref:
+    return Classes[static_cast<size_t>(T.Cls)].Name;
+  }
+  return "int";
+}
+
+const VarG *Gen::pickVar(const TypeG &T) {
+  std::vector<const VarG *> Matches;
+  for (const VarG &V : Vars)
+    if (V.T == T)
+      Matches.push_back(&V);
+  if (Matches.empty())
+    return nullptr;
+  return Matches[R.below(Matches.size())];
+}
+
+const VarG *Gen::pickVarKind(Ty K) {
+  std::vector<const VarG *> Matches;
+  for (const VarG &V : Vars)
+    if (V.T.K == K)
+      Matches.push_back(&V);
+  if (Matches.empty())
+    return nullptr;
+  return Matches[R.below(Matches.size())];
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+std::string Gen::intLit() {
+  if (R.chance(5)) {
+    int64_t V = R.anyInt();
+    // MiniJ has no INT64_MIN literal (the lexer sees the magnitude
+    // first); spell it as arithmetic.
+    if (V == std::numeric_limits<int64_t>::min())
+      return "(-9223372036854775807 - 1)";
+    if (V < 0)
+      return "(-" + std::to_string(-V) + ")";
+    return std::to_string(V);
+  }
+  int V = R.range(-9, 9);
+  return V < 0 ? "(" + std::to_string(V) + ")" : std::to_string(V);
+}
+
+std::string Gen::intExpr(int D) {
+  if (D <= 0 || R.chance(30)) {
+    // Atoms.
+    switch (R.below(4)) {
+    case 0: {
+      if (const VarG *V = pickVarKind(Ty::Int))
+        return V->Name;
+      return intLit();
+    }
+    case 1: {
+      if (const VarG *V = pickVarKind(Ty::IntArray))
+        return V->Name + ".length";
+      return intLit();
+    }
+    default:
+      return intLit();
+    }
+  }
+  switch (R.below(10)) {
+  case 0:
+  case 1: {
+    const char *Ops[] = {"+", "-", "*"};
+    return "(" + intExpr(D - 1) + " " + Ops[R.below(3)] + " " +
+           intExpr(D - 1) + ")";
+  }
+  case 2: {
+    const char *Op = R.chance(50) ? "/" : "%";
+    std::string Denom = hostile()
+                            ? intExpr(D - 1)
+                            : std::to_string(R.range(1, 9));
+    return "(" + intExpr(D - 1) + " " + Op + " " + Denom + ")";
+  }
+  case 3:
+    return "(-" + intExpr(D - 1) + ")";
+  case 4: {
+    // Static helper call; helpers may call themselves (guarded) and
+    // earlier helpers only, so call graphs stay terminating-by-fuel.
+    int Limit = CurHelper >= 0 ? CurHelper : NumHelpers;
+    if (Limit > 0) {
+      int H = static_cast<int>(R.below(static_cast<uint64_t>(Limit)));
+      return "h" + std::to_string(H) + "(" + intExpr(D - 1) + ")";
+    }
+    return intExpr(D - 1);
+  }
+  case 5: {
+    // Virtual dispatch.
+    if (const VarG *V = pickVarKind(Ty::Ref))
+      return V->Name + ".val()";
+    return intExpr(D - 1);
+  }
+  case 6: {
+    // Array load.
+    if (const VarG *V = pickVarKind(Ty::IntArray)) {
+      std::string Idx =
+          (!hostile() && V->MinLen > 0)
+              ? std::to_string(R.below(static_cast<uint64_t>(V->MinLen)))
+              : intExpr(D - 1);
+      return V->Name + "[" + Idx + "]";
+    }
+    return intExpr(D - 1);
+  }
+  case 7: {
+    // Int field read through a reference.
+    if (const VarG *V = pickVarKind(Ty::Ref)) {
+      for (const FieldG &F : allFields(V->T.Cls))
+        if (F.T.K == Ty::Int)
+          return V->Name + "." + F.Name;
+    }
+    return intExpr(D - 1);
+  }
+  case 8:
+    if (hostile())
+      return "readInt()";
+    return intExpr(D - 1);
+  default:
+    return intExpr(D - 1);
+  }
+}
+
+std::string Gen::boolExpr(int D) {
+  if (D <= 0 || R.chance(30)) {
+    if (R.chance(40)) {
+      if (const VarG *V = pickVarKind(Ty::Bool))
+        return V->Name;
+    }
+    return R.chance(50) ? "true" : "false";
+  }
+  switch (R.below(7)) {
+  case 0: {
+    const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+    return "(" + intExpr(D - 1) + " " + Ops[R.below(6)] + " " +
+           intExpr(D - 1) + ")";
+  }
+  case 1:
+    return "(!" + boolExpr(D - 1) + ")";
+  case 2:
+    return "(" + boolExpr(D - 1) + " && " + boolExpr(D - 1) + ")";
+  case 3:
+    return "(" + boolExpr(D - 1) + " || " + boolExpr(D - 1) + ")";
+  case 4:
+    return "hasInput()";
+  case 5: {
+    if (const VarG *V = pickVarKind(Ty::Ref))
+      return "(" + V->Name + (R.chance(50) ? " == " : " != ") + "null)";
+    return boolExpr(D - 1);
+  }
+  default:
+    return boolExpr(D - 1);
+  }
+}
+
+std::string Gen::arrExpr(int D, int &MinLenOut) {
+  MinLenOut = 0;
+  if (R.chance(40)) {
+    if (const VarG *V = pickVarKind(Ty::IntArray)) {
+      MinLenOut = V->MinLen;
+      return V->Name;
+    }
+  }
+  if (hostile())
+    return "new int[" + intExpr(D - 1) + "]";
+  int Len = R.range(2, 8);
+  MinLenOut = Len;
+  return "new int[" + std::to_string(Len) + "]";
+}
+
+std::string Gen::newExpr(int C) {
+  const ClassG &Cls = Classes[static_cast<size_t>(C)];
+  if (Cls.CtorArity == 1)
+    return "new " + Cls.Name + "(" + intExpr(1) + ")";
+  return "new " + Cls.Name + "()";
+}
+
+std::string Gen::refExpr(int C, int D) {
+  if (R.chance(40)) {
+    // An existing variable of this class or a subclass.
+    std::vector<const VarG *> Matches;
+    for (const VarG &V : Vars)
+      if (V.T.K == Ty::Ref)
+        for (int Sub : subclassesOf(C))
+          if (V.T.Cls == Sub) {
+            Matches.push_back(&V);
+            break;
+          }
+    if (!Matches.empty())
+      return Matches[R.below(Matches.size())]->Name;
+  }
+  if (R.chance(10))
+    return "null";
+  if (D > 0 && R.chance(20)) {
+    // A Ref-typed field read of matching class.
+    if (const VarG *V = pickVarKind(Ty::Ref)) {
+      for (const FieldG &F : allFields(V->T.Cls))
+        if (F.T.K == Ty::Ref && F.T.Cls == C)
+          return V->Name + "." + F.Name;
+    }
+  }
+  // A fresh allocation of C or a subclass (exercises dispatch).
+  std::vector<int> Subs = subclassesOf(C);
+  return newExpr(Subs[R.below(Subs.size())]);
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Gen::block(int D) {
+  pushScope();
+  int N = R.range(1, O.MaxStmtsPerBlock);
+  for (int I = 0; I < N; ++I)
+    stmt(D);
+  popScope();
+}
+
+void Gen::emitBoundedLoop(int D) {
+  std::string I = freshVar();
+  int Bound = R.range(2, 7);
+  if (R.chance(50)) {
+    open("for (int " + I + " = 0; " + I + " < " + std::to_string(Bound) +
+         "; " + I + "++)");
+    pushScope();
+    Vars.push_back({I, {Ty::Int, -1}, 0});
+    ++LoopDepth;
+    block(D - 1);
+    --LoopDepth;
+    popScope();
+    close();
+  } else {
+    line("int " + I + " = 0;");
+    Vars.push_back({I, {Ty::Int, -1}, 0});
+    open("while (" + I + " < " + std::to_string(Bound) + ")");
+    ++LoopDepth;
+    block(D - 1);
+    line(I + " = " + I + " + 1;");
+    --LoopDepth;
+    close();
+  }
+}
+
+/// The canonical algorithmic-profiling shape: build a linked list in a
+/// loop, then traverse it — gives the profiler a recursive structure,
+/// loop repetitions over it, and a nontrivial input series.
+void Gen::emitBuilderTraversal(int D) {
+  const FieldG *Link = linkField(0);
+  assert(Link && "class 0 always has a self link");
+  const ClassG &Cls = Classes[0];
+  std::string Head = freshVar();
+  std::string I = freshVar();
+  int Bound = R.range(3, 9);
+  line(Cls.Name + " " + Head + " = null;");
+  Vars.push_back({Head, {Ty::Ref, 0}, 0});
+  open("for (int " + I + " = 0; " + I + " < " + std::to_string(Bound) +
+       "; " + I + "++)");
+  {
+    std::string Node = freshVar();
+    line(Cls.Name + " " + Node + " = " + newExpr(0) + ";");
+    line(Node + "." + Link->Name + " = " + Head + ";");
+    line(Head + " = " + Node + ";");
+  }
+  close();
+  std::string Cur = freshVar();
+  std::string Acc = freshVar();
+  line("int " + Acc + " = 0;");
+  Vars.push_back({Acc, {Ty::Int, -1}, 0});
+  line(Cls.Name + " " + Cur + " = " + Head + ";");
+  open("while (" + Cur + " != null)");
+  ++LoopDepth;
+  line(Acc + " = " + Acc + " + " + Cur + ".val();");
+  if (D > 1 && R.chance(40)) {
+    // Scope any declaration the extra statement makes to the loop body.
+    pushScope();
+    stmt(D - 1);
+    popScope();
+  }
+  line(Cur + " = " + Cur + "." + Link->Name + ";");
+  --LoopDepth;
+  close();
+  line("print(" + Acc + ");");
+}
+
+void Gen::stmt(int D) {
+  switch (R.below(14)) {
+  case 0: {
+    // Variable declaration.
+    TypeG T;
+    switch (R.below(6)) {
+    case 0:
+      T = {Ty::Bool, -1};
+      break;
+    case 1:
+      T = {Ty::IntArray, -1};
+      break;
+    case 2:
+      T = {Ty::Ref,
+           static_cast<int>(R.below(Classes.size()))};
+      break;
+    default:
+      T = {Ty::Int, -1};
+      break;
+    }
+    std::string Name = freshVar();
+    VarG V{Name, T, 0};
+    std::string Init;
+    switch (T.K) {
+    case Ty::Int:
+      Init = intExpr(O.MaxExprDepth);
+      break;
+    case Ty::Bool:
+      Init = boolExpr(O.MaxExprDepth);
+      break;
+    case Ty::IntArray:
+      Init = arrExpr(O.MaxExprDepth, V.MinLen);
+      break;
+    case Ty::Ref:
+      Init = refExpr(T.Cls, O.MaxExprDepth);
+      break;
+    }
+    line(typeName(T) + " " + Name + " = " + Init + ";");
+    Vars.push_back(V);
+    break;
+  }
+  case 1: {
+    // Assignment to an existing variable.
+    if (Vars.empty())
+      return stmt(D);
+    VarG &V = Vars[R.below(Vars.size())];
+    std::string Rhs;
+    switch (V.T.K) {
+    case Ty::Int:
+      Rhs = intExpr(O.MaxExprDepth);
+      break;
+    case Ty::Bool:
+      Rhs = boolExpr(O.MaxExprDepth);
+      break;
+    case Ty::IntArray:
+      Rhs = arrExpr(O.MaxExprDepth, V.MinLen);
+      break;
+    case Ty::Ref:
+      Rhs = refExpr(V.T.Cls, O.MaxExprDepth);
+      break;
+    }
+    line(V.Name + " = " + Rhs + ";");
+    break;
+  }
+  case 2: {
+    if (const VarG *V = pickVarKind(Ty::Int)) {
+      line(V->Name + (R.chance(50) ? "++;" : "--;"));
+      return;
+    }
+    return stmt(D);
+  }
+  case 3: {
+    // Array store.
+    if (const VarG *V = pickVarKind(Ty::IntArray)) {
+      std::string Idx;
+      if (!hostile() && V->MinLen > 0)
+        Idx = std::to_string(R.below(static_cast<uint64_t>(V->MinLen)));
+      else
+        Idx = intExpr(2);
+      line(V->Name + "[" + Idx + "] = " + intExpr(2) + ";");
+      return;
+    }
+    return stmt(D);
+  }
+  case 4: {
+    // Field store through a reference.
+    if (const VarG *V = pickVarKind(Ty::Ref)) {
+      std::vector<FieldG> Fields = allFields(V->T.Cls);
+      const FieldG &F = Fields[R.below(Fields.size())];
+      std::string Rhs;
+      switch (F.T.K) {
+      case Ty::Int:
+        Rhs = intExpr(2);
+        break;
+      case Ty::Bool:
+        Rhs = boolExpr(2);
+        break;
+      case Ty::IntArray: {
+        int Unused;
+        Rhs = arrExpr(2, Unused);
+        break;
+      }
+      case Ty::Ref:
+        Rhs = refExpr(F.T.Cls, 2);
+        break;
+      }
+      line(V->Name + "." + F.Name + " = " + Rhs + ";");
+      return;
+    }
+    return stmt(D);
+  }
+  case 5:
+    line("print(" + (R.chance(70) ? intExpr(2) : boolExpr(2)) + ");");
+    break;
+  case 6: {
+    if (D <= 0)
+      return stmt(0 /* will pick a flat statement eventually */);
+    open("if (" + boolExpr(O.MaxExprDepth) + ")");
+    block(D - 1);
+    close();
+    if (R.chance(40)) {
+      open("else");
+      block(D - 1);
+      close();
+    }
+    break;
+  }
+  case 7:
+    if (D <= 0)
+      return stmt(0);
+    emitBoundedLoop(D);
+    break;
+  case 8: {
+    // Hostile unbounded loop — terminates only by trap or fuel.
+    if (D <= 0 || !hostile())
+      return stmt(D);
+    open("while (" + boolExpr(2) + ")");
+    ++LoopDepth;
+    block(D - 1);
+    --LoopDepth;
+    close();
+    break;
+  }
+  case 9: {
+    // Call statement.
+    if (NumHelpers > 0 && CurHelper != 0) {
+      int Limit = CurHelper > 0 ? CurHelper : NumHelpers;
+      line("h" + std::to_string(R.below(static_cast<uint64_t>(Limit))) +
+           "(" + intExpr(2) + ");");
+      return;
+    }
+    return stmt(D);
+  }
+  case 10: {
+    if (LoopDepth > 0 && R.chance(40)) {
+      line(R.chance(50) ? "break;" : "continue;");
+      return;
+    }
+    return stmt(D);
+  }
+  case 11: {
+    // Guarded input read.
+    if (const VarG *V = pickVarKind(Ty::Int)) {
+      if (hostile()) {
+        line(V->Name + " = readInt();");
+      } else {
+        open("if (hasInput())");
+        line(V->Name + " = readInt();");
+        close();
+      }
+      return;
+    }
+    return stmt(D);
+  }
+  default:
+    // Weight the common case: declarations and prints keep the
+    // program observable.
+    if (R.chance(50))
+      line("print(" + intExpr(2) + ");");
+    else
+      return stmt(D > 0 ? D - 1 : 0);
+    break;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level emission
+//===----------------------------------------------------------------------===//
+
+void Gen::emitClass(int C) {
+  const ClassG &Cls = Classes[static_cast<size_t>(C)];
+  std::string Header = "class " + Cls.Name;
+  if (Cls.Super >= 0)
+    Header += " extends " + Classes[static_cast<size_t>(Cls.Super)].Name;
+  open(Header);
+  for (const FieldG &F : Cls.Fields)
+    line(typeName(F.T) + " " + F.Name + ";");
+  if (Cls.CtorArity == 1) {
+    open(Cls.Name + "(int a)");
+    for (const FieldG &F : Cls.Fields)
+      if (F.T.K == Ty::Int) {
+        line(F.Name + " = a;");
+        break;
+      }
+    close();
+  }
+  // Every class answers val(); subclasses override it, so x.val()
+  // through a superclass variable exercises the vtable.
+  open("int val()");
+  std::vector<FieldG> Fields = allFields(C);
+  std::string E = intLit();
+  for (const FieldG &F : Fields) {
+    if (F.T.K == Ty::Int && R.chance(60))
+      E = "(" + E + " + " + F.Name + ")";
+    else if (F.T.K == Ty::Bool && R.chance(20))
+      E = "(" + E + " + 0)"; // Keep it int-typed; booleans don't add.
+  }
+  line("return " + E + ";");
+  close();
+  close();
+}
+
+void Gen::emitHelper(int H) {
+  CurHelper = H;
+  Vars.clear();
+  ScopeMarks.clear();
+  LoopDepth = 0;
+  open("static int h" + std::to_string(H) + "(int a)");
+  pushScope();
+  Vars.push_back({"a", {Ty::Int, -1}, 0});
+  int N = R.range(0, 2);
+  for (int I = 0; I < N; ++I)
+    stmt(R.range(0, 1));
+  if (R.chance(50)) {
+    // Guarded self-recursion with a strictly decreasing argument:
+    // terminates for small a, hits the frame limit for huge a — both
+    // deterministic outcomes.
+    int Step = R.range(1, 3);
+    open("if (a > 1)");
+    line("return (h" + std::to_string(H) + "(a - " +
+         std::to_string(Step) + ") + " + intLit() + ");");
+    close();
+  }
+  line("return " + intExpr(2) + ";");
+  popScope();
+  close();
+  CurHelper = -1;
+}
+
+void Gen::emitMain() {
+  CurHelper = -1;
+  Vars.clear();
+  ScopeMarks.clear();
+  LoopDepth = 0;
+  open("static void main()");
+  pushScope();
+  int N = R.range(2, O.MaxStmtsPerBlock + 2);
+  bool DidPattern = false;
+  for (int I = 0; I < N; ++I) {
+    if (!DidPattern && R.chance(35)) {
+      emitBuilderTraversal(O.MaxStmtDepth);
+      DidPattern = true;
+    } else {
+      stmt(O.MaxStmtDepth);
+    }
+  }
+  // End observably: print the live int variables so value bugs change
+  // the output channel, not just the profile.
+  for (const VarG &V : Vars)
+    if (V.T.K == Ty::Int && R.chance(60))
+      line("print(" + V.Name + ");");
+  popScope();
+  close();
+}
+
+std::string Gen::run() {
+  buildClasses();
+  NumHelpers = R.range(0, O.MaxHelpers);
+  for (int C = 0; C < static_cast<int>(Classes.size()); ++C)
+    emitClass(C);
+  open("class Main");
+  for (int H = 0; H < NumHelpers; ++H)
+    emitHelper(H);
+  emitMain();
+  close();
+  return Out;
+}
+
+} // namespace
+
+std::string fuzz::generateProgram(Rng &R, const GenOptions &Opts) {
+  Gen G(R, Opts);
+  return G.run();
+}
+
+std::string fuzz::garbleSource(const std::string &Source, Rng &R) {
+  std::string S = Source;
+  static const char Alphabet[] =
+      "{}();=+-*/%<>!&|[],.0123456789abzclassintwhile \n\"@#$^~?:";
+  int Ops = R.range(1, 4);
+  for (int I = 0; I < Ops && !S.empty(); ++I) {
+    size_t Pos = R.below(S.size());
+    switch (R.below(5)) {
+    case 0: // Replace one character.
+      S[Pos] = Alphabet[R.below(sizeof(Alphabet) - 1)];
+      break;
+    case 1: { // Delete a span.
+      size_t Len = 1 + R.below(16);
+      S.erase(Pos, Len);
+      break;
+    }
+    case 2: { // Insert random characters.
+      std::string Ins;
+      size_t Len = 1 + R.below(8);
+      for (size_t J = 0; J < Len; ++J)
+        Ins += Alphabet[R.below(sizeof(Alphabet) - 1)];
+      S.insert(Pos, Ins);
+      break;
+    }
+    case 3: { // Duplicate a chunk elsewhere.
+      size_t Len = 1 + R.below(24);
+      std::string Chunk = S.substr(Pos, Len);
+      S.insert(R.below(S.size()), Chunk);
+      break;
+    }
+    case 4: // Truncate the tail.
+      S.resize(Pos);
+      break;
+    }
+  }
+  return S;
+}

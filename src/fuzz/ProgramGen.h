@@ -1,0 +1,96 @@
+//===- fuzz/ProgramGen.h - Seeded random MiniJ program generator -*- C++-*-===//
+///
+/// \file
+/// Deterministic random-program generation for the differential fuzzing
+/// harness (tools/algoprof_fuzz). Every artifact derives from a 64-bit
+/// seed through the local Rng only — no global state, no libFuzzer — so
+/// any failing case reproduces from its seed alone, on any machine.
+///
+/// generateProgram emits type-correct MiniJ by construction (classes
+/// with link fields, virtual dispatch, static helpers, loops, arrays,
+/// I/O), so the interesting rejection paths are exercised separately:
+/// garbleSource corrupts source text for frontend robustness, and
+/// fuzz::mutateModule (Mutator.h) corrupts compiled bytecode for
+/// verifier/VM robustness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_FUZZ_PROGRAMGEN_H
+#define ALGOPROF_FUZZ_PROGRAMGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace algoprof {
+namespace fuzz {
+
+/// Deterministic 64-bit generator (splitmix64). Cheap to seed, good
+/// enough statistically, and — unlike std::mt19937 distributions —
+/// identical on every platform, which the fixed-seed CI batch relies
+/// on.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, N); 0 when N == 0.
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+
+  /// Uniform in [Lo, Hi] (inclusive).
+  int range(int Lo, int Hi) {
+    return Lo + static_cast<int>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// True with probability Percent/100.
+  bool chance(int Percent) {
+    return static_cast<int>(below(100)) < Percent;
+  }
+
+  /// An int64 biased toward small values but including the overflow
+  /// boundaries (INT64_MIN/MAX, -1, 0) that arithmetic bugs live at.
+  int64_t anyInt();
+
+private:
+  uint64_t State;
+};
+
+/// Stable per-case seed: mixes the batch seed with the case index so
+/// case K of batch S is the same program forever.
+uint64_t deriveSeed(uint64_t BaseSeed, uint64_t CaseIndex);
+
+/// Generator knobs. Defaults produce small programs (a few classes,
+/// a few helpers, bounded loops) that execute in well under 100k
+/// instructions — sized for a ~10k-case CI batch.
+struct GenOptions {
+  int MaxClasses = 3;        ///< Data classes besides Main.
+  int MaxFieldsPerClass = 3; ///< Extra fields beyond the link field.
+  int MaxHelpers = 3;        ///< Static helper methods on Main.
+  int MaxStmtsPerBlock = 5;
+  int MaxStmtDepth = 3;
+  int MaxExprDepth = 3;
+  /// Percent of sites that use unguarded "hostile" forms: raw
+  /// divisors, unchecked reads, wild indices, unbounded loops or
+  /// recursion. Hostile programs exercise every trap path; the run
+  /// outcome (trap / fuel exhaustion) must still be deterministic.
+  int HostilePercent = 20;
+};
+
+/// Generates one self-contained MiniJ program with entry Main.main.
+std::string generateProgram(Rng &R, const GenOptions &Opts = GenOptions());
+
+/// Randomly corrupts source text (character flips, insertions,
+/// deletions, chunk duplication, truncation) for frontend robustness
+/// fuzzing: the result must compile or produce diagnostics — never
+/// crash the frontend.
+std::string garbleSource(const std::string &Source, Rng &R);
+
+} // namespace fuzz
+} // namespace algoprof
+
+#endif // ALGOPROF_FUZZ_PROGRAMGEN_H

@@ -5,6 +5,7 @@
 #include "analysis/Dominators.h"
 
 #include <cassert>
+#include <limits>
 
 using namespace algoprof;
 using namespace algoprof::vm;
@@ -80,6 +81,25 @@ PreparedProgram PreparedProgram::prepare(const Module &M) {
 
 namespace {
 
+/// Two's-complement wraparound arithmetic (Java semantics). Signed
+/// overflow is undefined behavior on int64_t, so every operation routes
+/// through uint64_t, where wraparound is defined.
+int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+int64_t wrapNeg(int64_t A) {
+  return static_cast<int64_t>(0 - static_cast<uint64_t>(A));
+}
+
 struct Frame {
   const MethodInfo *Method = nullptr;
   const PreparedMethod *Prepared = nullptr;
@@ -118,6 +138,19 @@ private:
     TrapMessage = Message;
     Trapped = true;
     return false;
+  }
+
+  /// Returns the heap object behind \p V, or null after recording a
+  /// trap. The verifier checks operand-stack depth, not types, so a
+  /// verified module may still feed integers (or stale ids) to
+  /// reference operands; those must end in a trap, never in an
+  /// out-of-range heap access.
+  HeapObject *deref(const Value &V, const Frame &F) {
+    if (!V.IsRef || !H.isValid(V.ref())) {
+      trap("invalid object reference in " + F.Method->QualifiedName);
+      return nullptr;
+    }
+    return &H.get(V.ref());
   }
 
   /// Executes one instruction; returns false on trap or normal program
@@ -234,21 +267,26 @@ bool Machine::step() {
     int64_t A = F.pop().Bits;
     int64_t R = 0;
     if (I.Op == Opcode::Add)
-      R = A + B;
+      R = wrapAdd(A, B);
     else if (I.Op == Opcode::Sub)
-      R = A - B;
+      R = wrapSub(A, B);
     else if (I.Op == Opcode::Mul)
-      R = A * B;
+      R = wrapMul(A, B);
     else {
       if (B == 0)
         return trap("division by zero in " + F.Method->QualifiedName);
-      R = I.Op == Opcode::Div ? A / B : A % B;
+      // INT64_MIN / -1 overflows (and SIGFPEs on x86); Java defines the
+      // quotient as INT64_MIN and the remainder as 0.
+      if (A == std::numeric_limits<int64_t>::min() && B == -1)
+        R = I.Op == Opcode::Div ? A : 0;
+      else
+        R = I.Op == Opcode::Div ? A / B : A % B;
     }
     F.push(Value::makeInt(R));
     break;
   }
   case Opcode::Neg:
-    F.push(Value::makeInt(-F.pop().Bits));
+    F.push(Value::makeInt(wrapNeg(F.pop().Bits)));
     break;
   case Opcode::Not:
     F.push(Value::makeBool(F.pop().Bits == 0));
@@ -313,8 +351,15 @@ bool Machine::step() {
       return trap("null dereference reading field " +
                   M.Fields[static_cast<size_t>(I.A)].Name + " in " +
                   F.Method->QualifiedName);
+    HeapObject *O = deref(Obj, F);
+    if (!O)
+      return false;
     const FieldInfo &Field = M.Fields[static_cast<size_t>(I.A)];
-    Value V = H.get(Obj.ref()).Slots[static_cast<size_t>(Field.Slot)];
+    if (Field.Slot < 0 ||
+        Field.Slot >= static_cast<int32_t>(O->Slots.size()))
+      return trap("field " + Field.Name + " not present on receiver in " +
+                  F.Method->QualifiedName);
+    Value V = O->Slots[static_cast<size_t>(Field.Slot)];
     F.push(V);
     if (L && Plan.fieldHook(I.A))
       L->onGetField(Obj.ref(), I.A, V);
@@ -327,8 +372,15 @@ bool Machine::step() {
       return trap("null dereference writing field " +
                   M.Fields[static_cast<size_t>(I.A)].Name + " in " +
                   F.Method->QualifiedName);
+    HeapObject *O = deref(Obj, F);
+    if (!O)
+      return false;
     const FieldInfo &Field = M.Fields[static_cast<size_t>(I.A)];
-    H.get(Obj.ref()).Slots[static_cast<size_t>(Field.Slot)] = V;
+    if (Field.Slot < 0 ||
+        Field.Slot >= static_cast<int32_t>(O->Slots.size()))
+      return trap("field " + Field.Name + " not present on receiver in " +
+                  F.Method->QualifiedName);
+    O->Slots[static_cast<size_t>(Field.Slot)] = V;
     if (L && Plan.fieldHook(I.A))
       L->onPutField(Obj.ref(), I.A, V);
     break;
@@ -338,13 +390,15 @@ bool Machine::step() {
     Value Arr = F.pop();
     if (Arr.isNullRef())
       return trap("null array load in " + F.Method->QualifiedName);
-    HeapObject &A = H.get(Arr.ref());
-    if (Idx.Bits < 0 || Idx.Bits >= static_cast<int64_t>(A.Slots.size()))
+    HeapObject *A = deref(Arr, F);
+    if (!A)
+      return false;
+    if (Idx.Bits < 0 || Idx.Bits >= static_cast<int64_t>(A->Slots.size()))
       return trap("array index " + std::to_string(Idx.Bits) +
                   " out of bounds (length " +
-                  std::to_string(A.Slots.size()) + ") in " +
+                  std::to_string(A->Slots.size()) + ") in " +
                   F.Method->QualifiedName);
-    Value V = A.Slots[static_cast<size_t>(Idx.Bits)];
+    Value V = A->Slots[static_cast<size_t>(Idx.Bits)];
     F.push(V);
     if (L && Plan.ArrayHooks)
       L->onArrayLoad(Arr.ref(), Idx.Bits, V);
@@ -356,13 +410,15 @@ bool Machine::step() {
     Value Arr = F.pop();
     if (Arr.isNullRef())
       return trap("null array store in " + F.Method->QualifiedName);
-    HeapObject &A = H.get(Arr.ref());
-    if (Idx.Bits < 0 || Idx.Bits >= static_cast<int64_t>(A.Slots.size()))
+    HeapObject *A = deref(Arr, F);
+    if (!A)
+      return false;
+    if (Idx.Bits < 0 || Idx.Bits >= static_cast<int64_t>(A->Slots.size()))
       return trap("array index " + std::to_string(Idx.Bits) +
                   " out of bounds (length " +
-                  std::to_string(A.Slots.size()) + ") in " +
+                  std::to_string(A->Slots.size()) + ") in " +
                   F.Method->QualifiedName);
-    A.Slots[static_cast<size_t>(Idx.Bits)] = V;
+    A->Slots[static_cast<size_t>(Idx.Bits)] = V;
     if (L && Plan.ArrayHooks)
       L->onArrayStore(Arr.ref(), Idx.Bits, V);
     break;
@@ -371,8 +427,10 @@ bool Machine::step() {
     Value Arr = F.pop();
     if (Arr.isNullRef())
       return trap("null array length in " + F.Method->QualifiedName);
-    F.push(Value::makeInt(
-        static_cast<int64_t>(H.get(Arr.ref()).Slots.size())));
+    HeapObject *A = deref(Arr, F);
+    if (!A)
+      return false;
+    F.push(Value::makeInt(static_cast<int64_t>(A->Slots.size())));
     break;
   }
 
@@ -388,6 +446,10 @@ bool Machine::step() {
     if (Len.Bits < 0)
       return trap("negative array length " + std::to_string(Len.Bits) +
                   " in " + F.Method->QualifiedName);
+    if (Len.Bits > Opts.MaxArrayLength)
+      return trap("array length " + std::to_string(Len.Bits) +
+                  " exceeds limit " + std::to_string(Opts.MaxArrayLength) +
+                  " in " + F.Method->QualifiedName);
     ObjId Arr = H.allocArray(I.A, Len.Bits);
     F.push(Value::makeRef(Arr));
     if (L && Plan.ArrayHooks)
@@ -399,6 +461,13 @@ bool Machine::step() {
     Value Outer = F.pop();
     if (Outer.Bits < 0 || Inner.Bits < 0)
       return trap("negative array length in " + F.Method->QualifiedName);
+    if (Outer.Bits > Opts.MaxArrayLength ||
+        Inner.Bits > Opts.MaxArrayLength ||
+        (Inner.Bits > 0 && Outer.Bits > Opts.MaxArrayLength / Inner.Bits))
+      return trap("multi-array dimensions " + std::to_string(Outer.Bits) +
+                  "x" + std::to_string(Inner.Bits) + " exceed limit " +
+                  std::to_string(Opts.MaxArrayLength) + " in " +
+                  F.Method->QualifiedName);
     TypeId OuterTy = I.A;
     TypeId InnerTy = M.Types[static_cast<size_t>(OuterTy)].Elem;
     ObjId Arr = H.allocArray(OuterTy, Outer.Bits);
@@ -430,11 +499,36 @@ bool Machine::step() {
       if (Recv.isNullRef())
         return trap("null receiver in call from " +
                     F.Method->QualifiedName);
-      int32_t RecvClass = H.get(Recv.ref()).ClassId;
+      HeapObject *O = deref(Recv, F);
+      if (!O)
+        return false;
+      int32_t RecvClass = O->ClassId;
+      if (RecvClass < 0 ||
+          RecvClass >= static_cast<int32_t>(M.Classes.size()))
+        return trap("virtual call on non-object receiver in " +
+                    F.Method->QualifiedName);
       const ClassInfo &C = M.Classes[static_cast<size_t>(RecvClass)];
-      assert(Slot < static_cast<int32_t>(C.Vtable.size()) &&
-             "receiver class lacks the virtual slot");
+      if (Slot < 0 || Slot >= static_cast<int32_t>(C.Vtable.size()))
+        return trap("receiver class " + C.Name +
+                    " lacks virtual slot " + std::to_string(Slot) +
+                    " in " + F.Method->QualifiedName);
       MethodId = C.Vtable[static_cast<size_t>(Slot)];
+      if (MethodId < 0 ||
+          MethodId >= static_cast<int32_t>(M.Methods.size()))
+        return trap("corrupt vtable entry in class " + C.Name);
+      // The verifier models the call's stack effect from the declared
+      // target (operand B); a type-confused receiver may dispatch to a
+      // method of different shape, which must trap rather than
+      // over/under-pop the verified operand stack.
+      const MethodInfo &Target =
+          M.Methods[static_cast<size_t>(MethodId)];
+      const MethodInfo &Declared =
+          M.Methods[static_cast<size_t>(I.B)];
+      if (Target.NumArgs != Declared.NumArgs ||
+          Target.ReturnsValue != Declared.ReturnsValue)
+        return trap("virtual dispatch signature mismatch calling " +
+                    Target.QualifiedName + " in " +
+                    F.Method->QualifiedName);
     }
     const MethodInfo &Callee = M.Methods[static_cast<size_t>(MethodId)];
     if (static_cast<int>(Frames.size()) >= Opts.MaxFrames)

@@ -72,6 +72,10 @@ struct RunResult {
 struct RunOptions {
   uint64_t Fuel = 500'000'000; ///< Max executed instructions.
   int MaxFrames = 4096;        ///< Call-depth limit.
+  /// Largest single allocation in slots; NewArray/NewMulti trap above
+  /// it (a Value slot is 16 bytes, so the default caps one array at
+  /// 1 GiB). Fuzzing uses much smaller caps to bound memory.
+  int64_t MaxArrayLength = 1LL << 26;
 };
 
 /// Executes prepared programs. One Interpreter owns one heap; distinct

@@ -213,6 +213,26 @@ TEST(Conformance, SixtyFourBitArithmetic) {
   EXPECT_EQ(Out, (std::vector<int64_t>{4000000000LL, 1000000000LL}));
 }
 
+TEST(Conformance, OverflowDivisionMatchesJava) {
+  // Java semantics at the one overflowing division: Long.MIN_VALUE / -1
+  // == Long.MIN_VALUE, Long.MIN_VALUE % -1 == 0 — reached through
+  // variables so constant folding cannot hide the VM path.
+  auto Out = runOk(R"(
+    class Main {
+      static int id(int x) {
+        return x;
+      }
+      static void main() {
+        int min = id(-9223372036854775807 - 1);
+        int d = id(-1);
+        print(min / d);
+        print(min % d);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{-9223372036854775807LL - 1, 0}));
+}
+
 TEST(Conformance, FieldInitializationOrderInCtor) {
   auto Out = runOk(R"(
     class P {

@@ -125,6 +125,37 @@ TEST(CurveFit, ZeroSizePointsHandledByPowerLaw) {
   EXPECT_NEAR(R.Exponent, 1.0, 0.05);
 }
 
+TEST(CurveFit, ExactFitBicIsFinite) {
+  // On noiseless data the residual is exactly zero; M*log(MeanRss)
+  // used to be -inf, which made every exact fit "tie" at -inf and left
+  // the winner to sort order. The clamp keeps BIC finite.
+  std::vector<FitResult> Fits =
+      fitAllModels(synth([](double N) { return 3 * N; }));
+  ASSERT_FALSE(Fits.empty());
+  for (const FitResult &F : Fits)
+    EXPECT_TRUE(std::isfinite(F.Bic)) << modelKindName(F.Kind);
+}
+
+TEST(CurveFit, ExactFitTieBreaksDeterministically) {
+  // y = 5n fits Linear exactly and PowerLaw (b=1) exactly. With both
+  // at the clamped BIC floor, the one-parameter model must win — and
+  // keep winning if the candidate list is ever reordered.
+  FitResult R = fitBest(synth([](double N) { return 5 * N; }));
+  ASSERT_TRUE(R.Valid);
+  EXPECT_EQ(R.Kind, ModelKind::Linear);
+  EXPECT_EQ(R.NumParams, 1);
+
+  // A constant series fits every single-parameter model with zero
+  // residual (Constant a=7, Linear degenerates, ...); the simplest
+  // family must be chosen, not the sort's incidental first.
+  std::vector<SeriesPoint> Flat;
+  for (int N = 1; N <= 8; ++N)
+    Flat.push_back({static_cast<double>(N), 7.0});
+  FitResult C = fitBest(Flat);
+  ASSERT_TRUE(C.Valid);
+  EXPECT_EQ(C.Kind, ModelKind::Constant);
+}
+
 TEST(CurveFit, LinearPreferredOverPowerLawOnLinearData) {
   // BIC penalizes the extra parameter; on exactly linear data the
   // one-parameter model should win or at worst tie in exponent.

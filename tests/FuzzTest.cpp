@@ -1,0 +1,170 @@
+//===- tests/FuzzTest.cpp - Fuzzing harness building blocks ---------------===//
+//
+// Tier-1 coverage for the differential fuzzing harness: determinism of
+// the generator/mutator (CI reproducibility depends on it), frontend
+// acceptance of generated programs, and a small in-process differential
+// batch. The full batch lives behind `ctest -L fuzz` (algoprof_fuzz).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "bytecode/Verifier.h"
+#include "fuzz/Mutator.h"
+#include "fuzz/ProgramGen.h"
+#include "parallel/SweepEngine.h"
+#include "report/TreePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::fuzz;
+using namespace algoprof::prof;
+using namespace algoprof::testutil;
+
+namespace {
+
+vm::RunOptions smallRun() {
+  vm::RunOptions R;
+  R.Fuel = 200'000;
+  R.MaxFrames = 256;
+  R.MaxArrayLength = 1 << 16;
+  return R;
+}
+
+TEST(Fuzz, GeneratorIsDeterministic) {
+  for (uint64_t Seed : {1ULL, 42ULL, 0xdeadULL}) {
+    Rng A(Seed), B(Seed);
+    EXPECT_EQ(generateProgram(A), generateProgram(B));
+  }
+  Rng A(1), B(2);
+  EXPECT_NE(generateProgram(A), generateProgram(B));
+}
+
+TEST(Fuzz, DeriveSeedSeparatesCases) {
+  EXPECT_NE(deriveSeed(7, 0), deriveSeed(7, 1));
+  EXPECT_NE(deriveSeed(7, 0), deriveSeed(8, 0));
+  EXPECT_EQ(deriveSeed(7, 3), deriveSeed(7, 3));
+}
+
+TEST(Fuzz, GeneratedProgramsCompileVerifyAndTerminate) {
+  // The generator must emit frontend-clean programs: any rejection is a
+  // generator bug (hostile *behavior* is fine, hostile *syntax* is
+  // garbleSource's job). Every run must end in a defined outcome.
+  for (uint64_t Case = 0; Case < 40; ++Case) {
+    Rng R(deriveSeed(0xa190f17, Case));
+    std::string Src = generateProgram(R);
+    DiagnosticEngine Diags;
+    auto CP = compileMiniJ(Src, Diags);
+    ASSERT_TRUE(CP) << "case " << Case << ":\n"
+                    << Diags.str() << "\n"
+                    << Src;
+    ASSERT_GE(CP->entryMethod("Main", "main"), 0) << Src;
+    EXPECT_TRUE(bc::verifyModule(*CP->Mod).empty()) << Src;
+    vm::IoChannels Io;
+    Io.Input = {3, 1, 4, 1, 5};
+    vm::RunResult Res = runPlain(*CP, "Main", "main", &Io, smallRun());
+    (void)Res; // Ok, trap, or fuel exhaustion — returning at all is the
+               // assertion; aborts fail the test process.
+  }
+}
+
+TEST(Fuzz, GarbledSourcesNeverCrashTheFrontend) {
+  for (uint64_t Case = 0; Case < 60; ++Case) {
+    Rng R(deriveSeed(0xbad5eed, Case));
+    std::string Src = garbleSource(generateProgram(R), R);
+    DiagnosticEngine Diags;
+    auto CP = compileMiniJ(Src, Diags);
+    if (!CP) {
+      // Rejections must be user-facing diagnostics, never the
+      // compiler admitting it emitted unverifiable bytecode.
+      EXPECT_EQ(Diags.str().find("internal:"), std::string::npos)
+          << Diags.str() << "\n"
+          << Src;
+    }
+  }
+}
+
+TEST(Fuzz, MutatorIsDeterministicAndStructurePreserving) {
+  Rng G(deriveSeed(0xa190f17, 0));
+  auto CP = compile(generateProgram(G));
+  ASSERT_TRUE(CP);
+  Rng M1(99), M2(99);
+  bc::Module A = mutateModule(*CP->Mod, M1, 3);
+  bc::Module B = mutateModule(*CP->Mod, M2, 3);
+  ASSERT_EQ(A.Methods.size(), B.Methods.size());
+  for (size_t I = 0; I < A.Methods.size(); ++I) {
+    const bc::MethodInfo &Ma = A.Methods[I];
+    const bc::MethodInfo &Mb = B.Methods[I];
+    ASSERT_EQ(Ma.Code.size(), Mb.Code.size());
+    for (size_t Pc = 0; Pc < Ma.Code.size(); ++Pc) {
+      EXPECT_EQ(Ma.Code[Pc].Op, Mb.Code[Pc].Op);
+      EXPECT_EQ(Ma.Code[Pc].Imm, Mb.Code[Pc].Imm);
+    }
+    // Headers are never mutated — only code streams.
+    EXPECT_EQ(Ma.Name, CP->Mod->Methods[I].Name);
+    EXPECT_EQ(Ma.NumArgs, CP->Mod->Methods[I].NumArgs);
+  }
+}
+
+TEST(Fuzz, VerifierAcceptedMutantsExecuteToDefinedOutcome) {
+  // Oracle 2 in miniature: whatever survives the verifier must run
+  // without asserting, even though depth-only verification admits
+  // type-confused code.
+  Rng G(deriveSeed(0xa190f17, 1));
+  auto CP = compile(generateProgram(G));
+  ASSERT_TRUE(CP);
+  int Executed = 0;
+  for (uint64_t K = 0; K < 50; ++K) {
+    Rng M(deriveSeed(0x6d757461, K));
+    bc::Module Mut = mutateModule(*CP->Mod, M, 1 + (K % 4));
+    if (!bc::verifyModule(Mut).empty())
+      continue;
+    int32_t Entry = Mut.findMethodId("Main", "main");
+    if (Entry < 0)
+      continue;
+    vm::PreparedProgram Prep = vm::PreparedProgram::prepare(Mut);
+    vm::Interpreter Interp(Prep);
+    vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(Mut);
+    vm::IoChannels Io;
+    Io.Input = {1, 2};
+    (void)Interp.run(Entry, nullptr, Plan, Io, smallRun());
+    ++Executed;
+  }
+  // The mutator would be useless if the verifier rejected everything.
+  EXPECT_GT(Executed, 0);
+}
+
+TEST(Fuzz, SerialAndParallelProfilesAgreeOnGeneratedPrograms) {
+  // Oracle 3 in miniature: a few generated programs through both
+  // engines, byte-compared. The 10k-case batch runs under
+  // `ctest -L fuzz`.
+  for (uint64_t Case = 0; Case < 6; ++Case) {
+    Rng R(deriveSeed(0xd1ff, Case));
+    DiagnosticEngine Diags;
+    auto CP = compileMiniJ(generateProgram(R), Diags);
+    ASSERT_TRUE(CP) << Diags.str();
+    SessionOptions SO;
+    SO.Run = smallRun();
+
+    ProfileSession Serial(*CP, SO);
+    for (int Run = 0; Run < 2; ++Run) {
+      vm::IoChannels Io;
+      Io.Input = {5, 2, 9};
+      Serial.run("Main", "main", Io);
+    }
+    std::string SerialTree =
+        report::renderAnnotatedTree(Serial.tree(), Serial.buildProfiles());
+
+    parallel::SweepEngine Engine(*CP, SO);
+    std::vector<vm::IoChannels> Inputs(2);
+    for (vm::IoChannels &Io : Inputs)
+      Io.Input = {5, 2, 9};
+    Engine.sweepWithInputs("Main", "main", 2, Inputs);
+    std::string ParallelTree =
+        report::renderAnnotatedTree(Engine.tree(), Engine.buildProfiles());
+
+    EXPECT_EQ(SerialTree, ParallelTree) << "case " << Case;
+  }
+}
+
+} // namespace

@@ -152,6 +152,35 @@ TEST(ParallelSweepTest, TrackedSnapshotsMatchSerial) {
                            seedRuns({4, 8, 12}), SO);
 }
 
+TEST(ParallelSweepTest, TrackedSizesDoNotLeakAcrossUnifiedRuns) {
+  // Fuzzer-found (seed 0xa190f17, case 8837): under SameType every
+  // run's int[] arrays unify into one input, and tracked sizing used to
+  // read that input's *cumulative* value set — so a later run's loop,
+  // storing only zeros, was sized by an earlier run's stored values.
+  // Shards size per-run; so must the serial session. The loop below
+  // stores zeros (never tracked as values), making its tracked size the
+  // membership-count fallback; the non-zero store afterwards poisons
+  // the cumulative value set for the next run.
+  const char *Src = R"(
+    class Main {
+      static void main() {
+        int i = 0;
+        while (i < 4) {
+          int[] b = new int[2];
+          b[0] = 0;
+          i = i + 1;
+        }
+        int[] a = new int[5];
+        a[0] = 9;
+      }
+    }
+  )";
+  SessionOptions SO;
+  SO.Profile.Equivalence = EquivalenceStrategy::SameType;
+  SO.Profile.Snapshots = SnapshotMode::Tracked;
+  expectSweepMatchesSerial(Src, {{}, {}, {}}, SO);
+}
+
 TEST(ParallelSweepTest, GroupingStrategiesMatchSerial) {
   for (GroupingStrategy G :
        {GroupingStrategy::SameMethod,

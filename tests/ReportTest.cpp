@@ -83,4 +83,13 @@ TEST(Report, WriteFileRoundTrip) {
   std::remove(Path.c_str());
 }
 
+TEST(Report, WriteFileReportsFailure) {
+  // The CLI turns this false into a non-zero exit (see cli_test.sh);
+  // a directory path and a missing parent both must fail, not succeed
+  // silently with the report lost.
+  EXPECT_FALSE(report::writeFile(::testing::TempDir(), "x\n"));
+  EXPECT_FALSE(report::writeFile(
+      ::testing::TempDir() + "/no_such_dir_algoprof/out.csv", "x\n"));
+}
+
 } // namespace

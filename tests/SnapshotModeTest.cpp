@@ -83,4 +83,48 @@ TEST(SnapshotMode, FitsAgreeAcrossModes) {
   }
 }
 
+TEST(SnapshotMode, TrackedSizesAreRunScoped) {
+  // Two identical runs must record identical tracked sizes even when
+  // the equivalence strategy unifies their inputs: measurement counters
+  // reset at program start (InputTable::beginRun), so the second run is
+  // sized from its own heap, not from the first run's accumulated value
+  // set (fuzzer-found, seed 0xa190f17 case 8837).
+  const char *Src = R"(
+    class Main {
+      static void main() {
+        int i = 0;
+        while (i < 4) {
+          int[] b = new int[2];
+          b[0] = 0;
+          i = i + 1;
+        }
+        int[] a = new int[5];
+        a[0] = 9;
+      }
+    }
+  )";
+  auto CP = compile(Src);
+  ASSERT_TRUE(CP);
+  SessionOptions Opts;
+  Opts.Profile.Equivalence = EquivalenceStrategy::SameType;
+  Opts.Profile.Snapshots = SnapshotMode::Tracked;
+  ProfileSession S(*CP, Opts);
+  ASSERT_TRUE(S.run("Main", "main").ok());
+  ASSERT_TRUE(S.run("Main", "main").ok());
+  bool SawLoop = false;
+  S.tree().forEach([&](const RepetitionNode &N) {
+    if (N.History.size() != 2)
+      return;
+    SawLoop = true;
+    const InvocationRecord &R0 = N.History[0];
+    const InvocationRecord &R1 = N.History[1];
+    ASSERT_EQ(R0.Inputs.size(), R1.Inputs.size()) << N.Name;
+    auto It0 = R0.Inputs.begin();
+    auto It1 = R1.Inputs.begin();
+    for (; It0 != R0.Inputs.end(); ++It0, ++It1)
+      EXPECT_EQ(It0->second.MaxSize, It1->second.MaxSize) << N.Name;
+  });
+  EXPECT_TRUE(SawLoop);
+}
+
 } // namespace

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 using namespace algoprof;
 using namespace algoprof::testutil;
 
@@ -24,6 +26,47 @@ TEST(Vm, Arithmetic) {
     }
   )");
   EXPECT_EQ(Out, (std::vector<int64_t>{14, 3, 3, 2, -3, -3, -6}));
+}
+
+TEST(Vm, DivRemOverflowBoundary) {
+  // INT64_MIN / -1 overflows the quotient; Java (and our bytecode spec,
+  // see bc::Opcode::Div) defines it as INT64_MIN with remainder 0. This
+  // used to die with SIGFPE on x86 (hardware #DE) instead of printing.
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        int min = -9223372036854775807 - 1;
+        print(min / -1);
+        print(min % -1);
+        print(min / 1);
+        print(min % 1);
+      }
+    }
+  )");
+  EXPECT_EQ(Out, (std::vector<int64_t>{
+                     std::numeric_limits<int64_t>::min(), 0,
+                     std::numeric_limits<int64_t>::min(), 0}));
+}
+
+TEST(Vm, ArithmeticWrapsAroundLikeJava) {
+  // Add/Sub/Mul/Neg are defined as two's-complement wraparound, not UB.
+  auto Out = runOk(R"(
+    class Main {
+      static void main() {
+        int max = 9223372036854775807;
+        int min = -9223372036854775807 - 1;
+        print(max + 1);
+        print(min - 1);
+        print(max * 2);
+        print(-min);
+        print(max + max);
+        print(min * -1);
+      }
+    }
+  )");
+  int64_t Min = std::numeric_limits<int64_t>::min();
+  int64_t Max = std::numeric_limits<int64_t>::max();
+  EXPECT_EQ(Out, (std::vector<int64_t>{Min, Max, -2, Min, -2, Min}));
 }
 
 TEST(Vm, Comparisons) {

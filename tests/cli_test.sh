@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# CLI regression tests: strict numeric-flag validation and surfaced
+# report-writer failures. Invoked by ctest as `cli_test.sh <algoprof>`.
+set -u
+
+ALGOPROF=$1
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+cat > "$WORK/ok.mj" <<'EOF'
+class Main {
+  static void main() {
+    int n = 0;
+    if (hasInput()) {
+      n = readInt();
+    }
+    int i = 0;
+    while (i < n) {
+      i = i + 1;
+    }
+    print(i);
+  }
+}
+EOF
+
+# INT64_MIN / -1: used to kill the interpreter with SIGFPE (exit 136);
+# Java semantics define it as INT64_MIN.
+cat > "$WORK/overflow_div.mj" <<'EOF'
+class Main {
+  static void main() {
+    int min = -9223372036854775807 - 1;
+    int d = 0 - 1;
+    print(min / d);
+    print(min % d);
+  }
+}
+EOF
+
+expect_ok() {
+  local desc=$1; shift
+  if ! out=$("$@" 2>&1); then
+    fail "$desc: expected exit 0, got $? ($out)"
+  fi
+}
+
+expect_rejected() {
+  local desc=$1; shift
+  local out rc
+  out=$("$@" 2>&1)
+  rc=$?
+  if [ "$rc" -eq 0 ]; then
+    fail "$desc: expected non-zero exit, got 0"
+  elif [ "$rc" -ge 128 ]; then
+    fail "$desc: died with signal (exit $rc)"
+  elif ! printf '%s' "$out" | grep -qi "invalid value\|usage:"; then
+    fail "$desc: no diagnostic printed: $out"
+  fi
+}
+
+# Baseline: a well-formed invocation works.
+expect_ok "plain run" "$ALGOPROF" "$WORK/ok.mj"
+expect_ok "good flags" "$ALGOPROF" "$WORK/ok.mj" \
+  --runs 2 --jobs 2 --sample 0 --input 3,4
+expect_ok "empty input list" "$ALGOPROF" "$WORK/ok.mj" --input ""
+
+# Numeric flags used to go through atoi/atoll: "123abc" profiled 123
+# runs, "x" meant 0, and overflow saturated silently.
+expect_rejected "--runs trailing junk" "$ALGOPROF" "$WORK/ok.mj" --runs 123abc
+expect_rejected "--runs non-numeric" "$ALGOPROF" "$WORK/ok.mj" --runs x
+expect_rejected "--runs zero" "$ALGOPROF" "$WORK/ok.mj" --runs 0
+expect_rejected "--runs negative" "$ALGOPROF" "$WORK/ok.mj" --runs -3
+expect_rejected "--jobs non-numeric" "$ALGOPROF" "$WORK/ok.mj" --jobs x
+expect_rejected "--jobs negative" "$ALGOPROF" "$WORK/ok.mj" --jobs -1
+expect_rejected "--sample non-numeric" "$ALGOPROF" "$WORK/ok.mj" --sample x
+expect_rejected "--sample negative" "$ALGOPROF" "$WORK/ok.mj" --sample -5
+expect_rejected "--input stray char" "$ALGOPROF" "$WORK/ok.mj" --input 1,2x,3
+expect_rejected "--input empty field" "$ALGOPROF" "$WORK/ok.mj" --input 1,,3
+expect_rejected "--input overflow" "$ALGOPROF" "$WORK/ok.mj" \
+  --input 99999999999999999999
+
+# Report-writer failures must be a failing exit with an error message,
+# not exit 0 with the file silently missing.
+out=$("$ALGOPROF" "$WORK/ok.mj" --dot "$WORK/no_such_dir/t.dot" 2>&1)
+rc=$?
+if [ "$rc" -eq 0 ]; then
+  fail "--dot to unwritable path: expected non-zero exit"
+elif ! printf '%s' "$out" | grep -q "cannot write"; then
+  fail "--dot to unwritable path: no error message: $out"
+fi
+out=$("$ALGOPROF" "$WORK/ok.mj" --csv "$WORK/no_such_dir/t.csv" 2>&1)
+rc=$?
+if [ "$rc" -eq 0 ]; then
+  fail "--csv to unwritable path: expected non-zero exit"
+fi
+expect_ok "--dot writable" "$ALGOPROF" "$WORK/ok.mj" --dot "$WORK/t.dot"
+[ -s "$WORK/t.dot" ] || fail "--dot produced no file"
+
+# Defined overflow semantics end-to-end: the division used to raise
+# SIGFPE (exit 136); it must now complete as an ordinary run. The
+# printed value itself is asserted in VmTest.DivRemOverflowBoundary.
+out=$("$ALGOPROF" "$WORK/overflow_div.mj" 2>&1)
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  fail "INT64_MIN / -1 run failed (exit $rc): $out"
+fi
+
+if [ "$FAILURES" -ne 0 ]; then
+  echo "$FAILURES cli test(s) failed" >&2
+  exit 1
+fi
+echo "all cli tests passed"

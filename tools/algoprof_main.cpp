@@ -27,9 +27,11 @@
 #include "report/DotExporter.h"
 #include "report/TreePrinter.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +65,34 @@ void usageAndExit(const char *Argv0) {
                "[--csv FILE]\n",
                Argv0);
   std::exit(2);
+}
+
+/// Strictly parses a decimal integer: the whole string must be
+/// consumed and the value must fit in int64_t. atoi/atoll would accept
+/// "12abc" (as 12), turn garbage into 0, and silently saturate on
+/// overflow — all of which used to make flags like `--runs` profile
+/// something other than what was asked.
+bool parseInt64(const char *S, int64_t &Out) {
+  if (!S || !*S)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(S, &End, 10);
+  if (End == S || *End != '\0' || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Strict bounded int for count-like flags.
+bool parseIntIn(const char *S, int64_t Min, int64_t Max, int64_t &Out) {
+  return parseInt64(S, Out) && Out >= Min && Out <= Max;
+}
+
+bool argError(const char *Flag, const char *V, const char *Expected) {
+  std::fprintf(stderr, "error: invalid value '%s' for %s (expected %s)\n",
+               V ? V : "<missing>", Flag, Expected);
+  return false;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -126,34 +156,45 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
     } else if (Arg == "--sample") {
       const char *V = Need(I);
-      if (!V)
-        return false;
-      Opts.Session.Profile.SampleThreshold = std::atoll(V);
+      int64_t N;
+      if (!V || !parseIntIn(V, 0, std::numeric_limits<int64_t>::max(), N))
+        return argError("--sample", V, "an integer >= 0");
+      Opts.Session.Profile.SampleThreshold = N;
     } else if (Arg == "--runs") {
       const char *V = Need(I);
-      if (!V)
-        return false;
-      Opts.Runs = std::atoi(V);
-      if (Opts.Runs < 1)
-        return false;
+      int64_t N;
+      if (!V || !parseIntIn(V, 1, 1'000'000'000, N))
+        return argError("--runs", V, "an integer >= 1");
+      Opts.Runs = static_cast<int>(N);
     } else if (Arg == "--jobs") {
       const char *V = Need(I);
-      if (!V)
-        return false;
-      Opts.Jobs = std::atoi(V);
-      if (Opts.Jobs < 0)
-        return false;
+      int64_t N;
+      if (!V || !parseIntIn(V, 0, 1'000'000, N))
+        return argError("--jobs", V,
+                        "an integer >= 0 (0 = hardware concurrency)");
+      Opts.Jobs = static_cast<int>(N);
     } else if (Arg == "--input") {
       const char *V = Need(I);
       if (!V)
-        return false;
-      const char *P = V;
-      while (*P) {
-        Opts.Input.push_back(std::strtoll(P, const_cast<char **>(&P), 10));
-        if (*P == ',')
-          ++P;
-        else if (*P)
-          return false;
+        return argError("--input", V, "a comma-separated int list");
+      // Split on commas and parse each field strictly: a stray
+      // character, an empty field, or an out-of-range value used to be
+      // silently truncated into the list.
+      std::string S = V;
+      size_t Pos = 0;
+      while (!S.empty() && Pos <= S.size()) {
+        size_t Comma = S.find(',', Pos);
+        std::string Field = S.substr(
+            Pos, Comma == std::string::npos ? std::string::npos
+                                            : Comma - Pos);
+        int64_t N;
+        if (!parseInt64(Field.c_str(), N))
+          return argError("--input", V,
+                          "a comma-separated list of 64-bit integers");
+        Opts.Input.push_back(N);
+        if (Comma == std::string::npos)
+          break;
+        Pos = Comma + 1;
       }
     } else if (Arg == "--cct") {
       Opts.WithCct = true;
@@ -288,14 +329,20 @@ int main(int Argc, char **Argv) {
                 report::renderCct(Profiler).c_str());
   }
 
+  // Report-writer failures must surface as a failing exit code: a
+  // sweep script that asks for --dot/--csv and gets exit 0 with no
+  // file would silently drop its results.
+  bool WriteFailed = false;
   if (!Opts.DotFile.empty()) {
     if (report::writeFile(Opts.DotFile,
                           report::repetitionTreeToDot(*Tree,
-                                                      Profiles)))
+                                                      Profiles))) {
       std::printf("\nwrote %s\n", Opts.DotFile.c_str());
-    else
+    } else {
       std::fprintf(stderr, "error: cannot write '%s'\n",
                    Opts.DotFile.c_str());
+      WriteFailed = true;
+    }
   }
 
   if (!Opts.CsvFile.empty()) {
@@ -306,11 +353,13 @@ int main(int Argc, char **Argv) {
           All.emplace_back("algo" + std::to_string(AP.Algo.Id) + ":" +
                                Ser.Kind,
                            Ser.Series);
-    if (report::writeFile(Opts.CsvFile, report::seriesToCsv(All)))
+    if (report::writeFile(Opts.CsvFile, report::seriesToCsv(All))) {
       std::printf("wrote %s\n", Opts.CsvFile.c_str());
-    else
+    } else {
       std::fprintf(stderr, "error: cannot write '%s'\n",
                    Opts.CsvFile.c_str());
+      WriteFailed = true;
+    }
   }
-  return 0;
+  return WriteFailed ? 1 : 0;
 }
