@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Session.h"
+#include "obs/Obs.h"
 #include "parallel/SweepEngine.h"
 #include "programs/Programs.h"
 #include "report/CsvWriter.h"
@@ -57,7 +58,19 @@ struct Config {
   int Jobs;
   double Ms = 0;
   bool Match = true;
+  obs::Snapshot Phases; ///< Obs delta attributed to this configuration.
 };
+
+double phaseMs(const obs::Snapshot &S, obs::Phase P) {
+  return static_cast<double>(S.PhaseNs[static_cast<size_t>(P)]) / 1e6;
+}
+
+bool anyPhaseData(const obs::Snapshot &S) {
+  for (size_t I = 0; I < obs::NumPhases; ++I)
+    if (S.PhaseCalls[I])
+      return true;
+  return false;
+}
 
 } // namespace
 
@@ -85,6 +98,7 @@ int main() {
               static_cast<long long>(Seeds.back()), Hw);
 
   // Serial baseline: the classic accumulating session.
+  obs::Snapshot ObsMark = obs::snapshot();
   auto SerialStart = std::chrono::steady_clock::now();
   ProfileSession Serial(*CP, Opts);
   for (int64_t Seed : Seeds) {
@@ -99,22 +113,25 @@ int main() {
   }
   std::string Baseline = profilesFingerprint(Serial.buildProfiles());
   double SerialMs = msSince(SerialStart);
+  obs::Snapshot SerialPhases = obs::snapshot().deltaFrom(ObsMark);
 
   std::vector<Config> Configs = {{1}, {2}, {4}, {8}};
   bool AllMatch = true;
   for (Config &C : Configs) {
+    ObsMark = obs::snapshot();
     auto Start = std::chrono::steady_clock::now();
-    parallel::SweepEngine Engine(*CP, Opts);
-    SweepOptions SO;
-    SO.Threads = C.Jobs;
-    SO.Seeds = Seeds;
-    parallel::SweepResult SR = Engine.sweep("Main", "main", SO);
+    SessionOptions SweepOpts = Opts;
+    SweepOpts.Jobs = C.Jobs;
+    SweepOpts.Seeds = Seeds;
+    parallel::SweepEngine Engine(*CP, SweepOpts);
+    parallel::SweepResult SR = Engine.sweep("Main", "main");
     if (!SR.allOk()) {
       std::fprintf(stderr, "sweep at %d jobs failed\n", C.Jobs);
       return 1;
     }
     C.Match = profilesFingerprint(Engine.buildProfiles()) == Baseline;
     C.Ms = msSince(Start);
+    C.Phases = obs::snapshot().deltaFrom(ObsMark);
     AllMatch = AllMatch && C.Match;
   }
 
@@ -130,6 +147,38 @@ int main() {
     T.addRow({Row, Ms, Buf, C.Match ? "identical" : "DIVERGED"});
   }
   std::printf("%s\n", T.str().c_str());
+
+  // Per-phase breakdown (obs registry deltas): attributes each
+  // configuration's time to pipeline phases, so a BENCH json regression
+  // points at a phase instead of a wall-clock blob. CPU-time note: the
+  // phase sums add *across worker threads*, so a sweep's vm_run total
+  // can legitimately exceed its wall clock.
+  if (anyPhaseData(SerialPhases)) {
+    report::Table P({"phase", "serial ms", "jobs 1", "jobs 2", "jobs 4",
+                     "jobs 8"});
+    for (size_t I = 0; I < obs::NumPhases; ++I) {
+      obs::Phase Ph = static_cast<obs::Phase>(I);
+      uint64_t Calls = SerialPhases.PhaseCalls[I];
+      for (const Config &C : Configs)
+        Calls += C.Phases.PhaseCalls[I];
+      if (!Calls)
+        continue;
+      std::vector<std::string> Row = {obs::phaseName(Ph)};
+      std::snprintf(Buf, sizeof(Buf), "%.1f", phaseMs(SerialPhases, Ph));
+      Row.push_back(Buf);
+      for (const Config &C : Configs) {
+        std::snprintf(Buf, sizeof(Buf), "%.1f", phaseMs(C.Phases, Ph));
+        Row.push_back(Buf);
+      }
+      P.addRow(std::move(Row));
+    }
+    std::printf("Per-phase breakdown (thread-summed CPU ms):\n%s\n",
+                P.str().c_str());
+  } else {
+    std::printf("(observability disabled at build time — per-phase "
+                "breakdown unavailable; build with -DALGOPROF_OBS=ON)\n\n");
+  }
+
   if (Hw < 2)
     std::printf("note: single hardware thread — speedups near 1.00x are "
                 "expected here;\nthe table still verifies that every "
@@ -141,6 +190,22 @@ int main() {
   std::snprintf(Buf, sizeof(Buf), "%.3f", SerialMs);
   Json += "  \"serial_ms\": " + std::string(Buf) + ",\n";
   Json += "  \"sweeps\": [\n";
+  auto phasesJson = [&](const obs::Snapshot &S) {
+    std::string Out = "{";
+    bool First = true;
+    for (size_t I = 0; I < obs::NumPhases; ++I) {
+      if (!S.PhaseCalls[I])
+        continue;
+      char B[96];
+      std::snprintf(B, sizeof(B), "%s\"%s_ms\": %.3f",
+                    First ? "" : ", ",
+                    obs::phaseName(static_cast<obs::Phase>(I)),
+                    phaseMs(S, static_cast<obs::Phase>(I)));
+      Out += B;
+      First = false;
+    }
+    return Out + "}";
+  };
   for (size_t I = 0; I < Configs.size(); ++I) {
     const Config &C = Configs[I];
     std::snprintf(Buf, sizeof(Buf), "%.3f", C.Ms);
@@ -149,9 +214,11 @@ int main() {
     std::snprintf(Buf, sizeof(Buf), "%.3f", SerialMs / C.Ms);
     Json += std::string(", \"speedup\": ") + Buf +
             ", \"profiles_match\": " + (C.Match ? "true" : "false") +
-            "}" + (I + 1 < Configs.size() ? "," : "") + "\n";
+            ", \"phases\": " + phasesJson(C.Phases) + "}" +
+            (I + 1 < Configs.size() ? "," : "") + "\n";
   }
-  Json += "  ]\n}\n";
+  Json += "  ],\n";
+  Json += "  \"serial_phases\": " + phasesJson(SerialPhases) + "\n}\n";
   if (report::writeFile("bench_parallel_sweep.json", Json))
     std::printf("wrote bench_parallel_sweep.json\n");
 

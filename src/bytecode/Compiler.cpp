@@ -3,6 +3,7 @@
 #include "bytecode/Compiler.h"
 
 #include "frontend/Sema.h"
+#include "obs/Obs.h"
 
 #include <cassert>
 #include <unordered_map>
@@ -816,6 +817,7 @@ std::unique_ptr<Module> Compiler::compile() {
 
 std::unique_ptr<Module> algoprof::compileProgram(const Program &P,
                                                  DiagnosticEngine &Diags) {
+  obs::ScopedSpan Span(obs::Phase::Compile);
   Compiler C(P, Diags);
   return C.compile();
 }

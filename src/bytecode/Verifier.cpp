@@ -2,6 +2,8 @@
 
 #include "bytecode/Verifier.h"
 
+#include "obs/Obs.h"
+
 #include <deque>
 
 using namespace algoprof;
@@ -258,6 +260,7 @@ std::vector<std::string> bc::verifyMethod(const Module &M,
 }
 
 std::vector<std::string> bc::verifyModule(const Module &M) {
+  obs::ScopedSpan Span(obs::Phase::Verify);
   std::vector<std::string> Problems;
   for (const MethodInfo &Method : M.Methods) {
     std::vector<std::string> P = verifyMethod(M, Method);

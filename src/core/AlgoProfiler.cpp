@@ -2,6 +2,8 @@
 
 #include "core/AlgoProfiler.h"
 
+#include "obs/Obs.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -197,6 +199,7 @@ void AlgoProfiler::onLoopEnter(int32_t MethodId, int32_t LoopId) {
 }
 
 void AlgoProfiler::onLoopBackEdge(int32_t MethodId, int32_t LoopId) {
+  obs::addCount(obs::Counter::ListenerEvents);
   Activation &A = top();
   assert((A.Node->Key ==
           RepKey{RepKind::Loop, MethodId, LoopId}) &&
@@ -219,6 +222,7 @@ void AlgoProfiler::onLoopExit(int32_t MethodId, int32_t LoopId) {
 //===----------------------------------------------------------------------===//
 
 void AlgoProfiler::onMethodEnter(int32_t MethodId) {
+  obs::addCount(obs::Counter::ListenerEvents);
   // findOnPathToRoot: fold a re-entry of an active recursion onto its
   // existing node (paper Sec. 3.2, Method entry).
   RepetitionNode *Found = nullptr;
@@ -284,11 +288,13 @@ void AlgoProfiler::recordStructureAccess(ObjId Obj, Value Other,
 }
 
 void AlgoProfiler::onGetField(ObjId Obj, int32_t FieldId, Value V) {
+  obs::addCount(obs::Counter::ListenerEvents);
   (void)FieldId;
   recordStructureAccess(Obj, V, CostKind::StructGet);
 }
 
 void AlgoProfiler::onPutField(ObjId Obj, int32_t FieldId, Value New) {
+  obs::addCount(obs::Counter::ListenerEvents);
   (void)FieldId;
   recordStructureAccess(Obj, New, CostKind::StructPut);
 }
@@ -303,11 +309,13 @@ void AlgoProfiler::recordArrayAccess(ObjId Arr, CostKind Kind,
 }
 
 void AlgoProfiler::onArrayLoad(ObjId Arr, int64_t Index, Value V) {
+  obs::addCount(obs::Counter::ListenerEvents);
   (void)Index;
   recordArrayAccess(Arr, CostKind::ArrayLoad, V);
 }
 
 void AlgoProfiler::onArrayStore(ObjId Arr, int64_t Index, Value New) {
+  obs::addCount(obs::Counter::ListenerEvents);
   (void)Index;
   recordArrayAccess(Arr, CostKind::ArrayStore, New);
 }

@@ -2,6 +2,8 @@
 
 #include "core/InputTable.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 #include <deque>
 
@@ -146,7 +148,9 @@ SizeMeasures InputTable::traverseStructure(
   Work.push_back(Start);
   Seen.insert(Start);
 
+  uint64_t Steps = 0;
   while (!Work.empty()) {
+    ++Steps;
     ObjId Cur = Work.front();
     Work.pop_front();
     const HeapObject &Obj = H->get(Cur);
@@ -179,6 +183,7 @@ SizeMeasures InputTable::traverseStructure(
         Work.push_back(V.ref());
     }
   }
+  obs::addCount(obs::Counter::TraversalSteps, Steps);
   return Sizes;
 }
 
@@ -608,6 +613,7 @@ std::vector<int32_t> InputTable::merge(const InputTable &Other,
 //===----------------------------------------------------------------------===//
 
 SizeMeasures InputTable::measureFrom(ObjId Ref, int32_t Input) {
+  obs::ScopedTimer Timer(obs::Phase::Snapshot);
   Input = canonical(Input);
   const InputInfo &Info = Inputs[static_cast<size_t>(Input)];
   if (Info.IsArray && H->get(Ref).IsArray) {

@@ -2,6 +2,8 @@
 
 #include "core/RepetitionTree.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 #include <set>
 
@@ -46,6 +48,7 @@ RepetitionNode &RepetitionTree::getOrCreateChild(RepetitionNode &Parent,
   Node->Name = Name;
   Node->Parent = &Parent;
   Parent.Children.push_back(std::move(Node));
+  obs::addCount(obs::Counter::TreeNodes);
   return *Parent.Children.back();
 }
 

@@ -6,6 +6,10 @@
 #include "bytecode/Verifier.h"
 #include "frontend/Parser.h"
 #include "frontend/Sema.h"
+#include "obs/Obs.h"
+#include "parallel/SweepEngine.h"
+
+#include <algorithm>
 
 using namespace algoprof;
 using namespace algoprof::prof;
@@ -46,8 +50,14 @@ algoprof::prof::compileMiniJ(const std::string &Source,
       Diags.error({}, "internal: bytecode verification failed: " + P);
     return nullptr;
   }
-  CP->Prep = vm::PreparedProgram::prepare(*CP->Mod);
-  CP->Dataflow = analysis::computeIndexDataflow(*CP->Ast);
+  {
+    obs::ScopedSpan Span(obs::Phase::Prepare);
+    CP->Prep = vm::PreparedProgram::prepare(*CP->Mod);
+  }
+  {
+    obs::ScopedSpan Span(obs::Phase::Dataflow);
+    CP->Dataflow = analysis::computeIndexDataflow(*CP->Ast);
+  }
   return CP;
 }
 
@@ -139,14 +149,22 @@ algoprof::prof::buildProfilesFrom(const RepetitionTree &Tree,
                                   const InputTable &Inputs,
                                   const CompiledProgram &CP,
                                   GroupingStrategy Strategy) {
+  obs::ScopedSpan Span(obs::Phase::BuildProfiles);
+  std::vector<Algorithm> Algos;
+  {
+    obs::ScopedTimer Timer(obs::Phase::Grouping);
+    Algos = groupAlgorithms(Tree, Inputs, CP.Prep, Strategy, &CP.Dataflow);
+  }
   std::vector<AlgorithmProfile> Profiles;
-  for (Algorithm &A :
-       groupAlgorithms(Tree, Inputs, CP.Prep, Strategy, &CP.Dataflow)) {
+  for (Algorithm &A : Algos) {
     AlgorithmProfile AP;
     AP.Algo = std::move(A);
     AP.Invocations = combineInvocations(AP.Algo, Inputs);
-    AP.Class = classifyAlgorithm(AP.Algo, AP.Invocations, Inputs,
-                                 *CP.Mod);
+    {
+      obs::ScopedTimer Timer(obs::Phase::Classify);
+      AP.Class = classifyAlgorithm(AP.Algo, AP.Invocations, Inputs,
+                                   *CP.Mod);
+    }
     AP.Label = AP.Class.label(Inputs);
     // Pool the algorithm's inputs by kind and extract one series per
     // kind across all root invocations.
@@ -179,4 +197,56 @@ algoprof::prof::buildProfilesFrom(const RepetitionTree &Tree,
     Profiles.push_back(std::move(AP));
   }
   return Profiles;
+}
+
+//===----------------------------------------------------------------------===//
+// ProfileDriver
+//===----------------------------------------------------------------------===//
+
+ProfileDriver::ProfileDriver(const CompiledProgram &CP, SessionOptions Opts)
+    : Opts(Opts) {
+  if (Opts.Jobs == 1)
+    Serial = std::make_unique<ProfileSession>(CP, Opts);
+  else
+    Engine = std::make_unique<parallel::SweepEngine>(CP, Opts);
+}
+
+ProfileDriver::~ProfileDriver() = default;
+
+std::vector<vm::RunResult> ProfileDriver::runAll(const std::string &Cls,
+                                                 const std::string &Method) {
+  if (Engine) {
+    parallel::SweepResult SR = Engine->sweep(Cls, Method);
+    return std::move(SR.Runs);
+  }
+  // Serial path: same run plan, executed in place on the accumulating
+  // session.
+  std::vector<vm::RunResult> Results;
+  size_t NumRuns = Opts.Seeds.empty()
+                       ? static_cast<size_t>(std::max(1, Opts.Runs))
+                       : Opts.Seeds.size();
+  Results.reserve(NumRuns);
+  for (size_t I = 0; I < NumRuns; ++I) {
+    vm::IoChannels Io;
+    if (!Opts.Seeds.empty())
+      Io.Input.push_back(Opts.Seeds[I]);
+    else
+      Io.Input = Opts.Input;
+    Results.push_back(Serial->run(Cls, Method, Io));
+  }
+  return Results;
+}
+
+const RepetitionTree &ProfileDriver::tree() const {
+  return Engine ? Engine->tree() : Serial->tree();
+}
+
+const InputTable &ProfileDriver::inputs() const {
+  return Engine ? Engine->inputs() : Serial->inputs();
+}
+
+std::vector<AlgorithmProfile>
+ProfileDriver::buildProfiles(GroupingStrategy Strategy) const {
+  return Engine ? Engine->buildProfiles(Strategy)
+                : Serial->buildProfiles(Strategy);
 }

@@ -7,14 +7,35 @@
 /// tree, the grouped algorithms, their classifications, their
 /// <size, cost> series, and fitted cost functions.
 ///
+/// The one true path: build a SessionOptions (every knob of a
+/// profiling session — profiler options, instrumentation plan choice,
+/// VM limits, run count, jobs, seeds, input channel — lives there and
+/// nowhere else), hand it to a ProfileDriver, and read the profiles
+/// back. The driver picks the serial ProfileSession (Jobs == 1) or the
+/// sharded parallel::SweepEngine (any other Jobs) behind one API; the
+/// output is byte-identical either way:
+///
 /// \code
 ///   DiagnosticEngine Diags;
 ///   auto CP = compileMiniJ(Source, Diags);
-///   ProfileSession S(*CP);
-///   S.run("Main", "main");
-///   for (const AlgorithmProfile &AP : S.buildProfiles())
+///   SessionOptions SO;
+///   SO.Runs = 16;
+///   SO.Jobs = 4;
+///   ProfileDriver D(*CP, SO);
+///   D.runAll("Main", "main");
+///   for (const AlgorithmProfile &AP : D.buildProfiles())
 ///     ... AP.Label, AP.Series[i].Fit.formula() ...
 /// \endcode
+///
+/// ProfileSession remains available for callers that drive runs one at
+/// a time (interleaving their own I/O between runs); it consumes the
+/// same SessionOptions.
+///
+/// Observability is ambient rather than an options knob: every session
+/// (serial or sharded) reports into the process-wide obs registry
+/// (obs/Obs.h) — phase timers, volume counters, and, when
+/// obs::enableTracing is on, per-shard trace tracks. Read it with
+/// obs::snapshot(); docs/observability.md covers the exporters.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -94,26 +115,35 @@ struct AlgorithmProfile {
   const InputSeries *primarySeries() const;
 };
 
-/// Session options.
+/// Every knob of a profiling session, serial or sharded. This is the
+/// single options struct consumed by ProfileSession, ProfileDriver,
+/// and parallel::SweepEngine — there is no separate sweep-options
+/// type, so serial and sharded sessions cannot drift apart in what
+/// they configure (ParallelSweepTest asserts the parity).
 struct SessionOptions {
+  /// Profiler knobs: equivalence strategy, snapshot mode, sampling.
   ProfileOptions Profile;
   /// Use the all-methods plan (dynamic recursion folding without the
   /// static header analysis); creates a recursion node for every method.
   bool AllMethodsPlan = false;
+  /// VM limits (fuel, frame depth, array length) for every run.
   vm::RunOptions Run;
-};
-
-/// Options for a multi-run profiling sweep (see parallel::SweepEngine).
-struct SweepOptions {
-  /// Worker threads. 0 picks std::thread::hardware_concurrency(); 1
-  /// still goes through the shard-and-merge path (useful for
-  /// differential testing against ProfileSession).
-  int Threads = 1;
+  /// How many profiled runs a driver/sweep executes. Ignored when
+  /// Seeds is non-empty (then it is Seeds.size() runs).
+  int Runs = 1;
+  /// Worker threads. 1 is the serial accumulating session; 0 picks
+  /// std::thread::hardware_concurrency(); any other value shards the
+  /// runs over that many workers. The profile is byte-identical for
+  /// every value.
+  int Jobs = 1;
   /// One profiled run per seed, merged in this order. Each run's input
-  /// channel is pre-loaded with its seed value, so MiniJ programs size
-  /// their workload with In.read(). An empty list means one unseeded
-  /// run.
+  /// channel is pre-loaded with just its seed value, so MiniJ programs
+  /// size their workload with In.read(). Takes precedence over
+  /// Runs/Input when non-empty.
   std::vector<int64_t> Seeds;
+  /// External input-channel values handed to every run (the CLI's
+  /// --input). Unused for seeded runs.
+  std::vector<int64_t> Input;
 };
 
 /// Groups \p Tree into algorithms and runs the full profile pipeline
@@ -148,6 +178,7 @@ public:
   const RepetitionTree &tree() const { return Prof.tree(); }
   InputTable &inputs() { return Prof.inputs(); }
   const CompiledProgram &compiled() const { return CP; }
+  const SessionOptions &options() const { return Opts; }
 
   /// Groups the accumulated tree into algorithms.
   std::vector<Algorithm>
@@ -164,6 +195,48 @@ private:
   vm::InstrumentationPlan Plan;
   vm::Interpreter Interp;
   AlgoProfiler Prof;
+};
+
+} // namespace prof
+
+namespace parallel {
+class SweepEngine;
+} // namespace parallel
+
+namespace prof {
+
+/// The one-true-path front end over serial and sharded profiling: runs
+/// every configured run (SessionOptions::Runs or ::Seeds) of one entry
+/// point and exposes the accumulated tree/inputs/profiles. Jobs == 1
+/// owns a ProfileSession; anything else owns a parallel::SweepEngine.
+/// Callers that don't care about the execution strategy (the CLI, the
+/// examples) should use this instead of picking an engine by hand.
+class ProfileDriver {
+public:
+  explicit ProfileDriver(const CompiledProgram &CP,
+                         SessionOptions Opts = SessionOptions());
+  ~ProfileDriver();
+
+  /// Executes all configured runs of static no-arg "Cls.Method". Seeded
+  /// sessions (Opts.Seeds non-empty) run once per seed with the seed as
+  /// the sole input value; otherwise Opts.Runs runs each receive
+  /// Opts.Input. Returns one RunResult per run, in run order.
+  std::vector<vm::RunResult> runAll(const std::string &Cls,
+                                    const std::string &Method);
+
+  const RepetitionTree &tree() const;
+  const InputTable &inputs() const;
+  const SessionOptions &options() const { return Opts; }
+
+  /// Full pipeline over the accumulated state (same code path for both
+  /// strategies: buildProfilesFrom).
+  std::vector<AlgorithmProfile> buildProfiles(
+      GroupingStrategy Strategy = GroupingStrategy::CommonInput) const;
+
+private:
+  SessionOptions Opts;
+  std::unique_ptr<ProfileSession> Serial;       ///< When Jobs == 1.
+  std::unique_ptr<parallel::SweepEngine> Engine; ///< Otherwise.
 };
 
 } // namespace prof

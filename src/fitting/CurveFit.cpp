@@ -2,6 +2,8 @@
 
 #include "fitting/CurveFit.h"
 
+#include "obs/Obs.h"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -173,6 +175,7 @@ FitResult fitPowerLaw(const std::vector<SeriesPoint> &Series) {
 
 FitResult algoprof::fit::fitModel(const std::vector<SeriesPoint> &Series,
                                   ModelKind K) {
+  obs::addCount(obs::Counter::FitEvaluations);
   FitResult R;
   R.Kind = K;
   if (Series.size() < 3)
@@ -204,6 +207,7 @@ FitResult algoprof::fit::fitModel(const std::vector<SeriesPoint> &Series,
 
 std::vector<FitResult>
 algoprof::fit::fitAllModels(const std::vector<SeriesPoint> &Series) {
+  obs::ScopedTimer Timer(obs::Phase::Fit);
   std::vector<FitResult> Fits;
   for (ModelKind K :
        {ModelKind::Constant, ModelKind::Logarithmic, ModelKind::Linear,

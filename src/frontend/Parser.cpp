@@ -2,6 +2,8 @@
 
 #include "frontend/Parser.h"
 
+#include "obs/Obs.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -692,7 +694,13 @@ ExprPtr Parser::parseNew() {
 
 std::unique_ptr<Program> algoprof::parseMiniJ(const std::string &Source,
                                               DiagnosticEngine &Diags) {
-  Lexer Lex(Source, Diags);
-  Parser P(Lex.lexAll(), Diags);
+  std::vector<Token> Tokens;
+  {
+    obs::ScopedSpan Span(obs::Phase::Lex);
+    Lexer Lex(Source, Diags);
+    Tokens = Lex.lexAll();
+  }
+  obs::ScopedSpan Span(obs::Phase::Parse);
+  Parser P(std::move(Tokens), Diags);
   return P.parseProgram();
 }

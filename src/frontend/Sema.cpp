@@ -2,6 +2,8 @@
 
 #include "frontend/Sema.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 #include <unordered_map>
 #include <unordered_set>
@@ -876,6 +878,7 @@ TypeFE Sema::checkNewArray(NewArrayExpr &E) {
 //===----------------------------------------------------------------------===//
 
 bool algoprof::runSema(Program &P, DiagnosticEngine &Diags) {
+  obs::ScopedSpan Span(obs::Phase::Sema);
   Sema S(P, Diags);
   return S.run();
 }

@@ -1,0 +1,57 @@
+//===- obs/MetricsExport.cpp ----------------------------------------------===//
+
+#include "obs/MetricsExport.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace algoprof;
+using namespace algoprof::obs;
+
+std::string obs::prometheusText(const Snapshot &S) {
+  std::string Out;
+  char Buf[160];
+
+  Out += "# HELP algoprof_counter_total Work-volume counters of the "
+         "profiling pipeline.\n";
+  Out += "# TYPE algoprof_counter_total counter\n";
+  for (size_t I = 0; I < NumCounters; ++I) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "algoprof_counter_total{counter=\"%s\"} %" PRIu64 "\n",
+                  counterName(static_cast<Counter>(I)), S.Counters[I]);
+    Out += Buf;
+  }
+
+  Out += "# HELP algoprof_gauge Point-in-time levels sampled at "
+         "snapshot.\n";
+  Out += "# TYPE algoprof_gauge gauge\n";
+  for (size_t I = 0; I < NumGauges; ++I) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "algoprof_gauge{gauge=\"%s\"} %" PRIu64 "\n",
+                  gaugeName(static_cast<Gauge>(I)), S.Gauges[I]);
+    Out += Buf;
+  }
+
+  Out += "# HELP algoprof_phase_seconds_total Wall time accumulated per "
+         "pipeline phase.\n";
+  Out += "# TYPE algoprof_phase_seconds_total counter\n";
+  for (size_t I = 0; I < NumPhases; ++I) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "algoprof_phase_seconds_total{phase=\"%s\"} %.9f\n",
+                  phaseName(static_cast<Phase>(I)),
+                  static_cast<double>(S.PhaseNs[I]) / 1e9);
+    Out += Buf;
+  }
+
+  Out += "# HELP algoprof_phase_calls_total Scope entries per pipeline "
+         "phase.\n";
+  Out += "# TYPE algoprof_phase_calls_total counter\n";
+  for (size_t I = 0; I < NumPhases; ++I) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "algoprof_phase_calls_total{phase=\"%s\"} %" PRIu64 "\n",
+                  phaseName(static_cast<Phase>(I)), S.PhaseCalls[I]);
+    Out += Buf;
+  }
+
+  return Out;
+}

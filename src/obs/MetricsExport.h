@@ -1,0 +1,28 @@
+//===- obs/MetricsExport.h - Prometheus-style text snapshot -----*- C++-*-===//
+///
+/// \file
+/// Serializes an obs::Snapshot's counters and phase timers into the
+/// Prometheus text exposition format (one scrape's worth; AlgoProf is
+/// a batch tool, so this is a final snapshot, not an endpoint).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_OBS_METRICSEXPORT_H
+#define ALGOPROF_OBS_METRICSEXPORT_H
+
+#include "obs/Obs.h"
+
+#include <string>
+
+namespace algoprof {
+namespace obs {
+
+/// Renders \p S as Prometheus text format. Every counter and phase is
+/// printed, zeros included, so the layout is byte-stable across runs
+/// that exercise different pipeline subsets.
+std::string prometheusText(const Snapshot &S);
+
+} // namespace obs
+} // namespace algoprof
+
+#endif // ALGOPROF_OBS_METRICSEXPORT_H

@@ -1,0 +1,95 @@
+//===- obs/TraceExport.cpp ------------------------------------------------===//
+
+#include "obs/TraceExport.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace algoprof;
+using namespace algoprof::obs;
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// Nanoseconds as a microsecond decimal ("1234.567"), the unit the
+/// trace-event format expects for ts/dur.
+void appendMicros(std::string &Out, uint64_t Ns) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Ns / 1000);
+  Out += Buf;
+  uint64_t Frac = Ns % 1000;
+  if (Frac) {
+    std::snprintf(Buf, sizeof(Buf), ".%03" PRIu64, Frac);
+    Out += Buf;
+  }
+}
+
+} // namespace
+
+std::string obs::chromeTraceJson(const Snapshot &S) {
+  std::string Out;
+  Out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  auto comma = [&] {
+    if (!First)
+      Out += ",";
+    First = false;
+  };
+
+  // Track-name metadata first, so viewers label lanes before any event
+  // references them.
+  for (const auto &KV : S.TrackNames) {
+    comma();
+    char Buf[96]; // The literal part alone is 66 chars — don't truncate.
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,"
+                  "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                  KV.first);
+    Out += Buf;
+    appendEscaped(Out, KV.second);
+    Out += "\"}}";
+  }
+
+  for (const TraceEvent &E : S.Events) {
+    comma();
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"name\":\"%s\","
+                  "\"cat\":\"algoprof\",\"ts\":",
+                  E.Track, phaseName(E.P));
+    Out += Buf;
+    appendMicros(Out, E.StartNs);
+    Out += ",\"dur\":";
+    appendMicros(Out, E.DurNs);
+    Out += "}";
+  }
+
+  Out += "]}\n";
+  return Out;
+}

@@ -1,0 +1,30 @@
+//===- obs/TraceExport.h - Chrome trace-event JSON export -------*- C++-*-===//
+///
+/// \file
+/// Serializes an obs::Snapshot's span events into the Chrome
+/// trace-event JSON format, loadable in Perfetto (ui.perfetto.dev) or
+/// chrome://tracing. Each obs track becomes one named thread lane, so
+/// a sharded sweep renders as one track per shard.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_OBS_TRACEEXPORT_H
+#define ALGOPROF_OBS_TRACEEXPORT_H
+
+#include "obs/Obs.h"
+
+#include <string>
+
+namespace algoprof {
+namespace obs {
+
+/// Renders \p S as a Chrome trace-event JSON document. Deterministic:
+/// events come out in the Snapshot's (Track, StartNs, DurNs, P) order,
+/// track-name metadata first. Timestamps are microseconds with
+/// sub-microsecond fractions preserved.
+std::string chromeTraceJson(const Snapshot &S);
+
+} // namespace obs
+} // namespace algoprof
+
+#endif // ALGOPROF_OBS_TRACEEXPORT_H

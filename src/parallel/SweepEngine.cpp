@@ -2,6 +2,8 @@
 
 #include "parallel/SweepEngine.h"
 
+#include "obs/Obs.h"
+
 #include <algorithm>
 #include <atomic>
 #include <thread>
@@ -35,19 +37,25 @@ struct Shard {
 } // namespace
 
 SweepResult SweepEngine::sweep(const std::string &Cls,
-                               const std::string &Method,
-                               const SweepOptions &SO) {
-  std::vector<vm::IoChannels> RunInputs(
-      SO.Seeds.empty() ? 1 : SO.Seeds.size());
-  for (size_t I = 0; I < SO.Seeds.size(); ++I)
-    RunInputs[I].Input.push_back(SO.Seeds[I]);
-  return sweepWithInputs(Cls, Method, SO.Threads, RunInputs);
+                               const std::string &Method) {
+  std::vector<vm::IoChannels> RunInputs;
+  if (Opts.Seeds.empty()) {
+    RunInputs.resize(static_cast<size_t>(std::max(1, Opts.Runs)));
+    for (vm::IoChannels &Io : RunInputs)
+      Io.Input = Opts.Input;
+  } else {
+    RunInputs.resize(Opts.Seeds.size());
+    for (size_t I = 0; I < Opts.Seeds.size(); ++I)
+      RunInputs[I].Input.push_back(Opts.Seeds[I]);
+  }
+  return sweepWithInputs(Cls, Method, RunInputs);
 }
 
 SweepResult
 SweepEngine::sweepWithInputs(const std::string &Cls,
-                             const std::string &Method, int Threads,
+                             const std::string &Method,
                              const std::vector<vm::IoChannels> &RunInputs) {
+  int Threads = Opts.Jobs;
   size_t NumRuns = RunInputs.size();
   SweepResult Out;
   if (NumRuns == 0)
@@ -68,16 +76,32 @@ SweepEngine::sweepWithInputs(const std::string &Cls,
                    : static_cast<unsigned>(std::max(1, Threads));
   Workers = std::min<unsigned>(Workers, static_cast<unsigned>(NumRuns));
 
+  // Obs: every run gets its own trace track, numbered by cumulative
+  // run index so repeated sweeps extend the same lanes. ShardTrackBase
+  // keeps shard lanes clear of per-thread registration ordinals.
+  constexpr int32_t ShardTrackBase = 1000;
+  if (obs::tracingEnabled())
+    for (size_t I = 0; I < NumRuns; ++I) {
+      int64_t RunIndex = TotalRuns + static_cast<int64_t>(I);
+      obs::setTrackName(ShardTrackBase + static_cast<int32_t>(RunIndex),
+                        "shard " + std::to_string(RunIndex));
+    }
+
   // Map phase: workers claim run indices from a shared counter. Every
   // run is fully private — interpreter, heap, profiler, I/O channels —
   // so scheduling cannot influence any shard's contents.
   std::vector<Shard> Shards(NumRuns);
   std::atomic<size_t> Next{0};
+  int64_t FirstRunIndex = TotalRuns;
   auto Worker = [&]() {
     for (;;) {
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= NumRuns)
         break;
+      obs::ScopedTrack Track(
+          ShardTrackBase +
+          static_cast<int32_t>(FirstRunIndex + static_cast<int64_t>(I)));
+      obs::ScopedSpan Span(obs::Phase::ShardRun);
       Shard &S = Shards[I];
       vm::Interpreter Interp(CP.Prep);
       S.Prof = std::make_unique<AlgoProfiler>(CP.Prep, Opts.Profile);
@@ -104,6 +128,7 @@ SweepEngine::sweepWithInputs(const std::string &Cls,
   // the serial-replay merge, heap ids shift by the object count of all
   // previously merged runs — exactly the ids a serial session's shared
   // heap would have handed out.
+  obs::ScopedSpan MergeSpan(obs::Phase::ShardMerge);
   for (size_t I = 0; I < NumRuns; ++I) {
     Out.Runs[I] = Shards[I].Result;
     std::vector<int32_t> Remap =
@@ -111,6 +136,8 @@ SweepEngine::sweepWithInputs(const std::string &Cls,
     Acc->tree().merge(Shards[I].Prof->tree(), Remap);
     ObjIdOffset += Shards[I].NumObjects;
     Shards[I].Prof.reset();
+    obs::addCount(obs::Counter::ShardsMerged);
   }
+  TotalRuns += static_cast<int64_t>(NumRuns);
   return Out;
 }

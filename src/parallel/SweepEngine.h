@@ -41,31 +41,37 @@ struct SweepResult {
   }
 };
 
-/// A sharded, deterministic multi-run profiling engine. Each sweep()
-/// shards its runs over prof::SweepOptions::Threads workers; every run
-/// gets a fresh interpreter, profiler, and private IoChannels (no I/O
-/// state is shared between threads). Successive sweep() calls keep
-/// accumulating into the same merged tree/inputs, mirroring repeated
-/// ProfileSession::run calls.
+/// A sharded, deterministic multi-run profiling engine. It is
+/// configured entirely by the same prof::SessionOptions a serial
+/// session takes — Jobs picks the worker count, Seeds/Runs/Input the
+/// run plan. Every run gets a fresh interpreter, profiler, and private
+/// IoChannels (no I/O state is shared between threads). Successive
+/// sweep() calls keep accumulating into the same merged tree/inputs,
+/// mirroring repeated ProfileSession::run calls.
 class SweepEngine {
 public:
   explicit SweepEngine(const prof::CompiledProgram &CP,
                        prof::SessionOptions Opts = prof::SessionOptions());
   ~SweepEngine();
 
-  /// Runs static no-arg "Cls.Method" once per SO.Seeds entry (once,
-  /// unseeded, when empty). Each run's input channel is pre-loaded with
-  /// its seed. Workers execute runs in arbitrary order; the reduction is
-  /// performed after all workers join, in run-index order.
-  SweepResult sweep(const std::string &Cls, const std::string &Method,
-                    const prof::SweepOptions &SO);
+  /// Runs static no-arg "Cls.Method" per the options' run plan: once
+  /// per SessionOptions::Seeds entry (input channel pre-loaded with the
+  /// seed), or SessionOptions::Runs times with SessionOptions::Input
+  /// when Seeds is empty. Workers execute runs in arbitrary order; the
+  /// reduction is performed after all workers join, in run-index order.
+  SweepResult sweep(const std::string &Cls, const std::string &Method);
 
   /// Generalized sweep: one run per \p RunInputs entry, each run handed
   /// a private copy of its channels (arbitrary multi-value inputs, where
-  /// seeds are single-value).
+  /// seeds are single-value). Worker count still comes from
+  /// SessionOptions::Jobs.
   SweepResult sweepWithInputs(const std::string &Cls,
-                              const std::string &Method, int Threads,
+                              const std::string &Method,
                               const std::vector<vm::IoChannels> &RunInputs);
+
+  /// The options this engine was built from (serial-vs-sweep parity is
+  /// asserted against ProfileSession::options() in ParallelSweepTest).
+  const prof::SessionOptions &options() const { return Opts; }
 
   /// The merged repetition tree / input table accumulated so far.
   const prof::RepetitionTree &tree() const;
@@ -88,6 +94,9 @@ private:
   /// merged so far (what a serial session's ever-growing heap would
   /// report as numObjects()).
   int64_t ObjIdOffset = 0;
+  /// Runs merged so far; numbers the obs trace track of each shard so
+  /// successive sweeps keep extending the same per-shard lanes.
+  int64_t TotalRuns = 0;
 };
 
 } // namespace parallel

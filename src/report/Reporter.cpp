@@ -1,0 +1,263 @@
+//===- report/Reporter.cpp ------------------------------------------------===//
+
+#include "report/Reporter.h"
+
+#include "obs/Obs.h"
+#include "report/CsvWriter.h"
+#include "report/DotExporter.h"
+#include "report/TablePrinter.h"
+#include "report/TreePrinter.h"
+
+#include <cstdio>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::report;
+
+Reporter::~Reporter() = default;
+
+std::string Reporter::render(const ReportInput &In) const {
+  obs::ScopedSpan Span(obs::Phase::Report);
+  return renderDocument(In);
+}
+
+//===----------------------------------------------------------------------===//
+// Built-in reporters
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// %.17g: shortest round-trippable double, stable across runs.
+std::string fmtDouble(double V) {
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+class TreeReporter : public Reporter {
+  std::string name() const override { return "tree"; }
+  std::string renderDocument(const ReportInput &In) const override {
+    return renderAnnotatedTree(*In.Tree, *In.Profiles);
+  }
+};
+
+class TableReporter : public Reporter {
+  std::string name() const override { return "table"; }
+  std::string renderDocument(const ReportInput &In) const override {
+    Table T({"algorithm", "classification", "input", "fit", "r2"});
+    for (const AlgorithmProfile &AP : *In.Profiles) {
+      bool AnyRow = false;
+      for (const AlgorithmProfile::InputSeries &Ser : AP.Series) {
+        if (!Ser.Interesting)
+          continue;
+        AnyRow = true;
+        char R2[32];
+        std::snprintf(R2, sizeof(R2), "%.3f", Ser.Fit.R2);
+        T.addRow({"algo" + std::to_string(AP.Algo.Id), AP.Label, Ser.Kind,
+                  Ser.Fit.Valid ? Ser.Fit.formula() : "-",
+                  Ser.Fit.Valid ? R2 : "-"});
+      }
+      if (!AnyRow)
+        T.addRow({"algo" + std::to_string(AP.Algo.Id), AP.Label, "-", "-",
+                  "-"});
+    }
+    return T.str();
+  }
+};
+
+class CsvReporter : public Reporter {
+  std::string name() const override { return "csv"; }
+  std::string renderDocument(const ReportInput &In) const override {
+    // The exact assembly the legacy --csv flag performed; cli_test.sh
+    // locks --format=csv to it byte for byte.
+    std::vector<std::pair<std::string, std::vector<SeriesPoint>>> All;
+    for (const AlgorithmProfile &AP : *In.Profiles)
+      for (const AlgorithmProfile::InputSeries &Ser : AP.Series)
+        if (Ser.Interesting)
+          All.emplace_back("algo" + std::to_string(AP.Algo.Id) + ":" +
+                               Ser.Kind,
+                           Ser.Series);
+    return seriesToCsv(All);
+  }
+};
+
+class DotReporter : public Reporter {
+  std::string name() const override { return "dot"; }
+  std::string renderDocument(const ReportInput &In) const override {
+    return repetitionTreeToDot(*In.Tree, *In.Profiles);
+  }
+};
+
+/// The stable machine-readable schema. Versioned ("algoprof-profile/1");
+/// any field removal or meaning change bumps the version.
+class JsonReporter : public Reporter {
+  std::string name() const override { return "json"; }
+
+  static void appendEscaped(std::string &Out, const std::string &S) {
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        Out += "\\\"";
+        break;
+      case '\\':
+        Out += "\\\\";
+        break;
+      case '\n':
+        Out += "\\n";
+        break;
+      case '\t':
+        Out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          char Buf[8];
+          std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+          Out += Buf;
+        } else {
+          Out += C;
+        }
+      }
+    }
+  }
+
+  static void appendFit(std::string &Out, const fit::FitResult &F,
+                        const char *Indent) {
+    Out += "{\n";
+    Out += Indent;
+    Out += "  \"model\": \"";
+    Out += fit::modelKindName(F.Kind);
+    Out += "\",\n";
+    Out += Indent;
+    Out += "  \"formula\": \"";
+    appendEscaped(Out, F.formula());
+    Out += "\",\n";
+    Out += Indent;
+    Out += "  \"r2\": " + fmtDouble(F.R2) + "\n";
+    Out += Indent;
+    Out += "}";
+  }
+
+  std::string renderDocument(const ReportInput &In) const override {
+    std::string Out;
+    Out += "{\n  \"schema\": \"algoprof-profile/1\",\n";
+    Out += "  \"algorithms\": [";
+    bool FirstAlgo = true;
+    for (const AlgorithmProfile &AP : *In.Profiles) {
+      Out += FirstAlgo ? "\n" : ",\n";
+      FirstAlgo = false;
+      Out += "    {\n";
+      Out += "      \"id\": " + std::to_string(AP.Algo.Id) + ",\n";
+      Out += "      \"label\": \"";
+      appendEscaped(Out, AP.Label);
+      Out += "\",\n";
+      Out += "      \"classification\": {\n";
+      Out += std::string("        \"data_structureless\": ") +
+             (AP.Class.dataStructureless() ? "true" : "false") + ",\n";
+      Out += std::string("        \"does_input\": ") +
+             (AP.Class.DoesInput ? "true" : "false") + ",\n";
+      Out += std::string("        \"does_output\": ") +
+             (AP.Class.DoesOutput ? "true" : "false") + ",\n";
+      Out += "        \"inputs\": [";
+      bool FirstCls = true;
+      for (const Classification::PerInput &PI : AP.Class.Inputs) {
+        Out += FirstCls ? "\n" : ",\n";
+        FirstCls = false;
+        Out += "          {\"input_id\": " + std::to_string(PI.InputId) +
+               ", \"class\": \"" + algorithmClassName(PI.Class) + "\"}";
+      }
+      Out += FirstCls ? "]\n" : "\n        ]\n";
+      Out += "      },\n";
+      Out += "      \"series\": [";
+      bool FirstSer = true;
+      for (const AlgorithmProfile::InputSeries &Ser : AP.Series) {
+        Out += FirstSer ? "\n" : ",\n";
+        FirstSer = false;
+        Out += "        {\n";
+        Out += "          \"input_kind\": \"";
+        appendEscaped(Out, Ser.Kind);
+        Out += "\",\n";
+        Out += std::string("          \"interesting\": ") +
+               (Ser.Interesting ? "true" : "false") + ",\n";
+        Out += "          \"points\": [";
+        bool FirstPt = true;
+        for (const SeriesPoint &Pt : Ser.Series) {
+          Out += FirstPt ? "" : ", ";
+          FirstPt = false;
+          Out += "{\"size\": " + fmtDouble(Pt.X) +
+                 ", \"cost\": " + fmtDouble(Pt.Y) + "}";
+        }
+        Out += "]";
+        if (Ser.Interesting && Ser.Fit.Valid) {
+          Out += ",\n          \"fit\": ";
+          appendFit(Out, Ser.Fit, "          ");
+        }
+        if (!Ser.MeasureFits.empty()) {
+          Out += ",\n          \"measure_fits\": [";
+          bool FirstMf = true;
+          for (const auto &[Measure, F] : Ser.MeasureFits) {
+            Out += FirstMf ? "\n" : ",\n";
+            FirstMf = false;
+            Out += "            {\"measure\": \"";
+            Out += costKindLabel(Measure);
+            Out += "\", \"fit\": ";
+            appendFit(Out, F, "            ");
+            Out += "}";
+          }
+          Out += "\n          ]";
+        }
+        Out += "\n        }";
+      }
+      Out += FirstSer ? "]\n" : "\n      ]\n";
+      Out += "    }";
+    }
+    Out += FirstAlgo ? "]\n" : "\n  ]\n";
+    Out += "}\n";
+    return Out;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Registry::Registry() = default;
+Registry::~Registry() = default;
+
+void Registry::add(std::unique_ptr<Reporter> R) {
+  for (std::unique_ptr<Reporter> &Existing : Reporters)
+    if (Existing->name() == R->name()) {
+      Existing = std::move(R);
+      return;
+    }
+  Reporters.push_back(std::move(R));
+}
+
+const Reporter *Registry::find(const std::string &Name) const {
+  for (const std::unique_ptr<Reporter> &R : Reporters)
+    if (R->name() == Name)
+      return R.get();
+  return nullptr;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> Names;
+  Names.reserve(Reporters.size());
+  for (const std::unique_ptr<Reporter> &R : Reporters)
+    Names.push_back(R->name());
+  return Names;
+}
+
+const Registry &Registry::builtin() {
+  static Registry *B = [] {
+    auto *R = new Registry();
+    R->add(std::make_unique<TableReporter>());
+    R->add(std::make_unique<TreeReporter>());
+    R->add(std::make_unique<CsvReporter>());
+    R->add(std::make_unique<DotReporter>());
+    R->add(std::make_unique<JsonReporter>());
+    return R;
+  }();
+  return *B;
+}

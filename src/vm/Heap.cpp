@@ -2,6 +2,8 @@
 
 #include "vm/Heap.h"
 
+#include "obs/Obs.h"
+
 #include <cassert>
 
 using namespace algoprof;
@@ -26,6 +28,7 @@ ObjId Heap::allocObject(int32_t ClassId) {
     Obj.Slots.push_back(
         defaultValueFor(M.Fields[static_cast<size_t>(FieldId)].Type));
   Objects.push_back(std::move(Obj));
+  obs::addCount(obs::Counter::HeapObjects);
   return Base + static_cast<ObjId>(Objects.size()) - 1;
 }
 
@@ -38,5 +41,6 @@ ObjId Heap::allocArray(TypeId ArrayType, int64_t Len) {
   Obj.IsArray = true;
   Obj.Slots.assign(static_cast<size_t>(Len), defaultValueFor(RT.Elem));
   Objects.push_back(std::move(Obj));
+  obs::addCount(obs::Counter::HeapObjects);
   return Base + static_cast<ObjId>(Objects.size()) - 1;
 }

@@ -3,6 +3,7 @@
 #include "vm/Interpreter.h"
 
 #include "analysis/Dominators.h"
+#include "obs/Obs.h"
 
 #include <cassert>
 #include <limits>
@@ -640,8 +641,14 @@ RunResult Interpreter::run(int32_t EntryMethodId, ExecutionListener *Listener,
   assert(!InRun && "Interpreter::run is not reentrant; use one "
                    "Interpreter per concurrent run");
   InRun = true;
-  Machine Mach(P, TheHeap, Listener, Plan, Io, Opts);
-  RunResult R = Mach.run(EntryMethodId);
+  RunResult R;
+  {
+    obs::ScopedSpan Span(obs::Phase::VmRun);
+    Machine Mach(P, TheHeap, Listener, Plan, Io, Opts);
+    R = Mach.run(EntryMethodId);
+  }
+  obs::addCount(obs::Counter::BytecodesExecuted, R.InstrCount);
+  obs::addCount(obs::Counter::RunsCompleted);
   InRun = false;
   return R;
 }

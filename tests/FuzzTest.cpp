@@ -155,11 +155,13 @@ TEST(Fuzz, SerialAndParallelProfilesAgreeOnGeneratedPrograms) {
     std::string SerialTree =
         report::renderAnnotatedTree(Serial.tree(), Serial.buildProfiles());
 
-    parallel::SweepEngine Engine(*CP, SO);
+    SessionOptions ShardedSO = SO;
+    ShardedSO.Jobs = 2;
+    parallel::SweepEngine Engine(*CP, ShardedSO);
     std::vector<vm::IoChannels> Inputs(2);
     for (vm::IoChannels &Io : Inputs)
       Io.Input = {5, 2, 9};
-    Engine.sweepWithInputs("Main", "main", 2, Inputs);
+    Engine.sweepWithInputs("Main", "main", Inputs);
     std::string ParallelTree =
         report::renderAnnotatedTree(Engine.tree(), Engine.buildProfiles());
 

@@ -17,6 +17,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 using namespace algoprof;
 using namespace algoprof::prof;
 using namespace algoprof::programs;
@@ -54,11 +56,13 @@ Sigs serialSigs(const CompiledProgram &CP, const SessionOptions &SO,
 Sigs sweepSigs(const CompiledProgram &CP, const SessionOptions &SO,
                int Threads, const std::vector<std::vector<int64_t>> &Runs,
                GroupingStrategy G = GroupingStrategy::CommonInput) {
-  parallel::SweepEngine E(CP, SO);
+  SessionOptions Sharded = SO;
+  Sharded.Jobs = Threads;
+  parallel::SweepEngine E(CP, Sharded);
   std::vector<vm::IoChannels> Ios(Runs.size());
   for (size_t I = 0; I < Runs.size(); ++I)
     Ios[I].Input = Runs[I];
-  parallel::SweepResult SR = E.sweepWithInputs("Main", "main", Threads, Ios);
+  parallel::SweepResult SR = E.sweepWithInputs("Main", "main", Ios);
   EXPECT_TRUE(SR.allOk());
   return {testutil::profileSignature(E.buildProfiles(G), E.inputs()),
           testutil::treeSignature(E.tree()),
@@ -207,11 +211,11 @@ TEST(ParallelSweepTest, RepeatedSweepsAreByteIdentical) {
 TEST(ParallelSweepTest, SeedsApiMatchesExplicitChannels) {
   auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
   ASSERT_TRUE(CP);
-  parallel::SweepEngine E(*CP, SessionOptions());
-  SweepOptions SO;
-  SO.Threads = 2;
+  SessionOptions SO;
+  SO.Jobs = 2;
   SO.Seeds = {4, 8, 12};
-  parallel::SweepResult SR = E.sweep("Main", "main", SO);
+  parallel::SweepEngine E(*CP, SO);
+  parallel::SweepResult SR = E.sweep("Main", "main");
   EXPECT_TRUE(SR.allOk());
   EXPECT_EQ(SR.Runs.size(), 3u);
   Sigs ViaSeeds = {
@@ -227,13 +231,15 @@ TEST(ParallelSweepTest, SuccessiveSweepsAccumulateLikeSerial) {
   // across batches exactly like a serial session's ever-growing heap.
   auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
   ASSERT_TRUE(CP);
-  parallel::SweepEngine E(*CP, SessionOptions());
+  SessionOptions SO;
+  SO.Jobs = 2;
+  parallel::SweepEngine E(*CP, SO);
   for (std::vector<int64_t> Batch : {std::vector<int64_t>{4, 8},
                                      std::vector<int64_t>{12, 16}}) {
-    SweepOptions SO;
-    SO.Threads = 2;
-    SO.Seeds = Batch;
-    EXPECT_TRUE(E.sweep("Main", "main", SO).allOk());
+    std::vector<vm::IoChannels> Ios(Batch.size());
+    for (size_t I = 0; I < Batch.size(); ++I)
+      Ios[I].Input = {Batch[I]};
+    EXPECT_TRUE(E.sweepWithInputs("Main", "main", Ios).allOk());
   }
   Sigs Batched = {
       testutil::profileSignature(E.buildProfiles(), E.inputs()),
@@ -242,12 +248,87 @@ TEST(ParallelSweepTest, SuccessiveSweepsAccumulateLikeSerial) {
                                 seedRuns({4, 8, 12, 16})));
 }
 
+/// Every field of SessionOptions, rendered; if a knob is added without
+/// flowing through both engines, the parity test below fails to compile
+/// or fails to match.
+std::string sessionOptionsSignature(const SessionOptions &SO) {
+  std::ostringstream OS;
+  OS << "equivalence=" << equivalenceStrategyName(SO.Profile.Equivalence)
+     << " snapshots=" << snapshotModeName(SO.Profile.Snapshots)
+     << " arraymeasure=" << static_cast<int>(SO.Profile.ArrayMeasure)
+     << " sample=" << SO.Profile.SampleThreshold
+     << " allmethods=" << SO.AllMethodsPlan << " fuel=" << SO.Run.Fuel
+     << " maxframes=" << SO.Run.MaxFrames
+     << " maxarray=" << SO.Run.MaxArrayLength << " runs=" << SO.Runs
+     << " jobs=" << SO.Jobs << " seeds=";
+  for (int64_t S : SO.Seeds)
+    OS << S << ",";
+  OS << " input=";
+  for (int64_t V : SO.Input)
+    OS << V << ",";
+  return OS.str();
+}
+
+TEST(ParallelSweepTest, SerialAndSweepConsumeIdenticalOptions) {
+  // The PR-3 byte-equality oracle only covers option plumbing if both
+  // engines actually hold the same options: assert that one
+  // SessionOptions value survives, field for field, through
+  // ProfileSession, SweepEngine, and ProfileDriver.
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  SessionOptions SO;
+  SO.Profile.Equivalence = EquivalenceStrategy::SameType;
+  SO.Profile.Snapshots = SnapshotMode::Tracked;
+  SO.Profile.SampleThreshold = 7;
+  SO.AllMethodsPlan = true;
+  SO.Run.Fuel = 123456789;
+  SO.Run.MaxFrames = 99;
+  SO.Run.MaxArrayLength = 1 << 20;
+  SO.Runs = 5;
+  SO.Jobs = 3;
+  SO.Seeds = {4, 8};
+  SO.Input = {1, 2, 3};
+
+  std::string Want = sessionOptionsSignature(SO);
+  ProfileSession Serial(*CP, SO);
+  EXPECT_EQ(Want, sessionOptionsSignature(Serial.options()));
+  parallel::SweepEngine Engine(*CP, SO);
+  EXPECT_EQ(Want, sessionOptionsSignature(Engine.options()));
+  ProfileDriver Driver(*CP, SO);
+  EXPECT_EQ(Want, sessionOptionsSignature(Driver.options()));
+}
+
+TEST(ParallelSweepTest, DriverMatchesAcrossJobCounts) {
+  // The one-true-path front end: the same SessionOptions run plan must
+  // produce identical profiles at every Jobs value.
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  auto driverSigs = [&](int Jobs) {
+    SessionOptions SO;
+    SO.Seeds = {4, 8, 12, 16};
+    SO.Jobs = Jobs;
+    ProfileDriver D(*CP, SO);
+    for (const vm::RunResult &R : D.runAll("Main", "main"))
+      EXPECT_TRUE(R.ok()) << R.TrapMessage;
+    return Sigs{testutil::profileSignature(D.buildProfiles(), D.inputs()),
+                testutil::treeSignature(D.tree()),
+                testutil::inputsSignature(D.inputs())};
+  };
+  Sigs Serial = driverSigs(1);
+  ASSERT_FALSE(Serial.Tree.empty());
+  EXPECT_EQ(Serial, driverSigs(2));
+  EXPECT_EQ(Serial, driverSigs(8));
+  EXPECT_EQ(Serial, driverSigs(0)); // hardware concurrency
+}
+
 TEST(ParallelSweepTest, UnknownEntryTrapsEveryRun) {
   auto CP = testutil::compile(ioSumProgram());
   ASSERT_TRUE(CP);
-  parallel::SweepEngine E(*CP, SessionOptions());
+  SessionOptions UnknownSO;
+  UnknownSO.Jobs = 2;
+  parallel::SweepEngine E(*CP, UnknownSO);
   parallel::SweepResult SR =
-      E.sweepWithInputs("Main", "nope", 2, std::vector<vm::IoChannels>(3));
+      E.sweepWithInputs("Main", "nope", std::vector<vm::IoChannels>(3));
   EXPECT_FALSE(SR.allOk());
   ASSERT_EQ(SR.Runs.size(), 3u);
   for (const vm::RunResult &R : SR.Runs)

@@ -1,0 +1,211 @@
+//===- tests/ReporterTest.cpp - Unified report rendering ------------------===//
+///
+/// \file
+/// Tests for report::Reporter / report::Registry: the built-in format
+/// set, differential equality of the csv/dot/tree reporters against
+/// the legacy standalone renderers on a real profiled session, and a
+/// golden file locking the "algoprof-profile/1" JSON schema on
+/// hand-built profiles (no fitting, so every byte is deterministic).
+///
+/// ctest label: obs (the reporting satellite rides with the
+/// observability binary).
+///
+//===----------------------------------------------------------------------===//
+
+#include "GoldenUtil.h"
+#include "TestUtil.h"
+#include "programs/Programs.h"
+#include "report/CsvWriter.h"
+#include "report/DotExporter.h"
+#include "report/Reporter.h"
+#include "report/TreePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::report;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(ReporterRegistry, BuiltinFormats) {
+  const Registry &R = Registry::builtin();
+  std::vector<std::string> Expected = {"table", "tree", "csv", "dot",
+                                       "json"};
+  EXPECT_EQ(R.names(), Expected);
+  for (const std::string &Name : Expected) {
+    const Reporter *Rep = R.find(Name);
+    ASSERT_NE(Rep, nullptr) << Name;
+    EXPECT_EQ(Rep->name(), Name);
+  }
+  EXPECT_EQ(R.find("yaml"), nullptr);
+  EXPECT_EQ(R.find(""), nullptr);
+}
+
+class StubReporter : public Reporter {
+public:
+  StubReporter(std::string Name, std::string Doc)
+      : Name(std::move(Name)), Doc(std::move(Doc)) {}
+  std::string name() const override { return Name; }
+
+private:
+  std::string renderDocument(const ReportInput &) const override {
+    return Doc;
+  }
+  std::string Name, Doc;
+};
+
+TEST(ReporterRegistry, AddReplacesSameName) {
+  Registry R;
+  R.add(std::make_unique<StubReporter>("x", "first"));
+  R.add(std::make_unique<StubReporter>("y", "other"));
+  R.add(std::make_unique<StubReporter>("x", "second"));
+  EXPECT_EQ(R.names(), (std::vector<std::string>{"x", "y"}));
+  EXPECT_EQ(R.find("x")->render(ReportInput()), "second");
+}
+
+//===----------------------------------------------------------------------===//
+// Differential: format names must equal the legacy standalone renderers
+//===----------------------------------------------------------------------===//
+
+/// One profiled session over the Figure 1 insertion-sort workload —
+/// enough structure for interesting series, fits, and a non-trivial
+/// repetition tree.
+class ReporterSessionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    CP = testutil::compile(
+        programs::seededInsertionSortProgram(programs::InputOrder::Random));
+    ASSERT_TRUE(CP);
+    SessionOptions SO;
+    SO.Seeds = {8, 12, 16, 20};
+    Driver = std::make_unique<ProfileDriver>(*CP, SO);
+    for (const vm::RunResult &R : Driver->runAll("Main", "main"))
+      ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    Profiles = Driver->buildProfiles();
+    In.Tree = &Driver->tree();
+    In.Inputs = &Driver->inputs();
+    In.Profiles = &Profiles;
+  }
+  std::unique_ptr<CompiledProgram> CP;
+  std::unique_ptr<ProfileDriver> Driver;
+  std::vector<AlgorithmProfile> Profiles;
+  ReportInput In;
+};
+
+TEST_F(ReporterSessionTest, CsvEqualsLegacyWriter) {
+  std::vector<std::pair<std::string, std::vector<SeriesPoint>>> All;
+  for (const AlgorithmProfile &AP : Profiles)
+    for (const AlgorithmProfile::InputSeries &Ser : AP.Series)
+      if (Ser.Interesting)
+        All.emplace_back("algo" + std::to_string(AP.Algo.Id) + ":" +
+                             Ser.Kind,
+                         Ser.Series);
+  ASSERT_FALSE(All.empty()) << "workload produced no interesting series";
+  EXPECT_EQ(Registry::builtin().find("csv")->render(In), seriesToCsv(All));
+}
+
+TEST_F(ReporterSessionTest, DotEqualsLegacyExporter) {
+  EXPECT_EQ(Registry::builtin().find("dot")->render(In),
+            repetitionTreeToDot(*In.Tree, Profiles));
+}
+
+TEST_F(ReporterSessionTest, TreeEqualsLegacyPrinter) {
+  EXPECT_EQ(Registry::builtin().find("tree")->render(In),
+            renderAnnotatedTree(*In.Tree, Profiles));
+}
+
+TEST_F(ReporterSessionTest, TableListsEveryAlgorithm) {
+  std::string Doc = Registry::builtin().find("table")->render(In);
+  for (const AlgorithmProfile &AP : Profiles)
+    EXPECT_NE(Doc.find("algo" + std::to_string(AP.Algo.Id)),
+              std::string::npos);
+}
+
+TEST_F(ReporterSessionTest, JsonCarriesSchemaAndFits) {
+  std::string Doc = Registry::builtin().find("json")->render(In);
+  EXPECT_NE(Doc.find("\"schema\": \"algoprof-profile/1\""),
+            std::string::npos);
+  EXPECT_NE(Doc.find("\"fit\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"points\""), std::string::npos);
+  // Braces/brackets balance — cheap structural sanity for a renderer
+  // that assembles JSON by hand.
+  int Depth = 0;
+  bool InString = false, Escaped = false;
+  for (char C : Doc) {
+    if (Escaped) {
+      Escaped = false;
+      continue;
+    }
+    if (C == '\\') {
+      Escaped = true;
+      continue;
+    }
+    if (C == '"') {
+      InString = !InString;
+      continue;
+    }
+    if (InString)
+      continue;
+    if (C == '{' || C == '[')
+      ++Depth;
+    if (C == '}' || C == ']')
+      --Depth;
+    ASSERT_GE(Depth, 0);
+  }
+  EXPECT_EQ(Depth, 0);
+  EXPECT_FALSE(InString);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON schema golden (hand-built profiles: byte-deterministic)
+//===----------------------------------------------------------------------===//
+
+TEST(ReporterJson, SchemaGolden) {
+  std::vector<AlgorithmProfile> Profiles;
+
+  AlgorithmProfile A;
+  A.Algo.Id = 3;
+  A.Label = "Traversal of a \"Node\"-based\nstructure \\ pooled";
+  A.Class.DoesInput = true;
+  A.Class.Inputs.push_back({7, AlgorithmClass::Traversal});
+  A.Class.Inputs.push_back({9, AlgorithmClass::Untouched});
+  AlgorithmProfile::InputSeries S1;
+  S1.Kind = "Node-based recursive structure";
+  S1.InputIds = {7, 9};
+  S1.Series = {{4, 16}, {8, 64}, {16, 256.5}};
+  S1.Fit.Kind = fit::ModelKind::Quadratic;
+  S1.Fit.Coefficient = 1.0;
+  S1.Fit.R2 = 0.9987654321;
+  S1.Fit.Valid = true;
+  S1.Interesting = true;
+  fit::FitResult Mf;
+  Mf.Kind = fit::ModelKind::Linear;
+  Mf.Coefficient = 2.5;
+  Mf.R2 = 1.0;
+  Mf.Valid = true;
+  S1.MeasureFits[CostKind::StructGet] = Mf;
+  A.Series.push_back(S1);
+  AlgorithmProfile::InputSeries S2;
+  S2.Kind = "Array-based structure";
+  S2.Series = {{3, 3}};
+  A.Series.push_back(S2); // Uninteresting: no fit emitted.
+  Profiles.push_back(std::move(A));
+
+  AlgorithmProfile B; // Data-structure-less, no series at all.
+  B.Algo.Id = 4;
+  B.Label = "Data-structure-less algorithm";
+  B.Class.DoesOutput = true;
+  Profiles.push_back(std::move(B));
+
+  ReportInput In;
+  In.Profiles = &Profiles;
+  testutil::expectMatchesGolden(
+      Registry::builtin().find("json")->render(In), "profile_schema.json");
+}
+
+} // namespace

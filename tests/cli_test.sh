@@ -101,6 +101,58 @@ fi
 expect_ok "--dot writable" "$ALGOPROF" "$WORK/ok.mj" --dot "$WORK/t.dot"
 [ -s "$WORK/t.dot" ] || fail "--dot produced no file"
 
+# Unified reporting: --format NAME [--out FILE] is the one rendering
+# path; the deprecated --csv/--dot aliases must produce byte-identical
+# files through it.
+expect_ok "--format csv to stdout" "$ALGOPROF" "$WORK/ok.mj" \
+  --input 5 --format csv
+expect_ok "--format csv --out" "$ALGOPROF" "$WORK/ok.mj" \
+  --input 5 --format csv --out "$WORK/new.csv"
+expect_ok "--format dot --out" "$ALGOPROF" "$WORK/ok.mj" \
+  --input 5 --format dot --out "$WORK/new.dot"
+"$ALGOPROF" "$WORK/ok.mj" --input 5 --csv "$WORK/legacy.csv" \
+  --dot "$WORK/legacy.dot" >/dev/null 2>"$WORK/dep_err"
+cmp -s "$WORK/new.csv" "$WORK/legacy.csv" \
+  || fail "--format csv not byte-identical to legacy --csv"
+cmp -s "$WORK/new.dot" "$WORK/legacy.dot" \
+  || fail "--format dot not byte-identical to legacy --dot"
+
+# The aliases warn, and warn once per flag even when repeated.
+grep -q "deprecated" "$WORK/dep_err" || fail "--csv/--dot did not warn"
+"$ALGOPROF" "$WORK/ok.mj" --input 5 --csv "$WORK/a.csv" \
+  --csv "$WORK/b.csv" >/dev/null 2>"$WORK/dep_twice"
+n=$(grep -c "deprecated" "$WORK/dep_twice")
+[ "$n" -eq 1 ] || fail "--csv repeated: expected 1 warning, got $n"
+
+# Format/out validation.
+expect_rejected "--format unknown" "$ALGOPROF" "$WORK/ok.mj" --format yaml
+expect_rejected "--out without --format" "$ALGOPROF" "$WORK/ok.mj" \
+  --out "$WORK/x"
+expect_rejected "--out after satisfied job" "$ALGOPROF" "$WORK/ok.mj" \
+  --format csv --out "$WORK/x" --out "$WORK/y"
+
+# The stable JSON schema.
+expect_ok "--format json --out" "$ALGOPROF" "$WORK/ok.mj" \
+  --input 5 --format json --out "$WORK/p.json"
+grep -q "algoprof-profile/1" "$WORK/p.json" \
+  || fail "--format json missing schema marker"
+
+# Observability exports: files written, failures surfaced as exit codes.
+expect_ok "--trace and --metrics" "$ALGOPROF" "$WORK/ok.mj" --input 5 \
+  --trace "$WORK/t.json" --metrics "$WORK/t.prom"
+grep -q "traceEvents" "$WORK/t.json" || fail "--trace wrote no trace JSON"
+grep -q "algoprof_counter_total" "$WORK/t.prom" \
+  || fail "--metrics wrote no prometheus text"
+out=$("$ALGOPROF" "$WORK/ok.mj" --trace "$WORK/no_such_dir/t.json" 2>&1)
+rc=$?
+if [ "$rc" -eq 0 ]; then
+  fail "--trace to unwritable path: expected non-zero exit"
+elif ! printf '%s' "$out" | grep -q "cannot write"; then
+  fail "--trace to unwritable path: no error message: $out"
+fi
+out=$("$ALGOPROF" "$WORK/ok.mj" --metrics "$WORK/no_such_dir/t.prom" 2>&1)
+[ $? -ne 0 ] || fail "--metrics to unwritable path: expected non-zero exit"
+
 # Defined overflow semantics end-to-end: the division used to raise
 # SIGFPE (exit 136); it must now complete as an ordinary run. The
 # printed value itself is asserted in VmTest.DivRemOverflowBoundary.

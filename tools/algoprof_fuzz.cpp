@@ -228,7 +228,8 @@ std::string renderState(const std::vector<vm::RunResult> &Runs,
   for (size_t I = 0; I < Runs.size(); ++I)
     OS << "run " << I << ": " << statusName(Runs[I].Status) << " instr="
        << Runs[I].InstrCount << " msg='" << Runs[I].TrapMessage << "'\n";
-  OS << "repetitions=" << Tree.numRepetitions() << " inputs=";
+  OS << "repetitions=" << Tree.numRepetitions() << " strategy="
+     << equivalenceStrategyName(Inputs.strategy()) << " inputs=";
   for (int32_t Id : Inputs.liveInputs())
     OS << Id << ",";
   OS << "\n";
@@ -264,6 +265,11 @@ void checkCompiledProgram(const CompiledProgram &CP,
   for (uint64_t I = 0; I < NumInputs; ++I)
     Input.push_back(R.chance(80) ? R.range(-20, 20) : R.anyInt());
   int Threads = R.range(2, 4);
+  // The run plan rides in the options, so the serial session and the
+  // sweep engine consume the exact same SessionOptions value.
+  SO.Runs = O.Runs;
+  SO.Input = Input;
+  SO.Jobs = Threads;
 
   std::string OptsDesc =
       std::string("equivalence=") +
@@ -288,13 +294,10 @@ void checkCompiledProgram(const CompiledProgram &CP,
       renderState(SerialRuns, Serial.tree(), Serial.inputs(),
                   Serial.buildProfiles(Grouping));
 
-  // Parallel: the sharded sweep over the same runs.
+  // Parallel: the sharded sweep over the same runs, configured by the
+  // identical SessionOptions (run plan included).
   parallel::SweepEngine Engine(CP, SO);
-  std::vector<vm::IoChannels> RunInputs(static_cast<size_t>(O.Runs));
-  for (vm::IoChannels &Io : RunInputs)
-    Io.Input = Input;
-  parallel::SweepResult SR =
-      Engine.sweepWithInputs("Main", "main", Threads, RunInputs);
+  parallel::SweepResult SR = Engine.sweep("Main", "main");
   std::string ParallelState =
       renderState(SR.Runs, Engine.tree(), Engine.inputs(),
                   Engine.buildProfiles(Grouping));

@@ -15,16 +15,28 @@
 ///                                identical for every J)
 ///     --input v1,v2,...          values for the external input channel
 ///     --cct                      also print the traditional CCT profile
-///     --dot FILE                 write the repetition tree as Graphviz
-///     --csv FILE                 write all interesting series as CSV
+///     --format F                 render a report: table | tree | csv |
+///                                dot | json (repeatable; each job goes
+///                                to the next --out, or stdout)
+///     --out FILE                 write the preceding --format job to
+///                                FILE instead of stdout
+///     --trace FILE               write a Chrome trace-event JSON of
+///                                the profiler's own phase spans
+///                                (open in ui.perfetto.dev)
+///     --metrics FILE             write a Prometheus-style snapshot of
+///                                the profiler's own counters/timers
+///     --dot FILE                 deprecated alias: --format dot --out FILE
+///     --csv FILE                 deprecated alias: --format csv --out FILE
 ///
 //===----------------------------------------------------------------------===//
 
 #include "cct/CctProfiler.h"
 #include "core/Session.h"
-#include "parallel/SweepEngine.h"
+#include "obs/MetricsExport.h"
+#include "obs/Obs.h"
+#include "obs/TraceExport.h"
 #include "report/CsvWriter.h"
-#include "report/DotExporter.h"
+#include "report/Reporter.h"
 #include "report/TreePrinter.h"
 
 #include <cerrno>
@@ -41,18 +53,24 @@ using namespace algoprof::prof;
 
 namespace {
 
+/// One requested report: a format name plus an output path (empty =
+/// stdout). --dot/--csv aliases append jobs here too, so mixing old
+/// and new flags keeps working.
+struct RenderJob {
+  std::string Format;
+  std::string Out;
+};
+
 struct CliOptions {
   std::string File;
   std::string EntryClass = "Main";
   std::string EntryMethod = "main";
   GroupingStrategy Grouping = GroupingStrategy::CommonInput;
   SessionOptions Session;
-  int Runs = 1;
-  int Jobs = 1;
-  std::vector<int64_t> Input;
   bool WithCct = false;
-  std::string DotFile;
-  std::string CsvFile;
+  std::vector<RenderJob> Jobs;
+  std::string TraceFile;
+  std::string MetricsFile;
 };
 
 void usageAndExit(const char *Argv0) {
@@ -61,8 +79,10 @@ void usageAndExit(const char *Argv0) {
                "[--grouping common-input|same-method|dataflow] "
                "[--equivalence some|all|same-array|same-type] "
                "[--snapshots eager|tracked] [--sample N] [--runs N] "
-               "[--jobs J] [--input v1,v2,...] [--cct] [--dot FILE] "
-               "[--csv FILE]\n",
+               "[--jobs J] [--input v1,v2,...] [--cct] "
+               "[--format table|tree|csv|dot|json] [--out FILE] "
+               "[--trace FILE] [--metrics FILE] "
+               "[--dot FILE] [--csv FILE]\n",
                Argv0);
   std::exit(2);
 }
@@ -95,7 +115,18 @@ bool argError(const char *Flag, const char *V, const char *Expected) {
   return false;
 }
 
+void deprecatedOnce(const char *Flag, const char *Instead, bool &Warned) {
+  if (Warned)
+    return;
+  Warned = true;
+  std::fprintf(stderr,
+               "warning: %s is deprecated; use %s (it writes the "
+               "identical bytes)\n",
+               Flag, Instead);
+}
+
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  bool WarnedCsv = false, WarnedDot = false;
   auto Need = [&](int &I) -> const char * {
     if (I + 1 >= Argc)
       return nullptr;
@@ -165,14 +196,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       int64_t N;
       if (!V || !parseIntIn(V, 1, 1'000'000'000, N))
         return argError("--runs", V, "an integer >= 1");
-      Opts.Runs = static_cast<int>(N);
+      Opts.Session.Runs = static_cast<int>(N);
     } else if (Arg == "--jobs") {
       const char *V = Need(I);
       int64_t N;
       if (!V || !parseIntIn(V, 0, 1'000'000, N))
         return argError("--jobs", V,
                         "an integer >= 0 (0 = hardware concurrency)");
-      Opts.Jobs = static_cast<int>(N);
+      Opts.Session.Jobs = static_cast<int>(N);
     } else if (Arg == "--input") {
       const char *V = Need(I);
       if (!V)
@@ -191,23 +222,54 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         if (!parseInt64(Field.c_str(), N))
           return argError("--input", V,
                           "a comma-separated list of 64-bit integers");
-        Opts.Input.push_back(N);
+        Opts.Session.Input.push_back(N);
         if (Comma == std::string::npos)
           break;
         Pos = Comma + 1;
       }
     } else if (Arg == "--cct") {
       Opts.WithCct = true;
+    } else if (Arg == "--format") {
+      const char *V = Need(I);
+      if (!V || !report::Registry::builtin().find(V)) {
+        std::string Names;
+        for (const std::string &N : report::Registry::builtin().names())
+          Names += (Names.empty() ? "" : "|") + N;
+        return argError("--format", V, Names.c_str());
+      }
+      Opts.Jobs.push_back({V, ""});
+    } else if (Arg == "--out") {
+      const char *V = Need(I);
+      if (!V)
+        return argError("--out", V, "a file path");
+      if (Opts.Jobs.empty() || !Opts.Jobs.back().Out.empty()) {
+        std::fprintf(stderr,
+                     "error: --out must follow a --format job\n");
+        return false;
+      }
+      Opts.Jobs.back().Out = V;
+    } else if (Arg == "--trace") {
+      const char *V = Need(I);
+      if (!V)
+        return argError("--trace", V, "a file path");
+      Opts.TraceFile = V;
+    } else if (Arg == "--metrics") {
+      const char *V = Need(I);
+      if (!V)
+        return argError("--metrics", V, "a file path");
+      Opts.MetricsFile = V;
     } else if (Arg == "--dot") {
       const char *V = Need(I);
       if (!V)
         return false;
-      Opts.DotFile = V;
+      deprecatedOnce("--dot FILE", "--format dot --out FILE", WarnedDot);
+      Opts.Jobs.push_back({"dot", V});
     } else if (Arg == "--csv") {
       const char *V = Need(I);
       if (!V)
         return false;
-      Opts.CsvFile = V;
+      deprecatedOnce("--csv FILE", "--format csv --out FILE", WarnedCsv);
+      Opts.Jobs.push_back({"csv", V});
     } else if (!Arg.empty() && Arg[0] == '-') {
       return false;
     } else if (Opts.File.empty()) {
@@ -241,6 +303,24 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts))
     usageAndExit(Argv[0]);
 
+  // Span recording must be live before compilation so the frontend
+  // phases land in the trace.
+  if (!Opts.TraceFile.empty()) {
+#if ALGOPROF_OBS_ENABLED
+    obs::enableTracing(true);
+#else
+    std::fprintf(stderr,
+                 "warning: this binary was built with ALGOPROF_OBS=OFF; "
+                 "--trace will contain no events\n");
+#endif
+  }
+#if !ALGOPROF_OBS_ENABLED
+  if (!Opts.MetricsFile.empty())
+    std::fprintf(stderr,
+                 "warning: this binary was built with ALGOPROF_OBS=OFF; "
+                 "--metrics will contain only zeros\n");
+#endif
+
   DiagnosticEngine Diags;
   auto CP = compileMiniJ(readFileOrDie(Opts.File), Diags);
   if (!CP) {
@@ -255,73 +335,49 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  // --jobs 1 keeps the classic serial accumulating session; any other
-  // value shards the runs over the sweep engine. Output is identical
-  // either way (that equivalence is what tests/ParallelSweepTest.cpp
-  // locks down).
-  std::unique_ptr<ProfileSession> Serial;
-  std::unique_ptr<parallel::SweepEngine> Engine;
-  const RepetitionTree *Tree = nullptr;
-  const InputTable *Inputs = nullptr;
-  std::vector<AlgorithmProfile> Profiles;
+  // ProfileDriver is the one-true-path over serial and sharded
+  // profiling; --jobs 1 keeps the classic accumulating session, any
+  // other value shards the runs over the sweep engine. Output is
+  // identical either way (tests/ParallelSweepTest.cpp locks that down).
+  ProfileDriver Driver(*CP, Opts.Session);
+  std::vector<vm::RunResult> Results =
+      Driver.runAll(Opts.EntryClass, Opts.EntryMethod);
   uint64_t Instructions = 0;
-
-  if (Opts.Jobs == 1) {
-    Serial = std::make_unique<ProfileSession>(*CP, Opts.Session);
-    for (int Run = 0; Run < Opts.Runs; ++Run) {
-      vm::IoChannels Io;
-      Io.Input = Opts.Input;
-      vm::RunResult R =
-          Serial->run(Opts.EntryClass, Opts.EntryMethod, Io);
-      Instructions += R.InstrCount;
-      if (!R.ok()) {
-        std::fprintf(stderr, "run %d failed: %s\n", Run + 1,
-                     R.TrapMessage.c_str());
-        return 1;
-      }
+  for (size_t Run = 0; Run < Results.size(); ++Run) {
+    Instructions += Results[Run].InstrCount;
+    if (!Results[Run].ok()) {
+      std::fprintf(stderr, "run %zu failed: %s\n", Run + 1,
+                   Results[Run].TrapMessage.c_str());
+      return 1;
     }
-    Tree = &Serial->tree();
-    Inputs = &Serial->inputs();
-    Profiles = Serial->buildProfiles(Opts.Grouping);
-  } else {
-    Engine = std::make_unique<parallel::SweepEngine>(*CP, Opts.Session);
-    std::vector<vm::IoChannels> RunInputs(
-        static_cast<size_t>(Opts.Runs));
-    for (vm::IoChannels &Io : RunInputs)
-      Io.Input = Opts.Input;
-    parallel::SweepResult SR = Engine->sweepWithInputs(
-        Opts.EntryClass, Opts.EntryMethod, Opts.Jobs, RunInputs);
-    for (size_t Run = 0; Run < SR.Runs.size(); ++Run) {
-      Instructions += SR.Runs[Run].InstrCount;
-      if (!SR.Runs[Run].ok()) {
-        std::fprintf(stderr, "run %zu failed: %s\n", Run + 1,
-                     SR.Runs[Run].TrapMessage.c_str());
-        return 1;
-      }
-    }
-    Tree = &Engine->tree();
-    Inputs = &Engine->inputs();
-    Profiles = Engine->buildProfiles(Opts.Grouping);
   }
+
+  const RepetitionTree &Tree = Driver.tree();
+  const InputTable &Inputs = Driver.inputs();
+  std::vector<AlgorithmProfile> Profiles =
+      Driver.buildProfiles(Opts.Grouping);
 
   std::printf("%d run(s), %llu bytecode instructions, %d repetitions, "
               "%d input(s), %lld structure snapshots\n\n",
-              Opts.Runs, static_cast<unsigned long long>(Instructions),
-              Tree->numRepetitions(),
-              static_cast<int>(Inputs->liveInputs().size()),
-              static_cast<long long>(Inputs->snapshotsTaken()));
+              static_cast<int>(Results.size()),
+              static_cast<unsigned long long>(Instructions),
+              Tree.numRepetitions(),
+              static_cast<int>(Inputs.liveInputs().size()),
+              static_cast<long long>(Inputs.snapshotsTaken()));
 
-  std::printf("%s",
-              report::renderAnnotatedTree(*Tree, Profiles).c_str());
+  std::printf("%s", report::renderAnnotatedTree(Tree, Profiles).c_str());
 
   if (Opts.WithCct) {
     // A second, CCT-profiled execution over the same program.
     cct::CctProfiler Profiler(*CP->Mod);
     vm::Interpreter Interp(CP->Prep);
     vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*CP->Mod);
-    for (int Run = 0; Run < Opts.Runs; ++Run) {
+    size_t CctRuns = Opts.Session.Seeds.empty()
+                         ? static_cast<size_t>(Opts.Session.Runs)
+                         : Opts.Session.Seeds.size();
+    for (size_t Run = 0; Run < CctRuns; ++Run) {
       vm::IoChannels Io;
-      Io.Input = Opts.Input;
+      Io.Input = Opts.Session.Input;
       Interp.run(CP->entryMethod(Opts.EntryClass, Opts.EntryMethod),
                  &Profiler, Plan, Io);
     }
@@ -330,34 +386,42 @@ int main(int Argc, char **Argv) {
   }
 
   // Report-writer failures must surface as a failing exit code: a
-  // sweep script that asks for --dot/--csv and gets exit 0 with no
-  // file would silently drop its results.
+  // sweep script that asks for an output file and gets exit 0 with no
+  // file would silently drop its results. The same rule covers
+  // --trace/--metrics below.
   bool WriteFailed = false;
-  if (!Opts.DotFile.empty()) {
-    if (report::writeFile(Opts.DotFile,
-                          report::repetitionTreeToDot(*Tree,
-                                                      Profiles))) {
-      std::printf("\nwrote %s\n", Opts.DotFile.c_str());
+  report::ReportInput RI{&Tree, &Inputs, &Profiles};
+  bool FirstFileJob = true;
+  for (const RenderJob &Job : Opts.Jobs) {
+    const report::Reporter *R = report::Registry::builtin().find(Job.Format);
+    std::string Doc = R->render(RI);
+    if (Job.Out.empty()) {
+      std::printf("\n%s", Doc.c_str());
+      continue;
+    }
+    if (report::writeFile(Job.Out, Doc)) {
+      std::printf("%swrote %s\n", FirstFileJob ? "\n" : "",
+                  Job.Out.c_str());
+      FirstFileJob = false;
     } else {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Opts.DotFile.c_str());
+      std::fprintf(stderr, "error: cannot write '%s'\n", Job.Out.c_str());
       WriteFailed = true;
     }
   }
 
-  if (!Opts.CsvFile.empty()) {
-    std::vector<std::pair<std::string, std::vector<SeriesPoint>>> All;
-    for (const AlgorithmProfile &AP : Profiles)
-      for (const AlgorithmProfile::InputSeries &Ser : AP.Series)
-        if (Ser.Interesting)
-          All.emplace_back("algo" + std::to_string(AP.Algo.Id) + ":" +
-                               Ser.Kind,
-                           Ser.Series);
-    if (report::writeFile(Opts.CsvFile, report::seriesToCsv(All))) {
-      std::printf("wrote %s\n", Opts.CsvFile.c_str());
-    } else {
+  if (!Opts.TraceFile.empty()) {
+    if (!report::writeFile(Opts.TraceFile,
+                           obs::chromeTraceJson(obs::snapshot()))) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
-                   Opts.CsvFile.c_str());
+                   Opts.TraceFile.c_str());
+      WriteFailed = true;
+    }
+  }
+  if (!Opts.MetricsFile.empty()) {
+    if (!report::writeFile(Opts.MetricsFile,
+                           obs::prometheusText(obs::snapshot()))) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.MetricsFile.c_str());
       WriteFailed = true;
     }
   }
