@@ -205,10 +205,18 @@ algoprof::prof::buildProfilesFrom(const RepetitionTree &Tree,
 
 ProfileDriver::ProfileDriver(const CompiledProgram &CP, SessionOptions Opts)
     : Opts(Opts) {
-  if (Opts.Jobs == 1)
-    Serial = std::make_unique<ProfileSession>(CP, Opts);
-  else
+  // A serial accumulating session cannot un-merge a failed run, so any
+  // configuration that may quarantine (non-Fail policy, or run-scoped
+  // faults armed) routes through the sweep engine even at Jobs == 1 — a
+  // one-worker sweep is byte-identical to the serial session
+  // (ParallelSweepTest locks this), so the output is unchanged.
+  bool NeedsEngine = Opts.Jobs != 1 ||
+                     Opts.Policy != resilience::FailurePolicy::Fail ||
+                     Opts.Faults.hasRunFaults();
+  if (NeedsEngine)
     Engine = std::make_unique<parallel::SweepEngine>(CP, Opts);
+  else
+    Serial = std::make_unique<ProfileSession>(CP, Opts);
 }
 
 ProfileDriver::~ProfileDriver() = default;
@@ -217,6 +225,9 @@ std::vector<vm::RunResult> ProfileDriver::runAll(const std::string &Cls,
                                                  const std::string &Method) {
   if (Engine) {
     parallel::SweepResult SR = Engine->sweep(Cls, Method);
+    for (resilience::FailureInfo &FI : SR.Failures)
+      Failures.push_back(std::move(FI));
+    MergedAny = MergedAny || SR.MergedRuns > 0;
     return std::move(SR.Runs);
   }
   // Serial path: same run plan, executed in place on the accumulating
@@ -232,9 +243,29 @@ std::vector<vm::RunResult> ProfileDriver::runAll(const std::string &Cls,
       Io.Input.push_back(Opts.Seeds[I]);
     else
       Io.Input = Opts.Input;
-    Results.push_back(Serial->run(Cls, Method, Io));
+    vm::RunResult R = Serial->run(Cls, Method, Io);
+    if (!R.ok()) {
+      resilience::FailureInfo FI;
+      FI.Run = static_cast<int64_t>(I);
+      FI.Status = R.Status;
+      FI.Budget = R.Budget;
+      FI.Message = R.TrapMessage;
+      FI.Injected = R.Injected;
+      Failures.push_back(std::move(FI));
+    }
+    MergedAny = true;
+    Results.push_back(std::move(R));
   }
   return Results;
+}
+
+bool ProfileDriver::usable() const {
+  if (!MergedAny)
+    return false;
+  for (const resilience::FailureInfo &F : Failures)
+    if (!F.Quarantined)
+      return false;
+  return true;
 }
 
 const RepetitionTree &ProfileDriver::tree() const {

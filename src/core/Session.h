@@ -48,6 +48,7 @@
 #include "core/Grouping.h"
 #include "fitting/CurveFit.h"
 #include "frontend/Ast.h"
+#include "resilience/Resilience.h"
 
 #include <memory>
 #include <string>
@@ -144,6 +145,19 @@ struct SessionOptions {
   /// External input-channel values handed to every run (the CLI's
   /// --input). Unused for seeded runs.
   std::vector<int64_t> Input;
+  /// What a sweep does with a run whose final attempt failed. Fail
+  /// (default) preserves the legacy all-or-nothing behavior: failed
+  /// runs still merge and the caller decides. Skip/Retry quarantine
+  /// failed runs so the merged profile covers exactly the survivors —
+  /// see docs/resilience.md.
+  resilience::FailurePolicy Policy = resilience::FailurePolicy::Fail;
+  /// Executions per run under Retry (first attempt included, >= 1).
+  /// Retries use a fresh interpreter with the same inputs.
+  int MaxAttempts = 3;
+  /// Armed deterministic faults. Run-scoped sites (heap-oom,
+  /// run-start-fail) fire inside the sweep engine; io-write-fail is
+  /// process-global (resilience::armProcessFaults) and ignored here.
+  resilience::FaultPlan Faults;
 };
 
 /// Groups \p Tree into algorithms and runs the full profile pipeline
@@ -228,6 +242,18 @@ public:
   const InputTable &inputs() const;
   const SessionOptions &options() const { return Opts; }
 
+  /// Degraded-run records accumulated across runAll calls, in run
+  /// order: every run whose final attempt failed (serial failures are
+  /// never quarantined; sweep failures follow SessionOptions::Policy).
+  const std::vector<resilience::FailureInfo> &failures() const {
+    return Failures;
+  }
+
+  /// True when the accumulated profile is well-defined: at least one
+  /// run merged and every failure was quarantined out. The degraded
+  /// analogue of "all runs ok" (see SweepResult::usable()).
+  bool usable() const;
+
   /// Full pipeline over the accumulated state (same code path for both
   /// strategies: buildProfilesFrom).
   std::vector<AlgorithmProfile> buildProfiles(
@@ -235,8 +261,10 @@ public:
 
 private:
   SessionOptions Opts;
-  std::unique_ptr<ProfileSession> Serial;       ///< When Jobs == 1.
+  std::unique_ptr<ProfileSession> Serial;       ///< Fail-policy Jobs == 1.
   std::unique_ptr<parallel::SweepEngine> Engine; ///< Otherwise.
+  std::vector<resilience::FailureInfo> Failures;
+  bool MergedAny = false;
 };
 
 } // namespace prof

@@ -73,6 +73,14 @@ const char *obs::counterName(Counter C) {
     return "shards_merged";
   case Counter::TraceEventsDropped:
     return "trace_events_dropped";
+  case Counter::FaultsInjected:
+    return "faults_injected";
+  case Counter::RunsRetried:
+    return "runs_retried";
+  case Counter::RunsQuarantined:
+    return "runs_quarantined";
+  case Counter::RunsBudgetExceeded:
+    return "runs_budget_exceeded";
   }
   return "?";
 }

@@ -81,9 +81,13 @@ enum class Counter : uint8_t {
   FitEvaluations,    ///< Candidate models evaluated by the fitter.
   ShardsMerged,      ///< Sweep shards folded into an accumulator.
   TraceEventsDropped, ///< Spans discarded by the per-thread event cap.
+  FaultsInjected,     ///< Armed fault-plan sites that fired.
+  RunsRetried,        ///< Failed runs re-executed under the retry policy.
+  RunsQuarantined,    ///< Runs excluded from a degraded merge.
+  RunsBudgetExceeded, ///< Runs ended by a heap-byte/deadline budget.
 };
 constexpr size_t NumCounters =
-    static_cast<size_t>(Counter::TraceEventsDropped) + 1;
+    static_cast<size_t>(Counter::RunsBudgetExceeded) + 1;
 
 /// Stable snake_case name ("bytecodes_executed").
 const char *counterName(Counter C);

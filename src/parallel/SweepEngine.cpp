@@ -30,9 +30,10 @@ SweepEngine::buildProfiles(GroupingStrategy Strategy) const {
 namespace {
 /// Everything one run leaves behind for the reducer.
 struct Shard {
-  std::unique_ptr<AlgoProfiler> Prof;
+  std::unique_ptr<AlgoProfiler> Prof; ///< Null when startup was aborted.
   vm::RunResult Result;
   int64_t NumObjects = 0;
+  int Attempts = 1;
 };
 } // namespace
 
@@ -58,6 +59,7 @@ SweepEngine::sweepWithInputs(const std::string &Cls,
   int Threads = Opts.Jobs;
   size_t NumRuns = RunInputs.size();
   SweepResult Out;
+  Out.Policy = Opts.Policy;
   if (NumRuns == 0)
     return Out;
   Out.Runs.resize(NumRuns);
@@ -98,19 +100,48 @@ SweepEngine::sweepWithInputs(const std::string &Cls,
       size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= NumRuns)
         break;
-      obs::ScopedTrack Track(
-          ShardTrackBase +
-          static_cast<int32_t>(FirstRunIndex + static_cast<int64_t>(I)));
+      int64_t GlobalRun = FirstRunIndex + static_cast<int64_t>(I);
+      obs::ScopedTrack Track(ShardTrackBase + static_cast<int32_t>(GlobalRun));
       obs::ScopedSpan Span(obs::Phase::ShardRun);
       Shard &S = Shards[I];
-      vm::Interpreter Interp(CP.Prep);
-      S.Prof = std::make_unique<AlgoProfiler>(CP.Prep, Opts.Profile);
-      vm::IoChannels Io = RunInputs[I];
-      S.Result = Interp.run(Entry, S.Prof.get(), Plan, Io, Opts.Run);
-      S.NumObjects = Interp.heap().numObjects();
-      // The interpreter (and its heap) dies here; the profiler's
-      // id-keyed state stays valid because nothing dereferences heap
-      // objects after a run ends.
+      // Retry policy: bounded re-execution on a fresh interpreter with
+      // the same inputs. Any other policy takes exactly one attempt.
+      const int MaxAttempts =
+          Opts.Policy == resilience::FailurePolicy::Retry
+              ? std::max(1, Opts.MaxAttempts)
+              : 1;
+      for (int Attempt = 0;; ++Attempt) {
+        S.Attempts = Attempt + 1;
+        if (Opts.Faults.fires(resilience::FaultSite::RunStart, GlobalRun,
+                              Attempt)) {
+          // Startup abort: the run dies before the interpreter touches
+          // anything; no profiler state exists to merge.
+          obs::addCount(obs::Counter::FaultsInjected);
+          S.Prof.reset();
+          S.Result = vm::RunResult();
+          S.Result.Status = vm::RunStatus::Trapped;
+          S.Result.Injected = true;
+          S.Result.TrapMessage = "injected run-start failure for run " +
+                                 std::to_string(GlobalRun);
+          S.NumObjects = 0;
+        } else {
+          vm::RunOptions RO = Opts.Run;
+          if (Opts.Faults.fires(resilience::FaultSite::HeapOom, GlobalRun,
+                                Attempt))
+            RO.InjectHeapOomAtAlloc = 1;
+          vm::Interpreter Interp(CP.Prep);
+          S.Prof = std::make_unique<AlgoProfiler>(CP.Prep, Opts.Profile);
+          vm::IoChannels Io = RunInputs[I];
+          S.Result = Interp.run(Entry, S.Prof.get(), Plan, Io, RO);
+          S.NumObjects = Interp.heap().numObjects();
+          // The interpreter (and its heap) dies here; the profiler's
+          // id-keyed state stays valid because nothing dereferences
+          // heap objects after a run ends.
+        }
+        if (S.Result.ok() || Attempt + 1 >= MaxAttempts)
+          break;
+        obs::addCount(obs::Counter::RunsRetried);
+      }
     }
   };
   if (Workers <= 1) {
@@ -128,15 +159,42 @@ SweepEngine::sweepWithInputs(const std::string &Cls,
   // the serial-replay merge, heap ids shift by the object count of all
   // previously merged runs — exactly the ids a serial session's shared
   // heap would have handed out.
+  // Quarantine decisions also happen here, not in workers: a
+  // quarantined run is excluded from the merge *and* from the heap-id
+  // offset, so the accumulated profile is exactly what a serial session
+  // over the surviving runs would build. Under the Fail policy nothing
+  // is quarantined (legacy behavior: failed runs' partial state still
+  // merges and the caller decides).
   obs::ScopedSpan MergeSpan(obs::Phase::ShardMerge);
   for (size_t I = 0; I < NumRuns; ++I) {
-    Out.Runs[I] = Shards[I].Result;
-    std::vector<int32_t> Remap =
-        Acc->inputs().merge(Shards[I].Prof->inputs(), ObjIdOffset);
-    Acc->tree().merge(Shards[I].Prof->tree(), Remap);
-    ObjIdOffset += Shards[I].NumObjects;
-    Shards[I].Prof.reset();
-    obs::addCount(obs::Counter::ShardsMerged);
+    Shard &S = Shards[I];
+    Out.Runs[I] = S.Result;
+    int64_t GlobalRun = FirstRunIndex + static_cast<int64_t>(I);
+    bool Failed = !S.Result.ok();
+    bool Quarantine =
+        Failed && Opts.Policy != resilience::FailurePolicy::Fail;
+    if (Failed) {
+      resilience::FailureInfo FI;
+      FI.Run = GlobalRun;
+      FI.Status = S.Result.Status;
+      FI.Attempts = S.Attempts;
+      FI.Budget = S.Result.Budget;
+      FI.Message = S.Result.TrapMessage;
+      FI.Quarantined = Quarantine;
+      FI.Injected = S.Result.Injected;
+      Out.Failures.push_back(std::move(FI));
+    }
+    if (Quarantine) {
+      obs::addCount(obs::Counter::RunsQuarantined);
+    } else if (S.Prof) {
+      std::vector<int32_t> Remap =
+          Acc->inputs().merge(S.Prof->inputs(), ObjIdOffset);
+      Acc->tree().merge(S.Prof->tree(), Remap);
+      ObjIdOffset += S.NumObjects;
+      ++Out.MergedRuns;
+      obs::addCount(obs::Counter::ShardsMerged);
+    }
+    S.Prof.reset();
   }
   TotalRuns += static_cast<int64_t>(NumRuns);
   return Out;

@@ -29,15 +29,39 @@
 namespace algoprof {
 namespace parallel {
 
-/// Per-run results of one sweep, in seed (run-index) order.
+/// Per-run results of one sweep, in seed (run-index) order, plus the
+/// degraded-run bookkeeping added by the resilience layer.
 struct SweepResult {
   std::vector<vm::RunResult> Runs;
+  /// One record per run whose *final* attempt failed, in run-index
+  /// order (a run that failed and then succeeded on retry does not
+  /// appear; obs runs_retried counts it). FailureInfo::Run is the
+  /// global run index across successive sweep() calls.
+  std::vector<resilience::FailureInfo> Failures;
+  /// The policy the sweep ran under (copied from SessionOptions).
+  resilience::FailurePolicy Policy = resilience::FailurePolicy::Fail;
+  /// Runs merged into the accumulated profile by this sweep.
+  int64_t MergedRuns = 0;
 
+  /// Every run succeeded (final attempts): the sweep is not degraded.
   bool allOk() const {
     for (const vm::RunResult &R : Runs)
       if (!R.ok())
         return false;
     return !Runs.empty();
+  }
+
+  /// The merged profile is well-defined, possibly degraded: at least
+  /// one run merged and every failed run was quarantined out (so the
+  /// profile equals a serial session over the survivors). Under the
+  /// Fail policy nothing is quarantined, so usable() == allOk().
+  bool usable() const {
+    if (Runs.empty() || MergedRuns == 0)
+      return false;
+    for (const resilience::FailureInfo &F : Failures)
+      if (!F.Quarantined)
+        return false;
+    return true;
   }
 };
 

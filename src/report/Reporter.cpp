@@ -88,8 +88,10 @@ class DotReporter : public Reporter {
   }
 };
 
-/// The stable machine-readable schema. Versioned ("algoprof-profile/1");
-/// any field removal or meaning change bumps the version.
+/// The stable machine-readable schema. Versioned ("algoprof-profile/2");
+/// any field removal or meaning change bumps the version. /2 added the
+/// always-present "degraded_runs" array (one entry per run whose final
+/// attempt failed; see docs/resilience.md).
 class JsonReporter : public Reporter {
   std::string name() const override { return "json"; }
 
@@ -139,7 +141,7 @@ class JsonReporter : public Reporter {
 
   std::string renderDocument(const ReportInput &In) const override {
     std::string Out;
-    Out += "{\n  \"schema\": \"algoprof-profile/1\",\n";
+    Out += "{\n  \"schema\": \"algoprof-profile/2\",\n";
     Out += "  \"algorithms\": [";
     bool FirstAlgo = true;
     for (const AlgorithmProfile &AP : *In.Profiles) {
@@ -210,7 +212,25 @@ class JsonReporter : public Reporter {
       Out += FirstSer ? "]\n" : "\n      ]\n";
       Out += "    }";
     }
-    Out += FirstAlgo ? "]\n" : "\n  ]\n";
+    Out += FirstAlgo ? "]," : "\n  ],";
+    Out += "\n  \"degraded_runs\": [";
+    bool FirstDeg = true;
+    if (In.Degraded)
+      for (const resilience::FailureInfo &FI : *In.Degraded) {
+        Out += FirstDeg ? "\n" : ",\n";
+        FirstDeg = false;
+        Out += "    {\"run\": " + std::to_string(FI.Run) +
+               ", \"status\": \"" + vm::runStatusName(FI.Status) +
+               "\", \"attempts\": " + std::to_string(FI.Attempts) +
+               ", \"budget\": \"";
+        appendEscaped(Out, FI.Budget);
+        Out += std::string("\", \"quarantined\": ") +
+               (FI.Quarantined ? "true" : "false") + ", \"injected\": " +
+               (FI.Injected ? "true" : "false") + ", \"message\": \"";
+        appendEscaped(Out, FI.Message);
+        Out += "\"}";
+      }
+    Out += FirstDeg ? "]\n" : "\n  ]\n";
     Out += "}\n";
     return Out;
   }

@@ -13,7 +13,8 @@
 ///          legacy --csv flag; locked by tests/cli_test.sh)
 ///   dot    Graphviz repetition tree (byte-identical to legacy --dot)
 ///   json   the stable machine-readable profile schema
-///          "algoprof-profile/1" (see docs/observability.md)
+///          "algoprof-profile/2" (see docs/observability.md; /2 added
+///          the degraded_runs array — docs/resilience.md)
 ///
 /// The low-level renderers remain available for callers that want a
 /// specific document (the bench binaries use them directly); the CLI
@@ -40,6 +41,10 @@ struct ReportInput {
   const prof::RepetitionTree *Tree = nullptr;
   const prof::InputTable *Inputs = nullptr;
   const std::vector<prof::AlgorithmProfile> *Profiles = nullptr;
+  /// Degraded-run records of the session (ProfileDriver::failures()),
+  /// or null when the caller has none. Rendered by the json format as
+  /// the schema /2 "degraded_runs" array (empty when null or empty).
+  const std::vector<resilience::FailureInfo> *Degraded = nullptr;
 };
 
 /// A named profile renderer. Implementations are stateless and

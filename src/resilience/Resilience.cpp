@@ -1,0 +1,198 @@
+//===- resilience/Resilience.cpp ------------------------------------------===//
+
+#include "resilience/Resilience.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+using namespace algoprof;
+using namespace algoprof::resilience;
+
+const char *resilience::failurePolicyName(FailurePolicy P) {
+  switch (P) {
+  case FailurePolicy::Fail:
+    return "fail";
+  case FailurePolicy::Skip:
+    return "skip";
+  case FailurePolicy::Retry:
+    return "retry";
+  }
+  return "?";
+}
+
+bool resilience::parseFailurePolicy(const std::string &Name,
+                                    FailurePolicy &Out) {
+  if (Name == "fail")
+    Out = FailurePolicy::Fail;
+  else if (Name == "skip")
+    Out = FailurePolicy::Skip;
+  else if (Name == "retry")
+    Out = FailurePolicy::Retry;
+  else
+    return false;
+  return true;
+}
+
+const char *resilience::faultSiteName(FaultSite S) {
+  switch (S) {
+  case FaultSite::HeapOom:
+    return "heap-oom";
+  case FaultSite::RunStart:
+    return "run-start-fail";
+  case FaultSite::IoWrite:
+    return "io-write-fail";
+  }
+  return "?";
+}
+
+namespace {
+
+bool parseRunTarget(const std::string &Target, int64_t &Run) {
+  if (Target.rfind("run", 0) != 0 || Target.size() <= 3)
+    return false;
+  const std::string Digits = Target.substr(3);
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Digits.c_str(), &End, 10);
+  if (End == Digits.c_str() || *End != '\0' || errno == ERANGE || V < 0)
+    return false;
+  Run = V;
+  return true;
+}
+
+bool validStream(const std::string &S) {
+  return S == "report" || S == "trace" || S == "metrics";
+}
+
+/// Parses one "site@target[:once]" fault.
+bool parseFault(const std::string &Item, Fault &Out, std::string &Err) {
+  size_t At = Item.find('@');
+  if (At == std::string::npos) {
+    Err = "fault '" + Item + "' lacks an @target";
+    return false;
+  }
+  std::string Site = Item.substr(0, At);
+  std::string Target = Item.substr(At + 1);
+  Out = Fault();
+  size_t Colon = Target.find(':');
+  if (Colon != std::string::npos) {
+    std::string Suffix = Target.substr(Colon + 1);
+    Target = Target.substr(0, Colon);
+    if (Suffix != "once") {
+      Err = "unknown fault suffix ':" + Suffix + "' in '" + Item + "'";
+      return false;
+    }
+    Out.Once = true;
+  }
+  if (Site == "heap-oom" || Site == "run-start-fail") {
+    Out.Site = Site == "heap-oom" ? FaultSite::HeapOom : FaultSite::RunStart;
+    if (!parseRunTarget(Target, Out.Run)) {
+      Err = "fault '" + Item + "' needs a runN target (e.g. " + Site +
+            "@run3)";
+      return false;
+    }
+    return true;
+  }
+  if (Site == "io-write-fail") {
+    Out.Site = FaultSite::IoWrite;
+    if (Out.Once) {
+      Err = "io-write-fail does not support :once ('" + Item + "')";
+      return false;
+    }
+    if (!validStream(Target)) {
+      Err = "fault '" + Item +
+            "' needs a stream target: report | trace | metrics";
+      return false;
+    }
+    Out.Stream = Target;
+    return true;
+  }
+  Err = "unknown fault site '" + Site +
+        "' (expected heap-oom | run-start-fail | io-write-fail)";
+  return false;
+}
+
+} // namespace
+
+bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
+                      std::string &Err) {
+  Out.Faults.clear();
+  Err.clear();
+  size_t Pos = 0;
+  while (Pos <= Spec.size() && !Spec.empty()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string Item = Spec.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    if (Item.empty()) {
+      Err = "empty fault in spec '" + Spec + "'";
+      return false;
+    }
+    Fault F;
+    if (!parseFault(Item, F, Err))
+      return false;
+    Out.Faults.push_back(std::move(F));
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
+}
+
+bool FaultPlan::hasRunFaults() const {
+  for (const Fault &F : Faults)
+    if (F.Site == FaultSite::HeapOom || F.Site == FaultSite::RunStart)
+      return true;
+  return false;
+}
+
+bool FaultPlan::fires(FaultSite Site, int64_t Run, int Attempt) const {
+  for (const Fault &F : Faults) {
+    if (F.Site != Site || F.Run != Run)
+      continue;
+    if (F.Once && Attempt > 0)
+      continue;
+    return true;
+  }
+  return false;
+}
+
+bool FaultPlan::firesIoWrite(const std::string &Stream) const {
+  for (const Fault &F : Faults)
+    if (F.Site == FaultSite::IoWrite && F.Stream == Stream)
+      return true;
+  return false;
+}
+
+std::string FaultPlan::str() const {
+  std::string Out;
+  for (const Fault &F : Faults) {
+    if (!Out.empty())
+      Out += ",";
+    Out += faultSiteName(F.Site);
+    Out += "@";
+    if (F.Site == FaultSite::IoWrite)
+      Out += F.Stream;
+    else
+      Out += "run" + std::to_string(F.Run);
+    if (F.Once)
+      Out += ":once";
+  }
+  return Out;
+}
+
+namespace {
+/// The process-global plan, consulted only for IoWrite sites. Armed
+/// once by the CLI before any writer runs; plain data, no locking.
+FaultPlan &processPlan() {
+  static FaultPlan P;
+  return P;
+}
+} // namespace
+
+void resilience::armProcessFaults(const FaultPlan &Plan) {
+  processPlan() = Plan;
+}
+
+bool resilience::ioWriteFaultArmed(const std::string &Stream) {
+  return processPlan().firesIoWrite(Stream);
+}

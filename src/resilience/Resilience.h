@@ -1,0 +1,144 @@
+//===- resilience/Resilience.h - Fault tolerance for sweeps -----*- C++-*-===//
+///
+/// \file
+/// The resilience layer: everything a profiling service needs to survive
+/// a hostile run instead of dying with it. Three pieces, threaded
+/// through vm -> core -> parallel -> report -> CLI:
+///
+///  - FailurePolicy: what a multi-run sweep does when one run fails.
+///    `Fail` is the classic all-or-nothing behavior (every run's partial
+///    state still merges, the caller decides); `Skip` quarantines failed
+///    runs so the merged profile covers exactly the surviving runs;
+///    `Retry` re-executes a failed run on a fresh interpreter (same
+///    seed, bounded attempts) before quarantining it.
+///
+///  - FailureInfo: the per-run failure record a degraded sweep reports —
+///    status, attempts, the budget that tripped, quarantine/injection
+///    markers. Surfaced in parallel::SweepResult, the CLI diagnostics,
+///    and the `degraded_runs` array of the algoprof-profile/2 JSON.
+///
+///  - FaultPlan: seeded, deterministic fault injection. A spec like
+///    `heap-oom@run3,io-write-fail@metrics` arms named failure sites
+///    (heap allocation, worker run startup, report/trace/metrics file
+///    writes) so every failure path above is exercised by ordinary
+///    tests (`ctest -L resilience`) instead of waiting for production
+///    to find them. An `:once` suffix makes a fault transient — it
+///    fires on the first attempt only, which is what lets the Retry
+///    policy demonstrate recovery.
+///
+/// See docs/resilience.md for the full model and the site list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_RESILIENCE_RESILIENCE_H
+#define ALGOPROF_RESILIENCE_RESILIENCE_H
+
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace resilience {
+
+/// What a sweep does with a run whose final attempt failed.
+enum class FailurePolicy : uint8_t {
+  Fail, ///< Report the failure; merge whatever the run recorded
+        ///< (legacy behavior — callers treat any failure as fatal).
+  Skip, ///< Quarantine the run: exclude it from the merge entirely, so
+        ///< the profile equals a serial session over the survivors.
+  Retry ///< Re-run on a fresh interpreter (same inputs) up to the
+        ///< bounded attempt count, then quarantine like Skip.
+};
+
+/// Stable lowercase name ("fail" | "skip" | "retry").
+const char *failurePolicyName(FailurePolicy P);
+
+/// Parses a policy name; returns false on anything unknown.
+bool parseFailurePolicy(const std::string &Name, FailurePolicy &Out);
+
+/// Named fault-injection sites.
+enum class FaultSite : uint8_t {
+  HeapOom,  ///< "heap-oom": a run's first heap allocation trips the
+            ///< heap-byte budget machinery (RunStatus::BudgetExceeded).
+  RunStart, ///< "run-start-fail": worker run startup aborts before the
+            ///< interpreter executes anything.
+  IoWrite,  ///< "io-write-fail": a named output stream (report | trace
+            ///< | metrics) fails to write.
+};
+
+/// Stable site name as written in a spec.
+const char *faultSiteName(FaultSite S);
+
+/// One armed fault. Run-scoped sites target a global run index; the io
+/// site targets a stream name.
+struct Fault {
+  FaultSite Site = FaultSite::HeapOom;
+  int64_t Run = -1;   ///< Global run index (HeapOom / RunStart).
+  std::string Stream; ///< "report" | "trace" | "metrics" (IoWrite).
+  bool Once = false;  ///< Fires on attempt 0 only (":once" suffix).
+};
+
+/// A deterministic set of armed faults, parsed from a spec string:
+///
+///   spec   := fault ("," fault)*
+///   fault  := "heap-oom@runN" [":once"]
+///           | "run-start-fail@runN" [":once"]
+///           | "io-write-fail@" ("report" | "trace" | "metrics")
+///
+/// The plan is pure data: the same spec arms the same faults in every
+/// process, which is what makes injected failures reproducible.
+class FaultPlan {
+public:
+  /// Parses \p Spec; on failure returns false and describes the problem
+  /// in \p Err. An empty spec parses to an empty (disarmed) plan.
+  static bool parse(const std::string &Spec, FaultPlan &Out,
+                    std::string &Err);
+
+  bool empty() const { return Faults.empty(); }
+
+  /// True when any run-scoped fault (HeapOom / RunStart) is armed;
+  /// such plans only fire inside a sweep engine.
+  bool hasRunFaults() const;
+
+  /// Should \p Site fire for global run \p Run on \p Attempt (0-based)?
+  bool fires(FaultSite Site, int64_t Run, int Attempt) const;
+
+  /// Should the io-write fault fire for \p Stream?
+  bool firesIoWrite(const std::string &Stream) const;
+
+  /// Re-renders the canonical spec ("heap-oom@run3:once,...") — used by
+  /// option-parity signatures and diagnostics. Empty for an empty plan.
+  std::string str() const;
+
+  std::vector<Fault> Faults;
+};
+
+/// One failed run of a sweep, in its final state.
+struct FailureInfo {
+  int64_t Run = -1;          ///< Global run index (across sweep() calls).
+  vm::RunStatus Status = vm::RunStatus::Trapped;
+  int Attempts = 1;          ///< Executions of this run, retries included.
+  std::string Budget;        ///< Tripped budget ("heap_bytes", "deadline",
+                             ///< "fuel", ...), empty for plain traps.
+  std::string Message;       ///< The final attempt's trap message.
+  bool Quarantined = false;  ///< Excluded from the merged profile.
+  bool Injected = false;     ///< Caused by an armed FaultPlan site.
+};
+
+/// Arms the process-global io-write faults (the CLI does this once,
+/// before any report/trace/metrics write). Run-scoped faults travel
+/// through SessionOptions instead; only IoWrite faults are consulted
+/// globally. Not thread-safe: arm before spawning workers.
+void armProcessFaults(const FaultPlan &Plan);
+
+/// True when an armed io-write fault targets \p Stream ("report" |
+/// "trace" | "metrics"). Writers check this before touching the file
+/// and treat a hit exactly like a failed write.
+bool ioWriteFaultArmed(const std::string &Stream);
+
+} // namespace resilience
+} // namespace algoprof
+
+#endif // ALGOPROF_RESILIENCE_RESILIENCE_H

@@ -27,6 +27,7 @@ ObjId Heap::allocObject(int32_t ClassId) {
   for (int32_t FieldId : C.FieldIds)
     Obj.Slots.push_back(
         defaultValueFor(M.Fields[static_cast<size_t>(FieldId)].Type));
+  LiveBytes += bytesFor(Obj.Slots.size());
   Objects.push_back(std::move(Obj));
   obs::addCount(obs::Counter::HeapObjects);
   return Base + static_cast<ObjId>(Objects.size()) - 1;
@@ -40,6 +41,7 @@ ObjId Heap::allocArray(TypeId ArrayType, int64_t Len) {
   Obj.Type = ArrayType;
   Obj.IsArray = true;
   Obj.Slots.assign(static_cast<size_t>(Len), defaultValueFor(RT.Elem));
+  LiveBytes += bytesFor(static_cast<uint64_t>(Len));
   Objects.push_back(std::move(Obj));
   obs::addCount(obs::Counter::HeapObjects);
   return Base + static_cast<ObjId>(Objects.size()) - 1;

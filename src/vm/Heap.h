@@ -58,6 +58,24 @@ public:
     return static_cast<int64_t>(Objects.size());
   }
 
+  /// Deterministic accounting cost of one object with \p Slots slots:
+  /// a fixed header charge plus the slot payload. The figure is a model
+  /// (stable across platforms and allocators), not malloc truth — what
+  /// matters is that the same program charges the same bytes on every
+  /// machine, so a heap-byte budget trips at the same allocation
+  /// everywhere.
+  static uint64_t bytesFor(uint64_t Slots) {
+    return ObjectHeaderBytes + Slots * sizeof(Value);
+  }
+  static constexpr uint64_t ObjectHeaderBytes = 64;
+
+  /// Accounted bytes of all live objects (recycled/reset memory is
+  /// uncharged). The interpreter checks this against
+  /// RunOptions::MaxHeapBytes *before* allocating, which is what turns
+  /// an allocation blow-up into a deterministic BudgetExceeded trap
+  /// instead of std::bad_alloc.
+  uint64_t liveBytes() const { return LiveBytes; }
+
   const bc::Module &module() const { return M; }
 
   /// Releases all objects and restarts the id space from zero (between
@@ -66,6 +84,7 @@ public:
   void reset() {
     Objects.clear();
     Base = 0;
+    LiveBytes = 0;
   }
 
   /// Releases all objects but *retains the id space*: future allocations
@@ -76,6 +95,7 @@ public:
   void recycle() {
     Base += static_cast<ObjId>(Objects.size());
     Objects.clear();
+    LiveBytes = 0;
   }
 
 private:
@@ -84,6 +104,7 @@ private:
   const bc::Module &M;
   std::vector<HeapObject> Objects;
   ObjId Base = 0;
+  uint64_t LiveBytes = 0;
 };
 
 } // namespace vm

@@ -6,13 +6,29 @@
 #include "obs/Obs.h"
 
 #include <cassert>
+#include <chrono>
 #include <limits>
+#include <new>
 
 using namespace algoprof;
 using namespace algoprof::vm;
 using namespace algoprof::bc;
 
 ExecutionListener::~ExecutionListener() = default;
+
+const char *vm::runStatusName(RunStatus S) {
+  switch (S) {
+  case RunStatus::Ok:
+    return "ok";
+  case RunStatus::Trapped:
+    return "trap";
+  case RunStatus::FuelExhausted:
+    return "fuel";
+  case RunStatus::BudgetExceeded:
+    return "budget";
+  }
+  return "?";
+}
 
 //===----------------------------------------------------------------------===//
 // InstrumentationPlan factories
@@ -141,6 +157,51 @@ private:
     return false;
   }
 
+  /// Records a budget trap (BudgetExceeded, never a plain Trapped).
+  bool trapBudget(const char *Budget, const std::string &Message,
+                  bool Injected = false) {
+    TrapMessage = Message;
+    Trapped = true;
+    BudgetTripped = true;
+    BudgetName = Budget;
+    InjectedFault = Injected;
+    return false;
+  }
+
+  /// Accounts for one upcoming allocation of \p Bytes model bytes.
+  /// Returns false (after recording a BudgetExceeded trap) when the
+  /// heap-byte budget would overflow or an injected heap-oom fault is
+  /// due at this allocation ordinal. Checked *before* the allocation so
+  /// the heap never holds the object that broke the budget.
+  bool chargeAlloc(uint64_t Bytes, const Frame &F) {
+    ++AllocCount;
+    if (Opts.InjectHeapOomAtAlloc && AllocCount >= Opts.InjectHeapOomAtAlloc) {
+      obs::addCount(obs::Counter::FaultsInjected);
+      return trapBudget("heap_bytes",
+                        "injected heap-oom at allocation " +
+                            std::to_string(AllocCount) + " in " +
+                            F.Method->QualifiedName,
+                        /*Injected=*/true);
+    }
+    if (Opts.MaxHeapBytes && H.liveBytes() + Bytes > Opts.MaxHeapBytes)
+      return trapBudget("heap_bytes",
+                        "heap budget exceeded: " +
+                            std::to_string(H.liveBytes()) + " live + " +
+                            std::to_string(Bytes) + " requested > " +
+                            std::to_string(Opts.MaxHeapBytes) + " in " +
+                            F.Method->QualifiedName);
+    return true;
+  }
+
+  uint64_t nowMs() const {
+    if (Opts.ClockNowMs)
+      return Opts.ClockNowMs();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
   /// Returns the heap object behind \p V, or null after recording a
   /// trap. The verifier checks operand-stack depth, not types, so a
   /// verified module may still feed integers (or stale ids) to
@@ -168,7 +229,11 @@ private:
 
   std::vector<Frame> Frames;
   uint64_t Executed = 0;
+  uint64_t AllocCount = 0; ///< Allocations attempted (1-based ordinal).
   bool Trapped = false;
+  bool BudgetTripped = false;
+  bool InjectedFault = false;
+  std::string BudgetName;
   std::string TrapMessage;
   Value ReturnValue;
   bool HaveReturnValue = false;
@@ -436,6 +501,9 @@ bool Machine::step() {
   }
 
   case Opcode::NewObject: {
+    const ClassInfo &C = M.Classes[static_cast<size_t>(I.A)];
+    if (!chargeAlloc(Heap::bytesFor(C.FieldIds.size()), F))
+      return false;
     ObjId Obj = H.allocObject(I.A);
     F.push(Value::makeRef(Obj));
     if (L && Plan.allocHook(I.A))
@@ -451,6 +519,8 @@ bool Machine::step() {
       return trap("array length " + std::to_string(Len.Bits) +
                   " exceeds limit " + std::to_string(Opts.MaxArrayLength) +
                   " in " + F.Method->QualifiedName);
+    if (!chargeAlloc(Heap::bytesFor(static_cast<uint64_t>(Len.Bits)), F))
+      return false;
     ObjId Arr = H.allocArray(I.A, Len.Bits);
     F.push(Value::makeRef(Arr));
     if (L && Plan.ArrayHooks)
@@ -471,10 +541,14 @@ bool Machine::step() {
                   F.Method->QualifiedName);
     TypeId OuterTy = I.A;
     TypeId InnerTy = M.Types[static_cast<size_t>(OuterTy)].Elem;
+    if (!chargeAlloc(Heap::bytesFor(static_cast<uint64_t>(Outer.Bits)), F))
+      return false;
     ObjId Arr = H.allocArray(OuterTy, Outer.Bits);
     if (L && Plan.ArrayHooks)
       L->onNewArray(Arr, OuterTy, Outer.Bits);
     for (int64_t Row = 0; Row < Outer.Bits; ++Row) {
+      if (!chargeAlloc(Heap::bytesFor(static_cast<uint64_t>(Inner.Bits)), F))
+        return false;
       ObjId RowArr = H.allocArray(InnerTy, Inner.Bits);
       H.get(Arr).Slots[static_cast<size_t>(Row)] = Value::makeRef(RowArr);
       if (L && Plan.ArrayHooks)
@@ -607,21 +681,52 @@ RunResult Machine::run(int32_t EntryMethodId) {
   }
   enterMethod(EntryMethodId, {});
 
+  // The watchdog shares the fuel-tick path: both are checked at the top
+  // of the loop, the deadline only every DeadlineStride instructions to
+  // keep clock reads off the hot path.
+  constexpr uint64_t DeadlineStride = 8192;
+  const uint64_t StartMs = Opts.RunDeadlineMs ? nowMs() : 0;
+
   RunResult R;
-  while (!Frames.empty()) {
-    if (Executed >= Opts.Fuel) {
-      R.Status = RunStatus::FuelExhausted;
-      R.TrapMessage = "fuel exhausted after " + std::to_string(Executed) +
-                      " instructions";
-      break;
-    }
-    if (!step()) {
-      if (Trapped) {
-        R.Status = RunStatus::Trapped;
-        R.TrapMessage = TrapMessage;
+  try {
+    while (!Frames.empty()) {
+      if (Executed >= Opts.Fuel) {
+        R.Status = RunStatus::FuelExhausted;
+        R.Budget = "fuel";
+        R.TrapMessage = "fuel exhausted after " + std::to_string(Executed) +
+                        " instructions";
+        break;
       }
-      break;
+      if (Opts.RunDeadlineMs && (Executed % DeadlineStride) == 0 &&
+          nowMs() - StartMs >= Opts.RunDeadlineMs) {
+        R.Status = RunStatus::BudgetExceeded;
+        R.Budget = "deadline";
+        R.TrapMessage = "run deadline of " +
+                        std::to_string(Opts.RunDeadlineMs) +
+                        " ms exceeded after " + std::to_string(Executed) +
+                        " instructions";
+        break;
+      }
+      if (!step()) {
+        if (Trapped) {
+          R.Status =
+              BudgetTripped ? RunStatus::BudgetExceeded : RunStatus::Trapped;
+          R.Budget = BudgetName;
+          R.Injected = InjectedFault;
+          R.TrapMessage = TrapMessage;
+        }
+        break;
+      }
     }
+  } catch (const std::bad_alloc &) {
+    // Safety net for hosts that run without MaxHeapBytes (or for
+    // allocator failure below the modelled budget): degrade to the same
+    // deterministic status instead of letting bad_alloc unwind through
+    // profiler listeners.
+    R.Status = RunStatus::BudgetExceeded;
+    R.Budget = "heap_bytes";
+    R.TrapMessage = "allocation failed (std::bad_alloc) after " +
+                    std::to_string(Executed) + " instructions";
   }
 
   // Unwind remaining frames (trap / fuel), firing exit events so profiler
@@ -649,6 +754,8 @@ RunResult Interpreter::run(int32_t EntryMethodId, ExecutionListener *Listener,
   }
   obs::addCount(obs::Counter::BytecodesExecuted, R.InstrCount);
   obs::addCount(obs::Counter::RunsCompleted);
+  if (R.Status == RunStatus::BudgetExceeded)
+    obs::addCount(obs::Counter::RunsBudgetExceeded);
   InRun = false;
   return R;
 }

@@ -57,13 +57,31 @@ struct PreparedProgram {
 };
 
 /// How a run ended.
-enum class RunStatus { Ok, Trapped, FuelExhausted };
+enum class RunStatus {
+  Ok,
+  Trapped,
+  FuelExhausted,
+  /// A resource budget from RunOptions tripped (MaxHeapBytes or
+  /// RunDeadlineMs). Deterministic: the same program under the same
+  /// budget traps at the same point on every machine — never
+  /// std::bad_alloc, never a wall-clock-dependent heap state.
+  BudgetExceeded,
+};
+
+/// Stable lowercase status name ("ok" | "trap" | "fuel" | "budget").
+const char *runStatusName(RunStatus S);
 
 /// Result of one program run.
 struct RunResult {
   RunStatus Status = RunStatus::Ok;
   std::string TrapMessage;
   uint64_t InstrCount = 0;
+  /// Which budget tripped: "heap_bytes" | "deadline" for
+  /// BudgetExceeded, "fuel" for FuelExhausted, empty otherwise.
+  std::string Budget;
+  /// True when the failure was injected by an armed fault plan rather
+  /// than hit organically.
+  bool Injected = false;
 
   bool ok() const { return Status == RunStatus::Ok; }
 };
@@ -76,6 +94,23 @@ struct RunOptions {
   /// it (a Value slot is 16 bytes, so the default caps one array at
   /// 1 GiB). Fuzzing uses much smaller caps to bound memory.
   int64_t MaxArrayLength = 1LL << 26;
+  /// Heap-byte budget over Heap's deterministic accounting (0 = off).
+  /// Checked *before* each allocation; a would-be overflow ends the run
+  /// with RunStatus::BudgetExceeded instead of std::bad_alloc.
+  uint64_t MaxHeapBytes = 0;
+  /// Cooperative wall-clock deadline in milliseconds (0 = off), checked
+  /// periodically on the fuel-tick path so a hostile run cannot hang a
+  /// sweep worker. The trap point is time-dependent; the status and
+  /// budget name are not.
+  uint64_t RunDeadlineMs = 0;
+  /// Fault injection: when nonzero, the Nth allocation (1-based) of the
+  /// run reports BudgetExceeded as if MaxHeapBytes had tripped, with
+  /// RunResult::Injected set. Armed by resilience::FaultPlan.
+  uint64_t InjectHeapOomAtAlloc = 0;
+  /// Test seam for the deadline: returns "now" in milliseconds. Null
+  /// selects std::chrono::steady_clock. Injectable clocks make deadline
+  /// tests fully deterministic.
+  uint64_t (*ClockNowMs)() = nullptr;
 };
 
 /// Executes prepared programs. One Interpreter owns one heap; distinct

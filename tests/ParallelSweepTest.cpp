@@ -248,6 +248,44 @@ TEST(ParallelSweepTest, SuccessiveSweepsAccumulateLikeSerial) {
                                 seedRuns({4, 8, 12, 16})));
 }
 
+TEST(ParallelSweepTest, QuarantinedSweepMatchesSerialOverSurvivors) {
+  // The degraded-merge guarantee (docs/resilience.md): a sweep that
+  // quarantines runs under the Skip policy must produce the profile a
+  // serial session produces over just the surviving seeds — object-id
+  // offsets, input unification, series order, everything.
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  SessionOptions SO;
+  SO.Jobs = 4;
+  SO.Seeds = {0, 4, 8, 12, 16, 20};
+  SO.Policy = resilience::FailurePolicy::Skip;
+  std::string Err;
+  ASSERT_TRUE(resilience::FaultPlan::parse("heap-oom@run2,run-start-fail@run4",
+                                           SO.Faults, Err))
+      << Err;
+  parallel::SweepEngine E(*CP, SO);
+  parallel::SweepResult SR = E.sweep("Main", "main");
+  EXPECT_FALSE(SR.allOk());
+  EXPECT_TRUE(SR.usable());
+  EXPECT_EQ(SR.MergedRuns, 4);
+  ASSERT_EQ(SR.Failures.size(), 2u);
+  EXPECT_EQ(SR.Failures[0].Run, 2);
+  EXPECT_EQ(SR.Failures[0].Status, vm::RunStatus::BudgetExceeded);
+  EXPECT_EQ(SR.Failures[0].Budget, "heap_bytes");
+  EXPECT_EQ(SR.Failures[1].Run, 4);
+  for (const resilience::FailureInfo &FI : SR.Failures) {
+    EXPECT_TRUE(FI.Quarantined);
+    EXPECT_TRUE(FI.Injected);
+    EXPECT_EQ(FI.Attempts, 1);
+  }
+  Sigs Degraded = {
+      testutil::profileSignature(E.buildProfiles(), E.inputs()),
+      testutil::treeSignature(E.tree()), testutil::inputsSignature(E.inputs())};
+  // Seeds 8 (run 2) and 16 (run 4) were quarantined out.
+  EXPECT_EQ(Degraded,
+            serialSigs(*CP, SessionOptions(), seedRuns({0, 4, 12, 20})));
+}
+
 /// Every field of SessionOptions, rendered; if a knob is added without
 /// flowing through both engines, the parity test below fails to compile
 /// or fails to match.
@@ -259,13 +297,17 @@ std::string sessionOptionsSignature(const SessionOptions &SO) {
      << " sample=" << SO.Profile.SampleThreshold
      << " allmethods=" << SO.AllMethodsPlan << " fuel=" << SO.Run.Fuel
      << " maxframes=" << SO.Run.MaxFrames
-     << " maxarray=" << SO.Run.MaxArrayLength << " runs=" << SO.Runs
+     << " maxarray=" << SO.Run.MaxArrayLength
+     << " maxheap=" << SO.Run.MaxHeapBytes
+     << " deadline=" << SO.Run.RunDeadlineMs << " runs=" << SO.Runs
      << " jobs=" << SO.Jobs << " seeds=";
   for (int64_t S : SO.Seeds)
     OS << S << ",";
   OS << " input=";
   for (int64_t V : SO.Input)
     OS << V << ",";
+  OS << " policy=" << resilience::failurePolicyName(SO.Policy)
+     << " maxattempts=" << SO.MaxAttempts << " faults=" << SO.Faults.str();
   return OS.str();
 }
 
@@ -284,10 +326,18 @@ TEST(ParallelSweepTest, SerialAndSweepConsumeIdenticalOptions) {
   SO.Run.Fuel = 123456789;
   SO.Run.MaxFrames = 99;
   SO.Run.MaxArrayLength = 1 << 20;
+  SO.Run.MaxHeapBytes = 1 << 22;
+  SO.Run.RunDeadlineMs = 5000;
   SO.Runs = 5;
   SO.Jobs = 3;
   SO.Seeds = {4, 8};
   SO.Input = {1, 2, 3};
+  SO.Policy = resilience::FailurePolicy::Retry;
+  SO.MaxAttempts = 5;
+  std::string FaultErr;
+  ASSERT_TRUE(resilience::FaultPlan::parse("heap-oom@run1:once", SO.Faults,
+                                           FaultErr))
+      << FaultErr;
 
   std::string Want = sessionOptionsSignature(SO);
   ProfileSession Serial(*CP, SO);

@@ -4,7 +4,7 @@
 /// Tests for report::Reporter / report::Registry: the built-in format
 /// set, differential equality of the csv/dot/tree reporters against
 /// the legacy standalone renderers on a real profiled session, and a
-/// golden file locking the "algoprof-profile/1" JSON schema on
+/// golden file locking the "algoprof-profile/2" JSON schema on
 /// hand-built profiles (no fitting, so every byte is deterministic).
 ///
 /// ctest label: obs (the reporting satellite rides with the
@@ -128,8 +128,10 @@ TEST_F(ReporterSessionTest, TableListsEveryAlgorithm) {
 
 TEST_F(ReporterSessionTest, JsonCarriesSchemaAndFits) {
   std::string Doc = Registry::builtin().find("json")->render(In);
-  EXPECT_NE(Doc.find("\"schema\": \"algoprof-profile/1\""),
+  EXPECT_NE(Doc.find("\"schema\": \"algoprof-profile/2\""),
             std::string::npos);
+  // A clean session still carries the (empty) degraded-runs array.
+  EXPECT_NE(Doc.find("\"degraded_runs\": []"), std::string::npos);
   EXPECT_NE(Doc.find("\"fit\""), std::string::npos);
   EXPECT_NE(Doc.find("\"points\""), std::string::npos);
   // Braces/brackets balance — cheap structural sanity for a renderer
@@ -202,8 +204,22 @@ TEST(ReporterJson, SchemaGolden) {
   B.Class.DoesOutput = true;
   Profiles.push_back(std::move(B));
 
+  // One degraded run, exercising every FailureInfo field plus string
+  // escaping in the message.
+  std::vector<resilience::FailureInfo> Degraded;
+  resilience::FailureInfo FI;
+  FI.Run = 3;
+  FI.Status = vm::RunStatus::BudgetExceeded;
+  FI.Attempts = 2;
+  FI.Budget = "heap_bytes";
+  FI.Quarantined = true;
+  FI.Injected = true;
+  FI.Message = "injected heap-oom \"budget\" trap";
+  Degraded.push_back(FI);
+
   ReportInput In;
   In.Profiles = &Profiles;
+  In.Degraded = &Degraded;
   testutil::expectMatchesGolden(
       Registry::builtin().find("json")->render(In), "profile_schema.json");
 }

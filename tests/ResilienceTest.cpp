@@ -1,0 +1,394 @@
+//===- tests/ResilienceTest.cpp - Budgets, faults, degraded sweeps --------===//
+///
+/// \file
+/// The resilience layer end to end (`ctest -L resilience`): run budgets
+/// trip deterministically (same status, same instruction count, never
+/// std::bad_alloc), FaultPlan specs parse and re-render canonically,
+/// and degraded sweeps under the skip/retry policies quarantine exactly
+/// the injected runs while the merged profile byte-matches a serial
+/// session over the survivors — the ISSUE 5 acceptance sweep (16 runs,
+/// 4 jobs) lives here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "SweepTestUtil.h"
+#include "TestUtil.h"
+#include "obs/Obs.h"
+#include "programs/Programs.h"
+#include "report/Reporter.h"
+#include "resilience/Resilience.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+using namespace algoprof::programs;
+using namespace algoprof::resilience;
+
+namespace {
+
+uint64_t counterValue(const obs::Snapshot &S, obs::Counter C) {
+  return S.Counters[static_cast<size_t>(C)];
+}
+
+/// Allocates a 192-byte array (64-byte header + 8 slots) per iteration;
+/// with any small MaxHeapBytes the run must end at the same allocation
+/// on every machine.
+const char *AllocLoopSrc = R"(
+  class Main {
+    static void main() {
+      int i = 0;
+      while (i < 100000) {
+        int[] a = new int[8];
+        a[0] = i;
+        i = i + 1;
+      }
+    }
+  }
+)";
+
+/// Pure compute, no allocation: only the deadline watchdog can end it
+/// early.
+const char *SpinLoopSrc = R"(
+  class Main {
+    static void main() {
+      int i = 0;
+      while (i < 1000000) {
+        i = i + 1;
+      }
+    }
+  }
+)";
+
+vm::RunResult runWith(const CompiledProgram &CP, const vm::RunOptions &RO) {
+  vm::IoChannels Io;
+  return runPlain(CP, "Main", "main", &Io, RO);
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic byte accounting
+//===----------------------------------------------------------------------===//
+
+TEST(ResilienceBudget, ModelBytesAreDeterministic) {
+  EXPECT_EQ(vm::Heap::bytesFor(0), vm::Heap::ObjectHeaderBytes);
+  EXPECT_EQ(vm::Heap::bytesFor(8),
+            vm::Heap::ObjectHeaderBytes + 8 * sizeof(vm::Value));
+}
+
+TEST(ResilienceBudget, HeapBudgetTrapsAtSameAllocationEveryRun) {
+  auto CP = testutil::compile(AllocLoopSrc);
+  ASSERT_TRUE(CP);
+  vm::RunOptions RO;
+  RO.MaxHeapBytes = 4096;
+  vm::RunResult First = runWith(*CP, RO);
+  EXPECT_EQ(First.Status, vm::RunStatus::BudgetExceeded);
+  EXPECT_EQ(First.Budget, "heap_bytes");
+  EXPECT_FALSE(First.Injected);
+  EXPECT_GT(First.InstrCount, 0u);
+  // Rerun on a fresh interpreter: identical trap point, byte for byte.
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    vm::RunResult R = runWith(*CP, RO);
+    EXPECT_EQ(R.Status, First.Status) << "rep=" << Rep;
+    EXPECT_EQ(R.InstrCount, First.InstrCount) << "rep=" << Rep;
+    EXPECT_EQ(R.TrapMessage, First.TrapMessage) << "rep=" << Rep;
+  }
+}
+
+TEST(ResilienceBudget, GenerousHeapBudgetDoesNotFire) {
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  vm::RunOptions RO;
+  RO.MaxHeapBytes = 1ULL << 30;
+  vm::IoChannels Io;
+  Io.Input = {12};
+  vm::RunResult R = runPlain(*CP, "Main", "main", &Io, RO);
+  EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_TRUE(R.Budget.empty());
+}
+
+uint64_t FakeNowMs = 0;
+uint64_t fakeClock() { return ++FakeNowMs; }
+
+TEST(ResilienceBudget, DeadlineTripsDeterministicallyUnderFakeClock) {
+  auto CP = testutil::compile(SpinLoopSrc);
+  ASSERT_TRUE(CP);
+  vm::RunOptions RO;
+  RO.RunDeadlineMs = 3;
+  RO.ClockNowMs = fakeClock;
+  FakeNowMs = 0;
+  vm::RunResult First = runWith(*CP, RO);
+  EXPECT_EQ(First.Status, vm::RunStatus::BudgetExceeded);
+  EXPECT_EQ(First.Budget, "deadline");
+  EXPECT_GT(First.InstrCount, 0u);
+  // The injectable clock makes even the watchdog's trap point exact.
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    FakeNowMs = 0;
+    vm::RunResult R = runWith(*CP, RO);
+    EXPECT_EQ(R.Status, First.Status) << "rep=" << Rep;
+    EXPECT_EQ(R.InstrCount, First.InstrCount) << "rep=" << Rep;
+    EXPECT_EQ(R.TrapMessage, First.TrapMessage) << "rep=" << Rep;
+  }
+}
+
+TEST(ResilienceBudget, InjectedOomMarksResultInjected) {
+  auto CP = testutil::compile(AllocLoopSrc);
+  ASSERT_TRUE(CP);
+  vm::RunOptions RO;
+  RO.InjectHeapOomAtAlloc = 1;
+  vm::RunResult R = runWith(*CP, RO);
+  EXPECT_EQ(R.Status, vm::RunStatus::BudgetExceeded);
+  EXPECT_EQ(R.Budget, "heap_bytes");
+  EXPECT_TRUE(R.Injected);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultPlan parsing
+//===----------------------------------------------------------------------===//
+
+TEST(ResilienceFaultPlan, ParsesAndRendersCanonically) {
+  FaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(FaultPlan::parse(
+      "heap-oom@run3,run-start-fail@run0:once,io-write-fail@metrics", P,
+      Err))
+      << Err;
+  ASSERT_EQ(P.Faults.size(), 3u);
+  EXPECT_TRUE(P.hasRunFaults());
+  EXPECT_EQ(P.str(),
+            "heap-oom@run3,run-start-fail@run0:once,io-write-fail@metrics");
+  EXPECT_TRUE(P.fires(FaultSite::HeapOom, 3, 0));
+  EXPECT_TRUE(P.fires(FaultSite::HeapOom, 3, 1)); // persistent
+  EXPECT_FALSE(P.fires(FaultSite::HeapOom, 2, 0));
+  EXPECT_TRUE(P.fires(FaultSite::RunStart, 0, 0));
+  EXPECT_FALSE(P.fires(FaultSite::RunStart, 0, 1)); // :once
+  EXPECT_TRUE(P.firesIoWrite("metrics"));
+  EXPECT_FALSE(P.firesIoWrite("report"));
+}
+
+TEST(ResilienceFaultPlan, EmptySpecDisarms) {
+  FaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(FaultPlan::parse("", P, Err)) << Err;
+  EXPECT_TRUE(P.empty());
+  EXPECT_FALSE(P.hasRunFaults());
+  EXPECT_EQ(P.str(), "");
+}
+
+TEST(ResilienceFaultPlan, RejectsMalformedSpecs) {
+  for (const char *Bad :
+       {"bogus@run1", "heap-oom@metrics", "heap-oom@run", "heap-oom@runx",
+        "heap-oom@run-1", "io-write-fail@run3", "io-write-fail@stdout",
+        "io-write-fail@report:once", "heap-oom", ",", "heap-oom@run1,"}) {
+    FaultPlan P;
+    std::string Err;
+    EXPECT_FALSE(FaultPlan::parse(Bad, P, Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+TEST(ResilienceFaultPlan, ProcessArmingGatesIoWrites) {
+  FaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(FaultPlan::parse("io-write-fail@trace", P, Err)) << Err;
+  armProcessFaults(P);
+  EXPECT_TRUE(ioWriteFaultArmed("trace"));
+  EXPECT_FALSE(ioWriteFaultArmed("report"));
+  EXPECT_FALSE(ioWriteFaultArmed("metrics"));
+  armProcessFaults(FaultPlan()); // disarm for the rest of the binary
+  EXPECT_FALSE(ioWriteFaultArmed("trace"));
+}
+
+//===----------------------------------------------------------------------===//
+// Degraded sweeps through the one-true-path driver
+//===----------------------------------------------------------------------===//
+
+struct Sigs {
+  std::string Profiles, Tree, Inputs;
+  bool operator==(const Sigs &O) const {
+    return Profiles == O.Profiles && Tree == O.Tree && Inputs == O.Inputs;
+  }
+};
+
+Sigs driverSigs(const ProfileDriver &D) {
+  return {testutil::profileSignature(D.buildProfiles(), D.inputs()),
+          testutil::treeSignature(D.tree()),
+          testutil::inputsSignature(D.inputs())};
+}
+
+SessionOptions faultedOptions(const std::string &Spec, FailurePolicy Policy,
+                              std::vector<int64_t> Seeds, int Jobs,
+                              int MaxAttempts = 3) {
+  SessionOptions SO;
+  SO.Jobs = Jobs;
+  SO.Seeds = std::move(Seeds);
+  SO.Policy = Policy;
+  SO.MaxAttempts = MaxAttempts;
+  std::string Err;
+  EXPECT_TRUE(FaultPlan::parse(Spec, SO.Faults, Err)) << Err;
+  return SO;
+}
+
+/// The acceptance sweep: 16 seeded runs on 4 workers, two injected
+/// failures, skip policy. The sweep completes, quarantines exactly the
+/// injected runs, surfaces them in failures()/degraded_runs/obs, and
+/// the merged profile byte-matches serial over the surviving seeds.
+TEST(ResilienceSweep, SixteenRunSkipSweepQuarantinesExactlyInjectedRuns) {
+  obs::resetForTest();
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  std::vector<int64_t> Seeds;
+  for (int64_t S = 2; S <= 32; S += 2)
+    Seeds.push_back(S); // 16 seeds
+  SessionOptions SO = faultedOptions("heap-oom@run3,run-start-fail@run11",
+                                     FailurePolicy::Skip, Seeds, 4);
+  ProfileDriver D(*CP, SO);
+  std::vector<vm::RunResult> Rs = D.runAll("Main", "main");
+  ASSERT_EQ(Rs.size(), 16u);
+  for (size_t I = 0; I < Rs.size(); ++I) {
+    if (I == 3 || I == 11)
+      EXPECT_FALSE(Rs[I].ok()) << "run " << I;
+    else
+      EXPECT_TRUE(Rs[I].ok()) << "run " << I << ": " << Rs[I].TrapMessage;
+  }
+  EXPECT_EQ(Rs[3].Status, vm::RunStatus::BudgetExceeded);
+  EXPECT_TRUE(Rs[3].Injected);
+
+  EXPECT_TRUE(D.usable());
+  ASSERT_EQ(D.failures().size(), 2u);
+  const resilience::FailureInfo &F0 = D.failures()[0];
+  const resilience::FailureInfo &F1 = D.failures()[1];
+  EXPECT_EQ(F0.Run, 3);
+  EXPECT_EQ(F0.Status, vm::RunStatus::BudgetExceeded);
+  EXPECT_EQ(F0.Budget, "heap_bytes");
+  EXPECT_EQ(F1.Run, 11);
+  for (const resilience::FailureInfo &FI : D.failures()) {
+    EXPECT_TRUE(FI.Quarantined);
+    EXPECT_TRUE(FI.Injected);
+    EXPECT_EQ(FI.Attempts, 1);
+  }
+
+  // Obs counters: one fault per injected run, both quarantined, one
+  // budget trip (run-start aborts never reach the interpreter).
+  obs::Snapshot S = obs::snapshot();
+  EXPECT_EQ(counterValue(S, obs::Counter::FaultsInjected), 2u);
+  EXPECT_EQ(counterValue(S, obs::Counter::RunsQuarantined), 2u);
+  EXPECT_EQ(counterValue(S, obs::Counter::RunsBudgetExceeded), 1u);
+  EXPECT_EQ(counterValue(S, obs::Counter::RunsRetried), 0u);
+
+  // The JSON report names both degraded runs.
+  report::ReportInput In;
+  std::vector<AlgorithmProfile> Profiles = D.buildProfiles();
+  In.Tree = &D.tree();
+  In.Inputs = &D.inputs();
+  In.Profiles = &Profiles;
+  In.Degraded = &D.failures();
+  std::string Doc = report::Registry::builtin().find("json")->render(In);
+  EXPECT_NE(Doc.find("\"schema\": \"algoprof-profile/2\""),
+            std::string::npos);
+  EXPECT_NE(Doc.find("{\"run\": 3, \"status\": \"budget\""),
+            std::string::npos);
+  EXPECT_NE(Doc.find("{\"run\": 11, \"status\": \"trap\""),
+            std::string::npos);
+
+  // Byte-match: serial session over the surviving seeds only.
+  std::vector<int64_t> Survivors;
+  for (size_t I = 0; I < Seeds.size(); ++I)
+    if (I != 3 && I != 11)
+      Survivors.push_back(Seeds[I]);
+  SessionOptions SerialSO;
+  SerialSO.Seeds = Survivors;
+  ProfileDriver Serial(*CP, SerialSO);
+  for (const vm::RunResult &R : Serial.runAll("Main", "main"))
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(driverSigs(D), driverSigs(Serial));
+}
+
+TEST(ResilienceSweep, RetryRecoversTransientFault) {
+  obs::resetForTest();
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  SessionOptions SO = faultedOptions("heap-oom@run1:once",
+                                     FailurePolicy::Retry, {4, 8, 12}, 2,
+                                     /*MaxAttempts=*/2);
+  ProfileDriver D(*CP, SO);
+  for (const vm::RunResult &R : D.runAll("Main", "main"))
+    EXPECT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_TRUE(D.usable());
+  EXPECT_TRUE(D.failures().empty());
+  obs::Snapshot S = obs::snapshot();
+  EXPECT_EQ(counterValue(S, obs::Counter::FaultsInjected), 1u);
+  EXPECT_EQ(counterValue(S, obs::Counter::RunsRetried), 1u);
+  EXPECT_EQ(counterValue(S, obs::Counter::RunsQuarantined), 0u);
+
+  // Recovery is complete: the profile equals an unfaulted serial run.
+  SessionOptions CleanSO;
+  CleanSO.Seeds = {4, 8, 12};
+  ProfileDriver Clean(*CP, CleanSO);
+  for (const vm::RunResult &R : Clean.runAll("Main", "main"))
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+  EXPECT_EQ(driverSigs(D), driverSigs(Clean));
+}
+
+TEST(ResilienceSweep, RetryExhaustsThenQuarantinesPersistentFault) {
+  obs::resetForTest();
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  SessionOptions SO = faultedOptions("heap-oom@run1", FailurePolicy::Retry,
+                                     {4, 8, 12}, 2, /*MaxAttempts=*/2);
+  ProfileDriver D(*CP, SO);
+  std::vector<vm::RunResult> Rs = D.runAll("Main", "main");
+  ASSERT_EQ(Rs.size(), 3u);
+  EXPECT_FALSE(Rs[1].ok());
+  EXPECT_TRUE(D.usable()); // the failure is quarantined out
+  ASSERT_EQ(D.failures().size(), 1u);
+  EXPECT_EQ(D.failures()[0].Run, 1);
+  EXPECT_EQ(D.failures()[0].Attempts, 2);
+  EXPECT_TRUE(D.failures()[0].Quarantined);
+  obs::Snapshot S = obs::snapshot();
+  EXPECT_EQ(counterValue(S, obs::Counter::FaultsInjected), 2u); // both attempts
+  EXPECT_EQ(counterValue(S, obs::Counter::RunsRetried), 1u);
+  EXPECT_EQ(counterValue(S, obs::Counter::RunsQuarantined), 1u);
+}
+
+TEST(ResilienceSweep, FailPolicyReportsFailureWithoutQuarantine) {
+  auto CP = testutil::compile(seededInsertionSortProgram(InputOrder::Random));
+  ASSERT_TRUE(CP);
+  SessionOptions SO = faultedOptions("heap-oom@run1", FailurePolicy::Fail,
+                                     {4, 8, 12}, 1);
+  ProfileDriver D(*CP, SO);
+  std::vector<vm::RunResult> Rs = D.runAll("Main", "main");
+  ASSERT_EQ(Rs.size(), 3u);
+  EXPECT_FALSE(Rs[1].ok());
+  // Fail never quarantines: the failure stands and the session is not
+  // usable — the CLI turns this into a non-zero exit naming the run.
+  EXPECT_FALSE(D.usable());
+  ASSERT_EQ(D.failures().size(), 1u);
+  EXPECT_FALSE(D.failures()[0].Quarantined);
+  EXPECT_EQ(D.failures()[0].Budget, "heap_bytes");
+}
+
+TEST(ResilienceSweep, SerialFailuresAreRecordedButNeverQuarantined) {
+  // Jobs == 1, Fail policy, no faults: the classic serial session. A
+  // trapping run is recorded in failures() and makes the session
+  // unusable, preserving the legacy all-or-nothing contract.
+  auto CP = testutil::compile(R"(
+    class Main {
+      static void main() {
+        int[] a = new int[2];
+        a[5] = 1;
+      }
+    }
+  )");
+  ASSERT_TRUE(CP);
+  SessionOptions SO;
+  SO.Runs = 2;
+  ProfileDriver D(*CP, SO);
+  std::vector<vm::RunResult> Rs = D.runAll("Main", "main");
+  ASSERT_EQ(Rs.size(), 2u);
+  EXPECT_FALSE(D.usable());
+  ASSERT_EQ(D.failures().size(), 2u);
+  for (const resilience::FailureInfo &FI : D.failures())
+    EXPECT_FALSE(FI.Quarantined);
+}
+
+} // namespace

@@ -134,7 +134,7 @@ expect_rejected "--out after satisfied job" "$ALGOPROF" "$WORK/ok.mj" \
 # The stable JSON schema.
 expect_ok "--format json --out" "$ALGOPROF" "$WORK/ok.mj" \
   --input 5 --format json --out "$WORK/p.json"
-grep -q "algoprof-profile/1" "$WORK/p.json" \
+grep -q "algoprof-profile/2" "$WORK/p.json" \
   || fail "--format json missing schema marker"
 
 # Observability exports: files written, failures surfaced as exit codes.

@@ -36,6 +36,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <exception>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -73,6 +74,8 @@ struct Stats {
   uint64_t RunsOk = 0;
   uint64_t RunsTrapped = 0;
   uint64_t RunsFuel = 0;
+  uint64_t RunsBudget = 0;
+  uint64_t FaultRounds = 0;
   uint64_t MutantsTried = 0;
   uint64_t MutantsRejected = 0;
   uint64_t MutantsExecuted = 0;
@@ -158,18 +161,6 @@ vm::RunOptions runOptions(const FuzzOptions &O) {
   return R;
 }
 
-const char *statusName(vm::RunStatus S) {
-  switch (S) {
-  case vm::RunStatus::Ok:
-    return "ok";
-  case vm::RunStatus::Trapped:
-    return "trap";
-  case vm::RunStatus::FuelExhausted:
-    return "fuel";
-  }
-  return "?";
-}
-
 void countRun(const vm::RunResult &R, Stats &St) {
   switch (R.Status) {
   case vm::RunStatus::Ok:
@@ -180,6 +171,9 @@ void countRun(const vm::RunResult &R, Stats &St) {
     break;
   case vm::RunStatus::FuelExhausted:
     ++St.RunsFuel;
+    break;
+  case vm::RunStatus::BudgetExceeded:
+    ++St.RunsBudget;
     break;
   }
 }
@@ -205,6 +199,11 @@ SessionOptions sessionOptionsFor(Rng &R, const FuzzOptions &O) {
   SO.Profile.Snapshots =
       R.chance(50) ? SnapshotMode::Eager : SnapshotMode::Tracked;
   SO.AllMethodsPlan = R.chance(25);
+  // Budget dimension: an occasional heap-byte budget (1 KiB .. 512 KiB
+  // of modelled bytes). Both engines get the same budget, so budget
+  // traps must be part of the byte-identical differential too.
+  if (R.chance(15))
+    SO.Run.MaxHeapBytes = 1ULL << (10 + R.below(10));
   return SO;
 }
 
@@ -219,6 +218,22 @@ GroupingStrategy groupingFor(Rng &R) {
   }
 }
 
+/// The run-independent half of an engine's observable state (tree,
+/// inputs, profiles) — what degraded-sweep comparisons use, where the
+/// two sides executed different run counts by design.
+std::string renderProfileState(const RepetitionTree &Tree,
+                               const InputTable &Inputs,
+                               const std::vector<AlgorithmProfile> &Profiles) {
+  std::ostringstream OS;
+  OS << "repetitions=" << Tree.numRepetitions() << " strategy="
+     << equivalenceStrategyName(Inputs.strategy()) << " inputs=";
+  for (int32_t Id : Inputs.liveInputs())
+    OS << Id << ",";
+  OS << "\n";
+  OS << report::renderAnnotatedTree(Tree, Profiles);
+  return OS.str();
+}
+
 /// One engine's observable state, rendered for byte comparison.
 std::string renderState(const std::vector<vm::RunResult> &Runs,
                         const RepetitionTree &Tree,
@@ -226,14 +241,10 @@ std::string renderState(const std::vector<vm::RunResult> &Runs,
                         const std::vector<AlgorithmProfile> &Profiles) {
   std::ostringstream OS;
   for (size_t I = 0; I < Runs.size(); ++I)
-    OS << "run " << I << ": " << statusName(Runs[I].Status) << " instr="
-       << Runs[I].InstrCount << " msg='" << Runs[I].TrapMessage << "'\n";
-  OS << "repetitions=" << Tree.numRepetitions() << " strategy="
-     << equivalenceStrategyName(Inputs.strategy()) << " inputs=";
-  for (int32_t Id : Inputs.liveInputs())
-    OS << Id << ",";
-  OS << "\n";
-  OS << report::renderAnnotatedTree(Tree, Profiles);
+    OS << "run " << I << ": " << vm::runStatusName(Runs[I].Status)
+       << " instr=" << Runs[I].InstrCount << " msg='"
+       << Runs[I].TrapMessage << "'\n";
+  OS << renderProfileState(Tree, Inputs, Profiles);
   return OS.str();
 }
 
@@ -309,6 +320,56 @@ void checkCompiledProgram(const CompiledProgram &CP,
                   "--- serial ---\n" + SerialState +
                       "--- parallel ---\n" + ParallelState,
                   Source);
+
+  // Fault-plan dimension: arm one run-scoped fault under a quarantining
+  // policy. Oracle: the degraded sweep reaches a defined outcome (never
+  // a crash) and its merged profile byte-matches a serial session over
+  // exactly the surviving runs.
+  if (R.chance(35)) {
+    ++St.FaultRounds;
+    SessionOptions FS = SO;
+    FS.Policy = R.chance(50) ? resilience::FailurePolicy::Skip
+                             : resilience::FailurePolicy::Retry;
+    FS.MaxAttempts = 2;
+    resilience::Fault F;
+    F.Site = R.chance(50) ? resilience::FaultSite::HeapOom
+                          : resilience::FaultSite::RunStart;
+    F.Run = static_cast<int64_t>(R.below(static_cast<uint64_t>(O.Runs)));
+    F.Once = R.chance(30); // Transient faults let Retry recover.
+    FS.Faults.Faults.push_back(F);
+
+    parallel::SweepEngine Faulty(CP, FS);
+    parallel::SweepResult FR = Faulty.sweep("Main", "main");
+    for (const vm::RunResult &Run : FR.Runs)
+      countRun(Run, St);
+    std::vector<char> Quarantined(static_cast<size_t>(O.Runs), 0);
+    for (const resilience::FailureInfo &FI : FR.Failures)
+      if (FI.Quarantined)
+        Quarantined[static_cast<size_t>(FI.Run)] = 1;
+
+    ProfileSession Survivors(CP, SO);
+    for (int Run = 0; Run < O.Runs; ++Run) {
+      if (Quarantined[static_cast<size_t>(Run)])
+        continue;
+      vm::IoChannels Io;
+      Io.Input = Input;
+      (void)Survivors.run("Main", "main", Io);
+    }
+    std::string FaultyState = renderProfileState(
+        Faulty.tree(), Faulty.inputs(), Faulty.buildProfiles(Grouping));
+    std::string SurvivorState =
+        renderProfileState(Survivors.tree(), Survivors.inputs(),
+                           Survivors.buildProfiles(Grouping));
+    if (FaultyState != SurvivorState)
+      reportFailure(St, CaseIdx, CaseSeed,
+                    "degraded sweep / survivor-serial mismatch (fault=" +
+                        FS.Faults.str() + " policy=" +
+                        resilience::failurePolicyName(FS.Policy) + ", " +
+                        OptsDesc + ")",
+                    "--- degraded sweep ---\n" + FaultyState +
+                        "--- survivors serial ---\n" + SurvivorState,
+                    Source);
+  }
 }
 
 /// Oracle 2: mutate the module; the verifier rejects, or the mutant
@@ -429,9 +490,7 @@ int runCorpus(const FuzzOptions &O, Stats &St) {
   return 0;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runFuzz(int Argc, char **Argv) {
   FuzzOptions O = parseArgs(Argc, Argv);
   Stats St;
 
@@ -459,8 +518,8 @@ int main(int Argc, char **Argv) {
 
   std::printf(
       "fuzz: %llu cases (%llu garbled): %llu compiled, %llu rejected; "
-      "runs ok=%llu trap=%llu fuel=%llu; mutants %llu "
-      "(rejected=%llu executed=%llu); %llu failure(s)\n",
+      "runs ok=%llu trap=%llu fuel=%llu budget=%llu; fault rounds=%llu; "
+      "mutants %llu (rejected=%llu executed=%llu); %llu failure(s)\n",
       static_cast<unsigned long long>(St.Cases),
       static_cast<unsigned long long>(St.Garbled),
       static_cast<unsigned long long>(St.Compiled),
@@ -468,9 +527,28 @@ int main(int Argc, char **Argv) {
       static_cast<unsigned long long>(St.RunsOk),
       static_cast<unsigned long long>(St.RunsTrapped),
       static_cast<unsigned long long>(St.RunsFuel),
+      static_cast<unsigned long long>(St.RunsBudget),
+      static_cast<unsigned long long>(St.FaultRounds),
       static_cast<unsigned long long>(St.MutantsTried),
       static_cast<unsigned long long>(St.MutantsRejected),
       static_cast<unsigned long long>(St.MutantsExecuted),
       static_cast<unsigned long long>(St.Failures));
   return St.Failures ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // Exception boundary: a fuzz batch must end in a report, not
+  // std::terminate — an escaped exception would read as a harness
+  // crash instead of a pipeline bug.
+  try {
+    return runFuzz(Argc, Argv);
+  } catch (const std::bad_alloc &) {
+    std::fprintf(stderr, "error: out of memory\n");
+    return 1;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: unhandled exception: %s\n", E.what());
+    return 1;
+  }
 }

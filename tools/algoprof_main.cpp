@@ -14,6 +14,21 @@
 ///                                (0 = hardware concurrency; output is
 ///                                identical for every J)
 ///     --input v1,v2,...          values for the external input channel
+///     --seeds v1,v2,...          one run per seed, each run's input
+///                                channel pre-loaded with just its seed
+///                                (overrides --runs/--input)
+///     --policy P                 per-run failure policy: fail | skip |
+///                                retry (default fail; see
+///                                docs/resilience.md)
+///     --retries N                extra attempts per failed run under
+///                                --policy retry (default 2)
+///     --max-heap-bytes N         per-run heap-byte budget (0 = off);
+///                                overruns end the run with a
+///                                deterministic budget trap, not OOM
+///     --deadline-ms N            per-run wall-clock deadline (0 = off)
+///     --inject SPEC              arm deterministic faults, e.g.
+///                                heap-oom@run3,io-write-fail@metrics
+///                                (env: ALGOPROF_INJECT)
 ///     --cct                      also print the traditional CCT profile
 ///     --format F                 render a report: table | tree | csv |
 ///                                dot | json (repeatable; each job goes
@@ -38,6 +53,9 @@
 #include "report/CsvWriter.h"
 #include "report/Reporter.h"
 #include "report/TreePrinter.h"
+#include "resilience/Resilience.h"
+
+#include <exception>
 
 #include <cerrno>
 #include <cstdio>
@@ -68,6 +86,8 @@ struct CliOptions {
   GroupingStrategy Grouping = GroupingStrategy::CommonInput;
   SessionOptions Session;
   bool WithCct = false;
+  bool InjectGiven = false; ///< --inject on the command line (overrides
+                            ///< the ALGOPROF_INJECT environment spec).
   std::vector<RenderJob> Jobs;
   std::string TraceFile;
   std::string MetricsFile;
@@ -79,7 +99,10 @@ void usageAndExit(const char *Argv0) {
                "[--grouping common-input|same-method|dataflow] "
                "[--equivalence some|all|same-array|same-type] "
                "[--snapshots eager|tracked] [--sample N] [--runs N] "
-               "[--jobs J] [--input v1,v2,...] [--cct] "
+               "[--jobs J] [--input v1,v2,...] [--seeds v1,v2,...] "
+               "[--policy fail|skip|retry] [--retries N] "
+               "[--max-heap-bytes N] [--deadline-ms N] [--inject SPEC] "
+               "[--cct] "
                "[--format table|tree|csv|dot|json] [--out FILE] "
                "[--trace FILE] [--metrics FILE] "
                "[--dot FILE] [--csv FILE]\n",
@@ -107,6 +130,29 @@ bool parseInt64(const char *S, int64_t &Out) {
 /// Strict bounded int for count-like flags.
 bool parseIntIn(const char *S, int64_t Min, int64_t Max, int64_t &Out) {
   return parseInt64(S, Out) && Out >= Min && Out <= Max;
+}
+
+/// Splits a comma-separated list of strictly parsed 64-bit integers. A
+/// stray character, an empty field, or an out-of-range value fails the
+/// whole list (it used to be silently truncated).
+bool parseIntList(const char *S, std::vector<int64_t> &Out) {
+  if (!S)
+    return false;
+  std::string Str = S;
+  size_t Pos = 0;
+  while (!Str.empty() && Pos <= Str.size()) {
+    size_t Comma = Str.find(',', Pos);
+    std::string Field = Str.substr(
+        Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+    int64_t N;
+    if (!parseInt64(Field.c_str(), N))
+      return false;
+    Out.push_back(N);
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  return true;
 }
 
 bool argError(const char *Flag, const char *V, const char *Expected) {
@@ -206,27 +252,44 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Session.Jobs = static_cast<int>(N);
     } else if (Arg == "--input") {
       const char *V = Need(I);
-      if (!V)
-        return argError("--input", V, "a comma-separated int list");
-      // Split on commas and parse each field strictly: a stray
-      // character, an empty field, or an out-of-range value used to be
-      // silently truncated into the list.
-      std::string S = V;
-      size_t Pos = 0;
-      while (!S.empty() && Pos <= S.size()) {
-        size_t Comma = S.find(',', Pos);
-        std::string Field = S.substr(
-            Pos, Comma == std::string::npos ? std::string::npos
-                                            : Comma - Pos);
-        int64_t N;
-        if (!parseInt64(Field.c_str(), N))
-          return argError("--input", V,
-                          "a comma-separated list of 64-bit integers");
-        Opts.Session.Input.push_back(N);
-        if (Comma == std::string::npos)
-          break;
-        Pos = Comma + 1;
-      }
+      if (!V || !parseIntList(V, Opts.Session.Input))
+        return argError("--input", V,
+                        "a comma-separated list of 64-bit integers");
+    } else if (Arg == "--seeds") {
+      const char *V = Need(I);
+      if (!V || !parseIntList(V, Opts.Session.Seeds))
+        return argError("--seeds", V,
+                        "a comma-separated list of 64-bit integers");
+    } else if (Arg == "--policy") {
+      const char *V = Need(I);
+      if (!V || !resilience::parseFailurePolicy(V, Opts.Session.Policy))
+        return argError("--policy", V, "fail|skip|retry");
+    } else if (Arg == "--retries") {
+      const char *V = Need(I);
+      int64_t N;
+      if (!V || !parseIntIn(V, 0, 1000, N))
+        return argError("--retries", V, "an integer in [0, 1000]");
+      Opts.Session.MaxAttempts = static_cast<int>(N) + 1;
+    } else if (Arg == "--max-heap-bytes") {
+      const char *V = Need(I);
+      int64_t N;
+      if (!V || !parseIntIn(V, 0, std::numeric_limits<int64_t>::max(), N))
+        return argError("--max-heap-bytes", V, "an integer >= 0 (0 = off)");
+      Opts.Session.Run.MaxHeapBytes = static_cast<uint64_t>(N);
+    } else if (Arg == "--deadline-ms") {
+      const char *V = Need(I);
+      int64_t N;
+      if (!V || !parseIntIn(V, 0, std::numeric_limits<int64_t>::max(), N))
+        return argError("--deadline-ms", V, "an integer >= 0 (0 = off)");
+      Opts.Session.Run.RunDeadlineMs = static_cast<uint64_t>(N);
+    } else if (Arg == "--inject") {
+      const char *V = Need(I);
+      std::string Err;
+      if (!V || !resilience::FaultPlan::parse(V, Opts.Session.Faults, Err))
+        return argError("--inject", V,
+                        Err.empty() ? "a fault spec like heap-oom@run3"
+                                    : Err.c_str());
+      Opts.InjectGiven = true;
     } else if (Arg == "--cct") {
       Opts.WithCct = true;
     } else if (Arg == "--format") {
@@ -296,12 +359,27 @@ std::string readFileOrDie(const std::string &Path) {
   return Content;
 }
 
-} // namespace
-
-int main(int Argc, char **Argv) {
+int runTool(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts))
     usageAndExit(Argv[0]);
+
+  // Fault injection: the CLI flag wins; otherwise the ALGOPROF_INJECT
+  // environment spec arms the same plan (how ctest drives injection
+  // through shell cases without touching each command line).
+  if (!Opts.InjectGiven) {
+    if (const char *Env = std::getenv("ALGOPROF_INJECT")) {
+      std::string Err;
+      if (!resilience::FaultPlan::parse(Env, Opts.Session.Faults, Err)) {
+        std::fprintf(stderr, "error: invalid ALGOPROF_INJECT: %s\n",
+                     Err.c_str());
+        return 2;
+      }
+    }
+  }
+  // Run-scoped faults travel inside SessionOptions; io-write faults are
+  // checked at the write sites below via the process-global plan.
+  resilience::armProcessFaults(Opts.Session.Faults);
 
   // Span recording must be live before compilation so the frontend
   // phases land in the trace.
@@ -343,14 +421,29 @@ int main(int Argc, char **Argv) {
   std::vector<vm::RunResult> Results =
       Driver.runAll(Opts.EntryClass, Opts.EntryMethod);
   uint64_t Instructions = 0;
-  for (size_t Run = 0; Run < Results.size(); ++Run) {
-    Instructions += Results[Run].InstrCount;
-    if (!Results[Run].ok()) {
-      std::fprintf(stderr, "run %zu failed: %s\n", Run + 1,
-                   Results[Run].TrapMessage.c_str());
-      return 1;
-    }
+  for (const vm::RunResult &R : Results)
+    Instructions += R.InstrCount;
+
+  // Degraded-run reporting. Quarantined runs (skip/retry policies) are
+  // warnings — the sweep survives them and the profile covers the
+  // survivors. Any unquarantined failure is fatal, named with the run
+  // index and the budget that tripped (when one did).
+  for (const resilience::FailureInfo &FI : Driver.failures()) {
+    std::string Budget =
+        FI.Budget.empty() ? "" : " (budget " + FI.Budget + ")";
+    if (FI.Quarantined)
+      std::fprintf(stderr,
+                   "warning: run %lld quarantined after %d attempt(s)%s: "
+                   "%s\n",
+                   static_cast<long long>(FI.Run), FI.Attempts,
+                   Budget.c_str(), FI.Message.c_str());
+    else
+      std::fprintf(stderr, "error: run %lld failed%s: %s\n",
+                   static_cast<long long>(FI.Run), Budget.c_str(),
+                   FI.Message.c_str());
   }
+  if (!Driver.usable())
+    return 1;
 
   const RepetitionTree &Tree = Driver.tree();
   const InputTable &Inputs = Driver.inputs();
@@ -390,7 +483,7 @@ int main(int Argc, char **Argv) {
   // file would silently drop its results. The same rule covers
   // --trace/--metrics below.
   bool WriteFailed = false;
-  report::ReportInput RI{&Tree, &Inputs, &Profiles};
+  report::ReportInput RI{&Tree, &Inputs, &Profiles, &Driver.failures()};
   bool FirstFileJob = true;
   for (const RenderJob &Job : Opts.Jobs) {
     const report::Reporter *R = report::Registry::builtin().find(Job.Format);
@@ -399,7 +492,10 @@ int main(int Argc, char **Argv) {
       std::printf("\n%s", Doc.c_str());
       continue;
     }
-    if (report::writeFile(Job.Out, Doc)) {
+    // An armed io-write fault is indistinguishable from a real failed
+    // write: same message, same failing exit.
+    if (!resilience::ioWriteFaultArmed("report") &&
+        report::writeFile(Job.Out, Doc)) {
       std::printf("%swrote %s\n", FirstFileJob ? "\n" : "",
                   Job.Out.c_str());
       FirstFileJob = false;
@@ -410,7 +506,8 @@ int main(int Argc, char **Argv) {
   }
 
   if (!Opts.TraceFile.empty()) {
-    if (!report::writeFile(Opts.TraceFile,
+    if (resilience::ioWriteFaultArmed("trace") ||
+        !report::writeFile(Opts.TraceFile,
                            obs::chromeTraceJson(obs::snapshot()))) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
                    Opts.TraceFile.c_str());
@@ -418,7 +515,8 @@ int main(int Argc, char **Argv) {
     }
   }
   if (!Opts.MetricsFile.empty()) {
-    if (!report::writeFile(Opts.MetricsFile,
+    if (resilience::ioWriteFaultArmed("metrics") ||
+        !report::writeFile(Opts.MetricsFile,
                            obs::prometheusText(obs::snapshot()))) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
                    Opts.MetricsFile.c_str());
@@ -426,4 +524,23 @@ int main(int Argc, char **Argv) {
     }
   }
   return WriteFailed ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  // The tool's exception boundary: nothing below may escape as
+  // std::terminate. bad_alloc in particular used to kill the process
+  // with no diagnostic when a hostile program out-allocated the host
+  // (run-scoped OOM is already converted to a budget trap inside the
+  // VM; this catches allocation failure in the pipeline around it).
+  try {
+    return runTool(Argc, Argv);
+  } catch (const std::bad_alloc &) {
+    std::fprintf(stderr, "error: out of memory\n");
+    return 1;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: unhandled exception: %s\n", E.what());
+    return 1;
+  }
 }
