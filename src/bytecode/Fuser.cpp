@@ -1,0 +1,124 @@
+//===- bytecode/Fuser.cpp -------------------------------------------------===//
+
+#include "bytecode/Fuser.h"
+
+using namespace algoprof;
+using namespace algoprof::bc;
+
+namespace {
+
+/// Two's-complement negation without signed-overflow UB (wrapNeg of
+/// INT64_MIN is INT64_MIN, matching the VM's Neg).
+int64_t wrapNeg(int64_t V) {
+  return static_cast<int64_t>(0u - static_cast<uint64_t>(V));
+}
+
+bool isCondBranch(Opcode Op) {
+  return Op == Opcode::IfTrue || Op == Opcode::IfFalse;
+}
+
+bool isFusableArith(Opcode Op) {
+  return Op == Opcode::Add || Op == Opcode::Sub || Op == Opcode::Mul;
+}
+
+} // namespace
+
+std::vector<Instr> bc::fuseMethod(const MethodInfo &Method,
+                                  const std::vector<char> &Barrier,
+                                  FusionStats *Stats) {
+  const std::vector<Instr> &Code = Method.Code;
+  const size_t N = Code.size();
+  std::vector<Instr> Out = Code;
+
+  // A pc is ineligible as a cluster interior when control can enter the
+  // cluster there: branch targets, plus any caller-supplied barrier
+  // (loop-event targets). Defensive on operands — the fuzz mutator
+  // feeds arbitrary modules through prepare.
+  std::vector<char> NoInterior(N, 0);
+  if (!Barrier.empty() && Barrier.size() == N)
+    for (size_t Pc = 0; Pc < N; ++Pc)
+      NoInterior[Pc] = Barrier[Pc];
+  for (size_t Pc = 0; Pc < N; ++Pc) {
+    const Instr &I = Code[Pc];
+    if (isBranch(I.Op) && I.A >= 0 && static_cast<size_t>(I.A) < N)
+      NoInterior[static_cast<size_t>(I.A)] = 1;
+  }
+
+  auto interiorFree = [&](size_t Pc, int Width) {
+    if (Pc + static_cast<size_t>(Width) > N)
+      return false;
+    for (size_t Q = Pc + 1; Q < Pc + static_cast<size_t>(Width); ++Q)
+      if (NoInterior[Q])
+        return false;
+    return true;
+  };
+  auto validSlot = [&](int32_t Slot) {
+    return Slot >= 0 && Slot < Method.NumLocals;
+  };
+
+  // Greedy longest-match-first at each pc; on a match, scanning resumes
+  // after the cluster so clusters never overlap.
+  size_t Pc = 0;
+  while (Pc < N) {
+    const Instr &I0 = Code[Pc];
+    int Width = 0;
+
+    // load s; iconst c; add/sub; store s  ->  fused.inclocal
+    if (Width == 0 && I0.Op == Opcode::Load && interiorFree(Pc, 4) &&
+        Code[Pc + 1].Op == Opcode::IConst &&
+        (Code[Pc + 2].Op == Opcode::Add || Code[Pc + 2].Op == Opcode::Sub) &&
+        Code[Pc + 3].Op == Opcode::Store && Code[Pc + 3].A == I0.A &&
+        validSlot(I0.A)) {
+      int64_t C = Code[Pc + 1].Imm;
+      int64_t Delta = Code[Pc + 2].Op == Opcode::Sub ? wrapNeg(C) : C;
+      Out[Pc] = Instr{Opcode::FusedIncLocal, I0.A, 0, Delta};
+      Width = 4;
+    }
+
+    // load s1; load s2; cmp; iftrue/iffalse t  ->  fused.llcmpbr
+    if (Width == 0 && I0.Op == Opcode::Load && interiorFree(Pc, 4) &&
+        Code[Pc + 1].Op == Opcode::Load && isCmpOpcode(Code[Pc + 2].Op) &&
+        isCondBranch(Code[Pc + 3].Op) && validSlot(I0.A) &&
+        validSlot(Code[Pc + 1].A) && Code[Pc + 3].A >= 0 &&
+        static_cast<size_t>(Code[Pc + 3].A) < N) {
+      Out[Pc] = Instr{Opcode::FusedLoadLoadCmpBr, Code[Pc + 3].A,
+                      encodeFusedCmp(Code[Pc + 2].Op,
+                                     Code[Pc + 3].Op == Opcode::IfTrue),
+                      packSlots(I0.A, Code[Pc + 1].A)};
+      Width = 4;
+    }
+
+    // load s; iconst c; add/sub/mul  ->  fused.ldcarith
+    if (Width == 0 && I0.Op == Opcode::Load && interiorFree(Pc, 3) &&
+        Code[Pc + 1].Op == Opcode::IConst && isFusableArith(Code[Pc + 2].Op) &&
+        validSlot(I0.A)) {
+      Out[Pc] = Instr{Opcode::FusedLoadConstArith, I0.A,
+                      static_cast<int32_t>(Code[Pc + 2].Op),
+                      Code[Pc + 1].Imm};
+      Width = 3;
+    }
+
+    // cmp; iftrue/iffalse t  ->  fused.cmpbr
+    if (Width == 0 && isCmpOpcode(I0.Op) && interiorFree(Pc, 2) &&
+        isCondBranch(Code[Pc + 1].Op) && Code[Pc + 1].A >= 0 &&
+        static_cast<size_t>(Code[Pc + 1].A) < N) {
+      Out[Pc] = Instr{Opcode::FusedCmpBr, Code[Pc + 1].A,
+                      encodeFusedCmp(I0.Op, Code[Pc + 1].Op == Opcode::IfTrue),
+                      0};
+      Width = 2;
+    }
+
+    if (Width > 0) {
+      if (Stats) {
+        ++Stats->Clusters;
+        Stats->FusedInstrs += Width;
+      }
+      Pc += static_cast<size_t>(Width);
+    } else {
+      // Pre-fused input (mutants can contain fused opcodes): skip the
+      // whole cluster so we never fuse into its shadow region.
+      Pc += static_cast<size_t>(instrWidth(I0.Op));
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,49 @@
+//===- bytecode/Fuser.h - Superinstruction selection ------------*- C++-*-===//
+///
+/// \file
+/// Prepare-time superinstruction fusion. The fuser rewrites eligible
+/// clusters of plain opcodes into the Fused* forms of Bytecode.h while
+/// keeping the code array pc-for-pc aligned with the original: the
+/// cluster head becomes the fused instruction and the interior pcs keep
+/// their original instructions as unreachable shadows. That alignment
+/// is what makes fusion invisible to everything above the VM — branch
+/// targets, CFG/loop recovery, the per-pc loop-event map, and the
+/// disassembly all read the same pcs.
+///
+/// Eligibility is purely local: a cluster fuses only when none of its
+/// interior pcs can be entered sideways, i.e. no branch targets them
+/// and the caller has not marked them as barriers (the VM passes the
+/// loop-event map's interesting targets so every pc that fires an
+/// ExecutionListener transition stays a real instruction boundary).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_BYTECODE_FUSER_H
+#define ALGOPROF_BYTECODE_FUSER_H
+
+#include "bytecode/Module.h"
+
+#include <vector>
+
+namespace algoprof {
+namespace bc {
+
+/// Counters from one fuseMethod run (surfaced by bench_overhead and the
+/// prepared-program stats).
+struct FusionStats {
+  int Clusters = 0;    ///< clusters rewritten
+  int FusedInstrs = 0; ///< original instructions covered by clusters
+};
+
+/// Returns a fused copy of \p Method.Code, same length as the input.
+/// \p Barrier, when non-empty, must be Code.size() long; a true entry
+/// marks a pc that must not become a cluster interior (cluster heads
+/// may be barriers — entering at the head is the normal path).
+std::vector<Instr> fuseMethod(const MethodInfo &Method,
+                              const std::vector<char> &Barrier,
+                              FusionStats *Stats = nullptr);
+
+} // namespace bc
+} // namespace algoprof
+
+#endif // ALGOPROF_BYTECODE_FUSER_H

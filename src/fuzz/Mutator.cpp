@@ -27,8 +27,12 @@ const Opcode AllOpcodes[] = {
     Opcode::InvokeStatic, Opcode::InvokeVirtual, Opcode::InvokeCtor,
     Opcode::Ret,       Opcode::RetVal,       Opcode::Print,
     Opcode::ReadInt,   Opcode::HasInput,     Opcode::Trap,
+    Opcode::FusedCmpBr, Opcode::FusedLoadLoadCmpBr,
+    Opcode::FusedLoadConstArith, Opcode::FusedIncLocal,
 };
-constexpr size_t NumOpcodes = sizeof(AllOpcodes) / sizeof(AllOpcodes[0]);
+constexpr size_t NumMutationOpcodes = sizeof(AllOpcodes) / sizeof(AllOpcodes[0]);
+static_assert(NumMutationOpcodes == static_cast<size_t>(bc::NumOpcodes),
+              "mutator opcode table out of sync with the ISA");
 
 /// An "interesting" int32 for operand slots: valid-looking small ids,
 /// off-by-one boundaries, and wildly invalid values.
@@ -78,7 +82,7 @@ void mutateMethod(MethodInfo &Method, Rng &R) {
   Instr &I = Code[Pc];
   switch (R.below(8)) {
   case 0: // Replace the opcode, keep the operands.
-    I.Op = AllOpcodes[R.below(NumOpcodes)];
+    I.Op = AllOpcodes[R.below(NumMutationOpcodes)];
     break;
   case 1: // Tweak operand A.
     I.A = interestingOperand(R, I.A);
@@ -104,7 +108,7 @@ void mutateMethod(MethodInfo &Method, Rng &R) {
   }
   case 7: { // Insert a fresh random instruction.
     Instr Fresh;
-    Fresh.Op = AllOpcodes[R.below(NumOpcodes)];
+    Fresh.Op = AllOpcodes[R.below(NumMutationOpcodes)];
     Fresh.A = interestingOperand(R, static_cast<int32_t>(Code.size()));
     Fresh.B = interestingOperand(R, 0);
     Fresh.Imm = interestingImm(R);

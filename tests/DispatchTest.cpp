@@ -1,0 +1,309 @@
+//===- tests/DispatchTest.cpp - Dispatch-tier differential tests ----------===//
+///
+/// \file
+/// The ExecutionListener event vocabulary is the profiler's ABI, and
+/// the VM now has three ways to execute it: the portable switch loop,
+/// the direct-threaded loop, and the fused/inline-cached fast paths on
+/// top of either. These tests lock all tiers to byte-identical
+/// observable behavior — algorithm profiles, repetition trees, input
+/// tables, CCTs, instruction counts, and trap/limit semantics — the
+/// same way ParallelSweepTest locks serial vs sharded sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#include "SweepTestUtil.h"
+#include "TestUtil.h"
+#include "cct/CctProfiler.h"
+#include "programs/Programs.h"
+#include "report/TreePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+namespace {
+
+/// One dispatch configuration under test.
+struct Tier {
+  const char *Name;
+  vm::DispatchMode Dispatch;
+  bool Superinstructions;
+  bool InlineCaches;
+};
+
+/// The ablation ladder. "switch" is the reference interpreter: the
+/// original one-instruction-at-a-time loop with no fast paths.
+const Tier Tiers[] = {
+    {"switch", vm::DispatchMode::Switch, false, false},
+    {"threaded", vm::DispatchMode::Threaded, false, false},
+    {"threaded+fused", vm::DispatchMode::Threaded, true, false},
+    {"threaded+fused+ic", vm::DispatchMode::Threaded, true, true},
+};
+
+vm::RunOptions tierRun(const Tier &T, vm::RunOptions Base = {}) {
+  Base.Dispatch = T.Dispatch;
+  Base.Superinstructions = T.Superinstructions;
+  Base.InlineCaches = T.InlineCaches;
+  return Base;
+}
+
+struct Sigs {
+  std::string Profiles;
+  std::string Tree;
+  std::string Inputs;
+  uint64_t Instructions = 0;
+};
+
+/// Drives a serial profiling session over \p Runs under one tier and
+/// renders the full observable state.
+Sigs tierSigs(const CompiledProgram &CP, const Tier &T,
+              const std::vector<std::vector<int64_t>> &Runs) {
+  SessionOptions SO;
+  SO.Run = tierRun(T);
+  ProfileSession S(CP, SO);
+  Sigs Out;
+  for (const std::vector<int64_t> &In : Runs) {
+    vm::IoChannels Io;
+    Io.Input = In;
+    vm::RunResult R = S.run("Main", "main", Io);
+    EXPECT_TRUE(R.ok()) << T.Name << ": " << R.TrapMessage;
+    Out.Instructions += R.InstrCount;
+  }
+  Out.Profiles = testutil::profileSignature(S.buildProfiles(), S.inputs());
+  Out.Tree = testutil::treeSignature(S.tree());
+  Out.Inputs = testutil::inputsSignature(S.inputs());
+  return Out;
+}
+
+std::vector<std::vector<int64_t>> seedRuns(std::vector<int64_t> Seeds) {
+  std::vector<std::vector<int64_t>> Runs;
+  for (int64_t S : Seeds)
+    Runs.push_back({S});
+  return Runs;
+}
+
+/// Every tier must reproduce the reference tier's profiles down to the
+/// byte — including InstrCount, which counts constituent instructions
+/// even when a fused superinstruction executed them in one step.
+void expectTiersAgree(const std::string &Src,
+                      const std::vector<std::vector<int64_t>> &Runs) {
+  auto CP = testutil::compile(Src);
+  ASSERT_TRUE(CP);
+  Sigs Ref = tierSigs(*CP, Tiers[0], Runs);
+  ASSERT_FALSE(Ref.Tree.empty());
+  for (size_t I = 1; I < std::size(Tiers); ++I) {
+    Sigs S = tierSigs(*CP, Tiers[I], Runs);
+    EXPECT_EQ(Ref.Profiles, S.Profiles) << Tiers[I].Name;
+    EXPECT_EQ(Ref.Tree, S.Tree) << Tiers[I].Name;
+    EXPECT_EQ(Ref.Inputs, S.Inputs) << Tiers[I].Name;
+    EXPECT_EQ(Ref.Instructions, S.Instructions) << Tiers[I].Name;
+  }
+}
+
+TEST(Dispatch, ThreadedAvailabilityIsConsistent) {
+  // Whichever way the build went, the API must agree with itself and
+  // an explicit Threaded request must still run (falling back to the
+  // switch loop when the build lacks computed goto).
+  auto CP = testutil::compile(programs::listing4Program(8));
+  ASSERT_TRUE(CP);
+  for (vm::DispatchMode M : {vm::DispatchMode::Auto, vm::DispatchMode::Switch,
+                             vm::DispatchMode::Threaded}) {
+    vm::RunOptions RO;
+    RO.Dispatch = M;
+    vm::RunResult R = runPlain(*CP, "Main", "main", nullptr, RO);
+    EXPECT_TRUE(R.ok()) << vm::dispatchModeName(M) << ": " << R.TrapMessage;
+  }
+}
+
+TEST(Dispatch, ProfilesByteIdenticalAcrossTiers) {
+  using programs::InputOrder;
+  expectTiersAgree(programs::seededInsertionSortProgram(InputOrder::Random),
+                   seedRuns({0, 4, 8, 12, 16}));
+  expectTiersAgree(
+      programs::functionalSortProgram(24, 8, 1, InputOrder::Random), {{}});
+  expectTiersAgree(programs::mergeSortProgram(24, 8, 1, InputOrder::Random),
+                   {{}});
+  expectTiersAgree(programs::arrayListProgram(true, 24, 8), {{}});
+  expectTiersAgree(programs::bstProgram(32, 16), {{}});
+  expectTiersAgree(programs::binarySearchProgram(64, 16), {{}});
+  expectTiersAgree(programs::listing4Program(16), {{}});
+}
+
+TEST(Dispatch, CctIdenticalAcrossTiers) {
+  // The CCT profiler subscribes to per-instruction events
+  // (wantsInstructionEvents), so a fused cluster must replay its
+  // constituents' onInstruction callbacks one pc at a time.
+  auto CP = testutil::compile(
+      programs::mergeSortProgram(24, 8, 1, programs::InputOrder::Random));
+  ASSERT_TRUE(CP);
+  std::string RefCct;
+  uint64_t RefInstr = 0;
+  for (const Tier &T : Tiers) {
+    cct::CctProfiler Prof(*CP->Mod);
+    vm::Interpreter Interp(CP->Prep);
+    vm::InstrumentationPlan Plan = vm::InstrumentationPlan::all(*CP->Mod);
+    vm::IoChannels Io;
+    vm::RunResult R = Interp.run(CP->entryMethod("Main", "main"), &Prof,
+                                 Plan, Io, tierRun(T));
+    ASSERT_TRUE(R.ok()) << T.Name << ": " << R.TrapMessage;
+    std::string Cct = report::renderCct(Prof);
+    if (&T == &Tiers[0]) {
+      RefCct = Cct;
+      RefInstr = R.InstrCount;
+      ASSERT_FALSE(RefCct.empty());
+    } else {
+      EXPECT_EQ(RefCct, Cct) << T.Name;
+      EXPECT_EQ(RefInstr, R.InstrCount) << T.Name;
+    }
+  }
+}
+
+TEST(Dispatch, FuelExhaustionIdenticalAcrossTiers) {
+  // Fuel must cut the run at the same instruction in every tier, even
+  // when the boundary lands inside a fused cluster (the VM demotes to
+  // unfused code just before exhaustion). Sweep a band of limits so
+  // some land mid-cluster.
+  auto CP = testutil::compile(
+      programs::insertionSortProgram(16, 8, 1, programs::InputOrder::Random));
+  ASSERT_TRUE(CP);
+  for (uint64_t Fuel : {5u, 37u, 100u, 1000u, 4096u}) {
+    vm::RunResult Ref;
+    for (const Tier &T : Tiers) {
+      vm::RunOptions RO = tierRun(T);
+      RO.Fuel = Fuel;
+      vm::IoChannels Io;
+      vm::RunResult R = runPlain(*CP, "Main", "main", &Io, RO);
+      if (&T == &Tiers[0]) {
+        Ref = R;
+        // The largest limit may let the program finish; the band must
+        // contain genuine exhaustions (locked below for the smallest).
+        if (Fuel <= 1000)
+          EXPECT_EQ(Ref.Status, vm::RunStatus::FuelExhausted)
+              << "fuel=" << Fuel;
+      } else {
+        EXPECT_EQ(Ref.Status, R.Status) << T.Name << " fuel=" << Fuel;
+        EXPECT_EQ(Ref.InstrCount, R.InstrCount) << T.Name << " fuel=" << Fuel;
+        EXPECT_EQ(Ref.TrapMessage, R.TrapMessage)
+            << T.Name << " fuel=" << Fuel;
+      }
+    }
+  }
+}
+
+/// Base + two overriding subclasses, receivers alternating per element:
+/// the worst case for a monomorphic cache (every hit is followed by a
+/// miss at the same site).
+const char *PolymorphicSrc = R"(
+  class Shape {
+    int area(int x) { return x; }
+  }
+  class Square extends Shape {
+    int area(int x) { return x * x; }
+  }
+  class Twice extends Shape {
+    int area(int x) { return x + x; }
+  }
+  class Main {
+    static void main() {
+      Shape[] shapes = new Shape[3];
+      shapes[0] = new Shape();
+      shapes[1] = new Square();
+      shapes[2] = new Twice();
+      int i = 0;
+      int acc = 0;
+      while (i < 60) {
+        Shape s = shapes[i - i / 3 * 3];
+        acc = acc + s.area(i);
+        i = i + 1;
+      }
+      print(acc);
+    }
+  }
+)";
+
+TEST(Dispatch, PolymorphicVirtualCallsIdenticalWithInlineCaches) {
+  auto CP = testutil::compile(PolymorphicSrc);
+  ASSERT_TRUE(CP);
+  ASSERT_GT(CP->Prep.NumIcSlots, 0);
+  std::vector<int64_t> RefOut;
+  uint64_t RefInstr = 0;
+  for (const Tier &T : Tiers) {
+    vm::IoChannels Io;
+    vm::RunResult R = runPlain(*CP, "Main", "main", &Io, tierRun(T));
+    ASSERT_TRUE(R.ok()) << T.Name << ": " << R.TrapMessage;
+    if (&T == &Tiers[0]) {
+      RefOut = Io.Output;
+      RefInstr = R.InstrCount;
+      ASSERT_FALSE(RefOut.empty());
+    } else {
+      EXPECT_EQ(RefOut, Io.Output) << T.Name;
+      EXPECT_EQ(RefInstr, R.InstrCount) << T.Name;
+    }
+  }
+}
+
+TEST(Dispatch, InlineCachesStayWarmAcrossRuns) {
+  // Caches are per-Interpreter and survive reset(): a second run in
+  // the same interpreter starts with every site warm and must still
+  // produce identical output (the module is immutable, so a stale hit
+  // is impossible by construction — this locks the accounting).
+  auto CP = testutil::compile(PolymorphicSrc);
+  ASSERT_TRUE(CP);
+  SessionOptions SO;
+  SO.Run = tierRun(Tiers[3]);
+  ProfileSession Warm(*CP, SO);
+  std::vector<std::string> Outputs;
+  for (int Run = 0; Run < 3; ++Run) {
+    vm::IoChannels Io;
+    vm::RunResult R = Warm.run("Main", "main", Io);
+    ASSERT_TRUE(R.ok()) << R.TrapMessage;
+    std::string Joined;
+    for (int64_t V : Io.Output)
+      Joined += std::to_string(V) + ",";
+    Outputs.push_back(Joined);
+  }
+  EXPECT_EQ(Outputs[0], Outputs[1]);
+  EXPECT_EQ(Outputs[0], Outputs[2]);
+}
+
+TEST(Dispatch, NullReceiverTrapIdenticalAcrossTiers) {
+  // The IC fast path must not bypass the null-receiver check.
+  auto CP = testutil::compile(R"(
+    class Shape {
+      int area(int x) { return x; }
+    }
+    class Main {
+      static void main() {
+        Shape s = new Shape();
+        int i = 0;
+        while (i < 10) {
+          print(s.area(i));
+          if (i == 7) { s = null; }
+          i = i + 1;
+        }
+      }
+    }
+  )");
+  ASSERT_TRUE(CP);
+  vm::RunResult Ref;
+  std::vector<int64_t> RefOut;
+  for (const Tier &T : Tiers) {
+    vm::IoChannels Io;
+    vm::RunResult R = runPlain(*CP, "Main", "main", &Io, tierRun(T));
+    if (&T == &Tiers[0]) {
+      Ref = R;
+      RefOut = Io.Output;
+      EXPECT_EQ(Ref.Status, vm::RunStatus::Trapped);
+      EXPECT_NE(Ref.TrapMessage.find("null"), std::string::npos)
+          << Ref.TrapMessage;
+    } else {
+      EXPECT_EQ(Ref.Status, R.Status) << T.Name;
+      EXPECT_EQ(Ref.TrapMessage, R.TrapMessage) << T.Name;
+      EXPECT_EQ(Ref.InstrCount, R.InstrCount) << T.Name;
+      EXPECT_EQ(RefOut, Io.Output) << T.Name;
+    }
+  }
+}
+
+} // namespace

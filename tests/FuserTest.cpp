@@ -1,0 +1,319 @@
+//===- tests/FuserTest.cpp - Superinstruction fuser tests -----------------===//
+///
+/// \file
+/// Unit tests for the prepare-time superinstruction fuser (Fuser.h):
+/// which clusters it selects, which barriers stop it, that the rewrite
+/// is pc-preserving (interior shadows intact), that the disassembler
+/// prints every fused form, and that the verifier accepts exactly the
+/// fuser's output while rejecting malformed fused instructions a fuzz
+/// mutator might synthesize.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "bytecode/Disassembler.h"
+#include "bytecode/Fuser.h"
+#include "bytecode/Verifier.h"
+#include "programs/Programs.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace algoprof;
+using namespace algoprof::bc;
+
+namespace {
+
+/// A minimal module holding one static method "T.f".
+Module tiny(std::vector<Instr> Code, int NumLocals = 2) {
+  Module M;
+  M.IntTypeId = 0;
+  M.Types.push_back({RtTypeKind::Int, -1, -1});
+  M.BoolTypeId = 1;
+  M.Types.push_back({RtTypeKind::Bool, -1, -1});
+  ClassInfo C;
+  C.Id = 0;
+  C.Name = "T";
+  C.Type = 2;
+  M.Types.push_back({RtTypeKind::Class, 0, -1});
+  M.Classes.push_back(C);
+  MethodInfo F;
+  F.Id = 0;
+  F.ClassId = 0;
+  F.Name = "f";
+  F.IsStatic = true;
+  F.NumArgs = 0;
+  F.NumLocals = NumLocals;
+  F.ReturnsValue = false;
+  F.QualifiedName = "T.f";
+  F.Code = std::move(Code);
+  M.Methods.push_back(std::move(F));
+  return M;
+}
+
+Instr ins(Opcode Op, int32_t A = 0, int32_t B = 0, int64_t Imm = 0) {
+  return {Op, A, B, Imm};
+}
+
+std::vector<Instr> fuse(const Module &M, FusionStats *Stats = nullptr,
+                        std::vector<char> Barrier = {}) {
+  if (Barrier.empty())
+    Barrier.assign(M.Methods[0].Code.size(), 0);
+  return fuseMethod(M.Methods[0], Barrier, Stats);
+}
+
+bool hasProblem(const std::vector<std::string> &Problems,
+                const std::string &Needle) {
+  for (const std::string &P : Problems)
+    if (P.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+TEST(Fuser, FusesCompareBranch) {
+  // load 0; load 1; cmplt; iftrue @0 — the canonical loop-header shape,
+  // eligible for the widest compare form.
+  Module M = tiny({ins(Opcode::Load, 0), ins(Opcode::Load, 1),
+                   ins(Opcode::CmpLt), ins(Opcode::IfTrue, 0),
+                   ins(Opcode::Ret)});
+  FusionStats Stats;
+  std::vector<Instr> Fused = fuse(M, &Stats);
+  ASSERT_EQ(Fused.size(), M.Methods[0].Code.size());
+  EXPECT_EQ(Fused[0].Op, Opcode::FusedLoadLoadCmpBr);
+  EXPECT_EQ(Fused[0].A, 0);
+  EXPECT_EQ(Fused[0].B, encodeFusedCmp(Opcode::CmpLt, /*BranchIfTrue=*/true));
+  EXPECT_EQ(packedSlotA(Fused[0].Imm), 0);
+  EXPECT_EQ(packedSlotB(Fused[0].Imm), 1);
+  EXPECT_EQ(Stats.Clusters, 1);
+  EXPECT_EQ(Stats.FusedInstrs, 4);
+  // Interior pcs keep their original instructions as shadows.
+  for (size_t Pc = 1; Pc < Fused.size(); ++Pc)
+    EXPECT_EQ(Fused[Pc].Op, M.Methods[0].Code[Pc].Op) << "pc " << Pc;
+}
+
+TEST(Fuser, FusesBareCompareBranch) {
+  // Operands come off the stack, only [cmp; branch] fuses (width 2).
+  Module M = tiny({ins(Opcode::IConst, 0, 0, 7), ins(Opcode::IConst, 0, 0, 9),
+                   ins(Opcode::Add), ins(Opcode::IConst, 0, 0, 16),
+                   ins(Opcode::CmpEq), ins(Opcode::IfFalse, 0),
+                   ins(Opcode::Ret)});
+  std::vector<Instr> Fused = fuse(M);
+  EXPECT_EQ(Fused[4].Op, Opcode::FusedCmpBr);
+  EXPECT_EQ(Fused[4].A, 0);
+  EXPECT_EQ(Fused[4].B,
+            encodeFusedCmp(Opcode::CmpEq, /*BranchIfTrue=*/false));
+}
+
+TEST(Fuser, FusesIncLocalBothDirections) {
+  // i = i + 3 fuses to inclocal delta 3; i = i - 3 normalizes the
+  // delta to the wrapped negation so the VM only ever adds.
+  Module MAdd = tiny({ins(Opcode::Load, 1), ins(Opcode::IConst, 0, 0, 3),
+                      ins(Opcode::Add), ins(Opcode::Store, 1),
+                      ins(Opcode::Ret)});
+  std::vector<Instr> FA = fuse(MAdd);
+  ASSERT_EQ(FA[0].Op, Opcode::FusedIncLocal);
+  EXPECT_EQ(FA[0].A, 1);
+  EXPECT_EQ(FA[0].Imm, 3);
+
+  Module MSub = tiny({ins(Opcode::Load, 1), ins(Opcode::IConst, 0, 0, 3),
+                      ins(Opcode::Sub), ins(Opcode::Store, 1),
+                      ins(Opcode::Ret)});
+  std::vector<Instr> FS = fuse(MSub);
+  ASSERT_EQ(FS[0].Op, Opcode::FusedIncLocal);
+  EXPECT_EQ(FS[0].A, 1);
+  EXPECT_EQ(FS[0].Imm, -3);
+}
+
+TEST(Fuser, DifferentStoreSlotFallsBackToLoadConstArith) {
+  // j = i + 3: the store targets a different slot, so only the
+  // three-wide load+const+arith prefix fuses and the store survives.
+  Module M = tiny({ins(Opcode::Load, 0), ins(Opcode::IConst, 0, 0, 3),
+                   ins(Opcode::Add), ins(Opcode::Store, 1),
+                   ins(Opcode::Ret)});
+  std::vector<Instr> Fused = fuse(M);
+  ASSERT_EQ(Fused[0].Op, Opcode::FusedLoadConstArith);
+  EXPECT_EQ(Fused[0].A, 0);
+  EXPECT_EQ(Fused[0].B, static_cast<int32_t>(Opcode::Add));
+  EXPECT_EQ(Fused[0].Imm, 3);
+  EXPECT_EQ(Fused[3].Op, Opcode::Store);
+}
+
+TEST(Fuser, BranchTargetInteriorBlocksFusion) {
+  // pc 2 (the cmp) is a branch target: fusing [0..3] would hide it
+  // inside a cluster, so nothing may fuse across it.
+  Module M = tiny({ins(Opcode::Load, 0), ins(Opcode::Load, 1),
+                   ins(Opcode::CmpLt), ins(Opcode::IfTrue, 0),
+                   ins(Opcode::Goto, 2)});
+  std::vector<Instr> Fused = fuse(M);
+  EXPECT_EQ(Fused[0].Op, Opcode::Load);
+  EXPECT_EQ(Fused[1].Op, Opcode::Load);
+  // The [cmp; branch] pair starting exactly at the target still fuses:
+  // targets may head a cluster, never sit inside one.
+  EXPECT_EQ(Fused[2].Op, Opcode::FusedCmpBr);
+}
+
+TEST(Fuser, EventBarrierInteriorBlocksFusion) {
+  // A profiler-interesting pc (LoopEventMap::InterestingTarget) inside
+  // the would-be cluster must stay individually reachable, because the
+  // transition into it fires an event the fused fast path would skip.
+  std::vector<Instr> Code = {ins(Opcode::Load, 0), ins(Opcode::Load, 1),
+                             ins(Opcode::CmpLt), ins(Opcode::IfTrue, 0),
+                             ins(Opcode::Ret)};
+  Module M = tiny(Code);
+  std::vector<char> Barrier(Code.size(), 0);
+  Barrier[2] = 1;
+  std::vector<Instr> Fused = fuse(M, nullptr, Barrier);
+  EXPECT_EQ(Fused[0].Op, Opcode::Load);
+  EXPECT_EQ(Fused[2].Op, Opcode::FusedCmpBr);
+
+  // A barrier on the cluster head is fine — events fire on transitions
+  // *into* a pc, and the transition into the head is still observed.
+  std::vector<char> HeadBarrier(Code.size(), 0);
+  HeadBarrier[0] = 1;
+  std::vector<Instr> HeadFused = fuse(M, nullptr, HeadBarrier);
+  EXPECT_EQ(HeadFused[0].Op, Opcode::FusedLoadLoadCmpBr);
+}
+
+TEST(Fuser, OutOfRangeOperandsDoNotFuse) {
+  // Branch target past the end: not a fusable branch.
+  Module MBadTarget =
+      tiny({ins(Opcode::Load, 0), ins(Opcode::Load, 1), ins(Opcode::CmpLt),
+            ins(Opcode::IfTrue, 99), ins(Opcode::Ret)});
+  EXPECT_EQ(fuse(MBadTarget)[0].Op, Opcode::Load);
+
+  // Local slot out of range (mutated modules): no fusion.
+  Module MBadSlot = tiny({ins(Opcode::Load, 7), ins(Opcode::IConst, 0, 0, 1),
+                          ins(Opcode::Add), ins(Opcode::Store, 7),
+                          ins(Opcode::Ret)},
+                         /*NumLocals=*/2);
+  EXPECT_EQ(fuse(MBadSlot)[0].Op, Opcode::Load);
+}
+
+TEST(Fuser, DisassemblerPrintsFusedForms) {
+  Module M = tiny({ins(Opcode::FusedLoadLoadCmpBr, 0,
+                       encodeFusedCmp(Opcode::CmpLt, true), packSlots(0, 1)),
+                   ins(Opcode::Load, 0), ins(Opcode::Load, 1),
+                   ins(Opcode::CmpLt),
+                   ins(Opcode::FusedCmpBr, 0,
+                       encodeFusedCmp(Opcode::CmpNe, false)),
+                   ins(Opcode::IfFalse, 0),
+                   ins(Opcode::FusedLoadConstArith, 1,
+                       static_cast<int32_t>(Opcode::Mul), 5),
+                   ins(Opcode::IConst, 0, 0, 5), ins(Opcode::Mul),
+                   ins(Opcode::FusedIncLocal, 1, 0, -2),
+                   ins(Opcode::IConst, 0, 0, 2), ins(Opcode::Sub),
+                   ins(Opcode::Store, 1), ins(Opcode::Ret)});
+  std::string Text = disassemble(M, M.Methods[0]);
+  EXPECT_NE(Text.find("fused.llcmpbr"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("fused.cmpbr"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("fused.ldcarith"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("fused.inclocal"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("cmplt iftrue"), std::string::npos) << Text;
+  EXPECT_NE(Text.find("cmpne iffalse"), std::string::npos) << Text;
+}
+
+TEST(Fuser, VerifierAcceptsFuserOutputOverCorpus) {
+  // Every fused method the VM could actually execute must verify: swap
+  // FusedCode in for Code and re-run the verifier method by method.
+  for (const std::string &Src : {
+           programs::insertionSortProgram(30, 10, 1,
+                                          programs::InputOrder::Random),
+           programs::functionalSortProgram(30, 10, 1,
+                                           programs::InputOrder::Random),
+           programs::mergeSortProgram(30, 10, 1,
+                                      programs::InputOrder::Random),
+           programs::arrayListProgram(false, 16, 8),
+           programs::bstProgram(32, 16),
+           programs::binarySearchProgram(64, 16),
+           programs::listing4Program(16),
+       }) {
+    auto CP = testutil::compile(Src);
+    ASSERT_TRUE(CP);
+    bool AnyFused = false;
+    for (size_t I = 0; I < CP->Mod->Methods.size(); ++I) {
+      const vm::PreparedMethod &PM = CP->Prep.Methods[I];
+      if (PM.FusedCode.empty())
+        continue;
+      MethodInfo Copy = CP->Mod->Methods[I];
+      ASSERT_EQ(PM.FusedCode.size(), Copy.Code.size());
+      for (size_t Pc = 0; Pc < Copy.Code.size(); ++Pc)
+        AnyFused |= instrWidth(PM.FusedCode[Pc].Op) > 1;
+      Copy.Code = PM.FusedCode;
+      std::vector<std::string> Problems = verifyMethod(*CP->Mod, Copy);
+      EXPECT_TRUE(Problems.empty())
+          << Copy.QualifiedName << ": " << Problems.front();
+    }
+    EXPECT_TRUE(AnyFused) << "corpus program fused nothing";
+  }
+}
+
+TEST(Fuser, VerifierRejectsMalformedFusedInstructions) {
+  // Invalid fused-cmp encoding (RefEq is not an integer comparison).
+  Module MBadCmp =
+      tiny({ins(Opcode::FusedCmpBr, 0, encodeFusedCmp(Opcode::RefEq, true)),
+            ins(Opcode::Nop), ins(Opcode::Ret)});
+  EXPECT_TRUE(hasProblem(verifyModule(MBadCmp), "fused"));
+
+  // Packed slot out of range.
+  Module MBadSlot = tiny({ins(Opcode::FusedLoadLoadCmpBr, 0,
+                              encodeFusedCmp(Opcode::CmpLt, true),
+                              packSlots(0, 9)),
+                          ins(Opcode::Nop), ins(Opcode::Nop),
+                          ins(Opcode::Nop), ins(Opcode::Ret)},
+                         /*NumLocals=*/2);
+  EXPECT_TRUE(hasProblem(verifyModule(MBadSlot), "local"));
+
+  // Non-arith B operand on FusedLoadConstArith.
+  Module MBadArith = tiny({ins(Opcode::FusedLoadConstArith, 0,
+                               static_cast<int32_t>(Opcode::Div), 1),
+                           ins(Opcode::Nop), ins(Opcode::Nop),
+                           ins(Opcode::Ret)});
+  EXPECT_FALSE(verifyModule(MBadArith).empty());
+
+  // Cluster width overruns the method body (the trailing Ret keeps the
+  // method past the terminator pre-check so the dataflow runs).
+  Module MOverrun = tiny({ins(Opcode::Nop), ins(Opcode::FusedIncLocal, 0, 0, 1),
+                          ins(Opcode::Nop), ins(Opcode::Ret)});
+  EXPECT_TRUE(hasProblem(verifyModule(MOverrun),
+                         "falls through past end of method"));
+
+  // Branch target out of range.
+  Module MBadTarget =
+      tiny({ins(Opcode::FusedCmpBr, 42, encodeFusedCmp(Opcode::CmpLt, true)),
+            ins(Opcode::Nop), ins(Opcode::Ret)});
+  EXPECT_FALSE(verifyModule(MBadTarget).empty());
+}
+
+TEST(Fuser, PrepareWiresFusionAndInlineCaches) {
+  auto CP = testutil::compile(programs::bstProgram(32, 16));
+  ASSERT_TRUE(CP);
+  EXPECT_GT(CP->Prep.FusedClusters, 0);
+
+  int32_t VirtualSites = 0;
+  for (const MethodInfo &M : CP->Mod->Methods)
+    for (const Instr &I : M.Code)
+      if (I.Op == Opcode::InvokeVirtual)
+        ++VirtualSites;
+  EXPECT_EQ(CP->Prep.NumIcSlots, VirtualSites);
+  EXPECT_GT(VirtualSites, 0);
+
+  // Every InvokeVirtual pc has a distinct slot id; every other pc none.
+  std::vector<char> Seen(static_cast<size_t>(CP->Prep.NumIcSlots), 0);
+  for (size_t I = 0; I < CP->Mod->Methods.size(); ++I) {
+    const MethodInfo &M = CP->Mod->Methods[I];
+    const vm::PreparedMethod &PM = CP->Prep.Methods[I];
+    ASSERT_EQ(PM.IcSlot.size(), M.Code.size());
+    for (size_t Pc = 0; Pc < M.Code.size(); ++Pc) {
+      if (M.Code[Pc].Op == Opcode::InvokeVirtual) {
+        ASSERT_GE(PM.IcSlot[Pc], 0);
+        ASSERT_LT(PM.IcSlot[Pc], CP->Prep.NumIcSlots);
+        EXPECT_FALSE(Seen[PM.IcSlot[Pc]]) << "slot reused";
+        Seen[PM.IcSlot[Pc]] = 1;
+      } else {
+        EXPECT_EQ(PM.IcSlot[Pc], -1);
+      }
+    }
+  }
+}
+
+} // namespace

@@ -29,6 +29,13 @@
 ///     --inject SPEC              arm deterministic faults, e.g.
 ///                                heap-oom@run3,io-write-fail@metrics
 ///                                (env: ALGOPROF_INJECT)
+///     --dispatch TIER            VM execution tier: auto (default) |
+///                                switch | threaded | threaded+fused |
+///                                threaded+fused+ic. All tiers produce
+///                                identical profiles; the explicit ones
+///                                exist for benchmarking and
+///                                differential testing
+///                                (docs/interpreter.md)
 ///     --cct                      also print the traditional CCT profile
 ///     --format F                 render a report: table | tree | csv |
 ///                                dot | json (repeatable; each job goes
@@ -102,6 +109,8 @@ void usageAndExit(const char *Argv0) {
                "[--jobs J] [--input v1,v2,...] [--seeds v1,v2,...] "
                "[--policy fail|skip|retry] [--retries N] "
                "[--max-heap-bytes N] [--deadline-ms N] [--inject SPEC] "
+               "[--dispatch auto|switch|threaded|threaded+fused|"
+               "threaded+fused+ic] "
                "[--cct] "
                "[--format table|tree|csv|dot|json] [--out FILE] "
                "[--trace FILE] [--metrics FILE] "
@@ -290,6 +299,37 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                         Err.empty() ? "a fault spec like heap-oom@run3"
                                     : Err.c_str());
       Opts.InjectGiven = true;
+    } else if (Arg == "--dispatch") {
+      const char *V = Need(I);
+      std::string S = V ? V : "";
+      // Each value is one rung of the ablation ladder (see
+      // docs/interpreter.md): auto picks the fastest compiled-in loop
+      // with every fast path on; the explicit values pin a tier.
+      if (S == "auto") {
+        Opts.Session.Run.Dispatch = vm::DispatchMode::Auto;
+        Opts.Session.Run.Superinstructions = true;
+        Opts.Session.Run.InlineCaches = true;
+      } else if (S == "switch") {
+        Opts.Session.Run.Dispatch = vm::DispatchMode::Switch;
+        Opts.Session.Run.Superinstructions = false;
+        Opts.Session.Run.InlineCaches = false;
+      } else if (S == "threaded") {
+        Opts.Session.Run.Dispatch = vm::DispatchMode::Threaded;
+        Opts.Session.Run.Superinstructions = false;
+        Opts.Session.Run.InlineCaches = false;
+      } else if (S == "threaded+fused") {
+        Opts.Session.Run.Dispatch = vm::DispatchMode::Threaded;
+        Opts.Session.Run.Superinstructions = true;
+        Opts.Session.Run.InlineCaches = false;
+      } else if (S == "threaded+fused+ic") {
+        Opts.Session.Run.Dispatch = vm::DispatchMode::Threaded;
+        Opts.Session.Run.Superinstructions = true;
+        Opts.Session.Run.InlineCaches = true;
+      } else {
+        return argError("--dispatch", V,
+                        "auto|switch|threaded|threaded+fused|"
+                        "threaded+fused+ic");
+      }
     } else if (Arg == "--cct") {
       Opts.WithCct = true;
     } else if (Arg == "--format") {

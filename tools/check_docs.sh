@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Documentation hygiene, run by ctest as `docs_links`:
+#   1. every relative markdown link in the repo's *.md files points at a
+#      file that exists (anchors and external URLs are ignored);
+#   2. every file in docs/ is indexed in docs/README.md.
+# Usage: check_docs.sh [repo-root]   (default: the script's parent dir)
+set -u
+
+ROOT=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+cd "$ROOT" || exit 1
+FAILURES=0
+
+fail() {
+  echo "FAIL: $*" >&2
+  FAILURES=$((FAILURES + 1))
+}
+
+# Markdown files under version-controlled directories (skip build trees).
+DOC_FILES=$(find . -name '*.md' \
+  -not -path './build*' -not -path './.git/*' | sort)
+
+for f in $DOC_FILES; do
+  dir=$(dirname "$f")
+  # Inline links: [text](target). One per line via grep -o; strip to the
+  # target; drop external schemes, mailto, and pure in-page anchors.
+  grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null | sed 's/.*](\([^)]*\))/\1/' |
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path=${target%%#*}                 # drop an anchor suffix
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      fail "$f: broken relative link -> $target"
+    fi
+  done
+done
+
+# The index must mention every doc beside it.
+INDEX=docs/README.md
+if [ ! -f "$INDEX" ]; then
+  fail "missing $INDEX"
+else
+  for doc in docs/*.md; do
+    base=$(basename "$doc")
+    [ "$base" = "README.md" ] && continue
+    grep -q "($base)" "$INDEX" \
+      || fail "$INDEX: does not index docs/$base"
+  done
+fi
+
+# `while` after a pipe runs in a subshell, so recount broken links here.
+BROKEN=0
+for f in $DOC_FILES; do
+  dir=$(dirname "$f")
+  links=$(grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null |
+    sed 's/.*](\([^)]*\))/\1/')
+  for target in $links; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "FAIL: $f: broken relative link -> $target" >&2
+      BROKEN=$((BROKEN + 1))
+    fi
+  done
+done
+
+TOTAL=$((FAILURES + BROKEN))
+if [ "$TOTAL" -gt 0 ]; then
+  echo "$TOTAL documentation problem(s)" >&2
+  exit 1
+fi
+echo "all documentation links ok"
+exit 0
