@@ -1,0 +1,55 @@
+//===- core/CompileCache.cpp ----------------------------------------------===//
+
+#include "core/CompileCache.h"
+
+#include "obs/Obs.h"
+#include "support/Diagnostics.h"
+
+using namespace algoprof;
+using namespace algoprof::prof;
+
+CompileCache::Result CompileCache::get(const std::string &Source) {
+  std::shared_ptr<Entry> E;
+  bool Owner = false;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    std::shared_ptr<Entry> &Slot = Entries[Source];
+    if (!Slot) {
+      Slot = std::make_shared<Entry>();
+      Owner = true;
+      S.Compiles += 1;
+    } else {
+      S.Hits += 1;
+    }
+    E = Slot;
+  }
+  if (Owner) {
+    obs::addCount(obs::Counter::CorpusCompiles);
+    // Compile outside every cache lock: other sources compile
+    // concurrently, and same-source requests block on this entry only.
+    Result R;
+    DiagnosticEngine Diags;
+    std::unique_ptr<CompiledProgram> CP = compileMiniJ(Source, Diags);
+    if (CP)
+      R.Program = std::shared_ptr<const CompiledProgram>(std::move(CP));
+    else
+      R.Error = Diags.hasErrors() ? Diags.str() : "compilation failed";
+    {
+      std::lock_guard<std::mutex> Lock(E->M);
+      E->R = std::move(R);
+      E->Done = true;
+    }
+    E->Cv.notify_all();
+    std::lock_guard<std::mutex> Lock(E->M);
+    return E->R;
+  }
+  obs::addCount(obs::Counter::CorpusCompileHits);
+  std::unique_lock<std::mutex> Lock(E->M);
+  E->Cv.wait(Lock, [&] { return E->Done; });
+  return E->R;
+}
+
+CompileCache::Stats CompileCache::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}

@@ -1,0 +1,72 @@
+//===- core/CompileCache.h - Shared compilation cache -----------*- C++-*-===//
+///
+/// \file
+/// A source-keyed, thread-safe memoizer over prof::compileMiniJ for
+/// corpus-scale batch profiling: when many sweep jobs profile the same
+/// program over different seeds, the program is compiled exactly once
+/// and every other request blocks until (or arrives after) that one
+/// compilation finishes, then shares the immutable CompiledProgram.
+/// Compile *errors* are cached too — a corpus with a broken program
+/// reports the same rendered diagnostics for every job that wanted it,
+/// without recompiling.
+///
+/// Obs: corpus_compiles counts actual compilations, corpus_compile_hits
+/// counts requests served from the cache (including ones that waited on
+/// an in-flight compile).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_CORE_COMPILECACHE_H
+#define ALGOPROF_CORE_COMPILECACHE_H
+
+#include "core/Session.h"
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace algoprof {
+namespace prof {
+
+class CompileCache {
+public:
+  /// One resolved cache entry: the compiled program, or the rendered
+  /// diagnostics of the failed compilation (Program null, Error set).
+  struct Result {
+    std::shared_ptr<const CompiledProgram> Program;
+    std::string Error;
+    bool ok() const { return Program != nullptr; }
+  };
+
+  struct Stats {
+    uint64_t Compiles = 0;
+    uint64_t Hits = 0;
+  };
+
+  /// Returns the compiled form of \p Source, compiling it on the
+  /// calling thread if this is the first request. Concurrent requests
+  /// for the same source block until the first one resolves. Safe to
+  /// call from pool workers.
+  Result get(const std::string &Source);
+
+  Stats stats() const;
+
+private:
+  struct Entry {
+    std::mutex M;
+    std::condition_variable Cv;
+    bool Done = false; ///< Under M.
+    Result R;          ///< Immutable once Done.
+  };
+
+  mutable std::mutex M;
+  std::map<std::string, std::shared_ptr<Entry>> Entries;
+  Stats S; ///< Under M.
+};
+
+} // namespace prof
+} // namespace algoprof
+
+#endif // ALGOPROF_CORE_COMPILECACHE_H

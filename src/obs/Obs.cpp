@@ -81,6 +81,14 @@ const char *obs::counterName(Counter C) {
     return "runs_quarantined";
   case Counter::RunsBudgetExceeded:
     return "runs_budget_exceeded";
+  case Counter::JobsExecuted:
+    return "jobs_executed";
+  case Counter::JobsStolen:
+    return "jobs_stolen";
+  case Counter::CorpusCompiles:
+    return "corpus_compiles";
+  case Counter::CorpusCompileHits:
+    return "corpus_compile_hits";
   }
   return "?";
 }

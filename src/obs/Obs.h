@@ -85,9 +85,13 @@ enum class Counter : uint8_t {
   RunsRetried,        ///< Failed runs re-executed under the retry policy.
   RunsQuarantined,    ///< Runs excluded from a degraded merge.
   RunsBudgetExceeded, ///< Runs ended by a heap-byte/deadline budget.
+  JobsExecuted,       ///< Jobs run by the work-stealing pool's workers.
+  JobsStolen,         ///< Jobs a worker took from another worker's deque.
+  CorpusCompiles,     ///< Programs compiled by the corpus compile cache.
+  CorpusCompileHits,  ///< Compile-cache requests served without compiling.
 };
 constexpr size_t NumCounters =
-    static_cast<size_t>(Counter::RunsBudgetExceeded) + 1;
+    static_cast<size_t>(Counter::CorpusCompileHits) + 1;
 
 /// Stable snake_case name ("bytecodes_executed").
 const char *counterName(Counter C);

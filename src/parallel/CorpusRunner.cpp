@@ -1,0 +1,70 @@
+//===- parallel/CorpusRunner.cpp ------------------------------------------===//
+
+#include "parallel/CorpusRunner.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace algoprof;
+using namespace algoprof::parallel;
+using namespace algoprof::prof;
+
+CorpusResult CorpusRunner::run(const std::vector<CorpusEntry> &Entries,
+                               const std::string &Cls,
+                               const std::string &Method) {
+  CorpusResult Out;
+  Out.Programs.resize(Entries.size());
+  if (Entries.empty()) {
+    Out.Cache = Cache.stats();
+    return Out;
+  }
+
+  // The shared per-run input plan, identical for every program (the
+  // corpus axis is programs × this seed grid).
+  std::vector<vm::IoChannels> RunInputs;
+  if (Opts.Seeds.empty()) {
+    RunInputs.resize(static_cast<size_t>(std::max(1, Opts.Runs)));
+    for (vm::IoChannels &Io : RunInputs)
+      Io.Input = Opts.Input;
+  } else {
+    RunInputs.resize(Opts.Seeds.size());
+    for (size_t I = 0; I < Opts.Seeds.size(); ++I)
+      RunInputs[I].Input.push_back(Opts.Seeds[I]);
+  }
+
+  unsigned Workers =
+      Opts.Jobs == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                     : static_cast<unsigned>(std::max(1, Opts.Jobs));
+
+  {
+    JobSystem Pool(Workers, Perturb);
+    // One compile job per program. Each slot of Out.Programs is written
+    // by exactly one job (the vector is pre-sized, so no reallocation
+    // races), and successful compiles enqueue their run jobs onto the
+    // same pool; Pool.wait() covers those transitively.
+    for (size_t I = 0; I < Entries.size(); ++I) {
+      CorpusProgramResult &R = Out.Programs[I];
+      R.Name = Entries[I].Name;
+      const std::string &Source = Entries[I].Source;
+      Pool.submit([this, &Pool, &R, &Source, &RunInputs, &Cls, &Method] {
+        CompileCache::Result CR = Cache.get(Source);
+        if (!CR.ok()) {
+          R.Error = CR.Error;
+          return;
+        }
+        R.Program = CR.Program;
+        R.Engine = std::make_unique<SweepEngine>(*R.Program, Opts);
+        R.Engine->enqueueSweep(Pool, Cls, Method, RunInputs, &R.Sweep);
+      });
+    }
+    Pool.wait();
+    for (CorpusProgramResult &R : Out.Programs)
+      if (R.Engine)
+        R.Engine->finishEnqueued();
+    Out.Pool = Pool.stats();
+    // Pool destruction folds worker thread-local obs state into the
+    // retired pool before the caller snapshots.
+  }
+  Out.Cache = Cache.stats();
+  return Out;
+}

@@ -1,0 +1,97 @@
+//===- parallel/CorpusRunner.h - Corpus-scale batch profiling ---*- C++-*-===//
+///
+/// \file
+/// Profiles a whole corpus of MiniJ programs × one seed grid as a
+/// single job graph on one work-stealing pool. Each program is one
+/// compile job (resolved through the shared prof::CompileCache, so
+/// duplicate sources compile once); a compile job that succeeds
+/// enqueues that program's run jobs — one per seed — onto the same
+/// pool via SweepEngine::enqueueSweep. The pool makes no distinction:
+/// an idle worker steals a run of program A while another worker is
+/// still compiling program Z, which is what keeps corpus batches busy
+/// across programs of wildly unequal cost.
+///
+/// Determinism: each program gets its own SweepEngine (its own
+/// accumulator and streaming in-order merge), so every program's
+/// merged profile is byte-identical to a serial session over the same
+/// seeds — per program, independent of the corpus schedule. Results
+/// come back in corpus input order.
+///
+/// Resilience: the SessionOptions' failure policy, budgets, and fault
+/// plan apply to every program. Run-scoped faults address *per-program*
+/// global run indices (each engine numbers its runs from 0), so
+/// "heap-oom@run3" fires on run 3 of every corpus program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_PARALLEL_CORPUSRUNNER_H
+#define ALGOPROF_PARALLEL_CORPUSRUNNER_H
+
+#include "core/CompileCache.h"
+#include "parallel/SweepEngine.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace parallel {
+
+/// One named program in a corpus batch.
+struct CorpusEntry {
+  std::string Name;   ///< Display name ("insertion_sort", "dir/foo.mj").
+  std::string Source; ///< MiniJ source text.
+};
+
+/// Everything one corpus program produced.
+struct CorpusProgramResult {
+  std::string Name;
+  /// Rendered compile diagnostics; empty when compilation succeeded.
+  std::string Error;
+  /// Shared compiled form. Declared before Engine so the engine (which
+  /// points into the program) is destroyed first.
+  std::shared_ptr<const prof::CompiledProgram> Program;
+  /// The program's private engine: merged tree/inputs/profiles live
+  /// here (Engine->buildProfiles()).
+  std::unique_ptr<SweepEngine> Engine;
+  SweepResult Sweep;
+
+  /// Compiled and produced a usable (possibly degraded) profile.
+  bool ok() const { return Error.empty() && Sweep.usable(); }
+};
+
+struct CorpusResult {
+  std::vector<CorpusProgramResult> Programs; ///< In corpus input order.
+  PoolStats Pool;                            ///< The shared pool's counters.
+  prof::CompileCache::Stats Cache;
+};
+
+/// Drives corpus batches. One instance holds one compile cache, so
+/// successive run() calls share compilations.
+class CorpusRunner {
+public:
+  explicit CorpusRunner(prof::SessionOptions Opts) : Opts(std::move(Opts)) {}
+
+  /// Profiles every entry's static no-arg "Cls.Method" over the
+  /// options' run plan (one run per SessionOptions::Seeds entry, or
+  /// Runs × Input when Seeds is empty). SessionOptions::Jobs sizes the
+  /// shared pool (0 = hardware concurrency).
+  CorpusResult run(const std::vector<CorpusEntry> &Entries,
+                   const std::string &Cls, const std::string &Method);
+
+  /// Arms a seeded schedule perturbation for subsequent run() calls
+  /// (test hook, same contract as SweepEngine::setPerturbationForTest).
+  void setPerturbationForTest(SchedulePerturbation P) { Perturb = P; }
+
+  const prof::SessionOptions &options() const { return Opts; }
+
+private:
+  prof::SessionOptions Opts;
+  prof::CompileCache Cache;
+  SchedulePerturbation Perturb;
+};
+
+} // namespace parallel
+} // namespace algoprof
+
+#endif // ALGOPROF_PARALLEL_CORPUSRUNNER_H

@@ -1,0 +1,172 @@
+//===- parallel/JobSystem.cpp ---------------------------------------------===//
+
+#include "parallel/JobSystem.h"
+
+#include "obs/Obs.h"
+
+#include <chrono>
+#include <string>
+
+using namespace algoprof;
+using namespace algoprof::parallel;
+
+namespace {
+
+/// Trace lane for worker W. Below the sweep engine's shard lanes (1000+)
+/// and above per-thread registration ordinals, so the three families
+/// never collide in an exported trace.
+constexpr int32_t WorkerTrackBase = 500;
+
+/// splitmix64: the perturbation RNG. Small, seedable, and stateless
+/// across workers — worker W's stream depends only on (Seed, W), so a
+/// perturbed schedule is reproducible from its seed.
+uint64_t nextRand(uint64_t &State) {
+  State += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+} // namespace
+
+JobSystem::JobSystem(unsigned Workers, SchedulePerturbation Perturb)
+    : Perturb(Perturb) {
+  if (Workers < 1)
+    Workers = 1;
+  Deques.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Deques.push_back(std::make_unique<WorkerDeque>());
+  Executed.assign(Workers, 0);
+  Stolen.assign(Workers, 0);
+  if (obs::tracingEnabled())
+    for (unsigned W = 0; W < Workers; ++W)
+      obs::setTrackName(WorkerTrackBase + static_cast<int32_t>(W),
+                        "worker " + std::to_string(W));
+  Threads.reserve(Workers);
+  for (unsigned W = 0; W < Workers; ++W)
+    Threads.emplace_back([this, W] { workerMain(W); });
+}
+
+JobSystem::~JobSystem() {
+  wait();
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void JobSystem::submit(Job J) {
+  size_t Idx;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Submitted += 1;
+    Outstanding += 1;
+    Idx = static_cast<size_t>(NextDeque++ % Deques.size());
+  }
+  {
+    WorkerDeque &D = *Deques[Idx];
+    std::lock_guard<std::mutex> Lock(D.M);
+    D.Q.push_back(std::move(J));
+    if (D.Q.size() > D.Peak)
+      D.Peak = D.Q.size();
+  }
+  WorkCv.notify_one();
+}
+
+bool JobSystem::takeOwn(unsigned Me, Job &Out) {
+  WorkerDeque &D = *Deques[Me];
+  std::lock_guard<std::mutex> Lock(D.M);
+  if (D.Q.empty())
+    return false;
+  Out = std::move(D.Q.front());
+  D.Q.pop_front();
+  return true;
+}
+
+bool JobSystem::steal(unsigned Me, Job &Out, uint64_t &Rng) {
+  unsigned N = workers();
+  if (N <= 1)
+    return false;
+  // Victim order: round-robin from the right neighbor, or — when a
+  // perturbation is armed — a random rotation so tests can force every
+  // steal topology.
+  unsigned Start = Perturb.enabled()
+                       ? static_cast<unsigned>(nextRand(Rng) % N)
+                       : (Me + 1) % N;
+  for (unsigned K = 0; K < N; ++K) {
+    unsigned V = (Start + K) % N;
+    if (V == Me)
+      continue;
+    WorkerDeque &D = *Deques[V];
+    std::lock_guard<std::mutex> Lock(D.M);
+    if (D.Q.empty())
+      continue;
+    // The front is the oldest pending job — the one the sweep engine's
+    // in-order merge cursor is most likely waiting on.
+    Out = std::move(D.Q.front());
+    D.Q.pop_front();
+    Stolen[Me] += 1;
+    obs::addCount(obs::Counter::JobsStolen);
+    return true;
+  }
+  return false;
+}
+
+void JobSystem::workerMain(unsigned Me) {
+  // All spans this worker records outside a sweep run's ScopedTrack
+  // land on its own "worker N" lane.
+  obs::ScopedTrack Lane(WorkerTrackBase + static_cast<int32_t>(Me));
+  uint64_t Rng = Perturb.Seed ^ (0xd1b54a32d192ed03ull * (Me + 1));
+  for (;;) {
+    Job J;
+    if (takeOwn(Me, J) || steal(Me, J, Rng)) {
+      if (Perturb.enabled() && Perturb.MaxDelayMicros > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            nextRand(Rng) % (uint64_t(Perturb.MaxDelayMicros) + 1)));
+      J();
+      J = nullptr; // Release captures before signaling completion.
+      Executed[Me] += 1;
+      obs::addCount(obs::Counter::JobsExecuted);
+      std::lock_guard<std::mutex> Lock(M);
+      Outstanding -= 1;
+      if (Outstanding == 0)
+        IdleCv.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> Lock(M);
+    if (Stop)
+      return;
+    // Sleep until either shutdown or any submission since we started
+    // scanning. Outstanding also counts jobs currently *executing* on
+    // other workers, which may submit follow-up jobs — so wake on a
+    // timeout too rather than risking a missed rescan; the timeout is
+    // coarse because submit()'s notify is the common wake path.
+    WorkCv.wait_for(Lock, std::chrono::milliseconds(50));
+  }
+}
+
+void JobSystem::wait() {
+  std::unique_lock<std::mutex> Lock(M);
+  IdleCv.wait(Lock, [this] { return Outstanding == 0; });
+}
+
+PoolStats JobSystem::stats() const {
+  PoolStats S;
+  S.Executed = Executed;
+  S.Stolen = Stolen;
+  S.PeakQueueDepth.reserve(Deques.size());
+  for (const std::unique_ptr<WorkerDeque> &D : Deques) {
+    std::lock_guard<std::mutex> Lock(D->M);
+    S.PeakQueueDepth.push_back(D->Peak);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(
+        const_cast<std::mutex &>(M));
+    S.Submitted = Submitted;
+  }
+  return S;
+}

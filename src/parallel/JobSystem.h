@@ -1,0 +1,157 @@
+//===- parallel/JobSystem.h - Work-stealing thread pool ---------*- C++-*-===//
+///
+/// \file
+/// The sweep layer's execution substrate: a work-stealing job pool in
+/// the per-worker-deque style. Submitted jobs are distributed round-
+/// robin over the workers' private deques; a worker drains its own
+/// deque front-to-back and, when empty, steals the oldest pending job
+/// from another worker. Stealing is what makes sweeps over runs of
+/// unequal cost scale: a worker stuck on one expensive run sheds its
+/// queued work to idle peers instead of serializing it behind the
+/// barrier the old static-shard engine had.
+///
+/// Design choices, deliberate:
+///  - FIFO everywhere (owner pops the front, thieves steal the front).
+///    Classic owner-LIFO ordering pays off for recursive fork-join
+///    graphs; ours are flat run lists whose consumers (the sweep
+///    engine's in-order streaming merge, SweepEngine.h) want runs
+///    roughly in run-index order so the merge cursor advances early
+///    and shard memory is released early.
+///  - A mutex per deque, not a lock-free deque. Jobs here are whole
+///    profiled VM runs (micro- to milliseconds), so queue operations
+///    are nowhere near the contention regime that justifies Chase-Lev;
+///    a mutex keeps the pool trivially ThreadSanitizer-clean, which
+///    the `tsan_parallel` ctest configuration enforces.
+///  - Jobs may submit further jobs (the corpus runner's compile jobs
+///    enqueue their program's run jobs); wait() covers transitively
+///    submitted work.
+///
+/// Determinism: with one worker, jobs execute exactly in submission
+/// order. With many workers the *execution* schedule is nondeterministic
+/// by design — the sweep engine's merge discipline, not the pool, is
+/// what keeps profiling output byte-identical (and the seeded
+/// SchedulePerturbation below exists so tests can randomize the
+/// schedule on purpose and assert exactly that).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_PARALLEL_JOBSYSTEM_H
+#define ALGOPROF_PARALLEL_JOBSYSTEM_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace algoprof {
+namespace parallel {
+
+/// Test-only schedule randomization: a seeded source of per-job start
+/// delays and shuffled steal-victim orders. Seed 0 disables it. The
+/// perturbed pool still executes every job exactly once; only *when*
+/// and *on which worker* changes — which is precisely the axis the
+/// schedule-perturbation property tests exercise.
+struct SchedulePerturbation {
+  uint64_t Seed = 0;         ///< 0 = no perturbation.
+  uint32_t MaxDelayMicros = 0; ///< Uniform per-job start delay in [0, Max].
+  bool enabled() const { return Seed != 0; }
+};
+
+/// What the pool did, per worker: jobs executed, jobs stolen from
+/// another worker's deque, and the deepest the worker's own deque got.
+/// Stable after wait(); the sweep bench records these per configuration
+/// (bench_parallel_sweep/2 JSON) and the obs registry aggregates the
+/// totals (jobs_executed / jobs_stolen).
+struct PoolStats {
+  std::vector<uint64_t> Executed;
+  std::vector<uint64_t> Stolen;
+  std::vector<uint64_t> PeakQueueDepth;
+  uint64_t Submitted = 0;
+
+  uint64_t totalExecuted() const {
+    uint64_t N = 0;
+    for (uint64_t E : Executed)
+      N += E;
+    return N;
+  }
+  uint64_t totalStolen() const {
+    uint64_t N = 0;
+    for (uint64_t S : Stolen)
+      N += S;
+    return N;
+  }
+};
+
+class JobSystem {
+public:
+  using Job = std::function<void()>;
+
+  /// Spawns \p Workers worker threads (clamped to >= 1). When tracing
+  /// is enabled each worker gets its own named trace track ("worker N"),
+  /// so pool activity that is not attributed to a specific sweep run
+  /// (e.g. merge drains) shows up per worker in the Chrome trace.
+  explicit JobSystem(unsigned Workers,
+                     SchedulePerturbation Perturb = SchedulePerturbation());
+
+  /// Waits for all submitted jobs, then stops and joins the workers.
+  /// Destruction is what folds the workers' thread-local obs state into
+  /// the registry's retired pool — snapshot after, not before.
+  ~JobSystem();
+
+  JobSystem(const JobSystem &) = delete;
+  JobSystem &operator=(const JobSystem &) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(Deques.size()); }
+
+  /// Enqueues \p J on the next deque (round-robin). Thread-safe;
+  /// callable from inside jobs.
+  void submit(Job J);
+
+  /// Blocks until every submitted job — including jobs submitted by
+  /// jobs — has finished executing. Reentrant-safe from the owning
+  /// thread only (workers must not call wait()).
+  void wait();
+
+  /// Per-worker counters; meaningful once wait() returned.
+  PoolStats stats() const;
+
+private:
+  struct WorkerDeque {
+    std::mutex M;
+    std::deque<Job> Q;
+    uint64_t Peak = 0; ///< Under M.
+  };
+
+  void workerMain(unsigned Me);
+  bool takeOwn(unsigned Me, Job &Out);
+  bool steal(unsigned Me, Job &Out, uint64_t &Rng);
+
+  std::vector<std::unique_ptr<WorkerDeque>> Deques;
+  std::vector<std::thread> Threads;
+  SchedulePerturbation Perturb;
+
+  // Submission cursor, outstanding-job count, and lifecycle flags share
+  // one mutex with two condition variables: WorkCv wakes idle workers,
+  // IdleCv wakes wait().
+  std::mutex M;
+  std::condition_variable WorkCv;
+  std::condition_variable IdleCv;
+  uint64_t NextDeque = 0;
+  uint64_t Outstanding = 0;
+  uint64_t Submitted = 0;
+  bool Stop = false;
+
+  // Per-worker stats, written only by the owning worker while it runs,
+  // read by stats() after wait() (synchronized by the Outstanding==0
+  // handshake on M).
+  std::vector<uint64_t> Executed;
+  std::vector<uint64_t> Stolen;
+};
+
+} // namespace parallel
+} // namespace algoprof
+
+#endif // ALGOPROF_PARALLEL_JOBSYSTEM_H

@@ -5,12 +5,50 @@
 #include "obs/Obs.h"
 
 #include <algorithm>
-#include <atomic>
+#include <cassert>
 #include <thread>
 
 using namespace algoprof;
 using namespace algoprof::parallel;
 using namespace algoprof::prof;
+
+namespace {
+/// Obs: every run gets its own trace track, numbered by cumulative run
+/// index so repeated sweeps extend the same lanes. ShardTrackBase keeps
+/// shard lanes clear of per-thread ordinals and worker lanes.
+constexpr int32_t ShardTrackBase = 1000;
+} // namespace
+
+/// One in-flight enqueueSweep batch: the per-run shards, the streaming
+/// merge cursor, and the synchronization that lets *any* worker advance
+/// the merge as soon as the next run in index order is done.
+struct SweepEngine::Batch {
+  /// Everything one run leaves behind for the reducer.
+  struct Shard {
+    std::unique_ptr<AlgoProfiler> Prof; ///< Null when startup was aborted.
+    vm::RunResult Result;
+    int64_t NumObjects = 0;
+    int Attempts = 1;
+  };
+
+  std::vector<Shard> Shards;
+  std::vector<vm::IoChannels> Inputs;
+  SweepResult *Out = nullptr;
+  int64_t FirstRunIndex = 0;
+  int32_t Entry = -1;
+
+  /// Guards Ready and NextMerge — the "which shards are done / how far
+  /// has the merge advanced" bookkeeping. Held only for flag flips.
+  std::mutex ReadyMu;
+  std::vector<char> Ready;
+  size_t NextMerge = 0;
+
+  /// Serializes the merge itself (the engine's Acc / ObjIdOffset / Out
+  /// writes). Workers try_lock it: whoever wins drains the ready
+  /// prefix; losers just return — their shard will be picked up by the
+  /// winner or by the final blocking drain in finishEnqueued().
+  std::mutex DrainMu;
+};
 
 SweepEngine::SweepEngine(const CompiledProgram &CP, SessionOptions Opts)
     : CP(CP), Opts(Opts),
@@ -26,16 +64,6 @@ std::vector<AlgorithmProfile>
 SweepEngine::buildProfiles(GroupingStrategy Strategy) const {
   return buildProfilesFrom(Acc->tree(), Acc->inputs(), CP, Strategy);
 }
-
-namespace {
-/// Everything one run leaves behind for the reducer.
-struct Shard {
-  std::unique_ptr<AlgoProfiler> Prof; ///< Null when startup was aborted.
-  vm::RunResult Result;
-  int64_t NumObjects = 0;
-  int Attempts = 1;
-};
-} // namespace
 
 SweepResult SweepEngine::sweep(const std::string &Cls,
                                const std::string &Method) {
@@ -56,146 +84,203 @@ SweepResult
 SweepEngine::sweepWithInputs(const std::string &Cls,
                              const std::string &Method,
                              const std::vector<vm::IoChannels> &RunInputs) {
-  int Threads = Opts.Jobs;
-  size_t NumRuns = RunInputs.size();
   SweepResult Out;
   Out.Policy = Opts.Policy;
-  if (NumRuns == 0)
+  if (RunInputs.empty())
     return Out;
-  Out.Runs.resize(NumRuns);
 
-  int32_t Entry = CP.entryMethod(Cls, Method);
-  if (Entry < 0) {
-    for (vm::RunResult &R : Out.Runs) {
-      R.Status = vm::RunStatus::Trapped;
-      R.TrapMessage = "no static no-arg method " + Cls + "." + Method;
-    }
-    return Out;
-  }
-
+  int Threads = Opts.Jobs;
   unsigned Workers =
       Threads == 0 ? std::max(1u, std::thread::hardware_concurrency())
                    : static_cast<unsigned>(std::max(1, Threads));
-  Workers = std::min<unsigned>(Workers, static_cast<unsigned>(NumRuns));
+  Workers =
+      std::min<unsigned>(Workers, static_cast<unsigned>(RunInputs.size()));
 
-  // Obs: every run gets its own trace track, numbered by cumulative
-  // run index so repeated sweeps extend the same lanes. ShardTrackBase
-  // keeps shard lanes clear of per-thread registration ordinals.
-  constexpr int32_t ShardTrackBase = 1000;
+  {
+    JobSystem Pool(Workers, Perturb);
+    enqueueSweep(Pool, Cls, Method, RunInputs, &Out);
+    Pool.wait();
+    finishEnqueued();
+    Out.Pool = Pool.stats();
+    // The pool destructs here, which folds the workers' thread-local
+    // obs state into the retired pool before any caller snapshots.
+  }
+  return Out;
+}
+
+void SweepEngine::enqueueSweep(JobSystem &Pool, const std::string &Cls,
+                               const std::string &Method,
+                               const std::vector<vm::IoChannels> &RunInputs,
+                               SweepResult *Out) {
+  assert(!Active && "one enqueueSweep batch in flight per engine");
+  Out->Policy = Opts.Policy;
+  if (RunInputs.empty())
+    return;
+  Out->Runs.resize(RunInputs.size());
+
+  int32_t Entry = CP.entryMethod(Cls, Method);
+  if (Entry < 0) {
+    for (vm::RunResult &R : Out->Runs) {
+      R.Status = vm::RunStatus::Trapped;
+      R.TrapMessage = "no static no-arg method " + Cls + "." + Method;
+    }
+    return;
+  }
+  startBatch(Pool, Entry, RunInputs, Out);
+}
+
+void SweepEngine::startBatch(JobSystem &Pool, int32_t Entry,
+                             const std::vector<vm::IoChannels> &RunInputs,
+                             SweepResult *Out) {
+  size_t NumRuns = RunInputs.size();
+  auto B = std::make_shared<Batch>();
+  B->Shards.resize(NumRuns);
+  B->Inputs = RunInputs;
+  B->Out = Out;
+  B->FirstRunIndex = TotalRuns;
+  B->Entry = Entry;
+  B->Ready.assign(NumRuns, 0);
+  TotalRuns += static_cast<int64_t>(NumRuns);
+
   if (obs::tracingEnabled())
     for (size_t I = 0; I < NumRuns; ++I) {
-      int64_t RunIndex = TotalRuns + static_cast<int64_t>(I);
+      int64_t RunIndex = B->FirstRunIndex + static_cast<int64_t>(I);
       obs::setTrackName(ShardTrackBase + static_cast<int32_t>(RunIndex),
                         "shard " + std::to_string(RunIndex));
     }
 
-  // Map phase: workers claim run indices from a shared counter. Every
-  // run is fully private — interpreter, heap, profiler, I/O channels —
-  // so scheduling cannot influence any shard's contents.
-  std::vector<Shard> Shards(NumRuns);
-  std::atomic<size_t> Next{0};
-  int64_t FirstRunIndex = TotalRuns;
-  auto Worker = [&]() {
-    for (;;) {
-      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
-      if (I >= NumRuns)
-        break;
-      int64_t GlobalRun = FirstRunIndex + static_cast<int64_t>(I);
-      obs::ScopedTrack Track(ShardTrackBase + static_cast<int32_t>(GlobalRun));
-      obs::ScopedSpan Span(obs::Phase::ShardRun);
-      Shard &S = Shards[I];
-      // Retry policy: bounded re-execution on a fresh interpreter with
-      // the same inputs. Any other policy takes exactly one attempt.
-      const int MaxAttempts =
-          Opts.Policy == resilience::FailurePolicy::Retry
-              ? std::max(1, Opts.MaxAttempts)
-              : 1;
-      for (int Attempt = 0;; ++Attempt) {
-        S.Attempts = Attempt + 1;
-        if (Opts.Faults.fires(resilience::FaultSite::RunStart, GlobalRun,
-                              Attempt)) {
-          // Startup abort: the run dies before the interpreter touches
-          // anything; no profiler state exists to merge.
-          obs::addCount(obs::Counter::FaultsInjected);
-          S.Prof.reset();
-          S.Result = vm::RunResult();
-          S.Result.Status = vm::RunStatus::Trapped;
-          S.Result.Injected = true;
-          S.Result.TrapMessage = "injected run-start failure for run " +
-                                 std::to_string(GlobalRun);
-          S.NumObjects = 0;
-        } else {
-          vm::RunOptions RO = Opts.Run;
-          if (Opts.Faults.fires(resilience::FaultSite::HeapOom, GlobalRun,
-                                Attempt))
-            RO.InjectHeapOomAtAlloc = 1;
-          vm::Interpreter Interp(CP.Prep);
-          S.Prof = std::make_unique<AlgoProfiler>(CP.Prep, Opts.Profile);
-          vm::IoChannels Io = RunInputs[I];
-          S.Result = Interp.run(Entry, S.Prof.get(), Plan, Io, RO);
-          S.NumObjects = Interp.heap().numObjects();
-          // The interpreter (and its heap) dies here; the profiler's
-          // id-keyed state stays valid because nothing dereferences
-          // heap objects after a run ends.
-        }
-        if (S.Result.ok() || Attempt + 1 >= MaxAttempts)
-          break;
-        obs::addCount(obs::Counter::RunsRetried);
-      }
-    }
-  };
-  if (Workers <= 1) {
-    Worker();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Workers);
-    for (unsigned T = 0; T < Workers; ++T)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  Active = B;
+  for (size_t I = 0; I < NumRuns; ++I)
+    Pool.submit([this, B, I] {
+      runOne(*B, I);
+      // Whoever finishes a run tries to advance the merge. try_lock
+      // only: a worker never stalls behind another's merge — at worst
+      // the shard waits for the next finisher or the final drain.
+      drainReady(*B, /*Blocking=*/false);
+    });
+}
 
-  // Reduce phase: strictly in run-index order. Input ids remap through
-  // the serial-replay merge, heap ids shift by the object count of all
-  // previously merged runs — exactly the ids a serial session's shared
-  // heap would have handed out.
-  // Quarantine decisions also happen here, not in workers: a
-  // quarantined run is excluded from the merge *and* from the heap-id
-  // offset, so the accumulated profile is exactly what a serial session
-  // over the surviving runs would build. Under the Fail policy nothing
-  // is quarantined (legacy behavior: failed runs' partial state still
-  // merges and the caller decides).
-  obs::ScopedSpan MergeSpan(obs::Phase::ShardMerge);
-  for (size_t I = 0; I < NumRuns; ++I) {
-    Shard &S = Shards[I];
-    Out.Runs[I] = S.Result;
-    int64_t GlobalRun = FirstRunIndex + static_cast<int64_t>(I);
-    bool Failed = !S.Result.ok();
-    bool Quarantine =
-        Failed && Opts.Policy != resilience::FailurePolicy::Fail;
-    if (Failed) {
-      resilience::FailureInfo FI;
-      FI.Run = GlobalRun;
-      FI.Status = S.Result.Status;
-      FI.Attempts = S.Attempts;
-      FI.Budget = S.Result.Budget;
-      FI.Message = S.Result.TrapMessage;
-      FI.Quarantined = Quarantine;
-      FI.Injected = S.Result.Injected;
-      Out.Failures.push_back(std::move(FI));
+/// Executes run \p I on the calling worker: a fresh interpreter and
+/// profiler per attempt, fault injection and the bounded retry policy
+/// exactly as the serial session applies them. Fully private — no
+/// engine state is touched, so scheduling cannot influence any shard's
+/// contents.
+void SweepEngine::runOne(Batch &B, size_t I) {
+  int64_t GlobalRun = B.FirstRunIndex + static_cast<int64_t>(I);
+  obs::ScopedTrack Track(ShardTrackBase + static_cast<int32_t>(GlobalRun));
+  obs::ScopedSpan Span(obs::Phase::ShardRun);
+  Batch::Shard &S = B.Shards[I];
+  // Retry policy: bounded re-execution on a fresh interpreter with
+  // the same inputs. Any other policy takes exactly one attempt.
+  const int MaxAttempts = Opts.Policy == resilience::FailurePolicy::Retry
+                              ? std::max(1, Opts.MaxAttempts)
+                              : 1;
+  for (int Attempt = 0;; ++Attempt) {
+    S.Attempts = Attempt + 1;
+    if (Opts.Faults.fires(resilience::FaultSite::RunStart, GlobalRun,
+                          Attempt)) {
+      // Startup abort: the run dies before the interpreter touches
+      // anything; no profiler state exists to merge.
+      obs::addCount(obs::Counter::FaultsInjected);
+      S.Prof.reset();
+      S.Result = vm::RunResult();
+      S.Result.Status = vm::RunStatus::Trapped;
+      S.Result.Injected = true;
+      S.Result.TrapMessage =
+          "injected run-start failure for run " + std::to_string(GlobalRun);
+      S.NumObjects = 0;
+    } else {
+      vm::RunOptions RO = Opts.Run;
+      if (Opts.Faults.fires(resilience::FaultSite::HeapOom, GlobalRun,
+                            Attempt))
+        RO.InjectHeapOomAtAlloc = 1;
+      vm::Interpreter Interp(CP.Prep);
+      S.Prof = std::make_unique<AlgoProfiler>(CP.Prep, Opts.Profile);
+      vm::IoChannels Io = B.Inputs[I];
+      S.Result = Interp.run(B.Entry, S.Prof.get(), Plan, Io, RO);
+      S.NumObjects = Interp.heap().numObjects();
+      // The interpreter (and its heap) dies here; the profiler's
+      // id-keyed state stays valid because nothing dereferences
+      // heap objects after a run ends.
     }
-    if (Quarantine) {
-      obs::addCount(obs::Counter::RunsQuarantined);
-    } else if (S.Prof) {
-      std::vector<int32_t> Remap =
-          Acc->inputs().merge(S.Prof->inputs(), ObjIdOffset);
-      Acc->tree().merge(S.Prof->tree(), Remap);
-      ObjIdOffset += S.NumObjects;
-      ++Out.MergedRuns;
-      obs::addCount(obs::Counter::ShardsMerged);
-    }
-    S.Prof.reset();
+    if (S.Result.ok() || Attempt + 1 >= MaxAttempts)
+      break;
+    obs::addCount(obs::Counter::RunsRetried);
   }
-  TotalRuns += static_cast<int64_t>(NumRuns);
-  return Out;
+  std::lock_guard<std::mutex> Lock(B.ReadyMu);
+  B.Ready[I] = 1;
+}
+
+/// Folds shard \p I into the accumulator. Caller holds DrainMu; the
+/// shard itself is safely published by the ReadyMu handshake in
+/// runOne/drainReady.
+///
+/// Strictly in run-index order: input ids remap through the
+/// serial-replay merge, heap ids shift by the object count of all
+/// previously merged runs — exactly the ids a serial session's shared
+/// heap would have handed out. Quarantine decisions also happen here,
+/// not in workers: a quarantined run is excluded from the merge *and*
+/// from the heap-id offset, so the accumulated profile is exactly what
+/// a serial session over the surviving runs would build. Under the
+/// Fail policy nothing is quarantined (legacy behavior: failed runs'
+/// partial state still merges and the caller decides).
+void SweepEngine::mergeShard(Batch &B, size_t I) {
+  obs::ScopedSpan MergeSpan(obs::Phase::ShardMerge);
+  Batch::Shard &S = B.Shards[I];
+  B.Out->Runs[I] = S.Result;
+  int64_t GlobalRun = B.FirstRunIndex + static_cast<int64_t>(I);
+  bool Failed = !S.Result.ok();
+  bool Quarantine = Failed && Opts.Policy != resilience::FailurePolicy::Fail;
+  if (Failed) {
+    resilience::FailureInfo FI;
+    FI.Run = GlobalRun;
+    FI.Status = S.Result.Status;
+    FI.Attempts = S.Attempts;
+    FI.Budget = S.Result.Budget;
+    FI.Message = S.Result.TrapMessage;
+    FI.Quarantined = Quarantine;
+    FI.Injected = S.Result.Injected;
+    B.Out->Failures.push_back(std::move(FI));
+  }
+  if (Quarantine) {
+    obs::addCount(obs::Counter::RunsQuarantined);
+  } else if (S.Prof) {
+    std::vector<int32_t> Remap =
+        Acc->inputs().merge(S.Prof->inputs(), ObjIdOffset);
+    Acc->tree().merge(S.Prof->tree(), Remap);
+    ObjIdOffset += S.NumObjects;
+    ++B.Out->MergedRuns;
+    obs::addCount(obs::Counter::ShardsMerged);
+  }
+  S.Prof.reset();
+  B.Inputs[I] = vm::IoChannels(); // Release the run's input early too.
+}
+
+void SweepEngine::drainReady(Batch &B, bool Blocking) {
+  std::unique_lock<std::mutex> Drain(B.DrainMu, std::defer_lock);
+  if (Blocking)
+    Drain.lock();
+  else if (!Drain.try_lock())
+    return;
+  for (;;) {
+    size_t I;
+    {
+      std::lock_guard<std::mutex> Lock(B.ReadyMu);
+      if (B.NextMerge >= B.Shards.size() || !B.Ready[B.NextMerge])
+        return;
+      I = B.NextMerge++;
+    }
+    mergeShard(B, I);
+  }
+}
+
+void SweepEngine::finishEnqueued() {
+  if (!Active)
+    return;
+  // All jobs are done (the caller waited on the pool); one blocking
+  // drain picks up whatever the opportunistic try_lock drains missed.
+  drainReady(*Active, /*Blocking=*/true);
+  assert(Active->NextMerge == Active->Shards.size() &&
+         "all shards merged after the final drain");
+  Active.reset();
 }

@@ -1,19 +1,24 @@
-//===- parallel/SweepEngine.h - Sharded profiling sweeps --------*- C++-*-===//
+//===- parallel/SweepEngine.h - Work-stealing profiling sweeps --*- C++-*-===//
 ///
 /// \file
-/// Runs the paper's "set of program runs" (Sec. 3.5) as a sharded sweep:
-/// each run executes on a worker thread with a private vm::Interpreter +
-/// AlgoProfiler over the shared immutable CompiledProgram, and a
-/// deterministic reducer folds the per-run shards — RepetitionTrees,
-/// CostMaps, InputTables — strictly in run-index order, never in thread
-/// arrival order. Tree nodes align by static RepKey (method/loop ids),
-/// input ids remap through InputTable::merge's replay of the serial
-/// identification decisions, and heap-object ids translate by cumulative
-/// per-run object counts. The observable result — buildProfilesFrom
-/// output: labels, classifications, series points, fitted formulas — is
+/// Runs the paper's "set of program runs" (Sec. 3.5) as a dynamically
+/// scheduled sweep: each run is one job on a work-stealing pool
+/// (parallel/JobSystem.h), executing on a worker thread with a private
+/// vm::Interpreter + AlgoProfiler over the shared immutable
+/// CompiledProgram. A streaming reducer folds the per-run shards —
+/// RepetitionTrees, CostMaps, InputTables — strictly in run-index
+/// order, never in completion order: finished shards are marked ready,
+/// and whichever worker finishes a run tries to advance the merge
+/// cursor over the longest prefix of consecutive ready shards. Tree
+/// nodes align by static RepKey (method/loop ids), input ids remap
+/// through InputTable::merge's replay of the serial identification
+/// decisions, and heap-object ids translate by cumulative per-run
+/// object counts. The observable result — buildProfilesFrom output:
+/// labels, classifications, series points, fitted formulas — is
 /// identical to a serial ProfileSession over the same seed order,
-/// regardless of thread count or scheduling. See docs/parallel_sweeps.md
-/// for the determinism argument and the AllElements/sampling caveats.
+/// regardless of worker count, stealing, or any schedule perturbation.
+/// See docs/parallel_sweeps.md for the determinism argument and the
+/// AllElements/sampling caveats.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +26,7 @@
 #define ALGOPROF_PARALLEL_SWEEPENGINE_H
 
 #include "core/Session.h"
+#include "parallel/JobSystem.h"
 
 #include <memory>
 #include <string>
@@ -42,6 +48,11 @@ struct SweepResult {
   resilience::FailurePolicy Policy = resilience::FailurePolicy::Fail;
   /// Runs merged into the accumulated profile by this sweep.
   int64_t MergedRuns = 0;
+  /// Work-stealing pool counters for this sweep. Populated only when
+  /// the engine owned the pool (sweep / sweepWithInputs); empty when
+  /// the runs were enqueued on an external pool (the corpus runner
+  /// reports its shared pool's stats instead).
+  PoolStats Pool;
 
   /// Every run succeeded (final attempts): the sweep is not degraded.
   bool allOk() const {
@@ -65,13 +76,21 @@ struct SweepResult {
   }
 };
 
-/// A sharded, deterministic multi-run profiling engine. It is
-/// configured entirely by the same prof::SessionOptions a serial
+/// A dynamically scheduled, deterministic multi-run profiling engine.
+/// It is configured entirely by the same prof::SessionOptions a serial
 /// session takes — Jobs picks the worker count, Seeds/Runs/Input the
 /// run plan. Every run gets a fresh interpreter, profiler, and private
 /// IoChannels (no I/O state is shared between threads). Successive
 /// sweep() calls keep accumulating into the same merged tree/inputs,
 /// mirroring repeated ProfileSession::run calls.
+///
+/// Two driving modes:
+///  - sweep()/sweepWithInputs(): the engine spins up its own pool,
+///    runs the plan, and returns the finished result.
+///  - enqueueSweep()/finishEnqueued(): the caller owns a shared pool
+///    (corpus batches: many engines, one pool) and the engine only
+///    contributes jobs. Call finishEnqueued() after the pool's wait()
+///    to drain the merge cursor; results are undefined before that.
 class SweepEngine {
 public:
   explicit SweepEngine(const prof::CompiledProgram &CP,
@@ -82,7 +101,7 @@ public:
   /// per SessionOptions::Seeds entry (input channel pre-loaded with the
   /// seed), or SessionOptions::Runs times with SessionOptions::Input
   /// when Seeds is empty. Workers execute runs in arbitrary order; the
-  /// reduction is performed after all workers join, in run-index order.
+  /// reduction happens incrementally, in run-index order.
   SweepResult sweep(const std::string &Cls, const std::string &Method);
 
   /// Generalized sweep: one run per \p RunInputs entry, each run handed
@@ -92,6 +111,26 @@ public:
   SweepResult sweepWithInputs(const std::string &Cls,
                               const std::string &Method,
                               const std::vector<vm::IoChannels> &RunInputs);
+
+  /// Submits this engine's run jobs onto \p Pool without blocking.
+  /// \p Out must outlive finishEnqueued() and is filled incrementally;
+  /// read it only after finishEnqueued() returns. One batch may be in
+  /// flight per engine at a time.
+  void enqueueSweep(JobSystem &Pool, const std::string &Cls,
+                    const std::string &Method,
+                    const std::vector<vm::IoChannels> &RunInputs,
+                    SweepResult *Out);
+
+  /// Completes an enqueueSweep batch: merges any shards the workers
+  /// left behind (strictly in run-index order) and releases the batch.
+  /// Call only after the pool's wait() returned.
+  void finishEnqueued();
+
+  /// Arms a seeded schedule perturbation for subsequent own-pool
+  /// sweeps (test hook; not part of SessionOptions, so option-parity
+  /// with the serial session is unaffected). For external pools, pass
+  /// the perturbation to the pool's constructor instead.
+  void setPerturbationForTest(SchedulePerturbation P) { Perturb = P; }
 
   /// The options this engine was built from (serial-vs-sweep parity is
   /// asserted against ProfileSession::options() in ParallelSweepTest).
@@ -108,6 +147,15 @@ public:
                     prof::GroupingStrategy::CommonInput) const;
 
 private:
+  struct Batch;
+
+  void startBatch(JobSystem &Pool, int32_t Entry,
+                  const std::vector<vm::IoChannels> &RunInputs,
+                  SweepResult *Out);
+  void runOne(Batch &B, size_t I);
+  void mergeShard(Batch &B, size_t I);
+  void drainReady(Batch &B, bool Blocking);
+
   const prof::CompiledProgram &CP;
   prof::SessionOptions Opts;
   vm::InstrumentationPlan Plan;
@@ -118,9 +166,13 @@ private:
   /// merged so far (what a serial session's ever-growing heap would
   /// report as numObjects()).
   int64_t ObjIdOffset = 0;
-  /// Runs merged so far; numbers the obs trace track of each shard so
+  /// Runs enqueued so far; numbers the obs trace track of each shard so
   /// successive sweeps keep extending the same per-shard lanes.
   int64_t TotalRuns = 0;
+  /// Test-only schedule randomization for own-pool sweeps.
+  SchedulePerturbation Perturb;
+  /// The in-flight enqueueSweep batch, if any.
+  std::shared_ptr<Batch> Active;
 };
 
 } // namespace parallel

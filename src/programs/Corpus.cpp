@@ -1,0 +1,41 @@
+//===- programs/Corpus.cpp - The built-in profiling corpus ----------------===//
+
+#include "programs/Programs.h"
+
+using namespace algoprof;
+using namespace algoprof::programs;
+
+const std::vector<CorpusProgram> &algoprof::programs::corpusPrograms() {
+  static const std::vector<CorpusProgram> Corpus = [] {
+    std::vector<CorpusProgram> C;
+    // Seeded programs first: one run profiles one instance whose size
+    // comes off the input channel, so the corpus seed grid is the
+    // input-size sweep (the shape the paper's Figure 1 plots).
+    C.push_back({"seeded_insertion_sort_random",
+                 seededInsertionSortProgram(InputOrder::Random)});
+    C.push_back({"seeded_insertion_sort_sorted",
+                 seededInsertionSortProgram(InputOrder::Sorted)});
+    C.push_back({"seeded_insertion_sort_reversed",
+                 seededInsertionSortProgram(InputOrder::Reversed)});
+    // Internal-sweep programs: each run replays the whole (small)
+    // sweep; corpus seeds only multiply the runs. ioSum actually
+    // consumes its seed as external input.
+    C.push_back({"insertion_sort",
+                 insertionSortProgram(24, 8, 1, InputOrder::Random)});
+    C.push_back({"functional_sort",
+                 functionalSortProgram(18, 6, 1, InputOrder::Random)});
+    C.push_back({"merge_sort",
+                 mergeSortProgram(24, 8, 1, InputOrder::Random)});
+    C.push_back({"array_list_grow_by_one", arrayListProgram(false, 24, 8)});
+    C.push_back({"array_list_doubling", arrayListProgram(true, 24, 8)});
+    C.push_back({"listing4", listing4Program(12)});
+    C.push_back({"listing5", listing5Program(6, 5)});
+    C.push_back({"binary_search", binarySearchProgram(24, 8)});
+    C.push_back({"bst", bstProgram(16, 8)});
+    C.push_back({"io_sum", ioSumProgram()});
+    for (const Table1Program &P : table1Programs())
+      C.push_back({"table1_" + P.Name, P.Source});
+    return C;
+  }();
+  return Corpus;
+}

@@ -112,6 +112,20 @@ struct Table1Program {
 /// The 18 programs of Table 1, in the paper's row order.
 const std::vector<Table1Program> &table1Programs();
 
+/// One named program of the built-in profiling corpus.
+struct CorpusProgram {
+  std::string Name;
+  std::string Source;
+};
+
+/// The built-in corpus: every program family above at test-scale sizes
+/// — the seeded sorts (which size their run from the input channel, so
+/// a corpus seed grid sweeps them), the internal-sweep programs, and
+/// all 18 Table 1 structures. Deterministic order and content; every
+/// entry's entry point is static no-arg Main.main. This is what the
+/// CLI's `--corpus builtin` and the service soak tests batch-profile.
+const std::vector<CorpusProgram> &corpusPrograms();
+
 } // namespace programs
 } // namespace algoprof
 

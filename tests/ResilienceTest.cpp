@@ -27,9 +27,11 @@ using namespace algoprof::resilience;
 
 namespace {
 
+#if ALGOPROF_OBS_ENABLED
 uint64_t counterValue(const obs::Snapshot &S, obs::Counter C) {
   return S.Counters[static_cast<size_t>(C)];
 }
+#endif
 
 /// Allocates a 192-byte array (64-byte header + 8 slots) per iteration;
 /// with any small MaxHeapBytes the run must end at the same allocation
@@ -269,11 +271,13 @@ TEST(ResilienceSweep, SixteenRunSkipSweepQuarantinesExactlyInjectedRuns) {
 
   // Obs counters: one fault per injected run, both quarantined, one
   // budget trip (run-start aborts never reach the interpreter).
+#if ALGOPROF_OBS_ENABLED
   obs::Snapshot S = obs::snapshot();
   EXPECT_EQ(counterValue(S, obs::Counter::FaultsInjected), 2u);
   EXPECT_EQ(counterValue(S, obs::Counter::RunsQuarantined), 2u);
   EXPECT_EQ(counterValue(S, obs::Counter::RunsBudgetExceeded), 1u);
   EXPECT_EQ(counterValue(S, obs::Counter::RunsRetried), 0u);
+#endif
 
   // The JSON report names both degraded runs.
   report::ReportInput In;
@@ -315,10 +319,12 @@ TEST(ResilienceSweep, RetryRecoversTransientFault) {
     EXPECT_TRUE(R.ok()) << R.TrapMessage;
   EXPECT_TRUE(D.usable());
   EXPECT_TRUE(D.failures().empty());
+#if ALGOPROF_OBS_ENABLED
   obs::Snapshot S = obs::snapshot();
   EXPECT_EQ(counterValue(S, obs::Counter::FaultsInjected), 1u);
   EXPECT_EQ(counterValue(S, obs::Counter::RunsRetried), 1u);
   EXPECT_EQ(counterValue(S, obs::Counter::RunsQuarantined), 0u);
+#endif
 
   // Recovery is complete: the profile equals an unfaulted serial run.
   SessionOptions CleanSO;
@@ -344,10 +350,12 @@ TEST(ResilienceSweep, RetryExhaustsThenQuarantinesPersistentFault) {
   EXPECT_EQ(D.failures()[0].Run, 1);
   EXPECT_EQ(D.failures()[0].Attempts, 2);
   EXPECT_TRUE(D.failures()[0].Quarantined);
+#if ALGOPROF_OBS_ENABLED
   obs::Snapshot S = obs::snapshot();
   EXPECT_EQ(counterValue(S, obs::Counter::FaultsInjected), 2u); // both attempts
   EXPECT_EQ(counterValue(S, obs::Counter::RunsRetried), 1u);
   EXPECT_EQ(counterValue(S, obs::Counter::RunsQuarantined), 1u);
+#endif
 }
 
 TEST(ResilienceSweep, FailPolicyReportsFailureWithoutQuarantine) {

@@ -1,0 +1,210 @@
+//===- tests/SoakTest.cpp - Corpus soak under fault injection -------------===//
+///
+/// \file
+/// Service-style soak coverage (ctest label `service`): thousands of
+/// queued corpus run jobs pushed through one work-stealing pool with a
+/// deterministic fault plan firing along the way — persistent heap-oom
+/// faults that exhaust the retry budget and quarantine, plus transient
+/// run-start faults that recover on retry. Asserts exact quarantine
+/// accounting per program, the degraded-profile byte-equality guarantee
+/// against a serial session over the surviving seeds, and the compile
+/// cache's compile-once behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#include "SweepTestUtil.h"
+#include "TestUtil.h"
+#include "obs/Obs.h"
+#include "parallel/CorpusRunner.h"
+#include "programs/Programs.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace algoprof;
+using namespace algoprof::parallel;
+using namespace algoprof::prof;
+using namespace algoprof::programs;
+
+namespace {
+
+struct Sigs {
+  std::string Profiles;
+  std::string Tree;
+  std::string Inputs;
+  bool operator==(const Sigs &O) const {
+    return Profiles == O.Profiles && Tree == O.Tree && Inputs == O.Inputs;
+  }
+};
+
+Sigs serialSigs(const CompiledProgram &CP, const SessionOptions &SO,
+                const std::vector<int64_t> &Seeds) {
+  ProfileSession S(CP, SO);
+  for (int64_t Seed : Seeds) {
+    vm::IoChannels Io;
+    Io.Input = {Seed};
+    EXPECT_TRUE(S.run("Main", "main", Io).ok());
+  }
+  return {testutil::profileSignature(S.buildProfiles(), S.inputs()),
+          testutil::treeSignature(S.tree()),
+          testutil::inputsSignature(S.inputs())};
+}
+
+TEST(SoakTest, ThousandsOfFaultyCorpusJobsQuarantineExactly) {
+  // 4 programs x 500 seeds = 2000 run jobs (plus retries) through one
+  // pool at 8 workers. Per program (run indices restart at 0 for each):
+  //  - heap-oom at every 31st run, persistent: both Retry attempts die,
+  //    the run quarantines with Attempts == 2.
+  //  - run-start-fail at every 47th run not also a 31st, transient
+  //    (:once): the retry succeeds, so the run never reaches Failures.
+  const std::vector<std::pair<const char *, std::string>> Sources = {
+      {"sort_random", seededInsertionSortProgram(InputOrder::Random)},
+      {"sort_sorted", seededInsertionSortProgram(InputOrder::Sorted)},
+      {"sort_reversed", seededInsertionSortProgram(InputOrder::Reversed)},
+      // Internal-sweep program (ignores the seed input); it allocates,
+      // which is what the heap-oom faults need to have a target.
+      {"sort_fixed", insertionSortProgram(12, 4, 1, InputOrder::Random)},
+  };
+  constexpr int RunsPerProgram = 500;
+
+  SessionOptions SO;
+  SO.Jobs = 8;
+  SO.Policy = resilience::FailurePolicy::Retry;
+  SO.MaxAttempts = 2;
+  for (int64_t I = 0; I < RunsPerProgram; ++I)
+    SO.Seeds.push_back(I % 13); // Small, cheap, varied run sizes.
+  std::vector<int64_t> Survivors, Doomed;
+  for (int64_t I = 0; I < RunsPerProgram; ++I)
+    (I % 31 == 0 ? Doomed : Survivors).push_back(I);
+  int Transient = 0;
+  for (int64_t I = 0; I < RunsPerProgram; ++I) {
+    if (I % 31 == 0) {
+      SO.Faults.Faults.push_back(
+          {resilience::FaultSite::HeapOom, I, "", false});
+    } else if (I % 47 == 0) {
+      SO.Faults.Faults.push_back(
+          {resilience::FaultSite::RunStart, I, "", true});
+      ++Transient;
+    }
+  }
+  ASSERT_EQ(Doomed.size(), 17u);
+  ASSERT_EQ(Transient, 10);
+
+#if ALGOPROF_OBS_ENABLED
+  obs::Snapshot Before = obs::snapshot();
+#endif
+
+  std::vector<CorpusEntry> Entries;
+  for (const auto &[Name, Src] : Sources)
+    Entries.push_back({Name, Src});
+  CorpusRunner Runner(SO);
+  CorpusResult Result = Runner.run(Entries, "Main", "main");
+
+  ASSERT_EQ(Result.Programs.size(), Sources.size());
+  EXPECT_EQ(Result.Cache.Compiles, Sources.size());
+  EXPECT_EQ(Result.Cache.Hits, 0u);
+  EXPECT_EQ(Result.Pool.totalExecuted(),
+            Sources.size() * (1 + RunsPerProgram));
+
+  for (const CorpusProgramResult &R : Result.Programs) {
+    SCOPED_TRACE(R.Name);
+    ASSERT_TRUE(R.Error.empty()) << R.Error;
+    ASSERT_EQ(R.Sweep.Runs.size(), static_cast<size_t>(RunsPerProgram));
+    EXPECT_TRUE(R.Sweep.usable());
+    EXPECT_EQ(R.Sweep.MergedRuns,
+              static_cast<int64_t>(Survivors.size()));
+    // Quarantine accounting: exactly the heap-oom runs, each after two
+    // attempts, in run order; the transient run-start faults recovered
+    // and must not appear.
+    ASSERT_EQ(R.Sweep.Failures.size(), Doomed.size());
+    for (size_t I = 0; I < Doomed.size(); ++I) {
+      const resilience::FailureInfo &FI = R.Sweep.Failures[I];
+      EXPECT_EQ(FI.Run, Doomed[I]);
+      EXPECT_EQ(FI.Attempts, 2);
+      EXPECT_TRUE(FI.Quarantined);
+      EXPECT_TRUE(FI.Injected);
+      EXPECT_EQ(FI.Status, vm::RunStatus::BudgetExceeded);
+    }
+    // The degraded-profile guarantee at soak scale: byte-identical to a
+    // serial session over exactly the surviving seeds.
+    SessionOptions SerialSO;
+    std::vector<int64_t> SurvivorSeeds;
+    for (int64_t I : Survivors)
+      SurvivorSeeds.push_back(I % 13);
+    Sigs Want = serialSigs(*R.Program, SerialSO, SurvivorSeeds);
+    ASSERT_FALSE(Want.Tree.empty());
+    Sigs Got = {
+        testutil::profileSignature(R.Engine->buildProfiles(),
+                                   R.Engine->inputs()),
+        testutil::treeSignature(R.Engine->tree()),
+        testutil::inputsSignature(R.Engine->inputs())};
+    ASSERT_EQ(Want.Profiles, Got.Profiles);
+    ASSERT_EQ(Want.Tree, Got.Tree);
+    ASSERT_EQ(Want.Inputs, Got.Inputs);
+  }
+
+#if ALGOPROF_OBS_ENABLED
+  // Registry accounting across the whole soak (the pool folded its
+  // workers' thread-local state before run() returned).
+  obs::Snapshot Delta = obs::snapshot().deltaFrom(Before);
+  auto Count = [&](obs::Counter C) {
+    return Delta.Counters[static_cast<size_t>(C)];
+  };
+  EXPECT_EQ(Count(obs::Counter::JobsExecuted),
+            Sources.size() * (1 + RunsPerProgram));
+  EXPECT_EQ(Count(obs::Counter::RunsQuarantined),
+            Sources.size() * Doomed.size());
+  EXPECT_EQ(Count(obs::Counter::RunsRetried),
+            Sources.size() * (Doomed.size() + Transient));
+  EXPECT_EQ(Count(obs::Counter::ShardsMerged),
+            Sources.size() * Survivors.size());
+  EXPECT_EQ(Count(obs::Counter::CorpusCompiles), Sources.size());
+#endif
+}
+
+TEST(SoakTest, CompileCacheSharesDuplicateSources) {
+  // Two corpus entries with identical source: one compilation, one
+  // cache hit, identical profiles out of both engines.
+  std::string Src = seededInsertionSortProgram(InputOrder::Random);
+  SessionOptions SO;
+  SO.Jobs = 4;
+  SO.Seeds = {2, 4, 6, 8};
+  CorpusRunner Runner(SO);
+  CorpusResult Result =
+      Runner.run({{"a", Src}, {"b", Src}}, "Main", "main");
+  ASSERT_EQ(Result.Programs.size(), 2u);
+  EXPECT_EQ(Result.Cache.Compiles, 1u);
+  EXPECT_EQ(Result.Cache.Hits, 1u);
+  for (const CorpusProgramResult &R : Result.Programs) {
+    ASSERT_TRUE(R.Error.empty());
+    EXPECT_TRUE(R.Sweep.allOk());
+  }
+  EXPECT_EQ(Result.Programs[0].Program.get(),
+            Result.Programs[1].Program.get());
+  EXPECT_EQ(testutil::treeSignature(Result.Programs[0].Engine->tree()),
+            testutil::treeSignature(Result.Programs[1].Engine->tree()));
+}
+
+TEST(SoakTest, CompileErrorIsIsolatedPerProgram) {
+  // A broken program reports its diagnostics and fails alone; the rest
+  // of the batch profiles normally.
+  SessionOptions SO;
+  SO.Jobs = 4;
+  SO.Seeds = {2, 4};
+  CorpusRunner Runner(SO);
+  CorpusResult Result = Runner.run(
+      {{"bad", "class Main { static void main() { this is not minij } }"},
+       {"good", seededInsertionSortProgram(InputOrder::Random)}},
+      "Main", "main");
+  ASSERT_EQ(Result.Programs.size(), 2u);
+  EXPECT_FALSE(Result.Programs[0].Error.empty());
+  EXPECT_FALSE(Result.Programs[0].ok());
+  EXPECT_EQ(Result.Programs[0].Engine, nullptr);
+  ASSERT_TRUE(Result.Programs[1].Error.empty());
+  EXPECT_TRUE(Result.Programs[1].Sweep.allOk());
+  EXPECT_TRUE(Result.Programs[1].ok());
+}
+
+} // namespace

@@ -178,6 +178,48 @@ if [ "$rc" -ne 0 ]; then
   fail "INT64_MIN / -1 run failed (exit $rc): $out"
 fi
 
+# --corpus: batch profiling. Invalid specs are rejected with a
+# diagnostic, the flag is mutually exclusive with a file argument and
+# the single-profile report flags, and the report is byte-identical
+# between the serial (--jobs 1) and work-stealing (--jobs 4) paths.
+mkdir -p "$WORK/corpus" "$WORK/empty_dir"
+cp "$WORK/ok.mj" "$WORK/corpus/a.mj"
+cp "$WORK/ok.mj" "$WORK/corpus/b.mj"
+expect_rejected "--corpus missing value" "$ALGOPROF" --corpus
+expect_rejected "--corpus empty value" "$ALGOPROF" --corpus ""
+expect_rejected "--corpus nonexistent dir" "$ALGOPROF" \
+  --corpus "$WORK/no_such_dir"
+expect_rejected "--corpus dir without .mj" "$ALGOPROF" \
+  --corpus "$WORK/empty_dir"
+expect_rejected "--corpus plus file arg" "$ALGOPROF" \
+  --corpus builtin "$WORK/ok.mj"
+expect_rejected "--corpus plus --format" "$ALGOPROF" \
+  --corpus builtin --format csv
+expect_rejected "--corpus plus --cct" "$ALGOPROF" --corpus builtin --cct
+expect_rejected "--corpus with bad --jobs" "$ALGOPROF" \
+  --corpus "$WORK/corpus" --jobs x
+
+expect_ok "--corpus dir" "$ALGOPROF" --corpus "$WORK/corpus" --seeds 3,5
+serial=$("$ALGOPROF" --corpus "$WORK/corpus" --seeds 3,5,7,9 --jobs 1 2>&1)
+rc1=$?
+stealing=$("$ALGOPROF" --corpus "$WORK/corpus" --seeds 3,5,7,9 --jobs 4 2>&1)
+rc4=$?
+[ "$rc1" -eq 0 ] || fail "--corpus --jobs 1 failed (exit $rc1): $serial"
+[ "$rc4" -eq 0 ] || fail "--corpus --jobs 4 failed (exit $rc4): $stealing"
+[ "$serial" = "$stealing" ] \
+  || fail "--corpus report differs between --jobs 1 and --jobs 4"
+printf '%s' "$serial" | grep -q "a.mj" \
+  || fail "--corpus report does not list a.mj: $serial"
+
+# Resilience options ride along per corpus job: a fault killing run 1
+# of every program degrades (exit 0, quarantine column) under skip.
+out=$("$ALGOPROF" --corpus "$WORK/corpus" --seeds 3,5,7 --jobs 2 \
+  --policy skip --inject run-start-fail@run1 2>&1)
+rc=$?
+[ "$rc" -eq 0 ] || fail "--corpus degraded run: expected exit 0, got $rc"
+printf '%s' "$out" | grep -q "degraded" \
+  || fail "--corpus degraded run: no degraded status: $out"
+
 if [ "$FAILURES" -ne 0 ]; then
   echo "$FAILURES cli test(s) failed" >&2
   exit 1

@@ -36,6 +36,19 @@
 ///                                exist for benchmarking and
 ///                                differential testing
 ///                                (docs/interpreter.md)
+///     --corpus WHAT              batch-profile a whole corpus instead
+///                                of one file: 'builtin' (every built-in
+///                                example/Table-1 program) or a
+///                                directory of .mj files (sorted by
+///                                name). Each program runs the full
+///                                --seeds grid (default 4,8,...,24 when
+///                                no --seeds/--runs given) on one shared
+///                                work-stealing pool sized by --jobs,
+///                                compiling each distinct source once.
+///                                Policies/budgets/--inject apply per
+///                                program (run indices restart at 0).
+///                                Mutually exclusive with a file
+///                                argument, --format/--out, and --cct.
 ///     --cct                      also print the traditional CCT profile
 ///     --format F                 render a report: table | tree | csv |
 ///                                dot | json (repeatable; each job goes
@@ -54,6 +67,8 @@
 
 #include "cct/CctProfiler.h"
 #include "core/Session.h"
+#include "parallel/CorpusRunner.h"
+#include "programs/Programs.h"
 #include "obs/MetricsExport.h"
 #include "obs/Obs.h"
 #include "obs/TraceExport.h"
@@ -64,10 +79,12 @@
 
 #include <exception>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <limits>
 #include <memory>
 #include <string>
@@ -88,6 +105,7 @@ struct RenderJob {
 
 struct CliOptions {
   std::string File;
+  std::string Corpus; ///< --corpus value: "builtin" or a directory.
   std::string EntryClass = "Main";
   std::string EntryMethod = "main";
   GroupingStrategy Grouping = GroupingStrategy::CommonInput;
@@ -102,7 +120,8 @@ struct CliOptions {
 
 void usageAndExit(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s <file.mj> [--entry Class.method] "
+               "usage: %s <file.mj> | --corpus builtin|DIR "
+               "[--entry Class.method] "
                "[--grouping common-input|same-method|dataflow] "
                "[--equivalence some|all|same-array|same-type] "
                "[--snapshots eager|tracked] [--sample N] [--runs N] "
@@ -330,6 +349,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
                         "auto|switch|threaded|threaded+fused|"
                         "threaded+fused+ic");
       }
+    } else if (Arg == "--corpus") {
+      const char *V = Need(I);
+      if (!V || !*V)
+        return argError("--corpus", V,
+                        "'builtin' or a directory of .mj files");
+      Opts.Corpus = V;
     } else if (Arg == "--cct") {
       Opts.WithCct = true;
     } else if (Arg == "--format") {
@@ -381,6 +406,23 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       return false;
     }
   }
+  if (!Opts.Corpus.empty()) {
+    // Corpus batches produce one summary over many programs; the
+    // single-file report/CCT machinery does not compose with that.
+    if (!Opts.File.empty()) {
+      std::fprintf(stderr,
+                   "error: --corpus and a file argument are mutually "
+                   "exclusive\n");
+      return false;
+    }
+    if (!Opts.Jobs.empty() || Opts.WithCct) {
+      std::fprintf(stderr,
+                   "error: --corpus does not support --format/--out/"
+                   "--dot/--csv/--cct\n");
+      return false;
+    }
+    return true;
+  }
   return !Opts.File.empty();
 }
 
@@ -397,6 +439,133 @@ std::string readFileOrDie(const std::string &Path) {
     Content.append(Buf, N);
   std::fclose(F);
   return Content;
+}
+
+/// Resolves the --corpus value into named program sources: the built-in
+/// corpus, or every .mj file of a directory in name order. Returns
+/// false (with an invalid-value diagnostic) when the value names
+/// neither.
+bool collectCorpus(const std::string &Spec,
+                   std::vector<parallel::CorpusEntry> &Entries) {
+  if (Spec == "builtin") {
+    for (const programs::CorpusProgram &P : programs::corpusPrograms())
+      Entries.push_back({P.Name, P.Source});
+    return true;
+  }
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  std::vector<fs::path> Files;
+  for (fs::directory_iterator It(Spec, Ec), End; !Ec && It != End;
+       It.increment(Ec)) {
+    if (It->is_regular_file(Ec) && It->path().extension() == ".mj")
+      Files.push_back(It->path());
+  }
+  std::sort(Files.begin(), Files.end());
+  if (Ec || Files.empty()) {
+    argError("--corpus", Spec.c_str(),
+             "'builtin' or a directory containing .mj files");
+    return false;
+  }
+  for (const fs::path &P : Files)
+    Entries.push_back({P.filename().string(), readFileOrDie(P.string())});
+  return true;
+}
+
+/// The --corpus driving mode: every program × the seed grid as one job
+/// graph on a shared work-stealing pool. The stdout summary is fully
+/// deterministic — program order is corpus input order and no timing
+/// or schedule-dependent value is printed — so `--jobs 1` and
+/// `--jobs N` outputs are byte-identical (cli_test.sh asserts this).
+int runCorpus(CliOptions &Opts) {
+  std::vector<parallel::CorpusEntry> Entries;
+  if (!collectCorpus(Opts.Corpus, Entries))
+    return 2;
+
+  // Default run plan: a seed grid, so seeded programs get a real
+  // input-size sweep out of the box. Explicit --seeds/--runs win.
+  if (Opts.Session.Seeds.empty() && Opts.Session.Runs == 1)
+    Opts.Session.Seeds = {4, 8, 12, 16, 20, 24};
+  size_t RunsPerProgram = Opts.Session.Seeds.empty()
+                              ? static_cast<size_t>(Opts.Session.Runs)
+                              : Opts.Session.Seeds.size();
+
+  parallel::CorpusRunner Runner(Opts.Session);
+  parallel::CorpusResult Result =
+      Runner.run(Entries, Opts.EntryClass, Opts.EntryMethod);
+
+  std::printf("corpus: %d program(s) x %d run(s), %llu compile(s), "
+              "%llu cache hit(s)\n\n",
+              static_cast<int>(Entries.size()),
+              static_cast<int>(RunsPerProgram),
+              static_cast<unsigned long long>(Result.Cache.Compiles),
+              static_cast<unsigned long long>(Result.Cache.Hits));
+
+  size_t NameWidth = 7; // "program"
+  for (const parallel::CorpusProgramResult &R : Result.Programs)
+    NameWidth = std::max(NameWidth, R.Name.size());
+  std::printf("%-*s  %5s  %6s  %11s  %6s  %10s  status\n",
+              static_cast<int>(NameWidth), "program", "runs", "merged",
+              "quarantined", "failed", "algorithms");
+
+  bool AnyBad = false;
+  for (const parallel::CorpusProgramResult &R : Result.Programs) {
+    if (!R.Error.empty()) {
+      AnyBad = true;
+      std::printf("%-*s  %5s  %6s  %11s  %6s  %10s  compile error\n",
+                  static_cast<int>(NameWidth), R.Name.c_str(), "-", "-",
+                  "-", "-", "-");
+      std::fprintf(stderr, "error: %s failed to compile:\n%s",
+                   R.Name.c_str(), R.Error.c_str());
+      continue;
+    }
+    size_t Quarantined = 0, Unquarantined = 0;
+    for (const resilience::FailureInfo &FI : R.Sweep.Failures) {
+      (FI.Quarantined ? Quarantined : Unquarantined) += 1;
+      std::string Budget =
+          FI.Budget.empty() ? "" : " (budget " + FI.Budget + ")";
+      std::fprintf(stderr, "%s: %s run %lld %s after %d attempt(s)%s: %s\n",
+                   FI.Quarantined ? "warning" : "error", R.Name.c_str(),
+                   static_cast<long long>(FI.Run),
+                   FI.Quarantined ? "quarantined" : "failed", FI.Attempts,
+                   Budget.c_str(), FI.Message.c_str());
+    }
+    size_t NumAlgos = R.Engine->buildProfiles(Opts.Grouping).size();
+    const char *Status = "ok";
+    if (!R.Sweep.usable()) {
+      Status = "failed";
+      AnyBad = true;
+    } else if (!R.Sweep.Failures.empty()) {
+      Status = "degraded";
+    }
+    std::printf("%-*s  %5d  %6lld  %11d  %6d  %10d  %s\n",
+                static_cast<int>(NameWidth), R.Name.c_str(),
+                static_cast<int>(R.Sweep.Runs.size()),
+                static_cast<long long>(R.Sweep.MergedRuns),
+                static_cast<int>(Quarantined),
+                static_cast<int>(Unquarantined),
+                static_cast<int>(NumAlgos), Status);
+  }
+
+  bool WriteFailed = false;
+  if (!Opts.TraceFile.empty()) {
+    if (resilience::ioWriteFaultArmed("trace") ||
+        !report::writeFile(Opts.TraceFile,
+                           obs::chromeTraceJson(obs::snapshot()))) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.TraceFile.c_str());
+      WriteFailed = true;
+    }
+  }
+  if (!Opts.MetricsFile.empty()) {
+    if (resilience::ioWriteFaultArmed("metrics") ||
+        !report::writeFile(Opts.MetricsFile,
+                           obs::prometheusText(obs::snapshot()))) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   Opts.MetricsFile.c_str());
+      WriteFailed = true;
+    }
+  }
+  return (AnyBad || WriteFailed) ? 1 : 0;
 }
 
 int runTool(int Argc, char **Argv) {
@@ -438,6 +607,9 @@ int runTool(int Argc, char **Argv) {
                  "warning: this binary was built with ALGOPROF_OBS=OFF; "
                  "--metrics will contain only zeros\n");
 #endif
+
+  if (!Opts.Corpus.empty())
+    return runCorpus(Opts);
 
   DiagnosticEngine Diags;
   auto CP = compileMiniJ(readFileOrDie(Opts.File), Diags);

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Build and run the `parallel` test label under ThreadSanitizer.
+#
+# This is the load-bearing form of the ALGOPROF_TSAN option: the ctest
+# test `tsan_parallel` (registered in tests/CMakeLists.txt for
+# non-sanitizer builds) invokes this script, which configures a child
+# build inside the current binary dir with -DALGOPROF_TSAN=ON, builds
+# the parallel test binary, and runs exactly the thread-heavy label —
+# the work-stealing pool, the streaming shard merges, and the 100+
+# perturbed-schedule property tests — with the race detector armed.
+#
+# Usage: run_tsan_tests.sh <source-dir> <binary-dir> [jobs]
+set -euo pipefail
+
+SRC=${1:?usage: run_tsan_tests.sh <source-dir> <binary-dir> [jobs]}
+BIN=${2:?usage: run_tsan_tests.sh <source-dir> <binary-dir> [jobs]}
+JOBS=${3:-$(nproc)}
+TSAN_DIR="$BIN/tsan"
+
+# Some kernels/containers cannot execute TSan binaries at all (address
+# space layout restrictions). Probe first and skip visibly (ctest
+# SKIP_RETURN_CODE 77) instead of failing the suite on an environment
+# limitation.
+PROBE_DIR=$(mktemp -d)
+trap 'rm -rf "$PROBE_DIR"' EXIT
+printf 'int main() { return 0; }\n' > "$PROBE_DIR/probe.cpp"
+if ! c++ -fsanitize=thread "$PROBE_DIR/probe.cpp" -o "$PROBE_DIR/probe" \
+     2>/dev/null || ! "$PROBE_DIR/probe" >/dev/null 2>&1; then
+  echo "SKIP: ThreadSanitizer is unavailable in this environment" >&2
+  exit 77
+fi
+
+cmake -S "$SRC" -B "$TSAN_DIR" -DALGOPROF_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$TSAN_DIR" --target algoprof_parallel_tests -j "$JOBS"
+cd "$TSAN_DIR"
+exec ctest -L parallel --output-on-failure -j "$JOBS"
