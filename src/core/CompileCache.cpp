@@ -5,23 +5,47 @@
 #include "obs/Obs.h"
 #include "support/Diagnostics.h"
 
+#include <algorithm>
+
 using namespace algoprof;
 using namespace algoprof::prof;
 
+namespace {
+
+/// FNV-1a 64: tiny, dependency-free, and good enough — collisions only
+/// cost a chain walk plus one string compare, never a wrong answer.
+uint64_t fnv1a64(const std::string &S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+} // namespace
+
 CompileCache::Result CompileCache::get(const std::string &Source) {
+  const uint64_t Key = fnv1a64(Source);
   std::shared_ptr<Entry> E;
   bool Owner = false;
   {
     std::lock_guard<std::mutex> Lock(M);
-    std::shared_ptr<Entry> &Slot = Entries[Source];
-    if (!Slot) {
-      Slot = std::make_shared<Entry>();
+    std::vector<std::shared_ptr<Entry>> &Chain = Entries[Key];
+    for (const std::shared_ptr<Entry> &C : Chain)
+      if (C->Source == Source) {
+        E = C;
+        break;
+      }
+    if (!E) {
+      E = std::make_shared<Entry>();
+      E->Source = Source;
+      Chain.push_back(E);
       Owner = true;
       S.Compiles += 1;
     } else {
       S.Hits += 1;
     }
-    E = Slot;
   }
   if (Owner) {
     obs::addCount(obs::Counter::CorpusCompiles);
@@ -47,6 +71,32 @@ CompileCache::Result CompileCache::get(const std::string &Source) {
   std::unique_lock<std::mutex> Lock(E->M);
   E->Cv.wait(Lock, [&] { return E->Done; });
   return E->R;
+}
+
+size_t CompileCache::invalidateErrors() {
+  std::lock_guard<std::mutex> Lock(M);
+  size_t Purged = 0;
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    std::vector<std::shared_ptr<Entry>> &Chain = It->second;
+    Chain.erase(std::remove_if(Chain.begin(), Chain.end(),
+                               [&](const std::shared_ptr<Entry> &E) {
+                                 // Lock order M -> E->M is safe: the
+                                 // compile path never acquires M while
+                                 // holding an entry lock.
+                                 std::lock_guard<std::mutex> EL(E->M);
+                                 if (!E->Done || E->R.ok())
+                                   return false;
+                                 Purged += 1;
+                                 return true;
+                               }),
+                Chain.end());
+    if (Chain.empty())
+      It = Entries.erase(It);
+    else
+      ++It;
+  }
+  S.ErrorsInvalidated += Purged;
+  return Purged;
 }
 
 CompileCache::Stats CompileCache::stats() const {

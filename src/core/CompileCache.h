@@ -1,14 +1,21 @@
 //===- core/CompileCache.h - Shared compilation cache -----------*- C++-*-===//
 ///
 /// \file
-/// A source-keyed, thread-safe memoizer over prof::compileMiniJ for
-/// corpus-scale batch profiling: when many sweep jobs profile the same
-/// program over different seeds, the program is compiled exactly once
-/// and every other request blocks until (or arrives after) that one
-/// compilation finishes, then shares the immutable CompiledProgram.
-/// Compile *errors* are cached too — a corpus with a broken program
-/// reports the same rendered diagnostics for every job that wanted it,
-/// without recompiling.
+/// A content-keyed, thread-safe memoizer over prof::compileMiniJ for
+/// corpus-scale batch profiling and the profiling daemon: when many
+/// sweep jobs profile the same program over different seeds, the
+/// program is compiled exactly once and every other request blocks
+/// until (or arrives after) that one compilation finishes, then shares
+/// the immutable CompiledProgram.
+///
+/// Keying is by the source *content* (a 64-bit FNV-1a hash with exact
+/// collision chains), never by a name or path: two requests share an
+/// entry iff their bytes are identical, so an edited program can never
+/// be served a stale compilation — or a stale error — from before the
+/// edit. Compile errors are cached too (same content, same rendered
+/// diagnostics, no recompile), but a long-lived daemon accumulates one
+/// error entry per broken submission; invalidateErrors() purges the
+/// resolved failures so the map does not grow without bound.
 ///
 /// Obs: corpus_compiles counts actual compilations, corpus_compile_hits
 /// counts requests served from the cache (including ones that waited on
@@ -26,6 +33,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace algoprof {
 namespace prof {
@@ -43,18 +51,27 @@ public:
   struct Stats {
     uint64_t Compiles = 0;
     uint64_t Hits = 0;
+    uint64_t ErrorsInvalidated = 0; ///< Entries purged by invalidateErrors.
   };
 
   /// Returns the compiled form of \p Source, compiling it on the
-  /// calling thread if this is the first request. Concurrent requests
-  /// for the same source block until the first one resolves. Safe to
-  /// call from pool workers.
+  /// calling thread if this is the first request for this content.
+  /// Concurrent requests for identical source block until the first
+  /// one resolves. Safe to call from pool workers.
   Result get(const std::string &Source);
+
+  /// Drops every *resolved* error entry, so the next request for that
+  /// content compiles afresh. In-flight compilations are left alone
+  /// (their waiters hold the entry by shared_ptr). Returns the number
+  /// of entries purged. The daemon calls this between sessions to keep
+  /// a stream of broken submissions from pinning memory forever.
+  size_t invalidateErrors();
 
   Stats stats() const;
 
 private:
   struct Entry {
+    std::string Source; ///< Exact content (hash-collision tiebreak).
     std::mutex M;
     std::condition_variable Cv;
     bool Done = false; ///< Under M.
@@ -62,7 +79,10 @@ private:
   };
 
   mutable std::mutex M;
-  std::map<std::string, std::shared_ptr<Entry>> Entries;
+  /// FNV-1a(content) -> all entries with that hash. Chains are almost
+  /// always length 1; the exact Source comparison makes collisions a
+  /// performance wrinkle, never a correctness hazard.
+  std::map<uint64_t, std::vector<std::shared_ptr<Entry>>> Entries;
   Stats S; ///< Under M.
 };
 

@@ -154,9 +154,11 @@ struct SessionOptions {
   /// Executions per run under Retry (first attempt included, >= 1).
   /// Retries use a fresh interpreter with the same inputs.
   int MaxAttempts = 3;
-  /// Armed deterministic faults. Run-scoped sites (heap-oom,
-  /// run-start-fail) fire inside the sweep engine; io-write-fail is
-  /// process-global (resilience::armProcessFaults) and ignored here.
+  /// Armed deterministic faults, all session-scoped. Run-scoped sites
+  /// (heap-oom, run-start-fail) fire inside the sweep engine;
+  /// io-write-fail is consulted by whoever writes this session's
+  /// report/trace/metrics output (Faults.firesIoWrite). Nothing is
+  /// process-global, so a daemon can arm faults per session.
   resilience::FaultPlan Faults;
 };
 

@@ -89,6 +89,14 @@ const char *obs::counterName(Counter C) {
     return "corpus_compiles";
   case Counter::CorpusCompileHits:
     return "corpus_compile_hits";
+  case Counter::SessionsAccepted:
+    return "sessions_accepted";
+  case Counter::SessionsRejected:
+    return "sessions_rejected";
+  case Counter::SessionsCompleted:
+    return "sessions_completed";
+  case Counter::BytesStreamed:
+    return "bytes_streamed";
   }
   return "?";
 }
@@ -286,6 +294,21 @@ Snapshot obs::snapshot() {
     S.TrackNames = G.TrackNames;
   }
   return S;
+}
+
+void obs::flushThisThread() {
+  Global &G = global();
+  ThreadState &S = tls();
+  std::lock_guard<std::mutex> Lock(G.M);
+  foldInto(G.Retired, S);
+  // Keep the lane assignments: the thread is still alive and its next
+  // span must land on the same trace track. RetiredThreads is *not*
+  // bumped — that gauge counts actual thread exits.
+  int32_t Track = S.Track;
+  int32_t Override = S.TrackOverride;
+  S = ThreadState();
+  S.Track = Track;
+  S.TrackOverride = Override;
 }
 
 void obs::resetForTest() {

@@ -13,12 +13,14 @@
 ///     stay in the source and the optimizer deletes them.
 ///  2. Thread-safe without hot-path synchronization. All increments go
 ///     to plain (non-atomic) thread-local state. A thread's state is
-///     folded into a mutex-guarded retired pool when the thread exits;
-///     snapshot() reads the retired pool plus the *calling thread's*
-///     own state. parallel::SweepEngine joins its workers before
-///     anything snapshots, so shard stats are always visible — this is
-///     the "thread-local aggregation merged at shard join" rule, and
-///     it is what keeps the registry TSan-clean.
+///     folded into a mutex-guarded shared pool when the thread exits —
+///     or whenever the thread calls flushThisThread(), which is how
+///     long-lived pool workers publish completed work without retiring
+///     (parallel::JobSystem flushes after every job, so a live
+///     `/metrics` scrape from the daemon sees worker counters mid-pool-
+///     lifetime). snapshot() reads the shared pool plus the *calling
+///     thread's* own state; only another thread's *in-flight* work is
+///     invisible, which is what keeps the registry TSan-clean.
 ///  3. Deterministic tests. The clock is injectable (setClockForTest),
 ///     so trace/metrics golden files are byte-stable.
 ///
@@ -89,9 +91,14 @@ enum class Counter : uint8_t {
   JobsStolen,         ///< Jobs a worker took from another worker's deque.
   CorpusCompiles,     ///< Programs compiled by the corpus compile cache.
   CorpusCompileHits,  ///< Compile-cache requests served without compiling.
+  SessionsAccepted,   ///< Daemon job requests admitted past the quotas.
+  SessionsRejected,   ///< Daemon job requests refused (protocol error,
+                      ///< quota, or the concurrent-session cap).
+  SessionsCompleted,  ///< Daemon sessions that streamed a final profile.
+  BytesStreamed,      ///< Frame payload bytes the daemon wrote to clients.
 };
 constexpr size_t NumCounters =
-    static_cast<size_t>(Counter::CorpusCompileHits) + 1;
+    static_cast<size_t>(Counter::BytesStreamed) + 1;
 
 /// Stable snake_case name ("bytecodes_executed").
 const char *counterName(Counter C);
@@ -169,6 +176,15 @@ void addCount(Counter C, uint64_t N = 1);
 /// Merges retired threads + the calling thread into one view.
 Snapshot snapshot();
 
+/// Folds the calling thread's state into the registry's shared pool and
+/// clears the thread-local view (the trace lane assignment survives).
+/// Long-lived threads that never retire — pool workers, daemon service
+/// threads — call this at work-item boundaries so a snapshot taken from
+/// *another* thread (a live `/metrics` scrape) sees their completed
+/// work instead of undercounting until thread exit. parallel::JobSystem
+/// workers flush after every job.
+void flushThisThread();
+
 /// Clears everything, including the calling thread's state. Test-only:
 /// callers must guarantee no other instrumented thread is running.
 void resetForTest();
@@ -238,6 +254,7 @@ inline bool tracingEnabled() { return false; }
 inline void setTrackName(int32_t, std::string) {}
 inline void addCount(Counter, uint64_t = 1) {}
 inline Snapshot snapshot() { return Snapshot(); }
+inline void flushThisThread() {}
 inline void resetForTest() {}
 
 class ScopedTimer {

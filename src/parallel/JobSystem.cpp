@@ -131,6 +131,11 @@ void JobSystem::workerMain(unsigned Me) {
       J = nullptr; // Release captures before signaling completion.
       Executed[Me] += 1;
       obs::addCount(obs::Counter::JobsExecuted);
+      // Publish this job's obs state before the completion handshake:
+      // workers never retire while the pool lives, so without the flush
+      // a snapshot taken from outside (a daemon /metrics scrape, or a
+      // caller after wait()) would miss everything the workers did.
+      obs::flushThisThread();
       std::lock_guard<std::mutex> Lock(M);
       Outstanding -= 1;
       if (Outstanding == 0)

@@ -97,8 +97,10 @@ public:
                      SchedulePerturbation Perturb = SchedulePerturbation());
 
   /// Waits for all submitted jobs, then stops and joins the workers.
-  /// Destruction is what folds the workers' thread-local obs state into
-  /// the registry's retired pool — snapshot after, not before.
+  /// Workers flush their thread-local obs state after every job
+  /// (obs::flushThisThread), so a snapshot taken any time after a job
+  /// completes — including from another thread while the pool is still
+  /// alive — sees that job's counters.
   ~JobSystem();
 
   JobSystem(const JobSystem &) = delete;

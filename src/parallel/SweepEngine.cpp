@@ -37,11 +37,16 @@ struct SweepEngine::Batch {
   int64_t FirstRunIndex = 0;
   int32_t Entry = -1;
 
-  /// Guards Ready and NextMerge — the "which shards are done / how far
-  /// has the merge advanced" bookkeeping. Held only for flag flips.
+  /// Guards Ready, NextMerge, and DoneRuns — the "which shards are
+  /// done / how far has the merge advanced" bookkeeping. Held only for
+  /// flag flips.
   std::mutex ReadyMu;
   std::vector<char> Ready;
   size_t NextMerge = 0;
+  /// Runs fully executed (all attempts). DoneCv fires when the count
+  /// reaches the batch size — what waitEnqueued() sleeps on.
+  size_t DoneRuns = 0;
+  std::condition_variable DoneCv;
 
   /// Serializes the merge itself (the engine's Acc / ObjIdOffset / Out
   /// writes). Workers try_lock it: whoever wins drains the ready
@@ -102,8 +107,8 @@ SweepEngine::sweepWithInputs(const std::string &Cls,
     Pool.wait();
     finishEnqueued();
     Out.Pool = Pool.stats();
-    // The pool destructs here, which folds the workers' thread-local
-    // obs state into the retired pool before any caller snapshots.
+    // Workers flushed their obs state after each job, so callers may
+    // snapshot as soon as this returns.
   }
   return Out;
 }
@@ -207,8 +212,15 @@ void SweepEngine::runOne(Batch &B, size_t I) {
       break;
     obs::addCount(obs::Counter::RunsRetried);
   }
-  std::lock_guard<std::mutex> Lock(B.ReadyMu);
-  B.Ready[I] = 1;
+  bool BatchDone;
+  {
+    std::lock_guard<std::mutex> Lock(B.ReadyMu);
+    B.Ready[I] = 1;
+    B.DoneRuns += 1;
+    BatchDone = B.DoneRuns == B.Shards.size();
+  }
+  if (BatchDone)
+    B.DoneCv.notify_all();
 }
 
 /// Folds shard \p I into the accumulator. Caller holds DrainMu; the
@@ -252,6 +264,20 @@ void SweepEngine::mergeShard(Batch &B, size_t I) {
     ++B.Out->MergedRuns;
     obs::addCount(obs::Counter::ShardsMerged);
   }
+  if (Observer) {
+    // Streamed under DrainMu, so deltas leave in run-index order —
+    // exactly the order the serial replay merges in.
+    RunDelta D;
+    D.Run = GlobalRun;
+    D.Index = I;
+    D.BatchRuns = B.Shards.size();
+    D.Status = S.Result.Status;
+    D.Budget = S.Result.Budget;
+    D.Attempts = S.Attempts;
+    D.Quarantined = Quarantine;
+    D.MergedRuns = B.Out->MergedRuns;
+    Observer(D);
+  }
   S.Prof.reset();
   B.Inputs[I] = vm::IoChannels(); // Release the run's input early too.
 }
@@ -272,6 +298,16 @@ void SweepEngine::drainReady(Batch &B, bool Blocking) {
     }
     mergeShard(B, I);
   }
+}
+
+void SweepEngine::waitEnqueued() {
+  if (!Active)
+    return;
+  Batch &B = *Active;
+  std::unique_lock<std::mutex> Lock(B.ReadyMu);
+  B.DoneCv.wait(Lock, [&] { return B.DoneRuns == B.Shards.size(); });
+  // The last worker may still be inside its opportunistic drain; that
+  // is fine — finishEnqueued's blocking drain serializes behind it.
 }
 
 void SweepEngine::finishEnqueued() {

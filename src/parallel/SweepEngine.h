@@ -28,12 +28,30 @@
 #include "core/Session.h"
 #include "parallel/JobSystem.h"
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 namespace algoprof {
 namespace parallel {
+
+/// What the streaming merge just folded in: one completed run, reported
+/// the moment its shard merged (or was quarantined). Deltas arrive
+/// strictly in run-index order — the same order the final profile's
+/// serial replay uses — which is what lets a daemon stream per-run
+/// progress to a client while guaranteeing the finished profile is
+/// byte-identical to the serial session's.
+struct RunDelta {
+  int64_t Run = -1;      ///< Global run index (across sweep() calls).
+  size_t Index = 0;      ///< Run's index within its batch.
+  size_t BatchRuns = 0;  ///< Total runs in the batch.
+  vm::RunStatus Status = vm::RunStatus::Ok;
+  std::string Budget;    ///< Tripped budget, empty for clean runs.
+  int Attempts = 1;      ///< Executions, retries included.
+  bool Quarantined = false;
+  int64_t MergedRuns = 0; ///< Batch runs merged so far, this one included.
+};
 
 /// Per-run results of one sweep, in seed (run-index) order, plus the
 /// degraded-run bookkeeping added by the resilience layer.
@@ -121,10 +139,31 @@ public:
                     const std::vector<vm::IoChannels> &RunInputs,
                     SweepResult *Out);
 
+  /// Blocks until every run of the in-flight enqueueSweep batch has
+  /// executed (not necessarily merged — finishEnqueued does that).
+  /// Unlike JobSystem::wait() this waits for *this engine's* jobs only,
+  /// which is what lets many sessions share one pool: each session
+  /// waits for its own batch while the pool keeps executing everyone
+  /// else's. No-op when no batch is in flight.
+  void waitEnqueued();
+
   /// Completes an enqueueSweep batch: merges any shards the workers
   /// left behind (strictly in run-index order) and releases the batch.
-  /// Call only after the pool's wait() returned.
+  /// Call only after the pool's wait() — or this engine's
+  /// waitEnqueued() — returned.
   void finishEnqueued();
+
+  /// Observes every merged (or quarantined) run. Invoked from inside
+  /// the merge — on whichever worker advanced the cursor, or on the
+  /// finishEnqueued() caller — serialized by the merge lock and
+  /// strictly in run-index order. The observer must not call back into
+  /// this engine; it may block briefly (the daemon's per-session stream
+  /// queue), which only delays this engine's merge, not run execution.
+  using RunObserver = std::function<void(const RunDelta &)>;
+
+  /// Installs \p Obs for subsequent sweeps (null to clear). Set before
+  /// enqueueSweep; not thread-safe against an in-flight batch.
+  void setRunObserver(RunObserver Obs) { Observer = std::move(Obs); }
 
   /// Arms a seeded schedule perturbation for subsequent own-pool
   /// sweeps (test hook; not part of SessionOptions, so option-parity
@@ -171,6 +210,8 @@ private:
   int64_t TotalRuns = 0;
   /// Test-only schedule randomization for own-pool sweeps.
   SchedulePerturbation Perturb;
+  /// Streaming per-run callback; see setRunObserver.
+  RunObserver Observer;
   /// The in-flight enqueueSweep batch, if any.
   std::shared_ptr<Batch> Active;
 };

@@ -179,20 +179,3 @@ std::string FaultPlan::str() const {
   }
   return Out;
 }
-
-namespace {
-/// The process-global plan, consulted only for IoWrite sites. Armed
-/// once by the CLI before any writer runs; plain data, no locking.
-FaultPlan &processPlan() {
-  static FaultPlan P;
-  return P;
-}
-} // namespace
-
-void resilience::armProcessFaults(const FaultPlan &Plan) {
-  processPlan() = Plan;
-}
-
-bool resilience::ioWriteFaultArmed(const std::string &Stream) {
-  return processPlan().firesIoWrite(Stream);
-}

@@ -127,16 +127,12 @@ struct FailureInfo {
   bool Injected = false;     ///< Caused by an armed FaultPlan site.
 };
 
-/// Arms the process-global io-write faults (the CLI does this once,
-/// before any report/trace/metrics write). Run-scoped faults travel
-/// through SessionOptions instead; only IoWrite faults are consulted
-/// globally. Not thread-safe: arm before spawning workers.
-void armProcessFaults(const FaultPlan &Plan);
-
-/// True when an armed io-write fault targets \p Stream ("report" |
-/// "trace" | "metrics"). Writers check this before touching the file
-/// and treat a hit exactly like a failed write.
-bool ioWriteFaultArmed(const std::string &Stream);
+// Io-write faults are session-scoped, not process-global: every fault —
+// run-scoped and io-scoped alike — travels in SessionOptions::Faults,
+// and writers consult `Plan.firesIoWrite(Stream)` for the session whose
+// output they are producing. A daemon hosting many concurrent sessions
+// can therefore inject an io failure into one session without another
+// session's report writer seeing it.
 
 } // namespace resilience
 } // namespace algoprof

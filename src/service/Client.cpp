@@ -1,0 +1,151 @@
+//===- service/Client.cpp -------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace algoprof;
+using namespace algoprof::service;
+
+namespace {
+
+/// Connects to the daemon's Unix socket; -1 with \p Err on failure.
+int connectTo(const std::string &SocketPath, std::string &Err) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path empty or too long: '" + SocketPath + "'";
+    return -1;
+  }
+  std::memcpy(Addr.sun_path, SocketPath.c_str(), SocketPath.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = std::string("connect '") + SocketPath +
+          "': " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// No client-side payload cap: the Profile frame is as large as the
+/// profile. The daemon is trusted; a hostile peer is not this layer's
+/// threat model.
+constexpr size_t MaxReplyPayload = 1u << 28;
+
+} // namespace
+
+bool service::runJob(const std::string &SocketPath, const JobRequest &Job,
+                     StreamResult &Out, std::string &Err,
+                     const std::function<void(const RunDeltaMsg &)> &OnDelta) {
+  Out = StreamResult();
+  int Fd = connectTo(SocketPath, Err);
+  if (Fd < 0)
+    return false;
+  if (!sendFrame(Fd, FrameType::Job, encodeJobRequest(Job))) {
+    Err = "connection dropped while sending the job";
+    ::close(Fd);
+    return false;
+  }
+  bool Transport = true;
+  for (;;) {
+    Frame F;
+    ReadStatus RS = readFrame(Fd, F, MaxReplyPayload);
+    if (RS == ReadStatus::Eof) {
+      // Clean close: valid after Done or Error, truncated otherwise.
+      if (!Out.HaveDone && !Out.HaveError) {
+        Err = "stream ended before done/error";
+        Transport = false;
+      }
+      break;
+    }
+    if (RS != ReadStatus::Ok) {
+      Err = "broken reply stream";
+      Transport = false;
+      break;
+    }
+    switch (F.Type) {
+    case FrameType::Accepted:
+      if (!parseAccepted(F.Payload, Out.Acceptance)) {
+        Err = "bad accepted payload";
+        Transport = false;
+      }
+      Out.Accepted = true;
+      break;
+    case FrameType::RunDelta: {
+      RunDeltaMsg M;
+      if (!parseRunDelta(F.Payload, M)) {
+        Err = "bad run-delta payload";
+        Transport = false;
+        break;
+      }
+      if (OnDelta)
+        OnDelta(M);
+      Out.Deltas.push_back(std::move(M));
+      break;
+    }
+    case FrameType::Profile:
+      Out.ProfileJson = std::move(F.Payload);
+      Out.HaveProfile = true;
+      break;
+    case FrameType::Done:
+      if (!parseDone(F.Payload, Out.Done)) {
+        Err = "bad done payload";
+        Transport = false;
+      }
+      Out.HaveDone = true;
+      break;
+    case FrameType::Error:
+      if (!parseError(F.Payload, Out.Error)) {
+        Err = "bad error payload";
+        Transport = false;
+      }
+      Out.HaveError = true;
+      break;
+    case FrameType::Job:
+      Err = "daemon sent a job frame";
+      Transport = false;
+      break;
+    }
+    if (!Transport || Out.HaveDone || Out.HaveError)
+      break;
+  }
+  ::close(Fd);
+  return Transport;
+}
+
+bool service::sendRaw(const std::string &SocketPath,
+                      const std::string &RawBytes, Frame &Reply,
+                      bool &GotReply, std::string &Err) {
+  GotReply = false;
+  int Fd = connectTo(SocketPath, Err);
+  if (Fd < 0)
+    return false;
+  const char *P = RawBytes.data();
+  size_t N = RawBytes.size();
+  while (N > 0) {
+    ssize_t W = ::send(Fd, P, N, MSG_NOSIGNAL);
+    if (W <= 0) {
+      if (W < 0 && errno == EINTR)
+        continue;
+      break; // Daemon may already have rejected and closed; keep going.
+    }
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+  // Half-close so a daemon waiting for more bytes sees EOF now rather
+  // than its read timeout — the truncated-frame tests rely on this.
+  ::shutdown(Fd, SHUT_WR);
+  GotReply = readFrame(Fd, Reply, MaxReplyPayload) == ReadStatus::Ok;
+  ::close(Fd);
+  return true;
+}

@@ -1,0 +1,63 @@
+//===- service/Client.h - Blocking algoprofd client -------------*- C++-*-===//
+///
+/// \file
+/// A small synchronous client for the profiling daemon: connect to the
+/// Unix-domain socket, send one Job frame, consume the streamed reply
+/// (Accepted, RunDelta*, Profile, Done — or Error). Used by the
+/// `algoprofd` self-test mode and the service tests; a non-C++ client
+/// only needs the framing in service/Protocol.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_SERVICE_CLIENT_H
+#define ALGOPROF_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace service {
+
+/// Everything one streamed session produced, in arrival order.
+struct StreamResult {
+  bool Accepted = false;
+  AcceptedMsg Acceptance;
+  std::vector<RunDeltaMsg> Deltas;
+  std::string ProfileJson;
+  bool HaveProfile = false;
+  DoneMsg Done;
+  bool HaveDone = false;
+  ErrorMsg Error; ///< Set when the daemon rejected the job.
+  bool HaveError = false;
+
+  /// The full happy path: accepted, profile delivered, stream closed
+  /// cleanly with Done.
+  bool ok() const { return Accepted && HaveProfile && HaveDone; }
+};
+
+/// Runs \p Job against the daemon at \p SocketPath, collecting the
+/// whole stream. Returns false (with \p Err set) only on transport
+/// problems — connect failure, a malformed reply, a dropped
+/// connection; a daemon-side rejection is a *successful* exchange with
+/// Out.HaveError set. \p OnDelta, when non-null, observes each
+/// RunDelta as it arrives (before it is appended to Out.Deltas).
+bool runJob(const std::string &SocketPath, const JobRequest &Job,
+            StreamResult &Out, std::string &Err,
+            const std::function<void(const RunDeltaMsg &)> &OnDelta =
+                nullptr);
+
+/// Connects and writes \p RawBytes verbatim, then reads one reply
+/// frame. A test hook for protocol edge cases (malformed or truncated
+/// frames) that runJob can never produce. Returns false on connect
+/// failure. When the daemon answers, \p Reply holds the frame and
+/// \p GotReply is true; a silent close leaves GotReply false.
+bool sendRaw(const std::string &SocketPath, const std::string &RawBytes,
+             Frame &Reply, bool &GotReply, std::string &Err);
+
+} // namespace service
+} // namespace algoprof
+
+#endif // ALGOPROF_SERVICE_CLIENT_H

@@ -1,0 +1,455 @@
+//===- service/Daemon.cpp -------------------------------------------------===//
+
+#include "service/Daemon.h"
+
+#include "core/Session.h"
+#include "obs/MetricsExport.h"
+#include "obs/Obs.h"
+#include "parallel/SweepEngine.h"
+#include "programs/Programs.h"
+#include "report/Reporter.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace algoprof;
+using namespace algoprof::service;
+
+namespace {
+
+unsigned poolWorkers(unsigned Requested) {
+  return Requested == 0 ? std::max(1u, std::thread::hardware_concurrency())
+                        : Requested;
+}
+
+void setRecvTimeout(int Fd, unsigned Ms) {
+  struct timeval Tv;
+  Tv.tv_sec = Ms / 1000;
+  Tv.tv_usec = static_cast<suseconds_t>((Ms % 1000) * 1000);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+}
+
+const programs::CorpusProgram *findCorpusProgram(const std::string &Name) {
+  for (const programs::CorpusProgram &P : programs::corpusPrograms())
+    if (P.Name == Name)
+      return &P;
+  return nullptr;
+}
+
+} // namespace
+
+Daemon::Daemon(DaemonOptions O)
+    : Opts(std::move(O)), Pool(poolWorkers(Opts.Workers)) {}
+
+Daemon::~Daemon() { stop(); }
+
+Daemon::Stats Daemon::stats() const {
+  Stats S;
+  S.Accepted = StatAccepted.load();
+  S.Rejected = StatRejected.load();
+  S.Completed = StatCompleted.load();
+  S.BytesStreamed = StatBytes.load();
+  return S;
+}
+
+bool Daemon::start(std::string &Err) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.empty() ||
+      Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path empty or too long: '" + Opts.SocketPath + "'";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Opts.SocketPath.c_str(),
+              Opts.SocketPath.size() + 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(Opts.SocketPath.c_str()); // Stale socket from a dead daemon.
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+          0 ||
+      ::listen(ListenFd, 64) < 0) {
+    Err = std::string("bind/listen '") + Opts.SocketPath +
+          "': " + std::strerror(errno);
+    ::close(ListenFd);
+    ListenFd = -1;
+    return false;
+  }
+
+  if (Opts.MetricsPort >= 0) {
+    MetricsFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (MetricsFd < 0) {
+      Err = std::string("metrics socket: ") + std::strerror(errno);
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    int One = 1;
+    ::setsockopt(MetricsFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in MAddr{};
+    MAddr.sin_family = AF_INET;
+    MAddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    MAddr.sin_port = htons(static_cast<uint16_t>(Opts.MetricsPort));
+    socklen_t MLen = sizeof(MAddr);
+    if (::bind(MetricsFd, reinterpret_cast<sockaddr *>(&MAddr), MLen) < 0 ||
+        ::listen(MetricsFd, 16) < 0 ||
+        ::getsockname(MetricsFd, reinterpret_cast<sockaddr *>(&MAddr),
+                      &MLen) < 0) {
+      Err = std::string("metrics bind/listen: ") + std::strerror(errno);
+      ::close(ListenFd);
+      ::close(MetricsFd);
+      ListenFd = MetricsFd = -1;
+      return false;
+    }
+    BoundMetricsPort = ntohs(MAddr.sin_port);
+    MetricsThread = std::thread([this] { metricsLoop(); });
+  }
+
+  AcceptThread = std::thread([this] { acceptLoop(); });
+  Started = true;
+  return true;
+}
+
+void Daemon::stop() {
+  if (!Started || Stopping.exchange(true))
+    return;
+  // Unblock the accept loops; accept() fails once the fd is shut down.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  if (MetricsFd >= 0)
+    ::shutdown(MetricsFd, SHUT_RDWR);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (MetricsThread.joinable())
+    MetricsThread.join();
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    // Yank every in-flight session's socket out from under it: blocked
+    // reads/writes fail, the session thread runs to its end, joins here.
+    for (std::unique_ptr<Session> &S : Sessions)
+      ::shutdown(S->Fd, SHUT_RDWR);
+    for (std::unique_ptr<Session> &S : Sessions) {
+      if (S->T.joinable())
+        S->T.join();
+      ::close(S->Fd);
+    }
+    Sessions.clear();
+  }
+  ::close(ListenFd);
+  ListenFd = -1;
+  if (MetricsFd >= 0) {
+    ::close(MetricsFd);
+    MetricsFd = -1;
+  }
+  ::unlink(Opts.SocketPath.c_str());
+}
+
+bool Daemon::reject(int Fd, const char *Code, const std::string &Message) {
+  // Counted BEFORE the Error frame goes out, for the same reason
+  // completions are: a client that has read the rejection must already
+  // see it in stats() and on /metrics.
+  StatRejected.fetch_add(1);
+  obs::addCount(obs::Counter::SessionsRejected);
+  obs::flushThisThread();
+  sendFrame(Fd, FrameType::Error, encodeError(Code, Message));
+  return false;
+}
+
+void Daemon::reapLocked() {
+  for (auto It = Sessions.begin(); It != Sessions.end();) {
+    if ((*It)->Finished.load()) {
+      (*It)->T.join();
+      ::close((*It)->Fd);
+      It = Sessions.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void Daemon::acceptLoop() {
+  for (;;) {
+    int C = ::accept(ListenFd, nullptr, nullptr);
+    if (C < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // Shut down (or the listen socket died) — either way out.
+    }
+    if (Stopping.load()) {
+      ::close(C);
+      return;
+    }
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    reapLocked();
+    if (Opts.MaxSessions != 0 && Sessions.size() >= Opts.MaxSessions) {
+      // Rejected before a byte is read: admission is by connection, so
+      // an overloaded daemon sheds load without parsing anything.
+      reject(C, errc::TooManySessions,
+             "session limit " + std::to_string(Opts.MaxSessions) +
+                 " reached");
+      ::close(C);
+      continue;
+    }
+    Sessions.push_back(std::make_unique<Session>());
+    Session &S = *Sessions.back();
+    S.Fd = C;
+    S.T = std::thread([this, &S] { handleSession(S); });
+  }
+}
+
+void Daemon::handleSession(Session &S) {
+  const int Fd = S.Fd;
+  setRecvTimeout(Fd, Opts.ReadTimeoutMs);
+
+  // --- Read and validate the job -------------------------------------
+  bool Ok = [&]() -> bool {
+    Frame F;
+    switch (readFrame(Fd, F, Opts.MaxFrameBytes)) {
+    case ReadStatus::Ok:
+      break;
+    case ReadStatus::Eof:
+      return false; // Connected and left; nothing to answer.
+    case ReadStatus::Truncated:
+      return reject(Fd, errc::MalformedFrame, "truncated frame");
+    case ReadStatus::BadType:
+      return reject(Fd, errc::MalformedFrame, "unknown frame type");
+    case ReadStatus::Oversized:
+      return reject(Fd, errc::OversizedFrame,
+                    "payload exceeds " +
+                        std::to_string(Opts.MaxFrameBytes) + " bytes");
+    }
+    if (F.Type != FrameType::Job)
+      return reject(Fd, errc::MalformedFrame,
+                    std::string("expected job frame, got ") +
+                        frameTypeName(F.Type));
+
+    JobRequest R;
+    std::string Err;
+    if (!parseJobRequest(F.Payload, R, Err))
+      return reject(Fd, errc::BadRequest, Err);
+
+    resilience::FaultPlan Faults;
+    if (!resilience::FaultPlan::parse(R.InjectSpec, Faults, Err))
+      return reject(Fd, errc::BadRequest, "invalid inject spec: " + Err);
+
+    // --- Quotas: the budget machinery as admission control ----------
+    const SessionQuota &Q = Opts.Quota;
+    uint64_t NumRuns = R.Seeds.empty() ? static_cast<uint64_t>(R.Runs)
+                                       : R.Seeds.size();
+    if (Q.MaxRuns != 0 && NumRuns > Q.MaxRuns)
+      return reject(Fd, errc::QuotaExceeded,
+                    "job wants " + std::to_string(NumRuns) +
+                        " runs, quota is " + std::to_string(Q.MaxRuns));
+    if (Q.MaxSourceBytes != 0 && R.Source.size() > Q.MaxSourceBytes)
+      return reject(Fd, errc::QuotaExceeded,
+                    "source is " + std::to_string(R.Source.size()) +
+                        " bytes, quota is " +
+                        std::to_string(Q.MaxSourceBytes));
+    if (Q.MaxHeapBytes != 0) {
+      if (R.MaxHeapBytes > Q.MaxHeapBytes)
+        return reject(Fd, errc::QuotaExceeded,
+                      "max-heap-bytes " + std::to_string(R.MaxHeapBytes) +
+                          " exceeds quota " +
+                          std::to_string(Q.MaxHeapBytes));
+      if (R.MaxHeapBytes == 0) // Unlimited request: clamp to the cap.
+        R.MaxHeapBytes = Q.MaxHeapBytes;
+    }
+    if (Q.MaxRunDeadlineMs != 0) {
+      if (R.RunDeadlineMs > Q.MaxRunDeadlineMs)
+        return reject(Fd, errc::QuotaExceeded,
+                      "deadline-ms " + std::to_string(R.RunDeadlineMs) +
+                          " exceeds quota " +
+                          std::to_string(Q.MaxRunDeadlineMs));
+      if (R.RunDeadlineMs == 0)
+        R.RunDeadlineMs = Q.MaxRunDeadlineMs;
+    }
+    if (Q.MaxAttempts != 0 &&
+        static_cast<uint64_t>(R.MaxAttempts) > Q.MaxAttempts)
+      return reject(Fd, errc::QuotaExceeded,
+                    "retry attempts " + std::to_string(R.MaxAttempts) +
+                        " exceed quota " + std::to_string(Q.MaxAttempts));
+
+    // --- Compile (shared, content-keyed) ----------------------------
+    const std::string *Source = &R.Source;
+    if (!R.Corpus.empty()) {
+      const programs::CorpusProgram *P = findCorpusProgram(R.Corpus);
+      if (!P)
+        return reject(Fd, errc::BadRequest,
+                      "unknown corpus program '" + R.Corpus + "'");
+      Source = &P->Source;
+    }
+    prof::CompileCache::Result CR = Cache.get(*Source);
+    if (!CR.ok()) {
+      // Errors are answered, not hoarded: purge resolved failures so a
+      // stream of broken submissions cannot pin memory forever (a
+      // fixed resubmission has different content and misses anyway).
+      reject(Fd, errc::CompileError, CR.Error);
+      Cache.invalidateErrors();
+      return false;
+    }
+    const prof::CompiledProgram &CP = *CR.Program;
+    if (CP.entryMethod(R.EntryClass, R.EntryMethod) < 0)
+      return reject(Fd, errc::BadRequest,
+                    "no static no-arg method " + R.EntryClass + "." +
+                        R.EntryMethod);
+
+    // --- Accepted: build the session --------------------------------
+    StatAccepted.fetch_add(1);
+    obs::addCount(obs::Counter::SessionsAccepted);
+    obs::flushThisThread();
+
+    uint64_t Bytes = 0;
+    AcceptedMsg A;
+    A.Session = NextSessionId.fetch_add(1);
+    A.Runs = NumRuns;
+    // A client gone mid-stream only mutes the stream: the session
+    // still runs to completion on the shared pool (its work is
+    // already queued; other sessions are unaffected).
+    bool ClientGone =
+        !sendFrame(Fd, FrameType::Accepted, encodeAccepted(A), &Bytes);
+
+    prof::SessionOptions SO;
+    SO.Seeds = R.Seeds;
+    SO.Runs = R.Runs;
+    SO.Input = R.Input;
+    SO.Policy = R.Policy;
+    SO.MaxAttempts = R.MaxAttempts;
+    SO.Faults = Faults;
+    SO.Run.MaxHeapBytes = R.MaxHeapBytes;
+    SO.Run.RunDeadlineMs = R.RunDeadlineMs;
+
+    std::vector<vm::IoChannels> RunInputs;
+    if (R.Seeds.empty()) {
+      RunInputs.resize(NumRuns);
+      for (vm::IoChannels &Io : RunInputs)
+        Io.Input = R.Input;
+    } else {
+      RunInputs.resize(R.Seeds.size());
+      for (size_t I = 0; I < R.Seeds.size(); ++I)
+        RunInputs[I].Input.push_back(R.Seeds[I]);
+    }
+
+    parallel::SweepEngine Engine(CP, SO);
+    // Deltas stream from whichever thread advances the merge — a pool
+    // worker or this thread's final drain — serialized by the merge
+    // lock, strictly in run-index order. ClientGone/Bytes are safe to
+    // read after finishEnqueued(): the merge lock orders every
+    // observer call before the final drain's release.
+    Engine.setRunObserver([&](const parallel::RunDelta &D) {
+      if (ClientGone)
+        return;
+      RunDeltaMsg M;
+      M.Run = D.Run;
+      M.Index = D.Index;
+      M.Total = D.BatchRuns;
+      M.Status = vm::runStatusName(D.Status);
+      M.Budget = D.Budget;
+      M.Attempts = D.Attempts;
+      M.Quarantined = D.Quarantined;
+      M.MergedRuns = D.MergedRuns;
+      if (!sendFrame(Fd, FrameType::RunDelta, encodeRunDelta(M), &Bytes))
+        ClientGone = true;
+    });
+
+    parallel::SweepResult Sweep;
+    Engine.enqueueSweep(Pool, R.EntryClass, R.EntryMethod, RunInputs,
+                        &Sweep);
+    Engine.waitEnqueued();
+    Engine.finishEnqueued();
+
+    // --- Final profile: the serial CLI's exact bytes ----------------
+    std::vector<prof::AlgorithmProfile> Profiles = Engine.buildProfiles();
+    report::ReportInput RI{&Engine.tree(), &Engine.inputs(), &Profiles,
+                           &Sweep.Failures};
+    std::string Doc = report::Registry::builtin().find("json")->render(RI);
+    if (!ClientGone)
+      ClientGone = !sendFrame(Fd, FrameType::Profile, Doc, &Bytes);
+
+    DoneMsg DM;
+    DM.Runs = NumRuns;
+    DM.MergedRuns = static_cast<uint64_t>(Sweep.MergedRuns);
+    DM.DegradedRuns = Sweep.Failures.size();
+    const std::string DonePayload = encodeDone(DM);
+    // Completion is counted BEFORE the Done frame goes out: a client
+    // that has read Done must already observe this session in stats()
+    // and on /metrics (tests poll exactly that edge). The Done frame's
+    // wire size is included up front for the same reason; if the send
+    // then fails the overcount is 5+|payload| bytes to a peer that
+    // vanished mid-stream — noise, not accounting.
+    if (!ClientGone)
+      Bytes += encodeFrame(FrameType::Done, DonePayload).size();
+    StatCompleted.fetch_add(1);
+    StatBytes.fetch_add(Bytes);
+    obs::addCount(obs::Counter::SessionsCompleted);
+    obs::addCount(obs::Counter::BytesStreamed, Bytes);
+    obs::flushThisThread();
+    if (!ClientGone)
+      sendFrame(Fd, FrameType::Done, DonePayload);
+    return true;
+  }();
+  (void)Ok;
+
+  // Publish this session's counters before the socket closes, so a
+  // scrape racing the client's next action already sees them.
+  obs::flushThisThread();
+  ::shutdown(Fd, SHUT_RDWR);
+  S.Finished.store(true); // reapLocked() joins and closes.
+}
+
+//===----------------------------------------------------------------------===//
+// /metrics
+//===----------------------------------------------------------------------===//
+
+void Daemon::metricsLoop() {
+  for (;;) {
+    int C = ::accept(MetricsFd, nullptr, nullptr);
+    if (C < 0) {
+      if (errno == EINTR)
+        continue;
+      return;
+    }
+    if (Stopping.load()) {
+      ::close(C);
+      return;
+    }
+    setRecvTimeout(C, 2000);
+    // Enough of HTTP for a Prometheus scrape: read the request head,
+    // match the request line, answer, close.
+    std::string Req;
+    char Buf[1024];
+    while (Req.find("\r\n") == std::string::npos && Req.size() < 8192) {
+      ssize_t R = ::recv(C, Buf, sizeof(Buf), 0);
+      if (R <= 0)
+        break;
+      Req.append(Buf, static_cast<size_t>(R));
+    }
+    std::string Status = "404 Not Found", Body = "not found\n";
+    if (Req.rfind("GET /metrics ", 0) == 0 ||
+        Req.rfind("GET /metrics\r", 0) == 0) {
+      Status = "200 OK";
+      Body = obs::prometheusText(obs::snapshot());
+    }
+    std::string Resp = "HTTP/1.1 " + Status +
+                       "\r\nContent-Type: text/plain; version=0.0.4"
+                       "\r\nContent-Length: " +
+                       std::to_string(Body.size()) +
+                       "\r\nConnection: close\r\n\r\n" + Body;
+    size_t Off = 0;
+    while (Off < Resp.size()) {
+      ssize_t W = ::send(C, Resp.data() + Off, Resp.size() - Off,
+                         MSG_NOSIGNAL);
+      if (W <= 0)
+        break;
+      Off += static_cast<size_t>(W);
+    }
+    ::close(C);
+  }
+}

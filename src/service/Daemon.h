@@ -1,0 +1,157 @@
+//===- service/Daemon.h - Streaming profiling-as-a-service ------*- C++-*-===//
+///
+/// \file
+/// algoprofd's engine: a persistent daemon that accepts profiling jobs
+/// over a Unix-domain socket (service/Protocol.h) and multiplexes any
+/// number of concurrent sessions onto ONE shared work-stealing pool.
+/// Each accepted session compiles through the shared prof::CompileCache
+/// (identical source across sessions compiles once), enqueues its runs
+/// via parallel::SweepEngine::enqueueSweep, streams a RunDelta frame as
+/// each run merges — strictly in run-index order — and finishes with
+/// the complete algoprof-profile/2 JSON, byte-identical to what the
+/// serial CLI prints for the same program + seeds (the sweep engine's
+/// determinism guarantee, now load-bearing for a service).
+///
+/// Admission control reuses the budget machinery instead of inventing
+/// a scheduler: a per-daemon SessionQuota caps runs per session,
+/// heap-byte budgets, deadlines, and retry attempts (requests beyond a
+/// cap are rejected `quota-exceeded`; unlimited requests are clamped
+/// down to the cap), and MaxSessions bounds concurrency (`too-many-
+/// sessions`). Faults arm per session through SessionOptions::Faults —
+/// nothing is process-global, so one session's injected io failure
+/// cannot leak into a neighbor's stream.
+///
+/// Observability: a minimal HTTP endpoint (127.0.0.1, `GET /metrics`)
+/// serves obs::prometheusText of the live registry — meaningful
+/// mid-flight because pool workers and session threads publish through
+/// obs::flushThisThread — including the service counters
+/// sessions_accepted / sessions_rejected / sessions_completed /
+/// bytes_streamed. See docs/service.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_SERVICE_DAEMON_H
+#define ALGOPROF_SERVICE_DAEMON_H
+
+#include "core/CompileCache.h"
+#include "parallel/JobSystem.h"
+#include "service/Protocol.h"
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace algoprof {
+namespace service {
+
+/// Per-session admission caps. Zero always means "no cap".
+struct SessionQuota {
+  uint64_t MaxRuns = 0;        ///< Seeds/runs per job.
+  uint64_t MaxSourceBytes = 0; ///< Inline source size.
+  /// Heap-byte ceiling per run. A job asking for more is rejected; a
+  /// job asking for unlimited (0) is clamped down to the cap, so no
+  /// admitted run can out-allocate the daemon.
+  uint64_t MaxHeapBytes = 0;
+  uint64_t MaxRunDeadlineMs = 0; ///< Same clamp-or-reject rule.
+  uint64_t MaxAttempts = 0;      ///< Retry executions per run.
+};
+
+struct DaemonOptions {
+  std::string SocketPath; ///< Unix-domain socket to listen on.
+  /// Worker threads of the one shared pool (0 = hardware concurrency).
+  unsigned Workers = 0;
+  /// Concurrent sessions admitted; further connections are rejected
+  /// with errc::TooManySessions. 0 = unlimited.
+  size_t MaxSessions = 0;
+  /// Largest Job frame payload accepted (errc::OversizedFrame above).
+  size_t MaxFrameBytes = 1u << 20;
+  /// Receive timeout while reading the Job frame: a client that
+  /// connects and stalls mid-frame is dropped as truncated instead of
+  /// pinning a session thread forever.
+  unsigned ReadTimeoutMs = 5000;
+  /// /metrics HTTP port on 127.0.0.1: -1 disables the endpoint,
+  /// 0 binds an ephemeral port (read it back via metricsPort()).
+  int MetricsPort = -1;
+  SessionQuota Quota;
+};
+
+class Daemon {
+public:
+  /// Exact per-daemon service totals (the obs counters aggregate the
+  /// same events process-wide; tests that run several daemons in one
+  /// binary assert on these instead).
+  struct Stats {
+    uint64_t Accepted = 0;
+    uint64_t Rejected = 0;
+    uint64_t Completed = 0;
+    uint64_t BytesStreamed = 0;
+  };
+
+  explicit Daemon(DaemonOptions Opts);
+  ~Daemon(); ///< Calls stop().
+
+  Daemon(const Daemon &) = delete;
+  Daemon &operator=(const Daemon &) = delete;
+
+  /// Binds the sockets and spawns the accept / metrics threads.
+  /// Returns false with a description in \p Err (socket path too long,
+  /// bind failure, ...). Call at most once.
+  bool start(std::string &Err);
+
+  /// Stops accepting, shuts down every in-flight session's socket,
+  /// joins all threads, and removes the socket file. Idempotent.
+  void stop();
+
+  /// The bound /metrics port (0 until start() with MetricsPort >= 0).
+  int metricsPort() const { return BoundMetricsPort; }
+
+  Stats stats() const;
+
+  const DaemonOptions &options() const { return Opts; }
+
+private:
+  struct Session {
+    int Fd = -1;
+    std::thread T;
+    std::atomic<bool> Finished{false};
+  };
+
+  void acceptLoop();
+  void metricsLoop();
+  void handleSession(Session &S);
+  /// Sends an Error frame, counts the rejection, and returns false
+  /// (so call sites read `return reject(...)`).
+  bool reject(int Fd, const char *Code, const std::string &Message);
+  /// Joins and erases every finished session. Caller holds SessionsMu.
+  void reapLocked();
+
+  DaemonOptions Opts;
+  parallel::JobSystem Pool;
+  prof::CompileCache Cache;
+
+  int ListenFd = -1;
+  int MetricsFd = -1;
+  int BoundMetricsPort = 0;
+  std::thread AcceptThread;
+  std::thread MetricsThread;
+  std::atomic<bool> Stopping{false};
+  bool Started = false;
+
+  std::mutex SessionsMu;
+  std::list<std::unique_ptr<Session>> Sessions; ///< Under SessionsMu.
+  std::atomic<uint64_t> NextSessionId{1};
+
+  std::atomic<uint64_t> StatAccepted{0};
+  std::atomic<uint64_t> StatRejected{0};
+  std::atomic<uint64_t> StatCompleted{0};
+  std::atomic<uint64_t> StatBytes{0};
+};
+
+} // namespace service
+} // namespace algoprof
+
+#endif // ALGOPROF_SERVICE_DAEMON_H

@@ -188,16 +188,20 @@ TEST(ResilienceFaultPlan, RejectsMalformedSpecs) {
   }
 }
 
-TEST(ResilienceFaultPlan, ProcessArmingGatesIoWrites) {
-  FaultPlan P;
+// Io-write faults are session-scoped: each plan answers only for its
+// own streams, and two plans coexist without any process-global state
+// (the property the daemon's concurrent sessions rely on).
+TEST(ResilienceFaultPlan, IoWriteFaultsAreSessionScoped) {
+  FaultPlan A, B;
   std::string Err;
-  ASSERT_TRUE(FaultPlan::parse("io-write-fail@trace", P, Err)) << Err;
-  armProcessFaults(P);
-  EXPECT_TRUE(ioWriteFaultArmed("trace"));
-  EXPECT_FALSE(ioWriteFaultArmed("report"));
-  EXPECT_FALSE(ioWriteFaultArmed("metrics"));
-  armProcessFaults(FaultPlan()); // disarm for the rest of the binary
-  EXPECT_FALSE(ioWriteFaultArmed("trace"));
+  ASSERT_TRUE(FaultPlan::parse("io-write-fail@trace", A, Err)) << Err;
+  ASSERT_TRUE(FaultPlan::parse("io-write-fail@report", B, Err)) << Err;
+  EXPECT_TRUE(A.firesIoWrite("trace"));
+  EXPECT_FALSE(A.firesIoWrite("report"));
+  EXPECT_FALSE(A.firesIoWrite("metrics"));
+  EXPECT_TRUE(B.firesIoWrite("report"));
+  EXPECT_FALSE(B.firesIoWrite("trace"));
+  EXPECT_FALSE(FaultPlan().firesIoWrite("trace"));
 }
 
 //===----------------------------------------------------------------------===//

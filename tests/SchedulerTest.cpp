@@ -17,6 +17,7 @@
 
 #include "SweepTestUtil.h"
 #include "TestUtil.h"
+#include "obs/Obs.h"
 #include "parallel/JobSystem.h"
 #include "programs/Programs.h"
 
@@ -66,6 +67,37 @@ TEST(JobSystemTest, WaitCoversNestedSubmissions) {
   EXPECT_EQ(Leaves.load(), 5 * 4 * 2);
   EXPECT_EQ(Pool.stats().totalExecuted(), 5u + 5 * 4 + 5 * 4 * 2);
 }
+
+#if ALGOPROF_OBS_ENABLED
+TEST(JobSystemTest, WorkerCountersVisibleMidPoolLifetime) {
+  // Pool workers never retire while their pool is alive, so the old
+  // exit-time-only TLS folding reported zero jobs_executed to any
+  // scrape taken mid-lifetime — exactly when a daemon's /metrics is
+  // read. Workers now flush after every job: a snapshot between
+  // wait() and pool destruction must already see all of them.
+  obs::Snapshot Before = obs::snapshot();
+  JobSystem Pool(3);
+  constexpr uint64_t N = 64;
+  std::atomic<uint64_t> Ran{0};
+  for (uint64_t I = 0; I < N; ++I)
+    Pool.submit([&Ran] { Ran.fetch_add(1); });
+  Pool.wait();
+  EXPECT_EQ(Ran.load(), N);
+
+  obs::Snapshot After = obs::snapshot();
+  obs::Snapshot Mid = After.deltaFrom(Before);
+  constexpr size_t JobsExecuted =
+      static_cast<size_t>(obs::Counter::JobsExecuted);
+  EXPECT_EQ(Mid.Counters[JobsExecuted], N)
+      << "mid-lifetime snapshot undercounts pool work (workers only "
+         "folded their TLS counters at thread exit)";
+  // The workers are parked, not retired: flushThisThread must publish
+  // counts without inflating the retired-thread gauge.
+  constexpr size_t RetiredThreads =
+      static_cast<size_t>(obs::Gauge::RetiredThreads);
+  EXPECT_EQ(After.Gauges[RetiredThreads], Before.Gauges[RetiredThreads]);
+}
+#endif // ALGOPROF_OBS_ENABLED
 
 TEST(JobSystemTest, SingleWorkerPreservesSubmissionOrder) {
   // With one worker the pool degenerates to a FIFO queue — the property

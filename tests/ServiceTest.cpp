@@ -1,0 +1,733 @@
+//===- tests/ServiceTest.cpp - Daemon, protocol, and streaming tests ------===//
+//
+// The profiling-as-a-service layer end to end: wire codecs, daemon
+// admission control (frame hygiene, quotas, session caps), streamed
+// sessions whose final profile must be byte-identical to the serial
+// CLI path, client-disconnect survival, the /metrics endpoint, the
+// content-keyed CompileCache, and a 64-session concurrent soak with
+// fault injection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CompileCache.h"
+#include "core/Session.h"
+#include "programs/Programs.h"
+#include "support/Diagnostics.h"
+#include "report/Reporter.h"
+#include "service/Client.h"
+#include "service/Daemon.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace algoprof;
+using namespace algoprof::service;
+
+namespace {
+
+/// A unique socket path per test: /tmp keeps it under the sun_path
+/// limit regardless of how deep the build tree sits.
+std::string testSocketPath() {
+  static std::atomic<int> Counter{0};
+  return "/tmp/algoprofd-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(Counter.fetch_add(1)) + ".sock";
+}
+
+/// Connects a raw client socket; -1 on failure.
+int rawConnect(const std::string &Path) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+/// The serial reference: exactly what the CLI renders for the same
+/// program + options with --format json (ProfileDriver is the CLI's
+/// one-true-path; the daemon's streamed profile must match its bytes).
+std::string serialReferenceJson(const std::string &Source,
+                                prof::SessionOptions SO) {
+  DiagnosticEngine Diags;
+  std::unique_ptr<prof::CompiledProgram> CP =
+      prof::compileMiniJ(Source, Diags);
+  EXPECT_TRUE(CP) << Diags.str();
+  SO.Jobs = 1;
+  prof::ProfileDriver Driver(*CP, SO);
+  Driver.runAll("Main", "main");
+  std::vector<prof::AlgorithmProfile> Profiles = Driver.buildProfiles();
+  report::ReportInput RI{&Driver.tree(), &Driver.inputs(), &Profiles,
+                         &Driver.failures()};
+  return report::Registry::builtin().find("json")->render(RI);
+}
+
+const std::string &corpusSource(const std::string &Name) {
+  for (const programs::CorpusProgram &P : programs::corpusPrograms())
+    if (P.Name == Name)
+      return P.Source;
+  ADD_FAILURE() << "no corpus program " << Name;
+  static std::string Empty;
+  return Empty;
+}
+
+/// One HTTP GET against the daemon's metrics port; returns the whole
+/// response (headers + body), empty on connect failure.
+std::string httpGet(int Port, const std::string &Path) {
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return "";
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return "";
+  }
+  std::string Req = "GET " + Path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)!::send(Fd, Req.data(), Req.size(), MSG_NOSIGNAL);
+  std::string Resp;
+  char Buf[4096];
+  ssize_t R;
+  while ((R = ::recv(Fd, Buf, sizeof(Buf), 0)) > 0)
+    Resp.append(Buf, static_cast<size_t>(R));
+  ::close(Fd);
+  return Resp;
+}
+
+struct DaemonFixture {
+  DaemonOptions Opts;
+  std::unique_ptr<Daemon> D;
+
+  explicit DaemonFixture(DaemonOptions O = DaemonOptions()) {
+    Opts = std::move(O);
+    if (Opts.SocketPath.empty())
+      Opts.SocketPath = testSocketPath();
+    if (Opts.Workers == 0)
+      Opts.Workers = 2;
+    D = std::make_unique<Daemon>(Opts);
+    std::string Err;
+    EXPECT_TRUE(D->start(Err)) << Err;
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Protocol codecs
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceProtocol, FrameRoundtripOverSocketpair) {
+  int Sv[2];
+  ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, Sv));
+  std::string Payload = "hello\n\0binary\xff ok";
+  Payload += std::string(1, '\0');
+  ASSERT_TRUE(sendFrame(Sv[0], FrameType::Profile, Payload));
+  Frame F;
+  ASSERT_EQ(ReadStatus::Ok, readFrame(Sv[1], F, 1 << 20));
+  EXPECT_EQ(FrameType::Profile, F.Type);
+  EXPECT_EQ(Payload, F.Payload);
+
+  // Oversized: declared length above the cap, body never read.
+  ASSERT_TRUE(sendFrame(Sv[0], FrameType::Job, std::string(64, 'x')));
+  EXPECT_EQ(ReadStatus::Oversized, readFrame(Sv[1], F, 16));
+
+  ::close(Sv[0]);
+  ::close(Sv[1]);
+}
+
+TEST(ServiceProtocol, JobRequestRoundtrip) {
+  JobRequest R;
+  R.Source = "class Main { static void main() { } }\nwith=weird\nlines";
+  R.Seeds = {4, 8, 12};
+  R.Policy = resilience::FailurePolicy::Retry;
+  R.MaxAttempts = 5;
+  R.MaxHeapBytes = 1 << 20;
+  R.RunDeadlineMs = 250;
+  R.InjectSpec = "heap-oom@run1:once";
+  R.EntryClass = "App";
+  R.EntryMethod = "run";
+
+  JobRequest P;
+  std::string Err;
+  ASSERT_TRUE(parseJobRequest(encodeJobRequest(R), P, Err)) << Err;
+  EXPECT_EQ(R.Source, P.Source);
+  EXPECT_EQ(R.Seeds, P.Seeds);
+  EXPECT_EQ(R.Policy, P.Policy);
+  EXPECT_EQ(R.MaxAttempts, P.MaxAttempts);
+  EXPECT_EQ(R.MaxHeapBytes, P.MaxHeapBytes);
+  EXPECT_EQ(R.RunDeadlineMs, P.RunDeadlineMs);
+  EXPECT_EQ(R.InjectSpec, P.InjectSpec);
+  EXPECT_EQ(R.EntryClass, P.EntryClass);
+  EXPECT_EQ(R.EntryMethod, P.EntryMethod);
+
+  JobRequest C;
+  C.Corpus = "insertion_sort";
+  C.Runs = 3;
+  C.Input = {7, 9};
+  ASSERT_TRUE(parseJobRequest(encodeJobRequest(C), P, Err)) << Err;
+  EXPECT_EQ(C.Corpus, P.Corpus);
+  EXPECT_EQ(C.Runs, P.Runs);
+  EXPECT_EQ(C.Input, P.Input);
+}
+
+TEST(ServiceProtocol, JobRequestRejectsGarbage) {
+  JobRequest P;
+  std::string Err;
+  // Wrong version, unknown key, bad ints, wrong source byte count,
+  // neither corpus nor source, both corpus and source.
+  for (const std::string &Bad : {
+           std::string("algoprof-job/9\ncorpus=x\n"),
+           std::string("algoprof-job/1\nwat=1\ncorpus=x\n"),
+           std::string("algoprof-job/1\ncorpus=x\nruns=zero\n"),
+           std::string("algoprof-job/1\nsource=10\nshort"),
+           std::string("algoprof-job/1\nruns=2\n"),
+           std::string("algoprof-job/1\ncorpus=x\nsource=2\nhi"),
+       }) {
+    EXPECT_FALSE(parseJobRequest(Bad, P, Err)) << Bad;
+    EXPECT_FALSE(Err.empty());
+  }
+}
+
+TEST(ServiceProtocol, ResponseCodecs) {
+  AcceptedMsg A;
+  A.Session = 42;
+  A.Runs = 7;
+  AcceptedMsg A2;
+  ASSERT_TRUE(parseAccepted(encodeAccepted(A), A2));
+  EXPECT_EQ(A.Session, A2.Session);
+  EXPECT_EQ(A.Runs, A2.Runs);
+
+  RunDeltaMsg M;
+  M.Run = 3;
+  M.Index = 3;
+  M.Total = 8;
+  M.Status = "budget";
+  M.Budget = "heap_bytes";
+  M.Attempts = 2;
+  M.Quarantined = true;
+  M.MergedRuns = 3;
+  RunDeltaMsg M2;
+  ASSERT_TRUE(parseRunDelta(encodeRunDelta(M), M2));
+  EXPECT_EQ(M.Run, M2.Run);
+  EXPECT_EQ(M.Status, M2.Status);
+  EXPECT_EQ(M.Budget, M2.Budget);
+  EXPECT_EQ(M.Attempts, M2.Attempts);
+  EXPECT_EQ(M.Quarantined, M2.Quarantined);
+  EXPECT_EQ(M.MergedRuns, M2.MergedRuns);
+
+  DoneMsg D;
+  D.Runs = 8;
+  D.MergedRuns = 7;
+  D.DegradedRuns = 1;
+  DoneMsg D2;
+  ASSERT_TRUE(parseDone(encodeDone(D), D2));
+  EXPECT_EQ(D.MergedRuns, D2.MergedRuns);
+  EXPECT_EQ(D.DegradedRuns, D2.DegradedRuns);
+
+  ErrorMsg E;
+  ASSERT_TRUE(parseError(
+      encodeError(errc::CompileError, "line 3: bad\nline 4: worse"), E));
+  EXPECT_EQ(errc::CompileError, E.Code);
+  EXPECT_EQ("line 3: bad\nline 4: worse", E.Message);
+}
+
+//===----------------------------------------------------------------------===//
+// CompileCache: content keying and error recovery
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceCompileCache, ErrorThenFixedSourceRecompiles) {
+  prof::CompileCache Cache;
+  const std::string Broken = "class Main { static void main() { oops }";
+  const std::string Fixed = corpusSource("insertion_sort");
+
+  prof::CompileCache::Result R1 = Cache.get(Broken);
+  EXPECT_FALSE(R1.ok());
+  EXPECT_FALSE(R1.Error.empty());
+  // Same content: the cached error is served, nothing recompiles.
+  prof::CompileCache::Result R2 = Cache.get(Broken);
+  EXPECT_FALSE(R2.ok());
+  EXPECT_EQ(R1.Error, R2.Error);
+  EXPECT_EQ(1u, Cache.stats().Compiles);
+  EXPECT_EQ(1u, Cache.stats().Hits);
+
+  // The fix is different content, so it can never collide with the
+  // stale error — the old path-keyed cache would have returned the
+  // error forever.
+  prof::CompileCache::Result R3 = Cache.get(Fixed);
+  EXPECT_TRUE(R3.ok()) << R3.Error;
+
+  // invalidateErrors purges resolved failures only.
+  EXPECT_EQ(1u, Cache.invalidateErrors());
+  EXPECT_EQ(1u, Cache.stats().ErrorsInvalidated);
+  prof::CompileCache::Result R4 = Cache.get(Broken);
+  EXPECT_FALSE(R4.ok());
+  EXPECT_EQ(3u, Cache.stats().Compiles); // Broken recompiled after purge.
+  prof::CompileCache::Result R5 = Cache.get(Fixed);
+  EXPECT_TRUE(R5.ok());
+  EXPECT_EQ(R3.Program.get(), R5.Program.get()); // Success entry survived.
+}
+
+//===----------------------------------------------------------------------===//
+// Streamed sessions: byte-identical profiles
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDaemon, StreamsCorpusSessionByteIdenticalToSerial) {
+  DaemonFixture F;
+  JobRequest Job;
+  Job.Corpus = "seeded_insertion_sort_random";
+  Job.Seeds = {4, 8, 12, 16};
+
+  StreamResult R;
+  std::string Err;
+  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
+  ASSERT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+  EXPECT_EQ(4u, R.Acceptance.Runs);
+
+  // Deltas arrive strictly in run-index order, one per run.
+  ASSERT_EQ(4u, R.Deltas.size());
+  for (size_t I = 0; I < R.Deltas.size(); ++I) {
+    EXPECT_EQ(static_cast<int64_t>(I), R.Deltas[I].Run);
+    EXPECT_EQ("ok", R.Deltas[I].Status);
+    EXPECT_EQ(4u, R.Deltas[I].Total);
+    EXPECT_EQ(static_cast<int64_t>(I) + 1, R.Deltas[I].MergedRuns);
+  }
+  EXPECT_EQ(4u, R.Done.Runs);
+  EXPECT_EQ(4u, R.Done.MergedRuns);
+  EXPECT_EQ(0u, R.Done.DegradedRuns);
+
+  prof::SessionOptions SO;
+  SO.Seeds = Job.Seeds;
+  EXPECT_EQ(serialReferenceJson(corpusSource(Job.Corpus), SO),
+            R.ProfileJson);
+
+  Daemon::Stats S = F.D->stats();
+  EXPECT_EQ(1u, S.Accepted);
+  EXPECT_EQ(1u, S.Completed);
+  EXPECT_EQ(0u, S.Rejected);
+  EXPECT_GT(S.BytesStreamed, R.ProfileJson.size());
+}
+
+TEST(ServiceDaemon, StreamsInlineSourceWithInjectedFaults) {
+  DaemonFixture F;
+  JobRequest Job;
+  Job.Source = corpusSource("seeded_insertion_sort_reversed");
+  Job.Seeds = {4, 8, 12, 16, 20};
+  Job.Policy = resilience::FailurePolicy::Skip;
+  Job.InjectSpec = "run-start-fail@run2";
+
+  StreamResult R;
+  std::string Err;
+  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
+  ASSERT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+  ASSERT_EQ(5u, R.Deltas.size());
+  EXPECT_EQ("trap", R.Deltas[2].Status);
+  EXPECT_TRUE(R.Deltas[2].Quarantined);
+  EXPECT_EQ(5u, R.Done.Runs);
+  EXPECT_EQ(4u, R.Done.MergedRuns); // Exactly the quarantined run missing.
+  EXPECT_EQ(1u, R.Done.DegradedRuns);
+
+  prof::SessionOptions SO;
+  SO.Seeds = Job.Seeds;
+  SO.Policy = Job.Policy;
+  std::string FErr;
+  ASSERT_TRUE(
+      resilience::FaultPlan::parse(Job.InjectSpec, SO.Faults, FErr));
+  EXPECT_EQ(serialReferenceJson(Job.Source, SO), R.ProfileJson);
+  EXPECT_NE(R.ProfileJson.find("\"degraded_runs\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control and protocol edge cases
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Sends raw bytes and expects an Error frame back with \p Code.
+void expectRawError(const std::string &Socket, const std::string &Raw,
+                    const std::string &Code) {
+  Frame Reply;
+  bool GotReply = false;
+  std::string Err;
+  ASSERT_TRUE(sendRaw(Socket, Raw, Reply, GotReply, Err)) << Err;
+  ASSERT_TRUE(GotReply) << "daemon closed without an error frame";
+  ASSERT_EQ(FrameType::Error, Reply.Type);
+  ErrorMsg E;
+  ASSERT_TRUE(parseError(Reply.Payload, E));
+  EXPECT_EQ(Code, E.Code) << E.Message;
+}
+
+} // namespace
+
+TEST(ServiceDaemon, RejectsMalformedAndTruncatedFrames) {
+  DaemonOptions O;
+  O.MaxFrameBytes = 4096;
+  DaemonFixture F(std::move(O));
+
+  // Unknown frame-type byte.
+  std::string BadType = encodeFrame(FrameType::Job, "x");
+  BadType[4] = 0x7f;
+  expectRawError(F.Opts.SocketPath, BadType, errc::MalformedFrame);
+
+  // Truncated header: three of five bytes, then EOF.
+  expectRawError(F.Opts.SocketPath, std::string("\x00\x00\x01", 3),
+                 errc::MalformedFrame);
+
+  // Truncated payload: header promises 100 bytes, delivers 10.
+  std::string Short = encodeFrame(FrameType::Job, std::string(100, 'y'));
+  Short.resize(5 + 10);
+  expectRawError(F.Opts.SocketPath, Short, errc::MalformedFrame);
+
+  // Right framing, wrong frame type for an opening message.
+  expectRawError(F.Opts.SocketPath, encodeFrame(FrameType::Done, ""),
+                 errc::MalformedFrame);
+
+  // Oversized: the declared length alone triggers rejection; the body
+  // is never transmitted.
+  std::string Huge = encodeFrame(FrameType::Job, "");
+  Huge[0] = 0x01; // 16 MiB declared, nothing sent.
+  expectRawError(F.Opts.SocketPath, Huge, errc::OversizedFrame);
+
+  // A payload the codec rejects.
+  expectRawError(F.Opts.SocketPath,
+                 encodeFrame(FrameType::Job, "not-a-version\n"),
+                 errc::BadRequest);
+  expectRawError(
+      F.Opts.SocketPath,
+      encodeFrame(FrameType::Job, "algoprof-job/1\ncorpus=no_such\n"),
+      errc::BadRequest);
+
+  EXPECT_EQ(7u, F.D->stats().Rejected);
+  EXPECT_EQ(0u, F.D->stats().Accepted);
+}
+
+TEST(ServiceDaemon, EnforcesSessionQuotas) {
+  DaemonOptions O;
+  O.Quota.MaxRuns = 4;
+  O.Quota.MaxSourceBytes = 1 << 16;
+  O.Quota.MaxHeapBytes = 1 << 20;
+  O.Quota.MaxRunDeadlineMs = 10000;
+  O.Quota.MaxAttempts = 3;
+  DaemonFixture F(std::move(O));
+
+  auto expectQuota = [&](const JobRequest &Job) {
+    StreamResult R;
+    std::string Err;
+    ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
+    ASSERT_TRUE(R.HaveError);
+    EXPECT_EQ(errc::QuotaExceeded, R.Error.Code) << R.Error.Message;
+  };
+
+  JobRequest TooManyRuns;
+  TooManyRuns.Corpus = "seeded_insertion_sort_random";
+  TooManyRuns.Seeds = {1, 2, 3, 4, 5};
+  expectQuota(TooManyRuns);
+
+  JobRequest TooMuchHeap;
+  TooMuchHeap.Corpus = "seeded_insertion_sort_random";
+  TooMuchHeap.Seeds = {4};
+  TooMuchHeap.MaxHeapBytes = (1 << 20) + 1;
+  expectQuota(TooMuchHeap);
+
+  JobRequest TooLongDeadline = TooMuchHeap;
+  TooLongDeadline.MaxHeapBytes = 0;
+  TooLongDeadline.RunDeadlineMs = 10001;
+  expectQuota(TooLongDeadline);
+
+  JobRequest TooManyAttempts = TooMuchHeap;
+  TooManyAttempts.MaxHeapBytes = 0;
+  TooManyAttempts.Policy = resilience::FailurePolicy::Retry;
+  TooManyAttempts.MaxAttempts = 4;
+  expectQuota(TooManyAttempts);
+
+  JobRequest TooBigSource;
+  TooBigSource.Source = std::string((1 << 16) + 1, 'x');
+  TooBigSource.Seeds = {4};
+  expectQuota(TooBigSource);
+
+  // Within quota still works; the unlimited heap request was clamped
+  // to the cap, which these tiny runs never hit.
+  JobRequest Ok;
+  Ok.Corpus = "seeded_insertion_sort_random";
+  Ok.Seeds = {4, 8};
+  StreamResult R;
+  std::string Err;
+  ASSERT_TRUE(runJob(F.Opts.SocketPath, Ok, R, Err)) << Err;
+  EXPECT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+  EXPECT_EQ(5u, F.D->stats().Rejected);
+  EXPECT_EQ(1u, F.D->stats().Completed);
+}
+
+TEST(ServiceDaemon, RejectsWhenSessionLimitReached) {
+  DaemonOptions O;
+  O.MaxSessions = 1;
+  O.ReadTimeoutMs = 10000; // The idle holder must outlive the test.
+  DaemonFixture F(std::move(O));
+
+  // An idle connection occupies the only slot (admission is per
+  // connection, before any byte is parsed).
+  int Holder = rawConnect(F.Opts.SocketPath);
+  ASSERT_GE(Holder, 0);
+
+  JobRequest Job;
+  Job.Corpus = "seeded_insertion_sort_random";
+  Job.Seeds = {4};
+  StreamResult R;
+  std::string Err;
+  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
+  ASSERT_TRUE(R.HaveError);
+  EXPECT_EQ(errc::TooManySessions, R.Error.Code);
+
+  // Freeing the slot re-admits. The daemon reaps finished sessions on
+  // the accept path, so retry until the close has been observed.
+  ::close(Holder);
+  bool Admitted = false;
+  for (int Try = 0; Try < 100 && !Admitted; ++Try) {
+    ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
+    if (R.ok())
+      Admitted = true;
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(Admitted);
+}
+
+TEST(ServiceDaemon, CompileErrorsAreAnsweredAndNotPermanent) {
+  DaemonFixture F;
+  const std::string Broken = "class Main { static void main() { ";
+  JobRequest Bad;
+  Bad.Source = Broken;
+  Bad.Seeds = {4};
+
+  StreamResult R;
+  std::string Err;
+  ASSERT_TRUE(runJob(F.Opts.SocketPath, Bad, R, Err)) << Err;
+  ASSERT_TRUE(R.HaveError);
+  EXPECT_EQ(errc::CompileError, R.Error.Code);
+  EXPECT_FALSE(R.Error.Message.empty());
+
+  // The "fixed" resubmission is new content: it compiles and profiles
+  // (under the old path-keyed error caching this returned the stale
+  // diagnostics forever).
+  JobRequest Fixed = Bad;
+  Fixed.Source = corpusSource("seeded_insertion_sort_random");
+  ASSERT_TRUE(runJob(F.Opts.SocketPath, Fixed, R, Err)) << Err;
+  EXPECT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+
+  // And the same broken source again still answers (recompiled after
+  // the daemon purged the error entry; behavior, not blowup).
+  ASSERT_TRUE(runJob(F.Opts.SocketPath, Bad, R, Err)) << Err;
+  ASSERT_TRUE(R.HaveError);
+  EXPECT_EQ(errc::CompileError, R.Error.Code);
+}
+
+TEST(ServiceDaemon, SurvivesClientDisconnectMidStream) {
+  DaemonFixture F;
+
+  // By hand: send the job, read Accepted, vanish. The daemon keeps
+  // running the session on the shared pool and completes it.
+  JobRequest Job;
+  Job.Corpus = "seeded_insertion_sort_random";
+  Job.Seeds = {4, 8, 12, 16, 20, 24};
+  int Fd = rawConnect(F.Opts.SocketPath);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendFrame(Fd, FrameType::Job, encodeJobRequest(Job)));
+  Frame A;
+  ASSERT_EQ(ReadStatus::Ok, readFrame(Fd, A, 1 << 20));
+  ASSERT_EQ(FrameType::Accepted, A.Type);
+  ::close(Fd); // Gone mid-stream.
+
+  // The abandoned session still completes (bounded wait).
+  bool Completed = false;
+  for (int Try = 0; Try < 500 && !Completed; ++Try) {
+    if (F.D->stats().Completed >= 1)
+      Completed = true;
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(Completed);
+
+  // The pool is unaffected: a fresh session streams normally and its
+  // profile still matches the serial reference byte for byte.
+  StreamResult R;
+  std::string Err;
+  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
+  ASSERT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+  prof::SessionOptions SO;
+  SO.Seeds = Job.Seeds;
+  EXPECT_EQ(serialReferenceJson(corpusSource(Job.Corpus), SO),
+            R.ProfileJson);
+  EXPECT_EQ(2u, F.D->stats().Accepted);
+  EXPECT_EQ(2u, F.D->stats().Completed);
+}
+
+//===----------------------------------------------------------------------===//
+// /metrics
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDaemon, MetricsEndpointServesLiveRegistry) {
+  DaemonOptions O;
+  O.MetricsPort = 0; // Ephemeral.
+  DaemonFixture F(std::move(O));
+  ASSERT_GT(F.D->metricsPort(), 0);
+
+  JobRequest Job;
+  Job.Corpus = "seeded_insertion_sort_random";
+  Job.Seeds = {4, 8, 12};
+  StreamResult R;
+  std::string Err;
+  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
+  ASSERT_TRUE(R.ok());
+
+  // Scraped MID pool lifetime: the daemon's workers are alive and will
+  // never retire, so nonzero worker counters here prove the per-job
+  // obs::flushThisThread publication (the old exit-time-only folding
+  // reported zeros until shutdown).
+  std::string Resp = httpGet(F.D->metricsPort(), "/metrics");
+  ASSERT_NE(Resp.find("200 OK"), std::string::npos) << Resp;
+  EXPECT_NE(Resp.find("algoprof_counter_total{counter=\"sessions_"
+                      "accepted\"}"),
+            std::string::npos);
+  // Counters are process-cumulative across tests in this binary, so
+  // assert presence-and-nonzero, not exact values (exact accounting is
+  // Daemon::stats()'s job, asserted everywhere above).
+  EXPECT_EQ(Resp.find("algoprof_counter_total{counter=\"sessions_"
+                      "completed\"} 0\n"),
+            std::string::npos);
+  EXPECT_EQ(Resp.find("algoprof_counter_total{counter=\"jobs_executed\"} "
+                      "0\n"),
+            std::string::npos);
+  EXPECT_EQ(Resp.find("algoprof_counter_total{counter=\"bytes_streamed\"} "
+                      "0\n"),
+            std::string::npos);
+
+  EXPECT_NE(httpGet(F.D->metricsPort(), "/nope").find("404"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Soak: 64 concurrent streamed sessions under fault injection
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDaemon, Soak64ConcurrentSessionsWithFaults) {
+  DaemonOptions O;
+  O.Workers = 4;
+  O.MetricsPort = 0;
+  DaemonFixture F(std::move(O));
+
+  // Four program/option shapes, 16 sessions each. Shape 3 injects a
+  // startup fault under the skip policy, so a quarter of all sessions
+  // exercise quarantine accounting concurrently.
+  struct Shape {
+    std::string Corpus;
+    std::vector<int64_t> Seeds;
+    resilience::FailurePolicy Policy;
+    std::string Inject;
+    size_t Quarantined;
+  };
+  const std::vector<Shape> Shapes = {
+      {"seeded_insertion_sort_random", {4, 8, 12, 16},
+       resilience::FailurePolicy::Fail, "", 0},
+      {"seeded_insertion_sort_sorted", {4, 8, 12},
+       resilience::FailurePolicy::Fail, "", 0},
+      {"seeded_insertion_sort_reversed", {4, 8, 12, 16, 20},
+       resilience::FailurePolicy::Fail, "", 0},
+      {"seeded_insertion_sort_random", {4, 8, 12, 16},
+       resilience::FailurePolicy::Skip, "run-start-fail@run1", 1},
+  };
+
+  // References computed once per shape through the serial CLI path;
+  // every concurrent streamed session must reproduce them exactly.
+  std::vector<std::string> Reference(Shapes.size());
+  for (size_t I = 0; I < Shapes.size(); ++I) {
+    prof::SessionOptions SO;
+    SO.Seeds = Shapes[I].Seeds;
+    SO.Policy = Shapes[I].Policy;
+    std::string FErr;
+    ASSERT_TRUE(
+        resilience::FaultPlan::parse(Shapes[I].Inject, SO.Faults, FErr));
+    Reference[I] = serialReferenceJson(corpusSource(Shapes[I].Corpus), SO);
+  }
+
+  constexpr size_t NumSessions = 64;
+  std::vector<std::string> Failures(NumSessions);
+  std::vector<std::thread> Clients;
+  Clients.reserve(NumSessions);
+  for (size_t I = 0; I < NumSessions; ++I)
+    Clients.emplace_back([&, I] {
+      const Shape &Sh = Shapes[I % Shapes.size()];
+      JobRequest Job;
+      Job.Corpus = Sh.Corpus;
+      Job.Seeds = Sh.Seeds;
+      Job.Policy = Sh.Policy;
+      Job.InjectSpec = Sh.Inject;
+      StreamResult R;
+      std::string Err;
+      if (!runJob(F.Opts.SocketPath, Job, R, Err)) {
+        Failures[I] = "transport: " + Err;
+        return;
+      }
+      if (!R.ok()) {
+        Failures[I] = R.Error.Code + ": " + R.Error.Message;
+        return;
+      }
+      if (R.Deltas.size() != Sh.Seeds.size()) {
+        Failures[I] = "expected " + std::to_string(Sh.Seeds.size()) +
+                      " deltas, got " + std::to_string(R.Deltas.size());
+        return;
+      }
+      size_t Quarantined = 0;
+      for (size_t K = 0; K < R.Deltas.size(); ++K) {
+        if (R.Deltas[K].Run != static_cast<int64_t>(K)) {
+          Failures[I] = "deltas out of order";
+          return;
+        }
+        Quarantined += R.Deltas[K].Quarantined ? 1 : 0;
+      }
+      // Exact quarantine accounting, per session, under concurrency.
+      if (Quarantined != Sh.Quarantined ||
+          R.Done.Runs != Sh.Seeds.size() ||
+          R.Done.MergedRuns != Sh.Seeds.size() - Sh.Quarantined ||
+          R.Done.DegradedRuns != Sh.Quarantined) {
+        Failures[I] = "quarantine accounting off";
+        return;
+      }
+      if (R.ProfileJson != Reference[I % Shapes.size()])
+        Failures[I] = "profile diverged from the serial reference";
+    });
+
+  // A scrape while the soak is in flight must answer.
+  std::string MidFlight = httpGet(F.D->metricsPort(), "/metrics");
+  EXPECT_NE(MidFlight.find("200 OK"), std::string::npos);
+
+  for (std::thread &T : Clients)
+    T.join();
+  for (size_t I = 0; I < NumSessions; ++I)
+    EXPECT_TRUE(Failures[I].empty()) << "session " << I << ": "
+                                     << Failures[I];
+
+  Daemon::Stats S = F.D->stats();
+  EXPECT_EQ(NumSessions, S.Accepted);
+  EXPECT_EQ(NumSessions, S.Completed);
+  EXPECT_EQ(0u, S.Rejected);
+
+  std::string Final = httpGet(F.D->metricsPort(), "/metrics");
+  EXPECT_NE(Final.find("200 OK"), std::string::npos);
+  EXPECT_NE(Final.find("sessions_completed"), std::string::npos);
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# bench_parallel_sweep's speedup field, both branches:
+#
+#   - single-core box: the bench must print the "single hardware
+#     thread" warning and stamp `"speedup": null` in the JSON report
+#     (a measured ~1x figure there would be noise presented as data);
+#   - multi-core box: no warning, and every sweep entry carries a
+#     numeric speedup.
+#
+# Usage: bench_speedup_test.sh <bench_parallel_sweep-binary>
+set -euo pipefail
+
+BENCH=${1:?usage: bench_speedup_test.sh <bench_parallel_sweep-binary>}
+BENCH=$(realpath "$BENCH") # Survive the cd below when given relatively.
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK" # The bench writes bench_parallel_sweep.json into its CWD.
+
+out=$("$BENCH" 2>&1) || { echo "bench failed:"; echo "$out"; exit 1; }
+[ -f bench_parallel_sweep.json ] || {
+  echo "FAIL: bench_parallel_sweep.json was not written"
+  exit 1
+}
+
+cores=$(nproc)
+if [ "$cores" -le 1 ]; then
+  case "$out" in
+    *"single hardware thread"*) ;;
+    *)
+      echo "FAIL: single-core run did not print the speedup warning"
+      echo "$out"
+      exit 1
+      ;;
+  esac
+  grep -q '"speedup": null' bench_parallel_sweep.json || {
+    echo 'FAIL: single-core JSON lacks "speedup": null'
+    cat bench_parallel_sweep.json
+    exit 1
+  }
+  if grep -q '"speedup": [0-9]' bench_parallel_sweep.json; then
+    echo "FAIL: single-core JSON records a numeric speedup"
+    cat bench_parallel_sweep.json
+    exit 1
+  fi
+else
+  case "$out" in
+    *"single hardware thread"*)
+      echo "FAIL: multi-core run printed the single-core warning"
+      exit 1
+      ;;
+  esac
+  if grep -q '"speedup": null' bench_parallel_sweep.json; then
+    echo "FAIL: multi-core JSON recorded a null speedup"
+    cat bench_parallel_sweep.json
+    exit 1
+  fi
+  grep -q '"speedup": [0-9]' bench_parallel_sweep.json || {
+    echo "FAIL: multi-core JSON lacks numeric speedups"
+    cat bench_parallel_sweep.json
+    exit 1
+  }
+fi
+
+grep -q '"profiles_match": true' bench_parallel_sweep.json || {
+  echo "FAIL: profiles diverged"
+  cat bench_parallel_sweep.json
+  exit 1
+}
+echo "PASS: speedup reporting matches this machine ($cores core(s))"

@@ -548,7 +548,7 @@ int runCorpus(CliOptions &Opts) {
 
   bool WriteFailed = false;
   if (!Opts.TraceFile.empty()) {
-    if (resilience::ioWriteFaultArmed("trace") ||
+    if (Opts.Session.Faults.firesIoWrite("trace") ||
         !report::writeFile(Opts.TraceFile,
                            obs::chromeTraceJson(obs::snapshot()))) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
@@ -557,7 +557,7 @@ int runCorpus(CliOptions &Opts) {
     }
   }
   if (!Opts.MetricsFile.empty()) {
-    if (resilience::ioWriteFaultArmed("metrics") ||
+    if (Opts.Session.Faults.firesIoWrite("metrics") ||
         !report::writeFile(Opts.MetricsFile,
                            obs::prometheusText(obs::snapshot()))) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
@@ -586,9 +586,9 @@ int runTool(int Argc, char **Argv) {
       }
     }
   }
-  // Run-scoped faults travel inside SessionOptions; io-write faults are
-  // checked at the write sites below via the process-global plan.
-  resilience::armProcessFaults(Opts.Session.Faults);
+  // All faults — run-scoped and io-scoped — now travel inside
+  // SessionOptions::Faults; the write sites below consult the session's
+  // own plan, so nothing is armed process-globally.
 
   // Span recording must be live before compilation so the frontend
   // phases land in the trace.
@@ -706,7 +706,7 @@ int runTool(int Argc, char **Argv) {
     }
     // An armed io-write fault is indistinguishable from a real failed
     // write: same message, same failing exit.
-    if (!resilience::ioWriteFaultArmed("report") &&
+    if (!Opts.Session.Faults.firesIoWrite("report") &&
         report::writeFile(Job.Out, Doc)) {
       std::printf("%swrote %s\n", FirstFileJob ? "\n" : "",
                   Job.Out.c_str());
@@ -718,7 +718,7 @@ int runTool(int Argc, char **Argv) {
   }
 
   if (!Opts.TraceFile.empty()) {
-    if (resilience::ioWriteFaultArmed("trace") ||
+    if (Opts.Session.Faults.firesIoWrite("trace") ||
         !report::writeFile(Opts.TraceFile,
                            obs::chromeTraceJson(obs::snapshot()))) {
       std::fprintf(stderr, "error: cannot write '%s'\n",
@@ -727,7 +727,7 @@ int runTool(int Argc, char **Argv) {
     }
   }
   if (!Opts.MetricsFile.empty()) {
-    if (resilience::ioWriteFaultArmed("metrics") ||
+    if (Opts.Session.Faults.firesIoWrite("metrics") ||
         !report::writeFile(Opts.MetricsFile,
                            obs::prometheusText(obs::snapshot()))) {
       std::fprintf(stderr, "error: cannot write '%s'\n",

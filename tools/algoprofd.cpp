@@ -1,0 +1,190 @@
+//===- tools/algoprofd.cpp - The algoprof profiling daemon ----------------===//
+///
+/// \file
+/// Runs the streaming profiling-as-a-service daemon (service/Daemon.h):
+///
+///   algoprofd --socket PATH [options]
+///     --socket PATH          Unix-domain socket to listen on (required)
+///     --jobs N               worker threads of the shared run pool
+///                            (0 = hardware concurrency, default)
+///     --max-sessions N       concurrent sessions admitted; further
+///                            connections get a too-many-sessions error
+///                            (0 = unlimited, default)
+///     --metrics-port P       serve GET /metrics on 127.0.0.1:P
+///                            (0 = pick an ephemeral port and print it;
+///                            omit the flag to disable the endpoint)
+///     --max-frame-bytes N    largest job payload accepted (default 1 MiB)
+///     --read-timeout-ms N    job-frame receive timeout (default 5000)
+///     --quota-runs N         per-session run-count cap (0 = none)
+///     --quota-source-bytes N per-session source-size cap (0 = none)
+///     --quota-heap-bytes N   per-run heap budget ceiling; unlimited
+///                            requests are clamped down to it (0 = none)
+///     --quota-deadline-ms N  per-run deadline ceiling, same rule
+///     --quota-attempts N     per-run retry-execution cap (0 = none)
+///
+/// The daemon runs until SIGINT/SIGTERM, then drains: in-flight
+/// sessions' sockets are shut down, threads joined, the socket file
+/// removed. Protocol and examples: docs/service.md.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Daemon.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace algoprof;
+
+namespace {
+
+/// Written by the signal handler, drained by main. A self-pipe instead
+/// of a flag-poll loop: the handler's write is async-signal-safe and
+/// wakes the blocked read immediately.
+int ShutdownPipe[2] = {-1, -1};
+
+void onSignal(int) {
+  char B = 1;
+  // The return value is deliberately unused: if the pipe is full the
+  // shutdown is already pending.
+  ssize_t W = ::write(ShutdownPipe[1], &B, 1);
+  (void)W;
+}
+
+bool parseU64Arg(const char *Flag, const char *Val, uint64_t &Out) {
+  if (!Val)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Val, &End, 10);
+  if (End == Val || *End != '\0' || errno == ERANGE || V < 0) {
+    std::fprintf(stderr, "error: %s needs a non-negative integer, got '%s'\n",
+                 Flag, Val);
+    return false;
+  }
+  Out = static_cast<uint64_t>(V);
+  return true;
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s --socket PATH [--jobs N] [--max-sessions N]\n"
+               "       [--metrics-port P] [--max-frame-bytes N]\n"
+               "       [--read-timeout-ms N] [--quota-runs N]\n"
+               "       [--quota-source-bytes N] [--quota-heap-bytes N]\n"
+               "       [--quota-deadline-ms N] [--quota-attempts N]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  service::DaemonOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    const char *Val = I + 1 < Argc ? Argv[I + 1] : nullptr;
+    uint64_t N = 0;
+    if (Arg == "--socket" && Val) {
+      Opts.SocketPath = Val;
+      ++I;
+    } else if (Arg == "--jobs") {
+      if (!parseU64Arg("--jobs", Val, N))
+        return 2;
+      Opts.Workers = static_cast<unsigned>(N);
+      ++I;
+    } else if (Arg == "--max-sessions") {
+      if (!parseU64Arg("--max-sessions", Val, N))
+        return 2;
+      Opts.MaxSessions = static_cast<size_t>(N);
+      ++I;
+    } else if (Arg == "--metrics-port") {
+      if (!parseU64Arg("--metrics-port", Val, N) || N > 65535)
+        return 2;
+      Opts.MetricsPort = static_cast<int>(N);
+      ++I;
+    } else if (Arg == "--max-frame-bytes") {
+      if (!parseU64Arg("--max-frame-bytes", Val, N))
+        return 2;
+      Opts.MaxFrameBytes = static_cast<size_t>(N);
+      ++I;
+    } else if (Arg == "--read-timeout-ms") {
+      if (!parseU64Arg("--read-timeout-ms", Val, N))
+        return 2;
+      Opts.ReadTimeoutMs = static_cast<unsigned>(N);
+      ++I;
+    } else if (Arg == "--quota-runs") {
+      if (!parseU64Arg("--quota-runs", Val, Opts.Quota.MaxRuns))
+        return 2;
+      ++I;
+    } else if (Arg == "--quota-source-bytes") {
+      if (!parseU64Arg("--quota-source-bytes", Val,
+                       Opts.Quota.MaxSourceBytes))
+        return 2;
+      ++I;
+    } else if (Arg == "--quota-heap-bytes") {
+      if (!parseU64Arg("--quota-heap-bytes", Val, Opts.Quota.MaxHeapBytes))
+        return 2;
+      ++I;
+    } else if (Arg == "--quota-deadline-ms") {
+      if (!parseU64Arg("--quota-deadline-ms", Val,
+                       Opts.Quota.MaxRunDeadlineMs))
+        return 2;
+      ++I;
+    } else if (Arg == "--quota-attempts") {
+      if (!parseU64Arg("--quota-attempts", Val, Opts.Quota.MaxAttempts))
+        return 2;
+      ++I;
+    } else {
+      std::fprintf(stderr, "error: unknown or incomplete argument '%s'\n",
+                   Arg.c_str());
+      return usage(Argv[0]);
+    }
+  }
+  if (Opts.SocketPath.empty()) {
+    std::fprintf(stderr, "error: --socket is required\n");
+    return usage(Argv[0]);
+  }
+
+  if (::pipe(ShutdownPipe) != 0) {
+    std::fprintf(stderr, "error: pipe: %s\n", std::strerror(errno));
+    return 1;
+  }
+  struct sigaction SA;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sa_handler = onSignal;
+  ::sigaction(SIGINT, &SA, nullptr);
+  ::sigaction(SIGTERM, &SA, nullptr);
+  // A client that disconnects mid-stream must not kill the daemon.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  service::Daemon D(Opts);
+  std::string Err;
+  if (!D.start(Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("algoprofd listening on %s", Opts.SocketPath.c_str());
+  if (Opts.MetricsPort >= 0)
+    std::printf(" (metrics on 127.0.0.1:%d)", D.metricsPort());
+  std::printf("\n");
+  std::fflush(stdout);
+
+  char B;
+  while (::read(ShutdownPipe[0], &B, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("algoprofd shutting down\n");
+  D.stop();
+  service::Daemon::Stats S = D.stats();
+  std::printf("sessions: %llu accepted, %llu rejected, %llu completed; "
+              "%llu bytes streamed\n",
+              static_cast<unsigned long long>(S.Accepted),
+              static_cast<unsigned long long>(S.Rejected),
+              static_cast<unsigned long long>(S.Completed),
+              static_cast<unsigned long long>(S.BytesStreamed));
+  return 0;
+}

@@ -5,9 +5,10 @@
 # test `tsan_parallel` (registered in tests/CMakeLists.txt for
 # non-sanitizer builds) invokes this script, which configures a child
 # build inside the current binary dir with -DALGOPROF_TSAN=ON, builds
-# the parallel test binary, and runs exactly the thread-heavy label —
-# the work-stealing pool, the streaming shard merges, and the 100+
-# perturbed-schedule property tests — with the race detector armed.
+# the parallel and service test binaries, and runs exactly the
+# thread-heavy labels — the work-stealing pool, the streaming shard
+# merges, the 100+ perturbed-schedule property tests, and the daemon's
+# concurrent streamed sessions — with the race detector armed.
 #
 # Usage: run_tsan_tests.sh <source-dir> <binary-dir> [jobs]
 set -euo pipefail
@@ -32,6 +33,10 @@ fi
 
 cmake -S "$SRC" -B "$TSAN_DIR" -DALGOPROF_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
-cmake --build "$TSAN_DIR" --target algoprof_parallel_tests -j "$JOBS"
+cmake --build "$TSAN_DIR" \
+      --target algoprof_parallel_tests algoprof_service_tests -j "$JOBS"
 cd "$TSAN_DIR"
-exec ctest -L parallel --output-on-failure -j "$JOBS"
+# `parallel` plus `service`: the daemon multiplexes concurrent sessions
+# onto one shared pool and streams from whichever thread advances the
+# merge — exactly the cross-thread traffic TSan exists to check.
+exec ctest -L 'parallel|service' --output-on-failure -j "$JOBS"
