@@ -97,6 +97,14 @@ const char *obs::counterName(Counter C) {
     return "sessions_completed";
   case Counter::BytesStreamed:
     return "bytes_streamed";
+  case Counter::DeltasStreamed:
+    return "deltas_streamed";
+  case Counter::DeltasDropped:
+    return "deltas_dropped";
+  case Counter::JobsReplayed:
+    return "jobs_replayed";
+  case Counter::AuthFailures:
+    return "auth_failures";
   }
   return "?";
 }

@@ -96,9 +96,13 @@ enum class Counter : uint8_t {
                       ///< quota, or the concurrent-session cap).
   SessionsCompleted,  ///< Daemon sessions that streamed a final profile.
   BytesStreamed,      ///< Frame payload bytes the daemon wrote to clients.
+  DeltasStreamed,     ///< RunDelta frames handed to client send buffers.
+  DeltasDropped,      ///< RunDelta frames shed by slow-client backpressure.
+  JobsReplayed,       ///< Journaled jobs re-executed after a daemon restart.
+  AuthFailures,       ///< TCP jobs refused for a bad or missing auth token.
 };
 constexpr size_t NumCounters =
-    static_cast<size_t>(Counter::BytesStreamed) + 1;
+    static_cast<size_t>(Counter::AuthFailures) + 1;
 
 /// Stable snake_case name ("bytecodes_executed").
 const char *counterName(Counter C);

@@ -276,6 +276,7 @@ void SweepEngine::mergeShard(Batch &B, size_t I) {
     D.Attempts = S.Attempts;
     D.Quarantined = Quarantine;
     D.MergedRuns = B.Out->MergedRuns;
+    D.TreeRepetitions = Acc->tree().numRepetitions();
     Observer(D);
   }
   S.Prof.reset();

@@ -51,6 +51,11 @@ struct RunDelta {
   int Attempts = 1;      ///< Executions, retries included.
   bool Quarantined = false;
   int64_t MergedRuns = 0; ///< Batch runs merged so far, this one included.
+  /// Total repetitions recorded in the accumulated tree after this
+  /// merge (unchanged for quarantined runs). The incremental view a
+  /// streaming consumer needs: this delta's contribution is the
+  /// difference from the previous RunDelta's value.
+  int64_t TreeRepetitions = 0;
 };
 
 /// Per-run results of one sweep, in seed (run-index) order, plus the
@@ -156,9 +161,13 @@ public:
   /// Observes every merged (or quarantined) run. Invoked from inside
   /// the merge — on whichever worker advanced the cursor, or on the
   /// finishEnqueued() caller — serialized by the merge lock and
-  /// strictly in run-index order. The observer must not call back into
-  /// this engine; it may block briefly (the daemon's per-session stream
-  /// queue), which only delays this engine's merge, not run execution.
+  /// strictly in run-index order. Because the merge lock is held, the
+  /// observer may READ the accumulated state — tree() / inputs() /
+  /// buildProfiles() — and sees exactly the prefix merged so far (the
+  /// daemon's v2 deltas refresh fitted curves this way). It must not
+  /// re-enter mutating engine calls. It may block briefly (the daemon's
+  /// per-session send buffer), which only delays this engine's merge,
+  /// not run execution.
   using RunObserver = std::function<void(const RunDelta &)>;
 
   /// Installs \p Obs for subsequent sweeps (null to clear). Set before

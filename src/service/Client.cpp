@@ -4,7 +4,11 @@
 
 #include <cerrno>
 #include <cstring>
+#include <utility>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -15,7 +19,7 @@ using namespace algoprof::service;
 namespace {
 
 /// Connects to the daemon's Unix socket; -1 with \p Err on failure.
-int connectTo(const std::string &SocketPath, std::string &Err) {
+int connectUnix(const std::string &SocketPath, std::string &Err) {
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
   if (SocketPath.empty() || SocketPath.size() >= sizeof(Addr.sun_path)) {
@@ -37,97 +41,199 @@ int connectTo(const std::string &SocketPath, std::string &Err) {
   return Fd;
 }
 
+int connectTcp(const std::string &Host, uint16_t Port, std::string &Err) {
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    Err = "'" + Host + "' is not an IPv4 address";
+    return -1;
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = "connect " + Host + ":" + std::to_string(Port) + ": " +
+          std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Fd;
+}
+
 /// No client-side payload cap: the Profile frame is as large as the
 /// profile. The daemon is trusted; a hostile peer is not this layer's
 /// threat model.
 constexpr size_t MaxReplyPayload = 1u << 28;
 
+void setTransportError(TypedResult &R, const std::string &Msg) {
+  R.Error.Code = "transport";
+  R.Error.Message = Msg;
+  R.Error.Transport = true;
+}
+
 } // namespace
 
-bool service::runJob(const std::string &SocketPath, const JobRequest &Job,
-                     StreamResult &Out, std::string &Err,
-                     const std::function<void(const RunDeltaMsg &)> &OnDelta) {
-  Out = StreamResult();
-  int Fd = connectTo(SocketPath, Err);
-  if (Fd < 0)
-    return false;
-  if (!sendFrame(Fd, FrameType::Job, encodeJobRequest(Job))) {
-    Err = "connection dropped while sending the job";
-    ::close(Fd);
-    return false;
+//===----------------------------------------------------------------------===//
+// Session
+//===----------------------------------------------------------------------===//
+
+Session::Session(Session &&O) noexcept
+    : Fd(O.Fd), SubmitError(std::move(O.SubmitError)),
+      Delta(std::move(O.Delta)) {
+  O.Fd = -1;
+}
+
+Session &Session::operator=(Session &&O) noexcept {
+  if (this != &O) {
+    if (Fd >= 0)
+      ::close(Fd);
+    Fd = O.Fd;
+    SubmitError = std::move(O.SubmitError);
+    Delta = std::move(O.Delta);
+    O.Fd = -1;
   }
-  bool Transport = true;
+  return *this;
+}
+
+Session::~Session() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+Session &Session::onDelta(std::function<void(const RunDeltaMsg &)> Cb) {
+  Delta = std::move(Cb);
+  return *this;
+}
+
+TypedResult Session::wait() {
+  TypedResult R;
+  if (Fd < 0) {
+    setTransportError(R, SubmitError.empty() ? "session already consumed"
+                                             : SubmitError);
+    return R;
+  }
+  bool HaveDone = false, HaveError = false;
   for (;;) {
     Frame F;
     ReadStatus RS = readFrame(Fd, F, MaxReplyPayload);
     if (RS == ReadStatus::Eof) {
       // Clean close: valid after Done or Error, truncated otherwise.
-      if (!Out.HaveDone && !Out.HaveError) {
-        Err = "stream ended before done/error";
-        Transport = false;
-      }
+      if (!HaveDone && !HaveError)
+        setTransportError(R, "stream ended before done/error");
       break;
     }
     if (RS != ReadStatus::Ok) {
-      Err = "broken reply stream";
-      Transport = false;
+      setTransportError(R, "broken reply stream");
       break;
     }
     switch (F.Type) {
     case FrameType::Accepted:
-      if (!parseAccepted(F.Payload, Out.Acceptance)) {
-        Err = "bad accepted payload";
-        Transport = false;
+      if (!parseAccepted(F.Payload, R.Acceptance)) {
+        setTransportError(R, "bad accepted payload");
+        break;
       }
-      Out.Accepted = true;
+      R.Accepted = true;
       break;
     case FrameType::RunDelta: {
       RunDeltaMsg M;
       if (!parseRunDelta(F.Payload, M)) {
-        Err = "bad run-delta payload";
-        Transport = false;
+        setTransportError(R, "bad run-delta payload");
         break;
       }
-      if (OnDelta)
-        OnDelta(M);
-      Out.Deltas.push_back(std::move(M));
+      if (Delta)
+        Delta(M);
+      R.Deltas.push_back(std::move(M));
       break;
     }
     case FrameType::Profile:
-      Out.ProfileJson = std::move(F.Payload);
-      Out.HaveProfile = true;
+      R.ProfileJson = std::move(F.Payload);
+      R.HaveProfile = true;
       break;
     case FrameType::Done:
-      if (!parseDone(F.Payload, Out.Done)) {
-        Err = "bad done payload";
-        Transport = false;
+      if (!parseDone(F.Payload, R.Summary)) {
+        setTransportError(R, "bad done payload");
+        break;
       }
-      Out.HaveDone = true;
+      HaveDone = true;
       break;
-    case FrameType::Error:
-      if (!parseError(F.Payload, Out.Error)) {
-        Err = "bad error payload";
-        Transport = false;
+    case FrameType::Error: {
+      ErrorMsg E;
+      if (!parseError(F.Payload, E)) {
+        setTransportError(R, "bad error payload");
+        break;
       }
-      Out.HaveError = true;
-      break;
-    case FrameType::Job:
-      Err = "daemon sent a job frame";
-      Transport = false;
+      R.Error.Code = E.Code;
+      R.Error.Message = E.Message;
+      HaveError = true;
       break;
     }
-    if (!Transport || Out.HaveDone || Out.HaveError)
+    case FrameType::Job:
+      setTransportError(R, "daemon sent a job frame");
+      break;
+    }
+    if (R.Error.Transport || HaveDone || HaveError)
       break;
   }
   ::close(Fd);
-  return Transport;
+  Fd = -1;
+  R.Ok = R.Accepted && R.HaveProfile && HaveDone && !R.Error.any();
+  return R;
 }
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+Client Client::unixSocket(std::string Path) {
+  Client C;
+  C.Tcp = false;
+  C.PathOrHost = std::move(Path);
+  return C;
+}
+
+Client Client::tcp(std::string Host, uint16_t Port, std::string AuthToken) {
+  Client C;
+  C.Tcp = true;
+  C.PathOrHost = std::move(Host);
+  C.Port = Port;
+  C.Token = std::move(AuthToken);
+  return C;
+}
+
+Session Client::submit(const JobSpec &Spec) const {
+  Session S;
+  std::string Err;
+  S.Fd = Tcp ? connectTcp(PathOrHost, Port, Err)
+             : connectUnix(PathOrHost, Err);
+  if (S.Fd < 0) {
+    S.SubmitError = Err;
+    return S;
+  }
+  JobSpec Job = Spec;
+  if (Tcp && Job.Auth.empty())
+    Job.Auth = Token;
+  if (!sendFrame(S.Fd, FrameType::Job, encodeJobRequest(Job))) {
+    ::close(S.Fd);
+    S.Fd = -1;
+    S.SubmitError = "connection dropped while sending the job";
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Raw test hook
+//===----------------------------------------------------------------------===//
 
 bool service::sendRaw(const std::string &SocketPath,
                       const std::string &RawBytes, Frame &Reply,
                       bool &GotReply, std::string &Err) {
   GotReply = false;
-  int Fd = connectTo(SocketPath, Err);
+  int Fd = connectUnix(SocketPath, Err);
   if (Fd < 0)
     return false;
   const char *P = RawBytes.data();

@@ -1,11 +1,30 @@
-//===- service/Client.h - Blocking algoprofd client -------------*- C++-*-===//
+//===- service/Client.h - Typed algoprofd client ----------------*- C++-*-===//
 ///
 /// \file
-/// A small synchronous client for the profiling daemon: connect to the
-/// Unix-domain socket, send one Job frame, consume the streamed reply
-/// (Accepted, RunDelta*, Profile, Done — or Error). Used by the
-/// `algoprofd` self-test mode and the service tests; a non-C++ client
-/// only needs the framing in service/Protocol.h.
+/// The typed client API for the profiling daemon. A Client names an
+/// endpoint — Unix socket (default transport) or TCP with an auth
+/// token — and submit() opens one session per job:
+///
+///   Client C = Client::unixSocket("/run/algoprofd.sock");
+///   JobSpec Job;
+///   Job.Corpus = "seeded_insertion_sort_random";
+///   Job.Seeds = {4, 8, 12};
+///   Session S = C.submit(Job);
+///   S.onDelta([](const RunDeltaMsg &D) { /* live progress */ });
+///   TypedResult R = S.wait();
+///   if (R.Ok) use(R.ProfileJson);
+///   else diagnose(R.Error);
+///
+/// wait() drives the reply stream to its end and returns structured
+/// results: the acceptance, every RunDelta (v2 deltas carry tree and
+/// fitted-curve estimates), the final profile JSON — byte-identical to
+/// the serial CLI — and either a Done summary or a ServiceError that
+/// distinguishes daemon rejections (Code = errc::*) from transport
+/// failures (Transport = true). Used by tools/algoprof_client and the
+/// service tests; a non-C++ client only needs service/Protocol.h.
+///
+/// sendRaw() remains as the single raw-bytes escape hatch so tests can
+/// exercise malformed/truncated frames the typed API cannot produce.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,6 +33,7 @@
 
 #include "service/Protocol.h"
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -21,39 +41,95 @@
 namespace algoprof {
 namespace service {
 
-/// Everything one streamed session produced, in arrival order.
-struct StreamResult {
+/// What to profile and how; the typed client's job description.
+using JobSpec = JobRequest;
+
+/// Why a session produced no profile. Exactly one of the two flavors:
+/// a daemon rejection carries the wire errc::* code, a transport
+/// failure (connect refused, dropped connection, malformed reply) sets
+/// Transport with Code "transport".
+struct ServiceError {
+  std::string Code;
+  std::string Message;
+  bool Transport = false;
+
+  bool any() const { return !Code.empty(); }
+};
+
+/// Everything one session produced, in arrival order.
+struct TypedResult {
+  /// The full happy path: accepted, profile delivered, stream closed
+  /// cleanly with Done. When false, Error says why.
+  bool Ok = false;
   bool Accepted = false;
   AcceptedMsg Acceptance;
   std::vector<RunDeltaMsg> Deltas;
   std::string ProfileJson;
   bool HaveProfile = false;
-  DoneMsg Done;
-  bool HaveDone = false;
-  ErrorMsg Error; ///< Set when the daemon rejected the job.
-  bool HaveError = false;
-
-  /// The full happy path: accepted, profile delivered, stream closed
-  /// cleanly with Done.
-  bool ok() const { return Accepted && HaveProfile && HaveDone; }
+  DoneMsg Summary;
+  ServiceError Error;
 };
 
-/// Runs \p Job against the daemon at \p SocketPath, collecting the
-/// whole stream. Returns false (with \p Err set) only on transport
-/// problems — connect failure, a malformed reply, a dropped
-/// connection; a daemon-side rejection is a *successful* exchange with
-/// Out.HaveError set. \p OnDelta, when non-null, observes each
-/// RunDelta as it arrives (before it is appended to Out.Deltas).
-bool runJob(const std::string &SocketPath, const JobRequest &Job,
-            StreamResult &Out, std::string &Err,
-            const std::function<void(const RunDeltaMsg &)> &OnDelta =
-                nullptr);
+/// One submitted job's reply stream. Move-only; obtained from
+/// Client::submit(). Call wait() exactly once to consume the stream.
+class Session {
+public:
+  Session(Session &&O) noexcept;
+  Session &operator=(Session &&O) noexcept;
+  ~Session();
 
-/// Connects and writes \p RawBytes verbatim, then reads one reply
-/// frame. A test hook for protocol edge cases (malformed or truncated
-/// frames) that runJob can never produce. Returns false on connect
-/// failure. When the daemon answers, \p Reply holds the frame and
-/// \p GotReply is true; a silent close leaves GotReply false.
+  Session(const Session &) = delete;
+  Session &operator=(const Session &) = delete;
+
+  /// Installs a live-progress callback, invoked for every RunDelta as
+  /// wait() reads it (before it is appended to TypedResult::Deltas).
+  /// Returns *this for chaining; call before wait().
+  Session &onDelta(std::function<void(const RunDeltaMsg &)> Cb);
+
+  /// Drives the stream to its end and returns the structured result.
+  TypedResult wait();
+
+private:
+  friend class Client;
+  Session() = default;
+
+  int Fd = -1;
+  std::string SubmitError; ///< Non-empty: submit failed before I/O.
+  std::function<void(const RunDeltaMsg &)> Delta;
+};
+
+/// A daemon endpoint. Cheap to copy; each submit() opens a fresh
+/// connection (the protocol is one job per connection).
+class Client {
+public:
+  /// The default transport: a Unix-domain socket, access gated by
+  /// filesystem permissions (no token needed).
+  static Client unixSocket(std::string Path);
+
+  /// TCP with the daemon's shared auth token. The token is attached to
+  /// every submitted job (JobSpec::Auth overrides when set).
+  static Client tcp(std::string Host, uint16_t Port,
+                    std::string AuthToken = std::string());
+
+  /// Sends one Job frame and returns the session to consume its reply
+  /// stream. Never throws: connect failures surface from wait().
+  Session submit(const JobSpec &Spec) const;
+
+private:
+  Client() = default;
+
+  bool Tcp = false;
+  std::string PathOrHost;
+  uint16_t Port = 0;
+  std::string Token;
+};
+
+/// Connects to \p SocketPath and writes \p RawBytes verbatim, then
+/// reads one reply frame. A test hook for protocol edge cases
+/// (malformed or truncated frames) that the typed API can never
+/// produce. Returns false on connect failure. When the daemon
+/// answers, \p Reply holds the frame and \p GotReply is true; a silent
+/// close leaves GotReply false.
 bool sendRaw(const std::string &SocketPath, const std::string &RawBytes,
              Frame &Reply, bool &GotReply, std::string &Err);
 

@@ -10,9 +10,11 @@
 #include "report/Reporter.h"
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -42,6 +44,93 @@ const programs::CorpusProgram *findCorpusProgram(const std::string &Name) {
   return nullptr;
 }
 
+/// Token comparison that does not leak the match prefix through
+/// timing. (A length mismatch fails, as any comparison must; only the
+/// content comparison needs to be constant-time.)
+bool constantTimeEq(const std::string &A, const std::string &B) {
+  unsigned char Diff = A.size() == B.size() ? 0 : 1;
+  size_t N = B.empty() ? 0 : A.size();
+  for (size_t I = 0; I < N; ++I)
+    Diff |= static_cast<unsigned char>(A[I]) ^
+            static_cast<unsigned char>(B[I % B.size()]);
+  return Diff == 0;
+}
+
+/// First line of \p Path, trailing whitespace stripped.
+bool readTokenFile(const std::string &Path, std::string &Token,
+                   std::string &Err) {
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0) {
+    Err = "auth token file '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+  char Buf[4096];
+  std::string Data;
+  for (;;) {
+    ssize_t R = ::read(Fd, Buf, sizeof(Buf));
+    if (R > 0) {
+      Data.append(Buf, static_cast<size_t>(R));
+      continue;
+    }
+    if (R < 0 && errno == EINTR)
+      continue;
+    break;
+  }
+  ::close(Fd);
+  size_t Nl = Data.find('\n');
+  Token = Nl == std::string::npos ? Data : Data.substr(0, Nl);
+  while (!Token.empty() &&
+         (Token.back() == '\r' || Token.back() == ' ' ||
+          Token.back() == '\t'))
+    Token.pop_back();
+  if (Token.empty()) {
+    Err = "auth token file '" + Path + "' is empty";
+    return false;
+  }
+  return true;
+}
+
+bool parseHostPort(const std::string &S, std::string &Host, uint16_t &Port,
+                   std::string &Err) {
+  size_t Colon = S.rfind(':');
+  if (Colon == std::string::npos || Colon == 0) {
+    Err = "listen address '" + S + "' is not host:port";
+    return false;
+  }
+  Host = S.substr(0, Colon);
+  std::string P = S.substr(Colon + 1);
+  if (P.empty() || P.size() > 5 ||
+      P.find_first_not_of("0123456789") != std::string::npos) {
+    Err = "listen address '" + S + "' has an invalid port";
+    return false;
+  }
+  long V = std::strtol(P.c_str(), nullptr, 10);
+  if (V < 0 || V > 65535) {
+    Err = "listen address '" + S + "' has an invalid port";
+    return false;
+  }
+  Port = static_cast<uint16_t>(V);
+  return true;
+}
+
+bool parseIpv4(const std::string &Host, in_addr &Out, std::string &Err) {
+  if (::inet_pton(AF_INET, Host.c_str(), &Out) != 1) {
+    Err = "'" + Host + "' is not an IPv4 address";
+    return false;
+  }
+  return true;
+}
+
+bool isLoopback(const in_addr &A) {
+  return (ntohl(A.s_addr) >> 24) == 127;
+}
+
+void fetchMax(std::atomic<uint64_t> &Target, uint64_t V) {
+  uint64_t Cur = Target.load();
+  while (V > Cur && !Target.compare_exchange_weak(Cur, V))
+    ;
+}
+
 } // namespace
 
 Daemon::Daemon(DaemonOptions O)
@@ -55,10 +144,55 @@ Daemon::Stats Daemon::stats() const {
   S.Rejected = StatRejected.load();
   S.Completed = StatCompleted.load();
   S.BytesStreamed = StatBytes.load();
+  S.DeltasStreamed = StatDeltasStreamed.load();
+  S.DeltasDropped = StatDeltasDropped.load();
+  S.JobsReplayed = StatJobsReplayed.load();
+  S.AuthFailures = StatAuthFailures.load();
+  S.SlowDisconnects = StatSlowDisconnects.load();
+  S.SendBufHighWater = StatSendBufHighWater.load();
   return S;
 }
 
 bool Daemon::start(std::string &Err) {
+  // --- Validate the transport/auth combination ----------------------
+  if (!Opts.ListenAddress.empty() && Opts.AuthTokenFile.empty()) {
+    Err = "--listen requires --auth-token-file: TCP clients must "
+          "authenticate";
+    return false;
+  }
+  in_addr MetricsAddr{};
+  if (Opts.MetricsPort >= 0) {
+    if (!parseIpv4(Opts.MetricsAddress, MetricsAddr, Err))
+      return false;
+    if (!isLoopback(MetricsAddr) && Opts.AuthTokenFile.empty()) {
+      Err = "non-loopback /metrics bind '" + Opts.MetricsAddress +
+            "' requires --auth-token-file";
+      return false;
+    }
+  }
+  if (!Opts.AuthTokenFile.empty() &&
+      !readTokenFile(Opts.AuthTokenFile, AuthToken, Err))
+    return false;
+
+  // --- Durable queue: load + replay the journal ---------------------
+  Journal::LoadResult Pending;
+  if (!Opts.JournalPath.empty()) {
+    if (!Journal::load(Opts.JournalPath, Pending, Err))
+      return false;
+    if (!Wal.open(Opts.JournalPath, Err))
+      return false;
+    uint64_t Next = Pending.MaxId + 1;
+    if (Next > NextSessionId.load())
+      NextSessionId.store(Next);
+    // Register every pending job before anything can connect, so a
+    // resume for an id the journal never saw is answerable immediately
+    // while a replay still in flight blocks until its results land.
+    std::lock_guard<std::mutex> Lock(RetainedMu);
+    for (const Journal::PendingJob &J : Pending.Pending)
+      RetainedResults.emplace(J.Id, Retained());
+  }
+
+  // --- Unix-domain listener (always on) -----------------------------
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
   if (Opts.SocketPath.empty() ||
@@ -85,36 +219,86 @@ bool Daemon::start(std::string &Err) {
     return false;
   }
 
+  auto FailStart = [&](const std::string &E) {
+    Err = E;
+    ::close(ListenFd);
+    ListenFd = -1;
+    if (TcpListenFd >= 0) {
+      ::close(TcpListenFd);
+      TcpListenFd = -1;
+    }
+    return false;
+  };
+
+  // --- Optional TCP listener ----------------------------------------
+  if (!Opts.ListenAddress.empty()) {
+    std::string Host, E;
+    uint16_t Port = 0;
+    in_addr Ip{};
+    if (!parseHostPort(Opts.ListenAddress, Host, Port, E) ||
+        !parseIpv4(Host, Ip, E))
+      return FailStart(E);
+    TcpListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (TcpListenFd < 0)
+      return FailStart(std::string("tcp socket: ") + std::strerror(errno));
+    int One = 1;
+    ::setsockopt(TcpListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+    sockaddr_in TAddr{};
+    TAddr.sin_family = AF_INET;
+    TAddr.sin_addr = Ip;
+    TAddr.sin_port = htons(Port);
+    socklen_t TLen = sizeof(TAddr);
+    if (::bind(TcpListenFd, reinterpret_cast<sockaddr *>(&TAddr), TLen) <
+            0 ||
+        ::listen(TcpListenFd, 64) < 0 ||
+        ::getsockname(TcpListenFd, reinterpret_cast<sockaddr *>(&TAddr),
+                      &TLen) < 0)
+      return FailStart("tcp bind/listen '" + Opts.ListenAddress +
+                       "': " + std::strerror(errno));
+    BoundListenPort = ntohs(TAddr.sin_port);
+  }
+
+  // --- Optional /metrics --------------------------------------------
   if (Opts.MetricsPort >= 0) {
     MetricsFd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (MetricsFd < 0) {
-      Err = std::string("metrics socket: ") + std::strerror(errno);
-      ::close(ListenFd);
-      ListenFd = -1;
-      return false;
-    }
+    if (MetricsFd < 0)
+      return FailStart(std::string("metrics socket: ") +
+                       std::strerror(errno));
     int One = 1;
     ::setsockopt(MetricsFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
     sockaddr_in MAddr{};
     MAddr.sin_family = AF_INET;
-    MAddr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    MAddr.sin_addr = MetricsAddr;
     MAddr.sin_port = htons(static_cast<uint16_t>(Opts.MetricsPort));
     socklen_t MLen = sizeof(MAddr);
     if (::bind(MetricsFd, reinterpret_cast<sockaddr *>(&MAddr), MLen) < 0 ||
         ::listen(MetricsFd, 16) < 0 ||
         ::getsockname(MetricsFd, reinterpret_cast<sockaddr *>(&MAddr),
                       &MLen) < 0) {
-      Err = std::string("metrics bind/listen: ") + std::strerror(errno);
-      ::close(ListenFd);
+      std::string E = std::string("metrics bind/listen: ") +
+                      std::strerror(errno);
       ::close(MetricsFd);
-      ListenFd = MetricsFd = -1;
-      return false;
+      MetricsFd = -1;
+      return FailStart(E);
     }
     BoundMetricsPort = ntohs(MAddr.sin_port);
     MetricsThread = std::thread([this] { metricsLoop(); });
   }
 
-  AcceptThread = std::thread([this] { acceptLoop(); });
+  // --- Replay sessions, then accept ---------------------------------
+  {
+    std::lock_guard<std::mutex> Lock(SessionsMu);
+    for (Journal::PendingJob &J : Pending.Pending) {
+      Sessions.push_back(std::make_unique<Session>());
+      Session &S = *Sessions.back();
+      S.ReplayId = J.Id;
+      S.ReplayPayload = std::move(J.Payload);
+      S.T = std::thread([this, &S] { replayJob(S); });
+    }
+  }
+  AcceptThread = std::thread([this] { acceptOn(ListenFd, false); });
+  if (TcpListenFd >= 0)
+    TcpAcceptThread = std::thread([this] { acceptOn(TcpListenFd, true); });
   Started = true;
   return true;
 }
@@ -124,31 +308,44 @@ void Daemon::stop() {
     return;
   // Unblock the accept loops; accept() fails once the fd is shut down.
   ::shutdown(ListenFd, SHUT_RDWR);
+  if (TcpListenFd >= 0)
+    ::shutdown(TcpListenFd, SHUT_RDWR);
   if (MetricsFd >= 0)
     ::shutdown(MetricsFd, SHUT_RDWR);
   if (AcceptThread.joinable())
     AcceptThread.join();
+  if (TcpAcceptThread.joinable())
+    TcpAcceptThread.join();
   if (MetricsThread.joinable())
     MetricsThread.join();
+  // Wake resume waiters blocked on an unfinished replay.
+  RetainedCv.notify_all();
   {
     std::lock_guard<std::mutex> Lock(SessionsMu);
     // Yank every in-flight session's socket out from under it: blocked
     // reads/writes fail, the session thread runs to its end, joins here.
     for (std::unique_ptr<Session> &S : Sessions)
-      ::shutdown(S->Fd, SHUT_RDWR);
+      if (S->Fd >= 0)
+        ::shutdown(S->Fd, SHUT_RDWR);
     for (std::unique_ptr<Session> &S : Sessions) {
       if (S->T.joinable())
         S->T.join();
-      ::close(S->Fd);
+      if (S->Fd >= 0)
+        ::close(S->Fd);
     }
     Sessions.clear();
   }
   ::close(ListenFd);
   ListenFd = -1;
+  if (TcpListenFd >= 0) {
+    ::close(TcpListenFd);
+    TcpListenFd = -1;
+  }
   if (MetricsFd >= 0) {
     ::close(MetricsFd);
     MetricsFd = -1;
   }
+  Wal.close();
   ::unlink(Opts.SocketPath.c_str());
 }
 
@@ -167,7 +364,8 @@ void Daemon::reapLocked() {
   for (auto It = Sessions.begin(); It != Sessions.end();) {
     if ((*It)->Finished.load()) {
       (*It)->T.join();
-      ::close((*It)->Fd);
+      if ((*It)->Fd >= 0)
+        ::close((*It)->Fd);
       It = Sessions.erase(It);
     } else {
       ++It;
@@ -175,9 +373,19 @@ void Daemon::reapLocked() {
   }
 }
 
-void Daemon::acceptLoop() {
+void Daemon::foldSendStats(SendBuffer &Buf) {
+  uint64_t Dropped = Buf.takeDroppedDeltas();
+  StatDeltasDropped.fetch_add(Dropped);
+  if (Dropped > 0)
+    obs::addCount(obs::Counter::DeltasDropped, Dropped);
+  if (Buf.takeSlowDisconnect())
+    StatSlowDisconnects.fetch_add(1);
+  fetchMax(StatSendBufHighWater, Buf.highWater());
+}
+
+void Daemon::acceptOn(int Fd, bool Tcp) {
   for (;;) {
-    int C = ::accept(ListenFd, nullptr, nullptr);
+    int C = ::accept(Fd, nullptr, nullptr);
     if (C < 0) {
       if (errno == EINTR)
         continue;
@@ -201,13 +409,48 @@ void Daemon::acceptLoop() {
     Sessions.push_back(std::make_unique<Session>());
     Session &S = *Sessions.back();
     S.Fd = C;
+    S.Tcp = Tcp;
     S.T = std::thread([this, &S] { handleSession(S); });
   }
+}
+
+std::string Daemon::applyQuotas(JobRequest &R) const {
+  const SessionQuota &Q = Opts.Quota;
+  uint64_t NumRuns =
+      R.Seeds.empty() ? static_cast<uint64_t>(R.Runs) : R.Seeds.size();
+  if (Q.MaxRuns != 0 && NumRuns > Q.MaxRuns)
+    return "job wants " + std::to_string(NumRuns) + " runs, quota is " +
+           std::to_string(Q.MaxRuns);
+  if (Q.MaxSourceBytes != 0 && R.Source.size() > Q.MaxSourceBytes)
+    return "source is " + std::to_string(R.Source.size()) +
+           " bytes, quota is " + std::to_string(Q.MaxSourceBytes);
+  if (Q.MaxHeapBytes != 0) {
+    if (R.MaxHeapBytes > Q.MaxHeapBytes)
+      return "max-heap-bytes " + std::to_string(R.MaxHeapBytes) +
+             " exceeds quota " + std::to_string(Q.MaxHeapBytes);
+    if (R.MaxHeapBytes == 0) // Unlimited request: clamp to the cap.
+      R.MaxHeapBytes = Q.MaxHeapBytes;
+  }
+  if (Q.MaxRunDeadlineMs != 0) {
+    if (R.RunDeadlineMs > Q.MaxRunDeadlineMs)
+      return "deadline-ms " + std::to_string(R.RunDeadlineMs) +
+             " exceeds quota " + std::to_string(Q.MaxRunDeadlineMs);
+    if (R.RunDeadlineMs == 0)
+      R.RunDeadlineMs = Q.MaxRunDeadlineMs;
+  }
+  if (Q.MaxAttempts != 0 &&
+      static_cast<uint64_t>(R.MaxAttempts) > Q.MaxAttempts)
+    return "retry attempts " + std::to_string(R.MaxAttempts) +
+           " exceed quota " + std::to_string(Q.MaxAttempts);
+  return std::string();
 }
 
 void Daemon::handleSession(Session &S) {
   const int Fd = S.Fd;
   setRecvTimeout(Fd, Opts.ReadTimeoutMs);
+  if (Opts.SessionSendBufBytes > 0)
+    ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Opts.SessionSendBufBytes,
+                 sizeof(Opts.SessionSendBufBytes));
 
   // --- Read and validate the job -------------------------------------
   bool Ok = [&]() -> bool {
@@ -236,46 +479,34 @@ void Daemon::handleSession(Session &S) {
     if (!parseJobRequest(F.Payload, R, Err))
       return reject(Fd, errc::BadRequest, Err);
 
+    // --- Auth: TCP jobs must present the shared token ---------------
+    if (S.Tcp && !constantTimeEq(R.Auth, AuthToken)) {
+      StatAuthFailures.fetch_add(1);
+      obs::addCount(obs::Counter::AuthFailures);
+      return reject(Fd, errc::AuthFailed,
+                    R.Auth.empty() ? "missing auth token"
+                                   : "bad auth token");
+    }
+
+    SendBuffer Buf(Fd, Opts.MaxSendBufferBytes, Opts.SlowClient);
+
+    // --- Resume: re-stream a journaled session ----------------------
+    if (R.Resume != 0) {
+      bool Served = serveResume(Buf, R.Resume);
+      foldSendStats(Buf);
+      return Served;
+    }
+
     resilience::FaultPlan Faults;
     if (!resilience::FaultPlan::parse(R.InjectSpec, Faults, Err))
       return reject(Fd, errc::BadRequest, "invalid inject spec: " + Err);
 
     // --- Quotas: the budget machinery as admission control ----------
-    const SessionQuota &Q = Opts.Quota;
-    uint64_t NumRuns = R.Seeds.empty() ? static_cast<uint64_t>(R.Runs)
-                                       : R.Seeds.size();
-    if (Q.MaxRuns != 0 && NumRuns > Q.MaxRuns)
-      return reject(Fd, errc::QuotaExceeded,
-                    "job wants " + std::to_string(NumRuns) +
-                        " runs, quota is " + std::to_string(Q.MaxRuns));
-    if (Q.MaxSourceBytes != 0 && R.Source.size() > Q.MaxSourceBytes)
-      return reject(Fd, errc::QuotaExceeded,
-                    "source is " + std::to_string(R.Source.size()) +
-                        " bytes, quota is " +
-                        std::to_string(Q.MaxSourceBytes));
-    if (Q.MaxHeapBytes != 0) {
-      if (R.MaxHeapBytes > Q.MaxHeapBytes)
-        return reject(Fd, errc::QuotaExceeded,
-                      "max-heap-bytes " + std::to_string(R.MaxHeapBytes) +
-                          " exceeds quota " +
-                          std::to_string(Q.MaxHeapBytes));
-      if (R.MaxHeapBytes == 0) // Unlimited request: clamp to the cap.
-        R.MaxHeapBytes = Q.MaxHeapBytes;
-    }
-    if (Q.MaxRunDeadlineMs != 0) {
-      if (R.RunDeadlineMs > Q.MaxRunDeadlineMs)
-        return reject(Fd, errc::QuotaExceeded,
-                      "deadline-ms " + std::to_string(R.RunDeadlineMs) +
-                          " exceeds quota " +
-                          std::to_string(Q.MaxRunDeadlineMs));
-      if (R.RunDeadlineMs == 0)
-        R.RunDeadlineMs = Q.MaxRunDeadlineMs;
-    }
-    if (Q.MaxAttempts != 0 &&
-        static_cast<uint64_t>(R.MaxAttempts) > Q.MaxAttempts)
-      return reject(Fd, errc::QuotaExceeded,
-                    "retry attempts " + std::to_string(R.MaxAttempts) +
-                        " exceed quota " + std::to_string(Q.MaxAttempts));
+    std::string QErr = applyQuotas(R);
+    if (!QErr.empty())
+      return reject(Fd, errc::QuotaExceeded, QErr);
+    uint64_t NumRuns =
+        R.Seeds.empty() ? static_cast<uint64_t>(R.Runs) : R.Seeds.size();
 
     // --- Compile (shared, content-keyed) ----------------------------
     const std::string *Source = &R.Source;
@@ -301,98 +532,33 @@ void Daemon::handleSession(Session &S) {
                     "no static no-arg method " + R.EntryClass + "." +
                         R.EntryMethod);
 
-    // --- Accepted: build the session --------------------------------
+    // --- Accepted: journal, then build the session ------------------
+    uint64_t Id = NextSessionId.fetch_add(1);
+    if (Wal.isOpen()) {
+      // Journaled post-quota and with the auth token stripped: replay
+      // re-runs exactly what was admitted, and no secret hits disk.
+      JobRequest Logged = R;
+      Logged.Auth.clear();
+      Wal.appendAccepted(Id, encodeJobRequest(Logged));
+      std::lock_guard<std::mutex> Lock(RetainedMu);
+      RetainedResults.emplace(Id, Retained());
+    }
     StatAccepted.fetch_add(1);
     obs::addCount(obs::Counter::SessionsAccepted);
     obs::flushThisThread();
 
-    uint64_t Bytes = 0;
     AcceptedMsg A;
-    A.Session = NextSessionId.fetch_add(1);
+    A.Session = Id;
     A.Runs = NumRuns;
+    A.Proto = R.Protocol;
     // A client gone mid-stream only mutes the stream: the session
     // still runs to completion on the shared pool (its work is
-    // already queued; other sessions are unaffected).
-    bool ClientGone =
-        !sendFrame(Fd, FrameType::Accepted, encodeAccepted(A), &Bytes);
+    // already queued; other sessions are unaffected) — and, when
+    // journaled, its results are retained for a later resume.
+    Buf.send(FrameType::Accepted, encodeAccepted(A));
 
-    prof::SessionOptions SO;
-    SO.Seeds = R.Seeds;
-    SO.Runs = R.Runs;
-    SO.Input = R.Input;
-    SO.Policy = R.Policy;
-    SO.MaxAttempts = R.MaxAttempts;
-    SO.Faults = Faults;
-    SO.Run.MaxHeapBytes = R.MaxHeapBytes;
-    SO.Run.RunDeadlineMs = R.RunDeadlineMs;
-
-    std::vector<vm::IoChannels> RunInputs;
-    if (R.Seeds.empty()) {
-      RunInputs.resize(NumRuns);
-      for (vm::IoChannels &Io : RunInputs)
-        Io.Input = R.Input;
-    } else {
-      RunInputs.resize(R.Seeds.size());
-      for (size_t I = 0; I < R.Seeds.size(); ++I)
-        RunInputs[I].Input.push_back(R.Seeds[I]);
-    }
-
-    parallel::SweepEngine Engine(CP, SO);
-    // Deltas stream from whichever thread advances the merge — a pool
-    // worker or this thread's final drain — serialized by the merge
-    // lock, strictly in run-index order. ClientGone/Bytes are safe to
-    // read after finishEnqueued(): the merge lock orders every
-    // observer call before the final drain's release.
-    Engine.setRunObserver([&](const parallel::RunDelta &D) {
-      if (ClientGone)
-        return;
-      RunDeltaMsg M;
-      M.Run = D.Run;
-      M.Index = D.Index;
-      M.Total = D.BatchRuns;
-      M.Status = vm::runStatusName(D.Status);
-      M.Budget = D.Budget;
-      M.Attempts = D.Attempts;
-      M.Quarantined = D.Quarantined;
-      M.MergedRuns = D.MergedRuns;
-      if (!sendFrame(Fd, FrameType::RunDelta, encodeRunDelta(M), &Bytes))
-        ClientGone = true;
-    });
-
-    parallel::SweepResult Sweep;
-    Engine.enqueueSweep(Pool, R.EntryClass, R.EntryMethod, RunInputs,
-                        &Sweep);
-    Engine.waitEnqueued();
-    Engine.finishEnqueued();
-
-    // --- Final profile: the serial CLI's exact bytes ----------------
-    std::vector<prof::AlgorithmProfile> Profiles = Engine.buildProfiles();
-    report::ReportInput RI{&Engine.tree(), &Engine.inputs(), &Profiles,
-                           &Sweep.Failures};
-    std::string Doc = report::Registry::builtin().find("json")->render(RI);
-    if (!ClientGone)
-      ClientGone = !sendFrame(Fd, FrameType::Profile, Doc, &Bytes);
-
-    DoneMsg DM;
-    DM.Runs = NumRuns;
-    DM.MergedRuns = static_cast<uint64_t>(Sweep.MergedRuns);
-    DM.DegradedRuns = Sweep.Failures.size();
-    const std::string DonePayload = encodeDone(DM);
-    // Completion is counted BEFORE the Done frame goes out: a client
-    // that has read Done must already observe this session in stats()
-    // and on /metrics (tests poll exactly that edge). The Done frame's
-    // wire size is included up front for the same reason; if the send
-    // then fails the overcount is 5+|payload| bytes to a peer that
-    // vanished mid-stream — noise, not accounting.
-    if (!ClientGone)
-      Bytes += encodeFrame(FrameType::Done, DonePayload).size();
-    StatCompleted.fetch_add(1);
-    StatBytes.fetch_add(Bytes);
-    obs::addCount(obs::Counter::SessionsCompleted);
-    obs::addCount(obs::Counter::BytesStreamed, Bytes);
-    obs::flushThisThread();
-    if (!ClientGone)
-      sendFrame(Fd, FrameType::Done, DonePayload);
+    runCompiled(CP, R, Faults, Id, NumRuns, R.Protocol >= 2, &Buf);
+    foldSendStats(Buf);
     return true;
   }();
   (void)Ok;
@@ -402,6 +568,276 @@ void Daemon::handleSession(Session &S) {
   obs::flushThisThread();
   ::shutdown(Fd, SHUT_RDWR);
   S.Finished.store(true); // reapLocked() joins and closes.
+}
+
+void Daemon::runCompiled(const prof::CompiledProgram &CP,
+                         const JobRequest &R,
+                         const resilience::FaultPlan &Faults, uint64_t Id,
+                         uint64_t NumRuns, bool V2, SendBuffer *Buf) {
+  prof::SessionOptions SO;
+  SO.Seeds = R.Seeds;
+  SO.Runs = R.Runs;
+  SO.Input = R.Input;
+  SO.Policy = R.Policy;
+  SO.MaxAttempts = R.MaxAttempts;
+  SO.Faults = Faults;
+  SO.Run.MaxHeapBytes = R.MaxHeapBytes;
+  SO.Run.RunDeadlineMs = R.RunDeadlineMs;
+
+  std::vector<vm::IoChannels> RunInputs;
+  if (R.Seeds.empty()) {
+    RunInputs.resize(NumRuns);
+    for (vm::IoChannels &Io : RunInputs)
+      Io.Input = R.Input;
+  } else {
+    RunInputs.resize(R.Seeds.size());
+    for (size_t I = 0; I < R.Seeds.size(); ++I)
+      RunInputs[I].Input.push_back(R.Seeds[I]);
+  }
+
+  const bool Retain = Wal.isOpen();
+  std::vector<std::string> RetainedDeltas;
+  uint64_t Streamed = 0;
+
+  parallel::SweepEngine Engine(CP, SO);
+  int64_t LastReps = 0;
+  // Deltas stream from whichever thread advances the merge — a pool
+  // worker or this thread's final drain — serialized by the merge
+  // lock, strictly in run-index order. Everything the lambda touches
+  // is safe to read after finishEnqueued(): the merge lock orders
+  // every observer call before the final drain's release. Under the
+  // same lock the engine's accumulated tree/profiles are stable, which
+  // is what lets v2 deltas refresh the fitted curves per merge.
+  Engine.setRunObserver([&](const parallel::RunDelta &D) {
+    RunDeltaMsg M;
+    M.Run = D.Run;
+    M.Index = D.Index;
+    M.Total = D.BatchRuns;
+    M.Status = vm::runStatusName(D.Status);
+    M.Budget = D.Budget;
+    M.Attempts = D.Attempts;
+    M.Quarantined = D.Quarantined;
+    M.MergedRuns = D.MergedRuns;
+    if (V2 || Retain) {
+      M.TreeRepetitions = D.TreeRepetitions;
+      M.NewRepetitions = D.TreeRepetitions - LastReps;
+      LastReps = D.TreeRepetitions;
+      for (const prof::AlgorithmProfile &P : Engine.buildProfiles()) {
+        const prof::AlgorithmProfile::InputSeries *PS = P.primarySeries();
+        if (!PS || !PS->Fit.Valid)
+          continue;
+        FitEstimate FE;
+        FE.Label = P.Label;
+        FE.Formula = PS->Fit.formula();
+        M.Fits.push_back(std::move(FE));
+      }
+    }
+    if (Retain) {
+      M.V2 = true; // Stored rich: resume is always a v2 stream.
+      RetainedDeltas.push_back(encodeRunDelta(M));
+    }
+    if (Buf && !Buf->gone()) {
+      M.V2 = V2;
+      if (Buf->sendDelta(encodeRunDelta(M)))
+        ++Streamed;
+    }
+  });
+
+  parallel::SweepResult Sweep;
+  Engine.enqueueSweep(Pool, R.EntryClass, R.EntryMethod, RunInputs, &Sweep);
+  Engine.waitEnqueued();
+  Engine.finishEnqueued();
+
+  // All deltas are decided now. Publish backpressure stats BEFORE the
+  // blocking Profile send: a slow client that has not read a byte can
+  // observe deltas_dropped in stats() / on /metrics while the daemon
+  // is still waiting to hand it the final document.
+  if (Buf)
+    foldSendStats(*Buf);
+
+  // --- Final profile: the serial CLI's exact bytes ------------------
+  std::vector<prof::AlgorithmProfile> Profiles = Engine.buildProfiles();
+  report::ReportInput RI{&Engine.tree(), &Engine.inputs(), &Profiles,
+                         &Sweep.Failures};
+  std::string Doc = report::Registry::builtin().find("json")->render(RI);
+
+  DoneMsg DM;
+  DM.Runs = NumRuns;
+  DM.MergedRuns = static_cast<uint64_t>(Sweep.MergedRuns);
+  DM.DegradedRuns = Sweep.Failures.size();
+  const std::string DonePayload = encodeDone(DM);
+
+  if (!Buf) {
+    // Journal replay: no client attached; the retained results below
+    // are the whole point. Counted BEFORE those results land so a
+    // resumer unblocked by the notify already observes jobs_replayed
+    // in stats() and on /metrics.
+    StatJobsReplayed.fetch_add(1);
+    obs::addCount(obs::Counter::JobsReplayed);
+    obs::flushThisThread();
+  }
+
+  if (Retain) {
+    // Results land in the store and the WAL gets its completion record
+    // BEFORE any client observes Done: a resume issued after reading
+    // Done always finds the session, and a crash after this point
+    // re-streams instead of re-running.
+    {
+      std::lock_guard<std::mutex> Lock(RetainedMu);
+      Retained &RR = RetainedResults[Id];
+      RR.Runs = NumRuns;
+      RR.DeltaPayloads = std::move(RetainedDeltas);
+      RR.ProfileJson = Doc;
+      RR.DonePayload = DonePayload;
+      RR.Done = true;
+    }
+    RetainedCv.notify_all();
+    Wal.appendCompleted(Id);
+  }
+
+  if (!Buf)
+    return;
+
+  bool ClientGone = Buf->gone();
+  if (!ClientGone)
+    ClientGone = !Buf->send(FrameType::Profile, Doc);
+  uint64_t Bytes = Buf->bytesQueued();
+  // Completion is counted BEFORE the Done frame goes out: a client
+  // that has read Done must already observe this session in stats()
+  // and on /metrics (tests poll exactly that edge). The Done frame's
+  // wire size is included up front for the same reason; if the send
+  // then fails the overcount is 5+|payload| bytes to a peer that
+  // vanished mid-stream — noise, not accounting.
+  if (!ClientGone)
+    Bytes += encodeFrame(FrameType::Done, DonePayload).size();
+  StatCompleted.fetch_add(1);
+  StatBytes.fetch_add(Bytes);
+  StatDeltasStreamed.fetch_add(Streamed);
+  obs::addCount(obs::Counter::SessionsCompleted);
+  obs::addCount(obs::Counter::BytesStreamed, Bytes);
+  if (Streamed > 0)
+    obs::addCount(obs::Counter::DeltasStreamed, Streamed);
+  obs::flushThisThread();
+  if (!ClientGone)
+    Buf->send(FrameType::Done, DonePayload);
+}
+
+void Daemon::replayJob(Session &S) {
+  auto Fail = [&](const char *Code, const std::string &Msg) {
+    {
+      std::lock_guard<std::mutex> Lock(RetainedMu);
+      Retained &RR = RetainedResults[S.ReplayId];
+      RR.FailCode = Code;
+      RR.FailMessage = Msg;
+    }
+    RetainedCv.notify_all();
+    Wal.appendCompleted(S.ReplayId);
+  };
+
+  [&] {
+    JobRequest R;
+    std::string Err;
+    if (!parseJobRequest(S.ReplayPayload, R, Err) || R.Resume != 0)
+      return Fail(errc::BadRequest, "unreplayable journal record: " + Err);
+    resilience::FaultPlan Faults;
+    if (!resilience::FaultPlan::parse(R.InjectSpec, Faults, Err))
+      return Fail(errc::BadRequest, "invalid inject spec: " + Err);
+    std::string QErr = applyQuotas(R);
+    if (!QErr.empty())
+      return Fail(errc::QuotaExceeded, QErr);
+    uint64_t NumRuns =
+        R.Seeds.empty() ? static_cast<uint64_t>(R.Runs) : R.Seeds.size();
+    const std::string *Source = &R.Source;
+    if (!R.Corpus.empty()) {
+      const programs::CorpusProgram *P = findCorpusProgram(R.Corpus);
+      if (!P)
+        return Fail(errc::BadRequest,
+                    "unknown corpus program '" + R.Corpus + "'");
+      Source = &P->Source;
+    }
+    prof::CompileCache::Result CR = Cache.get(*Source);
+    if (!CR.ok()) {
+      Fail(errc::CompileError, CR.Error);
+      Cache.invalidateErrors();
+      return;
+    }
+    const prof::CompiledProgram &CP = *CR.Program;
+    if (CP.entryMethod(R.EntryClass, R.EntryMethod) < 0)
+      return Fail(errc::BadRequest, "no static no-arg method " +
+                                        R.EntryClass + "." + R.EntryMethod);
+    runCompiled(CP, R, Faults, S.ReplayId, NumRuns, true, nullptr);
+  }();
+
+  obs::flushThisThread();
+  S.Finished.store(true);
+}
+
+bool Daemon::serveResume(SendBuffer &Buf, uint64_t Id) {
+  const int Fd = Buf.fd();
+  if (!Wal.isOpen())
+    return reject(Fd, errc::UnknownSession,
+                  "resume needs a daemon with --journal");
+  Retained Copy;
+  {
+    std::unique_lock<std::mutex> Lock(RetainedMu);
+    auto It = RetainedResults.find(Id);
+    if (It == RetainedResults.end()) {
+      Lock.unlock();
+      return reject(Fd, errc::UnknownSession,
+                    "no journaled session " + std::to_string(Id));
+    }
+    // The session may still be replaying (or running live): block
+    // until its results land. Daemon shutdown wakes us empty-handed.
+    RetainedCv.wait(Lock, [&] {
+      return It->second.Done || It->second.FailCode || Stopping.load();
+    });
+    if (!It->second.Done && !It->second.FailCode)
+      return false; // Stopping.
+    if (It->second.FailCode) {
+      const char *Code = It->second.FailCode;
+      std::string Msg = It->second.FailMessage;
+      Lock.unlock();
+      return reject(Fd, Code, Msg);
+    }
+    Copy = It->second; // Stream outside the lock.
+  }
+
+  StatAccepted.fetch_add(1);
+  obs::addCount(obs::Counter::SessionsAccepted);
+  obs::flushThisThread();
+
+  AcceptedMsg A;
+  A.Session = Id;
+  A.Runs = Copy.Runs;
+  A.Proto = 2;
+  A.Resumed = true;
+  Buf.send(FrameType::Accepted, encodeAccepted(A));
+
+  uint64_t Streamed = 0;
+  for (const std::string &Payload : Copy.DeltaPayloads) {
+    if (Buf.gone())
+      break;
+    if (Buf.sendDelta(Payload))
+      ++Streamed;
+  }
+
+  bool ClientGone = Buf.gone();
+  if (!ClientGone)
+    ClientGone = !Buf.send(FrameType::Profile, Copy.ProfileJson);
+  uint64_t Bytes = Buf.bytesQueued();
+  if (!ClientGone)
+    Bytes += encodeFrame(FrameType::Done, Copy.DonePayload).size();
+  StatCompleted.fetch_add(1);
+  StatBytes.fetch_add(Bytes);
+  StatDeltasStreamed.fetch_add(Streamed);
+  obs::addCount(obs::Counter::SessionsCompleted);
+  obs::addCount(obs::Counter::BytesStreamed, Bytes);
+  if (Streamed > 0)
+    obs::addCount(obs::Counter::DeltasStreamed, Streamed);
+  obs::flushThisThread();
+  if (!ClientGone)
+    Buf.send(FrameType::Done, Copy.DonePayload);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//

@@ -2,15 +2,33 @@
 ///
 /// \file
 /// algoprofd's engine: a persistent daemon that accepts profiling jobs
-/// over a Unix-domain socket (service/Protocol.h) and multiplexes any
-/// number of concurrent sessions onto ONE shared work-stealing pool.
-/// Each accepted session compiles through the shared prof::CompileCache
-/// (identical source across sessions compiles once), enqueues its runs
-/// via parallel::SweepEngine::enqueueSweep, streams a RunDelta frame as
-/// each run merges — strictly in run-index order — and finishes with
-/// the complete algoprof-profile/2 JSON, byte-identical to what the
-/// serial CLI prints for the same program + seeds (the sweep engine's
-/// determinism guarantee, now load-bearing for a service).
+/// over a Unix-domain socket — and, when configured, an authenticated
+/// TCP listener — and multiplexes any number of concurrent sessions
+/// onto ONE shared work-stealing pool. Each accepted session compiles
+/// through the shared prof::CompileCache, enqueues its runs via
+/// parallel::SweepEngine::enqueueSweep, streams a RunDelta frame as
+/// each run merges — strictly in run-index order; under wire v2 the
+/// deltas also carry incremental repetition-tree counts and refreshed
+/// fitted-curve estimates — and finishes with the complete
+/// algoprof-profile/2 JSON, byte-identical to what the serial CLI
+/// prints for the same program + seeds (the sweep engine's determinism
+/// guarantee, now load-bearing for a service).
+///
+/// Hardening (stage 2):
+///  - TCP transport (`DaemonOptions::ListenAddress`) gated by a shared
+///    token (`AuthTokenFile`, constant-time compare; errc::AuthFailed).
+///    The Unix socket stays the default and needs no token.
+///  - Durable queue: with `JournalPath` set, accepted jobs hit an
+///    on-disk write-ahead log before running (service/Journal.h) and
+///    are replayed after a restart; results are retained in memory so
+///    a reconnecting client `resume=<session>`s into the byte-identical
+///    stream (determinism makes replay idempotent).
+///  - Backpressure: deltas go through a bounded per-session
+///    service/SendBuffer.h instead of blocking sends — a slow client
+///    sheds advisory deltas (or is disconnected, per SlowClient
+///    policy) and can never stall a pool worker; the final Profile and
+///    Done frames always block until written, so the authoritative
+///    document never degrades.
 ///
 /// Admission control reuses the budget machinery instead of inventing
 /// a scheduler: a per-daemon SessionQuota caps runs per session,
@@ -21,12 +39,14 @@
 /// nothing is process-global, so one session's injected io failure
 /// cannot leak into a neighbor's stream.
 ///
-/// Observability: a minimal HTTP endpoint (127.0.0.1, `GET /metrics`)
-/// serves obs::prometheusText of the live registry — meaningful
-/// mid-flight because pool workers and session threads publish through
-/// obs::flushThisThread — including the service counters
-/// sessions_accepted / sessions_rejected / sessions_completed /
-/// bytes_streamed. See docs/service.md.
+/// Observability: a minimal HTTP endpoint (`GET /metrics`, bind
+/// address configurable; non-loopback requires the auth token file to
+/// exist so an exposed daemon is never token-less) serves
+/// obs::prometheusText of the live registry — meaningful mid-flight
+/// because pool workers and session threads publish through
+/// obs::flushThisThread — including sessions_accepted / rejected /
+/// completed, bytes_streamed, deltas_streamed, deltas_dropped,
+/// jobs_replayed, and auth_failures. See docs/service.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,11 +55,15 @@
 
 #include "core/CompileCache.h"
 #include "parallel/JobSystem.h"
+#include "service/Journal.h"
 #include "service/Protocol.h"
+#include "service/SendBuffer.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -62,6 +86,16 @@ struct SessionQuota {
 
 struct DaemonOptions {
   std::string SocketPath; ///< Unix-domain socket to listen on.
+  /// Optional TCP listener, "host:port" (IPv4; port 0 = ephemeral,
+  /// read back via listenPort()). Requires AuthTokenFile — every TCP
+  /// job must present the token in its `auth=` line.
+  std::string ListenAddress;
+  /// File whose first line is the shared auth token (compared in
+  /// constant time). Required for TCP and non-loopback /metrics.
+  std::string AuthTokenFile;
+  /// Write-ahead journal for the durable job queue; empty disables
+  /// durability (jobs die with the daemon, resume is rejected).
+  std::string JournalPath;
   /// Worker threads of the one shared pool (0 = hardware concurrency).
   unsigned Workers = 0;
   /// Concurrent sessions admitted; further connections are rejected
@@ -73,9 +107,19 @@ struct DaemonOptions {
   /// connects and stalls mid-frame is dropped as truncated instead of
   /// pinning a session thread forever.
   unsigned ReadTimeoutMs = 5000;
-  /// /metrics HTTP port on 127.0.0.1: -1 disables the endpoint,
-  /// 0 binds an ephemeral port (read it back via metricsPort()).
+  /// /metrics HTTP port: -1 disables the endpoint, 0 binds an
+  /// ephemeral port (read it back via metricsPort()).
   int MetricsPort = -1;
+  /// /metrics bind address. Non-loopback requires AuthTokenFile.
+  std::string MetricsAddress = "127.0.0.1";
+  /// Per-session pending send-buffer cap for RunDelta frames (bytes
+  /// beyond what the kernel accepts immediately).
+  size_t MaxSendBufferBytes = 1u << 20;
+  /// What to do with a client too slow to drain its delta stream.
+  SendBuffer::Policy SlowClient = SendBuffer::Policy::DropDeltas;
+  /// Test hook: kernel SO_SNDBUF for session sockets (0 = default).
+  /// Shrinking it makes backpressure reproducible in tests.
+  int SessionSendBufBytes = 0;
   SessionQuota Quota;
 };
 
@@ -89,6 +133,14 @@ public:
     uint64_t Rejected = 0;
     uint64_t Completed = 0;
     uint64_t BytesStreamed = 0;
+    uint64_t DeltasStreamed = 0;
+    uint64_t DeltasDropped = 0;
+    uint64_t JobsReplayed = 0;
+    uint64_t AuthFailures = 0;
+    uint64_t SlowDisconnects = 0;
+    /// Peak pending send-buffer occupancy over all sessions so far;
+    /// bounded by MaxSendBufferBytes by construction.
+    uint64_t SendBufHighWater = 0;
   };
 
   explicit Daemon(DaemonOptions Opts);
@@ -97,9 +149,10 @@ public:
   Daemon(const Daemon &) = delete;
   Daemon &operator=(const Daemon &) = delete;
 
-  /// Binds the sockets and spawns the accept / metrics threads.
-  /// Returns false with a description in \p Err (socket path too long,
-  /// bind failure, ...). Call at most once.
+  /// Binds the sockets, loads the journal and re-runs its pending
+  /// jobs, and spawns the accept / metrics threads. Returns false with
+  /// a description in \p Err (socket path too long, bind failure,
+  /// missing token file, ...). Call at most once.
   bool start(std::string &Err);
 
   /// Stops accepting, shuts down every in-flight session's socket,
@@ -109,34 +162,78 @@ public:
   /// The bound /metrics port (0 until start() with MetricsPort >= 0).
   int metricsPort() const { return BoundMetricsPort; }
 
+  /// The bound TCP port (0 unless ListenAddress was set).
+  int listenPort() const { return BoundListenPort; }
+
   Stats stats() const;
 
   const DaemonOptions &options() const { return Opts; }
 
 private:
   struct Session {
-    int Fd = -1;
+    int Fd = -1; ///< -1 for journal-replay sessions (no socket).
+    bool Tcp = false;
     std::thread T;
     std::atomic<bool> Finished{false};
+    /// Journal replay: the job to re-run, no client attached.
+    uint64_t ReplayId = 0;
+    std::string ReplayPayload;
   };
 
-  void acceptLoop();
+  /// Everything needed to re-stream a journaled session to a resuming
+  /// client. Delta payloads are stored v2-encoded; the final document
+  /// is the byte-exact Profile frame payload.
+  struct Retained {
+    bool Done = false;
+    const char *FailCode = nullptr; ///< errc::* when the job cannot run.
+    std::string FailMessage;
+    uint64_t Runs = 0;
+    std::vector<std::string> DeltaPayloads;
+    std::string ProfileJson;
+    std::string DonePayload;
+  };
+
+  void acceptOn(int Fd, bool Tcp);
   void metricsLoop();
   void handleSession(Session &S);
+  void replayJob(Session &S);
+  /// The shared execution path for live and replayed jobs: runs \p R
+  /// against \p CP on the shared pool, streaming through \p Buf (null
+  /// for replay) and retaining results under \p Id when journaling.
+  /// \p V2 selects rich deltas on the wire.
+  void runCompiled(const prof::CompiledProgram &CP, const JobRequest &R,
+                   const resilience::FaultPlan &Faults, uint64_t Id,
+                   uint64_t NumRuns, bool V2, SendBuffer *Buf);
+  /// Streams a retained session's results to a resuming client.
+  bool serveResume(SendBuffer &Buf, uint64_t Id);
+  /// Applies quotas to \p R in place (clamping unlimited requests).
+  /// Returns a non-empty rejection message when a cap is exceeded.
+  std::string applyQuotas(JobRequest &R) const;
   /// Sends an Error frame, counts the rejection, and returns false
   /// (so call sites read `return reject(...)`).
   bool reject(int Fd, const char *Code, const std::string &Message);
   /// Joins and erases every finished session. Caller holds SessionsMu.
   void reapLocked();
+  /// Folds a session's send-buffer stats into the daemon's. Drop and
+  /// disconnect counts are drained from \p Buf (take-semantics), so
+  /// folding both mid-stream — making backpressure observable in
+  /// stats() before the blocking Profile send — and again at session
+  /// end never double-counts.
+  void foldSendStats(SendBuffer &Buf);
 
   DaemonOptions Opts;
   parallel::JobSystem Pool;
   prof::CompileCache Cache;
+  Journal Wal;
+  std::string AuthToken;
 
   int ListenFd = -1;
+  int TcpListenFd = -1;
   int MetricsFd = -1;
   int BoundMetricsPort = 0;
+  int BoundListenPort = 0;
   std::thread AcceptThread;
+  std::thread TcpAcceptThread;
   std::thread MetricsThread;
   std::atomic<bool> Stopping{false};
   bool Started = false;
@@ -145,10 +242,20 @@ private:
   std::list<std::unique_ptr<Session>> Sessions; ///< Under SessionsMu.
   std::atomic<uint64_t> NextSessionId{1};
 
+  std::mutex RetainedMu;
+  std::condition_variable RetainedCv; ///< Signaled when a job finishes.
+  std::map<uint64_t, Retained> RetainedResults; ///< Under RetainedMu.
+
   std::atomic<uint64_t> StatAccepted{0};
   std::atomic<uint64_t> StatRejected{0};
   std::atomic<uint64_t> StatCompleted{0};
   std::atomic<uint64_t> StatBytes{0};
+  std::atomic<uint64_t> StatDeltasStreamed{0};
+  std::atomic<uint64_t> StatDeltasDropped{0};
+  std::atomic<uint64_t> StatJobsReplayed{0};
+  std::atomic<uint64_t> StatAuthFailures{0};
+  std::atomic<uint64_t> StatSlowDisconnects{0};
+  std::atomic<uint64_t> StatSendBufHighWater{0};
 };
 
 } // namespace service

@@ -1,0 +1,184 @@
+//===- service/Journal.cpp ------------------------------------------------===//
+
+#include "service/Journal.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace algoprof;
+using namespace algoprof::service;
+
+namespace {
+
+const char JournalHeader[] = "algoprof-journal/1";
+
+bool readWhole(const std::string &Path, std::string &Out, bool &Missing,
+               std::string &Err) {
+  Missing = false;
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0) {
+    if (errno == ENOENT) {
+      Missing = true;
+      return true;
+    }
+    Err = "open '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+  char Buf[65536];
+  for (;;) {
+    ssize_t R = ::read(Fd, Buf, sizeof(Buf));
+    if (R > 0) {
+      Out.append(Buf, static_cast<size_t>(R));
+      continue;
+    }
+    if (R < 0 && errno == EINTR)
+      continue;
+    if (R < 0) {
+      Err = "read '" + Path + "': " + std::strerror(errno);
+      ::close(Fd);
+      return false;
+    }
+    break;
+  }
+  ::close(Fd);
+  return true;
+}
+
+/// Parses "<u64> " at \p Pos, advancing past the trailing space (or to
+/// \p Stop when \p Stop terminates the number). False on anything else.
+bool parseU64At(const std::string &S, size_t &Pos, char Stop,
+                uint64_t &Out) {
+  size_t Start = Pos;
+  uint64_t V = 0;
+  while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9') {
+    V = V * 10 + static_cast<uint64_t>(S[Pos] - '0');
+    ++Pos;
+  }
+  if (Pos == Start || Pos >= S.size() || S[Pos] != Stop)
+    return false;
+  ++Pos;
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+bool Journal::load(const std::string &Path, LoadResult &Out,
+                   std::string &Err) {
+  Out = LoadResult();
+  std::string Data;
+  bool Missing = false;
+  if (!readWhole(Path, Data, Missing, Err))
+    return false;
+  if (Missing || Data.empty())
+    return true;
+  std::string HeaderLine = std::string(JournalHeader) + '\n';
+  if (Data.rfind(HeaderLine, 0) != 0) {
+    Err = "'" + Path + "' is not an algoprof journal";
+    return false;
+  }
+  // Completed ids: a job is pending iff its A record has no C record.
+  std::vector<uint64_t> Completed;
+  size_t Pos = HeaderLine.size();
+  while (Pos < Data.size()) {
+    char Kind = Data[Pos];
+    size_t RecStart = Pos;
+    ++Pos;
+    if ((Kind != 'A' && Kind != 'C') || Pos >= Data.size() ||
+        Data[Pos] != ' ')
+      break; // Malformed / truncated tail: stop, keep what we have.
+    ++Pos;
+    uint64_t Id = 0;
+    if (Kind == 'C') {
+      if (!parseU64At(Data, Pos, '\n', Id)) {
+        Pos = RecStart;
+        break;
+      }
+      Completed.push_back(Id);
+    } else {
+      uint64_t Len = 0;
+      if (!parseU64At(Data, Pos, ' ', Id) ||
+          !parseU64At(Data, Pos, '\n', Len) ||
+          Data.size() - Pos < Len + 1 || Data[Pos + Len] != '\n') {
+        Pos = RecStart;
+        break;
+      }
+      PendingJob J;
+      J.Id = Id;
+      J.Payload = Data.substr(Pos, Len);
+      Out.Pending.push_back(std::move(J));
+      Pos += Len + 1;
+    }
+    if (Id > Out.MaxId)
+      Out.MaxId = Id;
+  }
+  for (uint64_t Id : Completed)
+    for (auto It = Out.Pending.begin(); It != Out.Pending.end(); ++It)
+      if (It->Id == Id) {
+        Out.Pending.erase(It);
+        break;
+      }
+  return true;
+}
+
+bool Journal::open(const std::string &Path, std::string &Err) {
+  close();
+  Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+              0600);
+  if (Fd < 0) {
+    Err = "open '" + Path + "' for append: " + std::strerror(errno);
+    return false;
+  }
+  struct stat St {};
+  if (::fstat(Fd, &St) == 0 && St.st_size == 0) {
+    if (!appendRecord(std::string(JournalHeader) + '\n')) {
+      Err = "write journal header: " + std::string(std::strerror(errno));
+      close();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Journal::appendAccepted(uint64_t Id, const std::string &Payload) {
+  std::string Rec = "A " + std::to_string(Id) + ' ' +
+                    std::to_string(Payload.size()) + '\n' + Payload + '\n';
+  return appendRecord(Rec);
+}
+
+bool Journal::appendCompleted(uint64_t Id) {
+  return appendRecord("C " + std::to_string(Id) + '\n');
+}
+
+bool Journal::appendRecord(const std::string &Rec) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0)
+    return false;
+  const char *P = Rec.data();
+  size_t N = Rec.size();
+  while (N > 0) {
+    ssize_t W = ::write(Fd, P, N);
+    if (W > 0) {
+      P += W;
+      N -= static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  ::fdatasync(Fd);
+  return true;
+}
+
+void Journal::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+}

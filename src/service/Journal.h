@@ -1,0 +1,86 @@
+//===- service/Journal.h - Durable job queue (write-ahead log) --*- C++-*-===//
+///
+/// \file
+/// The daemon's crash-durable job queue: every accepted Job payload is
+/// appended to an on-disk write-ahead log before its runs execute, and
+/// marked completed after the final profile is retained. On restart
+/// the daemon loads the log, re-executes every accepted-but-incomplete
+/// job (jobs_replayed), and a reconnecting client `resume=<session>`s
+/// to receive the byte-identical final profile — the sweep engine's
+/// determinism makes replay safe to repeat any number of times.
+///
+/// Format (text, append-only):
+///
+///   algoprof-journal/1\n
+///   A <session-id> <payload-bytes>\n<payload>\n     accepted
+///   C <session-id>\n                                completed
+///
+/// The payload is the verbatim Job frame payload (its own length is
+/// declared, so embedded newlines and raw source bytes are safe). Each
+/// record is one write() followed by fdatasync, so a crash can only
+/// lose or truncate the tail record; the loader stops at the first
+/// truncated or malformed record instead of failing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_SERVICE_JOURNAL_H
+#define ALGOPROF_SERVICE_JOURNAL_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace algoprof {
+namespace service {
+
+class Journal {
+public:
+  Journal() = default;
+  ~Journal() { close(); }
+
+  Journal(const Journal &) = delete;
+  Journal &operator=(const Journal &) = delete;
+
+  /// One accepted-but-incomplete job found in the log.
+  struct PendingJob {
+    uint64_t Id = 0;
+    std::string Payload; ///< Verbatim Job frame payload.
+  };
+
+  struct LoadResult {
+    std::vector<PendingJob> Pending; ///< In acceptance order.
+    uint64_t MaxId = 0;              ///< Highest session id seen.
+  };
+
+  /// Reads \p Path (a missing file is an empty, valid log). Returns
+  /// false only on I/O errors or a bad header; a truncated tail is
+  /// tolerated by design.
+  static bool load(const std::string &Path, LoadResult &Out,
+                   std::string &Err);
+
+  /// Opens \p Path for appending, writing the header if the file is
+  /// new or empty. Thread-safe appends after this.
+  bool open(const std::string &Path, std::string &Err);
+
+  bool isOpen() const { return Fd >= 0; }
+
+  /// Journals an accepted job. Durable (fdatasync) before returning.
+  bool appendAccepted(uint64_t Id, const std::string &Payload);
+
+  /// Marks a journaled job complete.
+  bool appendCompleted(uint64_t Id);
+
+  void close();
+
+private:
+  bool appendRecord(const std::string &Rec);
+
+  int Fd = -1;
+  std::mutex Mu; ///< Serializes appends from concurrent sessions.
+};
+
+} // namespace service
+} // namespace algoprof
+
+#endif // ALGOPROF_SERVICE_JOURNAL_H

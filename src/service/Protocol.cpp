@@ -13,6 +13,7 @@ using namespace algoprof;
 using namespace algoprof::service;
 
 const char algoprof::service::ProtocolVersion[] = "algoprof-job/1";
+const char algoprof::service::ProtocolVersionV2[] = "algoprof-wire/2";
 
 const char *service::frameTypeName(FrameType T) {
   switch (T) {
@@ -221,8 +222,12 @@ ReadStatus service::readFrame(int Fd, Frame &Out, size_t MaxPayload) {
 
 std::string service::encodeJobRequest(const JobRequest &R) {
   std::string S;
-  S += ProtocolVersion;
+  S += R.Protocol >= 2 ? ProtocolVersionV2 : ProtocolVersion;
   S += '\n';
+  if (!R.Auth.empty())
+    appendLine(S, "auth", R.Auth);
+  if (R.Resume != 0)
+    appendLine(S, "resume", R.Resume);
   if (!R.Corpus.empty())
     appendLine(S, "corpus", R.Corpus);
   if (R.EntryClass != "Main")
@@ -258,9 +263,19 @@ bool service::parseJobRequest(const std::string &Payload, JobRequest &Out,
                               std::string &Err) {
   Out = JobRequest();
   size_t FirstNl = Payload.find('\n');
-  if (FirstNl == std::string::npos ||
-      Payload.substr(0, FirstNl) != ProtocolVersion) {
-    Err = std::string("expected version line '") + ProtocolVersion + "'";
+  if (FirstNl == std::string::npos) {
+    Err = std::string("expected version line '") + ProtocolVersionV2 +
+          "' or '" + ProtocolVersion + "'";
+    return false;
+  }
+  std::string Version = Payload.substr(0, FirstNl);
+  if (Version == ProtocolVersionV2) {
+    Out.Protocol = 2;
+  } else if (Version == ProtocolVersion) {
+    Out.Protocol = 1;
+  } else {
+    Err = "unsupported protocol '" + Version + "' (supported: " +
+          ProtocolVersionV2 + ", " + ProtocolVersion + ")";
     return false;
   }
   size_t Pos = FirstNl + 1;
@@ -281,7 +296,18 @@ bool service::parseJobRequest(const std::string &Payload, JobRequest &Out,
     }
     std::string Key = Line.substr(0, Eq);
     std::string Val = Line.substr(Eq + 1);
-    if (Key == "corpus") {
+    if (Key == "auth") {
+      Out.Auth = Val;
+    } else if (Key == "resume") {
+      if (Out.Protocol < 2) {
+        Err = std::string("resume requires ") + ProtocolVersionV2;
+        return false;
+      }
+      if (!parseU64(Val, Out.Resume) || Out.Resume == 0) {
+        Err = "invalid resume session id '" + Val + "'";
+        return false;
+      }
+    } else if (Key == "corpus") {
       Out.Corpus = Val;
     } else if (Key == "entry-class") {
       Out.EntryClass = Val;
@@ -346,10 +372,12 @@ bool service::parseJobRequest(const std::string &Payload, JobRequest &Out,
       return false;
     }
   }
-  if (Out.Corpus.empty() == Out.Source.empty()) {
-    Err = Out.Corpus.empty()
-              ? "job needs a corpus name or inline source"
-              : "corpus and inline source are mutually exclusive";
+  int Goals = (!Out.Corpus.empty() ? 1 : 0) + (!Out.Source.empty() ? 1 : 0) +
+              (Out.Resume != 0 ? 1 : 0);
+  if (Goals != 1) {
+    Err = Goals == 0
+              ? "job needs a corpus name, inline source, or resume id"
+              : "corpus, inline source, and resume are mutually exclusive";
     return false;
   }
   return true;
@@ -363,6 +391,9 @@ std::string service::encodeAccepted(const AcceptedMsg &M) {
   std::string S;
   appendLine(S, "session", M.Session);
   appendLine(S, "runs", M.Runs);
+  appendLine(S, "proto", static_cast<uint64_t>(M.Proto));
+  if (M.Resumed)
+    appendLine(S, "resumed", std::string("1"));
   return S;
 }
 
@@ -378,6 +409,13 @@ bool service::parseAccepted(const std::string &Payload, AcceptedMsg &Out) {
     } else if (P.first == "runs") {
       if (!parseU64(P.second, Out.Runs))
         return false;
+    } else if (P.first == "proto") {
+      uint64_t V;
+      if (!parseU64(P.second, V))
+        return false;
+      Out.Proto = static_cast<int>(V);
+    } else if (P.first == "resumed") {
+      Out.Resumed = P.second == "1";
     }
   }
   return true;
@@ -393,6 +431,13 @@ std::string service::encodeRunDelta(const RunDeltaMsg &M) {
   appendLine(S, "attempts", std::to_string(M.Attempts));
   appendLine(S, "quarantined", std::string(M.Quarantined ? "1" : "0"));
   appendLine(S, "merged-runs", std::to_string(M.MergedRuns));
+  if (M.V2) {
+    appendLine(S, "tree-repetitions", std::to_string(M.TreeRepetitions));
+    appendLine(S, "new-repetitions", std::to_string(M.NewRepetitions));
+    // Labels may contain any character but tab/newline; tab separates.
+    for (const FitEstimate &F : M.Fits)
+      appendLine(S, "fit", F.Label + '\t' + F.Formula);
+  }
   return S;
 }
 
@@ -425,6 +470,23 @@ bool service::parseRunDelta(const std::string &Payload, RunDeltaMsg &Out) {
     } else if (P.first == "merged-runs") {
       if (!parseI64(P.second, Out.MergedRuns))
         return false;
+    } else if (P.first == "tree-repetitions") {
+      if (!parseI64(P.second, Out.TreeRepetitions))
+        return false;
+      Out.V2 = true;
+    } else if (P.first == "new-repetitions") {
+      if (!parseI64(P.second, Out.NewRepetitions))
+        return false;
+      Out.V2 = true;
+    } else if (P.first == "fit") {
+      size_t Tab = P.second.find('\t');
+      if (Tab == std::string::npos)
+        return false;
+      FitEstimate F;
+      F.Label = P.second.substr(0, Tab);
+      F.Formula = P.second.substr(Tab + 1);
+      Out.Fits.push_back(std::move(F));
+      Out.V2 = true;
     }
   }
   return true;

@@ -41,8 +41,14 @@
 namespace algoprof {
 namespace service {
 
-/// Protocol identifier; the first line of every Job payload.
-extern const char ProtocolVersion[]; // "algoprof-job/1"
+/// Protocol identifiers; the first line of every Job payload names the
+/// wire version the client speaks, and the daemon answers in kind (the
+/// negotiated version is echoed in the Accepted frame's `proto=` line).
+/// v1 streams status-only RunDeltas; v2 deltas additionally carry
+/// incremental repetition-tree counts and refreshed fitted-curve
+/// estimates, and unlock session resume (`resume=`).
+extern const char ProtocolVersion[];   // "algoprof-job/1"  (legacy, v1)
+extern const char ProtocolVersionV2[]; // "algoprof-wire/2"
 
 enum class FrameType : uint8_t {
   Job = 0x01,      ///< client -> daemon: the profiling request.
@@ -65,6 +71,8 @@ inline constexpr char BadRequest[] = "bad-request";
 inline constexpr char CompileError[] = "compile-error";
 inline constexpr char TooManySessions[] = "too-many-sessions";
 inline constexpr char QuotaExceeded[] = "quota-exceeded";
+inline constexpr char AuthFailed[] = "auth-failed";
+inline constexpr char UnknownSession[] = "unknown-session";
 } // namespace errc
 
 struct Frame {
@@ -101,8 +109,18 @@ ReadStatus readFrame(int Fd, Frame &Out, size_t MaxPayload);
 
 /// A profiling job: what to run and under which session options. The
 /// payload mirrors the CLI surface (docs/service.md lists every key);
-/// exactly one of Corpus / Source must be set.
+/// exactly one of Corpus / Source / Resume must be set.
 struct JobRequest {
+  /// Negotiated wire version: 2 emits the `algoprof-wire/2` version
+  /// line (tree/fit deltas, resume); 1 the legacy `algoprof-job/1`.
+  int Protocol = 2;
+  /// Auth token (`auth=` line). Required on TCP transports; ignored on
+  /// the Unix socket, where filesystem permissions gate access.
+  std::string Auth;
+  /// Non-zero: instead of running anything, re-stream session \p Resume
+  /// (deltas + final profile, byte-identical) from the daemon's
+  /// journal-backed result store. v2 only.
+  uint64_t Resume = 0;
   std::string Corpus; ///< Built-in corpus program name, or
   std::string Source; ///< MiniJ source text.
   std::string EntryClass = "Main";
@@ -135,11 +153,23 @@ bool parseJobRequest(const std::string &Payload, JobRequest &Out,
 struct AcceptedMsg {
   uint64_t Session = 0; ///< Daemon-assigned session id.
   uint64_t Runs = 0;    ///< Total runs the stream will cover.
+  int Proto = 1;        ///< Negotiated wire version (echo).
+  bool Resumed = false; ///< Stream replays a stored session's results.
 };
 std::string encodeAccepted(const AcceptedMsg &M);
 bool parseAccepted(const std::string &Payload, AcceptedMsg &Out);
 
-/// RunDelta payload: one completed (merged or quarantined) run.
+/// A refreshed fitted-curve estimate carried by a v2 RunDelta: the
+/// fitter re-run over the profile prefix merged so far.
+struct FitEstimate {
+  std::string Label;   ///< Algorithm label (grouping output).
+  std::string Formula; ///< Fitted cost formula, e.g. "0.25*n^2".
+};
+
+/// RunDelta payload: one completed (merged or quarantined) run. The
+/// v2 fields describe the accumulated profile the moment this run
+/// merged; they are advisory (a slow client may never see some deltas)
+/// — the final Profile frame alone is authoritative.
 struct RunDeltaMsg {
   int64_t Run = -1;
   uint64_t Index = 0;
@@ -149,6 +179,10 @@ struct RunDeltaMsg {
   int Attempts = 1;
   bool Quarantined = false;
   int64_t MergedRuns = 0;
+  bool V2 = false; ///< The tree/fit fields below are present.
+  int64_t TreeRepetitions = 0; ///< Accumulated tree repetitions.
+  int64_t NewRepetitions = 0;  ///< Added by this run's merge.
+  std::vector<FitEstimate> Fits; ///< One per algorithm with a fit.
 };
 std::string encodeRunDelta(const RunDeltaMsg &M);
 bool parseRunDelta(const std::string &Payload, RunDeltaMsg &Out);

@@ -1,0 +1,86 @@
+//===- service/SendBuffer.cpp ---------------------------------------------===//
+
+#include "service/SendBuffer.h"
+
+#include <cerrno>
+
+#include <sys/socket.h>
+
+using namespace algoprof;
+using namespace algoprof::service;
+
+SendBuffer::SendBuffer(int Fd, size_t MaxPending, Policy P)
+    : Fd(Fd), MaxPending(MaxPending == 0 ? 4096 : MaxPending), Pol(P) {}
+
+void SendBuffer::tryFlush() {
+  while (!Gone && pendingSize() > 0) {
+    ssize_t W = ::send(Fd, Pending.data() + PendingOff, pendingSize(),
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (W > 0) {
+      PendingOff += static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && errno == EINTR)
+      continue;
+    if (W < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      break; // Kernel buffer full; keep the remainder pending.
+    Gone = true;
+  }
+  if (PendingOff == Pending.size()) {
+    Pending.clear();
+    PendingOff = 0;
+  }
+}
+
+bool SendBuffer::flushBlocking() {
+  while (!Gone && pendingSize() > 0) {
+    ssize_t W = ::send(Fd, Pending.data() + PendingOff, pendingSize(),
+                       MSG_NOSIGNAL);
+    if (W > 0) {
+      PendingOff += static_cast<size_t>(W);
+      continue;
+    }
+    if (W < 0 && errno == EINTR)
+      continue;
+    Gone = true;
+  }
+  Pending.clear();
+  PendingOff = 0;
+  return !Gone;
+}
+
+bool SendBuffer::send(FrameType Type, const std::string &Payload) {
+  if (Gone)
+    return false;
+  if (!flushBlocking())
+    return false;
+  if (!sendFrame(Fd, Type, Payload, &Bytes)) {
+    Gone = true;
+    return false;
+  }
+  return true;
+}
+
+bool SendBuffer::sendDelta(const std::string &Payload) {
+  if (Gone)
+    return false;
+  tryFlush();
+  if (Gone)
+    return false;
+  std::string Wire = encodeFrame(FrameType::RunDelta, Payload);
+  if (pendingSize() + Wire.size() > MaxPending) {
+    if (Pol == Policy::Disconnect) {
+      ::shutdown(Fd, SHUT_RDWR);
+      Gone = true;
+      SlowDisconnect = true;
+    }
+    ++Dropped;
+    return false;
+  }
+  Pending += Wire;
+  Bytes += Wire.size();
+  if (pendingSize() > HighWater)
+    HighWater = pendingSize();
+  tryFlush();
+  return !Gone;
+}

@@ -1,0 +1,103 @@
+//===- service/SendBuffer.h - Bounded per-session send buffer ---*- C++-*-===//
+///
+/// \file
+/// Backpressure for the daemon's streamed replies. RunDelta frames are
+/// advisory progress: they go through sendDelta(), which never blocks
+/// the calling thread (a pool worker inside the merge lock). Bytes the
+/// kernel won't take immediately queue in a bounded pending buffer;
+/// when a slow client fills it, the configured policy applies —
+/// DropDeltas sheds the frame (deltas_dropped), Disconnect shuts the
+/// socket down. Control frames (Accepted, Profile, Done, Error) go
+/// through send(), which flushes the pending buffer and blocks until
+/// written: the final profile never degrades, only advisory deltas do.
+///
+/// Not thread-safe by itself; the daemon's uses are already serialized
+/// (deltas under the engine's merge lock, control frames from the
+/// session thread after finishEnqueued(), which acquires that lock).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_SERVICE_SENDBUFFER_H
+#define ALGOPROF_SERVICE_SENDBUFFER_H
+
+#include "service/Protocol.h"
+
+#include <cstdint>
+#include <string>
+
+namespace algoprof {
+namespace service {
+
+class SendBuffer {
+public:
+  enum class Policy {
+    DropDeltas, ///< Shed the delta frame; the stream stays up.
+    Disconnect, ///< Shut the slow client's socket down.
+  };
+
+  /// \p MaxPending bounds the bytes queued beyond what the kernel
+  /// accepts (0 = a minimal 4 KiB floor).
+  SendBuffer(int Fd, size_t MaxPending, Policy P);
+
+  /// Blocking send for control frames. Flushes pending bytes first.
+  /// Returns false when the peer is gone (then and ever after).
+  bool send(FrameType Type, const std::string &Payload);
+
+  /// Non-blocking bounded send for RunDelta frames. Returns false when
+  /// the frame was dropped (policy, overflow) or the peer is gone.
+  bool sendDelta(const std::string &Payload);
+
+  /// Peer vanished (write error) or was disconnected by policy.
+  bool gone() const { return Gone; }
+
+  int fd() const { return Fd; }
+
+  /// Wire bytes accepted into the stream (kernel or pending buffer).
+  uint64_t bytesQueued() const { return Bytes; }
+
+  uint64_t deltasDropped() const { return Dropped; }
+
+  /// Peak pending-buffer occupancy; never exceeds MaxPending.
+  uint64_t highWater() const { return HighWater; }
+
+  /// The Disconnect policy fired on this session.
+  bool disconnectedSlow() const { return SlowDisconnect; }
+
+  /// Drains the dropped-delta count (returns it, resets it to zero) so
+  /// the daemon can fold stats incrementally — once mid-stream, before
+  /// the blocking Profile send, and once at session end — without
+  /// double counting.
+  uint64_t takeDroppedDeltas() {
+    uint64_t D = Dropped;
+    Dropped = 0;
+    return D;
+  }
+
+  /// Same drain semantics for the slow-disconnect event.
+  bool takeSlowDisconnect() {
+    bool S = SlowDisconnect;
+    SlowDisconnect = false;
+    return S;
+  }
+
+private:
+  void tryFlush();       ///< Drains Pending without blocking.
+  bool flushBlocking();  ///< Drains Pending, blocking.
+  size_t pendingSize() const { return Pending.size() - PendingOff; }
+
+  int Fd;
+  size_t MaxPending;
+  Policy Pol;
+  std::string Pending;
+  size_t PendingOff = 0;
+  bool Gone = false;
+  bool SlowDisconnect = false;
+  uint64_t Bytes = 0;
+  uint64_t Dropped = 0;
+  uint64_t HighWater = 0;
+};
+
+} // namespace service
+} // namespace algoprof
+
+#endif // ALGOPROF_SERVICE_SENDBUFFER_H

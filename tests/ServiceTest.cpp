@@ -1,11 +1,13 @@
 //===- tests/ServiceTest.cpp - Daemon, protocol, and streaming tests ------===//
 //
-// The profiling-as-a-service layer end to end: wire codecs, daemon
-// admission control (frame hygiene, quotas, session caps), streamed
-// sessions whose final profile must be byte-identical to the serial
-// CLI path, client-disconnect survival, the /metrics endpoint, the
-// content-keyed CompileCache, and a 64-session concurrent soak with
-// fault injection.
+// The profiling-as-a-service layer end to end: wire codecs (v1 and
+// v2), daemon admission control (frame hygiene, quotas, session caps,
+// TCP auth), streamed sessions whose final profile must be
+// byte-identical to the serial CLI path, v2 delta content (incremental
+// tree repetitions, refreshed fits), slow-client backpressure, the
+// durable job journal with replay and resume, client-disconnect
+// survival, the /metrics endpoint, the content-keyed CompileCache, and
+// a 64-session concurrent soak with fault injection.
 //
 //===----------------------------------------------------------------------===//
 
@@ -16,12 +18,15 @@
 #include "report/Reporter.h"
 #include "service/Client.h"
 #include "service/Daemon.h"
+#include "service/Journal.h"
 
 #include "gtest/gtest.h"
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -44,6 +49,20 @@ std::string testSocketPath() {
          std::to_string(Counter.fetch_add(1)) + ".sock";
 }
 
+/// A unique scratch file (journal, token) per call, removed by callers.
+std::string testScratchPath(const char *Tag) {
+  static std::atomic<int> Counter{0};
+  return std::string("/tmp/algoprofd-test-") + Tag + "-" +
+         std::to_string(::getpid()) + "-" +
+         std::to_string(Counter.fetch_add(1));
+}
+
+void writeFile(const std::string &Path, const std::string &Data) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(Out.is_open()) << Path;
+  Out << Data;
+}
+
 /// Connects a raw client socket; -1 on failure.
 int rawConnect(const std::string &Path) {
   sockaddr_un Addr{};
@@ -57,6 +76,11 @@ int rawConnect(const std::string &Path) {
     return -1;
   }
   return Fd;
+}
+
+/// One job over the typed API against a Unix-socket daemon.
+TypedResult runTyped(const std::string &SocketPath, const JobSpec &Job) {
+  return Client::unixSocket(SocketPath).submit(Job).wait();
 }
 
 /// The serial reference: exactly what the CLI renders for the same
@@ -127,6 +151,16 @@ struct DaemonFixture {
   }
 };
 
+/// Polls \p Pred (a daemon-stats condition) with a bounded wait.
+bool pollFor(const std::function<bool()> &Pred, int TimeoutMs = 20000) {
+  for (int Waited = 0; Waited < TimeoutMs; Waited += 10) {
+    if (Pred())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return Pred();
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -163,10 +197,12 @@ TEST(ServiceProtocol, JobRequestRoundtrip) {
   R.InjectSpec = "heap-oom@run1:once";
   R.EntryClass = "App";
   R.EntryMethod = "run";
+  R.Auth = "s3kr1t-token";
 
   JobRequest P;
   std::string Err;
   ASSERT_TRUE(parseJobRequest(encodeJobRequest(R), P, Err)) << Err;
+  EXPECT_EQ(2, P.Protocol); // The default speaks algoprof-wire/2.
   EXPECT_EQ(R.Source, P.Source);
   EXPECT_EQ(R.Seeds, P.Seeds);
   EXPECT_EQ(R.Policy, P.Policy);
@@ -176,22 +212,36 @@ TEST(ServiceProtocol, JobRequestRoundtrip) {
   EXPECT_EQ(R.InjectSpec, P.InjectSpec);
   EXPECT_EQ(R.EntryClass, P.EntryClass);
   EXPECT_EQ(R.EntryMethod, P.EntryMethod);
+  EXPECT_EQ(R.Auth, P.Auth);
 
+  // Legacy v1 encodes the old version line and still parses.
   JobRequest C;
+  C.Protocol = 1;
   C.Corpus = "insertion_sort";
   C.Runs = 3;
   C.Input = {7, 9};
-  ASSERT_TRUE(parseJobRequest(encodeJobRequest(C), P, Err)) << Err;
+  std::string Wire = encodeJobRequest(C);
+  EXPECT_EQ(0u, Wire.find("algoprof-job/1\n"));
+  ASSERT_TRUE(parseJobRequest(Wire, P, Err)) << Err;
+  EXPECT_EQ(1, P.Protocol);
   EXPECT_EQ(C.Corpus, P.Corpus);
   EXPECT_EQ(C.Runs, P.Runs);
   EXPECT_EQ(C.Input, P.Input);
+
+  // Resume jobs carry no program at all.
+  JobRequest Rs;
+  Rs.Resume = 17;
+  ASSERT_TRUE(parseJobRequest(encodeJobRequest(Rs), P, Err)) << Err;
+  EXPECT_EQ(17u, P.Resume);
+  EXPECT_TRUE(P.Corpus.empty());
 }
 
 TEST(ServiceProtocol, JobRequestRejectsGarbage) {
   JobRequest P;
   std::string Err;
   // Wrong version, unknown key, bad ints, wrong source byte count,
-  // neither corpus nor source, both corpus and source.
+  // neither corpus nor source nor resume, conflicting goals, resume on
+  // the legacy protocol, zero resume id.
   for (const std::string &Bad : {
            std::string("algoprof-job/9\ncorpus=x\n"),
            std::string("algoprof-job/1\nwat=1\ncorpus=x\n"),
@@ -199,20 +249,33 @@ TEST(ServiceProtocol, JobRequestRejectsGarbage) {
            std::string("algoprof-job/1\nsource=10\nshort"),
            std::string("algoprof-job/1\nruns=2\n"),
            std::string("algoprof-job/1\ncorpus=x\nsource=2\nhi"),
+           std::string("algoprof-wire/2\ncorpus=x\nresume=1\n"),
+           std::string("algoprof-job/1\nresume=1\n"),
+           std::string("algoprof-wire/2\nresume=0\n"),
        }) {
     EXPECT_FALSE(parseJobRequest(Bad, P, Err)) << Bad;
     EXPECT_FALSE(Err.empty());
   }
+
+  // An unknown version's rejection names what IS supported, so old
+  // daemons fail future clients diagnosably.
+  EXPECT_FALSE(parseJobRequest("algoprof-wire/3\ncorpus=x\n", P, Err));
+  EXPECT_NE(Err.find("algoprof-wire/2"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("algoprof-job/1"), std::string::npos) << Err;
 }
 
 TEST(ServiceProtocol, ResponseCodecs) {
   AcceptedMsg A;
   A.Session = 42;
   A.Runs = 7;
+  A.Proto = 2;
+  A.Resumed = true;
   AcceptedMsg A2;
   ASSERT_TRUE(parseAccepted(encodeAccepted(A), A2));
   EXPECT_EQ(A.Session, A2.Session);
   EXPECT_EQ(A.Runs, A2.Runs);
+  EXPECT_EQ(A.Proto, A2.Proto);
+  EXPECT_EQ(A.Resumed, A2.Resumed);
 
   RunDeltaMsg M;
   M.Run = 3;
@@ -231,6 +294,22 @@ TEST(ServiceProtocol, ResponseCodecs) {
   EXPECT_EQ(M.Attempts, M2.Attempts);
   EXPECT_EQ(M.Quarantined, M2.Quarantined);
   EXPECT_EQ(M.MergedRuns, M2.MergedRuns);
+  EXPECT_FALSE(M2.V2); // No v2 lines emitted, none parsed.
+
+  // v2 deltas add tree counts and fit estimates.
+  M.V2 = true;
+  M.TreeRepetitions = 123;
+  M.NewRepetitions = 45;
+  M.Fits = {{"sort", "0.25*n^2"}, {"scan", "2.0*n"}};
+  ASSERT_TRUE(parseRunDelta(encodeRunDelta(M), M2));
+  EXPECT_TRUE(M2.V2);
+  EXPECT_EQ(M.TreeRepetitions, M2.TreeRepetitions);
+  EXPECT_EQ(M.NewRepetitions, M2.NewRepetitions);
+  ASSERT_EQ(2u, M2.Fits.size());
+  EXPECT_EQ("sort", M2.Fits[0].Label);
+  EXPECT_EQ("0.25*n^2", M2.Fits[0].Formula);
+  EXPECT_EQ("scan", M2.Fits[1].Label);
+  EXPECT_EQ("2.0*n", M2.Fits[1].Formula);
 
   DoneMsg D;
   D.Runs = 8;
@@ -246,6 +325,54 @@ TEST(ServiceProtocol, ResponseCodecs) {
       encodeError(errc::CompileError, "line 3: bad\nline 4: worse"), E));
   EXPECT_EQ(errc::CompileError, E.Code);
   EXPECT_EQ("line 3: bad\nline 4: worse", E.Message);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal: load/append roundtrip and crash tolerance
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceJournal, AppendLoadRoundtripAndTruncatedTail) {
+  std::string Path = testScratchPath("journal");
+  JobRequest Job;
+  Job.Corpus = "seeded_insertion_sort_random";
+  Job.Seeds = {4, 8};
+  const std::string P1 = encodeJobRequest(Job);
+  Job.Seeds = {4, 8, 12};
+  const std::string P2 = encodeJobRequest(Job);
+
+  {
+    Journal J;
+    std::string Err;
+    ASSERT_TRUE(J.open(Path, Err)) << Err;
+    ASSERT_TRUE(J.appendAccepted(1, P1));
+    ASSERT_TRUE(J.appendAccepted(2, P2));
+    ASSERT_TRUE(J.appendCompleted(1));
+  }
+
+  Journal::LoadResult L;
+  std::string Err;
+  ASSERT_TRUE(Journal::load(Path, L, Err)) << Err;
+  EXPECT_EQ(2u, L.MaxId);
+  ASSERT_EQ(1u, L.Pending.size()); // 1 completed, only 2 pending.
+  EXPECT_EQ(2u, L.Pending[0].Id);
+  EXPECT_EQ(P2, L.Pending[0].Payload);
+
+  // A crash mid-append can only truncate the tail record; the loader
+  // keeps everything before it. Chop the C record's last byte.
+  std::ifstream In(Path, std::ios::binary);
+  std::string Whole((std::istreambuf_iterator<char>(In)),
+                    std::istreambuf_iterator<char>());
+  In.close();
+  writeFile(Path, Whole.substr(0, Whole.size() - 2));
+  ASSERT_TRUE(Journal::load(Path, L, Err)) << Err;
+  EXPECT_EQ(2u, L.MaxId);
+  ASSERT_EQ(2u, L.Pending.size()); // The truncated C(1) no longer counts.
+
+  // A missing file is an empty, valid log.
+  std::remove(Path.c_str());
+  ASSERT_TRUE(Journal::load(Path, L, Err)) << Err;
+  EXPECT_TRUE(L.Pending.empty());
+  EXPECT_EQ(0u, L.MaxId);
 }
 
 //===----------------------------------------------------------------------===//
@@ -285,63 +412,112 @@ TEST(ServiceCompileCache, ErrorThenFixedSourceRecompiles) {
 }
 
 //===----------------------------------------------------------------------===//
-// Streamed sessions: byte-identical profiles
+// Streamed sessions: byte-identical profiles, v2 delta content
 //===----------------------------------------------------------------------===//
 
 TEST(ServiceDaemon, StreamsCorpusSessionByteIdenticalToSerial) {
   DaemonFixture F;
-  JobRequest Job;
+  JobSpec Job;
   Job.Corpus = "seeded_insertion_sort_random";
   Job.Seeds = {4, 8, 12, 16};
 
-  StreamResult R;
-  std::string Err;
-  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
-  ASSERT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+  size_t LiveDeltas = 0;
+  Session S = Client::unixSocket(F.Opts.SocketPath).submit(Job);
+  S.onDelta([&](const RunDeltaMsg &) { ++LiveDeltas; });
+  TypedResult R = S.wait();
+  ASSERT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
   EXPECT_EQ(4u, R.Acceptance.Runs);
+  EXPECT_EQ(2, R.Acceptance.Proto); // v2 negotiated by default.
+  EXPECT_FALSE(R.Acceptance.Resumed);
+  EXPECT_EQ(R.Deltas.size(), LiveDeltas); // Callback saw every delta.
 
-  // Deltas arrive strictly in run-index order, one per run.
+  // Deltas arrive strictly in run-index order, one per run, each
+  // carrying the v2 view of the accumulated profile: total tree
+  // repetitions are monotone and decompose exactly into the per-run
+  // increments, and the fitted-curve estimates appear once the series
+  // has enough points for a valid fit.
   ASSERT_EQ(4u, R.Deltas.size());
+  int64_t PrevReps = 0, SumNew = 0;
   for (size_t I = 0; I < R.Deltas.size(); ++I) {
-    EXPECT_EQ(static_cast<int64_t>(I), R.Deltas[I].Run);
-    EXPECT_EQ("ok", R.Deltas[I].Status);
-    EXPECT_EQ(4u, R.Deltas[I].Total);
-    EXPECT_EQ(static_cast<int64_t>(I) + 1, R.Deltas[I].MergedRuns);
+    const RunDeltaMsg &D = R.Deltas[I];
+    EXPECT_EQ(static_cast<int64_t>(I), D.Run);
+    EXPECT_EQ("ok", D.Status);
+    EXPECT_EQ(4u, D.Total);
+    EXPECT_EQ(static_cast<int64_t>(I) + 1, D.MergedRuns);
+    EXPECT_TRUE(D.V2);
+    EXPECT_GE(D.TreeRepetitions, PrevReps);
+    EXPECT_EQ(D.TreeRepetitions - PrevReps, D.NewRepetitions);
+    PrevReps = D.TreeRepetitions;
+    SumNew += D.NewRepetitions;
   }
-  EXPECT_EQ(4u, R.Done.Runs);
-  EXPECT_EQ(4u, R.Done.MergedRuns);
-  EXPECT_EQ(0u, R.Done.DegradedRuns);
+  EXPECT_GT(PrevReps, 0);
+  EXPECT_EQ(PrevReps, SumNew);
+  // One merged run cannot support a fit (< 3 points); four can.
+  EXPECT_TRUE(R.Deltas.front().Fits.empty());
+  EXPECT_FALSE(R.Deltas.back().Fits.empty());
+
+  EXPECT_EQ(4u, R.Summary.Runs);
+  EXPECT_EQ(4u, R.Summary.MergedRuns);
+  EXPECT_EQ(0u, R.Summary.DegradedRuns);
 
   prof::SessionOptions SO;
   SO.Seeds = Job.Seeds;
   EXPECT_EQ(serialReferenceJson(corpusSource(Job.Corpus), SO),
             R.ProfileJson);
 
-  Daemon::Stats S = F.D->stats();
-  EXPECT_EQ(1u, S.Accepted);
-  EXPECT_EQ(1u, S.Completed);
-  EXPECT_EQ(0u, S.Rejected);
-  EXPECT_GT(S.BytesStreamed, R.ProfileJson.size());
+  Daemon::Stats St = F.D->stats();
+  EXPECT_EQ(1u, St.Accepted);
+  EXPECT_EQ(1u, St.Completed);
+  EXPECT_EQ(0u, St.Rejected);
+  EXPECT_EQ(4u, St.DeltasStreamed);
+  EXPECT_EQ(0u, St.DeltasDropped);
+  EXPECT_GT(St.BytesStreamed, R.ProfileJson.size());
+}
+
+TEST(ServiceDaemon, V1ClientsNegotiateLegacyStream) {
+  DaemonFixture F;
+  JobSpec Job;
+  Job.Protocol = 1;
+  Job.Corpus = "seeded_insertion_sort_random";
+  Job.Seeds = {4, 8, 12};
+
+  TypedResult R = runTyped(F.Opts.SocketPath, Job);
+  ASSERT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
+  EXPECT_EQ(1, R.Acceptance.Proto);
+  ASSERT_EQ(3u, R.Deltas.size());
+  for (const RunDeltaMsg &D : R.Deltas) {
+    // Legacy stream: status-only deltas, none of the v2 fields.
+    EXPECT_FALSE(D.V2);
+    EXPECT_EQ(0, D.TreeRepetitions);
+    EXPECT_TRUE(D.Fits.empty());
+  }
+
+  // The wire version changes the deltas, never the document.
+  prof::SessionOptions SO;
+  SO.Seeds = Job.Seeds;
+  EXPECT_EQ(serialReferenceJson(corpusSource(Job.Corpus), SO),
+            R.ProfileJson);
 }
 
 TEST(ServiceDaemon, StreamsInlineSourceWithInjectedFaults) {
   DaemonFixture F;
-  JobRequest Job;
+  JobSpec Job;
   Job.Source = corpusSource("seeded_insertion_sort_reversed");
   Job.Seeds = {4, 8, 12, 16, 20};
   Job.Policy = resilience::FailurePolicy::Skip;
   Job.InjectSpec = "run-start-fail@run2";
 
-  StreamResult R;
-  std::string Err;
-  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
-  ASSERT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+  TypedResult R = runTyped(F.Opts.SocketPath, Job);
+  ASSERT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
   ASSERT_EQ(5u, R.Deltas.size());
   EXPECT_EQ("trap", R.Deltas[2].Status);
   EXPECT_TRUE(R.Deltas[2].Quarantined);
-  EXPECT_EQ(5u, R.Done.Runs);
-  EXPECT_EQ(4u, R.Done.MergedRuns); // Exactly the quarantined run missing.
-  EXPECT_EQ(1u, R.Done.DegradedRuns);
+  // A quarantined run merges nothing: the accumulated tree is unchanged.
+  EXPECT_EQ(0, R.Deltas[2].NewRepetitions);
+  EXPECT_EQ(R.Deltas[1].TreeRepetitions, R.Deltas[2].TreeRepetitions);
+  EXPECT_EQ(5u, R.Summary.Runs);
+  EXPECT_EQ(4u, R.Summary.MergedRuns); // Exactly the quarantined run missing.
+  EXPECT_EQ(1u, R.Summary.DegradedRuns);
 
   prof::SessionOptions SO;
   SO.Seeds = Job.Seeds;
@@ -351,6 +527,307 @@ TEST(ServiceDaemon, StreamsInlineSourceWithInjectedFaults) {
       resilience::FaultPlan::parse(Job.InjectSpec, SO.Faults, FErr));
   EXPECT_EQ(serialReferenceJson(Job.Source, SO), R.ProfileJson);
   EXPECT_NE(R.ProfileJson.find("\"degraded_runs\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// TCP transport and auth
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDaemon, TcpRequiresValidToken) {
+  std::string TokenPath = testScratchPath("token");
+  writeFile(TokenPath, "tcp-test-token-123\n");
+  DaemonOptions O;
+  O.ListenAddress = "127.0.0.1:0"; // Ephemeral; read back below.
+  O.AuthTokenFile = TokenPath;
+  DaemonFixture F(std::move(O));
+  int Port = F.D->listenPort();
+  ASSERT_GT(Port, 0);
+
+  JobSpec Job;
+  Job.Corpus = "seeded_insertion_sort_random";
+  Job.Seeds = {4, 8, 12};
+
+  // The right token streams the full session, byte-identical.
+  TypedResult R = Client::tcp("127.0.0.1", static_cast<uint16_t>(Port),
+                              "tcp-test-token-123")
+                      .submit(Job)
+                      .wait();
+  ASSERT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
+  prof::SessionOptions SO;
+  SO.Seeds = Job.Seeds;
+  EXPECT_EQ(serialReferenceJson(corpusSource(Job.Corpus), SO),
+            R.ProfileJson);
+
+  // A wrong token and a missing token are both rejected auth-failed.
+  R = Client::tcp("127.0.0.1", static_cast<uint16_t>(Port), "wrong")
+          .submit(Job)
+          .wait();
+  ASSERT_TRUE(R.Error.any());
+  EXPECT_EQ(errc::AuthFailed, R.Error.Code) << R.Error.Message;
+  R = Client::tcp("127.0.0.1", static_cast<uint16_t>(Port)).submit(Job).wait();
+  ASSERT_TRUE(R.Error.any());
+  EXPECT_EQ(errc::AuthFailed, R.Error.Code);
+  EXPECT_NE(R.Error.Message.find("missing"), std::string::npos);
+
+  // The Unix socket on the same daemon needs no token at all.
+  R = runTyped(F.Opts.SocketPath, Job);
+  EXPECT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
+
+  Daemon::Stats St = F.D->stats();
+  EXPECT_EQ(2u, St.AuthFailures);
+  EXPECT_EQ(2u, St.Accepted);
+  EXPECT_EQ(2u, St.Rejected);
+  std::remove(TokenPath.c_str());
+}
+
+TEST(ServiceDaemon, StartRejectsInsecureConfigurations) {
+  // TCP without a token file: refused at startup, not at accept time.
+  {
+    DaemonOptions O;
+    O.SocketPath = testSocketPath();
+    O.ListenAddress = "127.0.0.1:0";
+    Daemon D(O);
+    std::string Err;
+    EXPECT_FALSE(D.start(Err));
+    EXPECT_NE(Err.find("auth-token-file"), std::string::npos) << Err;
+  }
+  // Non-loopback /metrics without a token file: same rule — nothing
+  // reachable off-host may come up token-less.
+  {
+    DaemonOptions O;
+    O.SocketPath = testSocketPath();
+    O.MetricsPort = 0;
+    O.MetricsAddress = "0.0.0.0";
+    Daemon D(O);
+    std::string Err;
+    EXPECT_FALSE(D.start(Err));
+    EXPECT_NE(Err.find("auth-token-file"), std::string::npos) << Err;
+  }
+  // A token file that does not exist fails loudly.
+  {
+    DaemonOptions O;
+    O.SocketPath = testSocketPath();
+    O.ListenAddress = "127.0.0.1:0";
+    O.AuthTokenFile = "/nonexistent/algoprof-token";
+    Daemon D(O);
+    std::string Err;
+    EXPECT_FALSE(D.start(Err));
+    EXPECT_NE(Err.find("token"), std::string::npos) << Err;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure: slow clients shed deltas, never the profile
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A job with enough runs that its delta stream overflows the tiny
+/// send buffers configured by the backpressure tests.
+JobSpec backpressureJob() {
+  JobSpec Job;
+  Job.Corpus = "seeded_insertion_sort_random";
+  for (int I = 0; I < 96; ++I)
+    Job.Seeds.push_back(4 + (I % 4) * 4);
+  return Job;
+}
+
+DaemonOptions backpressureOptions(SendBuffer::Policy P) {
+  DaemonOptions O;
+  O.MaxSendBufferBytes = 4096;
+  O.SessionSendBufBytes = 1; // Kernel clamps to its floor (~4 KiB).
+  O.SlowClient = P;
+  return O;
+}
+
+} // namespace
+
+TEST(ServiceDaemon, SlowClientDropsDeltasButProfileIsIntact) {
+  DaemonFixture F(backpressureOptions(SendBuffer::Policy::DropDeltas));
+  JobSpec Job = backpressureJob();
+
+  // Submit but do NOT read: the daemon's delta stream hits the kernel
+  // buffer, then the bounded pending buffer, then the drop policy —
+  // all without ever blocking a pool worker. Drops become visible in
+  // stats() before the daemon blocks handing over the final profile.
+  Session S = Client::unixSocket(F.Opts.SocketPath).submit(Job);
+  ASSERT_TRUE(pollFor([&] { return F.D->stats().DeltasDropped > 0; }))
+      << "no deltas dropped: backpressure never engaged";
+
+  // Now drain the stream: the final profile is byte-identical — only
+  // advisory deltas were shed, the authoritative document never
+  // degrades.
+  TypedResult R = S.wait();
+  ASSERT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
+  EXPECT_LT(R.Deltas.size(), Job.Seeds.size());
+  prof::SessionOptions SO;
+  SO.Seeds = Job.Seeds;
+  EXPECT_EQ(serialReferenceJson(corpusSource(Job.Corpus), SO),
+            R.ProfileJson);
+
+  Daemon::Stats St = F.D->stats();
+  EXPECT_GT(St.DeltasDropped, 0u);
+  // Every delta either streamed or dropped; none blocked, none lost.
+  EXPECT_EQ(Job.Seeds.size(), St.DeltasStreamed + St.DeltasDropped);
+  EXPECT_EQ(R.Deltas.size(), St.DeltasStreamed);
+  // The pending buffer never outgrew its cap.
+  EXPECT_LE(St.SendBufHighWater, F.Opts.MaxSendBufferBytes);
+  EXPECT_EQ(0u, St.SlowDisconnects);
+  EXPECT_EQ(1u, St.Completed);
+}
+
+TEST(ServiceDaemon, SlowClientDisconnectPolicyCutsTheSession) {
+  DaemonFixture F(backpressureOptions(SendBuffer::Policy::Disconnect));
+  JobSpec Job = backpressureJob();
+
+  Session S = Client::unixSocket(F.Opts.SocketPath).submit(Job);
+  // Under Disconnect the overflow shuts the socket down; the session
+  // still runs to completion server-side (results are not client-
+  // gated), it just stops streaming.
+  ASSERT_TRUE(pollFor([&] { return F.D->stats().Completed >= 1; }));
+
+  TypedResult R = S.wait();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.Error.Transport) << R.Error.Code << ": "
+                                 << R.Error.Message;
+
+  Daemon::Stats St = F.D->stats();
+  EXPECT_EQ(1u, St.SlowDisconnects);
+  EXPECT_EQ(1u, St.Completed);
+  EXPECT_LE(St.SendBufHighWater, F.Opts.MaxSendBufferBytes);
+}
+
+//===----------------------------------------------------------------------===//
+// Durable queue: journal replay and session resume
+//===----------------------------------------------------------------------===//
+
+TEST(ServiceDaemon, ReplaysJournaledJobAndServesByteIdenticalResume) {
+  std::string JournalPath = testScratchPath("journal");
+  JobSpec Job;
+  Job.Corpus = "seeded_insertion_sort_random";
+  Job.Seeds = {4, 8, 12, 16};
+
+  // Fabricate the crash state: a job accepted (journaled) by a daemon
+  // that died before completing it — an A record with no C.
+  {
+    Journal J;
+    std::string Err;
+    ASSERT_TRUE(J.open(JournalPath, Err)) << Err;
+    ASSERT_TRUE(J.appendAccepted(7, encodeJobRequest(Job)));
+  }
+
+  DaemonOptions O;
+  O.JournalPath = JournalPath;
+  DaemonFixture F(std::move(O));
+
+  // Resume immediately — racing the in-flight replay on purpose: the
+  // daemon blocks the resume until the replayed results land.
+  JobSpec Rs;
+  Rs.Resume = 7;
+  TypedResult R = runTyped(F.Opts.SocketPath, Rs);
+  ASSERT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
+  EXPECT_TRUE(R.Acceptance.Resumed);
+  EXPECT_EQ(7u, R.Acceptance.Session);
+  EXPECT_EQ(2, R.Acceptance.Proto);
+  EXPECT_EQ(4u, R.Acceptance.Runs);
+
+  // The resumed stream is the full v2 session: every delta, then the
+  // byte-identical document.
+  ASSERT_EQ(4u, R.Deltas.size());
+  for (const RunDeltaMsg &D : R.Deltas)
+    EXPECT_TRUE(D.V2);
+  prof::SessionOptions SO;
+  SO.Seeds = Job.Seeds;
+  EXPECT_EQ(serialReferenceJson(corpusSource(Job.Corpus), SO),
+            R.ProfileJson);
+
+  Daemon::Stats St = F.D->stats();
+  EXPECT_EQ(1u, St.JobsReplayed);
+  // The replay itself is not a client session; the resume is one.
+  EXPECT_EQ(1u, St.Accepted);
+  EXPECT_EQ(1u, St.Completed);
+
+  // New sessions on this daemon get ids above the journal's maximum —
+  // replayed and live ids can never collide.
+  TypedResult Live = runTyped(F.Opts.SocketPath, Job);
+  ASSERT_TRUE(Live.Ok) << Live.Error.Code << ": " << Live.Error.Message;
+  EXPECT_GT(Live.Acceptance.Session, 7u);
+  std::remove(JournalPath.c_str());
+}
+
+TEST(ServiceDaemon, CompletedJournalEntriesAreNotReplayed) {
+  std::string JournalPath = testScratchPath("journal");
+  JobSpec Job;
+  Job.Corpus = "seeded_insertion_sort_random";
+  Job.Seeds = {4, 8};
+  {
+    Journal J;
+    std::string Err;
+    ASSERT_TRUE(J.open(JournalPath, Err)) << Err;
+    ASSERT_TRUE(J.appendAccepted(3, encodeJobRequest(Job)));
+    ASSERT_TRUE(J.appendCompleted(3)); // Finished before the "crash".
+  }
+
+  DaemonOptions O;
+  O.JournalPath = JournalPath;
+  DaemonFixture F(std::move(O));
+
+  // Nothing pending: nothing replayed, and results of sessions that
+  // completed before the restart are not retained.
+  JobSpec Rs;
+  Rs.Resume = 3;
+  TypedResult R = runTyped(F.Opts.SocketPath, Rs);
+  ASSERT_TRUE(R.Error.any());
+  EXPECT_EQ(errc::UnknownSession, R.Error.Code) << R.Error.Message;
+  Rs.Resume = 99; // Never journaled at all.
+  R = runTyped(F.Opts.SocketPath, Rs);
+  EXPECT_EQ(errc::UnknownSession, R.Error.Code);
+  EXPECT_EQ(0u, F.D->stats().JobsReplayed);
+  std::remove(JournalPath.c_str());
+}
+
+TEST(ServiceDaemon, ResumeNeedsAJournaledDaemon) {
+  DaemonFixture F; // No JournalPath: durability off.
+  JobSpec Rs;
+  Rs.Resume = 1;
+  TypedResult R = runTyped(F.Opts.SocketPath, Rs);
+  ASSERT_TRUE(R.Error.any());
+  EXPECT_EQ(errc::UnknownSession, R.Error.Code);
+  EXPECT_NE(R.Error.Message.find("--journal"), std::string::npos)
+      << R.Error.Message;
+}
+
+TEST(ServiceDaemon, LiveSessionIsJournaledAndResumable) {
+  std::string JournalPath = testScratchPath("journal");
+  DaemonOptions O;
+  O.JournalPath = JournalPath;
+  DaemonFixture F(std::move(O));
+
+  JobSpec Job;
+  Job.Corpus = "seeded_insertion_sort_reversed";
+  Job.Seeds = {4, 8, 12};
+  TypedResult First = runTyped(F.Opts.SocketPath, Job);
+  ASSERT_TRUE(First.Ok) << First.Error.Code << ": " << First.Error.Message;
+
+  // A disconnected-and-reconnecting client resumes by id and receives
+  // the byte-identical stream without the job running twice.
+  JobSpec Rs;
+  Rs.Resume = First.Acceptance.Session;
+  TypedResult Again = runTyped(F.Opts.SocketPath, Rs);
+  ASSERT_TRUE(Again.Ok) << Again.Error.Code << ": " << Again.Error.Message;
+  EXPECT_TRUE(Again.Acceptance.Resumed);
+  EXPECT_EQ(First.ProfileJson, Again.ProfileJson);
+  EXPECT_EQ(First.Deltas.size(), Again.Deltas.size());
+  EXPECT_EQ(First.Summary.MergedRuns, Again.Summary.MergedRuns);
+  EXPECT_EQ(0u, F.D->stats().JobsReplayed); // Served from memory.
+  EXPECT_EQ(2u, F.D->stats().Completed);
+
+  // On disk: the A record now has its C, so a restart replays nothing.
+  Journal::LoadResult L;
+  std::string Err;
+  ASSERT_TRUE(Journal::load(JournalPath, L, Err)) << Err;
+  EXPECT_TRUE(L.Pending.empty());
+  std::remove(JournalPath.c_str());
 }
 
 //===----------------------------------------------------------------------===//
@@ -404,16 +881,20 @@ TEST(ServiceDaemon, RejectsMalformedAndTruncatedFrames) {
   Huge[0] = 0x01; // 16 MiB declared, nothing sent.
   expectRawError(F.Opts.SocketPath, Huge, errc::OversizedFrame);
 
-  // A payload the codec rejects.
+  // A payload the codec rejects — including an unsupported version.
   expectRawError(F.Opts.SocketPath,
                  encodeFrame(FrameType::Job, "not-a-version\n"),
                  errc::BadRequest);
   expectRawError(
       F.Opts.SocketPath,
+      encodeFrame(FrameType::Job, "algoprof-wire/7\ncorpus=x\n"),
+      errc::BadRequest);
+  expectRawError(
+      F.Opts.SocketPath,
       encodeFrame(FrameType::Job, "algoprof-job/1\ncorpus=no_such\n"),
       errc::BadRequest);
 
-  EXPECT_EQ(7u, F.D->stats().Rejected);
+  EXPECT_EQ(8u, F.D->stats().Rejected);
   EXPECT_EQ(0u, F.D->stats().Accepted);
 }
 
@@ -426,50 +907,47 @@ TEST(ServiceDaemon, EnforcesSessionQuotas) {
   O.Quota.MaxAttempts = 3;
   DaemonFixture F(std::move(O));
 
-  auto expectQuota = [&](const JobRequest &Job) {
-    StreamResult R;
-    std::string Err;
-    ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
-    ASSERT_TRUE(R.HaveError);
+  auto expectQuota = [&](const JobSpec &Job) {
+    TypedResult R = runTyped(F.Opts.SocketPath, Job);
+    ASSERT_TRUE(R.Error.any());
+    EXPECT_FALSE(R.Error.Transport) << R.Error.Message;
     EXPECT_EQ(errc::QuotaExceeded, R.Error.Code) << R.Error.Message;
   };
 
-  JobRequest TooManyRuns;
+  JobSpec TooManyRuns;
   TooManyRuns.Corpus = "seeded_insertion_sort_random";
   TooManyRuns.Seeds = {1, 2, 3, 4, 5};
   expectQuota(TooManyRuns);
 
-  JobRequest TooMuchHeap;
+  JobSpec TooMuchHeap;
   TooMuchHeap.Corpus = "seeded_insertion_sort_random";
   TooMuchHeap.Seeds = {4};
   TooMuchHeap.MaxHeapBytes = (1 << 20) + 1;
   expectQuota(TooMuchHeap);
 
-  JobRequest TooLongDeadline = TooMuchHeap;
+  JobSpec TooLongDeadline = TooMuchHeap;
   TooLongDeadline.MaxHeapBytes = 0;
   TooLongDeadline.RunDeadlineMs = 10001;
   expectQuota(TooLongDeadline);
 
-  JobRequest TooManyAttempts = TooMuchHeap;
+  JobSpec TooManyAttempts = TooMuchHeap;
   TooManyAttempts.MaxHeapBytes = 0;
   TooManyAttempts.Policy = resilience::FailurePolicy::Retry;
   TooManyAttempts.MaxAttempts = 4;
   expectQuota(TooManyAttempts);
 
-  JobRequest TooBigSource;
+  JobSpec TooBigSource;
   TooBigSource.Source = std::string((1 << 16) + 1, 'x');
   TooBigSource.Seeds = {4};
   expectQuota(TooBigSource);
 
   // Within quota still works; the unlimited heap request was clamped
   // to the cap, which these tiny runs never hit.
-  JobRequest Ok;
+  JobSpec Ok;
   Ok.Corpus = "seeded_insertion_sort_random";
   Ok.Seeds = {4, 8};
-  StreamResult R;
-  std::string Err;
-  ASSERT_TRUE(runJob(F.Opts.SocketPath, Ok, R, Err)) << Err;
-  EXPECT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+  TypedResult R = runTyped(F.Opts.SocketPath, Ok);
+  EXPECT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
   EXPECT_EQ(5u, F.D->stats().Rejected);
   EXPECT_EQ(1u, F.D->stats().Completed);
 }
@@ -485,13 +963,11 @@ TEST(ServiceDaemon, RejectsWhenSessionLimitReached) {
   int Holder = rawConnect(F.Opts.SocketPath);
   ASSERT_GE(Holder, 0);
 
-  JobRequest Job;
+  JobSpec Job;
   Job.Corpus = "seeded_insertion_sort_random";
   Job.Seeds = {4};
-  StreamResult R;
-  std::string Err;
-  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
-  ASSERT_TRUE(R.HaveError);
+  TypedResult R = runTyped(F.Opts.SocketPath, Job);
+  ASSERT_TRUE(R.Error.any());
   EXPECT_EQ(errc::TooManySessions, R.Error.Code);
 
   // Freeing the slot re-admits. The daemon reaps finished sessions on
@@ -499,8 +975,8 @@ TEST(ServiceDaemon, RejectsWhenSessionLimitReached) {
   ::close(Holder);
   bool Admitted = false;
   for (int Try = 0; Try < 100 && !Admitted; ++Try) {
-    ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
-    if (R.ok())
+    R = runTyped(F.Opts.SocketPath, Job);
+    if (R.Ok)
       Admitted = true;
     else
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
@@ -511,29 +987,27 @@ TEST(ServiceDaemon, RejectsWhenSessionLimitReached) {
 TEST(ServiceDaemon, CompileErrorsAreAnsweredAndNotPermanent) {
   DaemonFixture F;
   const std::string Broken = "class Main { static void main() { ";
-  JobRequest Bad;
+  JobSpec Bad;
   Bad.Source = Broken;
   Bad.Seeds = {4};
 
-  StreamResult R;
-  std::string Err;
-  ASSERT_TRUE(runJob(F.Opts.SocketPath, Bad, R, Err)) << Err;
-  ASSERT_TRUE(R.HaveError);
+  TypedResult R = runTyped(F.Opts.SocketPath, Bad);
+  ASSERT_TRUE(R.Error.any());
   EXPECT_EQ(errc::CompileError, R.Error.Code);
   EXPECT_FALSE(R.Error.Message.empty());
 
   // The "fixed" resubmission is new content: it compiles and profiles
   // (under the old path-keyed error caching this returned the stale
   // diagnostics forever).
-  JobRequest Fixed = Bad;
+  JobSpec Fixed = Bad;
   Fixed.Source = corpusSource("seeded_insertion_sort_random");
-  ASSERT_TRUE(runJob(F.Opts.SocketPath, Fixed, R, Err)) << Err;
-  EXPECT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+  R = runTyped(F.Opts.SocketPath, Fixed);
+  EXPECT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
 
   // And the same broken source again still answers (recompiled after
   // the daemon purged the error entry; behavior, not blowup).
-  ASSERT_TRUE(runJob(F.Opts.SocketPath, Bad, R, Err)) << Err;
-  ASSERT_TRUE(R.HaveError);
+  R = runTyped(F.Opts.SocketPath, Bad);
+  ASSERT_TRUE(R.Error.any());
   EXPECT_EQ(errc::CompileError, R.Error.Code);
 }
 
@@ -542,7 +1016,7 @@ TEST(ServiceDaemon, SurvivesClientDisconnectMidStream) {
 
   // By hand: send the job, read Accepted, vanish. The daemon keeps
   // running the session on the shared pool and completes it.
-  JobRequest Job;
+  JobSpec Job;
   Job.Corpus = "seeded_insertion_sort_random";
   Job.Seeds = {4, 8, 12, 16, 20, 24};
   int Fd = rawConnect(F.Opts.SocketPath);
@@ -554,21 +1028,12 @@ TEST(ServiceDaemon, SurvivesClientDisconnectMidStream) {
   ::close(Fd); // Gone mid-stream.
 
   // The abandoned session still completes (bounded wait).
-  bool Completed = false;
-  for (int Try = 0; Try < 500 && !Completed; ++Try) {
-    if (F.D->stats().Completed >= 1)
-      Completed = true;
-    else
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  EXPECT_TRUE(Completed);
+  EXPECT_TRUE(pollFor([&] { return F.D->stats().Completed >= 1; }, 5000));
 
   // The pool is unaffected: a fresh session streams normally and its
   // profile still matches the serial reference byte for byte.
-  StreamResult R;
-  std::string Err;
-  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
-  ASSERT_TRUE(R.ok()) << R.Error.Code << ": " << R.Error.Message;
+  TypedResult R = runTyped(F.Opts.SocketPath, Job);
+  ASSERT_TRUE(R.Ok) << R.Error.Code << ": " << R.Error.Message;
   prof::SessionOptions SO;
   SO.Seeds = Job.Seeds;
   EXPECT_EQ(serialReferenceJson(corpusSource(Job.Corpus), SO),
@@ -587,13 +1052,11 @@ TEST(ServiceDaemon, MetricsEndpointServesLiveRegistry) {
   DaemonFixture F(std::move(O));
   ASSERT_GT(F.D->metricsPort(), 0);
 
-  JobRequest Job;
+  JobSpec Job;
   Job.Corpus = "seeded_insertion_sort_random";
   Job.Seeds = {4, 8, 12};
-  StreamResult R;
-  std::string Err;
-  ASSERT_TRUE(runJob(F.Opts.SocketPath, Job, R, Err)) << Err;
-  ASSERT_TRUE(R.ok());
+  TypedResult R = runTyped(F.Opts.SocketPath, Job);
+  ASSERT_TRUE(R.Ok);
 
   // Scraped MID pool lifetime: the daemon's workers are alive and will
   // never retire, so nonzero worker counters here prove the per-job
@@ -604,6 +1067,11 @@ TEST(ServiceDaemon, MetricsEndpointServesLiveRegistry) {
   EXPECT_NE(Resp.find("algoprof_counter_total{counter=\"sessions_"
                       "accepted\"}"),
             std::string::npos);
+  // The stage-2 counters are registered and exposed.
+  EXPECT_NE(Resp.find("counter=\"deltas_streamed\""), std::string::npos);
+  EXPECT_NE(Resp.find("counter=\"deltas_dropped\""), std::string::npos);
+  EXPECT_NE(Resp.find("counter=\"jobs_replayed\""), std::string::npos);
+  EXPECT_NE(Resp.find("counter=\"auth_failures\""), std::string::npos);
   // Counters are process-cumulative across tests in this binary, so
   // assert presence-and-nonzero, not exact values (exact accounting is
   // Daemon::stats()'s job, asserted everywhere above).
@@ -672,18 +1140,13 @@ TEST(ServiceDaemon, Soak64ConcurrentSessionsWithFaults) {
   for (size_t I = 0; I < NumSessions; ++I)
     Clients.emplace_back([&, I] {
       const Shape &Sh = Shapes[I % Shapes.size()];
-      JobRequest Job;
+      JobSpec Job;
       Job.Corpus = Sh.Corpus;
       Job.Seeds = Sh.Seeds;
       Job.Policy = Sh.Policy;
       Job.InjectSpec = Sh.Inject;
-      StreamResult R;
-      std::string Err;
-      if (!runJob(F.Opts.SocketPath, Job, R, Err)) {
-        Failures[I] = "transport: " + Err;
-        return;
-      }
-      if (!R.ok()) {
+      TypedResult R = runTyped(F.Opts.SocketPath, Job);
+      if (!R.Ok) {
         Failures[I] = R.Error.Code + ": " + R.Error.Message;
         return;
       }
@@ -702,9 +1165,9 @@ TEST(ServiceDaemon, Soak64ConcurrentSessionsWithFaults) {
       }
       // Exact quarantine accounting, per session, under concurrency.
       if (Quarantined != Sh.Quarantined ||
-          R.Done.Runs != Sh.Seeds.size() ||
-          R.Done.MergedRuns != Sh.Seeds.size() - Sh.Quarantined ||
-          R.Done.DegradedRuns != Sh.Quarantined) {
+          R.Summary.Runs != Sh.Seeds.size() ||
+          R.Summary.MergedRuns != Sh.Seeds.size() - Sh.Quarantined ||
+          R.Summary.DegradedRuns != Sh.Quarantined) {
         Failures[I] = "quarantine accounting off";
         return;
       }

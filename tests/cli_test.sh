@@ -102,43 +102,39 @@ expect_rejected "--dispatch empty" "$ALGOPROF" "$WORK/ok.mj" --dispatch ""
 
 # Report-writer failures must be a failing exit with an error message,
 # not exit 0 with the file silently missing.
-out=$("$ALGOPROF" "$WORK/ok.mj" --dot "$WORK/no_such_dir/t.dot" 2>&1)
+out=$("$ALGOPROF" "$WORK/ok.mj" --format dot --out "$WORK/no_such_dir/t.dot" 2>&1)
 rc=$?
 if [ "$rc" -eq 0 ]; then
-  fail "--dot to unwritable path: expected non-zero exit"
+  fail "--format dot to unwritable path: expected non-zero exit"
 elif ! printf '%s' "$out" | grep -q "cannot write"; then
-  fail "--dot to unwritable path: no error message: $out"
+  fail "--format dot to unwritable path: no error message: $out"
 fi
-out=$("$ALGOPROF" "$WORK/ok.mj" --csv "$WORK/no_such_dir/t.csv" 2>&1)
+out=$("$ALGOPROF" "$WORK/ok.mj" --format csv --out "$WORK/no_such_dir/t.csv" 2>&1)
 rc=$?
 if [ "$rc" -eq 0 ]; then
-  fail "--csv to unwritable path: expected non-zero exit"
+  fail "--format csv to unwritable path: expected non-zero exit"
 fi
-expect_ok "--dot writable" "$ALGOPROF" "$WORK/ok.mj" --dot "$WORK/t.dot"
-[ -s "$WORK/t.dot" ] || fail "--dot produced no file"
 
 # Unified reporting: --format NAME [--out FILE] is the one rendering
-# path; the deprecated --csv/--dot aliases must produce byte-identical
-# files through it.
+# path.
 expect_ok "--format csv to stdout" "$ALGOPROF" "$WORK/ok.mj" \
   --input 5 --format csv
 expect_ok "--format csv --out" "$ALGOPROF" "$WORK/ok.mj" \
   --input 5 --format csv --out "$WORK/new.csv"
 expect_ok "--format dot --out" "$ALGOPROF" "$WORK/ok.mj" \
   --input 5 --format dot --out "$WORK/new.dot"
-"$ALGOPROF" "$WORK/ok.mj" --input 5 --csv "$WORK/legacy.csv" \
-  --dot "$WORK/legacy.dot" >/dev/null 2>"$WORK/dep_err"
-cmp -s "$WORK/new.csv" "$WORK/legacy.csv" \
-  || fail "--format csv not byte-identical to legacy --csv"
-cmp -s "$WORK/new.dot" "$WORK/legacy.dot" \
-  || fail "--format dot not byte-identical to legacy --dot"
+[ -s "$WORK/new.dot" ] || fail "--format dot produced no file"
 
-# The aliases warn, and warn once per flag even when repeated.
-grep -q "deprecated" "$WORK/dep_err" || fail "--csv/--dot did not warn"
-"$ALGOPROF" "$WORK/ok.mj" --input 5 --csv "$WORK/a.csv" \
-  --csv "$WORK/b.csv" >/dev/null 2>"$WORK/dep_twice"
-n=$(grep -c "deprecated" "$WORK/dep_twice")
-[ "$n" -eq 1 ] || fail "--csv repeated: expected 1 warning, got $n"
+# The pre-registry --csv/--dot aliases are removed: rejected with an
+# exit code and a message naming the replacement, and no file written.
+for flag in csv dot; do
+  out=$("$ALGOPROF" "$WORK/ok.mj" --input 5 "--$flag" "$WORK/legacy.$flag" 2>&1)
+  rc=$?
+  [ "$rc" -ne 0 ] || fail "--$flag: removed alias accepted (exit 0)"
+  printf '%s' "$out" | grep -q "removed.*--format $flag" \
+    || fail "--$flag: rejection does not name the replacement: $out"
+  [ ! -e "$WORK/legacy.$flag" ] || fail "--$flag: removed alias wrote a file"
+done
 
 # Format/out validation.
 expect_rejected "--format unknown" "$ALGOPROF" "$WORK/ok.mj" --format yaml

@@ -60,8 +60,9 @@
 ///                                (open in ui.perfetto.dev)
 ///     --metrics FILE             write a Prometheus-style snapshot of
 ///                                the profiler's own counters/timers
-///     --dot FILE                 deprecated alias: --format dot --out FILE
-///     --csv FILE                 deprecated alias: --format csv --out FILE
+///
+/// The pre-registry `--dot FILE` / `--csv FILE` aliases are gone; they
+/// are rejected with a pointer to the equivalent --format/--out pair.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -96,8 +97,7 @@ using namespace algoprof::prof;
 namespace {
 
 /// One requested report: a format name plus an output path (empty =
-/// stdout). --dot/--csv aliases append jobs here too, so mixing old
-/// and new flags keeps working.
+/// stdout).
 struct RenderJob {
   std::string Format;
   std::string Out;
@@ -132,8 +132,7 @@ void usageAndExit(const char *Argv0) {
                "threaded+fused+ic] "
                "[--cct] "
                "[--format table|tree|csv|dot|json] [--out FILE] "
-               "[--trace FILE] [--metrics FILE] "
-               "[--dot FILE] [--csv FILE]\n",
+               "[--trace FILE] [--metrics FILE]\n",
                Argv0);
   std::exit(2);
 }
@@ -189,18 +188,7 @@ bool argError(const char *Flag, const char *V, const char *Expected) {
   return false;
 }
 
-void deprecatedOnce(const char *Flag, const char *Instead, bool &Warned) {
-  if (Warned)
-    return;
-  Warned = true;
-  std::fprintf(stderr,
-               "warning: %s is deprecated; use %s (it writes the "
-               "identical bytes)\n",
-               Flag, Instead);
-}
-
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
-  bool WarnedCsv = false, WarnedDot = false;
   auto Need = [&](int &I) -> const char * {
     if (I + 1 >= Argc)
       return nullptr;
@@ -386,18 +374,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return argError("--metrics", V, "a file path");
       Opts.MetricsFile = V;
-    } else if (Arg == "--dot") {
-      const char *V = Need(I);
-      if (!V)
-        return false;
-      deprecatedOnce("--dot FILE", "--format dot --out FILE", WarnedDot);
-      Opts.Jobs.push_back({"dot", V});
-    } else if (Arg == "--csv") {
-      const char *V = Need(I);
-      if (!V)
-        return false;
-      deprecatedOnce("--csv FILE", "--format csv --out FILE", WarnedCsv);
-      Opts.Jobs.push_back({"csv", V});
+    } else if (Arg == "--dot" || Arg == "--csv") {
+      // Removed aliases (deprecated since the report-registry rewrite);
+      // name the exact replacement instead of a generic usage dump.
+      std::fprintf(stderr,
+                   "error: %s was removed; use --format %s --out FILE "
+                   "(it writes the identical bytes)\n",
+                   Arg.c_str(), Arg.c_str() + 2);
+      return false;
     } else if (!Arg.empty() && Arg[0] == '-') {
       return false;
     } else if (Opts.File.empty()) {
@@ -418,7 +402,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
     if (!Opts.Jobs.empty() || Opts.WithCct) {
       std::fprintf(stderr,
                    "error: --corpus does not support --format/--out/"
-                   "--dot/--csv/--cct\n");
+                   "--cct\n");
       return false;
     }
     return true;

@@ -5,14 +5,29 @@
 ///
 ///   algoprofd --socket PATH [options]
 ///     --socket PATH          Unix-domain socket to listen on (required)
+///     --listen HOST:PORT     additionally listen on TCP (IPv4); requires
+///                            --auth-token-file (port 0 = ephemeral,
+///                            printed at startup)
+///     --auth-token-file F    file whose first line is the shared token
+///                            every TCP job must present (auth=...)
+///     --journal PATH         write-ahead log for the durable job queue:
+///                            accepted jobs survive a daemon restart and
+///                            are replayed; clients resume= into their
+///                            byte-identical results
+///     --send-buffer-bytes N  per-session pending cap for streamed
+///                            RunDelta frames (default 1 MiB)
+///     --slow-client POLICY   drop-deltas (default) or disconnect: what
+///                            happens when a client overflows its buffer
 ///     --jobs N               worker threads of the shared run pool
 ///                            (0 = hardware concurrency, default)
 ///     --max-sessions N       concurrent sessions admitted; further
 ///                            connections get a too-many-sessions error
 ///                            (0 = unlimited, default)
-///     --metrics-port P       serve GET /metrics on 127.0.0.1:P
+///     --metrics-port P       serve GET /metrics on --metrics-addr:P
 ///                            (0 = pick an ephemeral port and print it;
 ///                            omit the flag to disable the endpoint)
+///     --metrics-addr A       /metrics bind address (default 127.0.0.1;
+///                            non-loopback requires --auth-token-file)
 ///     --max-frame-bytes N    largest job payload accepted (default 1 MiB)
 ///     --read-timeout-ms N    job-frame receive timeout (default 5000)
 ///     --quota-runs N         per-session run-count cap (0 = none)
@@ -72,8 +87,13 @@ bool parseU64Arg(const char *Flag, const char *Val, uint64_t &Out) {
 
 int usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s --socket PATH [--jobs N] [--max-sessions N]\n"
-               "       [--metrics-port P] [--max-frame-bytes N]\n"
+               "usage: %s --socket PATH [--listen HOST:PORT]\n"
+               "       [--auth-token-file F] [--journal PATH]\n"
+               "       [--send-buffer-bytes N]\n"
+               "       [--slow-client drop-deltas|disconnect]\n"
+               "       [--jobs N] [--max-sessions N]\n"
+               "       [--metrics-port P] [--metrics-addr A]\n"
+               "       [--max-frame-bytes N]\n"
                "       [--read-timeout-ms N] [--quota-runs N]\n"
                "       [--quota-source-bytes N] [--quota-heap-bytes N]\n"
                "       [--quota-deadline-ms N] [--quota-attempts N]\n",
@@ -91,6 +111,37 @@ int main(int Argc, char **Argv) {
     uint64_t N = 0;
     if (Arg == "--socket" && Val) {
       Opts.SocketPath = Val;
+      ++I;
+    } else if (Arg == "--listen" && Val) {
+      Opts.ListenAddress = Val;
+      ++I;
+    } else if (Arg == "--auth-token-file" && Val) {
+      Opts.AuthTokenFile = Val;
+      ++I;
+    } else if (Arg == "--journal" && Val) {
+      Opts.JournalPath = Val;
+      ++I;
+    } else if (Arg == "--send-buffer-bytes") {
+      if (!parseU64Arg("--send-buffer-bytes", Val, N))
+        return 2;
+      Opts.MaxSendBufferBytes = static_cast<size_t>(N);
+      ++I;
+    } else if (Arg == "--slow-client" && Val) {
+      std::string P = Val;
+      if (P == "drop-deltas") {
+        Opts.SlowClient = service::SendBuffer::Policy::DropDeltas;
+      } else if (P == "disconnect") {
+        Opts.SlowClient = service::SendBuffer::Policy::Disconnect;
+      } else {
+        std::fprintf(stderr,
+                     "error: --slow-client wants drop-deltas or "
+                     "disconnect, got '%s'\n",
+                     Val);
+        return 2;
+      }
+      ++I;
+    } else if (Arg == "--metrics-addr" && Val) {
+      Opts.MetricsAddress = Val;
       ++I;
     } else if (Arg == "--jobs") {
       if (!parseU64Arg("--jobs", Val, N))
@@ -169,8 +220,11 @@ int main(int Argc, char **Argv) {
     return 1;
   }
   std::printf("algoprofd listening on %s", Opts.SocketPath.c_str());
+  if (!Opts.ListenAddress.empty())
+    std::printf(" (tcp on port %d)", D.listenPort());
   if (Opts.MetricsPort >= 0)
-    std::printf(" (metrics on 127.0.0.1:%d)", D.metricsPort());
+    std::printf(" (metrics on %s:%d)", Opts.MetricsAddress.c_str(),
+                D.metricsPort());
   std::printf("\n");
   std::fflush(stdout);
 
@@ -186,5 +240,11 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(S.Rejected),
               static_cast<unsigned long long>(S.Completed),
               static_cast<unsigned long long>(S.BytesStreamed));
+  std::printf("deltas: %llu streamed, %llu dropped; %llu jobs replayed; "
+              "%llu auth failures\n",
+              static_cast<unsigned long long>(S.DeltasStreamed),
+              static_cast<unsigned long long>(S.DeltasDropped),
+              static_cast<unsigned long long>(S.JobsReplayed),
+              static_cast<unsigned long long>(S.AuthFailures));
   return 0;
 }

@@ -15,6 +15,12 @@ fail() {
   FAILURES=$((FAILURES + 1))
 }
 
+# Markdown minus fenced code blocks: C++ lambdas like `[](const T &x)`
+# inside ``` fences would otherwise parse as links.
+strip_fences() {
+  awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$1"
+}
+
 # Markdown files under version-controlled directories (skip build trees).
 DOC_FILES=$(find . -name '*.md' \
   -not -path './build*' -not -path './.git/*' | sort)
@@ -23,7 +29,8 @@ for f in $DOC_FILES; do
   dir=$(dirname "$f")
   # Inline links: [text](target). One per line via grep -o; strip to the
   # target; drop external schemes, mailto, and pure in-page anchors.
-  grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null | sed 's/.*](\([^)]*\))/\1/' |
+  strip_fences "$f" | grep -o '\[[^]]*\]([^)]*)' 2>/dev/null |
+  sed 's/.*](\([^)]*\))/\1/' |
   while IFS= read -r target; do
     case "$target" in
       http://*|https://*|mailto:*|'#'*) continue ;;
@@ -53,7 +60,7 @@ fi
 BROKEN=0
 for f in $DOC_FILES; do
   dir=$(dirname "$f")
-  links=$(grep -o '\[[^]]*\]([^)]*)' "$f" 2>/dev/null |
+  links=$(strip_fences "$f" | grep -o '\[[^]]*\]([^)]*)' 2>/dev/null |
     sed 's/.*](\([^)]*\))/\1/')
   for target in $links; do
     case "$target" in

@@ -5,10 +5,13 @@
 # test `tsan_parallel` (registered in tests/CMakeLists.txt for
 # non-sanitizer builds) invokes this script, which configures a child
 # build inside the current binary dir with -DALGOPROF_TSAN=ON, builds
-# the parallel and service test binaries, and runs exactly the
-# thread-heavy labels — the work-stealing pool, the streaming shard
-# merges, the 100+ perturbed-schedule property tests, and the daemon's
-# concurrent streamed sessions — with the race detector armed.
+# the parallel and service test binaries plus the real daemon/client,
+# and runs exactly the thread-heavy labels — the work-stealing pool,
+# the streaming shard merges, the 100+ perturbed-schedule property
+# tests, and the daemon's concurrent streamed sessions including the
+# TCP+auth transport, slow-client backpressure, and the journal
+# replay/resume paths (ServiceTest.cpp) and the kill -9 restart cycle
+# (service_restart) — with the race detector armed.
 #
 # Usage: run_tsan_tests.sh <source-dir> <binary-dir> [jobs]
 set -euo pipefail
@@ -34,9 +37,12 @@ fi
 cmake -S "$SRC" -B "$TSAN_DIR" -DALGOPROF_TSAN=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build "$TSAN_DIR" \
-      --target algoprof_parallel_tests algoprof_service_tests -j "$JOBS"
+      --target algoprof_parallel_tests algoprof_service_tests \
+               algoprofd algoprof_client -j "$JOBS"
 cd "$TSAN_DIR"
 # `parallel` plus `service`: the daemon multiplexes concurrent sessions
 # onto one shared pool and streams from whichever thread advances the
-# merge — exactly the cross-thread traffic TSan exists to check.
+# merge — exactly the cross-thread traffic TSan exists to check. The
+# service label also covers TCP auth, backpressure policies, and
+# journal replay, plus the restart cycle through the real binaries.
 exec ctest -L 'parallel|service' --output-on-failure -j "$JOBS"
