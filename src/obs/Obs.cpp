@@ -105,6 +105,10 @@ const char *obs::counterName(Counter C) {
     return "jobs_replayed";
   case Counter::AuthFailures:
     return "auth_failures";
+  case Counter::HealthChecks:
+    return "health_checks";
+  case Counter::ResultsEvicted:
+    return "results_evicted";
   }
   return "?";
 }

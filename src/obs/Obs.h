@@ -100,9 +100,11 @@ enum class Counter : uint8_t {
   DeltasDropped,      ///< RunDelta frames shed by slow-client backpressure.
   JobsReplayed,       ///< Journaled jobs re-executed after a daemon restart.
   AuthFailures,       ///< TCP jobs refused for a bad or missing auth token.
+  HealthChecks,       ///< GET /healthz and /readyz probes answered.
+  ResultsEvicted,     ///< Retained session results dropped by byte/TTL bounds.
 };
 constexpr size_t NumCounters =
-    static_cast<size_t>(Counter::AuthFailures) + 1;
+    static_cast<size_t>(Counter::ResultsEvicted) + 1;
 
 /// Stable snake_case name ("bytecodes_executed").
 const char *counterName(Counter C);

@@ -2,12 +2,18 @@
 
 #include "service/Client.h"
 
+#include "service/Io.h"
+
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <sys/time.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -206,6 +212,10 @@ Client Client::tcp(std::string Host, uint16_t Port, std::string AuthToken) {
 }
 
 Session Client::submit(const JobSpec &Spec) const {
+  return submitTimed(Spec, 0);
+}
+
+Session Client::submitTimed(const JobSpec &Spec, uint64_t TimeoutMs) const {
   Session S;
   std::string Err;
   S.Fd = Tcp ? connectTcp(PathOrHost, Port, Err)
@@ -213,6 +223,13 @@ Session Client::submit(const JobSpec &Spec) const {
   if (S.Fd < 0) {
     S.SubmitError = Err;
     return S;
+  }
+  if (TimeoutMs > 0) {
+    timeval Tv{};
+    Tv.tv_sec = static_cast<time_t>(TimeoutMs / 1000);
+    Tv.tv_usec = static_cast<suseconds_t>((TimeoutMs % 1000) * 1000);
+    ::setsockopt(S.Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+    ::setsockopt(S.Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
   }
   JobSpec Job = Spec;
   if (Tcp && Job.Auth.empty())
@@ -223,6 +240,63 @@ Session Client::submit(const JobSpec &Spec) const {
     S.SubmitError = "connection dropped while sending the job";
   }
   return S;
+}
+
+TypedResult
+Client::run(const JobSpec &Spec, const RetryPolicy &Policy,
+            std::function<void(const RunDeltaMsg &)> OnDelta) const {
+  std::mt19937_64 Jitter(Policy.JitterSeed);
+  auto Sleep = [&](uint64_t Ms) {
+    if (Ms == 0)
+      return;
+    if (Policy.SleepMs)
+      Policy.SleepMs(Ms);
+    else
+      std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+  };
+
+  // The resume cursor: the session we were accepted into (or were
+  // asked to resume) and how many of its deltas we have observed so
+  // far, across every attempt. Deltas stream strictly in order and a
+  // resume re-streams from the cursor, so counting them is exact.
+  uint64_t Sid = Spec.Resume;
+  uint64_t Cursor = Spec.FromDelta;
+  std::vector<RunDeltaMsg> All;
+
+  for (unsigned Attempt = 0;; ++Attempt) {
+    JobSpec Job = Spec;
+    if (Sid != 0) {
+      Job.Resume = Sid;
+      Job.FromDelta = Cursor;
+      Job.Protocol = 2; // resume is a v2 feature
+      Job.Corpus.clear();
+      Job.Source.clear();
+    }
+    Session S = submitTimed(Job, Policy.TimeoutMs);
+    S.onDelta([&](const RunDeltaMsg &M) {
+      ++Cursor;
+      if (OnDelta)
+        OnDelta(M);
+    });
+    TypedResult R = S.wait();
+    for (auto &D : R.Deltas)
+      All.push_back(std::move(D));
+    if (R.Accepted && Sid == 0)
+      Sid = R.Acceptance.Session;
+    if (R.Ok || !R.Error.Transport || Attempt >= Policy.ConnectRetries) {
+      R.Deltas = std::move(All);
+      R.TransportRetries = Attempt;
+      return R;
+    }
+    uint64_t Delay = Policy.BackoffInitialMs;
+    for (unsigned I = 0; I < Attempt && Delay < Policy.BackoffMaxMs; ++I)
+      Delay *= 2;
+    if (Delay > Policy.BackoffMaxMs)
+      Delay = Policy.BackoffMaxMs;
+    if (Delay > 1)
+      Delay = Delay / 2 + Jitter() % (Delay - Delay / 2 + 1);
+    Sleep(Delay);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -236,18 +310,10 @@ bool service::sendRaw(const std::string &SocketPath,
   int Fd = connectUnix(SocketPath, Err);
   if (Fd < 0)
     return false;
-  const char *P = RawBytes.data();
-  size_t N = RawBytes.size();
-  while (N > 0) {
-    ssize_t W = ::send(Fd, P, N, MSG_NOSIGNAL);
-    if (W <= 0) {
-      if (W < 0 && errno == EINTR)
-        continue;
-      break; // Daemon may already have rejected and closed; keep going.
-    }
-    P += W;
-    N -= static_cast<size_t>(W);
-  }
+  // A short write here is fine: the daemon may already have rejected
+  // and closed, and we still want to read that reply. io::writeFull
+  // keeps pushing until the peer is really gone.
+  io::writeFull(Fd, RawBytes.data(), RawBytes.size());
   // Half-close so a daemon waiting for more bytes sees EOF now rather
   // than its read timeout — the truncated-frame tests rely on this.
   ::shutdown(Fd, SHUT_WR);

@@ -23,6 +23,16 @@
 /// failures (Transport = true). Used by tools/algoprof_client and the
 /// service tests; a non-C++ client only needs service/Protocol.h.
 ///
+/// run() layers a retry driver over submit()/wait(): per-operation
+/// socket deadlines, exponential backoff with seeded jitter, and
+/// automatic cursor resume. Once a job is accepted, the driver knows
+/// the session id and how many deltas it has observed; after a
+/// transport fault it reconnects with `resume=<sid> from-delta=<k>`,
+/// so the merged result holds every delta exactly once and the
+/// profile stays byte-identical no matter how often the link broke.
+/// Daemon rejections (including errc::ResultEvicted) are never
+/// retried — only transport faults are.
+///
 /// sendRaw() remains as the single raw-bytes escape hatch so tests can
 /// exercise malformed/truncated frames the typed API cannot produce.
 ///
@@ -68,6 +78,29 @@ struct TypedResult {
   bool HaveProfile = false;
   DoneMsg Summary;
   ServiceError Error;
+  /// Transport attempts beyond the first that Client::run() needed
+  /// (always 0 from Session::wait() directly).
+  unsigned TransportRetries = 0;
+};
+
+/// How Client::run() rides out transport faults. Retries apply to
+/// transport failures only (connect refused, dropped or timed-out
+/// connection); a daemon rejection is definitive and returned as-is.
+struct RetryPolicy {
+  /// Extra attempts after the first (0 = behave like submit/wait).
+  unsigned ConnectRetries = 0;
+  /// Per-operation socket deadline (SO_RCVTIMEO/SO_SNDTIMEO), so a
+  /// stalled daemon surfaces as a transport fault instead of a hang.
+  /// 0 = no deadline.
+  uint64_t TimeoutMs = 0;
+  /// Exponential backoff between attempts: initial delay, doubling,
+  /// capped. Jitter (seeded, deterministic for tests) spreads
+  /// reconnect storms: the actual delay is in [delay/2, delay].
+  uint64_t BackoffInitialMs = 100;
+  uint64_t BackoffMaxMs = 2000;
+  uint64_t JitterSeed = 0x9e3779b97f4a7c15ull;
+  /// Test hook: replaces the real sleep between attempts.
+  std::function<void(uint64_t)> SleepMs;
 };
 
 /// One submitted job's reply stream. Move-only; obtained from
@@ -115,8 +148,22 @@ public:
   /// stream. Never throws: connect failures surface from wait().
   Session submit(const JobSpec &Spec) const;
 
+  /// Runs \p Spec to completion under \p Policy, retrying transport
+  /// faults with backoff and resuming the accepted session at the
+  /// delta cursor so no delta is observed twice. \p OnDelta (optional)
+  /// fires once per delta across all attempts. The returned Deltas
+  /// vector is the merged, duplicate-free stream; TransportRetries
+  /// counts the reconnects it took.
+  TypedResult run(const JobSpec &Spec, const RetryPolicy &Policy,
+                  std::function<void(const RunDeltaMsg &)> OnDelta =
+                      std::function<void(const RunDeltaMsg &)>()) const;
+
 private:
   Client() = default;
+
+  /// submit() with a per-operation socket deadline applied right after
+  /// connect (0 = none), so the Job send itself is covered too.
+  Session submitTimed(const JobSpec &Spec, uint64_t TimeoutMs) const;
 
   bool Tcp = false;
   std::string PathOrHost;

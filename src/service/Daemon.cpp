@@ -3,6 +3,7 @@
 #include "service/Daemon.h"
 
 #include "core/Session.h"
+#include "service/Io.h"
 #include "obs/MetricsExport.h"
 #include "obs/Obs.h"
 #include "parallel/SweepEngine.h"
@@ -10,6 +11,7 @@
 #include "report/Reporter.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 
@@ -150,7 +152,19 @@ Daemon::Stats Daemon::stats() const {
   S.AuthFailures = StatAuthFailures.load();
   S.SlowDisconnects = StatSlowDisconnects.load();
   S.SendBufHighWater = StatSendBufHighWater.load();
+  S.ResultsEvicted = StatResultsEvicted.load();
+  S.Compactions = StatCompactions.load();
+  S.HealthChecks = StatHealthChecks.load();
   return S;
+}
+
+uint64_t Daemon::nowMs() const {
+  if (Opts.NowMs)
+    return Opts.NowMs();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 bool Daemon::start(std::string &Err) {
@@ -299,8 +313,42 @@ bool Daemon::start(std::string &Err) {
   AcceptThread = std::thread([this] { acceptOn(ListenFd, false); });
   if (TcpListenFd >= 0)
     TcpAcceptThread = std::thread([this] { acceptOn(TcpListenFd, true); });
+  if (Opts.CompactIntervalMs > 0 || Opts.RetainSecs > 0)
+    MaintThread = std::thread([this] { maintenanceLoop(); });
   Started = true;
   return true;
+}
+
+bool Daemon::drain(uint64_t TimeoutMs) {
+  if (!Started || Stopping.load())
+    return true;
+  Draining.store(true);
+  // Stop accepting immediately: shut the listeners down and join the
+  // accept loops. Connections already admitted keep their sessions.
+  ::shutdown(ListenFd, SHUT_RDWR);
+  if (TcpListenFd >= 0)
+    ::shutdown(TcpListenFd, SHUT_RDWR);
+  if (AcceptThread.joinable())
+    AcceptThread.join();
+  if (TcpAcceptThread.joinable())
+    TcpAcceptThread.join();
+  // In-flight sessions finish on their own: jobs run to completion on
+  // the pool, results land in the journal/result store, and the
+  // blocking Profile/Done sends flush — the byte-identity contract
+  // holds right through shutdown. A stalled client is bounded by its
+  // read timeout; past the deadline the caller's stop() force-yanks.
+  const uint64_t Deadline = nowMs() + TimeoutMs;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> Lock(SessionsMu);
+      reapLocked();
+      if (Sessions.empty())
+        return true;
+    }
+    if (nowMs() >= Deadline)
+      return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
 }
 
 void Daemon::stop() {
@@ -318,6 +366,9 @@ void Daemon::stop() {
     TcpAcceptThread.join();
   if (MetricsThread.joinable())
     MetricsThread.join();
+  MaintCv.notify_all();
+  if (MaintThread.joinable())
+    MaintThread.join();
   // Wake resume waiters blocked on an unfinished replay.
   RetainedCv.notify_all();
   {
@@ -381,6 +432,106 @@ void Daemon::foldSendStats(SendBuffer &Buf) {
   if (Buf.takeSlowDisconnect())
     StatSlowDisconnects.fetch_add(1);
   fetchMax(StatSendBufHighWater, Buf.highWater());
+}
+
+void Daemon::evictLocked(Retained &RR) {
+  RetainedBytes -= RR.Bytes;
+  RR.Bytes = 0;
+  RR.DeltaPayloads.clear();
+  RR.DeltaPayloads.shrink_to_fit();
+  RR.ProfileJson.clear();
+  RR.ProfileJson.shrink_to_fit();
+  RR.DonePayload.clear();
+  RR.Evicted = true; // The tombstone stays: resume gets ResultEvicted.
+  StatResultsEvicted.fetch_add(1);
+  obs::addCount(obs::Counter::ResultsEvicted);
+}
+
+void Daemon::evictExpiredLocked(uint64_t Now) {
+  if (Opts.RetainSecs == 0)
+    return;
+  const uint64_t TtlMs = Opts.RetainSecs * 1000;
+  for (auto &KV : RetainedResults) {
+    Retained &RR = KV.second;
+    if (RR.Done && !RR.Evicted && Now >= RR.CompletedAtMs + TtlMs)
+      evictLocked(RR);
+  }
+}
+
+void Daemon::retainResult(uint64_t Id, uint64_t NumRuns,
+                          std::vector<std::string> Deltas, std::string Doc,
+                          std::string DonePayload) {
+  uint64_t Bytes = Doc.size() + DonePayload.size();
+  for (const std::string &D : Deltas)
+    Bytes += D.size();
+  {
+    std::lock_guard<std::mutex> Lock(RetainedMu);
+    Retained &RR = RetainedResults[Id];
+    RR.Runs = NumRuns;
+    RR.DeltaPayloads = std::move(Deltas);
+    RR.ProfileJson = std::move(Doc);
+    RR.DonePayload = std::move(DonePayload);
+    RR.Bytes = Bytes;
+    RR.Seq = ++RetainSeq;
+    RR.CompletedAtMs = nowMs();
+    RR.Done = true;
+    RetainedBytes += Bytes;
+    // Byte budget: evict oldest-completed results first (completion
+    // ordinal, not the injected clock, so the order is deterministic).
+    // The entry just stored is evictable too — a result bigger than
+    // the whole budget is never retained, by design.
+    while (Opts.RetainBytes != 0 && RetainedBytes > Opts.RetainBytes) {
+      Retained *Oldest = nullptr;
+      for (auto &KV : RetainedResults) {
+        Retained &C = KV.second;
+        if (C.Done && !C.Evicted && (!Oldest || C.Seq < Oldest->Seq))
+          Oldest = &C;
+      }
+      if (!Oldest)
+        break;
+      evictLocked(*Oldest);
+    }
+  }
+  obs::flushThisThread();
+  RetainedCv.notify_all();
+}
+
+void Daemon::maybeCompact(bool Force) {
+  if (!Wal.isOpen())
+    return;
+  if (!Force &&
+      (Opts.CompactBytes == 0 || Wal.sizeBytes() <= Opts.CompactBytes))
+    return;
+  std::string Err;
+  if (Wal.compact(Err))
+    StatCompactions.fetch_add(1);
+}
+
+void Daemon::maintenanceLoop() {
+  std::unique_lock<std::mutex> Lock(MaintMu);
+  uint64_t LastCompact = nowMs();
+  while (!Stopping.load()) {
+    // A short real-time tick: TTL expiry reads the (possibly injected)
+    // clock each round, so tests that advance a fake clock see the
+    // eviction within one tick.
+    MaintCv.wait_for(Lock, std::chrono::milliseconds(50),
+                     [&] { return Stopping.load(); });
+    if (Stopping.load())
+      return;
+    uint64_t Now = nowMs();
+    if (Opts.RetainSecs > 0) {
+      {
+        std::lock_guard<std::mutex> RLock(RetainedMu);
+        evictExpiredLocked(Now);
+      }
+      obs::flushThisThread();
+    }
+    if (Opts.CompactIntervalMs > 0 &&
+        Now - LastCompact >= Opts.CompactIntervalMs) {
+      LastCompact = Now;
+      maybeCompact(/*Force=*/true);
+    }
+  }
 }
 
 void Daemon::acceptOn(int Fd, bool Tcp) {
@@ -492,7 +643,7 @@ void Daemon::handleSession(Session &S) {
 
     // --- Resume: re-stream a journaled session ----------------------
     if (R.Resume != 0) {
-      bool Served = serveResume(Buf, R.Resume);
+      bool Served = serveResume(Buf, R.Resume, R.FromDelta);
       foldSendStats(Buf);
       return Served;
     }
@@ -681,18 +832,13 @@ void Daemon::runCompiled(const prof::CompiledProgram &CP,
     // Results land in the store and the WAL gets its completion record
     // BEFORE any client observes Done: a resume issued after reading
     // Done always finds the session, and a crash after this point
-    // re-streams instead of re-running.
-    {
-      std::lock_guard<std::mutex> Lock(RetainedMu);
-      Retained &RR = RetainedResults[Id];
-      RR.Runs = NumRuns;
-      RR.DeltaPayloads = std::move(RetainedDeltas);
-      RR.ProfileJson = Doc;
-      RR.DonePayload = DonePayload;
-      RR.Done = true;
-    }
-    RetainedCv.notify_all();
+    // re-streams instead of re-running. retainResult also applies the
+    // byte-budget eviction policy.
+    retainResult(Id, NumRuns, std::move(RetainedDeltas), Doc, DonePayload);
     Wal.appendCompleted(Id);
+    // The completion record may have pushed the WAL past its size
+    // threshold; compaction drops every completed A/C pair.
+    maybeCompact(/*Force=*/false);
   }
 
   if (!Buf)
@@ -732,6 +878,7 @@ void Daemon::replayJob(Session &S) {
     }
     RetainedCv.notify_all();
     Wal.appendCompleted(S.ReplayId);
+    maybeCompact(/*Force=*/false);
   };
 
   [&] {
@@ -772,7 +919,7 @@ void Daemon::replayJob(Session &S) {
   S.Finished.store(true);
 }
 
-bool Daemon::serveResume(SendBuffer &Buf, uint64_t Id) {
+bool Daemon::serveResume(SendBuffer &Buf, uint64_t Id, uint64_t FromDelta) {
   const int Fd = Buf.fd();
   if (!Wal.isOpen())
     return reject(Fd, errc::UnknownSession,
@@ -799,8 +946,27 @@ bool Daemon::serveResume(SendBuffer &Buf, uint64_t Id) {
       Lock.unlock();
       return reject(Fd, Code, Msg);
     }
+    // TTL checked on access too, not just by the maintenance tick: a
+    // resume can never observe a result the clock says is dead.
+    if (!It->second.Evicted && Opts.RetainSecs != 0 &&
+        nowMs() >= It->second.CompletedAtMs + Opts.RetainSecs * 1000)
+      evictLocked(It->second);
+    if (It->second.Evicted) {
+      Lock.unlock();
+      obs::flushThisThread();
+      return reject(Fd, errc::ResultEvicted,
+                    "session " + std::to_string(Id) +
+                        " results were evicted (retention bounds)");
+    }
     Copy = It->second; // Stream outside the lock.
   }
+
+  if (FromDelta > Copy.DeltaPayloads.size())
+    return reject(Fd, errc::BadRequest,
+                  "from-delta " + std::to_string(FromDelta) +
+                      " exceeds the " +
+                      std::to_string(Copy.DeltaPayloads.size()) +
+                      " retained deltas of session " + std::to_string(Id));
 
   StatAccepted.fetch_add(1);
   obs::addCount(obs::Counter::SessionsAccepted);
@@ -811,13 +977,16 @@ bool Daemon::serveResume(SendBuffer &Buf, uint64_t Id) {
   A.Runs = Copy.Runs;
   A.Proto = 2;
   A.Resumed = true;
+  A.ResumedFrom = FromDelta;
   Buf.send(FrameType::Accepted, encodeAccepted(A));
 
+  // The cursor: the client declared it already observed the first
+  // FromDelta deltas, so re-stream k..n only — no delta twice.
   uint64_t Streamed = 0;
-  for (const std::string &Payload : Copy.DeltaPayloads) {
+  for (size_t I = FromDelta; I < Copy.DeltaPayloads.size(); ++I) {
     if (Buf.gone())
       break;
-    if (Buf.sendDelta(Payload))
+    if (Buf.sendDelta(Copy.DeltaPayloads[I]))
       ++Streamed;
   }
 
@@ -862,30 +1031,47 @@ void Daemon::metricsLoop() {
     std::string Req;
     char Buf[1024];
     while (Req.find("\r\n") == std::string::npos && Req.size() < 8192) {
-      ssize_t R = ::recv(C, Buf, sizeof(Buf), 0);
+      ssize_t R = io::retryOn([&] { return ::recv(C, Buf, sizeof(Buf), 0); });
       if (R <= 0)
         break;
       Req.append(Buf, static_cast<size_t>(R));
     }
+    auto Matches = [&](const char *Path) {
+      std::string G = std::string("GET ") + Path;
+      return Req.rfind(G + " ", 0) == 0 || Req.rfind(G + "\r", 0) == 0;
+    };
     std::string Status = "404 Not Found", Body = "not found\n";
-    if (Req.rfind("GET /metrics ", 0) == 0 ||
-        Req.rfind("GET /metrics\r", 0) == 0) {
+    if (Matches("/metrics")) {
       Status = "200 OK";
       Body = obs::prometheusText(obs::snapshot());
+    } else if (Matches("/healthz")) {
+      // Liveness: the process answers, full stop.
+      Status = "200 OK";
+      Body = "ok\n";
+      StatHealthChecks.fetch_add(1);
+      obs::addCount(obs::Counter::HealthChecks);
+      obs::flushThisThread();
+    } else if (Matches("/readyz")) {
+      // Readiness: accepting new sessions AND durability intact — a
+      // draining daemon or one whose journal append failed must fall
+      // out of its load balancer before clients notice.
+      bool Ready = !Stopping.load() && !Draining.load() &&
+                   (Opts.JournalPath.empty() ||
+                    (Wal.isOpen() && !Wal.failed()));
+      Status = Ready ? "200 OK" : "503 Service Unavailable";
+      Body = Ready ? "ok\n" : "not ready\n";
+      StatHealthChecks.fetch_add(1);
+      obs::addCount(obs::Counter::HealthChecks);
+      obs::flushThisThread();
     }
     std::string Resp = "HTTP/1.1 " + Status +
                        "\r\nContent-Type: text/plain; version=0.0.4"
                        "\r\nContent-Length: " +
                        std::to_string(Body.size()) +
                        "\r\nConnection: close\r\n\r\n" + Body;
-    size_t Off = 0;
-    while (Off < Resp.size()) {
-      ssize_t W = ::send(C, Resp.data() + Off, Resp.size() - Off,
-                         MSG_NOSIGNAL);
-      if (W <= 0)
-        break;
-      Off += static_cast<size_t>(W);
-    }
+    // io::writeFull retries EINTR and loops over short writes — a
+    // signal mid-scrape must not truncate the response.
+    io::writeFull(C, Resp.data(), Resp.size());
     ::close(C);
   }
 }

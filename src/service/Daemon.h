@@ -30,6 +30,24 @@
 ///    Done frames always block until written, so the authoritative
 ///    document never degrades.
 ///
+/// Hardening (stage 3):
+///  - Delta cursor: `resume=` + `from-delta=k` re-streams only deltas
+///    k..n (Accepted echoes `resumed-from=`), so a client that
+///    reconnects after seeing k deltas never observes one twice.
+///  - Journal compaction: the WAL is rewritten (tmp + fdatasync +
+///    rename, crash-safe) keeping only pending records, on a size
+///    threshold (CompactBytes) and/or a timer (CompactIntervalMs) —
+///    its size stays bounded across any crash/restart loop.
+///  - Retained-result eviction: the in-memory replay store is bounded
+///    by bytes (RetainBytes, oldest-completed first) and TTL
+///    (RetainSecs, injectable clock); an evicted session answers
+///    resume with errc::ResultEvicted instead of hanging.
+///  - Graceful drain: drain() stops accepting and lets in-flight
+///    sessions finish and flush within a deadline (SIGTERM path of
+///    algoprofd); stop() remains the forceful teardown.
+///  - Liveness/readiness: GET /healthz and /readyz next to /metrics
+///    (ready = accepting and the journal is writable).
+///
 /// Admission control reuses the budget machinery instead of inventing
 /// a scheduler: a per-daemon SessionQuota caps runs per session,
 /// heap-byte budgets, deadlines, and retry attempts (requests beyond a
@@ -62,6 +80,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <map>
 #include <memory>
@@ -120,6 +139,26 @@ struct DaemonOptions {
   /// Test hook: kernel SO_SNDBUF for session sockets (0 = default).
   /// Shrinking it makes backpressure reproducible in tests.
   int SessionSendBufBytes = 0;
+  /// Journal compaction size threshold: after a completion record, a
+  /// WAL larger than this is rewritten keeping only pending records
+  /// (0 = no size-triggered compaction).
+  uint64_t CompactBytes = 0;
+  /// Periodic compaction interval in milliseconds (0 = none). Either
+  /// trigger keeps the WAL bounded by the pending set plus one
+  /// threshold's worth of completed churn.
+  uint64_t CompactIntervalMs = 0;
+  /// Retained-result store byte budget: total bytes of stored delta
+  /// payloads + profile documents across sessions. When a completing
+  /// session pushes the store past this, the oldest-completed results
+  /// are evicted (resume then answers errc::ResultEvicted). 0 = no
+  /// byte bound.
+  uint64_t RetainBytes = 0;
+  /// Retained-result TTL in seconds (0 = no TTL): results older than
+  /// this are evicted by the maintenance thread or on access.
+  uint64_t RetainSecs = 0;
+  /// Injectable monotonic clock in milliseconds, for deterministic
+  /// TTL-eviction tests. Defaults to std::chrono::steady_clock.
+  std::function<uint64_t()> NowMs;
   SessionQuota Quota;
 };
 
@@ -138,6 +177,9 @@ public:
     uint64_t JobsReplayed = 0;
     uint64_t AuthFailures = 0;
     uint64_t SlowDisconnects = 0;
+    uint64_t ResultsEvicted = 0; ///< Retained results dropped (bytes/TTL).
+    uint64_t Compactions = 0;    ///< Journal rewrites that completed.
+    uint64_t HealthChecks = 0;   ///< /healthz + /readyz probes answered.
     /// Peak pending send-buffer occupancy over all sessions so far;
     /// bounded by MaxSendBufferBytes by construction.
     uint64_t SendBufHighWater = 0;
@@ -158,6 +200,14 @@ public:
   /// Stops accepting, shuts down every in-flight session's socket,
   /// joins all threads, and removes the socket file. Idempotent.
   void stop();
+
+  /// Graceful drain: stops accepting new connections immediately, then
+  /// waits up to \p TimeoutMs for every in-flight session to finish
+  /// naturally — jobs run to completion, control frames flush, results
+  /// land in the journal/result store. Returns true when the daemon
+  /// drained fully within the deadline (call stop() afterwards either
+  /// way; after a full drain it has nothing left to force).
+  bool drain(uint64_t TimeoutMs);
 
   /// The bound /metrics port (0 until start() with MetricsPort >= 0).
   int metricsPort() const { return BoundMetricsPort; }
@@ -191,6 +241,16 @@ private:
     std::vector<std::string> DeltaPayloads;
     std::string ProfileJson;
     std::string DonePayload;
+    /// Eviction bookkeeping: payload bytes this entry holds, the
+    /// completion sequence number (eviction order — deterministic even
+    /// when a coarse injected clock stamps several completions with the
+    /// same time), and the completion timestamp for the TTL bound.
+    uint64_t Bytes = 0;
+    uint64_t Seq = 0;
+    uint64_t CompletedAtMs = 0;
+    /// Tombstone: payloads were evicted; resume answers
+    /// errc::ResultEvicted (never hangs, never says unknown-session).
+    bool Evicted = false;
   };
 
   void acceptOn(int Fd, bool Tcp);
@@ -204,8 +264,25 @@ private:
   void runCompiled(const prof::CompiledProgram &CP, const JobRequest &R,
                    const resilience::FaultPlan &Faults, uint64_t Id,
                    uint64_t NumRuns, bool V2, SendBuffer *Buf);
-  /// Streams a retained session's results to a resuming client.
-  bool serveResume(SendBuffer &Buf, uint64_t Id);
+  /// Streams a retained session's results to a resuming client,
+  /// skipping the first \p FromDelta delta payloads (the cursor).
+  bool serveResume(SendBuffer &Buf, uint64_t Id, uint64_t FromDelta);
+  /// TTL eviction + periodic compaction ticks.
+  void maintenanceLoop();
+  /// Monotonic milliseconds via Opts.NowMs or steady_clock.
+  uint64_t nowMs() const;
+  /// Tombstones one retained entry (caller holds RetainedMu).
+  void evictLocked(Retained &RR);
+  /// Evicts every Done entry older than the TTL (caller holds
+  /// RetainedMu). \p Now is nowMs().
+  void evictExpiredLocked(uint64_t Now);
+  /// Stores a finished session's results under \p Id and applies the
+  /// byte-budget eviction policy.
+  void retainResult(uint64_t Id, uint64_t NumRuns,
+                    std::vector<std::string> Deltas, std::string Doc,
+                    std::string DonePayload);
+  /// Compacts the journal when forced or past the size threshold.
+  void maybeCompact(bool Force);
   /// Applies quotas to \p R in place (clamping unlimited requests).
   /// Returns a non-empty rejection message when a cap is exceeded.
   std::string applyQuotas(JobRequest &R) const;
@@ -235,7 +312,11 @@ private:
   std::thread AcceptThread;
   std::thread TcpAcceptThread;
   std::thread MetricsThread;
+  std::thread MaintThread;
+  std::mutex MaintMu;
+  std::condition_variable MaintCv; ///< Wakes the maintenance loop early.
   std::atomic<bool> Stopping{false};
+  std::atomic<bool> Draining{false}; ///< drain(): no longer accepting.
   bool Started = false;
 
   std::mutex SessionsMu;
@@ -245,6 +326,8 @@ private:
   std::mutex RetainedMu;
   std::condition_variable RetainedCv; ///< Signaled when a job finishes.
   std::map<uint64_t, Retained> RetainedResults; ///< Under RetainedMu.
+  uint64_t RetainedBytes = 0; ///< Store occupancy; under RetainedMu.
+  uint64_t RetainSeq = 0;     ///< Completion ordinal; under RetainedMu.
 
   std::atomic<uint64_t> StatAccepted{0};
   std::atomic<uint64_t> StatRejected{0};
@@ -256,6 +339,9 @@ private:
   std::atomic<uint64_t> StatAuthFailures{0};
   std::atomic<uint64_t> StatSlowDisconnects{0};
   std::atomic<uint64_t> StatSendBufHighWater{0};
+  std::atomic<uint64_t> StatResultsEvicted{0};
+  std::atomic<uint64_t> StatCompactions{0};
+  std::atomic<uint64_t> StatHealthChecks{0};
 };
 
 } // namespace service

@@ -1,0 +1,86 @@
+//===- service/Io.h - EINTR-safe socket I/O helpers -------------*- C++-*-===//
+///
+/// \file
+/// The one place the service layer's syscall retry discipline lives.
+/// Every socket/file loop in Protocol.cpp, SendBuffer.cpp, Client.cpp,
+/// Journal.cpp, and the daemon's HTTP responder goes through these
+/// helpers instead of hand-rolling `while (errno == EINTR)` — so a
+/// signal delivered mid-read (the daemon installs handlers for
+/// SIGTERM/SIGINT) can never be mistaken for a peer failure, and a
+/// short write can never be mistaken for success.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ALGOPROF_SERVICE_IO_H
+#define ALGOPROF_SERVICE_IO_H
+
+#include <cerrno>
+#include <cstddef>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+namespace algoprof {
+namespace service {
+namespace io {
+
+/// Runs \p Op (a syscall wrapper returning ssize_t) until it stops
+/// failing with EINTR, and returns its final result. The building
+/// block for every loop below; also usable directly for one-shot
+/// calls such as accept().
+template <typename Fn> inline ssize_t retryOn(Fn &&Op) {
+  ssize_t R;
+  do {
+    R = Op();
+  } while (R < 0 && errno == EINTR);
+  return R;
+}
+
+/// Receives exactly \p N bytes into \p Buf. Returns false on EOF,
+/// timeout (EAGAIN from SO_RCVTIMEO), or any non-EINTR error — a
+/// partial read is never reported as success.
+inline bool readFull(int Fd, void *Buf, size_t N) {
+  char *P = static_cast<char *>(Buf);
+  while (N > 0) {
+    ssize_t R = retryOn([&] { return ::recv(Fd, P, N, 0); });
+    if (R <= 0)
+      return false; // 0 = peer closed; <0 = error.
+    P += R;
+    N -= static_cast<size_t>(R);
+  }
+  return true;
+}
+
+/// Sends exactly \p N bytes (MSG_NOSIGNAL plus \p ExtraFlags). Returns
+/// false when the peer is gone or any non-EINTR error occurs — a short
+/// write keeps looping, it is never success.
+inline bool writeFull(int Fd, const char *P, size_t N, int ExtraFlags = 0) {
+  while (N > 0) {
+    ssize_t W =
+        retryOn([&] { return ::send(Fd, P, N, MSG_NOSIGNAL | ExtraFlags); });
+    if (W <= 0)
+      return false;
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+/// write(2) analogue of writeFull for non-socket fds (the journal).
+inline bool writeFullFd(int Fd, const char *P, size_t N) {
+  while (N > 0) {
+    ssize_t W = retryOn([&] { return ::write(Fd, P, N); });
+    if (W <= 0)
+      return false;
+    P += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+} // namespace io
+} // namespace service
+} // namespace algoprof
+
+#endif // ALGOPROF_SERVICE_IO_H

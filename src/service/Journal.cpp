@@ -2,7 +2,11 @@
 
 #include "service/Journal.h"
 
+#include "service/Io.h"
+
+#include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -31,13 +35,11 @@ bool readWhole(const std::string &Path, std::string &Out, bool &Missing,
   }
   char Buf[65536];
   for (;;) {
-    ssize_t R = ::read(Fd, Buf, sizeof(Buf));
+    ssize_t R = io::retryOn([&] { return ::read(Fd, Buf, sizeof(Buf)); });
     if (R > 0) {
       Out.append(Buf, static_cast<size_t>(R));
       continue;
     }
-    if (R < 0 && errno == EINTR)
-      continue;
     if (R < 0) {
       Err = "read '" + Path + "': " + std::strerror(errno);
       ::close(Fd);
@@ -49,14 +51,18 @@ bool readWhole(const std::string &Path, std::string &Out, bool &Missing,
   return true;
 }
 
-/// Parses "<u64> " at \p Pos, advancing past the trailing space (or to
-/// \p Stop when \p Stop terminates the number). False on anything else.
+/// Parses "<u64><Stop>" at \p Pos, advancing past \p Stop. False on
+/// anything else — including accumulation overflow, so a corrupt
+/// length field can never wrap into a small bogus value.
 bool parseU64At(const std::string &S, size_t &Pos, char Stop,
                 uint64_t &Out) {
   size_t Start = Pos;
   uint64_t V = 0;
   while (Pos < S.size() && S[Pos] >= '0' && S[Pos] <= '9') {
-    V = V * 10 + static_cast<uint64_t>(S[Pos] - '0');
+    uint64_t D = static_cast<uint64_t>(S[Pos] - '0');
+    if (V > (UINT64_MAX - D) / 10)
+      return false;
+    V = V * 10 + D;
     ++Pos;
   }
   if (Pos == Start || Pos >= S.size() || S[Pos] != Stop)
@@ -102,9 +108,12 @@ bool Journal::load(const std::string &Path, LoadResult &Out,
       Completed.push_back(Id);
     } else {
       uint64_t Len = 0;
+      // The length comparison must not wrap: an oversized or
+      // bit-flipped length field (up to UINT64_MAX) is compared
+      // against the remaining bytes, never added to Pos first.
       if (!parseU64At(Data, Pos, ' ', Id) ||
           !parseU64At(Data, Pos, '\n', Len) ||
-          Data.size() - Pos < Len + 1 || Data[Pos + Len] != '\n') {
+          Len >= Data.size() - Pos || Data[Pos + Len] != '\n') {
         Pos = RecStart;
         break;
       }
@@ -126,16 +135,18 @@ bool Journal::load(const std::string &Path, LoadResult &Out,
   return true;
 }
 
-bool Journal::open(const std::string &Path, std::string &Err) {
+bool Journal::open(const std::string &P, std::string &Err) {
   close();
-  Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
-              0600);
+  Fd = ::open(P.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0600);
   if (Fd < 0) {
-    Err = "open '" + Path + "' for append: " + std::strerror(errno);
+    Err = "open '" + P + "' for append: " + std::strerror(errno);
     return false;
   }
+  Path = P;
+  Failed.store(false);
   struct stat St {};
-  if (::fstat(Fd, &St) == 0 && St.st_size == 0) {
+  Size.store(::fstat(Fd, &St) == 0 ? static_cast<uint64_t>(St.st_size) : 0);
+  if (Size.load() == 0) {
     if (!appendRecord(std::string(JournalHeader) + '\n')) {
       Err = "write journal header: " + std::string(std::strerror(errno));
       close();
@@ -159,20 +170,74 @@ bool Journal::appendRecord(const std::string &Rec) {
   std::lock_guard<std::mutex> Lock(Mu);
   if (Fd < 0)
     return false;
-  const char *P = Rec.data();
-  size_t N = Rec.size();
-  while (N > 0) {
-    ssize_t W = ::write(Fd, P, N);
-    if (W > 0) {
-      P += W;
-      N -= static_cast<size_t>(W);
-      continue;
-    }
-    if (W < 0 && errno == EINTR)
-      continue;
+  if (!io::writeFullFd(Fd, Rec.data(), Rec.size())) {
+    Failed.store(true);
     return false;
   }
   ::fdatasync(Fd);
+  Size.fetch_add(Rec.size());
+  return true;
+}
+
+bool Journal::compact(std::string &Err) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Fd < 0) {
+    Err = "journal is not open";
+    return false;
+  }
+  // Re-derive pending from the on-disk bytes: everything appended so
+  // far is durable (each append fdatasync'd under this same mutex), so
+  // the file IS the authoritative state.
+  LoadResult State;
+  if (!load(Path, State, Err))
+    return false;
+  std::string Tmp = Path + ".tmp";
+  int TmpFd = ::open(Tmp.c_str(),
+                     O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0600);
+  if (TmpFd < 0) {
+    Err = "open '" + Tmp + "': " + std::strerror(errno);
+    return false;
+  }
+  std::string Out = std::string(JournalHeader) + '\n';
+  for (const PendingJob &J : State.Pending)
+    Out += "A " + std::to_string(J.Id) + ' ' +
+           std::to_string(J.Payload.size()) + '\n' + J.Payload + '\n';
+  // Dropping completed records must not regress the id high-water mark
+  // (a restart seeds its session counter from MaxId; reusing a
+  // completed id would let a stale resume read the wrong session). A
+  // lone C record carries the mark without any replay obligation.
+  uint64_t MaxPending = 0;
+  for (const PendingJob &J : State.Pending)
+    MaxPending = std::max(MaxPending, J.Id);
+  if (State.MaxId > MaxPending)
+    Out += "C " + std::to_string(State.MaxId) + '\n';
+  if (!io::writeFullFd(TmpFd, Out.data(), Out.size()) ||
+      ::fdatasync(TmpFd) != 0) {
+    Err = "write '" + Tmp + "': " + std::strerror(errno);
+    ::close(TmpFd);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  ::close(TmpFd);
+  // The atomic cutover: after rename() the path names the compacted
+  // log; before it, the old one. A crash in between loses nothing.
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    Err = "rename '" + Tmp + "': " + std::strerror(errno);
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  int NewFd = ::open(Path.c_str(),
+                     O_WRONLY | O_APPEND | O_CLOEXEC, 0600);
+  if (NewFd < 0) {
+    // The compacted file exists but cannot be appended to: durability
+    // is broken, surface it.
+    Err = "reopen '" + Path + "': " + std::strerror(errno);
+    Failed.store(true);
+    return false;
+  }
+  ::close(Fd);
+  Fd = NewFd;
+  Size.store(Out.size());
   return true;
 }
 
@@ -181,4 +246,6 @@ void Journal::close() {
     ::close(Fd);
     Fd = -1;
   }
+  Size.store(0);
+  Path.clear();
 }

@@ -2,6 +2,8 @@
 
 #include "service/Protocol.h"
 
+#include "service/Io.h"
+
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -48,39 +50,8 @@ bool knownFrameType(uint8_t B) {
   return false;
 }
 
-/// Reads exactly \p N bytes; false on EOF, timeout, or error.
-bool readAll(int Fd, void *Buf, size_t N) {
-  char *P = static_cast<char *>(Buf);
-  while (N > 0) {
-    ssize_t R = ::recv(Fd, P, N, 0);
-    if (R > 0) {
-      P += R;
-      N -= static_cast<size_t>(R);
-      continue;
-    }
-    if (R < 0 && errno == EINTR)
-      continue;
-    return false; // 0 = peer closed; <0 = error (EAGAIN on timeout).
-  }
-  return true;
-}
-
-bool writeAll(int Fd, const char *P, size_t N) {
-  while (N > 0) {
-    // MSG_NOSIGNAL: a vanished client must surface as EPIPE, not kill
-    // the daemon with SIGPIPE.
-    ssize_t W = ::send(Fd, P, N, MSG_NOSIGNAL);
-    if (W > 0) {
-      P += W;
-      N -= static_cast<size_t>(W);
-      continue;
-    }
-    if (W < 0 && errno == EINTR)
-      continue;
-    return false;
-  }
-  return true;
-}
+// Exact-count reads/writes live in service/Io.h (io::readFull /
+// io::writeFull): EINTR retried, short transfers never success.
 
 void appendLine(std::string &S, const char *Key, const std::string &V) {
   S += Key;
@@ -181,7 +152,7 @@ std::string service::encodeFrame(FrameType Type, const std::string &Payload) {
 bool service::sendFrame(int Fd, FrameType Type, const std::string &Payload,
                         uint64_t *BytesOut) {
   std::string Wire = encodeFrame(Type, Payload);
-  if (!writeAll(Fd, Wire.data(), Wire.size()))
+  if (!io::writeFull(Fd, Wire.data(), Wire.size()))
     return false;
   if (BytesOut)
     *BytesOut += Wire.size();
@@ -191,15 +162,12 @@ bool service::sendFrame(int Fd, FrameType Type, const std::string &Payload,
 ReadStatus service::readFrame(int Fd, Frame &Out, size_t MaxPayload) {
   unsigned char Hdr[5];
   // The first header byte distinguishes clean EOF from truncation.
-  ssize_t R;
-  do {
-    R = ::recv(Fd, Hdr, 1, 0);
-  } while (R < 0 && errno == EINTR);
+  ssize_t R = io::retryOn([&] { return ::recv(Fd, Hdr, 1, 0); });
   if (R == 0)
     return ReadStatus::Eof;
   if (R < 0)
     return ReadStatus::Truncated;
-  if (!readAll(Fd, Hdr + 1, 4))
+  if (!io::readFull(Fd, Hdr + 1, 4))
     return ReadStatus::Truncated;
   uint32_t N = (static_cast<uint32_t>(Hdr[0]) << 24) |
                (static_cast<uint32_t>(Hdr[1]) << 16) |
@@ -211,7 +179,7 @@ ReadStatus service::readFrame(int Fd, Frame &Out, size_t MaxPayload) {
     return ReadStatus::Oversized;
   Out.Type = static_cast<FrameType>(Hdr[4]);
   Out.Payload.resize(N);
-  if (N > 0 && !readAll(Fd, &Out.Payload[0], N))
+  if (N > 0 && !io::readFull(Fd, &Out.Payload[0], N))
     return ReadStatus::Truncated;
   return ReadStatus::Ok;
 }
@@ -228,6 +196,8 @@ std::string service::encodeJobRequest(const JobRequest &R) {
     appendLine(S, "auth", R.Auth);
   if (R.Resume != 0)
     appendLine(S, "resume", R.Resume);
+  if (R.FromDelta != 0)
+    appendLine(S, "from-delta", R.FromDelta);
   if (!R.Corpus.empty())
     appendLine(S, "corpus", R.Corpus);
   if (R.EntryClass != "Main")
@@ -307,6 +277,15 @@ bool service::parseJobRequest(const std::string &Payload, JobRequest &Out,
         Err = "invalid resume session id '" + Val + "'";
         return false;
       }
+    } else if (Key == "from-delta") {
+      if (Out.Protocol < 2) {
+        Err = std::string("from-delta requires ") + ProtocolVersionV2;
+        return false;
+      }
+      if (!parseU64(Val, Out.FromDelta)) {
+        Err = "invalid from-delta cursor '" + Val + "'";
+        return false;
+      }
     } else if (Key == "corpus") {
       Out.Corpus = Val;
     } else if (Key == "entry-class") {
@@ -380,6 +359,10 @@ bool service::parseJobRequest(const std::string &Payload, JobRequest &Out,
               : "corpus, inline source, and resume are mutually exclusive";
     return false;
   }
+  if (Out.FromDelta != 0 && Out.Resume == 0) {
+    Err = "from-delta is only valid with resume";
+    return false;
+  }
   return true;
 }
 
@@ -392,8 +375,10 @@ std::string service::encodeAccepted(const AcceptedMsg &M) {
   appendLine(S, "session", M.Session);
   appendLine(S, "runs", M.Runs);
   appendLine(S, "proto", static_cast<uint64_t>(M.Proto));
-  if (M.Resumed)
+  if (M.Resumed) {
     appendLine(S, "resumed", std::string("1"));
+    appendLine(S, "resumed-from", M.ResumedFrom);
+  }
   return S;
 }
 
@@ -416,6 +401,9 @@ bool service::parseAccepted(const std::string &Payload, AcceptedMsg &Out) {
       Out.Proto = static_cast<int>(V);
     } else if (P.first == "resumed") {
       Out.Resumed = P.second == "1";
+    } else if (P.first == "resumed-from") {
+      if (!parseU64(P.second, Out.ResumedFrom))
+        return false;
     }
   }
   return true;

@@ -73,6 +73,10 @@ inline constexpr char TooManySessions[] = "too-many-sessions";
 inline constexpr char QuotaExceeded[] = "quota-exceeded";
 inline constexpr char AuthFailed[] = "auth-failed";
 inline constexpr char UnknownSession[] = "unknown-session";
+/// The session existed but its retained results were evicted (byte or
+/// TTL bound); a resume can never succeed again. Distinct from
+/// UnknownSession so a client knows re-asking is pointless.
+inline constexpr char ResultEvicted[] = "result-evicted";
 } // namespace errc
 
 struct Frame {
@@ -121,6 +125,11 @@ struct JobRequest {
   /// (deltas + final profile, byte-identical) from the daemon's
   /// journal-backed result store. v2 only.
   uint64_t Resume = 0;
+  /// Resume cursor (`from-delta=`): the number of deltas this client
+  /// already observed. The daemon re-streams deltas k..n only, so a
+  /// reconnecting client never sees a delta twice. Valid only with
+  /// Resume; rejected bad-request when it exceeds the retained count.
+  uint64_t FromDelta = 0;
   std::string Corpus; ///< Built-in corpus program name, or
   std::string Source; ///< MiniJ source text.
   std::string EntryClass = "Main";
@@ -155,6 +164,9 @@ struct AcceptedMsg {
   uint64_t Runs = 0;    ///< Total runs the stream will cover.
   int Proto = 1;        ///< Negotiated wire version (echo).
   bool Resumed = false; ///< Stream replays a stored session's results.
+  /// Resumed streams echo the request's delta cursor (`resumed-from=`):
+  /// how many deltas are being skipped because the client saw them.
+  uint64_t ResumedFrom = 0;
 };
 std::string encodeAccepted(const AcceptedMsg &M);
 bool parseAccepted(const std::string &Payload, AcceptedMsg &Out);

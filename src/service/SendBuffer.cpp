@@ -2,6 +2,8 @@
 
 #include "service/SendBuffer.h"
 
+#include "service/Io.h"
+
 #include <cerrno>
 
 #include <sys/socket.h>
@@ -14,14 +16,14 @@ SendBuffer::SendBuffer(int Fd, size_t MaxPending, Policy P)
 
 void SendBuffer::tryFlush() {
   while (!Gone && pendingSize() > 0) {
-    ssize_t W = ::send(Fd, Pending.data() + PendingOff, pendingSize(),
-                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    ssize_t W = io::retryOn([&] {
+      return ::send(Fd, Pending.data() + PendingOff, pendingSize(),
+                    MSG_NOSIGNAL | MSG_DONTWAIT);
+    });
     if (W > 0) {
       PendingOff += static_cast<size_t>(W);
       continue;
     }
-    if (W < 0 && errno == EINTR)
-      continue;
     if (W < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
       break; // Kernel buffer full; keep the remainder pending.
     Gone = true;
@@ -33,17 +35,9 @@ void SendBuffer::tryFlush() {
 }
 
 bool SendBuffer::flushBlocking() {
-  while (!Gone && pendingSize() > 0) {
-    ssize_t W = ::send(Fd, Pending.data() + PendingOff, pendingSize(),
-                       MSG_NOSIGNAL);
-    if (W > 0) {
-      PendingOff += static_cast<size_t>(W);
-      continue;
-    }
-    if (W < 0 && errno == EINTR)
-      continue;
+  if (!Gone && pendingSize() > 0 &&
+      !io::writeFull(Fd, Pending.data() + PendingOff, pendingSize()))
     Gone = true;
-  }
   Pending.clear();
   PendingOff = 0;
   return !Gone;

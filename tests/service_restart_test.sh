@@ -3,7 +3,10 @@
 # killed with SIGKILL, restarted on the same write-ahead journal, and
 # must replay the pending job so a reconnecting algoprof_client
 # `--resume`s into a final profile byte-identical to a live submission
-# of the same job. Invoked by ctest as
+# of the same job — also with a `--from-delta` cursor (exactly n-k
+# deltas, none twice), across a journal compaction (the pending record
+# and the id high-water mark survive the rotation), and through a
+# SIGTERM graceful drain (exit 0). Invoked by ctest as
 # `service_restart_test.sh <algoprofd> <algoprof_client>`.
 set -u
 
@@ -31,8 +34,10 @@ SEEDS=4,8,12,16
 start_daemon() {
   # A SIGKILLed daemon leaves its socket file behind; remove it so the
   # readiness probe below sees the NEW daemon's bind, not the corpse.
+  # Extra arguments pass through (--compact-bytes for the compaction
+  # sections below).
   rm -f "$SOCK"
-  "$DAEMON" --socket "$SOCK" --journal "$JOURNAL" --jobs 2 \
+  "$DAEMON" --socket "$SOCK" --journal "$JOURNAL" --jobs 2 "$@" \
     > "$WORK/daemon.log" 2>&1 &
   DPID=$!
   for _ in $(seq 100); do
@@ -85,6 +90,22 @@ grep -q "(resumed)" "$WORK/resumed.err" \
 cmp -s "$WORK/fresh.json" "$WORK/resumed.json" \
   || fail "replayed profile differs from the live submission"
 
+# Cursor resume: a client that already saw k=2 of the 4 deltas asks
+# for the tail only — exactly n-k delta lines, no run re-streamed,
+# and the same byte-identical document.
+"$CLIENT" --connect "unix:$SOCK" --resume 42 --from-delta 2 \
+  --out "$WORK/cursor.json" 2> "$WORK/cursor.err"
+rc=$?
+[ "$rc" -eq 0 ] || fail "cursor resume failed (exit $rc): $(cat "$WORK/cursor.err")"
+RUNS=$(grep -c '^run ' "$WORK/cursor.err")
+[ "$RUNS" -eq 2 ] || fail "from-delta 2 of 4 streamed $RUNS deltas, want 2"
+grep -q '^run 2 ' "$WORK/cursor.err" || fail "cursor tail is missing run 2"
+grep -q '^run 3 ' "$WORK/cursor.err" || fail "cursor tail is missing run 3"
+DUPES=$(grep '^run ' "$WORK/cursor.err" | awk '{print $2}' | sort | uniq -d)
+[ -z "$DUPES" ] || fail "cursor resume re-streamed runs: $DUPES"
+cmp -s "$WORK/fresh.json" "$WORK/cursor.json" \
+  || fail "cursor-resumed profile differs from the live submission"
+
 # Results of sessions completed before the crash are not retained:
 # resuming the pre-crash id is a clean unknown-session rejection.
 "$CLIENT" --connect "unix:$SOCK" --resume "$LIVE_ID" \
@@ -108,8 +129,53 @@ rc=$?
 cmp -s "$WORK/fresh.json" "$WORK/after.json" \
   || fail "post-restart profile differs from the original"
 
-kill -TERM "$DPID" 2>/dev/null
+kill -9 "$DPID" 2>/dev/null
 wait "$DPID" 2>/dev/null
+DPID=""
+
+# --- Compaction survival: the pending record outlives the rotation ---
+# Another crash-orphaned job, then a restart with compaction armed at
+# the smallest threshold: the replay completes, compaction rotates the
+# WAL, and both the resumable result and the id high-water mark must
+# survive it.
+SIZE_BEFORE=$(wc -c < "$JOURNAL")
+printf 'A 77 %d\n%s\n\n' "$((${#PAYLOAD} + 1))" "$PAYLOAD" >> "$JOURNAL"
+start_daemon --compact-bytes 1 || exit 1
+"$CLIENT" --connect "unix:$SOCK" --resume 77 \
+  --out "$WORK/compacted.json" 2> "$WORK/compacted.err"
+rc=$?
+[ "$rc" -eq 0 ] \
+  || fail "post-compaction resume failed (exit $rc): $(cat "$WORK/compacted.err")"
+cmp -s "$WORK/fresh.json" "$WORK/compacted.json" \
+  || fail "post-compaction profile differs from the live submission"
+# The rotation itself races the resume reply by a few milliseconds.
+for _ in $(seq 100); do
+  SIZE_AFTER=$(wc -c < "$JOURNAL")
+  [ "$SIZE_AFTER" -lt "$SIZE_BEFORE" ] && break
+  sleep 0.05
+done
+[ "$SIZE_AFTER" -lt "$SIZE_BEFORE" ] \
+  || fail "journal did not shrink ($SIZE_BEFORE -> $SIZE_AFTER bytes)"
+grep -q '^algoprof-journal/1$' "$JOURNAL" \
+  || fail "compacted journal lost its header"
+
+# The high-water mark survived the dropped records: a fresh session's
+# id must land above every id the compacted-away history ever used.
+"$CLIENT" --connect "unix:$SOCK" --corpus "$CORPUS" --seeds "$SEEDS" \
+  --out "$WORK/hw.json" 2> "$WORK/hw.err"
+rc=$?
+[ "$rc" -eq 0 ] || fail "post-compaction submit failed: $(cat "$WORK/hw.err")"
+HW_ID=$(sed -n 's/^session \([0-9]*\).*/\1/p' "$WORK/hw.err")
+[ -n "$HW_ID" ] && [ "$HW_ID" -gt 77 ] \
+  || fail "session id '$HW_ID' reuses compacted-away history (want > 77)"
+
+# --- Graceful drain: SIGTERM finishes cleanly with exit 0 ------------
+kill -TERM "$DPID" 2>/dev/null
+wait "$DPID"
+rc=$?
+[ "$rc" -eq 0 ] || fail "SIGTERM drain exited $rc, want 0"
+grep -q "drained cleanly" "$WORK/daemon.log" \
+  || fail "daemon did not report a clean drain: $(tail -3 "$WORK/daemon.log")"
 DPID=""
 
 if [ "$FAILURES" -ne 0 ]; then

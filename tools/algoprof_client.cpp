@@ -11,12 +11,23 @@
 ///     --corpus NAME          run a built-in corpus program, or
 ///     --file PROG.mj         submit inline MiniJ source, or
 ///     --resume ID            re-stream a journaled session's results
+///     --from-delta K         resume cursor: skip the first K deltas
+///                            the client already saw (with --resume)
 ///     --entry Cls.Method     entry point (default Main.main)
 ///     --seeds a,b,c          one run per seed (wins over --runs)
 ///     --runs N               unseeded run count (default 1)
 ///     --input a,b,c          input channel for unseeded runs
 ///     --policy P             fail | skip | retry
 ///     --retries N            retries per run under retry policy
+///                            (run-level, inside the daemon's VM —
+///                            distinct from --connect-retries)
+///     --connect-retries N    transport retries: reconnect with
+///                            backoff and auto-resume at the delta
+///                            cursor after a dropped connection
+///                            (default 0)
+///     --timeout-ms N         per-operation socket deadline; a
+///                            stalled daemon becomes a transport
+///                            fault instead of a hang (default none)
 ///     --max-heap-bytes N     per-run heap budget
 ///     --deadline-ms N        per-run deadline
 ///     --inject SPEC          session-scoped fault plan
@@ -48,9 +59,11 @@ int usage(const char *Argv0) {
       stderr,
       "usage: %s --connect unix:PATH|tcp:HOST:PORT\n"
       "       (--corpus NAME | --file PROG.mj | --resume ID)\n"
-      "       [--auth-token-file F] [--entry Cls.Method]\n"
+      "       [--from-delta K] [--auth-token-file F]\n"
+      "       [--entry Cls.Method]\n"
       "       [--seeds a,b,c] [--runs N] [--input a,b,c]\n"
       "       [--policy fail|skip|retry] [--retries N]\n"
+      "       [--connect-retries N] [--timeout-ms N]\n"
       "       [--max-heap-bytes N] [--deadline-ms N] [--inject SPEC]\n"
       "       [--proto 1|2] [--out FILE] [--quiet]\n",
       Argv0);
@@ -125,6 +138,7 @@ std::string firstLineTrimmed(const std::string &Data) {
 int main(int Argc, char **Argv) {
   std::string Connect, TokenFile, SourceFile, EntrySpec, OutPath;
   service::JobSpec Job;
+  service::RetryPolicy Retry;
   bool Quiet = false;
 
   for (int I = 1; I < Argc; ++I) {
@@ -148,6 +162,19 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "error: --resume needs a session id\n");
         return 2;
       }
+      ++I;
+    } else if (Arg == "--from-delta") {
+      if (!parseU64Arg("--from-delta", Val, Job.FromDelta))
+        return 2;
+      ++I;
+    } else if (Arg == "--connect-retries") {
+      if (!parseU64Arg("--connect-retries", Val, N))
+        return 2;
+      Retry.ConnectRetries = static_cast<unsigned>(N);
+      ++I;
+    } else if (Arg == "--timeout-ms") {
+      if (!parseU64Arg("--timeout-ms", Val, Retry.TimeoutMs))
+        return 2;
       ++I;
     } else if (Arg == "--entry" && Val) {
       EntrySpec = Val;
@@ -237,6 +264,10 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr, "error: --resume requires --proto 2\n");
     return 2;
   }
+  if (Job.FromDelta != 0 && Job.Resume == 0) {
+    std::fprintf(stderr, "error: --from-delta requires --resume\n");
+    return 2;
+  }
 
   std::string Token;
   if (!TokenFile.empty()) {
@@ -265,9 +296,9 @@ int main(int Argc, char **Argv) {
     return service::Client::unixSocket(Connect); // Bare path: unix.
   }();
 
-  service::Session S = C.submit(Job);
+  std::function<void(const service::RunDeltaMsg &)> OnDelta;
   if (!Quiet)
-    S.onDelta([](const service::RunDeltaMsg &D) {
+    OnDelta = [](const service::RunDeltaMsg &D) {
       std::fprintf(stderr, "run %lld %s%s merged=%lld",
                    static_cast<long long>(D.Run), D.Status.c_str(),
                    D.Quarantined ? " (quarantined)" : "",
@@ -281,8 +312,11 @@ int main(int Argc, char **Argv) {
                        F.Formula.c_str());
       }
       std::fprintf(stderr, "\n");
-    });
-  service::TypedResult R = S.wait();
+    };
+  service::TypedResult R = C.run(Job, Retry, OnDelta);
+  if (!Quiet && R.TransportRetries > 0)
+    std::fprintf(stderr, "reconnected %u time%s to finish the stream\n",
+                 R.TransportRetries, R.TransportRetries == 1 ? "" : "s");
 
   if (!R.Ok) {
     if (R.Error.any())

@@ -36,10 +36,24 @@
 ///                            requests are clamped down to it (0 = none)
 ///     --quota-deadline-ms N  per-run deadline ceiling, same rule
 ///     --quota-attempts N     per-run retry-execution cap (0 = none)
+///     --compact-bytes N      rotate the journal once it exceeds N
+///                            bytes, dropping completed records
+///                            (0 = no size-triggered compaction)
+///     --compact-interval N   additionally compact every N ms
+///                            (0 = off)
+///     --retain-bytes N       cap on retained resumable results; the
+///                            oldest completed sessions are evicted
+///                            first (0 = unbounded)
+///     --retain-secs N        evict a session's retained results N
+///                            seconds after completion (0 = never)
+///     --drain-timeout-ms N   SIGTERM grace period for in-flight
+///                            sessions (default 5000)
 ///
-/// The daemon runs until SIGINT/SIGTERM, then drains: in-flight
-/// sessions' sockets are shut down, threads joined, the socket file
-/// removed. Protocol and examples: docs/service.md.
+/// SIGTERM drains gracefully: the listeners close, in-flight sessions
+/// finish and journal their results, buffered frames flush, and the
+/// daemon exits 0 — within --drain-timeout-ms, after which whatever
+/// is still running is cut off. SIGINT skips the grace period and
+/// stops immediately. Protocol and examples: docs/service.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -62,10 +76,11 @@ namespace {
 /// wakes the blocked read immediately.
 int ShutdownPipe[2] = {-1, -1};
 
-void onSignal(int) {
-  char B = 1;
-  // The return value is deliberately unused: if the pipe is full the
-  // shutdown is already pending.
+void onSignal(int Signo) {
+  // The byte says which signal arrived: SIGTERM drains gracefully,
+  // SIGINT stops immediately. The return value is deliberately
+  // unused: if the pipe is full the shutdown is already pending.
+  char B = static_cast<char>(Signo);
   ssize_t W = ::write(ShutdownPipe[1], &B, 1);
   (void)W;
 }
@@ -96,7 +111,10 @@ int usage(const char *Argv0) {
                "       [--max-frame-bytes N]\n"
                "       [--read-timeout-ms N] [--quota-runs N]\n"
                "       [--quota-source-bytes N] [--quota-heap-bytes N]\n"
-               "       [--quota-deadline-ms N] [--quota-attempts N]\n",
+               "       [--quota-deadline-ms N] [--quota-attempts N]\n"
+               "       [--compact-bytes N] [--compact-interval MS]\n"
+               "       [--retain-bytes N] [--retain-secs N]\n"
+               "       [--drain-timeout-ms N]\n",
                Argv0);
   return 2;
 }
@@ -105,6 +123,7 @@ int usage(const char *Argv0) {
 
 int main(int Argc, char **Argv) {
   service::DaemonOptions Opts;
+  uint64_t DrainTimeoutMs = 5000;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     const char *Val = I + 1 < Argc ? Argv[I + 1] : nullptr;
@@ -190,6 +209,26 @@ int main(int Argc, char **Argv) {
       if (!parseU64Arg("--quota-attempts", Val, Opts.Quota.MaxAttempts))
         return 2;
       ++I;
+    } else if (Arg == "--compact-bytes") {
+      if (!parseU64Arg("--compact-bytes", Val, Opts.CompactBytes))
+        return 2;
+      ++I;
+    } else if (Arg == "--compact-interval") {
+      if (!parseU64Arg("--compact-interval", Val, Opts.CompactIntervalMs))
+        return 2;
+      ++I;
+    } else if (Arg == "--retain-bytes") {
+      if (!parseU64Arg("--retain-bytes", Val, Opts.RetainBytes))
+        return 2;
+      ++I;
+    } else if (Arg == "--retain-secs") {
+      if (!parseU64Arg("--retain-secs", Val, Opts.RetainSecs))
+        return 2;
+      ++I;
+    } else if (Arg == "--drain-timeout-ms") {
+      if (!parseU64Arg("--drain-timeout-ms", Val, DrainTimeoutMs))
+        return 2;
+      ++I;
     } else {
       std::fprintf(stderr, "error: unknown or incomplete argument '%s'\n",
                    Arg.c_str());
@@ -228,10 +267,20 @@ int main(int Argc, char **Argv) {
   std::printf("\n");
   std::fflush(stdout);
 
-  char B;
+  char B = 0;
   while (::read(ShutdownPipe[0], &B, 1) < 0 && errno == EINTR) {
   }
-  std::printf("algoprofd shutting down\n");
+  if (B == SIGTERM) {
+    std::printf("algoprofd draining (up to %llu ms)\n",
+                static_cast<unsigned long long>(DrainTimeoutMs));
+    std::fflush(stdout);
+    if (D.drain(DrainTimeoutMs))
+      std::printf("algoprofd drained cleanly\n");
+    else
+      std::printf("algoprofd drain timed out; cutting off stragglers\n");
+  } else {
+    std::printf("algoprofd shutting down\n");
+  }
   D.stop();
   service::Daemon::Stats S = D.stats();
   std::printf("sessions: %llu accepted, %llu rejected, %llu completed; "
@@ -246,5 +295,10 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(S.DeltasDropped),
               static_cast<unsigned long long>(S.JobsReplayed),
               static_cast<unsigned long long>(S.AuthFailures));
+  std::printf("retention: %llu results evicted, %llu compactions, "
+              "%llu health checks\n",
+              static_cast<unsigned long long>(S.ResultsEvicted),
+              static_cast<unsigned long long>(S.Compactions),
+              static_cast<unsigned long long>(S.HealthChecks));
   return 0;
 }

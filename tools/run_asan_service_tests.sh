@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Build and run the `service` test label under ASan + UBSan.
+#
+# The ctest test `asan_service` (registered in tests/CMakeLists.txt for
+# non-sanitizer builds) invokes this script, which configures a child
+# build inside the current binary dir with -DALGOPROF_ASAN_UBSAN=ON,
+# builds the service test binary plus the real daemon/client, and runs
+# exactly the service label — the chaos fault schedules, journal
+# fuzzing (bit flips, oversized length fields), retained-result
+# eviction, graceful drain, and the SIGKILL restart + compaction
+# cycles through the real binaries — with the memory checkers armed.
+# The journal loader's bounds checks and the daemon's buffer handling
+# under partial frames are exactly where ASan/UBSan earn their keep.
+#
+# Usage: run_asan_service_tests.sh <source-dir> <binary-dir> [jobs]
+set -euo pipefail
+
+SRC=${1:?usage: run_asan_service_tests.sh <source-dir> <binary-dir> [jobs]}
+BIN=${2:?usage: run_asan_service_tests.sh <source-dir> <binary-dir> [jobs]}
+JOBS=${3:-$(nproc)}
+ASAN_DIR="$BIN/asan"
+
+# Some kernels/containers cannot execute sanitizer binaries (address
+# space layout restrictions). Probe first and skip visibly (ctest
+# SKIP_RETURN_CODE 77) instead of failing the suite on an environment
+# limitation.
+PROBE_DIR=$(mktemp -d)
+trap 'rm -rf "$PROBE_DIR"' EXIT
+printf 'int main() { return 0; }\n' > "$PROBE_DIR/probe.cpp"
+if ! c++ -fsanitize=address,undefined "$PROBE_DIR/probe.cpp" \
+     -o "$PROBE_DIR/probe" 2>/dev/null || \
+   ! "$PROBE_DIR/probe" >/dev/null 2>&1; then
+  echo "SKIP: ASan/UBSan is unavailable in this environment" >&2
+  exit 77
+fi
+
+cmake -S "$SRC" -B "$ASAN_DIR" -DALGOPROF_ASAN_UBSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$ASAN_DIR" \
+      --target algoprof_service_tests algoprofd algoprof_client -j "$JOBS"
+cd "$ASAN_DIR"
+exec ctest -L service --output-on-failure -j "$JOBS"
